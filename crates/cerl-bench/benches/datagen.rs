@@ -1,0 +1,38 @@
+//! Data-generation throughput: the §IV.C synthetic generator (MVN with
+//! hub-Toeplitz covariance) and the LDA-style document simulator.
+
+use cerl_data::{SemiSyntheticConfig, SemiSyntheticGenerator, SyntheticConfig, SyntheticGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.sample_size(10);
+
+    for &n in &[500usize, 2000] {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig { n_units: n, ..SyntheticConfig::default() },
+            3,
+        );
+        group.bench_with_input(BenchmarkId::new("synthetic", n), &gen, |bench, gen| {
+            let mut rep = 0;
+            bench.iter(|| {
+                rep += 1;
+                gen.domain(0, rep)
+            })
+        });
+    }
+
+    let semi = SemiSyntheticGenerator::new(SemiSyntheticConfig::small().with_units(500), 4);
+    let all: Vec<usize> = (0..semi.config().topics.n_topics).collect();
+    group.bench_function("semisynthetic-500-docs", |bench| {
+        let mut rep = 0;
+        bench.iter(|| {
+            rep += 1;
+            semi.dataset(&all, rep, "bench")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datagen);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Herding exemplar selection vs random subsampling: wall-clock cost of
+//! the greedy selection at realistic memory sizes (ablation 2 in
+//! DESIGN.md). The accuracy side of this trade-off is covered by the
+//! `herding_beats_random_on_mean_approximation` unit test.
+
+use cerl_core::herding::{herding_select, random_select};
+use cerl_math::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn reprs(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut state = seed;
+    Matrix::from_fn(n, d, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    })
+}
+
+fn bench_herding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory-selection");
+    group.sample_size(20);
+    let d = 32;
+    for &(n, m) in &[(500usize, 50usize), (2000, 200), (5000, 500)] {
+        let r = reprs(n, d, 9);
+        group.bench_with_input(
+            BenchmarkId::new("herding", format!("{n}->{m}")),
+            &(&r, m),
+            |bench, (r, m)| bench.iter(|| herding_select(r, *m)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("random", format!("{n}->{m}")),
+            &(n, m),
+            |bench, (n, m)| {
+                let mut rng = StdRng::seed_from_u64(11);
+                bench.iter(|| random_select(*n, *m, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_herding);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! GEMM kernel benchmarks: serial vs crossbeam-parallel paths at the shapes
+//! the training loops actually produce (batch × features × hidden).
+
+use cerl_math::matmul::{matmul, matmul_parallel, matmul_serial};
+use cerl_math::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+    })
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    // (batch, in, out) shapes seen in the experiments.
+    for &(m, k, n) in &[(128usize, 100usize, 64usize), (128, 600, 64), (256, 3477, 64)] {
+        let a = pseudo_random(m, k, 1);
+        let b = pseudo_random(k, n, 2);
+        group.bench_with_input(
+            BenchmarkId::new("serial", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| matmul_serial(a, b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| matmul_parallel(a, b)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("auto", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| matmul(a, b)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

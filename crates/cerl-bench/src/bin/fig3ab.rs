@@ -1,0 +1,9 @@
+//! Regenerates Figure 3 (a,b) of the paper (5 sequential domains, memory
+//! budgets vs the all-data ideal). `--ablate-cosine` adds the in-text
+//! cosine-normalization ablation series.
+
+fn main() {
+    let args = cerl_bench::RunArgs::parse(std::env::args().skip(1));
+    let result = cerl_bench::fig3::run_ab(&args);
+    cerl_bench::fig3::print_ab(&result);
+}

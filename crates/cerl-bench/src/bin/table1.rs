@@ -1,0 +1,7 @@
+//! Regenerates Table I of the paper. See `cerl-bench` crate docs for flags.
+
+fn main() {
+    let args = cerl_bench::RunArgs::parse(std::env::args().skip(1));
+    let result = cerl_bench::table1::run(&args);
+    cerl_bench::table1::print(&result);
+}

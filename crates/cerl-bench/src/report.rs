@@ -1,0 +1,108 @@
+//! Table rendering and machine-readable result dumps.
+
+use serde::Serialize;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Format a metric with the paper's "↑" significance marker.
+pub fn fmt_metric(value: f64, worse: bool) -> String {
+    if worse {
+        format!("{value:.2}↑")
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+/// Render an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "render_table: ragged row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {:<width$} ", c, width = w))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Directory where harness binaries drop JSON results.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Serialize a result payload to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, payload: &T) -> std::io::Result<PathBuf> {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(payload).expect("serializable payload");
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(fmt_metric(2.456, false), "2.46");
+        assert_eq!(fmt_metric(2.456, true), "2.46↑");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.00".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name") && lines[0].contains("value"));
+        assert!(lines[2].starts_with(" a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn ragged_rows_panic() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        #[derive(Serialize)]
+        struct P {
+            x: f64,
+        }
+        let path = write_json("test-report", &P { x: 1.5 }).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("1.5"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,69 @@
+//! # cerl-core
+//!
+//! CERL — *Continual Causal Effect Representation Learning* (Chu et al.,
+//! ICDE 2023) — estimates individual and average treatment effects from
+//! observational data that arrives **incrementally from non-stationary
+//! domains**, without retaining raw previous data.
+//!
+//! The crate provides:
+//!
+//! * [`cfr`] — the baseline causal-effect learner (Eq. 5): selective +
+//!   balanced representation learning with two-head outcome inference.
+//! * [`continual`] — [`Cerl`](continual::Cerl), Algorithm 1: feature
+//!   distillation (Eq. 6), feature transformation (Eq. 7), herding memory,
+//!   and global representation balancing (Eqs. 8–9).
+//! * [`strategies`] — CFR-A/B/C adaptation baselines and the common
+//!   [`ContinualEstimator`](strategies::ContinualEstimator) trait.
+//! * [`baselines`] — classic S-learner / T-learner meta-learners.
+//! * [`herding`] / [`memory`] — bounded representation memory.
+//! * [`repr`] / [`heads`] / [`transform`] — network components.
+//! * [`metrics`] — `√ε_PEHE` and `ε_ATE`.
+//! * [`config`] — every hyper-parameter of Eq. 9 plus ablation switches.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cerl_core::config::CerlConfig;
+//! use cerl_core::continual::Cerl;
+//! use cerl_core::metrics::EffectMetrics;
+//! use cerl_data::{DomainStream, SyntheticConfig, SyntheticGenerator};
+//!
+//! // Two incrementally available domains from shifted distributions.
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 7);
+//! let stream = DomainStream::synthetic(&gen, 2, 0, 7);
+//!
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 3; // demo speed
+//! let mut cerl = Cerl::new(stream.domain(0).train.dim(), cfg, 7);
+//! for d in 0..stream.len() {
+//!     cerl.observe(&stream.domain(d).train, &stream.domain(d).val);
+//! }
+//! // One model now serves all seen domains — no raw data retained.
+//! let test = &stream.domain(0).test;
+//! let metrics = EffectMetrics::on_dataset(test, &cerl.predict_ite(&test.x));
+//! assert!(metrics.sqrt_pehe.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod cfr;
+pub mod config;
+pub mod continual;
+pub mod heads;
+pub mod herding;
+pub mod memory;
+pub mod metrics;
+pub mod repr;
+pub mod strategies;
+pub mod trainer;
+pub mod transform;
+
+pub use baselines::{SLearner, TLearner};
+pub use cfr::CfrModel;
+pub use config::{Ablation, ActivationKind, CerlConfig, DistillKind, IpmKind, NetConfig, TrainConfig};
+pub use continual::{Cerl, StageReport};
+pub use memory::Memory;
+pub use metrics::EffectMetrics;
+pub use strategies::{paper_lineup, CfrA, CfrB, CfrC, ContinualEstimator};
+pub use trainer::TrainReport;

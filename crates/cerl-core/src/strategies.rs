@@ -1,0 +1,264 @@
+//! The three straightforward adaptation strategies the paper compares
+//! against (§IV.B), built on the same CFR backbone:
+//!
+//! * **CFR-A** — train once on the first domain; apply as-is forever.
+//!   Good on previous data, degrades on shifted new data.
+//! * **CFR-B** — fine-tune the previous model on each new domain only.
+//!   Adapts, but catastrophically forgets previous domains.
+//! * **CFR-C** — store *all* raw data and retrain from scratch on the
+//!   pooled set whenever a domain arrives. The ideal (and most expensive)
+//!   reference: no memory constraint, no accessibility constraint.
+//!
+//! All strategies and CERL implement [`ContinualEstimator`] so experiment
+//! harnesses can treat them interchangeably.
+
+use crate::cfr::CfrModel;
+use crate::config::CerlConfig;
+use crate::continual::Cerl;
+use crate::metrics::EffectMetrics;
+use cerl_data::CausalDataset;
+use cerl_math::Matrix;
+
+/// A learner that consumes domains one at a time and predicts ITEs.
+pub trait ContinualEstimator {
+    /// Short display name (matches the paper's table rows).
+    fn name(&self) -> String;
+
+    /// Consume the next incrementally available domain.
+    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset);
+
+    /// Predict unit-level treatment effects for raw covariates.
+    fn predict_ite(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Evaluate on a labeled dataset.
+    fn evaluate(&self, data: &CausalDataset) -> EffectMetrics {
+        EffectMetrics::on_dataset(data, &self.predict_ite(&data.x))
+    }
+}
+
+/// CFR-A: freeze after the first domain.
+pub struct CfrA {
+    model: CfrModel,
+    trained: bool,
+}
+
+impl CfrA {
+    /// Create for `d_in`-dimensional covariates.
+    pub fn new(d_in: usize, cfg: CerlConfig, seed: u64) -> Self {
+        Self { model: CfrModel::new(d_in, cfg, seed), trained: false }
+    }
+}
+
+impl ContinualEstimator for CfrA {
+    fn name(&self) -> String {
+        "CFR-A".into()
+    }
+
+    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset) {
+        if !self.trained {
+            self.model.train(train, val);
+            self.trained = true;
+        }
+        // Later domains are ignored: the model was trained once on the
+        // original data and is applied directly to everything.
+    }
+
+    fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
+        self.model.predict_ite(x)
+    }
+}
+
+/// CFR-B: fine-tune on each new domain (no access to previous data).
+pub struct CfrB {
+    model: CfrModel,
+}
+
+impl CfrB {
+    /// Create for `d_in`-dimensional covariates.
+    pub fn new(d_in: usize, cfg: CerlConfig, seed: u64) -> Self {
+        Self { model: CfrModel::new(d_in, cfg, seed) }
+    }
+}
+
+impl ContinualEstimator for CfrB {
+    fn name(&self) -> String {
+        "CFR-B".into()
+    }
+
+    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset) {
+        // First call trains from scratch; later calls warm-start from the
+        // previous parameters — exactly "utilize newly available data to
+        // fine-tune the previously learned model".
+        self.model.train(train, val);
+    }
+
+    fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
+        self.model.predict_ite(x)
+    }
+}
+
+/// CFR-C: keep every domain's raw data, retrain from scratch on the pool.
+pub struct CfrC {
+    cfg: CerlConfig,
+    seed: u64,
+    d_in: usize,
+    pooled_train: Option<CausalDataset>,
+    pooled_val: Option<CausalDataset>,
+    model: Option<CfrModel>,
+    retrain_count: usize,
+}
+
+impl CfrC {
+    /// Create for `d_in`-dimensional covariates.
+    pub fn new(d_in: usize, cfg: CerlConfig, seed: u64) -> Self {
+        Self { cfg, seed, d_in, pooled_train: None, pooled_val: None, model: None, retrain_count: 0 }
+    }
+
+    /// Total units of raw data this strategy is holding on to (the
+    /// resource cost the paper's "Memory" column highlights).
+    pub fn stored_units(&self) -> usize {
+        self.pooled_train.as_ref().map_or(0, CausalDataset::n)
+            + self.pooled_val.as_ref().map_or(0, CausalDataset::n)
+    }
+}
+
+impl ContinualEstimator for CfrC {
+    fn name(&self) -> String {
+        "CFR-C".into()
+    }
+
+    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset) {
+        self.pooled_train = Some(match self.pooled_train.take() {
+            Some(p) => p.concat(train),
+            None => train.clone(),
+        });
+        self.pooled_val = Some(match self.pooled_val.take() {
+            Some(p) => p.concat(val),
+            None => val.clone(),
+        });
+        // Retrain from scratch (fresh initialization) on everything.
+        let mut model = CfrModel::new(
+            self.d_in,
+            self.cfg.clone(),
+            cerl_rand::seeds::derive(self.seed, self.retrain_count as u64),
+        );
+        model.train(
+            self.pooled_train.as_ref().expect("set above"),
+            self.pooled_val.as_ref().expect("set above"),
+        );
+        self.model = Some(model);
+        self.retrain_count += 1;
+    }
+
+    fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
+        self.model
+            .as_ref()
+            .expect("CFR-C: observe at least one domain first")
+            .predict_ite(x)
+    }
+}
+
+impl ContinualEstimator for Cerl {
+    fn name(&self) -> String {
+        "CERL".into()
+    }
+
+    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset) {
+        let _ = Cerl::observe(self, train, val);
+    }
+
+    fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
+        Cerl::predict_ite(self, x)
+    }
+}
+
+/// Construct every estimator of the paper's Table I/II comparison.
+pub fn paper_lineup(d_in: usize, cfg: &CerlConfig, seed: u64) -> Vec<Box<dyn ContinualEstimator>> {
+    vec![
+        Box::new(CfrA::new(d_in, cfg.clone(), seed)),
+        Box::new(CfrB::new(d_in, cfg.clone(), seed)),
+        Box::new(CfrC::new(d_in, cfg.clone(), seed)),
+        Box::new(Cerl::new(d_in, cfg.clone(), seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerl_data::{DomainStream, SyntheticConfig, SyntheticGenerator};
+
+    fn quick_stream() -> DomainStream {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig { n_units: 400, ..SyntheticConfig::small() },
+            55,
+        );
+        DomainStream::synthetic(&gen, 2, 0, 66)
+    }
+
+    fn quick_cfg() -> CerlConfig {
+        let mut cfg = CerlConfig::quick_test();
+        cfg.train.epochs = 10;
+        cfg
+    }
+
+    #[test]
+    fn lineup_names() {
+        let lineup = paper_lineup(5, &quick_cfg(), 1);
+        let names: Vec<String> = lineup.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["CFR-A", "CFR-B", "CFR-C", "CERL"]);
+    }
+
+    #[test]
+    fn cfr_a_ignores_later_domains() {
+        let stream = quick_stream();
+        let d_in = stream.domain(0).train.dim();
+        let mut a = CfrA::new(d_in, quick_cfg(), 2);
+        a.observe(&stream.domain(0).train, &stream.domain(0).val);
+        let before = a.predict_ite(&stream.domain(0).test.x);
+        a.observe(&stream.domain(1).train, &stream.domain(1).val);
+        let after = a.predict_ite(&stream.domain(0).test.x);
+        assert_eq!(before, after, "CFR-A must not change after the first domain");
+    }
+
+    #[test]
+    fn cfr_b_changes_with_new_domains() {
+        let stream = quick_stream();
+        let d_in = stream.domain(0).train.dim();
+        let mut b = CfrB::new(d_in, quick_cfg(), 3);
+        b.observe(&stream.domain(0).train, &stream.domain(0).val);
+        let before = b.predict_ite(&stream.domain(0).test.x);
+        b.observe(&stream.domain(1).train, &stream.domain(1).val);
+        let after = b.predict_ite(&stream.domain(0).test.x);
+        assert_ne!(before, after, "CFR-B must adapt to new data");
+    }
+
+    #[test]
+    fn cfr_c_accumulates_raw_data() {
+        let stream = quick_stream();
+        let d_in = stream.domain(0).train.dim();
+        let mut c = CfrC::new(d_in, quick_cfg(), 4);
+        c.observe(&stream.domain(0).train, &stream.domain(0).val);
+        let first = c.stored_units();
+        c.observe(&stream.domain(1).train, &stream.domain(1).val);
+        assert_eq!(c.stored_units(), 2 * first);
+    }
+
+    #[test]
+    fn all_strategies_produce_finite_metrics() {
+        let stream = quick_stream();
+        let d_in = stream.domain(0).train.dim();
+        for mut est in paper_lineup(d_in, &quick_cfg(), 5) {
+            for d in 0..2 {
+                est.observe(&stream.domain(d).train, &stream.domain(d).val);
+            }
+            for d in 0..2 {
+                let m = est.evaluate(&stream.domain(d).test);
+                assert!(
+                    m.sqrt_pehe.is_finite() && m.ate_error.is_finite(),
+                    "{} domain {d}: {m:?}",
+                    est.name()
+                );
+            }
+        }
+    }
+}

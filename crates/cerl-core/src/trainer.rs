@@ -1,0 +1,129 @@
+//! Shared training-loop machinery: mini-batching, early stopping, and the
+//! report type returned by every training stage.
+
+use cerl_math::Matrix;
+use cerl_nn::{ParamId, ParamStore};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one training stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Epochs actually run (≤ configured epochs under early stopping).
+    pub epochs_run: usize,
+    /// Best validation loss seen (scaled-outcome factual MSE).
+    pub best_val_loss: f64,
+    /// Training loss at the final epoch.
+    pub final_train_loss: f64,
+}
+
+/// Shuffled mini-batch index lists covering `0..n`.
+///
+/// The tail batch is kept if it has at least 2 units (a 1-unit batch makes
+/// MSE/IPM terms degenerate), otherwise merged into the previous batch.
+pub fn minibatches<R: Rng + ?Sized>(n: usize, batch_size: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    assert!(batch_size >= 2, "minibatches: batch size must be ≥ 2");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut out: Vec<Vec<usize>> = idx.chunks(batch_size).map(<[usize]>::to_vec).collect();
+    if out.len() >= 2 && out.last().map(Vec::len).unwrap_or(0) < 2 {
+        let tail = out.pop().expect("non-empty");
+        out.last_mut().expect("non-empty").extend(tail);
+    }
+    out
+}
+
+/// Early stopper that snapshots the best parameters.
+pub struct EarlyStopper {
+    patience: usize,
+    best_loss: f64,
+    wait: usize,
+    param_ids: Vec<ParamId>,
+    best_params: Option<Vec<Matrix>>,
+}
+
+impl EarlyStopper {
+    /// Track the given parameters; `patience == 0` disables stopping (but
+    /// best-snapshot restoration still applies).
+    pub fn new(param_ids: Vec<ParamId>, patience: usize) -> Self {
+        Self { patience, best_loss: f64::INFINITY, wait: 0, param_ids, best_params: None }
+    }
+
+    /// Report a validation loss; returns `true` when training should stop.
+    pub fn update(&mut self, store: &ParamStore, val_loss: f64) -> bool {
+        if val_loss < self.best_loss {
+            self.best_loss = val_loss;
+            self.wait = 0;
+            self.best_params = Some(store.snapshot(&self.param_ids));
+            false
+        } else {
+            self.wait += 1;
+            self.patience > 0 && self.wait >= self.patience
+        }
+    }
+
+    /// Best validation loss so far.
+    pub fn best_loss(&self) -> f64 {
+        self.best_loss
+    }
+
+    /// Restore the best snapshot into the store (no-op if none recorded).
+    pub fn restore_best(&self, store: &mut ParamStore) {
+        if let Some(best) = &self.best_params {
+            store.restore(&self.param_ids, best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn minibatches_cover_all_indices() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let batches = minibatches(103, 20, &mut rng);
+        let mut all: Vec<usize> = batches.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        // 103 = 5×20 + 3 → tail of 3 stays.
+        assert_eq!(batches.len(), 6);
+    }
+
+    #[test]
+    fn tiny_tail_merges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let batches = minibatches(41, 20, &mut rng);
+        // tail of 1 merges into previous batch.
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[1].len(), 21);
+    }
+
+    #[test]
+    fn early_stopper_restores_best() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::filled(1, 1, 1.0));
+        let mut es = EarlyStopper::new(vec![w], 2);
+
+        assert!(!es.update(&store, 1.0)); // best
+        store.value_mut(w)[(0, 0)] = 2.0;
+        assert!(!es.update(&store, 1.5)); // worse ×1
+        store.value_mut(w)[(0, 0)] = 3.0;
+        assert!(es.update(&store, 1.6)); // worse ×2 → stop
+        es.restore_best(&mut store);
+        assert_eq!(store.value(w)[(0, 0)], 1.0);
+        assert_eq!(es.best_loss(), 1.0);
+    }
+
+    #[test]
+    fn zero_patience_never_stops() {
+        let store = ParamStore::new();
+        let mut es = EarlyStopper::new(vec![], 0);
+        for i in 0..100 {
+            assert!(!es.update(&store, 1.0 + i as f64));
+        }
+    }
+}

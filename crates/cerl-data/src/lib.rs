@@ -1,0 +1,30 @@
+//! # cerl-data
+//!
+//! Datasets and generators for the CERL benchmarks:
+//!
+//! * [`dataset`] — [`CausalDataset`] (covariates, treatment, factual
+//!   outcome, true potential outcomes), splits, standardizers.
+//! * [`synthetic`] — §IV.C generator: 100 covariates in four causal roles,
+//!   hub-Toeplitz correlation per domain, probit treatment selection,
+//!   partially linear outcomes (Eq. 10).
+//! * [`topics`] — LDA-style generative simulator standing in for the
+//!   NY Times / BlogCatalog corpora (see DESIGN.md substitution table).
+//! * [`semisynthetic`] — News and BlogCatalog benchmark builders.
+//! * [`shift`] — substantial / moderate / no domain-shift scenarios.
+//! * [`stream`] — incrementally available domain sequences (Fig. 4).
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod semisynthetic;
+pub mod shift;
+pub mod stream;
+pub mod synthetic;
+pub mod topics;
+
+pub use dataset::{CausalDataset, OutcomeScaler, Standardizer, TrainValTest};
+pub use semisynthetic::{SemiSyntheticConfig, SemiSyntheticGenerator};
+pub use shift::DomainShift;
+pub use stream::DomainStream;
+pub use synthetic::{SyntheticConfig, SyntheticGenerator, VariableRoles};
+pub use topics::{Document, TopicModel, TopicModelConfig};

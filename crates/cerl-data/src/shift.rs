@@ -1,0 +1,108 @@
+//! Domain-shift scenarios for sequential semi-synthetic datasets
+//! (paper §IV.A).
+//!
+//! With 50 LDA topics the paper builds two sequential datasets from:
+//! * **substantial shift** — topics 1–25 vs 26–50 (no overlap),
+//! * **moderate shift** — topics 1–35 vs 16–50 (40% overlap),
+//! * **no shift** — both datasets drawn from all 50 topics.
+
+use serde::{Deserialize, Serialize};
+
+/// Degree of distribution shift between two sequential datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainShift {
+    /// Disjoint topic supports (paper: topics 1–25 vs 26–50).
+    Substantial,
+    /// Overlapping topic supports (paper: topics 1–35 vs 16–50).
+    Moderate,
+    /// Identical distributions (all topics for both datasets).
+    None,
+}
+
+impl DomainShift {
+    /// Topic index subsets `(first dataset, second dataset)` for a model
+    /// with `n_topics` topics, generalizing the paper's 50-topic splits.
+    ///
+    /// # Panics
+    /// If `n_topics < 2`.
+    pub fn topic_subsets(&self, n_topics: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(n_topics >= 2, "topic_subsets: need at least 2 topics");
+        match self {
+            DomainShift::Substantial => {
+                let half = n_topics / 2;
+                ((0..half).collect(), (half..n_topics).collect())
+            }
+            DomainShift::Moderate => {
+                // Paper: 1–35 and 16–50 of 50 → first 70%, last 70%.
+                let hi = (n_topics as f64 * 0.7).round() as usize;
+                let lo = n_topics - hi;
+                ((0..hi).collect(), (lo..n_topics).collect())
+            }
+            DomainShift::None => {
+                let all: Vec<usize> = (0..n_topics).collect();
+                (all.clone(), all)
+            }
+        }
+    }
+
+    /// Human-readable label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DomainShift::Substantial => "substantial",
+            DomainShift::Moderate => "moderate",
+            DomainShift::None => "none",
+        }
+    }
+
+    /// All three scenarios in the paper's table order.
+    pub fn all() -> [DomainShift; 3] {
+        [DomainShift::Substantial, DomainShift::Moderate, DomainShift::None]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_splits_at_50_topics() {
+        let (a, b) = DomainShift::Substantial.topic_subsets(50);
+        assert_eq!(a, (0..25).collect::<Vec<_>>());
+        assert_eq!(b, (25..50).collect::<Vec<_>>());
+
+        let (a, b) = DomainShift::Moderate.topic_subsets(50);
+        assert_eq!(a, (0..35).collect::<Vec<_>>());
+        assert_eq!(b, (15..50).collect::<Vec<_>>());
+
+        let (a, b) = DomainShift::None.topic_subsets(50);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn substantial_is_disjoint() {
+        for k in [4usize, 10, 33, 50] {
+            let (a, b) = DomainShift::Substantial.topic_subsets(k);
+            assert!(a.iter().all(|x| !b.contains(x)), "overlap at k={k}");
+            assert!(!a.is_empty() && !b.is_empty());
+        }
+    }
+
+    #[test]
+    fn moderate_overlaps_partially() {
+        for k in [10usize, 20, 50] {
+            let (a, b) = DomainShift::Moderate.topic_subsets(k);
+            let overlap = a.iter().filter(|x| b.contains(x)).count();
+            assert!(overlap > 0, "no overlap at k={k}");
+            assert!(overlap < a.len(), "complete overlap at k={k}");
+        }
+    }
+
+    #[test]
+    fn labels_and_all() {
+        assert_eq!(DomainShift::all().len(), 3);
+        assert_eq!(DomainShift::Substantial.label(), "substantial");
+        assert_eq!(DomainShift::Moderate.label(), "moderate");
+        assert_eq!(DomainShift::None.label(), "none");
+    }
+}

@@ -1,0 +1,276 @@
+//! LDA-style generative topic-model simulator.
+//!
+//! The paper's News/BlogCatalog benchmarks consume an LDA topic model
+//! fitted on a real corpus: each unit is a bag-of-words vector `x` with
+//! topic distribution `z(x)`. The real corpora are not available offline,
+//! so we *generate* from the same family instead: topic–word distributions
+//! `φ_k ~ Dirichlet(β)` over the vocabulary, per-document topic mixtures
+//! `z ~ Dirichlet(α)` (optionally restricted to a topic subset to create
+//! domain shift), and word counts from the resulting mixture. The document's
+//! true mixture plays the role of the fitted posterior `z(x)` — it is the
+//! only quantity the downstream outcome/treatment mechanism uses.
+
+use cerl_math::Matrix;
+use cerl_rand::{Categorical, Dirichlet};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the topic model simulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopicModelConfig {
+    /// Number of topics (paper: 50).
+    pub n_topics: usize,
+    /// Vocabulary size (News: 3477; BlogCatalog: 2160).
+    pub vocab_size: usize,
+    /// Dirichlet concentration for topic–word distributions (small → each
+    /// topic concentrates on few words).
+    pub word_alpha: f64,
+    /// Dirichlet concentration for document–topic mixtures (small →
+    /// documents concentrate on few topics).
+    pub doc_alpha: f64,
+    /// Inclusive range of document lengths (word tokens per document).
+    pub doc_length: (usize, usize),
+    /// Probability that a token is drawn from a shared background word
+    /// distribution instead of its topic (models the Zipfian common
+    /// vocabulary of real corpora; without it, low `word_alpha` makes
+    /// topics lexically disjoint, which real NY Times / BlogCatalog text
+    /// is not).
+    pub background_mix: f64,
+}
+
+impl TopicModelConfig {
+    /// Small configuration for tests.
+    pub fn small() -> Self {
+        Self {
+            n_topics: 8,
+            vocab_size: 60,
+            word_alpha: 0.1,
+            doc_alpha: 0.3,
+            doc_length: (20, 40),
+            background_mix: 0.3,
+        }
+    }
+}
+
+/// A sampled topic model: `n_topics` word distributions over the vocabulary.
+#[derive(Debug, Clone)]
+pub struct TopicModel {
+    topic_word: Matrix,
+    samplers: Vec<Categorical>,
+    background: Categorical,
+    cfg: TopicModelConfig,
+}
+
+/// One generated document.
+#[derive(Debug, Clone)]
+pub struct Document {
+    /// Bag-of-words counts (length = vocabulary size).
+    pub counts: Vec<f64>,
+    /// True topic mixture over all topics (length = n_topics; zeros outside
+    /// the allowed subset).
+    pub z: Vec<f64>,
+    /// Index of the largest-mass topic.
+    pub dominant_topic: usize,
+}
+
+impl TopicModel {
+    /// Sample a topic model from the configuration.
+    pub fn generate<R: Rng + ?Sized>(cfg: TopicModelConfig, rng: &mut R) -> Self {
+        assert!(cfg.n_topics >= 2, "TopicModel: need at least 2 topics");
+        assert!(cfg.vocab_size >= 2, "TopicModel: need at least 2 words");
+        assert!(cfg.doc_length.0 >= 1 && cfg.doc_length.0 <= cfg.doc_length.1,
+            "TopicModel: invalid doc_length range");
+        assert!((0.0..1.0).contains(&cfg.background_mix), "TopicModel: background_mix in [0,1)");
+        let word_prior = Dirichlet::symmetric(cfg.vocab_size, cfg.word_alpha);
+        let mut topic_word = Matrix::zeros(cfg.n_topics, cfg.vocab_size);
+        let mut samplers = Vec::with_capacity(cfg.n_topics);
+        for k in 0..cfg.n_topics {
+            let dist = word_prior.sample(rng);
+            topic_word.row_mut(k).copy_from_slice(&dist);
+            samplers.push(Categorical::new(&dist));
+        }
+        // Smoother concentration for the background: common words are
+        // spread over much of the vocabulary.
+        let background_dist =
+            Dirichlet::symmetric(cfg.vocab_size, (cfg.word_alpha * 10.0).max(0.5)).sample(rng);
+        let background = Categorical::new(&background_dist);
+        Self { topic_word, samplers, background, cfg }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &TopicModelConfig {
+        &self.cfg
+    }
+
+    /// Topic–word probability matrix (`n_topics × vocab_size`).
+    pub fn topic_word(&self) -> &Matrix {
+        &self.topic_word
+    }
+
+    /// Generate one document whose topic mixture is supported on
+    /// `allowed_topics` (paper's domain-shift construction: datasets are
+    /// built from disjoint/overlapping topic ranges).
+    ///
+    /// # Panics
+    /// If `allowed_topics` is empty or contains an out-of-range index.
+    pub fn document<R: Rng + ?Sized>(&self, allowed_topics: &[usize], rng: &mut R) -> Document {
+        assert!(!allowed_topics.is_empty(), "document: empty topic subset");
+        assert!(
+            allowed_topics.iter().all(|&k| k < self.cfg.n_topics),
+            "document: topic index out of range"
+        );
+        // Mixture over the allowed subset, embedded into the full simplex.
+        let mut z = vec![0.0; self.cfg.n_topics];
+        if allowed_topics.len() == 1 {
+            z[allowed_topics[0]] = 1.0;
+        } else {
+            let mix = Dirichlet::symmetric(allowed_topics.len(), self.cfg.doc_alpha).sample(rng);
+            for (&k, &w) in allowed_topics.iter().zip(&mix) {
+                z[k] = w;
+            }
+        }
+        let topic_sampler = Categorical::new(
+            &allowed_topics.iter().map(|&k| z[k]).collect::<Vec<_>>(),
+        );
+
+        let (lo, hi) = self.cfg.doc_length;
+        let len = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        let mut counts = vec![0.0; self.cfg.vocab_size];
+        for _ in 0..len {
+            let word = if self.cfg.background_mix > 0.0
+                && rng.gen::<f64>() < self.cfg.background_mix
+            {
+                self.background.sample(rng)
+            } else {
+                let local = topic_sampler.sample(rng);
+                let topic = allowed_topics[local];
+                self.samplers[topic].sample(rng)
+            };
+            counts[word] += 1.0;
+        }
+
+        let dominant_topic = z
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in mixture"))
+            .map(|(k, _)| k)
+            .unwrap_or(0);
+        Document { counts, z, dominant_topic }
+    }
+
+    /// Mean topic mixture over `n` pilot documents drawn from the full
+    /// topic set — the paper's centroid `z^c_0` ("average topic
+    /// representation of all documents").
+    pub fn mean_mixture<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        let all: Vec<usize> = (0..self.cfg.n_topics).collect();
+        let mut acc = vec![0.0; self.cfg.n_topics];
+        for _ in 0..n.max(1) {
+            let doc = self.document(&all, rng);
+            for (a, &v) in acc.iter_mut().zip(&doc.z) {
+                *a += v;
+            }
+        }
+        let scale = 1.0 / n.max(1) as f64;
+        acc.iter_mut().for_each(|v| *v *= scale);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn topic_rows_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tm = TopicModel::generate(TopicModelConfig::small(), &mut rng);
+        for k in 0..tm.config().n_topics {
+            let s: f64 = tm.topic_word().row(k).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "topic {k} sums to {s}");
+            assert!(tm.topic_word().row(k).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn document_counts_and_mixture() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let tm = TopicModel::generate(TopicModelConfig::small(), &mut rng);
+        let all: Vec<usize> = (0..8).collect();
+        let doc = tm.document(&all, &mut rng);
+        let total: f64 = doc.counts.iter().sum();
+        assert!((20.0..=40.0).contains(&total), "doc length {total}");
+        assert!((doc.z.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(doc.dominant_topic < 8);
+        assert!(doc.z[doc.dominant_topic] >= doc.z.iter().cloned().fold(0.0, f64::max) - 1e-15);
+    }
+
+    #[test]
+    fn restricted_support() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tm = TopicModel::generate(TopicModelConfig::small(), &mut rng);
+        let subset = [2usize, 5];
+        for _ in 0..20 {
+            let doc = tm.document(&subset, &mut rng);
+            for (k, &w) in doc.z.iter().enumerate() {
+                if !subset.contains(&k) {
+                    assert_eq!(w, 0.0, "mass outside subset at topic {k}");
+                }
+            }
+            assert!(subset.contains(&doc.dominant_topic));
+        }
+    }
+
+    #[test]
+    fn single_topic_document() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let tm = TopicModel::generate(TopicModelConfig::small(), &mut rng);
+        let doc = tm.document(&[3], &mut rng);
+        assert_eq!(doc.z[3], 1.0);
+        assert_eq!(doc.dominant_topic, 3);
+    }
+
+    #[test]
+    fn restricted_docs_use_restricted_vocabulary() {
+        // Words sampled only from the allowed topics' distributions: the
+        // expected word histogram should correlate with those topics.
+        let mut rng = StdRng::seed_from_u64(5);
+        let tm = TopicModel::generate(TopicModelConfig::small(), &mut rng);
+        let mut agg = vec![0.0; tm.config().vocab_size];
+        for _ in 0..200 {
+            let doc = tm.document(&[0], &mut rng);
+            for (a, &c) in agg.iter_mut().zip(&doc.counts) {
+                *a += c;
+            }
+        }
+        let total: f64 = agg.iter().sum();
+        // Empirical word frequency should be close to φ_0.
+        let phi0 = tm.topic_word().row(0);
+        let mut l1 = 0.0;
+        for (a, &p) in agg.iter().zip(phi0) {
+            l1 += (a / total - p).abs();
+        }
+        // background_mix=0.3 injects up to ~0.6 L1 of background mass.
+        assert!(l1 < 0.75, "empirical/φ₀ L1 distance {l1}");
+    }
+
+    #[test]
+    fn mean_mixture_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let tm = TopicModel::generate(TopicModelConfig::small(), &mut rng);
+        let m = tm.mean_mixture(2000, &mut rng);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for &v in &m {
+            assert!((v - 0.125).abs() < 0.05, "mean mixture component {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty topic subset")]
+    fn empty_subset_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let tm = TopicModel::generate(TopicModelConfig::small(), &mut rng);
+        let _ = tm.document(&[], &mut rng);
+    }
+}

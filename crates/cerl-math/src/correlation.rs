@@ -1,0 +1,346 @@
+//! Correlation-matrix construction following Hardin, Garcia & Golan (2013),
+//! as used by the paper's synthetic-data generator (§IV.C).
+//!
+//! Each variable *type* (confounders, instruments, adjustment, irrelevant)
+//! gets a **hub** block: the first variable is the hub and the correlation
+//! between the hub and the `i`-th variable decays from `ρ_max` to `ρ_min`
+//! per Eq. (12) of the paper:
+//!
+//! ```text
+//! R[i,1] = ρ_max − ((i − 2)/(d − 2))^γ (ρ_max − ρ_min),   i = 2, …, d
+//! ```
+//!
+//! The remainder of the block is filled with a Toeplitz structure
+//! (`R[i,j]` depends only on `|i − j|`). Blocks are assembled
+//! block-diagonally, and bounded cross-block noise can be added while
+//! preserving positive definiteness, the budget being governed by the
+//! smallest eigenvalue of the block-diagonal matrix (Hardin et al.,
+//! Algorithm 3).
+
+use crate::decomp::{cholesky_with_jitter, is_positive_definite, smallest_eigenvalue, symmetric_eigen};
+use crate::error::MathError;
+use crate::matrix::Matrix;
+
+/// First column of a hub correlation block (Eq. 12 of the paper).
+///
+/// Element 0 is the hub itself (correlation 1). For `d = 2` the single
+/// off-hub correlation is `ρ_max`.
+///
+/// # Panics
+/// If `ρ_max < ρ_min`, correlations are outside `[0, 1)`, or `γ ≤ 0`.
+pub fn hub_first_column(d: usize, rho_max: f64, rho_min: f64, gamma: f64) -> Vec<f64> {
+    assert!(rho_max >= rho_min, "hub_first_column: rho_max < rho_min");
+    assert!((0.0..1.0).contains(&rho_min) && (0.0..1.0).contains(&rho_max), "hub correlations must lie in [0,1)");
+    assert!(gamma > 0.0, "hub_first_column: gamma must be positive");
+    let mut col = Vec::with_capacity(d);
+    if d == 0 {
+        return col;
+    }
+    col.push(1.0);
+    for i in 2..=d {
+        let frac = if d <= 2 { 0.0 } else { (i as f64 - 2.0) / (d as f64 - 2.0) };
+        col.push(rho_max - frac.powf(gamma) * (rho_max - rho_min));
+    }
+    col
+}
+
+/// Hub-Toeplitz correlation block: Toeplitz fill of the hub first column,
+/// i.e. `R[i,j] = col[|i − j|]`.
+pub fn hub_toeplitz(d: usize, rho_max: f64, rho_min: f64, gamma: f64) -> Matrix {
+    let col = hub_first_column(d, rho_max, rho_min, gamma);
+    toeplitz(&col)
+}
+
+/// Symmetric Toeplitz matrix from its first column.
+pub fn toeplitz(col: &[f64]) -> Matrix {
+    let d = col.len();
+    Matrix::from_fn(d, d, |i, j| col[i.abs_diff(j)])
+}
+
+/// Assemble square blocks into a block-diagonal matrix (zeros elsewhere).
+pub fn block_diagonal(blocks: &[Matrix]) -> Matrix {
+    let n: usize = blocks.iter().map(|b| b.rows()).sum();
+    let mut out = Matrix::zeros(n, n);
+    let mut off = 0;
+    for b in blocks {
+        assert_eq!(b.rows(), b.cols(), "block_diagonal: blocks must be square");
+        for i in 0..b.rows() {
+            for j in 0..b.cols() {
+                out[(off + i, off + j)] = b[(i, j)];
+            }
+        }
+        off += b.rows();
+    }
+    out
+}
+
+/// Add cross-block noise to a block-diagonal correlation matrix while
+/// keeping it positive definite (Hardin et al., Algorithm 3 style).
+///
+/// `noise` must be symmetric with zeros inside the diagonal blocks; its
+/// entries are what the caller wants as cross-type correlations before
+/// scaling. The applied scale is
+/// `min(1, safety · λ_min(R) / ρ(noise))` where `ρ` is the spectral radius,
+/// guaranteeing `R + s·noise` stays PD. Returns the perturbed matrix and
+/// the scale actually applied.
+pub fn perturb_preserving_pd(
+    r: &Matrix,
+    noise: &Matrix,
+    safety: f64,
+) -> Result<(Matrix, f64), MathError> {
+    assert_eq!(r.shape(), noise.shape(), "perturb_preserving_pd: shape mismatch");
+    assert!((0.0..1.0).contains(&safety) || safety == 1.0, "safety must be in (0,1]");
+    let lam_min = smallest_eigenvalue(r)?;
+    if lam_min <= 0.0 {
+        return Err(MathError::NotPositiveDefinite { pivot: 0, value: lam_min });
+    }
+    let eig = symmetric_eigen(noise)?;
+    let spectral = eig
+        .values
+        .iter()
+        .fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let scale = if spectral == 0.0 { 0.0 } else { (safety * lam_min / spectral).min(1.0) };
+    let mut out = r.clone();
+    out.axpy(scale, noise);
+    // Re-impose exact unit diagonal (noise should not touch it, but guard).
+    for i in 0..out.rows() {
+        out[(i, i)] = 1.0;
+    }
+    Ok((out, scale))
+}
+
+/// Project a symmetric matrix to the nearest correlation matrix by
+/// eigenvalue clipping: negative eigenvalues are raised to `floor`, the
+/// matrix is reconstructed, and rescaled to unit diagonal.
+pub fn nearest_correlation_clip(a: &Matrix, floor: f64) -> Result<Matrix, MathError> {
+    let eig = symmetric_eigen(a)?;
+    let n = a.rows();
+    let lam = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            eig.values[i].max(floor)
+        } else {
+            0.0
+        }
+    });
+    let rec = crate::matmul::matmul(
+        &crate::matmul::matmul(&eig.vectors, &lam),
+        &eig.vectors.transpose(),
+    );
+    // Rescale to unit diagonal: R = D^{-1/2} rec D^{-1/2}.
+    let mut out = rec.clone();
+    let d: Vec<f64> = (0..n).map(|i| rec[(i, i)].sqrt()).collect();
+    for i in 0..n {
+        for j in 0..n {
+            out[(i, j)] = rec[(i, j)] / (d[i] * d[j]);
+        }
+    }
+    Ok(out)
+}
+
+/// Correlation matrix from a covariance matrix: `R = D⁻¹ Σ D⁻¹` with
+/// `D = sqrt(diag(Σ))` (Eq. 11 of the paper).
+pub fn correlation_from_covariance(sigma: &Matrix) -> Result<Matrix, MathError> {
+    let n = sigma.rows();
+    if sigma.cols() != n {
+        return Err(MathError::NotSquare { rows: sigma.rows(), cols: sigma.cols() });
+    }
+    let mut d = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = sigma[(i, i)];
+        if v <= 0.0 {
+            return Err(MathError::NotPositiveDefinite { pivot: i, value: v });
+        }
+        d.push(v.sqrt());
+    }
+    Ok(Matrix::from_fn(n, n, |i, j| sigma[(i, j)] / (d[i] * d[j])))
+}
+
+/// Covariance matrix from a correlation matrix and per-variable standard
+/// deviations: `Σ = D R D`.
+pub fn covariance_from_correlation(r: &Matrix, sds: &[f64]) -> Result<Matrix, MathError> {
+    let n = r.rows();
+    if r.cols() != n {
+        return Err(MathError::NotSquare { rows: r.rows(), cols: r.cols() });
+    }
+    if sds.len() != n {
+        return Err(MathError::DimensionMismatch {
+            expected: n,
+            actual: sds.len(),
+            context: "covariance_from_correlation sds",
+        });
+    }
+    Ok(Matrix::from_fn(n, n, |i, j| r[(i, j)] * sds[i] * sds[j]))
+}
+
+/// Validate that a matrix is a correlation matrix: symmetric, unit diagonal,
+/// entries in `[-1, 1]`, and positive definite (optionally after a jitter
+/// rescue, in which case the jittered matrix is returned).
+pub fn validate_correlation(r: &Matrix) -> Result<Matrix, MathError> {
+    let n = r.rows();
+    if r.cols() != n {
+        return Err(MathError::NotSquare { rows: r.rows(), cols: r.cols() });
+    }
+    for i in 0..n {
+        if (r[(i, i)] - 1.0).abs() > 1e-9 {
+            return Err(MathError::NotPositiveDefinite { pivot: i, value: r[(i, i)] });
+        }
+        for j in 0..n {
+            let v = r[(i, j)];
+            if !(-1.0 - 1e-12..=1.0 + 1e-12).contains(&v) || (v - r[(j, i)]).abs() > 1e-9 {
+                return Err(MathError::NotPositiveDefinite { pivot: i, value: v });
+            }
+        }
+    }
+    if is_positive_definite(r) {
+        Ok(r.clone())
+    } else {
+        let (_, jitter) = cholesky_with_jitter(r, 1e-10, 12)?;
+        let mut out = r.clone();
+        for i in 0..n {
+            out[(i, i)] += jitter;
+        }
+        nearest_correlation_clip(&out, 1e-10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_column_endpoints() {
+        let col = hub_first_column(10, 0.8, 0.2, 1.0);
+        assert_eq!(col.len(), 10);
+        assert_eq!(col[0], 1.0);
+        assert!((col[1] - 0.8).abs() < 1e-12, "first off-hub correlation is rho_max");
+        assert!((col[9] - 0.2).abs() < 1e-12, "last off-hub correlation is rho_min");
+        // Monotone decreasing between.
+        for w in col[1..].windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn hub_column_gamma_curvature() {
+        // γ > 1 decays slower initially than γ = 1; γ < 1 decays faster.
+        let lin = hub_first_column(12, 0.9, 0.1, 1.0);
+        let slow = hub_first_column(12, 0.9, 0.1, 2.0);
+        let fast = hub_first_column(12, 0.9, 0.1, 0.5);
+        for i in 2..11 {
+            assert!(slow[i] >= lin[i] - 1e-12, "i={i}");
+            assert!(fast[i] <= lin[i] + 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn hub_column_small_d() {
+        assert_eq!(hub_first_column(0, 0.7, 0.3, 1.0), Vec::<f64>::new());
+        assert_eq!(hub_first_column(1, 0.7, 0.3, 1.0), vec![1.0]);
+        let c2 = hub_first_column(2, 0.7, 0.3, 1.0);
+        assert_eq!(c2, vec![1.0, 0.7]);
+    }
+
+    #[test]
+    fn toeplitz_structure() {
+        let m = toeplitz(&[1.0, 0.5, 0.25]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 0.5);
+        assert_eq!(m[(1, 0)], 0.5);
+        assert_eq!(m[(0, 2)], 0.25);
+        assert_eq!(m[(2, 0)], 0.25);
+        assert_eq!(m[(1, 2)], 0.5);
+    }
+
+    #[test]
+    fn hub_toeplitz_is_pd_for_reasonable_params() {
+        for &(d, rmax, rmin) in &[(5usize, 0.7, 0.3), (20, 0.6, 0.1), (35, 0.5, 0.1)] {
+            let m = hub_toeplitz(d, rmax, rmin, 1.0);
+            assert!(is_positive_definite(&m), "d={d} rmax={rmax} rmin={rmin}");
+        }
+    }
+
+    #[test]
+    fn block_diagonal_assembly() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(1, 1, 1.0);
+        let m = block_diagonal(&[a, b]);
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(2, 2)], 1.0);
+        assert_eq!(m[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn perturbation_preserves_pd() {
+        let blocks = vec![
+            hub_toeplitz(4, 0.7, 0.2, 1.0),
+            hub_toeplitz(3, 0.6, 0.3, 1.5),
+        ];
+        let r = block_diagonal(&blocks);
+        // Symmetric cross-block noise with zeros on the diagonal blocks.
+        let mut noise = Matrix::zeros(7, 7);
+        for i in 0..4 {
+            for j in 4..7 {
+                let v = 0.3 * ((i + j) as f64 * 0.37).sin();
+                noise[(i, j)] = v;
+                noise[(j, i)] = v;
+            }
+        }
+        let (perturbed, scale) = perturb_preserving_pd(&r, &noise, 0.9).unwrap();
+        assert!(scale > 0.0);
+        assert!(is_positive_definite(&perturbed));
+        // Cross-block entries became nonzero; diagonal stays 1.
+        assert!(perturbed[(0, 5)].abs() > 0.0);
+        for i in 0..7 {
+            assert!((perturbed[(i, i)] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn perturbation_with_zero_noise_is_identity() {
+        let r = hub_toeplitz(5, 0.5, 0.2, 1.0);
+        let noise = Matrix::zeros(5, 5);
+        let (p, scale) = perturb_preserving_pd(&r, &noise, 0.9).unwrap();
+        assert_eq!(scale, 0.0);
+        assert!(p.approx_eq(&r, 1e-12));
+    }
+
+    #[test]
+    fn nearest_correlation_repairs_indefinite() {
+        // Start from an indefinite "correlation-like" matrix.
+        let bad = Matrix::from_rows(&[
+            vec![1.0, 0.9, -0.9],
+            vec![0.9, 1.0, 0.9],
+            vec![-0.9, 0.9, 1.0],
+        ]);
+        assert!(!is_positive_definite(&bad));
+        let fixed = nearest_correlation_clip(&bad, 1e-8).unwrap();
+        assert!(is_positive_definite(&fixed));
+        for i in 0..3 {
+            assert!((fixed[(i, i)] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn covariance_correlation_roundtrip() {
+        let r = hub_toeplitz(4, 0.6, 0.2, 1.0);
+        let sds = [1.0, 2.0, 0.5, 3.0];
+        let sigma = covariance_from_correlation(&r, &sds).unwrap();
+        assert!((sigma[(1, 1)] - 4.0).abs() < 1e-12);
+        let r2 = correlation_from_covariance(&sigma).unwrap();
+        assert!(r2.approx_eq(&r, 1e-12));
+    }
+
+    #[test]
+    fn validate_accepts_good_rejects_bad() {
+        let good = hub_toeplitz(6, 0.5, 0.1, 1.0);
+        assert!(validate_correlation(&good).is_ok());
+
+        let mut bad_diag = good.clone();
+        bad_diag[(0, 0)] = 0.9;
+        assert!(validate_correlation(&bad_diag).is_err());
+
+        let bad_range = Matrix::from_rows(&[vec![1.0, 1.5], vec![1.5, 1.0]]);
+        assert!(validate_correlation(&bad_range).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used by the multivariate-normal sampler (`cerl-rand::mvn`) and by the
+//! positive-definiteness checks in correlation-matrix construction.
+
+use crate::error::MathError;
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `L·Lᵀ = A`.
+///
+/// Returns [`MathError::NotPositiveDefinite`] when a pivot is not strictly
+/// positive (within a scale-relative tolerance).
+pub fn cholesky(a: &Matrix) -> Result<Matrix, MathError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MathError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    let scale = a.max_abs().max(1.0);
+    let tol = 1e-14 * scale;
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= tol {
+            return Err(MathError::NotPositiveDefinite { pivot: j, value: diag });
+        }
+        let ljj = diag.sqrt();
+        l[(j, j)] = ljj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / ljj;
+        }
+    }
+    Ok(l)
+}
+
+/// Cholesky with diagonal jitter escalation.
+///
+/// Adds `jitter · I` with jitter growing by 10× per attempt (starting at
+/// `initial`) until factorization succeeds or `max_tries` is exhausted.
+/// Returns the factor and the jitter that was finally applied.
+pub fn cholesky_with_jitter(
+    a: &Matrix,
+    initial: f64,
+    max_tries: usize,
+) -> Result<(Matrix, f64), MathError> {
+    if let Ok(l) = cholesky(a) {
+        return Ok((l, 0.0));
+    }
+    let mut jitter = initial;
+    for _ in 0..max_tries {
+        let mut aj = a.clone();
+        for i in 0..a.rows() {
+            aj[(i, i)] += jitter;
+        }
+        if let Ok(l) = cholesky(&aj) {
+            return Ok((l, jitter));
+        }
+        jitter *= 10.0;
+    }
+    Err(MathError::NotPositiveDefinite { pivot: 0, value: f64::NEG_INFINITY })
+}
+
+/// True when `a` admits a Cholesky factorization (i.e. is numerically SPD).
+pub fn is_positive_definite(a: &Matrix) -> bool {
+    cholesky(a).is_ok()
+}
+
+/// Solve `A x = b` for SPD `A` via Cholesky (forward + back substitution).
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MathError> {
+    let l = cholesky(a)?;
+    let n = l.rows();
+    if b.len() != n {
+        return Err(MathError::DimensionMismatch {
+            expected: n,
+            actual: b.len(),
+            context: "solve_spd rhs",
+        });
+    }
+    // Forward: L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * y[k];
+        }
+        y[i] = s / l[(i, i)];
+    }
+    // Back: Lᵀ x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul_a_bt;
+
+    fn spd_from_factor(n: usize, seed: u64) -> (Matrix, Matrix) {
+        // Build SPD A = G Gᵀ + n·I from a pseudo-random G.
+        let mut state = seed;
+        let g = Matrix::from_fn(n, n, |_, _| {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+        });
+        let mut a = matmul_a_bt(&g, &g);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        (a, g)
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let (a, _) = spd_from_factor(8, 42);
+        let l = cholesky(&a).unwrap();
+        let back = matmul_a_bt(&l, &l);
+        assert!(back.approx_eq(&a, 1e-9));
+        // L must be lower triangular.
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_factor_is_identity() {
+        let l = cholesky(&Matrix::identity(5)).unwrap();
+        assert!(l.approx_eq(&Matrix::identity(5), 1e-14));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(cholesky(&a), Err(MathError::NotPositiveDefinite { .. })));
+        assert!(!is_positive_definite(&a));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(cholesky(&a), Err(MathError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-deficient PSD matrix: outer product of a vector with itself.
+        let v = Matrix::col_vector(&[1.0, 2.0, 3.0]);
+        let a = matmul_a_bt(&v, &v);
+        assert!(cholesky(&a).is_err());
+        let (l, jitter) = cholesky_with_jitter(&a, 1e-10, 20).unwrap();
+        assert!(jitter > 0.0);
+        assert_eq!(l.rows(), 3);
+    }
+
+    #[test]
+    fn solve_spd_roundtrip() {
+        let (a, _) = spd_from_factor(6, 7);
+        let x_true: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let b = crate::matmul::matvec(&a, &x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8, "{xi} vs {ti}");
+        }
+    }
+}

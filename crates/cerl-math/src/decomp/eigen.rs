@@ -1,0 +1,194 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The correlation-matrix construction of Hardin, Garcia & Golan (2013)
+//! needs the smallest eigenvalue of a block-diagonal correlation matrix to
+//! decide how much cross-block noise can be added while staying positive
+//! definite; Jacobi is simple, robust, and plenty fast for the ≤ few-hundred
+//! dimensional matrices used here.
+
+use crate::error::MathError;
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, ordered to match `values`.
+    pub vectors: Matrix,
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// `a` is only read; symmetry is enforced by averaging `a` with its
+/// transpose before iterating (guarding against small asymmetries from
+/// upstream floating-point noise).
+pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, MathError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MathError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    if n == 0 {
+        return Ok(SymmetricEigen { values: vec![], vectors: Matrix::zeros(0, 0) });
+    }
+    let mut m = a.zip_map(&a.transpose(), |x, y| 0.5 * (x + y));
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 64;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-13 * m.max_abs().max(1.0) {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply rotation J(p,q,θ): M ← Jᵀ M J, V ← V J.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Collect and sort ascending, permuting eigenvector columns to match.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    Ok(SymmetricEigen { values, vectors })
+}
+
+/// Smallest eigenvalue of a symmetric matrix.
+pub fn smallest_eigenvalue(a: &Matrix) -> Result<f64, MathError> {
+    Ok(*symmetric_eigen(a)?
+        .values
+        .first()
+        .ok_or(MathError::Empty { context: "smallest_eigenvalue" })?)
+}
+
+/// Largest eigenvalue of a symmetric matrix.
+pub fn largest_eigenvalue(a: &Matrix) -> Result<f64, MathError> {
+    Ok(*symmetric_eigen(a)?
+        .values
+        .last()
+        .ok_or(MathError::Empty { context: "largest_eigenvalue" })?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::{matmul, matmul_a_bt};
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, -1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - -1.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[1,2],[2,1]] has eigenvalues -1 and 3.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] + 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+        assert!((smallest_eigenvalue(&a).unwrap() + 1.0).abs() < 1e-10);
+        assert!((largest_eigenvalue(&a).unwrap() - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        // SPD test matrix.
+        let mut state = 99u64;
+        let g = Matrix::from_fn(6, 6, |_, _| {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) - 0.5
+        });
+        let a = matmul_a_bt(&g, &g);
+        let e = symmetric_eigen(&a).unwrap();
+
+        // V diag(λ) Vᵀ == A
+        let n = 6;
+        let lam = Matrix::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
+        let rec = matmul(&matmul(&e.vectors, &lam), &e.vectors.transpose());
+        assert!(rec.approx_eq(&a, 1e-8));
+
+        // Vᵀ V == I
+        let vtv = matmul(&e.vectors.transpose(), &e.vectors);
+        assert!(vtv.approx_eq(&Matrix::identity(n), 1e-10));
+
+        // Ascending order.
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 5.0],
+        ]);
+        let e = symmetric_eigen(&a).unwrap();
+        let trace = a[(0, 0)] + a[(1, 1)] + a[(2, 2)];
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_non_square() {
+        assert!(symmetric_eigen(&Matrix::zeros(0, 0)).unwrap().values.is_empty());
+        assert!(matches!(
+            symmetric_eigen(&Matrix::zeros(2, 3)),
+            Err(MathError::NotSquare { .. })
+        ));
+    }
+}

@@ -1,0 +1,8 @@
+//! Matrix decompositions: Cholesky (SPD factor/solve) and symmetric Jacobi
+//! eigendecomposition.
+
+pub mod cholesky;
+pub mod eigen;
+
+pub use cholesky::{cholesky, cholesky_with_jitter, is_positive_definite, solve_spd};
+pub use eigen::{largest_eigenvalue, smallest_eigenvalue, symmetric_eigen, SymmetricEigen};

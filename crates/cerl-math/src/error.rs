@@ -1,0 +1,84 @@
+//! Error type for numerically fallible routines.
+
+use std::fmt;
+
+/// Errors produced by the numeric routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// A square matrix was required.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// Cholesky pivot was not strictly positive.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// Value encountered at the pivot.
+        value: f64,
+    },
+    /// Vector/matrix dimensions do not line up.
+    DimensionMismatch {
+        /// Expected length/dimension.
+        expected: usize,
+        /// Actual length/dimension.
+        actual: usize,
+        /// Human-readable operation context.
+        context: &'static str,
+    },
+    /// An operation required non-empty input.
+    Empty {
+        /// Human-readable operation context.
+        context: &'static str,
+    },
+    /// Iterative routine failed to converge.
+    NoConvergence {
+        /// Human-readable operation context.
+        context: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::NotSquare { rows, cols } => {
+                write!(f, "expected a square matrix, got {rows}x{cols}")
+            }
+            MathError::NotPositiveDefinite { pivot, value } => {
+                write!(f, "matrix is not positive definite (pivot {pivot} = {value:.3e})")
+            }
+            MathError::DimensionMismatch { expected, actual, context } => {
+                write!(f, "{context}: dimension mismatch (expected {expected}, got {actual})")
+            }
+            MathError::Empty { context } => write!(f, "{context}: empty input"),
+            MathError::NoConvergence { context, iterations } => {
+                write!(f, "{context}: no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MathError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+        let e = MathError::NotPositiveDefinite { pivot: 4, value: -1.0 };
+        assert!(e.to_string().contains("pivot 4"));
+        let e = MathError::DimensionMismatch { expected: 5, actual: 3, context: "test" };
+        assert!(e.to_string().contains("expected 5"));
+        let e = MathError::Empty { context: "op" };
+        assert!(e.to_string().contains("empty"));
+        let e = MathError::NoConvergence { context: "iter", iterations: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,277 @@
+//! Matrix multiplication kernels.
+//!
+//! The workloads in this workspace are dominated by moderately sized GEMMs
+//! (hundreds of rows, hundreds to a few thousand columns), so we provide a
+//! cache-friendly single-threaded `ikj` kernel plus a row-partitioned
+//! parallel path built on `crossbeam::scope`. The parallel path kicks in
+//! only above a FLOP threshold so small multiplies stay allocation- and
+//! thread-free.
+
+use crate::matrix::Matrix;
+
+/// FLOP count (2·m·k·n) above which [`matmul`] switches to the parallel kernel.
+const PARALLEL_FLOP_THRESHOLD: usize = 8_000_000;
+
+/// Number of worker threads used by the parallel kernel.
+fn worker_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// `A · B`, choosing the serial or parallel kernel by problem size.
+///
+/// # Panics
+/// If `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimension mismatch {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let flops = 2 * a.rows() * a.cols() * b.cols();
+    if flops >= PARALLEL_FLOP_THRESHOLD && worker_threads() > 1 && a.rows() > 1 {
+        matmul_parallel(a, b)
+    } else {
+        matmul_serial(a, b)
+    }
+}
+
+/// Single-threaded `ikj` kernel (row-major friendly, autovectorizes).
+pub fn matmul_serial(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul_serial: inner dimension mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    let bs = b.as_slice();
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bs[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Parallel kernel: splits rows of `A` across scoped threads.
+pub fn matmul_parallel(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul_parallel: inner dimension mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let threads = worker_threads().min(m.max(1));
+    let mut out = Matrix::zeros(m, n);
+    let bs = b.as_slice();
+    let as_ = a.as_slice();
+
+    // Partition output rows into contiguous chunks, one per worker.
+    let chunk_rows = m.div_ceil(threads);
+    let out_slice = out.as_mut_slice();
+    crossbeam::scope(|scope| {
+        for (ci, out_chunk) in out_slice.chunks_mut(chunk_rows * n).enumerate() {
+            let row0 = ci * chunk_rows;
+            scope.spawn(move |_| {
+                let rows_here = out_chunk.len() / n;
+                for local_i in 0..rows_here {
+                    let i = row0 + local_i;
+                    let arow = &as_[i * k..(i + 1) * k];
+                    let orow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+                    for (p, &av) in arow.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &bs[p * n..(p + 1) * n];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("matmul_parallel: worker thread panicked");
+    out
+}
+
+/// `Aᵀ · B` without materializing the transpose.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at_b: row mismatch {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (n_obs, m) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for r in 0..n_obs {
+        let arow = a.row(r);
+        let brow = b.row(r);
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = out.row_mut(i);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `A · Bᵀ` without materializing the transpose.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_a_bt: column mismatch {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let m = a.rows();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = b.row(j);
+            *o = dot(arow, brow);
+        }
+    }
+    out
+}
+
+/// Matrix–vector product `A · x`.
+pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
+    a.iter_rows().map(|row| dot(row, x)).collect()
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a[(i, p)] * b[(p, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Tiny SplitMix64 stream; deterministic, no external deps in this crate.
+        let mut state = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = pseudo_random_matrix(7, 7, 1);
+        let i = Matrix::identity(7);
+        assert!(matmul(&a, &i).approx_eq(&a, 1e-12));
+        assert!(matmul(&i, &a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn serial_matches_naive() {
+        let a = pseudo_random_matrix(13, 17, 2);
+        let b = pseudo_random_matrix(17, 9, 3);
+        assert!(matmul_serial(&a, &b).approx_eq(&naive(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let a = pseudo_random_matrix(64, 96, 4);
+        let b = pseudo_random_matrix(96, 48, 5);
+        let s = matmul_serial(&a, &b);
+        let p = matmul_parallel(&a, &b);
+        assert!(p.approx_eq(&s, 1e-10));
+    }
+
+    #[test]
+    fn parallel_handles_ragged_chunks() {
+        // Row count not divisible by thread count exercises the tail chunk.
+        let a = pseudo_random_matrix(37, 50, 6);
+        let b = pseudo_random_matrix(50, 23, 7);
+        assert!(matmul_parallel(&a, &b).approx_eq(&matmul_serial(&a, &b), 1e-10));
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = pseudo_random_matrix(19, 6, 8);
+        let b = pseudo_random_matrix(19, 11, 9);
+        let expect = matmul_serial(&a.transpose(), &b);
+        assert!(matmul_at_b(&a, &b).approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = pseudo_random_matrix(12, 10, 10);
+        let b = pseudo_random_matrix(15, 10, 11);
+        let expect = matmul_serial(&a, &b.transpose());
+        assert!(matmul_a_bt(&a, &b).approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = pseudo_random_matrix(9, 14, 12);
+        let x: Vec<f64> = (0..14).map(|i| i as f64 * 0.25 - 1.0).collect();
+        let via_mm = matmul(&a, &Matrix::col_vector(&x));
+        let v = matvec(&a, &x);
+        for (i, &vi) in v.iter().enumerate() {
+            assert!((vi - via_mm[(i, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_dimensions() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (0, 3));
+
+        let a2 = Matrix::zeros(4, 0);
+        let b2 = Matrix::zeros(0, 3);
+        let c2 = matmul(&a2, &b2);
+        assert_eq!(c2.shape(), (4, 3));
+        assert!(c2.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

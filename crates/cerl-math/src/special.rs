@@ -1,0 +1,320 @@
+//! Special functions: error function, standard-normal PDF/CDF/quantile,
+//! log-gamma.
+//!
+//! The synthetic-data generator uses the standard normal CDF `Φ` as the
+//! probit link for treatment propensities (paper §IV.C), and `cerl-rand`
+//! uses `ln_gamma` in Dirichlet/Gamma density tests.
+
+use std::f64::consts::PI;
+
+/// Error function `erf(x)`, accurate to ~1e-15.
+///
+/// Uses the Maclaurin series for small `|x|` and the continued-fraction
+/// expansion of `erfc` for large `|x|`.
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let ax = x.abs();
+    if ax < 3.0 {
+        // erf(x) = 2/√π · Σ_{n≥0} (-1)^n x^{2n+1} / (n! (2n+1))
+        let x2 = x * x;
+        let mut term = x;
+        let mut sum = x;
+        let mut n = 1.0;
+        loop {
+            term *= -x2 / n;
+            let add = term / (2.0 * n + 1.0);
+            sum += add;
+            if add.abs() < 1e-17 * sum.abs().max(1e-300) {
+                break;
+            }
+            n += 1.0;
+            if n > 200.0 {
+                break;
+            }
+        }
+        (2.0 / PI.sqrt()) * sum
+    } else {
+        let sign = x.signum();
+        sign * (1.0 - erfc_large(ax))
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x.abs() < 3.0 {
+        1.0 - erf(x)
+    } else if x > 0.0 {
+        erfc_large(x)
+    } else {
+        2.0 - erfc_large(-x)
+    }
+}
+
+/// Continued-fraction `erfc` for `x ≥ 3` (Lentz's algorithm).
+fn erfc_large(x: f64) -> f64 {
+    debug_assert!(x >= 3.0);
+    // erfc(x) = exp(-x²)/(x√π) · 1/(1 + 1/(2x²)/(1 + 2/(2x²)/(1 + …)))
+    let x2 = 2.0 * x * x;
+    let tiny = 1e-300;
+    let mut f = tiny;
+    let mut c = f;
+    let mut d = 0.0;
+    let mut n = 0usize;
+    loop {
+        // a_1 = 1; a_k = (k-1)/x2 for k ≥ 2; b_k = 1.
+        let a = if n == 0 { 1.0 } else { n as f64 / x2 };
+        d = 1.0 + a * d;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = 1.0 + a / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+        n += 1;
+        if n > 300 {
+            break;
+        }
+    }
+    (-x * x).exp() / (x * PI.sqrt()) * f
+}
+
+/// Standard normal probability density `φ(x)`.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * PI).sqrt()
+}
+
+/// Standard normal cumulative distribution `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Inverse standard normal CDF (quantile function).
+///
+/// Acklam's rational approximation refined with one Halley step, giving
+/// roughly machine precision on `(0, 1)`. Returns `±∞` at the endpoints and
+/// `NaN` outside `[0, 1]`.
+pub fn normal_quantile(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+
+    // Acklam coefficients (kept verbatim from the published approximation).
+    #[allow(clippy::excessive_precision)]
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx)
+        PI.ln() - (PI * x).sin().abs().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Numerically stable `log(1 + exp(x))` (softplus).
+pub fn log1p_exp(x: f64) -> f64 {
+    if x > 35.0 {
+        x
+    } else if x < -35.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`, stable for large `|x|`.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun / mpmath.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778130465),
+            (1.0, 0.8427007929497149),
+            (2.0, 0.9953222650189527),
+            (3.0, 0.9999779095030014),
+            (4.0, 0.9999999845827421),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 1e-12, "erf({x}) = {} want {want}", erf(x));
+            assert!((erf(-x) + want).abs() < 1e-12, "erf odd symmetry at {x}");
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for &x in &[-5.0, -2.0, -0.3, 0.0, 0.7, 2.9, 3.5, 6.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn erfc_tail_accuracy() {
+        // erfc(5) from mpmath.
+        assert!((erfc(5.0) - 1.5374597944280347e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        let cases = [
+            (0.0, 0.5),
+            (1.0, 0.8413447460685429),
+            (-1.0, 0.15865525393145707),
+            (1.959963984540054, 0.975),
+            (-2.326347874040841, 0.01),
+        ];
+        for (x, want) in cases {
+            assert!((normal_cdf(x) - want).abs() < 1e-12, "Φ({x})");
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[1e-10, 1e-4, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.9999, 1.0 - 1e-10] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-12 * p.max(1e-3), "p={p}, x={x}");
+        }
+        assert_eq!(normal_quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(normal_quantile(1.0), f64::INFINITY);
+        assert!(normal_quantile(-0.1).is_nan());
+        assert!(normal_quantile(1.1).is_nan());
+    }
+
+    #[test]
+    fn pdf_is_normalized_ish() {
+        // Trapezoid integral over [-8, 8] should be ≈ 1.
+        let n = 16_000;
+        let h = 16.0 / n as f64;
+        let mut s = 0.0;
+        for i in 0..=n {
+            let x = -8.0 + i as f64 * h;
+            let w = if i == 0 || i == n { 0.5 } else { 1.0 };
+            s += w * normal_pdf(x);
+        }
+        assert!((s * h - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_reference_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-11);
+        assert!((ln_gamma(0.5) - PI.sqrt().ln()).abs() < 1e-11);
+        // Recurrence Γ(x+1) = x Γ(x)
+        for &x in &[0.3, 1.7, 4.2, 9.9] {
+            assert!((ln_gamma(x + 1.0) - (ln_gamma(x) + x.ln())).abs() < 1e-10, "x={x}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_and_softplus_stability() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-14);
+        assert_eq!(log1p_exp(1000.0), 1000.0);
+        assert!(log1p_exp(-1000.0) >= 0.0);
+        assert!((log1p_exp(0.0) - 2.0_f64.ln()).abs() < 1e-14);
+    }
+}

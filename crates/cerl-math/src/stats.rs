@@ -1,0 +1,192 @@
+//! Small statistics helpers: running moments, summary statistics, paired
+//! t-tests (used for the paper's "statistically significantly decreases ↑"
+//! markers).
+
+use crate::special::normal_cdf;
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample variance with denominator `n - 1` (0 if fewer than 2 values).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct RunningMoments {
+    n: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Current mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current sample variance (denominator `n - 1`).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Current sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Result of a paired two-sided t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct PairedTTest {
+    /// t statistic.
+    pub t: f64,
+    /// Degrees of freedom (`n - 1`).
+    pub dof: usize,
+    /// Two-sided p-value (normal approximation to the t distribution,
+    /// adequate for the ≥ 10 replications used in the experiments).
+    pub p_value: f64,
+    /// Mean of the paired differences `a_i - b_i`.
+    pub mean_diff: f64,
+}
+
+/// Paired two-sided t-test on `a_i - b_i`.
+///
+/// Returns `None` when fewer than two pairs exist or the difference variance
+/// is zero (in which case a t statistic is undefined; equal sequences are
+/// reported as `Some` with `t = 0, p = 1`).
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<PairedTTest> {
+    assert_eq!(a.len(), b.len(), "paired_t_test: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+    let md = mean(&diffs);
+    let sd = std_dev(&diffs);
+    if sd == 0.0 {
+        // Zero variance: identical sequences are maximally insignificant;
+        // a constant nonzero difference is maximally significant.
+        return Some(if md == 0.0 {
+            PairedTTest { t: 0.0, dof: n - 1, p_value: 1.0, mean_diff: md }
+        } else {
+            PairedTTest { t: md.signum() * f64::INFINITY, dof: n - 1, p_value: 0.0, mean_diff: md }
+        });
+    }
+    let t = md / (sd / (n as f64).sqrt());
+    let p = 2.0 * (1.0 - normal_cdf(t.abs()));
+    Some(PairedTTest { t, dof: n - 1, p_value: p.clamp(0.0, 1.0), mean_diff: md })
+}
+
+/// Quantile of a sample via linear interpolation (type-7, as in NumPy).
+///
+/// `q` must be in `[0, 1]`; the input need not be sorted.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile: empty input");
+    assert!((0.0..=1.0).contains(&q), "quantile: q={q} outside [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [1.5, -2.0, 3.25, 0.0, 9.5, -4.75];
+        let mut rm = RunningMoments::new();
+        for &x in &xs {
+            rm.push(x);
+        }
+        assert_eq!(rm.count(), xs.len());
+        assert!((rm.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((rm.variance() - variance(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_test_detects_shift() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 1.02, 0.98];
+        let b: Vec<f64> = a.iter().map(|x| x + 0.5).collect();
+        let r = paired_t_test(&b, &a).unwrap();
+        assert!(r.p_value < 1e-6, "p={}", r.p_value);
+        assert!(r.mean_diff > 0.49 && r.mean_diff < 0.51);
+    }
+
+    #[test]
+    fn t_test_equal_sequences() {
+        let a = [1.0, 2.0, 3.0];
+        let r = paired_t_test(&a, &a).unwrap();
+        assert_eq!(r.t, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn t_test_too_small() {
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+}

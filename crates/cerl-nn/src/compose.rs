@@ -1,0 +1,204 @@
+//! Composite operations built from graph primitives: losses, penalties, and
+//! the cosine-normalization building blocks from the paper.
+//!
+//! * Eq. (1): elastic net `‖w‖₂² + ‖w‖₁` — [`elastic_net_penalty`].
+//! * Eq. (2): cosine normalization `r = σ(cos(w, x))` — [`cosine_linear`].
+//! * Eq. (4)/(8): factual mean squared error — [`mse`].
+//! * Eq. (6)/(7): `1 − cos(a, b)` distillation/transformation losses —
+//!   [`mean_cosine_distance`].
+
+use crate::graph::{Graph, NodeId};
+use crate::params::{ParamId, ParamStore};
+
+/// Mean squared error `mean((pred − target)²)` → scalar node.
+pub fn mse(g: &mut Graph, pred: NodeId, target: NodeId) -> NodeId {
+    let diff = g.sub(pred, target);
+    let sq = g.square(diff);
+    g.mean(sq)
+}
+
+/// Squared L2 penalty `‖w‖₂²` of a parameter node → scalar node.
+pub fn l2_penalty(g: &mut Graph, w: NodeId) -> NodeId {
+    let sq = g.square(w);
+    g.sum(sq)
+}
+
+/// L1 penalty `‖w‖₁` of a parameter node → scalar node.
+pub fn l1_penalty(g: &mut Graph, w: NodeId) -> NodeId {
+    let a = g.abs(w);
+    g.sum(a)
+}
+
+/// Elastic net `Σ_p (‖p‖₂² + ‖p‖₁)` over the given parameters (Eq. 1).
+///
+/// Returns a scalar node; with an empty list returns a zero node.
+pub fn elastic_net_penalty(
+    g: &mut Graph,
+    store: &ParamStore,
+    params: &[ParamId],
+) -> NodeId {
+    let mut acc: Option<NodeId> = None;
+    for &pid in params {
+        let w = g.param(store, pid);
+        let l2 = l2_penalty(g, w);
+        let l1 = l1_penalty(g, w);
+        let term = g.add(l2, l1);
+        acc = Some(match acc {
+            Some(a) => g.add(a, term),
+            None => term,
+        });
+    }
+    acc.unwrap_or_else(|| g.input(cerl_math::Matrix::zeros(1, 1)))
+}
+
+/// Row-wise cosine similarity between two `n × d` nodes → `n × 1` node.
+///
+/// Rows with zero norm contribute similarity 0.
+pub fn row_cosine_similarity(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
+    let an = g.row_l2_normalize(a);
+    let bn = g.row_l2_normalize(b);
+    let prod = g.mul(an, bn);
+    g.row_sum(prod)
+}
+
+/// Mean cosine distance `mean_i (1 − cos(a_i, b_i))` → scalar node.
+///
+/// This is the feature-representation distillation loss `L_FD` (Eq. 6) and
+/// the transformation loss `L_FT` (Eq. 7) of the paper.
+pub fn mean_cosine_distance(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
+    let cos = row_cosine_similarity(g, a, b);
+    let mean_cos = g.mean(cos);
+    let neg = g.scale(mean_cos, -1.0);
+    g.add_scalar(neg, 1.0)
+}
+
+/// Mean squared Euclidean distance between paired rows:
+/// `mean_i ‖a_i − b_i‖²` → scalar node.
+///
+/// For unit-normalized rows this equals `2·mean_i (1 − cos(a_i, b_i))`
+/// (the identity the paper invokes for Eq. 6); for bounded sigmoid
+/// representations it is the form that actually pins vectors pointwise,
+/// whereas the raw cosine distance only constrains directions.
+pub fn mean_squared_distance(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
+    let diff = g.sub(a, b);
+    let sq = g.square(diff);
+    let per_row = g.row_sum(sq);
+    g.mean(per_row)
+}
+
+/// Cosine-normalized linear map (Eq. 2 without the activation):
+/// `out[i,j] = cos(x_i, w_{·j})` for input rows `x_i` and weight columns
+/// `w_{·j}`. Entries are bounded in `[-1, 1]`, which is what controls the
+/// pre-activation variance across domains of very different magnitudes.
+pub fn cosine_linear(g: &mut Graph, x: NodeId, w: NodeId) -> NodeId {
+    let xn = g.row_l2_normalize(x);
+    let wn = g.col_l2_normalize(w);
+    g.matmul(xn, wn)
+}
+
+/// Weighted sum of scalar nodes `Σ cᵢ·termᵢ` → scalar node.
+///
+/// Terms with weight exactly 0 are skipped entirely (their subgraphs still
+/// exist but contribute no gradient). With an empty list returns a zero node.
+pub fn weighted_sum(g: &mut Graph, terms: &[(NodeId, f64)]) -> NodeId {
+    let mut acc: Option<NodeId> = None;
+    for &(node, c) in terms {
+        if c == 0.0 {
+            continue;
+        }
+        let scaled = if c == 1.0 { node } else { g.scale(node, c) };
+        acc = Some(match acc {
+            Some(a) => g.add(a, scaled),
+            None => scaled,
+        });
+    }
+    acc.unwrap_or_else(|| g.input(cerl_math::Matrix::zeros(1, 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerl_math::Matrix;
+
+    #[test]
+    fn mse_value() {
+        let mut g = Graph::new();
+        let p = g.input(Matrix::from_vec(2, 1, vec![1.0, 3.0]));
+        let t = g.input(Matrix::from_vec(2, 1, vec![0.0, 1.0]));
+        let l = mse(&mut g, p, t);
+        assert!((g.scalar(l) - 2.5).abs() < 1e-14); // (1 + 4)/2
+    }
+
+    #[test]
+    fn penalties() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 3, vec![1.0, -2.0, 2.0]));
+        let mut g = Graph::new();
+        let en = elastic_net_penalty(&mut g, &store, &[w]);
+        // L2² = 1+4+4 = 9; L1 = 5; total 14
+        assert!((g.scalar(en) - 14.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn empty_penalty_is_zero() {
+        let store = ParamStore::new();
+        let mut g = Graph::new();
+        let en = elastic_net_penalty(&mut g, &store, &[]);
+        assert_eq!(g.scalar(en), 0.0);
+    }
+
+    #[test]
+    fn cosine_similarity_rows() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![0.0, 0.0]]));
+        let b = g.input(Matrix::from_rows(&[vec![1.0, 0.0], vec![-1.0, -1.0], vec![1.0, 2.0]]));
+        let cs = row_cosine_similarity(&mut g, a, b);
+        let v = g.value(cs);
+        assert!((v[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((v[(1, 0)] + 1.0).abs() < 1e-12);
+        assert_eq!(v[(2, 0)], 0.0); // zero row → similarity 0
+    }
+
+    #[test]
+    fn cosine_distance_range() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_rows(&[vec![1.0, 0.0]]));
+        let b = g.input(Matrix::from_rows(&[vec![0.0, 1.0]]));
+        let d = mean_cosine_distance(&mut g, a, b);
+        assert!((g.scalar(d) - 1.0).abs() < 1e-12); // orthogonal → distance 1
+
+        let mut g2 = Graph::new();
+        let a2 = g2.input(Matrix::from_rows(&[vec![2.0, 0.0]]));
+        let b2 = g2.input(Matrix::from_rows(&[vec![1.0, 0.0]]));
+        let d2 = mean_cosine_distance(&mut g2, a2, b2);
+        assert!(g2.scalar(d2).abs() < 1e-12); // parallel → distance 0
+    }
+
+    #[test]
+    fn cosine_linear_bounded() {
+        let mut g = Graph::new();
+        // Large-magnitude inputs: outputs must stay in [-1, 1].
+        let x = g.input(Matrix::from_rows(&[vec![1e6, -2e6], vec![3e5, 4e5]]));
+        let w = g.input(Matrix::from_rows(&[vec![100.0, -5.0], vec![-20.0, 7.0]]));
+        let out = cosine_linear(&mut g, x, w);
+        for i in 0..2 {
+            for j in 0..2 {
+                let v = g.value(out)[(i, j)];
+                assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&v), "out[{i},{j}]={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sum_combines() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::filled(1, 1, 2.0));
+        let b = g.input(Matrix::filled(1, 1, 3.0));
+        let c = g.input(Matrix::filled(1, 1, 100.0));
+        let s = weighted_sum(&mut g, &[(a, 1.0), (b, 0.5), (c, 0.0)]);
+        assert!((g.scalar(s) - 3.5).abs() < 1e-14);
+
+        let empty = weighted_sum(&mut g, &[]);
+        assert_eq!(g.scalar(empty), 0.0);
+    }
+}

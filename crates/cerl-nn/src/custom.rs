@@ -1,0 +1,27 @@
+//! Extension point for operations defined outside this crate.
+//!
+//! `cerl-ot` injects Sinkhorn-Wasserstein and MMD penalties into the tape
+//! through this trait: `forward` may cache state (e.g. the optimal transport
+//! plan) that `backward` reuses.
+
+use cerl_math::Matrix;
+
+/// A differentiable operation implemented outside the built-in op set.
+pub trait CustomOp: std::fmt::Debug {
+    /// Short name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Compute the output from the inputs. Called exactly once, when the
+    /// node is inserted; may cache state for `backward`.
+    fn forward(&mut self, inputs: &[&Matrix]) -> Matrix;
+
+    /// Gradients of the loss w.r.t. each input, given the node's inputs,
+    /// output, and incoming gradient. Must return one matrix per input,
+    /// each shaped like the corresponding input.
+    fn backward(
+        &self,
+        inputs: &[&Matrix],
+        output: &Matrix,
+        grad_output: &Matrix,
+    ) -> Vec<Matrix>;
+}

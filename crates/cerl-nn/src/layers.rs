@@ -1,0 +1,260 @@
+//! Network layers: dense (affine), cosine-normalized dense (Eq. 2 of the
+//! paper), and a small MLP builder.
+
+use crate::compose::cosine_linear;
+use crate::graph::{Graph, NodeId};
+use crate::params::{he_normal, xavier_uniform, zeros, ParamId, ParamStore};
+use rand::Rng;
+
+/// Elementwise nonlinearity applied after a layer's linear map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// No nonlinearity.
+    Identity,
+    /// `max(0, x)`.
+    Relu,
+    /// ELU with the given `alpha`.
+    Elu(f64),
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Apply the activation to a node.
+    pub fn apply(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => g.relu(x),
+            Activation::Elu(alpha) => g.elu(x, *alpha),
+            Activation::Sigmoid => g.sigmoid(x),
+            Activation::Tanh => g.tanh(x),
+        }
+    }
+}
+
+/// Fully connected layer `act(x·W + b)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: ParamId,
+    b: ParamId,
+    activation: Activation,
+}
+
+impl Dense {
+    /// Create with Xavier-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        d_in: usize,
+        d_out: usize,
+        activation: Activation,
+        name: &str,
+    ) -> Self {
+        let init = match activation {
+            Activation::Relu | Activation::Elu(_) => he_normal(rng, d_in, d_out),
+            _ => xavier_uniform(rng, d_in, d_out),
+        };
+        let w = store.add(format!("{name}.w"), init);
+        let b = store.add(format!("{name}.b"), zeros(1, d_out));
+        Self { w, b, activation }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        let xw = g.matmul(x, w);
+        let pre = g.add_row_broadcast(xw, b);
+        self.activation.apply(g, pre)
+    }
+
+    /// Trainable parameters of this layer.
+    pub fn params(&self) -> Vec<ParamId> {
+        vec![self.w, self.b]
+    }
+
+    /// Weight parameter id (for regularization targeting weights only).
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+}
+
+/// Cosine-normalized dense layer (paper Eq. 2): `act(cos(x_i, w_{·j}))`.
+///
+/// No bias: the pre-activation is already bounded in `[-1, 1]`, which is the
+/// point — it controls the representation variance when domains have very
+/// different covariate magnitudes.
+#[derive(Debug, Clone)]
+pub struct CosineDense {
+    w: ParamId,
+    activation: Activation,
+}
+
+impl CosineDense {
+    /// Create with Xavier-uniform weights.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        d_in: usize,
+        d_out: usize,
+        activation: Activation,
+        name: &str,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), xavier_uniform(rng, d_in, d_out));
+        Self { w, activation }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
+        let w = g.param(store, self.w);
+        let pre = cosine_linear(g, x, w);
+        self.activation.apply(g, pre)
+    }
+
+    /// Trainable parameters of this layer.
+    pub fn params(&self) -> Vec<ParamId> {
+        vec![self.w]
+    }
+
+    /// Weight parameter id.
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+}
+
+/// Multi-layer perceptron with uniform hidden activation.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build from a dimension chain `dims = [d_in, h_1, …, d_out]`; hidden
+    /// layers use `hidden_act`, the final layer uses `out_act`.
+    ///
+    /// # Panics
+    /// If fewer than two dimensions are given.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        name: &str,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp: need at least input and output dims");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for (i, w) in dims.windows(2).enumerate() {
+            let act = if i + 2 == dims.len() { out_act } else { hidden_act };
+            layers.push(Dense::new(store, rng, w[0], w[1], act, &format!("{name}.{i}")));
+        }
+        Self { layers }
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
+        let mut h = x;
+        for layer in &self.layers {
+            h = layer.forward(g, store, h);
+        }
+        h
+    }
+
+    /// All trainable parameters, in layer order.
+    pub fn params(&self) -> Vec<ParamId> {
+        self.layers.iter().flat_map(Dense::params).collect()
+    }
+
+    /// Weight parameters only (no biases), for elastic-net regularization.
+    pub fn weights(&self) -> Vec<ParamId> {
+        self.layers.iter().map(Dense::weight).collect()
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerl_math::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_shapes_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let layer = Dense::new(&mut store, &mut rng, 4, 3, Activation::Relu, "l");
+        let mut g = Graph::new();
+        let x = g.input(Matrix::ones(5, 4));
+        let y = layer.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), (5, 3));
+        // ReLU output is non-negative.
+        assert!(g.value(y).as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn cosine_dense_bounded_output() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let layer = CosineDense::new(&mut store, &mut rng, 6, 4, Activation::Identity, "c");
+        let mut g = Graph::new();
+        // Wildly different magnitudes — outputs still bounded.
+        let x = g.input(Matrix::from_fn(3, 6, |i, j| (i as f64 + 1.0) * 1e4 * ((j as f64) - 2.5)));
+        let y = layer.forward(&mut g, &store, x);
+        for &v in g.value(y).as_slice() {
+            assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn mlp_chain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(
+            &mut store,
+            &mut rng,
+            &[8, 16, 16, 1],
+            Activation::Elu(1.0),
+            Activation::Identity,
+            "mlp",
+        );
+        assert_eq!(mlp.depth(), 3);
+        assert_eq!(mlp.params().len(), 6);
+        assert_eq!(mlp.weights().len(), 3);
+
+        let mut g = Graph::new();
+        let x = g.input(Matrix::ones(10, 8));
+        let y = mlp.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), (10, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_needs_two_dims() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let _ = Mlp::new(&mut store, &mut rng, &[3], Activation::Relu, Activation::Identity, "x");
+    }
+
+    #[test]
+    fn activations_apply() {
+        let mut g = Graph::new();
+        let x = g.input(Matrix::from_vec(1, 2, vec![-1.0, 1.0]));
+        let r = Activation::Relu.apply(&mut g, x);
+        assert_eq!(g.value(r).as_slice(), &[0.0, 1.0]);
+        let i = Activation::Identity.apply(&mut g, x);
+        assert_eq!(i, x);
+        let t = Activation::Tanh.apply(&mut g, x);
+        assert!((g.value(t)[(0, 1)] - 1.0_f64.tanh()).abs() < 1e-15);
+        let s = Activation::Sigmoid.apply(&mut g, x);
+        assert!(g.value(s).as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let e = Activation::Elu(1.0).apply(&mut g, x);
+        assert!((g.value(e)[(0, 0)] - ((-1.0_f64).exp() - 1.0)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,37 @@
+//! # cerl-nn
+//!
+//! Tape-based reverse-mode autodiff and small-network toolkit for the CERL
+//! workspace. The paper's models are MLPs with a cosine-normalized final
+//! representation layer (Eq. 2), elastic-net regularization (Eq. 1), and
+//! several cosine-similarity losses (Eqs. 6–7); this crate provides exactly
+//! those pieces on top of `cerl-math`:
+//!
+//! * [`graph`] — dynamic computation tape ([`Graph`], [`NodeId`]).
+//! * [`backward`] — reverse sweep and [`Gradients`].
+//! * [`params`] — [`ParamStore`] with Xavier/He initialization.
+//! * [`layers`] — [`Dense`], [`CosineDense`], [`Mlp`], [`Activation`].
+//! * [`compose`] — MSE, elastic net, cosine-distance losses.
+//! * [`optim`] — [`Sgd`], [`Adam`], schedules.
+//! * [`custom`] — [`CustomOp`] extension point (used by `cerl-ot`).
+//! * [`gradcheck`] — finite-difference validation harness.
+//!
+//! Every op's gradient is covered by a finite-difference test; see
+//! `gradcheck::tests`.
+
+#![warn(missing_docs)]
+
+pub mod backward;
+pub mod compose;
+pub mod custom;
+pub mod gradcheck;
+pub mod graph;
+pub mod layers;
+pub mod optim;
+pub mod params;
+
+pub use backward::Gradients;
+pub use custom::CustomOp;
+pub use graph::{Graph, NodeId};
+pub use layers::{Activation, CosineDense, Dense, Mlp};
+pub use optim::{Adam, ExponentialDecay, Optimizer, RmsProp, Sgd};
+pub use params::{ParamId, ParamStore};

@@ -1,0 +1,27 @@
+//! First-order optimizers over a [`ParamStore`](crate::params::ParamStore).
+
+mod adam;
+mod rmsprop;
+mod schedule;
+mod sgd;
+
+pub use adam::Adam;
+pub use rmsprop::RmsProp;
+pub use schedule::ExponentialDecay;
+pub use sgd::Sgd;
+
+use crate::backward::Gradients;
+use crate::params::{ParamId, ParamStore};
+
+/// A stateful first-order optimizer.
+pub trait Optimizer {
+    /// Apply one update to `params` using `grads`; parameters without a
+    /// gradient are left untouched.
+    fn step(&mut self, store: &mut ParamStore, grads: &Gradients, params: &[ParamId]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Override the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+}

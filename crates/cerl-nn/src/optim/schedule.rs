@@ -1,0 +1,44 @@
+//! Learning-rate schedules.
+
+/// Exponential decay: `lr(e) = lr₀ · γ^{⌊e / every⌋}`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialDecay {
+    initial: f64,
+    gamma: f64,
+    every: usize,
+}
+
+impl ExponentialDecay {
+    /// Construct; `gamma ∈ (0, 1]`, decay applied every `every` epochs.
+    pub fn new(initial: f64, gamma: f64, every: usize) -> Self {
+        assert!(initial > 0.0, "ExponentialDecay: initial lr must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "ExponentialDecay: gamma in (0,1]");
+        assert!(every > 0, "ExponentialDecay: every must be >= 1");
+        Self { initial, gamma, every }
+    }
+
+    /// Learning rate at the given epoch (0-based).
+    pub fn at(&self, epoch: usize) -> f64 {
+        self.initial * self.gamma.powi((epoch / self.every) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_down() {
+        let s = ExponentialDecay::new(1.0, 0.5, 10);
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(9), 1.0);
+        assert_eq!(s.at(10), 0.5);
+        assert_eq!(s.at(25), 0.25);
+    }
+
+    #[test]
+    fn gamma_one_is_constant() {
+        let s = ExponentialDecay::new(0.3, 1.0, 5);
+        assert_eq!(s.at(100), 0.3);
+    }
+}

@@ -1,0 +1,189 @@
+//! Named parameter storage and initialization.
+//!
+//! Parameters live outside the [`crate::graph::Graph`] so a fresh tape can be
+//! built every training step (dynamic graphs) while weights persist. Each
+//! parameter is a dense matrix identified by a [`ParamId`].
+
+use cerl_math::Matrix;
+use cerl_rand::StandardNormal;
+use rand::Rng;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw index (stable for the lifetime of the store).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Param {
+    name: String,
+    value: Matrix,
+}
+
+/// Collection of named, trainable matrices.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter; names are for diagnostics and need not be unique.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.params.push(Param { name: name.into(), value });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Borrow a parameter's value.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutably borrow a parameter's value.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// Parameter name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Iterate over `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i), p.name.as_str(), &p.value))
+    }
+
+    /// All parameter ids.
+    pub fn ids(&self) -> Vec<ParamId> {
+        (0..self.params.len()).map(ParamId).collect()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Overwrite a parameter's value (shape must match).
+    pub fn set(&mut self, id: ParamId, value: Matrix) {
+        assert_eq!(
+            self.params[id.0].value.shape(),
+            value.shape(),
+            "ParamStore::set: shape mismatch for '{}'",
+            self.params[id.0].name
+        );
+        self.params[id.0].value = value;
+    }
+
+    /// Deep-copy the values of `ids` (used to snapshot the previous model
+    /// `g_{w_{d-1}}` during continual training).
+    pub fn snapshot(&self, ids: &[ParamId]) -> Vec<Matrix> {
+        ids.iter().map(|&id| self.value(id).clone()).collect()
+    }
+
+    /// Restore values captured with [`ParamStore::snapshot`].
+    pub fn restore(&mut self, ids: &[ParamId], values: &[Matrix]) {
+        assert_eq!(ids.len(), values.len(), "ParamStore::restore: length mismatch");
+        for (&id, v) in ids.iter().zip(values) {
+            self.set(id, v.clone());
+        }
+    }
+}
+
+/// Xavier/Glorot uniform initialization: `U(−a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen::<f64>() * 2.0 * a - a)
+}
+
+/// He normal initialization: `N(0, 2/fan_in)` (for ReLU-family activations).
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let sd = (2.0 / rows as f64).sqrt();
+    let mut sn = StandardNormal::new();
+    Matrix::from_fn(rows, cols, |_, _| sn.sample(rng) * sd)
+}
+
+/// Zero initialization (biases).
+pub fn zeros(rows: usize, cols: usize) -> Matrix {
+    Matrix::zeros(rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_and_access() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::identity(2));
+        let b = store.add("b", Matrix::zeros(1, 2));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.name(w), "w");
+        assert_eq!(store.value(b).shape(), (1, 2));
+        assert_eq!(store.num_scalars(), 6);
+
+        store.value_mut(w)[(0, 1)] = 5.0;
+        assert_eq!(store.value(w)[(0, 1)], 5.0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::filled(2, 2, 1.0));
+        let snap = store.snapshot(&[w]);
+        store.value_mut(w)[(0, 0)] = -9.0;
+        store.restore(&[w], &snap);
+        assert_eq!(store.value(w)[(0, 0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn set_rejects_shape_change() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::zeros(2, 2));
+        store.set(w, Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn xavier_bounds_and_spread() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = xavier_uniform(&mut rng, 100, 50);
+        let a = (6.0 / 150.0_f64).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= a));
+        // Not degenerate.
+        assert!(m.as_slice().iter().any(|&v| v.abs() > a * 0.5));
+    }
+
+    #[test]
+    fn he_normal_variance() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = he_normal(&mut rng, 200, 100);
+        let var = m.as_slice().iter().map(|v| v * v).sum::<f64>() / m.len() as f64;
+        assert!((var - 2.0 / 200.0).abs() < 0.002, "var={var}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Exact 1-D optimal transport (test oracle).
+//!
+//! In one dimension the optimal coupling under any convex cost is the
+//! monotone (sorted) coupling; for equal-size uniform samples the squared
+//! W₂ distance is the mean of squared differences of sorted values. Used to
+//! validate the Sinkhorn solver.
+
+/// Exact squared 2-Wasserstein distance between two equal-size empirical
+/// distributions on ℝ (uniform weights).
+///
+/// # Panics
+/// If the slices have different lengths, are empty, or contain NaN.
+pub fn w2_squared_1d(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "w2_squared_1d: sample sizes must match");
+    assert!(!a.is_empty(), "w2_squared_1d: empty samples");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    sa.iter().zip(&sb).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+}
+
+/// Exact 1-Wasserstein (earth mover's) distance between two equal-size
+/// empirical distributions on ℝ (uniform weights).
+pub fn w1_1d(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "w1_1d: sample sizes must match");
+    assert!(!a.is_empty(), "w1_1d: empty samples");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    sa.iter().zip(&sb).map(|(&x, &y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinkhorn::{sinkhorn_uniform, EpsilonMode, SinkhornConfig};
+    use cerl_math::norms::pairwise_sq_dists;
+    use cerl_math::Matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn translation_distance() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 3.0]; // a + 1
+        assert!((w2_squared_1d(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((w1_1d(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_invariance_and_identity() {
+        let a = [3.0, 1.0, 2.0];
+        let b = [2.0, 3.0, 1.0];
+        assert_eq!(w2_squared_1d(&a, &b), 0.0);
+        assert_eq!(w1_1d(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn sinkhorn_converges_to_exact_oracle() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let n = 24;
+        let a: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 4.0).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 4.0 + 1.5).collect();
+        let exact = w2_squared_1d(&a, &b);
+
+        let xa = Matrix::col_vector(&a);
+        let xb = Matrix::col_vector(&b);
+        let cost = pairwise_sq_dists(&xa, &xb);
+        let cfg = SinkhornConfig {
+            epsilon: 0.005,
+            epsilon_mode: EpsilonMode::Absolute,
+            iterations: 3000,
+        };
+        let r = sinkhorn_uniform(&cost, &cfg);
+        // Entropic bias is positive and shrinks with ε; 5% agreement is
+        // plenty to establish correctness against the oracle.
+        let rel = (r.cost - exact).abs() / exact.max(1e-12);
+        assert!(rel < 0.05, "sinkhorn {} vs exact {exact} (rel {rel})", r.cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must match")]
+    fn mismatched_sizes_panic() {
+        let _ = w2_squared_1d(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Log-domain Sinkhorn iterations for entropy-regularized optimal transport.
+//!
+//! The paper balances treated/control representation distributions with an
+//! IPM instantiated as the Wasserstein distance (Eq. 3), following the CFR
+//! line of work, which computes it with Sinkhorn iterations. The log-domain
+//! form is robust to small `ε`.
+
+use cerl_math::Matrix;
+
+/// Configuration for the Sinkhorn solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SinkhornConfig {
+    /// Entropic regularization strength. Interpreted per [`EpsilonMode`].
+    pub epsilon: f64,
+    /// How `epsilon` relates to the cost matrix.
+    pub epsilon_mode: EpsilonMode,
+    /// Number of Sinkhorn iterations.
+    pub iterations: usize,
+}
+
+/// Interpretation of the `epsilon` field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpsilonMode {
+    /// Use `epsilon` directly.
+    Absolute,
+    /// Use `epsilon · mean(cost)`, adapting regularization to the scale of
+    /// the batch (recommended; cost scales vary wildly across domains).
+    RelativeToMeanCost,
+}
+
+impl Default for SinkhornConfig {
+    fn default() -> Self {
+        Self { epsilon: 0.05, epsilon_mode: EpsilonMode::RelativeToMeanCost, iterations: 50 }
+    }
+}
+
+/// Output of [`sinkhorn_plan`].
+#[derive(Debug, Clone)]
+pub struct SinkhornResult {
+    /// Transport plan `P` (rows sum to `a`, columns to `b`).
+    pub plan: Matrix,
+    /// Transport cost `⟨P, C⟩` (without the entropy term).
+    pub cost: f64,
+    /// Effective `ε` actually used (after mode resolution).
+    pub effective_epsilon: f64,
+}
+
+/// Solve entropy-regularized OT between histograms `a` (len n) and `b`
+/// (len m) under cost matrix `cost` (n×m), returning the plan and cost.
+///
+/// # Panics
+/// If marginals are not positive probability vectors matching `cost`'s
+/// shape.
+pub fn sinkhorn_plan(cost: &Matrix, a: &[f64], b: &[f64], cfg: &SinkhornConfig) -> SinkhornResult {
+    let (n, m) = cost.shape();
+    assert_eq!(a.len(), n, "sinkhorn_plan: marginal a length mismatch");
+    assert_eq!(b.len(), m, "sinkhorn_plan: marginal b length mismatch");
+    if n == 0 || m == 0 {
+        return SinkhornResult { plan: Matrix::zeros(n, m), cost: 0.0, effective_epsilon: cfg.epsilon };
+    }
+    assert!(a.iter().all(|&v| v > 0.0), "sinkhorn_plan: marginal a must be positive");
+    assert!(b.iter().all(|&v| v > 0.0), "sinkhorn_plan: marginal b must be positive");
+
+    let eps = match cfg.epsilon_mode {
+        EpsilonMode::Absolute => cfg.epsilon,
+        EpsilonMode::RelativeToMeanCost => {
+            let mean_c = cost.mean().max(1e-12);
+            cfg.epsilon * mean_c
+        }
+    }
+    .max(1e-12);
+
+    let log_a: Vec<f64> = a.iter().map(|&v| v.ln()).collect();
+    let log_b: Vec<f64> = b.iter().map(|&v| v.ln()).collect();
+    let mut f = vec![0.0; n]; // potential for rows
+    let mut g = vec![0.0; m]; // potential for columns
+
+    for _ in 0..cfg.iterations.max(1) {
+        // f_i ← ε·log a_i − ε·LSE_j((g_j − C_ij)/ε)
+        for i in 0..n {
+            let row = cost.row(i);
+            let mut mx = f64::NEG_INFINITY;
+            for (j, &c) in row.iter().enumerate() {
+                mx = mx.max((g[j] - c) / eps);
+            }
+            let mut s = 0.0;
+            for (j, &c) in row.iter().enumerate() {
+                s += ((g[j] - c) / eps - mx).exp();
+            }
+            f[i] = eps * log_a[i] - eps * (mx + s.ln());
+        }
+        // g_j ← ε·log b_j − ε·LSE_i((f_i − C_ij)/ε)
+        for j in 0..m {
+            let mut mx = f64::NEG_INFINITY;
+            for i in 0..n {
+                mx = mx.max((f[i] - cost[(i, j)]) / eps);
+            }
+            let mut s = 0.0;
+            for i in 0..n {
+                s += ((f[i] - cost[(i, j)]) / eps - mx).exp();
+            }
+            g[j] = eps * log_b[j] - eps * (mx + s.ln());
+        }
+    }
+
+    let mut plan = Matrix::zeros(n, m);
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in 0..m {
+            let p = ((f[i] + g[j] - cost[(i, j)]) / eps).exp();
+            plan[(i, j)] = p;
+            total += p * cost[(i, j)];
+        }
+    }
+    SinkhornResult { plan, cost: total, effective_epsilon: eps }
+}
+
+/// [`sinkhorn_plan`] with uniform marginals.
+pub fn sinkhorn_uniform(cost: &Matrix, cfg: &SinkhornConfig) -> SinkhornResult {
+    let (n, m) = cost.shape();
+    let a = vec![1.0 / n.max(1) as f64; n];
+    let b = vec![1.0 / m.max(1) as f64; m];
+    sinkhorn_plan(cost, &a, &b, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerl_math::norms::pairwise_sq_dists;
+
+    fn cfg(eps: f64, iters: usize) -> SinkhornConfig {
+        SinkhornConfig { epsilon: eps, epsilon_mode: EpsilonMode::Absolute, iterations: iters }
+    }
+
+    #[test]
+    fn marginals_are_respected() {
+        let cost = Matrix::from_fn(4, 6, |i, j| ((i * 3 + j) as f64 * 0.7).sin().abs() + 0.1);
+        let r = sinkhorn_uniform(&cost, &cfg(0.05, 300));
+        // Row sums ≈ 1/4, column sums ≈ 1/6.
+        for i in 0..4 {
+            let s: f64 = r.plan.row(i).iter().sum();
+            assert!((s - 0.25).abs() < 1e-6, "row {i} sum {s}");
+        }
+        for j in 0..6 {
+            let s: f64 = r.plan.col(j).iter().sum();
+            assert!((s - 1.0 / 6.0).abs() < 1e-6, "col {j} sum {s}");
+        }
+    }
+
+    #[test]
+    fn identical_points_give_zero_cost() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let cost = pairwise_sq_dists(&x, &x);
+        let r = sinkhorn_uniform(&cost, &cfg(0.01, 200));
+        assert!(r.cost < 1e-6, "cost={}", r.cost);
+    }
+
+    #[test]
+    fn matches_exact_on_two_points() {
+        // Two treated at {0, 1}, two control at {0, 1} shifted by δ:
+        // optimal coupling matches nearest neighbours.
+        let xt = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let xc = Matrix::from_rows(&[vec![0.1], vec![1.1]]);
+        let cost = pairwise_sq_dists(&xt, &xc);
+        let r = sinkhorn_uniform(&cost, &cfg(0.001, 500));
+        // Exact W2² = mean of (0.1)² = 0.01.
+        assert!((r.cost - 0.01).abs() < 1e-3, "cost={}", r.cost);
+        // Plan concentrates on the diagonal.
+        assert!(r.plan[(0, 0)] > 0.4 && r.plan[(1, 1)] > 0.4);
+        assert!(r.plan[(0, 1)] < 0.1 && r.plan[(1, 0)] < 0.1);
+    }
+
+    #[test]
+    fn larger_epsilon_blurs_plan() {
+        let xt = Matrix::from_rows(&[vec![0.0], vec![10.0]]);
+        let xc = Matrix::from_rows(&[vec![0.0], vec![10.0]]);
+        let cost = pairwise_sq_dists(&xt, &xc);
+        let sharp = sinkhorn_uniform(&cost, &cfg(0.1, 300));
+        let blurred = sinkhorn_uniform(&cost, &cfg(100.0, 300));
+        assert!(sharp.plan[(0, 0)] > blurred.plan[(0, 0)]);
+        assert!(blurred.cost > sharp.cost);
+    }
+
+    #[test]
+    fn relative_epsilon_scales_with_cost() {
+        let cost_small = Matrix::from_fn(3, 3, |i, j| ((i + 2 * j) as f64 * 0.31).cos().abs() * 0.01);
+        let cost_big = cost_small.scale(1e6);
+        let cfg_rel = SinkhornConfig {
+            epsilon: 0.05,
+            epsilon_mode: EpsilonMode::RelativeToMeanCost,
+            iterations: 200,
+        };
+        let rs = sinkhorn_uniform(&cost_small, &cfg_rel);
+        let rb = sinkhorn_uniform(&cost_big, &cfg_rel);
+        // Plans should be (nearly) identical because ε scales with cost.
+        assert!(rs.plan.approx_eq(&rb.plan, 1e-6));
+        assert!((rb.cost / rs.cost - 1e6).abs() / 1e6 < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        let cost = Matrix::zeros(0, 3);
+        let r = sinkhorn_plan(&cost, &[], &[0.3, 0.3, 0.4], &SinkhornConfig::default());
+        assert_eq!(r.cost, 0.0);
+        assert_eq!(r.plan.shape(), (0, 3));
+    }
+
+    #[test]
+    fn nonuniform_marginals() {
+        let cost = Matrix::from_fn(2, 2, |i, j| if i == j { 0.0 } else { 1.0 });
+        let r = sinkhorn_plan(&cost, &[0.9, 0.1], &[0.9, 0.1], &cfg(0.01, 300));
+        assert!((r.plan[(0, 0)] - 0.9).abs() < 1e-3);
+        assert!((r.plan[(1, 1)] - 0.1).abs() < 1e-3);
+        assert!(r.cost < 1e-2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Categorical sampling via Walker's alias method, plus multinomial counts.
+//!
+//! The topic-model simulator draws millions of words from per-document
+//! topic/word distributions; the alias method gives O(1) draws after O(k)
+//! setup.
+
+use rand::Rng;
+
+/// Categorical distribution over `0..k` with O(1) sampling (alias method).
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl Categorical {
+    /// Build the alias table from non-negative weights (need not sum to 1).
+    ///
+    /// # Panics
+    /// If `weights` is empty, contains a negative/non-finite value, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "Categorical: empty weights");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "Categorical: invalid weight {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "Categorical: weights sum to zero");
+
+        let k = weights.len();
+        let mut prob = vec![0.0; k];
+        let mut alias = vec![0usize; k];
+        // Scaled probabilities; classify into small/large.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * k as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(k);
+        let mut large: Vec<usize> = Vec::with_capacity(k);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let Some(s) = small.pop() {
+            match large.pop() {
+                Some(l) => {
+                    prob[s] = scaled[s];
+                    alias[s] = l;
+                    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+                    if scaled[l] < 1.0 {
+                        small.push(l);
+                    } else {
+                        large.push(l);
+                    }
+                }
+                // Only rounding error can leave a "small" entry without a
+                // partner; its true scaled probability is 1.
+                None => prob[s] = 1.0,
+            }
+        }
+        while let Some(l) = large.pop() {
+            prob[l] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Always false (construction rejects empty weights).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let k = self.prob.len();
+        let i = rng.gen_range(0..k);
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Draw multinomial counts: `n` trials over the categorical `weights`.
+///
+/// Returns a count vector of the same length as `weights`.
+pub fn multinomial<R: Rng + ?Sized>(rng: &mut R, n: usize, weights: &[f64]) -> Vec<u32> {
+    let cat = Categorical::new(weights);
+    let mut counts = vec![0u32; weights.len()];
+    for _ in 0..n {
+        counts[cat.sample(rng)] += 1;
+    }
+    counts
+}
+
+/// Bernoulli draw with success probability `p ∈ [0, 1]`.
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    debug_assert!((0.0..=1.0).contains(&p), "bernoulli: p={p} outside [0,1]");
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frequencies_match_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let cat = Categorical::new(&w);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[cat.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let want = w[i] / 10.0;
+            let got = c as f64 / n as f64;
+            assert!((got - want).abs() < 0.01, "cat {i}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn single_category() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cat = Categorical::new(&[5.0]);
+        for _ in 0..10 {
+            assert_eq!(cat.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_drawn() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cat = Categorical::new(&[0.0, 1.0, 0.0, 1.0]);
+        for _ in 0..10_000 {
+            let s = cat.sample(&mut rng);
+            assert!(s == 1 || s == 3, "drew zero-weight category {s}");
+        }
+    }
+
+    #[test]
+    fn multinomial_totals_and_distribution() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let counts = multinomial(&mut rng, 50_000, &[0.2, 0.8]);
+        assert_eq!(counts.iter().sum::<u32>(), 50_000);
+        let frac = counts[1] as f64 / 50_000.0;
+        assert!((frac - 0.8).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weights")]
+    fn rejects_empty() {
+        let _ = Categorical::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn rejects_all_zero() {
+        let _ = Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn rejects_negative() {
+        let _ = Categorical::new(&[1.0, -0.5]);
+    }
+}

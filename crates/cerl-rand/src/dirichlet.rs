@@ -1,0 +1,119 @@
+//! Dirichlet sampling via normalized gammas.
+//!
+//! The topic-model simulator draws topic–word distributions and per-document
+//! topic mixtures from Dirichlet priors.
+
+use crate::gamma::sample_gamma_shape;
+use rand::Rng;
+
+/// Dirichlet distribution over the simplex of dimension `alphas.len()`.
+#[derive(Debug, Clone)]
+pub struct Dirichlet {
+    alphas: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Construct from concentration parameters (all strictly positive).
+    pub fn new(alphas: Vec<f64>) -> Self {
+        assert!(alphas.len() >= 2, "Dirichlet: need at least 2 components");
+        assert!(
+            alphas.iter().all(|&a| a > 0.0 && a.is_finite()),
+            "Dirichlet: all concentrations must be positive and finite"
+        );
+        Self { alphas }
+    }
+
+    /// Symmetric Dirichlet with `k` components and concentration `alpha`.
+    pub fn symmetric(k: usize, alpha: f64) -> Self {
+        Self::new(vec![alpha; k])
+    }
+
+    /// Dimension of the simplex.
+    pub fn len(&self) -> usize {
+        self.alphas.len()
+    }
+
+    /// Always false (construction requires ≥ 2 components).
+    pub fn is_empty(&self) -> bool {
+        self.alphas.is_empty()
+    }
+
+    /// Draw one probability vector (sums to 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut draws: Vec<f64> =
+            self.alphas.iter().map(|&a| sample_gamma_shape(rng, a)).collect();
+        let total: f64 = draws.iter().sum();
+        if total <= 0.0 {
+            // Vanishingly unlikely; fall back to uniform.
+            let k = draws.len() as f64;
+            draws.iter_mut().for_each(|v| *v = 1.0 / k);
+        } else {
+            draws.iter_mut().for_each(|v| *v /= total);
+        }
+        draws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_on_simplex() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Dirichlet::symmetric(5, 0.5);
+        for _ in 0..100 {
+            let p = d.sample(&mut rng);
+            assert_eq!(p.len(), 5);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn means_match_concentrations() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Dirichlet::new(vec![1.0, 2.0, 7.0]); // means 0.1, 0.2, 0.7
+        let n = 50_000;
+        let mut sums = [0.0; 3];
+        for _ in 0..n {
+            let p = d.sample(&mut rng);
+            for (s, v) in sums.iter_mut().zip(&p) {
+                *s += v;
+            }
+        }
+        let means: Vec<f64> = sums.iter().map(|s| s / n as f64).collect();
+        assert!((means[0] - 0.1).abs() < 0.005, "{means:?}");
+        assert!((means[1] - 0.2).abs() < 0.005, "{means:?}");
+        assert!((means[2] - 0.7).abs() < 0.005, "{means:?}");
+    }
+
+    #[test]
+    fn small_alpha_is_sparse() {
+        // With alpha << 1 most mass concentrates on few components.
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Dirichlet::symmetric(10, 0.05);
+        let mut max_sum = 0.0;
+        let n = 2_000;
+        for _ in 0..n {
+            let p = d.sample(&mut rng);
+            max_sum += p.iter().cloned().fold(0.0, f64::max);
+        }
+        // The largest coordinate should dominate on average.
+        assert!(max_sum / n as f64 > 0.75, "mean max = {}", max_sum / n as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_scalar() {
+        let _ = Dirichlet::new(vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_nonpositive() {
+        let _ = Dirichlet::new(vec![1.0, 0.0]);
+    }
+}

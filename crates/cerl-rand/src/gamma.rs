@@ -1,0 +1,157 @@
+//! Gamma and Beta sampling (Marsaglia–Tsang squeeze method).
+
+use crate::normal::StandardNormal;
+use rand::Rng;
+
+/// Gamma distribution with shape `alpha > 0` and scale `theta > 0`
+/// (mean `alpha · theta`).
+#[derive(Debug, Clone, Copy)]
+pub struct Gamma {
+    alpha: f64,
+    theta: f64,
+}
+
+impl Gamma {
+    /// Construct; panics on non-positive or non-finite parameters.
+    pub fn new(alpha: f64, theta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha.is_finite(), "Gamma: invalid shape {alpha}");
+        assert!(theta > 0.0 && theta.is_finite(), "Gamma: invalid scale {theta}");
+        Self { alpha, theta }
+    }
+
+    /// Draw one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.theta * sample_gamma_shape(rng, self.alpha)
+    }
+
+    /// Shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Scale parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+/// Draw from Gamma(shape = alpha, scale = 1) via Marsaglia–Tsang (2000).
+///
+/// For `alpha < 1` uses the boost `Gamma(α) = Gamma(α+1) · U^{1/α}`.
+pub fn sample_gamma_shape<R: Rng + ?Sized>(rng: &mut R, alpha: f64) -> f64 {
+    assert!(alpha > 0.0, "sample_gamma_shape: alpha must be positive");
+    if alpha < 1.0 {
+        let u: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        return sample_gamma_shape(rng, alpha + 1.0) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    let mut sn = StandardNormal::new();
+    loop {
+        let x = sn.sample(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        let x2 = x * x;
+        // Squeeze acceptance, then log acceptance.
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Beta distribution on `(0, 1)` with shape parameters `a, b > 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Beta {
+    a: f64,
+    b: f64,
+}
+
+impl Beta {
+    /// Construct; panics on non-positive parameters.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(a > 0.0 && b > 0.0, "Beta: invalid parameters a={a}, b={b}");
+        Self { a, b }
+    }
+
+    /// Draw one variate via the gamma ratio.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = sample_gamma_shape(rng, self.a);
+        let y = sample_gamma_shape(rng, self.b);
+        if x + y == 0.0 {
+            0.5
+        } else {
+            x / (x + y)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_stats(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn gamma_moments_large_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Gamma::new(4.0, 0.5); // mean 2, var 1
+        let xs: Vec<f64> = (0..150_000).map(|_| g.sample(&mut rng)).collect();
+        let (m, v) = sample_stats(&xs);
+        assert!((m - 2.0).abs() < 0.02, "mean={m}");
+        assert!((v - 1.0).abs() < 0.05, "var={v}");
+    }
+
+    #[test]
+    fn gamma_moments_small_shape() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = Gamma::new(0.3, 2.0); // mean 0.6, var 1.2
+        let xs: Vec<f64> = (0..200_000).map(|_| g.sample(&mut rng)).collect();
+        let (m, v) = sample_stats(&xs);
+        assert!((m - 0.6).abs() < 0.02, "mean={m}");
+        assert!((v - 1.2).abs() < 0.1, "var={v}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn beta_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let b = Beta::new(2.0, 5.0); // mean 2/7 ≈ 0.2857
+        let xs: Vec<f64> = (0..150_000).map(|_| b.sample(&mut rng)).collect();
+        let (m, v) = sample_stats(&xs);
+        let want_m = 2.0 / 7.0;
+        let want_v = 2.0 * 5.0 / (49.0 * 8.0);
+        assert!((m - want_m).abs() < 0.01, "mean={m}");
+        assert!((v - want_v).abs() < 0.01, "var={v}");
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shape")]
+    fn gamma_rejects_bad_shape() {
+        let _ = Gamma::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid parameters")]
+    fn beta_rejects_bad_params() {
+        let _ = Beta::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # cerl-rand
+//!
+//! Seeded sampling substrate for the CERL workspace. `rand_distr` is not in
+//! the offline dependency set, so the distributions the paper's generators
+//! need are implemented here:
+//!
+//! * [`normal`] — standard/general normal (Marsaglia polar method).
+//! * [`gamma`] — Gamma (Marsaglia–Tsang) and Beta.
+//! * [`dirichlet`] — Dirichlet via normalized gammas (topic simulator).
+//! * [`categorical`] — alias-method categorical, multinomial, Bernoulli.
+//! * [`mvn`] — multivariate normal via Cholesky (synthetic covariates).
+//! * [`seeds`] — deterministic seed derivation for reproducible experiments.
+
+#![warn(missing_docs)]
+
+pub mod categorical;
+pub mod dirichlet;
+pub mod gamma;
+pub mod mvn;
+pub mod normal;
+pub mod seeds;
+
+pub use categorical::{bernoulli, multinomial, Categorical};
+pub use dirichlet::Dirichlet;
+pub use gamma::{Beta, Gamma};
+pub use mvn::MultivariateNormal;
+pub use normal::{Normal, StandardNormal};

@@ -1,0 +1,133 @@
+//! Standard and general normal sampling (Marsaglia polar method).
+//!
+//! `rand_distr` is not in the offline dependency set, so the workspace
+//! carries its own distributions. The polar method is branch-light, exact,
+//! and needs only a uniform source.
+
+use rand::Rng;
+
+/// Standard normal sampler caching the spare variate from the polar method.
+#[derive(Debug, Clone, Default)]
+pub struct StandardNormal {
+    spare: Option<f64>,
+}
+
+impl StandardNormal {
+    /// New sampler with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draw one `N(0, 1)` variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Fill a vector with `n` standard normal variates.
+    pub fn sample_vec<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Normal distribution with location `mean` and scale `sd ≥ 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Construct; panics if `sd` is negative or non-finite.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd >= 0.0 && sd.is_finite(), "Normal: invalid sd {sd}");
+        assert!(mean.is_finite(), "Normal: invalid mean {mean}");
+        Self { mean, sd }
+    }
+
+    /// Draw one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut sn = StandardNormal::new();
+        self.mean + self.sd * sn.sample(rng)
+    }
+
+    /// Distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Distribution standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sn = StandardNormal::new();
+        let n = 200_000;
+        let xs = sn.sample_vec(&mut rng, n);
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn tail_fractions_match_cdf() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sn = StandardNormal::new();
+        let n = 100_000;
+        let xs = sn.sample_vec(&mut rng, n);
+        // P(X > 1.96) ≈ 0.025
+        let frac = xs.iter().filter(|&&x| x > 1.96).count() as f64 / n as f64;
+        assert!((frac - 0.025).abs() < 0.004, "frac={frac}");
+    }
+
+    #[test]
+    fn located_scaled() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Normal::new(5.0, 2.0);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 5.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StandardNormal::new();
+        let mut b = StandardNormal::new();
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.sample(&mut r1), b.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sd")]
+    fn rejects_negative_sd() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+}

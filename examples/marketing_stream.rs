@@ -1,0 +1,69 @@
+//! Marketing-campaign scenario (the paper's motivating Alipay example):
+//! electronic financial records for one campaign arrive city by city, each
+//! city with its own covariate distribution; old cities' raw records become
+//! inaccessible (privacy / retention limits) once processed.
+//!
+//! The treatment is a campaign incentive, the outcome a spend-like score,
+//! and the question is the incentive's heterogeneous uplift. We simulate
+//! five "cities" with the §IV.C generator and show that a single CERL model
+//! tracks the all-data ideal while storing only a fixed-size memory.
+//!
+//! ```text
+//! cargo run --release --example marketing_stream
+//! ```
+
+use cerl::prelude::*;
+
+fn main() {
+    let cities = ["Hangzhou", "Shanghai", "Beijing", "Shenzhen", "Chengdu"];
+    let data_cfg = SyntheticConfig {
+        n_units: 1000,
+        noise_sd: 0.4,
+        mean_shift_scale: 1.0,
+        ..SyntheticConfig::default()
+    };
+    let gen = SyntheticGenerator::new(data_cfg, 11);
+    let stream = DomainStream::synthetic(&gen, cities.len(), 0, 11);
+    let d_in = stream.domain(0).train.dim();
+
+    let mut cfg = CerlConfig::default();
+    cfg.train.epochs = 40;
+    cfg.memory_size = 500; // fixed memory, regardless of how many cities arrive
+
+    let mut cerl = Cerl::new(d_in, cfg.clone(), 11);
+    let mut ideal = CfrC::new(d_in, cfg, 11); // stores ALL raw records
+
+    println!("campaign rollout across {} cities:\n", cities.len());
+    for (d, city) in cities.iter().enumerate() {
+        cerl.observe(&stream.domain(d).train, &stream.domain(d).val);
+        ContinualEstimator::observe(&mut ideal, &stream.domain(d).train, &stream.domain(d).val);
+
+        // Uplift error across every city processed so far.
+        let mut cerl_pehe = 0.0;
+        let mut ideal_pehe = 0.0;
+        for seen in 0..=d {
+            let test = &stream.domain(seen).test;
+            cerl_pehe += EffectMetrics::on_dataset(test, &cerl.predict_ite(&test.x)).sqrt_pehe;
+            ideal_pehe += ideal.evaluate(test).sqrt_pehe;
+        }
+        let k = (d + 1) as f64;
+        println!(
+            "after {:<9}: mean √PEHE over {} cit{}  CERL {:.3} | all-data ideal {:.3} | stored: {} reps vs {} raw rows",
+            city,
+            d + 1,
+            if d == 0 { "y" } else { "ies" },
+            cerl_pehe / k,
+            ideal_pehe / k,
+            cerl.memory().map_or(0, |m| m.len()),
+            ideal.stored_units(),
+        );
+    }
+
+    let ate = {
+        let test = &stream.domain(cities.len() - 1).test;
+        let ite = cerl.predict_ite(&test.x);
+        ite.iter().sum::<f64>() / ite.len() as f64
+    };
+    println!("\nestimated average uplift in the newest city: {ate:.3}");
+    println!("(true simulated uplift is E[sin²] ≈ 0.4–0.5 on this mechanism)");
+}

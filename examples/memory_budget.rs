@@ -1,0 +1,67 @@
+//! Memory-budget trade-off (paper Fig. 3a/3b): how small can the stored
+//! representation set be before continual accuracy suffers?
+//!
+//! Runs CERL over three sequential domains at several memory budgets and
+//! reports the final √PEHE over all seen test data, next to the all-data
+//! ideal (CFR-C) and the herding-vs-random selection ablation.
+//!
+//! ```text
+//! cargo run --release --example memory_budget
+//! ```
+
+use cerl::prelude::*;
+
+fn main() {
+    let n_domains = 3;
+    let data_cfg = SyntheticConfig { n_units: 1000, noise_sd: 0.4, ..SyntheticConfig::default() };
+    let gen = SyntheticGenerator::new(data_cfg, 31);
+    let stream = DomainStream::synthetic(&gen, n_domains, 0, 31);
+    let d_in = stream.domain(0).train.dim();
+
+    let mut base = CerlConfig::default();
+    base.train.epochs = 40;
+
+    let union_pehe = |est: &dyn ContinualEstimator| -> f64 {
+        let mut t = Vec::new();
+        let mut e = Vec::new();
+        for d in 0..n_domains {
+            let test = &stream.domain(d).test;
+            t.extend(test.true_ite());
+            e.extend(est.predict_ite(&test.x));
+        }
+        EffectMetrics::from_ite(&t, &e).sqrt_pehe
+    };
+
+    println!("CERL final √PEHE over all {n_domains} domains vs memory budget:\n");
+    println!("{:<26} {:>10}", "configuration", "√PEHE");
+    for budget in [60usize, 150, 300, 600] {
+        let mut cfg = base.clone();
+        cfg.memory_size = budget;
+        let mut cerl = Cerl::new(d_in, cfg, 31);
+        for d in 0..n_domains {
+            cerl.observe(&stream.domain(d).train, &stream.domain(d).val);
+        }
+        println!("{:<26} {:>10.3}", format!("CERL M={budget}"), union_pehe(&cerl));
+    }
+
+    // Random subsampling instead of herding at a tight budget.
+    let mut cfg = base.clone();
+    cfg.memory_size = 150;
+    cfg.ablation.herding = false;
+    let mut random_mem = Cerl::new(d_in, cfg, 31);
+    for d in 0..n_domains {
+        random_mem.observe(&stream.domain(d).train, &stream.domain(d).val);
+    }
+    println!("{:<26} {:>10.3}", "CERL M=150 (random mem)", union_pehe(&random_mem));
+
+    // The ideal that stores everything.
+    let mut ideal = CfrC::new(d_in, base, 31);
+    for d in 0..n_domains {
+        ContinualEstimator::observe(&mut ideal, &stream.domain(d).train, &stream.domain(d).val);
+    }
+    println!("{:<26} {:>10.3}", "ideal (all raw data)", union_pehe(&ideal));
+    println!(
+        "\nideal stores {} raw rows; CERL stores at most the budget in 32-d representations.",
+        ideal.stored_units()
+    );
+}

@@ -1,0 +1,69 @@
+//! # cerl
+//!
+//! Facade crate for the CERL workspace — a Rust reproduction of
+//! *Continual Causal Inference with Incremental Observational Data*
+//! (Chu, Li, Rathbun & Li, ICDE 2023).
+//!
+//! CERL estimates individual (ITE) and average (ATE) treatment effects
+//! from observational data arriving **incrementally from non-stationary
+//! domains**, without access to previous raw data: a bounded memory of
+//! herding-selected feature representations, feature-representation
+//! distillation, and a representation-space transformation `φ` carry
+//! knowledge across stages.
+//!
+//! ## Crates
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`math`](cerl_math) | dense matrices, Cholesky/Jacobi, special functions, hub-Toeplitz correlations |
+//! | [`rand`](cerl_rand) | normal/gamma/Dirichlet/categorical/MVN samplers, seed derivation |
+//! | [`nn`](cerl_nn) | tape autodiff, layers (incl. cosine normalization), Adam/SGD |
+//! | [`ot`](cerl_ot) | Sinkhorn-Wasserstein and MMD representation-balance penalties |
+//! | [`data`](cerl_data) | synthetic §IV.C generator, News/BlogCatalog simulators, domain streams |
+//! | [`core`](cerl_core) | the CERL learner, CFR baseline, strategies CFR-A/B/C, metrics |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cerl::prelude::*;
+//!
+//! // Three incrementally available domains with shifted distributions.
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 42);
+//! let stream = DomainStream::synthetic(&gen, 3, 0, 42);
+//!
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 2; // doc-test speed; use the default for real runs
+//! let mut learner = Cerl::new(stream.domain(0).train.dim(), cfg, 42);
+//!
+//! for d in 0..stream.len() {
+//!     let report = learner.observe(&stream.domain(d).train, &stream.domain(d).val);
+//!     assert_eq!(report.stage, d + 1);
+//! }
+//!
+//! // One model serves every seen domain; raw history was never retained.
+//! let metrics = EffectMetrics::on_dataset(
+//!     &stream.domain(0).test,
+//!     &learner.predict_ite(&stream.domain(0).test.x),
+//! );
+//! assert!(metrics.sqrt_pehe.is_finite());
+//! ```
+
+pub use cerl_core as core;
+pub use cerl_data as data;
+pub use cerl_math as math;
+pub use cerl_nn as nn;
+pub use cerl_ot as ot;
+pub use cerl_rand as rand;
+
+/// Convenient single-import surface for applications.
+pub mod prelude {
+    pub use cerl_core::{
+        Ablation, Cerl, CerlConfig, CfrA, CfrB, CfrC, CfrModel, ContinualEstimator,
+        EffectMetrics, IpmKind, Memory, StageReport, TrainReport,
+    };
+    pub use cerl_data::{
+        CausalDataset, DomainShift, DomainStream, SemiSyntheticConfig, SemiSyntheticGenerator,
+        SyntheticConfig, SyntheticGenerator,
+    };
+    pub use cerl_math::Matrix;
+}

@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use cerl::math::correlation::{hub_first_column, hub_toeplitz, toeplitz};
+use cerl::math::stats::quantile;
+use cerl::math::Matrix;
+use cerl::nn::{Graph, ParamStore};
+use cerl::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- matrices -----------------------------------------------------
+
+    #[test]
+    fn transpose_is_involutive(rows in 1usize..12, cols in 1usize..12, seed in any::<u64>()) {
+        let mut state = seed;
+        let m = Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+        });
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(n in 1usize..8, seed in any::<u64>()) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+        };
+        let a = Matrix::from_fn(n, n, |_, _| next());
+        let b = Matrix::from_fn(n, n, |_, _| next());
+        let c = Matrix::from_fn(n, n, |_, _| next());
+        let left = cerl::math::matmul(&a, &b.add(&c));
+        let right = cerl::math::matmul(&a, &b).add(&cerl::math::matmul(&a, &c));
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    // ---- correlation construction --------------------------------------
+
+    #[test]
+    fn hub_column_is_monotone_and_bounded(
+        d in 2usize..40,
+        rmax in 0.3f64..0.9,
+        gap in 0.0f64..0.25,
+        gamma in 0.2f64..3.0,
+    ) {
+        let rmin = (rmax - gap).max(0.01);
+        let col = hub_first_column(d, rmax, rmin, gamma);
+        prop_assert_eq!(col.len(), d);
+        prop_assert_eq!(col[0], 1.0);
+        for w in col[1..].windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12, "not monotone: {:?}", col);
+        }
+        for &v in &col[1..] {
+            prop_assert!(v >= rmin - 1e-12 && v <= rmax + 1e-12);
+        }
+    }
+
+    #[test]
+    fn toeplitz_matrices_are_symmetric_with_constant_diagonals(
+        d in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed;
+        let col: Vec<f64> = (0..d).map(|i| {
+            if i == 0 { 1.0 } else {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64 / (1u64 << 32) as f64) * 0.5
+            }
+        }).collect();
+        let m = toeplitz(&col);
+        for i in 0..d {
+            for j in 0..d {
+                prop_assert_eq!(m[(i, j)], m[(j, i)]);
+                prop_assert_eq!(m[(i, j)], col[i.abs_diff(j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn hub_toeplitz_stays_in_correlation_range(
+        d in 2usize..25,
+        rmax in 0.2f64..0.8,
+    ) {
+        let m = hub_toeplitz(d, rmax, 0.1, 1.0);
+        for i in 0..d {
+            prop_assert_eq!(m[(i, i)], 1.0);
+            for j in 0..d {
+                prop_assert!(m[(i, j)].abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    // ---- statistics ----------------------------------------------------
+
+    #[test]
+    fn quantile_brackets_data(mut xs in prop::collection::vec(-1e3f64..1e3, 1..60), q in 0.0f64..1.0) {
+        let v = quantile(&xs, q);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(v >= xs[0] - 1e-9 && v <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    // ---- metrics ---------------------------------------------------------
+
+    #[test]
+    fn pehe_is_a_metric_like_quantity(
+        ite in prop::collection::vec(-10.0f64..10.0, 1..50),
+        offset in -5.0f64..5.0,
+    ) {
+        let shifted: Vec<f64> = ite.iter().map(|v| v + offset).collect();
+        let m = EffectMetrics::from_ite(&ite, &shifted);
+        // Constant offset: PEHE equals |offset| exactly, as does ATE error.
+        prop_assert!((m.sqrt_pehe - offset.abs()).abs() < 1e-9);
+        prop_assert!((m.ate_error - offset.abs()).abs() < 1e-9);
+        // Self-comparison is exactly zero.
+        let z = EffectMetrics::from_ite(&ite, &ite);
+        prop_assert_eq!(z.sqrt_pehe, 0.0);
+        prop_assert_eq!(z.ate_error, 0.0);
+    }
+
+    // ---- autodiff -------------------------------------------------------
+
+    #[test]
+    fn graph_linear_identities_hold(n in 1usize..6, seed in any::<u64>()) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+        };
+        let a_val = Matrix::from_fn(n, n, |_, _| next());
+        let mut g = Graph::new();
+        let a = g.input(a_val.clone());
+        let double_via_add = g.add(a, a);
+        let double_via_scale = g.scale(a, 2.0);
+        prop_assert!(g.value(double_via_add).approx_eq(g.value(double_via_scale), 1e-12));
+
+        // sum(a + a) == 2 sum(a)
+        let s1 = g.sum(double_via_add);
+        prop_assert!((g.scalar(s1) - 2.0 * a_val.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_of_sum_is_ones(rows in 1usize..6, cols in 1usize..6) {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::filled(rows, cols, 0.5));
+        let mut g = Graph::new();
+        let wp = g.param(&store, w);
+        let loss = g.sum(wp);
+        let grads = g.backward(loss);
+        let gw = grads.param_grad(w).unwrap();
+        prop_assert!(gw.approx_eq(&Matrix::ones(rows, cols), 1e-12));
+    }
+
+    // ---- dataset handling -------------------------------------------------
+
+    #[test]
+    fn dataset_select_preserves_alignment(n in 4usize..40, seed in any::<u64>()) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let x = Matrix::from_fn(n, 3, |_, _| next());
+        let t: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let y: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ds = CausalDataset::new(x, t.clone(), y.clone(), y.clone(), y.clone());
+        let idx: Vec<usize> = (0..n).rev().collect();
+        let sel = ds.select(&idx);
+        for (k, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(sel.y[k], y[i]);
+            prop_assert_eq!(sel.t[k], t[i]);
+        }
+        prop_assert_eq!(sel.true_ate(), ds.true_ate());
+    }
+}
