@@ -10,7 +10,10 @@ fn bench_datagen(c: &mut Criterion) {
 
     for &n in &[500usize, 2000] {
         let gen = SyntheticGenerator::new(
-            SyntheticConfig { n_units: n, ..SyntheticConfig::default() },
+            SyntheticConfig {
+                n_units: n,
+                ..SyntheticConfig::default()
+            },
             3,
         );
         group.bench_with_input(BenchmarkId::new("synthetic", n), &gen, |bench, gen| {

@@ -16,7 +16,11 @@ fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     // (batch, in, out) shapes seen in the experiments.
-    for &(m, k, n) in &[(128usize, 100usize, 64usize), (128, 600, 64), (256, 3477, 64)] {
+    for &(m, k, n) in &[
+        (128usize, 100usize, 64usize),
+        (128, 600, 64),
+        (256, 3477, 64),
+    ] {
         let a = pseudo_random(m, k, 1);
         let b = pseudo_random(k, n, 2);
         group.bench_with_input(

@@ -12,28 +12,30 @@ fn bench_train_step(c: &mut Criterion) {
     group.sample_size(10);
 
     let gen = SyntheticGenerator::new(
-        SyntheticConfig { n_units: 600, ..SyntheticConfig::default() },
+        SyntheticConfig {
+            n_units: 600,
+            ..SyntheticConfig::default()
+        },
         5,
     );
     let data = gen.domain(0, 0);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
     let splits = data.split(0.6, 0.2, &mut rng);
 
-    for (label, ipm) in [("wasserstein", IpmKind::Wasserstein), ("no-ipm", IpmKind::None)] {
+    for (label, ipm) in [
+        ("wasserstein", IpmKind::Wasserstein),
+        ("no-ipm", IpmKind::None),
+    ] {
         let mut cfg = CerlConfig::quick_test();
         cfg.train.epochs = 1;
         cfg.train.patience = 0;
         cfg.ipm = ipm;
-        group.bench_with_input(
-            BenchmarkId::new("one-epoch", label),
-            &cfg,
-            |bench, cfg| {
-                bench.iter(|| {
-                    let mut model = CfrModel::new(splits.train.dim(), cfg.clone(), 7);
-                    model.train(&splits.train, &splits.val)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("one-epoch", label), &cfg, |bench, cfg| {
+            bench.iter(|| {
+                let mut model = CfrModel::new(splits.train.dim(), cfg.clone(), 7);
+                model.train(&splits.train, &splits.val)
+            })
+        });
     }
     group.finish();
 }

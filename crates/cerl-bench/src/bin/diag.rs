@@ -14,12 +14,61 @@ use cerl_core::CfrModel;
 use cerl_data::{DomainStream, SyntheticGenerator};
 use cerl_math::stats::{mean, std_dev};
 
+/// Serving-path diagnostics: engine snapshot round-trip (size, save/load
+/// latency, bitwise-identical predictions) and chunked-inference
+/// throughput at request sizes a service would see.
+fn serving_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) {
+    use cerl_core::engine::CerlEngineBuilder;
+    use std::time::Instant;
+
+    let mut engine = CerlEngineBuilder::new(cfg.clone())
+        .seed(seed)
+        .build()
+        .expect("diag: config validated by model_config");
+    for d in 0..stream.len() {
+        engine
+            .observe(&stream.domain(d).train, &stream.domain(d).val)
+            .expect("diag: synthetic domains are well-formed");
+    }
+
+    let t0 = Instant::now();
+    let bytes = engine.save_bytes().expect("trained engine saves");
+    let save = t0.elapsed();
+    let t0 = Instant::now();
+    let restored = cerl_core::engine::CerlEngine::load_bytes(&bytes).expect("own bytes load");
+    let load = t0.elapsed();
+    let x = &stream.domain(0).test.x;
+    let identical = restored.predict_ite(x).expect("restored predicts")
+        == engine.predict_ite(x).expect("engine predicts");
+    println!(
+        "snapshot: {} bytes, save {:.1} ms, load {:.1} ms, bitwise-identical predictions: {identical}",
+        bytes.len(),
+        save.as_secs_f64() * 1e3,
+        load.as_secs_f64() * 1e3,
+    );
+
+    for chunk_rows in [64usize, 512, 4096] {
+        let t0 = Instant::now();
+        let reps = 20;
+        for _ in 0..reps {
+            engine
+                .predict_ite_chunked(x, chunk_rows)
+                .expect("chunked predict");
+        }
+        let per_row = t0.elapsed().as_secs_f64() / (reps * x.rows()) as f64;
+        println!(
+            "chunked inference ({chunk_rows:>4}-row chunks): {:.2} µs/unit",
+            per_row * 1e6
+        );
+    }
+}
+
 /// Pure supervised regression of the true ITE surface τ(x): upper-bounds
 /// what any causal estimator could achieve on this data.
 fn supervised_probe(train: &cerl_data::CausalDataset, test: &cerl_data::CausalDataset, seed: u64) {
-    use cerl_nn::{Activation, Adam, Graph, Mlp, Optimizer, ParamStore};
-    use cerl_math::Matrix;
     use cerl_data::Standardizer;
+    use cerl_math::Matrix;
+    use cerl_nn::{Activation, Adam, Graph, Mlp, Optimizer, ParamStore};
     let std = Standardizer::fit(&train.x);
     let xs = std.transform(&train.x);
     let xt = std.transform(&test.x);
@@ -28,7 +77,9 @@ fn supervised_probe(train: &cerl_data::CausalDataset, test: &cerl_data::CausalDa
         // Linear target: w = 1/sqrt(d) on every coordinate.
         let d = xs.cols() as f64;
         let f = |m: &Matrix| -> Vec<f64> {
-            m.iter_rows().map(|r| r.iter().sum::<f64>() / d.sqrt()).collect()
+            m.iter_rows()
+                .map(|r| r.iter().sum::<f64>() / d.sqrt())
+                .collect()
         };
         (Matrix::col_vector(&f(&xs)), f(&xt))
     } else {
@@ -37,7 +88,14 @@ fn supervised_probe(train: &cerl_data::CausalDataset, test: &cerl_data::CausalDa
 
     let mut store = ParamStore::new();
     let mut rng = cerl_rand::seeds::rng_labeled(seed, "probe");
-    let mlp = Mlp::new(&mut store, &mut rng, &[train.dim(), 64, 32, 1], Activation::Elu(1.0), Activation::Identity, "probe");
+    let mlp = Mlp::new(
+        &mut store,
+        &mut rng,
+        &[train.dim(), 64, 32, 1],
+        Activation::Elu(1.0),
+        Activation::Identity,
+        "probe",
+    );
     let params = mlp.params();
     let mut opt = Adam::new(1e-3);
     use rand::seq::SliceRandom;
@@ -61,12 +119,23 @@ fn supervised_probe(train: &cerl_data::CausalDataset, test: &cerl_data::CausalDa
             let xin = gr.input(xt.clone());
             let pred = mlp.forward(&mut gr, &store, xin);
             let pv = gr.value(pred).col(0);
-            let mse: f64 = pv.iter().zip(&tau_test).map(|(a,b)| (a-b)*(a-b)).sum::<f64>() / pv.len() as f64;
+            let mse: f64 = pv
+                .iter()
+                .zip(&tau_test)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / pv.len() as f64;
             let var = {
                 let m = mean(&tau_test);
-                tau_test.iter().map(|v| (v-m)*(v-m)).sum::<f64>() / tau_test.len() as f64
+                tau_test.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / tau_test.len() as f64
             };
-            println!("supervised epoch {}: test MSE={:.4} var(tau)={:.4} R2={:.3}", epoch+1, mse, var, 1.0 - mse/var);
+            println!(
+                "supervised epoch {}: test MSE={:.4} var(tau)={:.4} R2={:.3}",
+                epoch + 1,
+                mse,
+                var,
+                1.0 - mse / var
+            );
         }
     }
 }
@@ -80,8 +149,9 @@ fn cerl_term_sweep(_stream: &DomainStream, base: &cerl_core::CerlConfig, seed: u
     use cerl_data::SyntheticGenerator;
 
     let gen = SyntheticGenerator::new(synthetic_config(Scale::Quick), seed);
-    let streams: Vec<DomainStream> =
-        (0..3).map(|r| DomainStream::synthetic(&gen, 2, r, seed)).collect();
+    let streams: Vec<DomainStream> = (0..3)
+        .map(|r| DomainStream::synthetic(&gen, 2, r, seed))
+        .collect();
     let d_in = streams[0].domain(0).train.dim();
 
     let run_avg = |mk: &dyn Fn(u64) -> Box<dyn ContinualEstimator>| -> (f64, f64) {
@@ -107,15 +177,58 @@ fn cerl_term_sweep(_stream: &DomainStream, base: &cerl_core::CerlConfig, seed: u
         ("beta=10", Box::new(|c| c.beta = 10.0)),
         ("beta=25", Box::new(|c| c.beta = 25.0)),
         ("lr/2", Box::new(|c| c.train.learning_rate *= 0.5)),
-        ("beta=10 lr/2", Box::new(|c| { c.beta = 10.0; c.train.learning_rate *= 0.5; })),
-        ("beta=10 delta=10", Box::new(|c| { c.beta = 10.0; c.delta = 10.0; })),
-        ("no-mem beta=10", Box::new(|c| { c.ablation.feature_transform = false; c.beta = 10.0; })),
+        (
+            "beta=10 lr/2",
+            Box::new(|c| {
+                c.beta = 10.0;
+                c.train.learning_rate *= 0.5;
+            }),
+        ),
+        (
+            "beta=10 delta=10",
+            Box::new(|c| {
+                c.beta = 10.0;
+                c.delta = 10.0;
+            }),
+        ),
+        (
+            "no-mem beta=10",
+            Box::new(|c| {
+                c.ablation.feature_transform = false;
+                c.beta = 10.0;
+            }),
+        ),
         ("alpha=0", Box::new(|c| c.alpha = 0.0)),
-        ("alpha=0 beta=10", Box::new(|c| { c.alpha = 0.0; c.beta = 10.0; })),
-        ("alpha=0 lr/2", Box::new(|c| { c.alpha = 0.0; c.train.learning_rate *= 0.5; })),
-        ("alpha=.01 lr/2", Box::new(|c| { c.alpha = 0.01; c.train.learning_rate *= 0.5; })),
+        (
+            "alpha=0 beta=10",
+            Box::new(|c| {
+                c.alpha = 0.0;
+                c.beta = 10.0;
+            }),
+        ),
+        (
+            "alpha=0 lr/2",
+            Box::new(|c| {
+                c.alpha = 0.0;
+                c.train.learning_rate *= 0.5;
+            }),
+        ),
+        (
+            "alpha=.01 lr/2",
+            Box::new(|c| {
+                c.alpha = 0.01;
+                c.train.learning_rate *= 0.5;
+            }),
+        ),
         ("lr/4", Box::new(|c| c.train.learning_rate *= 0.25)),
-        ("lr/2 epochs*2", Box::new(|c| { c.train.learning_rate *= 0.5; c.train.epochs *= 2; c.train.patience *= 2; })),
+        (
+            "lr/2 epochs*2",
+            Box::new(|c| {
+                c.train.learning_rate *= 0.5;
+                c.train.epochs *= 2;
+                c.train.patience *= 2;
+            }),
+        ),
     ];
     for (name, tweak) in variants {
         let mut cfg = base.clone();
@@ -158,7 +271,9 @@ fn main() {
     }
     let mut data_cfg = synthetic_config(args.scale);
     if let Some(pos) = args.extra.iter().position(|f| f == "--units") {
-        data_cfg.n_units = args.extra[pos + 1].parse().expect("--units needs an integer");
+        data_cfg.n_units = args.extra[pos + 1]
+            .parse()
+            .expect("--units needs an integer");
     }
     if args.has_flag("--noise0") {
         data_cfg.noise_sd = 0.0;
@@ -185,6 +300,10 @@ fn main() {
         cerl_term_sweep(&stream, &cfg, args.seed);
         return;
     }
+    if args.has_flag("--serving") {
+        serving_probe(&stream, &cfg, args.seed);
+        return;
+    }
     let mut model = CfrModel::new(d0.train.dim(), cfg, args.seed);
     let report = model.train(&d0.train, &d0.val);
     println!(
@@ -200,10 +319,21 @@ fn main() {
     let true_ite_test = d0.test.true_ite();
     println!(
         "pred ITE: mean={:.3} std={:.3} | true ITE: mean={:.3} std={:.3} corr={:.3}",
-        mean(&est), std_dev(&est), mean(&true_ite_test), std_dev(&true_ite_test),
-        { let mp = mean(&est); let mt = mean(&true_ite_test);
-          let cov: f64 = est.iter().zip(&true_ite_test).map(|(a,b)| (a-mp)*(b-mt)).sum::<f64>() / est.len() as f64;
-          cov / (std_dev(&est) * std_dev(&true_ite_test)).max(1e-12) }
+        mean(&est),
+        std_dev(&est),
+        mean(&true_ite_test),
+        std_dev(&true_ite_test),
+        {
+            let mp = mean(&est);
+            let mt = mean(&true_ite_test);
+            let cov: f64 = est
+                .iter()
+                .zip(&true_ite_test)
+                .map(|(a, b)| (a - mp) * (b - mt))
+                .sum::<f64>()
+                / est.len() as f64;
+            cov / (std_dev(&est) * std_dev(&true_ite_test)).max(1e-12)
+        }
     );
     let m = EffectMetrics::on_dataset(&d0.test, &est);
     let ate = d0.test.true_ate();
@@ -221,8 +351,11 @@ fn main() {
         let pred = if d0.test.t[i] { y1[i] } else { y0[i] };
         se += (pred - d0.test.y[i]).powi(2);
     }
-    println!("factual RMSE={:.3} (noise floor={:.3})", (se / d0.test.n() as f64).sqrt(),
-        synthetic_config(args.scale).noise_sd);
+    println!(
+        "factual RMSE={:.3} (noise floor={:.3})",
+        (se / d0.test.n() as f64).sqrt(),
+        synthetic_config(args.scale).noise_sd
+    );
 
     // Cross-domain degradation.
     let est_shift = model.predict_ite(&d1.test.x);

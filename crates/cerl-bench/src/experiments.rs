@@ -44,12 +44,7 @@ impl EstimatorSpec {
     }
 
     /// Instantiate for `d_in` covariates with the given base configuration.
-    pub fn build(
-        &self,
-        d_in: usize,
-        base: &CerlConfig,
-        seed: u64,
-    ) -> Box<dyn ContinualEstimator> {
+    pub fn build(&self, d_in: usize, base: &CerlConfig, seed: u64) -> Box<dyn ContinualEstimator> {
         let mut cfg = base.clone();
         match self {
             EstimatorSpec::CfrA => return Box::new(CfrA::new(d_in, cfg, seed)),
@@ -65,7 +60,12 @@ impl EstimatorSpec {
 
     /// The four main strategies of Tables I–II.
     pub fn main_lineup() -> [EstimatorSpec; 4] {
-        [EstimatorSpec::CfrA, EstimatorSpec::CfrB, EstimatorSpec::CfrC, EstimatorSpec::Cerl]
+        [
+            EstimatorSpec::CfrA,
+            EstimatorSpec::CfrB,
+            EstimatorSpec::CfrC,
+            EstimatorSpec::Cerl,
+        ]
     }
 
     /// Main strategies plus the three ablations (Table II).
@@ -96,14 +96,13 @@ pub struct TwoDomainOutcome {
 
 /// Feed every domain of `stream` to the estimator in arrival order, then
 /// evaluate on each seen domain's test set.
-pub fn run_stream(
-    est: &mut dyn ContinualEstimator,
-    stream: &DomainStream,
-) -> Vec<EffectMetrics> {
+pub fn run_stream(est: &mut dyn ContinualEstimator, stream: &DomainStream) -> Vec<EffectMetrics> {
     for d in 0..stream.len() {
         est.observe(&stream.domain(d).train, &stream.domain(d).val);
     }
-    (0..stream.len()).map(|d| est.evaluate(&stream.domain(d).test)).collect()
+    (0..stream.len())
+        .map(|d| est.evaluate(&stream.domain(d).test))
+        .collect()
 }
 
 /// Run a lineup of estimators over per-replication two-domain streams.
@@ -115,7 +114,10 @@ pub fn run_two_domain_comparison(
     cfg: &CerlConfig,
     seed: u64,
 ) -> Vec<TwoDomainOutcome> {
-    assert!(streams.iter().all(|s| s.len() == 2), "two-domain comparison needs 2 domains");
+    assert!(
+        streams.iter().all(|s| s.len() == 2),
+        "two-domain comparison needs 2 domains"
+    );
     specs
         .iter()
         .map(|spec| {
@@ -128,7 +130,11 @@ pub fn run_two_domain_comparison(
                 prev.push(ms[0]);
                 new.push(ms[1]);
             }
-            TwoDomainOutcome { strategy: spec.label().to_string(), prev, new }
+            TwoDomainOutcome {
+                strategy: spec.label().to_string(),
+                prev,
+                new,
+            }
         })
         .collect()
 }
@@ -164,7 +170,9 @@ pub fn summarize_vs_reference(
         if a.len() < 2 || !worse {
             return false;
         }
-        paired_t_test(a, b).map(|t| t.p_value < 0.05 && t.mean_diff > 0.0).unwrap_or(false)
+        paired_t_test(a, b)
+            .map(|t| t.p_value < 0.05 && t.mean_diff > 0.0)
+            .unwrap_or(false)
     };
     ComparisonCell {
         sqrt_pehe: mean.sqrt_pehe,
@@ -177,10 +185,7 @@ pub fn summarize_vs_reference(
 /// Metrics on the union of several test sets (used by Fig. 3 (a,b), where
 /// the paper reports performance on "test sets composed of previous data
 /// and new data").
-pub fn union_metrics(
-    est: &dyn ContinualEstimator,
-    tests: &[&CausalDataset],
-) -> EffectMetrics {
+pub fn union_metrics(est: &dyn ContinualEstimator, tests: &[&CausalDataset]) -> EffectMetrics {
     let mut true_ite = Vec::new();
     let mut est_ite = Vec::new();
     for t in tests {
@@ -203,15 +208,23 @@ mod tests {
 
     fn tiny_streams(reps: usize) -> Vec<DomainStream> {
         let gen = SyntheticGenerator::new(
-            SyntheticConfig { n_units: 200, ..SyntheticConfig::small() },
+            SyntheticConfig {
+                n_units: 200,
+                ..SyntheticConfig::small()
+            },
             3,
         );
-        (0..reps).map(|r| DomainStream::synthetic(&gen, 2, r, 8)).collect()
+        (0..reps)
+            .map(|r| DomainStream::synthetic(&gen, 2, r, 8))
+            .collect()
     }
 
     #[test]
     fn labels_are_unique() {
-        let mut labels: Vec<&str> = EstimatorSpec::table2_lineup().iter().map(|s| s.label()).collect();
+        let mut labels: Vec<&str> = EstimatorSpec::table2_lineup()
+            .iter()
+            .map(|s| s.label())
+            .collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 7);
@@ -236,13 +249,25 @@ mod tests {
     #[test]
     fn significance_markers_require_worse_mean() {
         let good = vec![
-            EffectMetrics { sqrt_pehe: 1.0, ate_error: 0.1 },
-            EffectMetrics { sqrt_pehe: 1.1, ate_error: 0.11 },
-            EffectMetrics { sqrt_pehe: 0.9, ate_error: 0.09 },
+            EffectMetrics {
+                sqrt_pehe: 1.0,
+                ate_error: 0.1,
+            },
+            EffectMetrics {
+                sqrt_pehe: 1.1,
+                ate_error: 0.11,
+            },
+            EffectMetrics {
+                sqrt_pehe: 0.9,
+                ate_error: 0.09,
+            },
         ];
         let clearly_worse: Vec<EffectMetrics> = good
             .iter()
-            .map(|m| EffectMetrics { sqrt_pehe: m.sqrt_pehe + 1.0, ate_error: m.ate_error + 0.5 })
+            .map(|m| EffectMetrics {
+                sqrt_pehe: m.sqrt_pehe + 1.0,
+                ate_error: m.ate_error + 0.5,
+            })
             .collect();
         let cell = summarize_vs_reference(&clearly_worse, &good);
         assert!(cell.pehe_worse && cell.ate_worse);
@@ -253,11 +278,7 @@ mod tests {
     #[test]
     fn union_metrics_concatenates() {
         let streams = tiny_streams(1);
-        let mut est = EstimatorSpec::CfrA.build(
-            streams[0].domain(0).train.dim(),
-            &tiny_cfg(),
-            5,
-        );
+        let mut est = EstimatorSpec::CfrA.build(streams[0].domain(0).train.dim(), &tiny_cfg(), 5);
         est.observe(&streams[0].domain(0).train, &streams[0].domain(0).val);
         let tests = streams[0].test_sets_up_to(1);
         let m = union_metrics(est.as_ref(), &tests);

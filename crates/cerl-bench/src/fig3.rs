@@ -62,7 +62,13 @@ pub fn run_ab(args: &RunArgs) -> Fig3abResult {
             c.memory_size = m;
             c
         };
-        points.extend(run_series(&label, EstimatorSpec::Cerl, &cfg, &streams, args.seed));
+        points.extend(run_series(
+            &label,
+            EstimatorSpec::Cerl,
+            &cfg,
+            &streams,
+            args.seed,
+        ));
     }
 
     // Optional in-text ablation: no cosine normalization at M = n/2.
@@ -75,15 +81,31 @@ pub fn run_ab(args: &RunArgs) -> Fig3abResult {
             c.ablation.cosine_norm = false;
             c
         };
-        points.extend(run_series(&label, EstimatorSpec::Cerl, &cfg, &streams, args.seed));
+        points.extend(run_series(
+            &label,
+            EstimatorSpec::Cerl,
+            &cfg,
+            &streams,
+            args.seed,
+        ));
     }
 
     // Ideal: retrain from scratch on all raw data after each domain.
     eprintln!("[fig3ab] Ideal (all data) …");
     let cfg = model_config(args.scale);
-    points.extend(run_series("Ideal (all data)", EstimatorSpec::CfrC, &cfg, &streams, args.seed));
+    points.extend(run_series(
+        "Ideal (all data)",
+        EstimatorSpec::CfrC,
+        &cfg,
+        &streams,
+        args.seed,
+    ));
 
-    Fig3abResult { args: args.clone(), units_per_domain: n, points }
+    Fig3abResult {
+        args: args.clone(),
+        units_per_domain: n,
+        points,
+    }
 }
 
 /// Evaluate one estimator spec over all replications, reporting union-test
@@ -123,7 +145,12 @@ pub fn print_ab(result: &Fig3abResult) {
         "\nFigure 3 (a,b) — {} sequential domains, {} units/domain ({} reps)",
         N_DOMAINS, result.units_per_domain, result.args.reps
     );
-    let headers = vec!["series", "after domain", "√PEHE (all seen)", "εATE (all seen)"];
+    let headers = vec![
+        "series",
+        "after domain",
+        "√PEHE (all seen)",
+        "εATE (all seen)",
+    ];
     let rows: Vec<Vec<String>> = result
         .points
         .iter()
@@ -175,7 +202,10 @@ pub fn run_cd(args: &RunArgs) -> Fig3cdResult {
 
     let mut points = Vec::new();
     for (param, setter) in [
-        ("alpha", (|c: &mut CerlConfig, v: f64| c.alpha = v) as fn(&mut CerlConfig, f64)),
+        (
+            "alpha",
+            (|c: &mut CerlConfig, v: f64| c.alpha = v) as fn(&mut CerlConfig, f64),
+        ),
         ("delta", |c: &mut CerlConfig, v: f64| c.delta = v),
     ] {
         for &v in &values {
@@ -201,14 +231,26 @@ pub fn run_cd(args: &RunArgs) -> Fig3cdResult {
             });
         }
     }
-    Fig3cdResult { args: args.clone(), points }
+    Fig3cdResult {
+        args: args.clone(),
+        points,
+    }
 }
 
 /// Print Fig. 3 (c,d) sweeps and dump JSON.
 pub fn print_cd(result: &Fig3cdResult) {
-    println!("\nFigure 3 (c,d) — hyper-parameter robustness ({} reps)", result.args.reps);
-    let headers =
-        vec!["parameter", "value", "prev √PEHE", "prev εATE", "new √PEHE", "new εATE"];
+    println!(
+        "\nFigure 3 (c,d) — hyper-parameter robustness ({} reps)",
+        result.args.reps
+    );
+    let headers = vec![
+        "parameter",
+        "value",
+        "prev √PEHE",
+        "prev εATE",
+        "new √PEHE",
+        "new εATE",
+    ];
     let rows: Vec<Vec<String>> = result
         .points
         .iter()

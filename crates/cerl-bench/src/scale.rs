@@ -70,7 +70,12 @@ impl RunArgs {
             Scale::Standard => 3,
             Scale::Full => 10,
         });
-        Self { scale, reps, seed, extra }
+        Self {
+            scale,
+            reps,
+            seed,
+            extra,
+        }
     }
 
     /// True when an experiment-specific flag is present.
@@ -148,7 +153,10 @@ pub fn blogcatalog_config(scale: Scale) -> SemiSyntheticConfig {
 /// a fraction of the sample size.
 pub fn synthetic_config(scale: Scale) -> SyntheticConfig {
     match scale {
-        Scale::Full => SyntheticConfig { n_units: 10_000, ..SyntheticConfig::default() },
+        Scale::Full => SyntheticConfig {
+            n_units: 10_000,
+            ..SyntheticConfig::default()
+        },
         Scale::Standard => SyntheticConfig {
             n_units: 2_000,
             noise_sd: 0.5,
@@ -212,7 +220,11 @@ pub fn model_config(scale: Scale) -> CerlConfig {
             ..NetConfig::default()
         },
     };
-    CerlConfig { net, train, ..CerlConfig::default() }
+    CerlConfig {
+        net,
+        train,
+        ..CerlConfig::default()
+    }
 }
 
 /// Memory budget for Table I (paper: M = 500) scaled with the unit count.

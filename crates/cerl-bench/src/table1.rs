@@ -59,7 +59,11 @@ pub fn run(args: &RunArgs) -> Table1Result {
             rows.extend(rows_from_outcomes(name, shift.label(), &outcomes));
         }
     }
-    Table1Result { args: args.clone(), memory: cfg.memory_size, rows }
+    Table1Result {
+        args: args.clone(),
+        memory: cfg.memory_size,
+        rows,
+    }
 }
 
 /// Convert raw outcomes into table rows with significance vs CERL.
@@ -91,7 +95,13 @@ pub fn print(result: &Table1Result) {
         result.memory, result.args.reps, result.args.seed
     );
     let headers = vec![
-        "dataset", "shift", "strategy", "prev √PEHE", "prev εATE", "new √PEHE", "new εATE",
+        "dataset",
+        "shift",
+        "strategy",
+        "prev √PEHE",
+        "prev εATE",
+        "new √PEHE",
+        "new εATE",
     ];
     let rows: Vec<Vec<String>> = result
         .rows
@@ -125,14 +135,32 @@ mod tests {
         let cerl = TwoDomainOutcome {
             strategy: "CERL".into(),
             prev: vec![
-                EffectMetrics { sqrt_pehe: 1.0, ate_error: 0.2 },
-                EffectMetrics { sqrt_pehe: 1.05, ate_error: 0.21 },
-                EffectMetrics { sqrt_pehe: 0.95, ate_error: 0.19 },
+                EffectMetrics {
+                    sqrt_pehe: 1.0,
+                    ate_error: 0.2,
+                },
+                EffectMetrics {
+                    sqrt_pehe: 1.05,
+                    ate_error: 0.21,
+                },
+                EffectMetrics {
+                    sqrt_pehe: 0.95,
+                    ate_error: 0.19,
+                },
             ],
             new: vec![
-                EffectMetrics { sqrt_pehe: 1.0, ate_error: 0.2 },
-                EffectMetrics { sqrt_pehe: 1.0, ate_error: 0.2 },
-                EffectMetrics { sqrt_pehe: 1.0, ate_error: 0.2 },
+                EffectMetrics {
+                    sqrt_pehe: 1.0,
+                    ate_error: 0.2,
+                },
+                EffectMetrics {
+                    sqrt_pehe: 1.0,
+                    ate_error: 0.2,
+                },
+                EffectMetrics {
+                    sqrt_pehe: 1.0,
+                    ate_error: 0.2,
+                },
             ],
         };
         let bad_new = TwoDomainOutcome {
@@ -141,13 +169,19 @@ mod tests {
             new: cerl
                 .new
                 .iter()
-                .map(|m| EffectMetrics { sqrt_pehe: m.sqrt_pehe + 2.0, ate_error: m.ate_error + 1.0 })
+                .map(|m| EffectMetrics {
+                    sqrt_pehe: m.sqrt_pehe + 2.0,
+                    ate_error: m.ate_error + 1.0,
+                })
                 .collect(),
         };
         let rows = rows_from_outcomes("News", "substantial", &[bad_new, cerl]);
         let a = &rows[0];
         assert!(a.new.pehe_worse, "CFR-A new-data PEHE should be flagged");
-        assert!(!a.previous.pehe_worse, "CFR-A previous-data PEHE should not be flagged");
+        assert!(
+            !a.previous.pehe_worse,
+            "CFR-A previous-data PEHE should not be flagged"
+        );
         let c = &rows[1];
         assert!(!c.new.pehe_worse && !c.previous.pehe_worse);
     }
@@ -157,8 +191,14 @@ mod tests {
     fn rows_require_cerl_reference() {
         let only_a = TwoDomainOutcome {
             strategy: "CFR-A".into(),
-            prev: vec![EffectMetrics { sqrt_pehe: 1.0, ate_error: 0.1 }],
-            new: vec![EffectMetrics { sqrt_pehe: 1.0, ate_error: 0.1 }],
+            prev: vec![EffectMetrics {
+                sqrt_pehe: 1.0,
+                ate_error: 0.1,
+            }],
+            new: vec![EffectMetrics {
+                sqrt_pehe: 1.0,
+                ate_error: 0.1,
+            }],
         };
         let _ = rows_from_outcomes("News", "none", &[only_a]);
     }

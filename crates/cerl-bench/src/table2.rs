@@ -43,7 +43,10 @@ pub fn run(args: &RunArgs) -> Table2Result {
         .map(|r| DomainStream::synthetic(&gen, 2, r, args.seed))
         .collect();
 
-    eprintln!("[table2] running {} strategies …", EstimatorSpec::table2_lineup().len());
+    eprintln!(
+        "[table2] running {} strategies …",
+        EstimatorSpec::table2_lineup().len()
+    );
     let outcomes =
         run_two_domain_comparison(&EstimatorSpec::table2_lineup(), &streams, &cfg, args.seed);
     let cerl = outcomes
@@ -59,7 +62,11 @@ pub fn run(args: &RunArgs) -> Table2Result {
             new: summarize_vs_reference(&o.new, &cerl.new),
         })
         .collect();
-    Table2Result { args: args.clone(), memory: cfg.memory_size, rows }
+    Table2Result {
+        args: args.clone(),
+        memory: cfg.memory_size,
+        rows,
+    }
 }
 
 /// Print in the paper's layout and dump JSON.
@@ -68,7 +75,13 @@ pub fn print(result: &Table2Result) {
         "\nTable II — synthetic, two sequential domains, M = {} ({} reps, seed {})",
         result.memory, result.args.reps, result.args.seed
     );
-    let headers = vec!["strategy", "prev √PEHE", "prev εATE", "new √PEHE", "new εATE"];
+    let headers = vec![
+        "strategy",
+        "prev √PEHE",
+        "prev εATE",
+        "new √PEHE",
+        "new εATE",
+    ];
     let rows: Vec<Vec<String>> = result
         .rows
         .iter()

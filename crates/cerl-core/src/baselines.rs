@@ -13,8 +13,9 @@
 //!   control subsets respectively; `ÎTE(x) = f₁(x) − f₀(x)`.
 
 use crate::config::CerlConfig;
+use crate::error::CerlError;
 use crate::strategies::ContinualEstimator;
-use crate::trainer::{minibatches, EarlyStopper, TrainReport};
+use crate::trainer::{minibatches, validate_stage_inputs, EarlyStopper, TrainReport};
 use cerl_data::{CausalDataset, OutcomeScaler, Standardizer};
 use cerl_math::Matrix;
 use cerl_nn::compose::mse;
@@ -27,6 +28,7 @@ fn augment_with_treatment(x: &Matrix, t: &[bool]) -> Matrix {
     x.hstack(&tcol)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn train_regressor(
     store: &mut ParamStore,
     net: &Mlp,
@@ -51,7 +53,11 @@ fn train_regressor(
         let xin = g.input(xv.clone());
         let pred = net.forward(&mut g, store, xin);
         let pv = g.value(pred).col(0);
-        pv.iter().zip(yv).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / xv.rows() as f64
+        pv.iter()
+            .zip(yv)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / xv.rows() as f64
     };
 
     let mut final_train_loss = f64::NAN;
@@ -59,7 +65,11 @@ fn train_regressor(
     for _ in 0..cfg.train.epochs {
         epochs_run += 1;
         let mut epoch_loss = 0.0;
-        let batches = minibatches(x.rows(), cfg.train.batch_size.min(x.rows().max(2)), &mut rng);
+        let batches = minibatches(
+            x.rows(),
+            cfg.train.batch_size.min(x.rows().max(2)),
+            &mut rng,
+        );
         let n_batches = batches.len();
         for batch in batches {
             let xb = x.select_rows(&batch);
@@ -82,7 +92,11 @@ fn train_regressor(
         }
     }
     stopper.restore_best(store);
-    TrainReport { epochs_run, best_val_loss: stopper.best_loss(), final_train_loss }
+    TrainReport {
+        epochs_run,
+        best_val_loss: stopper.best_loss(),
+        final_train_loss,
+    }
 }
 
 /// S-learner: one regression network over `(x, t)`.
@@ -93,6 +107,7 @@ pub struct SLearner {
     x_std: Option<Standardizer>,
     y_scale: Option<OutcomeScaler>,
     seed: u64,
+    d_in: usize,
 }
 
 impl SLearner {
@@ -113,20 +128,54 @@ impl SLearner {
             Activation::Identity,
             "s",
         );
-        Self { cfg, store, net, x_std: None, y_scale: None, seed }
+        Self {
+            cfg,
+            store,
+            net,
+            x_std: None,
+            y_scale: None,
+            seed,
+            d_in,
+        }
     }
 
     /// Train (or fine-tune) on one dataset.
+    ///
+    /// # Panics
+    /// On invalid input; [`SLearner::try_train`] is the fallible form.
     pub fn train(&mut self, train: &CausalDataset, val: &CausalDataset) -> TrainReport {
-        let x_std = Standardizer::fit_clipped(&train.x, crate::cfr::Z_CLIP);
-        let y_scale = OutcomeScaler::fit(&train.y);
-        let xs = augment_with_treatment(&x_std.transform(&train.x), &train.t);
+        match self.try_train(train, val) {
+            Ok(report) => report,
+            Err(e) => panic!("SLearner::train: {e}"),
+        }
+    }
+
+    /// Train (or fine-tune) on one dataset, reporting malformed input as a
+    /// typed error.
+    pub fn try_train(
+        &mut self,
+        train: &CausalDataset,
+        val: &CausalDataset,
+    ) -> Result<TrainReport, CerlError> {
+        validate_stage_inputs(train, val, self.d_in)?;
+        let x_std = Standardizer::try_fit_clipped(&train.x, crate::cfr::Z_CLIP)?;
+        let y_scale = OutcomeScaler::try_fit(&train.y)?;
+        let xs = augment_with_treatment(&x_std.try_transform(&train.x)?, &train.t);
         let ys = y_scale.transform(&train.y);
-        let xv = augment_with_treatment(&x_std.transform(&val.x), &val.t);
+        let xv = augment_with_treatment(&x_std.try_transform(&val.x)?, &val.t);
         let yv = y_scale.transform(&val.y);
         self.x_std = Some(x_std);
         self.y_scale = Some(y_scale);
-        train_regressor(&mut self.store, &self.net, &xs, &ys, &xv, &yv, &self.cfg, self.seed)
+        Ok(train_regressor(
+            &mut self.store,
+            &self.net,
+            &xs,
+            &ys,
+            &xv,
+            &yv,
+            &self.cfg,
+            self.seed,
+        ))
     }
 }
 
@@ -135,14 +184,16 @@ impl ContinualEstimator for SLearner {
         "S-learner".into()
     }
 
-    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset) {
-        self.train(train, val);
+    fn try_observe(&mut self, train: &CausalDataset, val: &CausalDataset) -> Result<(), CerlError> {
+        self.try_train(train, val).map(|_| ())
     }
 
-    fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
-        let std = self.x_std.as_ref().expect("S-learner: not trained");
-        let scale = self.y_scale.as_ref().expect("S-learner: not trained");
-        let xs = std.transform(x);
+    fn try_predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
+        let (std, scale) = match (self.x_std.as_ref(), self.y_scale.as_ref()) {
+            (Some(std), Some(scale)) => (std, scale),
+            _ => return Err(CerlError::NotTrained),
+        };
+        let xs = std.try_transform(x)?;
         let all_true = vec![true; x.rows()];
         let all_false = vec![false; x.rows()];
         let eval = |t: &[bool]| -> Vec<f64> {
@@ -153,7 +204,7 @@ impl ContinualEstimator for SLearner {
         };
         let y1 = eval(&all_true);
         let y0 = eval(&all_false);
-        y1.iter().zip(&y0).map(|(a, b)| a - b).collect()
+        Ok(y1.iter().zip(&y0).map(|(a, b)| a - b).collect())
     }
 }
 
@@ -166,6 +217,7 @@ pub struct TLearner {
     x_std: Option<Standardizer>,
     y_scale: Option<OutcomeScaler>,
     seed: u64,
+    d_in: usize,
 }
 
 impl TLearner {
@@ -181,16 +233,41 @@ impl TLearner {
         let act = cfg.net.activation.to_activation();
         let net0 = Mlp::new(&mut store, &mut rng, &dims, act, Activation::Identity, "t0");
         let net1 = Mlp::new(&mut store, &mut rng, &dims, act, Activation::Identity, "t1");
-        Self { cfg, store, net0, net1, x_std: None, y_scale: None, seed }
+        Self {
+            cfg,
+            store,
+            net0,
+            net1,
+            x_std: None,
+            y_scale: None,
+            seed,
+            d_in,
+        }
     }
 
     /// Train (or fine-tune) on one dataset.
+    ///
+    /// # Panics
+    /// On invalid input; [`TLearner::try_train`] is the fallible form.
     pub fn train(&mut self, train: &CausalDataset, val: &CausalDataset) {
-        let x_std = Standardizer::fit_clipped(&train.x, crate::cfr::Z_CLIP);
-        let y_scale = OutcomeScaler::fit(&train.y);
-        let xs = x_std.transform(&train.x);
+        if let Err(e) = self.try_train(train, val) {
+            panic!("TLearner::train: {e}");
+        }
+    }
+
+    /// Train (or fine-tune) on one dataset, reporting malformed input as a
+    /// typed error.
+    pub fn try_train(
+        &mut self,
+        train: &CausalDataset,
+        val: &CausalDataset,
+    ) -> Result<(), CerlError> {
+        validate_stage_inputs(train, val, self.d_in)?;
+        let x_std = Standardizer::try_fit_clipped(&train.x, crate::cfr::Z_CLIP)?;
+        let y_scale = OutcomeScaler::try_fit(&train.y)?;
+        let xs = x_std.try_transform(&train.x)?;
         let ys = y_scale.transform(&train.y);
-        let xv = x_std.transform(&val.x);
+        let xv = x_std.try_transform(&val.x)?;
         let yv = y_scale.transform(&val.y);
 
         for (arm, net) in [(false, &self.net0), (true, &self.net1)] {
@@ -214,6 +291,7 @@ impl TLearner {
         }
         self.x_std = Some(x_std);
         self.y_scale = Some(y_scale);
+        Ok(())
     }
 }
 
@@ -222,14 +300,16 @@ impl ContinualEstimator for TLearner {
         "T-learner".into()
     }
 
-    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset) {
-        self.train(train, val);
+    fn try_observe(&mut self, train: &CausalDataset, val: &CausalDataset) -> Result<(), CerlError> {
+        self.try_train(train, val)
     }
 
-    fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
-        let std = self.x_std.as_ref().expect("T-learner: not trained");
-        let scale = self.y_scale.as_ref().expect("T-learner: not trained");
-        let xs = std.transform(x);
+    fn try_predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
+        let (std, scale) = match (self.x_std.as_ref(), self.y_scale.as_ref()) {
+            (Some(std), Some(scale)) => (std, scale),
+            _ => return Err(CerlError::NotTrained),
+        };
+        let xs = std.try_transform(x)?;
         let eval = |net: &Mlp| -> Vec<f64> {
             let mut g = Graph::new();
             let xin = g.input(xs.clone());
@@ -238,7 +318,7 @@ impl ContinualEstimator for TLearner {
         };
         let y1 = eval(&self.net1);
         let y0 = eval(&self.net0);
-        y1.iter().zip(&y0).map(|(a, b)| a - b).collect()
+        Ok(y1.iter().zip(&y0).map(|(a, b)| a - b).collect())
     }
 }
 
@@ -251,7 +331,11 @@ mod tests {
 
     fn quick_data() -> (CausalDataset, CausalDataset, CausalDataset) {
         let gen = SyntheticGenerator::new(
-            SyntheticConfig { n_units: 600, noise_sd: 0.4, ..SyntheticConfig::small() },
+            SyntheticConfig {
+                n_units: 600,
+                noise_sd: 0.4,
+                ..SyntheticConfig::small()
+            },
             9,
         );
         let data = gen.domain(0, 0);
@@ -287,8 +371,14 @@ mod tests {
         t.train(&train, &val);
         let m = EffectMetrics::on_dataset(&test, &t.predict_ite(&test.x));
         let trivial = EffectMetrics::on_dataset(&test, &vec![0.0; test.n()]);
-        assert!(m.ate_error < trivial.ate_error * 0.7, "{m:?} vs {trivial:?}");
-        assert!(m.sqrt_pehe < trivial.sqrt_pehe * 1.3, "{m:?} vs {trivial:?}");
+        assert!(
+            m.ate_error < trivial.ate_error * 0.7,
+            "{m:?} vs {trivial:?}"
+        );
+        assert!(
+            m.sqrt_pehe < trivial.sqrt_pehe * 1.3,
+            "{m:?} vs {trivial:?}"
+        );
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! three adaptation strategies (CFR-A/B/C) the paper compares against.
 
 use crate::config::{CerlConfig, IpmKind};
+use crate::error::CerlError;
 use crate::heads::OutcomeHeads;
 use crate::repr::ReprNet;
-use crate::trainer::{minibatches, EarlyStopper, TrainReport};
+use crate::snapshot::CfrState;
+use crate::trainer::{minibatches, validate_stage_inputs, EarlyStopper, TrainReport};
 use cerl_data::{CausalDataset, OutcomeScaler, Standardizer};
 use cerl_math::Matrix;
 use cerl_nn::compose::{elastic_net_penalty, mse, weighted_sum};
@@ -38,12 +40,53 @@ pub struct CfrModel {
 
 impl CfrModel {
     /// Create an untrained model for `d_in`-dimensional covariates.
+    ///
+    /// # Panics
+    /// On an invalid configuration; [`CfrModel::try_new`] is the fallible
+    /// form.
     pub fn new(d_in: usize, cfg: CerlConfig, seed: u64) -> Self {
+        match Self::try_new(d_in, cfg, seed) {
+            Ok(model) => model,
+            Err(e) => panic!("CfrModel::new: {e}"),
+        }
+    }
+
+    /// Create an untrained model, validating the configuration and the
+    /// covariate dimension first.
+    pub fn try_new(d_in: usize, cfg: CerlConfig, seed: u64) -> Result<Self, CerlError> {
+        cfg.validate()?;
+        if d_in == 0 {
+            return Err(CerlError::EmptyInput {
+                what: "covariate dimension (d_in = 0)",
+            });
+        }
         let mut store = ParamStore::new();
         let mut rng = seeds::rng_labeled(seed, "init");
-        let repr = ReprNet::new(&mut store, &mut rng, d_in, &cfg.net, cfg.ablation.cosine_norm, "g");
+        let repr = ReprNet::new(
+            &mut store,
+            &mut rng,
+            d_in,
+            &cfg.net,
+            cfg.ablation.cosine_norm,
+            "g",
+        );
         let heads = OutcomeHeads::new(&mut store, &mut rng, cfg.net.repr_dim, &cfg.net, "h");
-        Self { cfg, store, repr, heads, x_std: None, y_scale: None, seed, d_in, stages_trained: 0 }
+        Ok(Self {
+            cfg,
+            store,
+            repr,
+            heads,
+            x_std: None,
+            y_scale: None,
+            seed,
+            d_in,
+            stages_trained: 0,
+        })
+    }
+
+    /// Covariate dimension this model was built for.
+    pub fn d_in(&self) -> usize {
+        self.d_in
     }
 
     /// Configuration in use.
@@ -52,15 +95,31 @@ impl CfrModel {
     }
 
     /// Train from the current parameters on `train`, early-stopping on
+    /// `val`.
+    ///
+    /// # Panics
+    /// On invalid input; [`CfrModel::try_train`] is the fallible form.
+    pub fn train(&mut self, train: &CausalDataset, val: &CausalDataset) -> TrainReport {
+        match self.try_train(train, val) {
+            Ok(report) => report,
+            Err(e) => panic!("CfrModel::train: {e}"),
+        }
+    }
+
+    /// Train from the current parameters on `train`, early-stopping on
     /// `val`. Refits the covariate/outcome scalers on `train` (this is what
     /// fine-tuning strategies do when new data arrives).
-    pub fn train(&mut self, train: &CausalDataset, val: &CausalDataset) -> TrainReport {
-        assert!(train.n() >= 4, "CfrModel::train: need at least 4 units");
-        let x_std = Standardizer::fit_clipped(&train.x, Z_CLIP);
-        let y_scale = OutcomeScaler::fit(&train.y);
-        let xs = x_std.transform(&train.x);
+    pub fn try_train(
+        &mut self,
+        train: &CausalDataset,
+        val: &CausalDataset,
+    ) -> Result<TrainReport, CerlError> {
+        validate_stage_inputs(train, val, self.d_in)?;
+        let x_std = Standardizer::try_fit_clipped(&train.x, Z_CLIP)?;
+        let y_scale = OutcomeScaler::try_fit(&train.y)?;
+        let xs = x_std.try_transform(&train.x)?;
         let ys = Matrix::col_vector(&y_scale.transform(&train.y));
-        let xv = x_std.transform(&val.x);
+        let xv = x_std.try_transform(&val.x)?;
         let yv = y_scale.transform(&val.y);
         self.x_std = Some(x_std);
         self.y_scale = Some(y_scale);
@@ -119,7 +178,11 @@ impl CfrModel {
         }
         stopper.restore_best(&mut self.store);
         self.stages_trained += 1;
-        TrainReport { epochs_run, best_val_loss: stopper.best_loss(), final_train_loss }
+        Ok(TrainReport {
+            epochs_run,
+            best_val_loss: stopper.best_loss(),
+            final_train_loss,
+        })
     }
 
     /// IPM balance term between treated/control representations within a
@@ -135,12 +198,12 @@ impl CfrModel {
         }
         let rt = g.select_rows(r, &treated);
         let rc = g.select_rows(r, &control);
-        Some(match self.cfg.ipm {
-            IpmKind::Wasserstein => wasserstein(g, rt, rc, self.cfg.sinkhorn()),
-            IpmKind::LinearMmd => linear_mmd(g, rt, rc),
-            IpmKind::RbfMmd => rbf_mmd(g, rt, rc, Bandwidth::MedianHeuristic),
-            IpmKind::None => unreachable!("filtered above"),
-        })
+        match self.cfg.ipm {
+            IpmKind::Wasserstein => Some(wasserstein(g, rt, rc, self.cfg.sinkhorn())),
+            IpmKind::LinearMmd => Some(linear_mmd(g, rt, rc)),
+            IpmKind::RbfMmd => Some(rbf_mmd(g, rt, rc, Bandwidth::MedianHeuristic)),
+            IpmKind::None => None,
+        }
     }
 
     /// Factual MSE in scaled-outcome space on pre-standardized covariates
@@ -162,24 +225,76 @@ impl CfrModel {
     /// Representations of (raw) covariates under the trained pipeline.
     ///
     /// # Panics
-    /// If called before training.
+    /// If called before training; [`CfrModel::try_embed`] is the fallible
+    /// form.
     pub fn embed(&self, x: &Matrix) -> Matrix {
-        let std = self.x_std.as_ref().expect("CfrModel: not trained yet");
-        self.repr.embed(&self.store, &std.transform(x))
+        match self.try_embed(x) {
+            Ok(r) => r,
+            Err(e) => panic!("CfrModel::embed: {e}"),
+        }
+    }
+
+    /// Representations of (raw) covariates under the trained pipeline,
+    /// failing with a typed error before training or on a dimension
+    /// mismatch.
+    pub fn try_embed(&self, x: &Matrix) -> Result<Matrix, CerlError> {
+        let std = match self.x_std.as_ref() {
+            Some(std) => std,
+            None => return Err(CerlError::NotTrained),
+        };
+        if x.cols() != self.d_in {
+            return Err(CerlError::DimensionMismatch {
+                expected: self.d_in,
+                found: x.cols(),
+            });
+        }
+        Ok(self.repr.embed(&self.store, &std.try_transform(x)?))
     }
 
     /// Predict both potential outcomes (original outcome scale).
+    ///
+    /// # Panics
+    /// If called before training;
+    /// [`CfrModel::try_predict_potential_outcomes`] is the fallible form.
     pub fn predict_potential_outcomes(&self, x: &Matrix) -> (Vec<f64>, Vec<f64>) {
-        let r = self.embed(x);
+        match self.try_predict_potential_outcomes(x) {
+            Ok(pair) => pair,
+            Err(e) => panic!("CfrModel::predict_potential_outcomes: {e}"),
+        }
+    }
+
+    /// Predict both potential outcomes (original outcome scale), failing
+    /// with a typed error before training or on a dimension mismatch.
+    pub fn try_predict_potential_outcomes(
+        &self,
+        x: &Matrix,
+    ) -> Result<(Vec<f64>, Vec<f64>), CerlError> {
+        let r = self.try_embed(x)?;
         let (y0s, y1s) = self.heads.predict_both(&self.store, &r);
-        let scale = self.y_scale.as_ref().expect("CfrModel: not trained yet");
-        (scale.inverse(&y0s), scale.inverse(&y1s))
+        let scale = match self.y_scale.as_ref() {
+            Some(scale) => scale,
+            None => return Err(CerlError::NotTrained),
+        };
+        Ok((scale.inverse(&y0s), scale.inverse(&y1s)))
     }
 
     /// Predicted individual treatment effects `ŷ₁ − ŷ₀`.
+    ///
+    /// # Panics
+    /// If called before training; [`CfrModel::try_predict_ite`] is the
+    /// fallible form.
     pub fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
-        let (y0, y1) = self.predict_potential_outcomes(x);
-        y1.iter().zip(&y0).map(|(&a, &b)| a - b).collect()
+        match self.try_predict_ite(x) {
+            Ok(ite) => ite,
+            Err(e) => panic!("CfrModel::predict_ite: {e}"),
+        }
+    }
+
+    /// Predicted individual treatment effects `ŷ₁ − ŷ₀`, failing with a
+    /// typed error before training or on a dimension mismatch.
+    pub fn try_predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
+        let (y0, y1) = self.try_predict_potential_outcomes(x)?;
+        Ok(y1.iter().zip(&y0).map(|(&a, &b)| a - b).collect())
     }
 
     // ---- internals exposed to the continual trainer -------------------
@@ -240,6 +355,36 @@ impl CfrModel {
     pub(crate) fn bump_stage(&mut self) {
         self.stages_trained += 1;
     }
+
+    /// Capture everything needed to reconstruct this model (snapshot
+    /// support).
+    pub(crate) fn to_state(&self) -> CfrState {
+        CfrState {
+            store: self.store.clone(),
+            repr: self.repr.clone(),
+            heads: self.heads.clone(),
+            x_std: self.x_std.clone(),
+            y_scale: self.y_scale,
+            d_in: self.d_in,
+            stages_trained: self.stages_trained,
+        }
+    }
+
+    /// Rebuild a model from a captured state; the caller (snapshot layer)
+    /// has already validated parameter-id consistency.
+    pub(crate) fn from_state(state: CfrState, cfg: CerlConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            store: state.store,
+            repr: state.repr,
+            heads: state.heads,
+            x_std: state.x_std,
+            y_scale: state.y_scale,
+            seed,
+            d_in: state.d_in,
+            stages_trained: state.stages_trained,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -251,7 +396,10 @@ mod tests {
 
     fn quick_data() -> (CausalDataset, CausalDataset, CausalDataset) {
         let gen = SyntheticGenerator::new(
-            SyntheticConfig { n_units: 600, ..SyntheticConfig::small() },
+            SyntheticConfig {
+                n_units: 600,
+                ..SyntheticConfig::small()
+            },
             42,
         );
         let data = gen.domain(0, 0);
@@ -288,9 +436,8 @@ mod tests {
     fn predict_before_training_panics() {
         let model = CfrModel::new(5, CerlConfig::quick_test(), 1);
         let x = Matrix::zeros(2, 5);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            model.predict_ite(&x)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| model.predict_ite(&x)));
         assert!(result.is_err());
     }
 

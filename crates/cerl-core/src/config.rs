@@ -5,6 +5,7 @@
 //! every knob there appears here, plus architecture, optimization, memory,
 //! and ablation switches (Table II: w/o FRT, w/o herding, w/o cosine norm).
 
+use crate::error::CerlError;
 use cerl_nn::Activation;
 use cerl_ot::{EpsilonMode, SinkhornConfig};
 use serde::{Deserialize, Serialize};
@@ -142,7 +143,11 @@ pub struct Ablation {
 
 impl Default for Ablation {
     fn default() -> Self {
-        Self { feature_transform: true, herding: true, cosine_norm: true }
+        Self {
+            feature_transform: true,
+            herding: true,
+            cosine_norm: true,
+        }
     }
 }
 
@@ -232,6 +237,98 @@ impl CerlConfig {
         }
     }
 
+    /// Validate every field, returning the first violation as a typed
+    /// error. Called by [`crate::engine::CerlEngineBuilder::build`] and the
+    /// fallible estimator constructors so invalid settings surface before
+    /// any training starts.
+    pub fn validate(&self) -> Result<(), CerlError> {
+        fn bad(field: &'static str, reason: String) -> Result<(), CerlError> {
+            Err(CerlError::InvalidConfig { field, reason })
+        }
+        if self.net.repr_dim == 0 {
+            return bad(
+                "net.repr_dim",
+                "representation dimension must be > 0".into(),
+            );
+        }
+        for (field, widths) in [
+            ("net.repr_hidden", &self.net.repr_hidden),
+            ("net.head_hidden", &self.net.head_hidden),
+            ("net.transform_hidden", &self.net.transform_hidden),
+        ] {
+            if widths.contains(&0) {
+                return bad(field, "hidden-layer widths must be > 0".into());
+            }
+        }
+        if self.train.epochs == 0 {
+            return bad("train.epochs", "must run at least one epoch".into());
+        }
+        if self.train.batch_size < 2 {
+            return bad(
+                "train.batch_size",
+                format!(
+                    "must be ≥ 2 (MSE/IPM terms degenerate below that), got {}",
+                    self.train.batch_size
+                ),
+            );
+        }
+        if self.train.memory_batch_size < 2 {
+            return bad(
+                "train.memory_batch_size",
+                format!("must be ≥ 2, got {}", self.train.memory_batch_size),
+            );
+        }
+        if !(self.train.learning_rate > 0.0 && self.train.learning_rate.is_finite()) {
+            return bad(
+                "train.learning_rate",
+                format!(
+                    "must be positive and finite, got {}",
+                    self.train.learning_rate
+                ),
+            );
+        }
+        if !self.train.clip_norm.is_finite() || self.train.clip_norm < 0.0 {
+            return bad(
+                "train.clip_norm",
+                format!(
+                    "must be finite and ≥ 0 (0 disables), got {}",
+                    self.train.clip_norm
+                ),
+            );
+        }
+        for (field, value) in [
+            ("alpha", self.alpha),
+            ("lambda", self.lambda),
+            ("beta", self.beta),
+            ("delta", self.delta),
+        ] {
+            if !(value >= 0.0 && value.is_finite()) {
+                return bad(
+                    field,
+                    format!("loss weight must be ≥ 0 and finite, got {value}"),
+                );
+            }
+        }
+        if self.memory_size == 0 {
+            return bad("memory_size", "memory budget must be > 0".into());
+        }
+        if self.ipm == IpmKind::Wasserstein {
+            if !(self.sinkhorn_epsilon > 0.0 && self.sinkhorn_epsilon.is_finite()) {
+                return bad(
+                    "sinkhorn_epsilon",
+                    format!("must be positive and finite, got {}", self.sinkhorn_epsilon),
+                );
+            }
+            if self.sinkhorn_iterations == 0 {
+                return bad(
+                    "sinkhorn_iterations",
+                    "must run at least one iteration".into(),
+                );
+            }
+        }
+        Ok(())
+    }
+
     /// Sinkhorn configuration derived from the scalar knobs.
     pub fn sinkhorn(&self) -> SinkhornConfig {
         SinkhornConfig {
@@ -268,7 +365,57 @@ mod tests {
     fn activation_mapping() {
         assert_eq!(ActivationKind::Relu.to_activation(), Activation::Relu);
         assert_eq!(ActivationKind::Elu.to_activation(), Activation::Elu(1.0));
-        assert_eq!(ActivationKind::Identity.to_activation(), Activation::Identity);
+        assert_eq!(
+            ActivationKind::Identity.to_activation(),
+            Activation::Identity
+        );
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_bad_fields() {
+        assert!(CerlConfig::default().validate().is_ok());
+        assert!(CerlConfig::quick_test().validate().is_ok());
+
+        let c = CerlConfig {
+            memory_size: 0,
+            ..CerlConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(CerlError::InvalidConfig {
+                field: "memory_size",
+                ..
+            })
+        ));
+
+        let c = CerlConfig {
+            alpha: -0.5,
+            ..CerlConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(CerlError::InvalidConfig { field: "alpha", .. })
+        ));
+
+        let mut c = CerlConfig::default();
+        c.train.batch_size = 1;
+        assert!(matches!(
+            c.validate(),
+            Err(CerlError::InvalidConfig {
+                field: "train.batch_size",
+                ..
+            })
+        ));
+
+        let mut c = CerlConfig::default();
+        c.net.repr_dim = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(CerlError::InvalidConfig {
+                field: "net.repr_dim",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -23,12 +23,16 @@
 
 use crate::cfr::CfrModel;
 use crate::config::{CerlConfig, DistillKind, IpmKind};
+use crate::error::CerlError;
 use crate::memory::Memory;
-use crate::trainer::{minibatches, EarlyStopper, TrainReport};
+use crate::snapshot::ModelSnapshot;
+use crate::trainer::{minibatches, validate_stage_inputs, EarlyStopper, TrainReport};
 use crate::transform::FeatureTransform;
 use cerl_data::{CausalDataset, OutcomeScaler, Standardizer};
 use cerl_math::Matrix;
-use cerl_nn::compose::{elastic_net_penalty, mean_cosine_distance, mean_squared_distance, mse, weighted_sum};
+use cerl_nn::compose::{
+    elastic_net_penalty, mean_cosine_distance, mean_squared_distance, mse, weighted_sum,
+};
 use cerl_nn::{Adam, Graph, NodeId, Optimizer};
 use cerl_ot::{linear_mmd, rbf_mmd, wasserstein, Bandwidth};
 use cerl_rand::seeds;
@@ -57,9 +61,37 @@ pub struct Cerl {
 
 impl Cerl {
     /// Create an untrained learner for `d_in`-dimensional covariates.
+    ///
+    /// # Panics
+    /// On an invalid configuration; [`Cerl::try_new`] is the fallible form.
     pub fn new(d_in: usize, cfg: CerlConfig, seed: u64) -> Self {
-        let model = CfrModel::new(d_in, cfg.clone(), seed);
-        Self { cfg, model, memory: None, stage: 0, seed }
+        match Self::try_new(d_in, cfg, seed) {
+            Ok(cerl) => cerl,
+            Err(e) => panic!("Cerl::new: {e}"),
+        }
+    }
+
+    /// Create an untrained learner, validating the configuration and the
+    /// covariate dimension first.
+    pub fn try_new(d_in: usize, cfg: CerlConfig, seed: u64) -> Result<Self, CerlError> {
+        let model = CfrModel::try_new(d_in, cfg.clone(), seed)?;
+        Ok(Self {
+            cfg,
+            model,
+            memory: None,
+            stage: 0,
+            seed,
+        })
+    }
+
+    /// Covariate dimension this learner was built for.
+    pub fn d_in(&self) -> usize {
+        self.model.d_in()
+    }
+
+    /// Seed the learner was built with (stage RNG streams derive from it).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Number of completed stages (domains observed).
@@ -79,63 +111,168 @@ impl Cerl {
     }
 
     /// Observe the next incrementally available domain (Algorithm 1 step).
+    ///
+    /// # Panics
+    /// On invalid input; [`Cerl::try_observe`] is the fallible form.
     pub fn observe(&mut self, train: &CausalDataset, val: &CausalDataset) -> StageReport {
-        let report = if self.stage == 0 {
-            self.model.train(train, val)
-        } else {
-            self.continual_stage(train, val)
-        };
-        self.rebuild_memory(train);
-        self.stage += 1;
-        StageReport {
-            stage: self.stage,
-            train: report,
-            memory_len: self.memory.as_ref().map_or(0, Memory::len),
+        match self.try_observe(train, val) {
+            Ok(report) => report,
+            Err(e) => panic!("Cerl::observe: {e}"),
         }
     }
 
+    /// Observe the next incrementally available domain (Algorithm 1 step),
+    /// failing with a typed error on malformed input instead of panicking.
+    ///
+    /// On error the learner is left exactly as it was: validation happens
+    /// before any training step mutates parameters or memory.
+    pub fn try_observe(
+        &mut self,
+        train: &CausalDataset,
+        val: &CausalDataset,
+    ) -> Result<StageReport, CerlError> {
+        let report = if self.stage == 0 {
+            self.model.try_train(train, val)?
+        } else {
+            self.continual_stage(train, val)?
+        };
+        self.rebuild_memory(train);
+        self.stage += 1;
+        Ok(StageReport {
+            stage: self.stage,
+            train: report,
+            memory_len: self.memory.as_ref().map_or(0, Memory::len),
+        })
+    }
+
     /// Predicted ITE on raw covariates (current model, any seen domain).
+    ///
+    /// # Panics
+    /// Before the first stage; [`Cerl::try_predict_ite`] is the fallible
+    /// form.
     pub fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
-        self.model.predict_ite(x)
+        match self.try_predict_ite(x) {
+            Ok(ite) => ite,
+            Err(e) => panic!("Cerl::predict_ite: {e}"),
+        }
+    }
+
+    /// Predicted ITE on raw covariates, failing with a typed error before
+    /// the first stage or on a covariate-dimension mismatch.
+    pub fn try_predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
+        self.model.try_predict_ite(x)
     }
 
     /// Predicted potential outcomes on raw covariates.
+    ///
+    /// # Panics
+    /// Before the first stage; [`Cerl::try_predict_potential_outcomes`] is
+    /// the fallible form.
     pub fn predict_potential_outcomes(&self, x: &Matrix) -> (Vec<f64>, Vec<f64>) {
-        self.model.predict_potential_outcomes(x)
+        match self.try_predict_potential_outcomes(x) {
+            Ok(pair) => pair,
+            Err(e) => panic!("Cerl::predict_potential_outcomes: {e}"),
+        }
+    }
+
+    /// Predicted potential outcomes on raw covariates, failing with a typed
+    /// error before the first stage or on a dimension mismatch.
+    pub fn try_predict_potential_outcomes(
+        &self,
+        x: &Matrix,
+    ) -> Result<(Vec<f64>, Vec<f64>), CerlError> {
+        self.model.try_predict_potential_outcomes(x)
     }
 
     /// Representations of raw covariates under the current pipeline.
+    ///
+    /// # Panics
+    /// Before the first stage; [`Cerl::try_embed`] is the fallible form.
     pub fn embed(&self, x: &Matrix) -> Matrix {
-        self.model.embed(x)
+        match self.try_embed(x) {
+            Ok(r) => r,
+            Err(e) => panic!("Cerl::embed: {e}"),
+        }
     }
 
-    fn continual_stage(&mut self, train: &CausalDataset, val: &CausalDataset) -> TrainReport {
-        assert!(train.n() >= 4, "Cerl: need at least 4 units per domain");
+    /// Representations of raw covariates, failing with a typed error before
+    /// the first stage or on a dimension mismatch.
+    pub fn try_embed(&self, x: &Matrix) -> Result<Matrix, CerlError> {
+        self.model.try_embed(x)
+    }
+
+    /// Capture the full learner state (parameters, scalers, memory, stage
+    /// counter, configuration) as a versioned snapshot.
+    pub fn to_snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot::capture(
+            self.seed,
+            self.stage,
+            &self.cfg,
+            &self.model,
+            self.memory.as_ref(),
+        )
+    }
+
+    /// Rebuild a learner from a snapshot, validating the format version and
+    /// internal consistency. The restored learner continues exactly where
+    /// the captured one stopped: it serves predictions for all previously
+    /// seen domains and `observe`s subsequent domains.
+    pub fn from_snapshot(snapshot: ModelSnapshot) -> Result<Self, CerlError> {
+        snapshot.into_cerl()
+    }
+
+    /// Reassemble a learner from restored parts (snapshot support).
+    pub(crate) fn restore(
+        cfg: CerlConfig,
+        model: CfrModel,
+        memory: Option<Memory>,
+        stage: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            cfg,
+            model,
+            memory,
+            stage,
+            seed,
+        }
+    }
+
+    fn continual_stage(
+        &mut self,
+        train: &CausalDataset,
+        val: &CausalDataset,
+    ) -> Result<TrainReport, CerlError> {
+        validate_stage_inputs(train, val, self.d_in())?;
         // Freeze the previous pipeline g_{d-1} (params + covariate scaler).
         let old_store = self.model.store().clone();
-        let old_x_std = self
-            .model
-            .x_std()
-            .cloned()
-            .expect("continual stage requires a trained previous model");
+        let old_x_std = match self.model.x_std().cloned() {
+            Some(std) => std,
+            // Unreachable through the public API (stage > 0 implies a
+            // trained first stage), but kept typed for defense in depth.
+            None => return Err(CerlError::NotTrained),
+        };
 
         // Scalers: by default the first-stage scalers are kept so that the
         // old and new models share one input pipeline (see
         // `CerlConfig::refit_scalers_per_stage`).
         let (x_std, y_scale) = if self.cfg.refit_scalers_per_stage {
-            (Standardizer::fit_clipped(&train.x, crate::cfr::Z_CLIP), OutcomeScaler::fit(&train.y))
-        } else {
             (
-                old_x_std.clone(),
-                self.model.y_scale().cloned().expect("trained previous model"),
+                Standardizer::try_fit_clipped(&train.x, crate::cfr::Z_CLIP)?,
+                OutcomeScaler::try_fit(&train.y)?,
             )
+        } else {
+            match self.model.y_scale().copied() {
+                Some(y_scale) => (old_x_std.clone(), y_scale),
+                None => return Err(CerlError::NotTrained),
+            }
         };
-        let xs = x_std.transform(&train.x);
+        let xs = x_std.try_transform(&train.x)?;
         let ys = Matrix::col_vector(&y_scale.transform(&train.y));
-        let xv = x_std.transform(&val.x);
+        let xv = x_std.try_transform(&val.x)?;
         let yv = y_scale.transform(&val.y);
         // Old-model representations of new data (constants for L_FD / L_FT).
-        let xs_old_pipeline = old_x_std.transform(&train.x);
+        let xs_old_pipeline = old_x_std.try_transform(&train.x)?;
         let r_old_full = self.model.repr().embed(&old_store, &xs_old_pipeline);
         self.model.set_scalers(x_std, y_scale);
 
@@ -155,15 +292,17 @@ impl Cerl {
             &format!("phi{}", self.stage),
         );
 
-        // Memory in scaled-outcome space for this stage's L_G.
-        let mem = if use_transform { self.memory.clone() } else { None };
-        let mem_y_scaled: Vec<f64> = mem
-            .as_ref()
-            .map(|m| {
-                let scale = self.model.y_scale().expect("scaler set above");
-                scale.transform(&m.y)
-            })
-            .unwrap_or_default();
+        // Memory in scaled-outcome space for this stage's L_G (the scaler
+        // was installed by `set_scalers` a few lines up).
+        let mem = if use_transform {
+            self.memory.clone()
+        } else {
+            None
+        };
+        let mem_y_scaled: Vec<f64> = match (&mem, self.model.y_scale()) {
+            (Some(m), Some(scale)) => scale.transform(&m.y),
+            _ => Vec::new(),
+        };
 
         // Warm up φ so it approximates the old→new pipeline map before the
         // heads ever see φ(memory). At stage start the new model is the
@@ -215,8 +354,17 @@ impl Cerl {
             let n_batches = batches.len();
             for batch in batches {
                 let loss_val = self.continual_step(
-                    &batch, &xs, &ys, train, &r_old_full, &phi, mem.as_ref(), &mem_y_scaled,
-                    &params, &mut opt, &mut rng,
+                    &batch,
+                    &xs,
+                    &ys,
+                    train,
+                    &r_old_full,
+                    &phi,
+                    mem.as_ref(),
+                    &mem_y_scaled,
+                    &params,
+                    &mut opt,
+                    &mut rng,
                 );
                 epoch_loss += loss_val;
             }
@@ -239,7 +387,11 @@ impl Cerl {
             self.memory = None;
         }
         self.model.bump_stage();
-        TrainReport { epochs_run, best_val_loss: stopper.best_loss(), final_train_loss }
+        Ok(TrainReport {
+            epochs_run,
+            best_val_loss: stopper.best_loss(),
+            final_train_loss,
+        })
     }
 
     /// One optimization step of the continual objective; returns the loss.
@@ -270,7 +422,10 @@ impl Cerl {
             let mut g = Graph::new();
             let x = g.input(xb);
             let r_new = self.model.repr().forward(&mut g, store, x);
-            let y_hat = self.model.heads().forward_factual(&mut g, store, r_new, &tb);
+            let y_hat = self
+                .model
+                .heads()
+                .forward_factual(&mut g, store, r_new, &tb);
             let y_node = g.input(yb);
             let l_new = mse(&mut g, y_hat, y_node);
 
@@ -299,15 +454,16 @@ impl Cerl {
                 }
                 if !mem.is_empty() {
                     let k = self.cfg.train.memory_batch_size.min(mem.len()).max(2);
-                    let midx: Vec<usize> =
-                        (0..k).map(|_| rng.gen_range(0..mem.len())).collect();
+                    let midx: Vec<usize> = (0..k).map(|_| rng.gen_range(0..mem.len())).collect();
                     let mr = mem.r.select_rows(&midx);
                     let mt: Vec<bool> = midx.iter().map(|&i| mem.t[i]).collect();
                     let my = Matrix::from_fn(k, 1, |i, _| mem_y_scaled[midx[i]]);
                     let mr_node = g.input(mr);
                     let phi_mem = phi.forward(&mut g, store, mr_node);
-                    let y_mem_hat =
-                        self.model.heads().forward_factual(&mut g, store, phi_mem, &mt);
+                    let y_mem_hat = self
+                        .model
+                        .heads()
+                        .forward_factual(&mut g, store, phi_mem, &mt);
                     let my_node = g.input(my);
                     let l_mem = mse(&mut g, y_mem_hat, my_node);
                     terms.push((l_mem, 1.0));
@@ -372,12 +528,12 @@ impl Cerl {
                 (g.select_rows(r_new, &nt), g.select_rows(r_new, &nc))
             }
         };
-        Some(match self.cfg.ipm {
-            IpmKind::Wasserstein => wasserstein(g, treated, control, self.cfg.sinkhorn()),
-            IpmKind::LinearMmd => linear_mmd(g, treated, control),
-            IpmKind::RbfMmd => rbf_mmd(g, treated, control, Bandwidth::MedianHeuristic),
-            IpmKind::None => unreachable!("filtered above"),
-        })
+        match self.cfg.ipm {
+            IpmKind::Wasserstein => Some(wasserstein(g, treated, control, self.cfg.sinkhorn())),
+            IpmKind::LinearMmd => Some(linear_mmd(g, treated, control)),
+            IpmKind::RbfMmd => Some(rbf_mmd(g, treated, control, Bandwidth::MedianHeuristic)),
+            IpmKind::None => None,
+        }
     }
 
     /// Early-stopping criterion for a continual stage: new-domain factual
@@ -433,11 +589,8 @@ impl Cerl {
             None => new_part,
         };
         let mut rng = seeds::rng_labeled(self.seed, &format!("herding-{}", self.stage));
-        self.memory = Some(combined.reduce(
-            self.cfg.memory_size,
-            self.cfg.ablation.herding,
-            &mut rng,
-        ));
+        self.memory =
+            Some(combined.reduce(self.cfg.memory_size, self.cfg.ablation.herding, &mut rng));
     }
 }
 
@@ -449,7 +602,10 @@ mod tests {
 
     fn quick_stream(n_domains: usize) -> DomainStream {
         let gen = SyntheticGenerator::new(
-            SyntheticConfig { n_units: 500, ..SyntheticConfig::small() },
+            SyntheticConfig {
+                n_units: 500,
+                ..SyntheticConfig::small()
+            },
             21,
         );
         DomainStream::synthetic(&gen, n_domains, 0, 33)
@@ -506,7 +662,10 @@ mod tests {
         // Balanced between groups.
         let nt = mem.treated_indices().len();
         let nc = mem.control_indices().len();
-        assert!((nt as i64 - nc as i64).abs() <= 2, "unbalanced memory {nt}/{nc}");
+        assert!(
+            (nt as i64 - nc as i64).abs() <= 2,
+            "unbalanced memory {nt}/{nc}"
+        );
     }
 
     #[test]

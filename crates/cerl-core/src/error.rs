@@ -1,0 +1,164 @@
+//! Typed errors for the serving-grade estimator API.
+//!
+//! Every fallible `try_*` observe/predict path in this crate reports
+//! failures through [`CerlError`] instead of panicking, so a serving
+//! process can keep running (and return a structured error to its caller)
+//! when a request is malformed, a model is not yet trained, or a snapshot
+//! is incompatible.
+
+use cerl_data::DataError;
+use std::fmt;
+
+/// Error from the CERL estimator, engine, or snapshot layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CerlError {
+    /// A configuration field is outside its valid range.
+    InvalidConfig {
+        /// Which field (dot-path into [`crate::config::CerlConfig`]).
+        field: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// Prediction (or a continual stage) was requested before any domain
+    /// was observed/trained.
+    NotTrained,
+    /// Input covariates have the wrong dimension for this model.
+    DimensionMismatch {
+        /// Covariate dimension the model was built for.
+        expected: usize,
+        /// Dimension of the offending input.
+        found: usize,
+    },
+    /// A training split is too small to fit on.
+    DatasetTooSmall {
+        /// Minimum number of units required.
+        required: usize,
+        /// Units actually provided.
+        found: usize,
+    },
+    /// An input that must be non-empty was empty.
+    EmptyInput {
+        /// What was empty.
+        what: &'static str,
+    },
+    /// Dataset/scaler validation failure from `cerl-data`.
+    Data(DataError),
+    /// Snapshot serialization/deserialization failure.
+    Snapshot(SnapshotError),
+}
+
+/// Failure while saving or restoring a [`crate::snapshot::ModelSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The snapshot was written by an unknown (usually newer) format.
+    UnsupportedVersion {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The snapshot bytes do not parse as a snapshot document.
+    Malformed(String),
+    /// The snapshot parsed but describes an internally inconsistent model
+    /// (e.g. a network referencing parameters the store does not contain).
+    Incompatible(String),
+}
+
+impl fmt::Display for CerlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CerlError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config `{field}`: {reason}")
+            }
+            CerlError::NotTrained => {
+                write!(
+                    f,
+                    "model has not observed any domain yet (train before predicting)"
+                )
+            }
+            CerlError::DimensionMismatch { expected, found } => write!(
+                f,
+                "covariate dimension mismatch: model expects {expected}, input has {found}"
+            ),
+            CerlError::DatasetTooSmall { required, found } => write!(
+                f,
+                "dataset too small: need at least {required} units, found {found}"
+            ),
+            CerlError::EmptyInput { what } => write!(f, "empty input: {what}"),
+            CerlError::Data(e) => write!(f, "{e}"),
+            CerlError::Snapshot(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads version {supported})"
+            ),
+            SnapshotError::Malformed(reason) => write!(f, "malformed snapshot: {reason}"),
+            SnapshotError::Incompatible(reason) => write!(f, "incompatible snapshot: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CerlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CerlError::Data(e) => Some(e),
+            CerlError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<DataError> for CerlError {
+    fn from(e: DataError) -> Self {
+        CerlError::Data(e)
+    }
+}
+
+impl From<SnapshotError> for CerlError {
+    fn from(e: SnapshotError) -> Self {
+        CerlError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CerlError::InvalidConfig {
+            field: "memory_size",
+            reason: "must be > 0".into(),
+        };
+        assert!(e.to_string().contains("memory_size"));
+        assert!(CerlError::NotTrained.to_string().contains("not observed"));
+        let e = CerlError::DimensionMismatch {
+            expected: 10,
+            found: 3,
+        };
+        assert!(e.to_string().contains("10") && e.to_string().contains('3'));
+        let e = CerlError::Snapshot(SnapshotError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        });
+        assert!(e.to_string().contains("version 9"));
+    }
+
+    #[test]
+    fn data_errors_convert() {
+        let d = DataError::DimensionMismatch {
+            expected: 5,
+            found: 2,
+        };
+        let e: CerlError = d.clone().into();
+        assert_eq!(e, CerlError::Data(d));
+    }
+}

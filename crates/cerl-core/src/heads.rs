@@ -11,9 +11,10 @@ use crate::config::NetConfig;
 use cerl_math::Matrix;
 use cerl_nn::{Activation, Graph, Mlp, NodeId, ParamId, ParamStore};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Paired outcome heads `h₀` (control) and `h₁` (treatment).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OutcomeHeads {
     h0: Mlp,
     h1: Mlp,
@@ -32,18 +33,27 @@ impl OutcomeHeads {
         let mut dims = vec![repr_dim];
         dims.extend_from_slice(&cfg.head_hidden);
         dims.push(1);
-        let h0 = Mlp::new(store, rng, &dims, act, Activation::Identity, &format!("{name}.h0"));
-        let h1 = Mlp::new(store, rng, &dims, act, Activation::Identity, &format!("{name}.h1"));
+        let h0 = Mlp::new(
+            store,
+            rng,
+            &dims,
+            act,
+            Activation::Identity,
+            &format!("{name}.h0"),
+        );
+        let h1 = Mlp::new(
+            store,
+            rng,
+            &dims,
+            act,
+            Activation::Identity,
+            &format!("{name}.h1"),
+        );
         Self { h0, h1 }
     }
 
     /// Predicted outcomes under control and treatment (`n×1` each).
-    pub fn forward_both(
-        &self,
-        g: &mut Graph,
-        store: &ParamStore,
-        r: NodeId,
-    ) -> (NodeId, NodeId) {
+    pub fn forward_both(&self, g: &mut Graph, store: &ParamStore, r: NodeId) -> (NodeId, NodeId) {
         (self.h0.forward(g, store, r), self.h1.forward(g, store, r))
     }
 
@@ -56,7 +66,11 @@ impl OutcomeHeads {
         r: NodeId,
         t: &[bool],
     ) -> NodeId {
-        assert_eq!(g.value(r).rows(), t.len(), "forward_factual: row/treatment mismatch");
+        assert_eq!(
+            g.value(r).rows(),
+            t.len(),
+            "forward_factual: row/treatment mismatch"
+        );
         let (y0, y1) = self.forward_both(g, store, r);
         let mask1 = Matrix::from_fn(t.len(), 1, |i, _| if t[i] { 1.0 } else { 0.0 });
         let mask0 = mask1.map(|v| 1.0 - v);
@@ -137,7 +151,10 @@ mod tests {
         let grads = g.backward(loss);
         // h1 weights get gradients, h0 gradient is identically zero (masked).
         let h1_has = heads.h1.params().iter().any(|&p| {
-            grads.param_grad(p).map(|m| m.max_abs() > 0.0).unwrap_or(false)
+            grads
+                .param_grad(p)
+                .map(|m| m.max_abs() > 0.0)
+                .unwrap_or(false)
         });
         assert!(h1_has);
         for p in heads.h0.params() {

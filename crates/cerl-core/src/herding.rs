@@ -46,7 +46,12 @@ pub fn herding_select(reprs: &Matrix, m: usize) -> Vec<usize> {
                 _ => best = Some((i, dist)),
             }
         }
-        let (idx, _) = best.expect("herding: no candidate left");
+        // `m <= n` and each pass marks exactly one candidate, so a free
+        // candidate always exists; break defensively instead of panicking.
+        let idx = match best {
+            Some((idx, _)) => idx,
+            None => break,
+        };
         taken[idx] = true;
         for (s, &v) in running_sum.iter_mut().zip(reprs.row(idx)) {
             *s += v;
@@ -126,7 +131,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut rand_errs = Vec::new();
         for _ in 0..20 {
-            rand_errs.push(mean_approximation_error(&r, &random_select(400, m, &mut rng)));
+            rand_errs.push(mean_approximation_error(
+                &r,
+                &random_select(400, m, &mut rng),
+            ));
         }
         let rand_mean = rand_errs.iter().sum::<f64>() / rand_errs.len() as f64;
         assert!(
@@ -139,7 +147,7 @@ mod tests {
     fn first_pick_is_closest_to_mean() {
         let r = Matrix::from_rows(&[
             vec![10.0, 0.0],
-            vec![0.1, 0.1],  // closest to the mean of these rows
+            vec![0.1, 0.1], // closest to the mean of these rows
             vec![-10.0, 0.0],
             vec![0.0, 10.0],
             vec![0.0, -10.0],

@@ -7,24 +7,31 @@
 //!
 //! The crate provides:
 //!
+//! * [`engine`] — the serving facade: [`CerlEngine`](engine::CerlEngine)
+//!   with a fallible builder, typed errors, batched inference, and
+//!   versioned model snapshots.
+//! * [`error`] / [`snapshot`] — [`CerlError`](error::CerlError) and the
+//!   [`ModelSnapshot`](snapshot::ModelSnapshot) persistence format.
 //! * [`cfr`] — the baseline causal-effect learner (Eq. 5): selective +
 //!   balanced representation learning with two-head outcome inference.
 //! * [`continual`] — [`Cerl`](continual::Cerl), Algorithm 1: feature
 //!   distillation (Eq. 6), feature transformation (Eq. 7), herding memory,
 //!   and global representation balancing (Eqs. 8–9).
 //! * [`strategies`] — CFR-A/B/C adaptation baselines and the common
-//!   [`ContinualEstimator`](strategies::ContinualEstimator) trait.
+//!   [`ContinualEstimator`](strategies::ContinualEstimator) trait (fallible
+//!   `try_observe`/`try_predict_ite` core with infallible wrappers).
 //! * [`baselines`] — classic S-learner / T-learner meta-learners.
 //! * [`herding`] / [`memory`] — bounded representation memory.
 //! * [`repr`] / [`heads`] / [`transform`] — network components.
 //! * [`metrics`] — `√ε_PEHE` and `ε_ATE`.
-//! * [`config`] — every hyper-parameter of Eq. 9 plus ablation switches.
+//! * [`config`] — every hyper-parameter of Eq. 9 plus ablation switches,
+//!   with up-front validation ([`CerlConfig::validate`](config::CerlConfig::validate)).
 //!
 //! ## Quick example
 //!
 //! ```
 //! use cerl_core::config::CerlConfig;
-//! use cerl_core::continual::Cerl;
+//! use cerl_core::engine::CerlEngineBuilder;
 //! use cerl_core::metrics::EffectMetrics;
 //! use cerl_data::{DomainStream, SyntheticConfig, SyntheticGenerator};
 //!
@@ -34,14 +41,18 @@
 //!
 //! let mut cfg = CerlConfig::quick_test();
 //! cfg.train.epochs = 3; // demo speed
-//! let mut cerl = Cerl::new(stream.domain(0).train.dim(), cfg, 7);
+//! let mut engine = CerlEngineBuilder::new(cfg).seed(7).build()?;
 //! for d in 0..stream.len() {
-//!     cerl.observe(&stream.domain(d).train, &stream.domain(d).val);
+//!     engine.observe(&stream.domain(d).train, &stream.domain(d).val)?;
 //! }
-//! // One model now serves all seen domains — no raw data retained.
+//! // One model now serves all seen domains — no raw data retained — and
+//! // survives process restarts via versioned snapshot bytes.
 //! let test = &stream.domain(0).test;
-//! let metrics = EffectMetrics::on_dataset(test, &cerl.predict_ite(&test.x));
+//! let metrics = EffectMetrics::on_dataset(test, &engine.predict_ite(&test.x)?);
 //! assert!(metrics.sqrt_pehe.is_finite());
+//! let restored = cerl_core::engine::CerlEngine::load_bytes(&engine.save_bytes()?)?;
+//! assert_eq!(restored.predict_ite(&test.x)?, engine.predict_ite(&test.x)?);
+//! # Ok::<(), cerl_core::error::CerlError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -50,20 +61,28 @@ pub mod baselines;
 pub mod cfr;
 pub mod config;
 pub mod continual;
+pub mod engine;
+pub mod error;
 pub mod heads;
 pub mod herding;
 pub mod memory;
 pub mod metrics;
 pub mod repr;
+pub mod snapshot;
 pub mod strategies;
 pub mod trainer;
 pub mod transform;
 
 pub use baselines::{SLearner, TLearner};
 pub use cfr::CfrModel;
-pub use config::{Ablation, ActivationKind, CerlConfig, DistillKind, IpmKind, NetConfig, TrainConfig};
+pub use config::{
+    Ablation, ActivationKind, CerlConfig, DistillKind, IpmKind, NetConfig, TrainConfig,
+};
 pub use continual::{Cerl, StageReport};
+pub use engine::{CerlEngine, CerlEngineBuilder};
+pub use error::{CerlError, SnapshotError};
 pub use memory::Memory;
 pub use metrics::EffectMetrics;
+pub use snapshot::{ModelSnapshot, SNAPSHOT_FORMAT_VERSION};
 pub use strategies::{paper_lineup, CfrA, CfrB, CfrC, ContinualEstimator};
 pub use trainer::TrainReport;

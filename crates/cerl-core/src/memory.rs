@@ -5,12 +5,14 @@
 //! by herding run separately for the treatment and control groups so both
 //! keep the same number of exemplars.
 
+use crate::error::CerlError;
 use crate::herding::{herding_select, random_select};
 use cerl_math::Matrix;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Stored representations with their outcomes and treatments.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Memory {
     /// Representation vectors (one per row).
     pub r: Matrix,
@@ -22,15 +24,43 @@ pub struct Memory {
 
 impl Memory {
     /// Construct, validating lengths.
+    ///
+    /// # Panics
+    /// On inconsistent lengths; [`Memory::try_new`] is the fallible form.
     pub fn new(r: Matrix, y: Vec<f64>, t: Vec<bool>) -> Self {
-        assert_eq!(r.rows(), y.len(), "Memory: y length mismatch");
-        assert_eq!(r.rows(), t.len(), "Memory: t length mismatch");
-        Self { r, y, t }
+        match Self::try_new(r, y, t) {
+            Ok(m) => m,
+            Err(e) => panic!("Memory: {e}"),
+        }
+    }
+
+    /// Construct, returning a typed error when outcome or treatment lengths
+    /// disagree with the representation row count.
+    pub fn try_new(r: Matrix, y: Vec<f64>, t: Vec<bool>) -> Result<Self, CerlError> {
+        if y.len() != r.rows() {
+            return Err(CerlError::Data(cerl_data::DataError::LengthMismatch {
+                field: "y",
+                expected: r.rows(),
+                found: y.len(),
+            }));
+        }
+        if t.len() != r.rows() {
+            return Err(CerlError::Data(cerl_data::DataError::LengthMismatch {
+                field: "t",
+                expected: r.rows(),
+                found: t.len(),
+            }));
+        }
+        Ok(Self { r, y, t })
     }
 
     /// Empty memory with the given representation dimension.
     pub fn empty(dim: usize) -> Self {
-        Self { r: Matrix::zeros(0, dim), y: Vec::new(), t: Vec::new() }
+        Self {
+            r: Matrix::zeros(0, dim),
+            y: Vec::new(),
+            t: Vec::new(),
+        }
     }
 
     /// Number of stored exemplars.
@@ -97,9 +127,15 @@ impl Memory {
             }
             if use_herding {
                 let sub = self.r.select_rows(group);
-                herding_select(&sub, k).into_iter().map(|local| group[local]).collect()
+                herding_select(&sub, k)
+                    .into_iter()
+                    .map(|local| group[local])
+                    .collect()
             } else {
-                random_select(group.len(), k, rng).into_iter().map(|local| group[local]).collect()
+                random_select(group.len(), k, rng)
+                    .into_iter()
+                    .map(|local| group[local])
+                    .collect()
             }
         };
 

@@ -19,7 +19,11 @@ impl EffectMetrics {
     /// # Panics
     /// If the slices differ in length or are empty.
     pub fn from_ite(true_ite: &[f64], est_ite: &[f64]) -> Self {
-        assert_eq!(true_ite.len(), est_ite.len(), "EffectMetrics: length mismatch");
+        assert_eq!(
+            true_ite.len(),
+            est_ite.len(),
+            "EffectMetrics: length mismatch"
+        );
         assert!(!true_ite.is_empty(), "EffectMetrics: empty inputs");
         let n = true_ite.len() as f64;
         let mut se = 0.0;
@@ -100,8 +104,14 @@ mod tests {
 
     #[test]
     fn aggregation() {
-        let a = EffectMetrics { sqrt_pehe: 1.0, ate_error: 0.2 };
-        let b = EffectMetrics { sqrt_pehe: 3.0, ate_error: 0.4 };
+        let a = EffectMetrics {
+            sqrt_pehe: 1.0,
+            ate_error: 0.2,
+        };
+        let b = EffectMetrics {
+            sqrt_pehe: 3.0,
+            ate_error: 0.4,
+        };
         let m = mean_metrics(&[a, b]);
         assert!((m.sqrt_pehe - 2.0).abs() < 1e-12);
         assert!((m.ate_error - 0.3).abs() < 1e-12);

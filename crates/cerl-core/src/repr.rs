@@ -12,10 +12,11 @@ use crate::config::NetConfig;
 use cerl_math::Matrix;
 use cerl_nn::{Activation, CosineDense, Dense, Graph, NodeId, ParamId, ParamStore};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Representation network: hidden dense layers + (cosine-normalized or
 /// plain) output layer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReprNet {
     hidden: Vec<Dense>,
     out_cosine: Option<CosineDense>,
@@ -39,21 +40,60 @@ impl ReprNet {
         let mut hidden = Vec::with_capacity(cfg.repr_hidden.len());
         let mut prev = d_in;
         for (i, &h) in cfg.repr_hidden.iter().enumerate() {
-            hidden.push(Dense::new(store, rng, prev, h, act, &format!("{name}.h{i}")));
+            hidden.push(Dense::new(
+                store,
+                rng,
+                prev,
+                h,
+                act,
+                &format!("{name}.h{i}"),
+            ));
             prev = h;
         }
         let (out_cosine, out_plain) = if cosine_norm {
             // σ(cos(w, x)): sigmoid over the bounded pre-activation, per Eq. 2.
-            (Some(CosineDense::new(store, rng, prev, cfg.repr_dim, Activation::Sigmoid, &format!("{name}.out"))), None)
+            (
+                Some(CosineDense::new(
+                    store,
+                    rng,
+                    prev,
+                    cfg.repr_dim,
+                    Activation::Sigmoid,
+                    &format!("{name}.out"),
+                )),
+                None,
+            )
         } else {
-            (None, Some(Dense::new(store, rng, prev, cfg.repr_dim, Activation::Sigmoid, &format!("{name}.out"))))
+            (
+                None,
+                Some(Dense::new(
+                    store,
+                    rng,
+                    prev,
+                    cfg.repr_dim,
+                    Activation::Sigmoid,
+                    &format!("{name}.out"),
+                )),
+            )
         };
-        Self { hidden, out_cosine, out_plain, out_dim: cfg.repr_dim }
+        Self {
+            hidden,
+            out_cosine,
+            out_plain,
+            out_dim: cfg.repr_dim,
+        }
     }
 
     /// Representation dimension.
     pub fn out_dim(&self) -> usize {
         self.out_dim
+    }
+
+    /// Whether an output layer (cosine or plain) is installed. Always true
+    /// for constructed networks; deserialized state is checked against this
+    /// by the snapshot validator.
+    pub fn has_output_layer(&self) -> bool {
+        self.out_cosine.is_some() || self.out_plain.is_some()
     }
 
     /// Forward pass on the tape.
@@ -62,13 +102,13 @@ impl ReprNet {
         for layer in &self.hidden {
             h = layer.forward(g, store, h);
         }
-        if let Some(c) = &self.out_cosine {
-            c.forward(g, store, h)
-        } else {
-            self.out_plain
-                .as_ref()
-                .expect("ReprNet: one output layer must exist")
-                .forward(g, store, h)
+        match (&self.out_cosine, &self.out_plain) {
+            (Some(c), _) => c.forward(g, store, h),
+            (None, Some(p)) => p.forward(g, store, h),
+            // Construction always installs exactly one output layer, and
+            // the snapshot validator rejects documents without one; fail
+            // loudly rather than silently serving hidden-layer activations.
+            (None, None) => panic!("ReprNet: no output layer installed"),
         }
     }
 
@@ -181,7 +221,9 @@ mod tests {
         let mut store = ParamStore::new();
         let net = ReprNet::new(&mut store, &mut rng, 8, &cfg(), true, "g");
         let mut g = Graph::new();
-        let x = g.input(Matrix::from_fn(6, 8, |i, j| ((i * 8 + j) as f64 * 0.37).sin()));
+        let x = g.input(Matrix::from_fn(6, 8, |i, j| {
+            ((i * 8 + j) as f64 * 0.37).sin()
+        }));
         let r = net.forward(&mut g, &store, x);
         let sq = g.square(r);
         let loss = g.mean(sq);
@@ -189,7 +231,11 @@ mod tests {
         for pid in net.params() {
             let gp = grads.param_grad(pid);
             assert!(gp.is_some(), "no grad for {}", store.name(pid));
-            assert!(gp.unwrap().max_abs() > 0.0, "zero grad for {}", store.name(pid));
+            assert!(
+                gp.unwrap().max_abs() > 0.0,
+                "zero grad for {}",
+                store.name(pid)
+            );
         }
     }
 }

@@ -1,0 +1,428 @@
+//! Versioned model snapshots: persist a trained estimator and restore it in
+//! another process (or hot-swap it between serving replicas).
+//!
+//! A [`ModelSnapshot`] captures everything [`Cerl`](crate::continual::Cerl)
+//! needs to keep serving and keep learning after a restart:
+//!
+//! * the full parameter store (all stage networks, every `φ` ever created),
+//! * the representation-network and outcome-head wiring (parameter ids),
+//! * the covariate standardizer and outcome scaler,
+//! * the herded representation memory,
+//! * the stage counter, seed, and configuration.
+//!
+//! The serialized form is a JSON document with an explicit
+//! [`format_version`](ModelSnapshot::format_version) field; readers reject
+//! unknown versions with
+//! [`SnapshotError::UnsupportedVersion`](crate::error::SnapshotError) before
+//! attempting to interpret the rest of the document, so a fleet can roll
+//! snapshot formats forward without replicas panicking on foreign bytes.
+//! Numbers round-trip exactly, so a restored model's predictions are
+//! bitwise identical to the captured model's.
+
+use crate::cfr::CfrModel;
+use crate::config::CerlConfig;
+use crate::continual::Cerl;
+use crate::error::{CerlError, SnapshotError};
+use crate::heads::OutcomeHeads;
+use crate::memory::Memory;
+use crate::repr::ReprNet;
+use cerl_data::{OutcomeScaler, Standardizer};
+use cerl_nn::{ParamId, ParamStore};
+use serde::{Deserialize, Serialize};
+
+/// Snapshot format version written by this build (and the only one it
+/// reads). Bump on any incompatible change to the document layout.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Serializable state of the backbone CFR model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CfrState {
+    pub(crate) store: ParamStore,
+    pub(crate) repr: ReprNet,
+    pub(crate) heads: OutcomeHeads,
+    pub(crate) x_std: Option<Standardizer>,
+    pub(crate) y_scale: Option<OutcomeScaler>,
+    pub(crate) d_in: usize,
+    pub(crate) stages_trained: usize,
+}
+
+/// Complete, versioned state of a continual estimator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelSnapshot {
+    /// Document layout version; see [`SNAPSHOT_FORMAT_VERSION`].
+    pub format_version: u32,
+    /// Base seed (stage RNG streams derive from it, so a restored model
+    /// continues training exactly as the original would have).
+    pub seed: u64,
+    /// Completed continual stages.
+    pub stage: usize,
+    /// Full configuration in effect when the snapshot was taken.
+    pub config: CerlConfig,
+    pub(crate) model: CfrState,
+    pub(crate) memory: Option<Memory>,
+}
+
+impl ModelSnapshot {
+    /// Capture a snapshot (crate-internal; use
+    /// [`Cerl::to_snapshot`](crate::continual::Cerl::to_snapshot) or
+    /// [`CerlEngine::snapshot`](crate::engine::CerlEngine::snapshot)).
+    pub(crate) fn capture(
+        seed: u64,
+        stage: usize,
+        config: &CerlConfig,
+        model: &CfrModel,
+        memory: Option<&Memory>,
+    ) -> Self {
+        Self {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            seed,
+            stage,
+            config: config.clone(),
+            model: model.to_state(),
+            memory: memory.cloned(),
+        }
+    }
+
+    /// Serialize to the versioned byte format.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, CerlError> {
+        serde_json::to_vec(self)
+            .map_err(|e| CerlError::Snapshot(SnapshotError::Malformed(e.to_string())))
+    }
+
+    /// Parse from the versioned byte format.
+    ///
+    /// The version field is checked *before* the rest of the document is
+    /// interpreted, so a newer-format snapshot yields
+    /// [`SnapshotError::UnsupportedVersion`] rather than a confusing parse
+    /// error about fields that were added or removed later. Parsing checks
+    /// format concerns only; semantic consistency (network wiring,
+    /// parameter shapes, scaler dimensions) is validated once, when a
+    /// model is built from the snapshot ([`into_cerl`](Self::into_cerl) via
+    /// [`Cerl::from_snapshot`] or `CerlEngine::load_bytes`).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CerlError> {
+        let text = std::str::from_utf8(bytes).map_err(|e| {
+            CerlError::Snapshot(SnapshotError::Malformed(format!("not UTF-8: {e}")))
+        })?;
+        let value = serde_json::parse(text)
+            .map_err(|e| CerlError::Snapshot(SnapshotError::Malformed(e.to_string())))?;
+        let fields = value.as_object().ok_or_else(|| {
+            CerlError::Snapshot(SnapshotError::Malformed(
+                "top level is not an object".into(),
+            ))
+        })?;
+        let format_version: u32 = serde::field(fields, "format_version")
+            .map_err(|e| CerlError::Snapshot(SnapshotError::Malformed(e.to_string())))?;
+        if format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(CerlError::Snapshot(SnapshotError::UnsupportedVersion {
+                found: format_version,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            }));
+        }
+        Self::deserialize(&value)
+            .map_err(|e| CerlError::Snapshot(SnapshotError::Malformed(e.to_string())))
+    }
+
+    /// Cross-check internal consistency: configuration sanity, network
+    /// wiring against the parameter store, and memory dimensions.
+    pub(crate) fn validate(&self) -> Result<(), CerlError> {
+        self.config.validate()?;
+        if self.model.d_in == 0 {
+            return Err(incompatible("covariate dimension is 0"));
+        }
+        let store_len = self.model.store.len();
+        let check_ids = |ids: &[ParamId], what: &str| -> Result<(), CerlError> {
+            for id in ids {
+                if id.index() >= store_len {
+                    return Err(incompatible(&format!(
+                        "{what} references parameter {} but the store holds {store_len}",
+                        id.index()
+                    )));
+                }
+            }
+            Ok(())
+        };
+        check_ids(&self.model.repr.params(), "representation network")?;
+        check_ids(&self.model.heads.params(), "outcome heads")?;
+        if !self.model.repr.has_output_layer() {
+            return Err(incompatible("representation network has no output layer"));
+        }
+        if self.stage > 0 && (self.model.x_std.is_none() || self.model.y_scale.is_none()) {
+            return Err(incompatible("trained snapshot is missing its scalers"));
+        }
+        if let Some(x_std) = &self.model.x_std {
+            if x_std.dim() != self.model.d_in {
+                return Err(incompatible(&format!(
+                    "standardizer dimension {} does not match covariate dimension {}",
+                    x_std.dim(),
+                    self.model.d_in
+                )));
+            }
+        }
+        if let Some(memory) = &self.memory {
+            // Memory derives Deserialize field-by-field, bypassing
+            // `Memory::try_new`; re-check its invariants here so a
+            // doctored document cannot smuggle in out-of-sync arrays that
+            // later index out of bounds inside `try_observe`.
+            if memory.y.len() != memory.len() || memory.t.len() != memory.len() {
+                return Err(incompatible(&format!(
+                    "memory arrays out of sync: {} representations, {} outcomes, {} treatments",
+                    memory.len(),
+                    memory.y.len(),
+                    memory.t.len()
+                )));
+            }
+            if memory.dim() != self.config.net.repr_dim {
+                return Err(incompatible(&format!(
+                    "memory representation dimension {} does not match net.repr_dim {}",
+                    memory.dim(),
+                    self.config.net.repr_dim
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild the estimator this snapshot captured.
+    pub(crate) fn into_cerl(self) -> Result<Cerl, CerlError> {
+        self.validate()?;
+        let ModelSnapshot {
+            seed,
+            stage,
+            config,
+            model,
+            memory,
+            ..
+        } = self;
+        let d_in = model.d_in;
+        let model = CfrModel::from_state(model, config.clone(), seed);
+        let cerl = Cerl::restore(config, model, memory, stage, seed);
+        // Structural id checks cannot see parameter *shapes*; a hostile or
+        // corrupted document can wire layers whose matrices do not chain.
+        // Smoke-predict one zero row under catch_unwind and convert any
+        // shape panic into a typed error, so untrusted bytes cannot crash
+        // a serving process on its first real request.
+        if cerl.stage() > 0 {
+            let probe = cerl_math::Matrix::zeros(1, d_in);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cerl.try_predict_ite(&probe).map(|_| ())
+            }));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(_) => {
+                    return Err(incompatible(
+                        "snapshot parameters are internally inconsistent (smoke prediction failed)",
+                    ))
+                }
+            }
+        }
+        Ok(cerl)
+    }
+}
+
+fn incompatible(reason: &str) -> CerlError {
+    CerlError::Snapshot(SnapshotError::Incompatible(reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerl_data::{DomainStream, SyntheticConfig, SyntheticGenerator};
+
+    fn trained_cerl(stages: usize) -> (Cerl, DomainStream) {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig {
+                n_units: 400,
+                ..SyntheticConfig::small()
+            },
+            11,
+        );
+        let stream = DomainStream::synthetic(&gen, stages.max(2), 0, 17);
+        let mut cfg = CerlConfig::quick_test();
+        cfg.train.epochs = 6;
+        cfg.memory_size = 80;
+        let mut cerl = Cerl::new(stream.domain(0).train.dim(), cfg, 23);
+        for d in 0..stages {
+            cerl.observe(&stream.domain(d).train, &stream.domain(d).val);
+        }
+        (cerl, stream)
+    }
+
+    #[test]
+    fn snapshot_roundtrips_bitwise_identical_predictions() {
+        let (cerl, stream) = trained_cerl(2);
+        let bytes = cerl.to_snapshot().to_bytes().unwrap();
+        let restored = Cerl::from_snapshot(ModelSnapshot::from_bytes(&bytes).unwrap()).unwrap();
+        for d in 0..2 {
+            let x = &stream.domain(d).test.x;
+            let a = cerl.predict_ite(x);
+            let b = restored.predict_ite(x);
+            assert_eq!(a.len(), b.len());
+            for (va, vb) in a.iter().zip(&b) {
+                assert_eq!(va.to_bits(), vb.to_bits(), "domain {d}");
+            }
+        }
+        assert_eq!(restored.stage(), cerl.stage());
+        assert_eq!(
+            restored.memory().map(Memory::len),
+            cerl.memory().map(Memory::len)
+        );
+    }
+
+    #[test]
+    fn restored_model_continues_observing() {
+        let (cerl, stream) = trained_cerl(1);
+        let bytes = cerl.to_snapshot().to_bytes().unwrap();
+
+        // "Fresh process": rebuild purely from bytes, then continue.
+        let mut restored = Cerl::from_snapshot(ModelSnapshot::from_bytes(&bytes).unwrap()).unwrap();
+        let report = restored
+            .try_observe(&stream.domain(1).train, &stream.domain(1).val)
+            .unwrap();
+        assert_eq!(report.stage, 2);
+
+        // The continuation matches what the original process would produce.
+        let mut original = cerl;
+        original.observe(&stream.domain(1).train, &stream.domain(1).val);
+        let x = &stream.domain(1).test.x;
+        assert_eq!(original.predict_ite(x), restored.predict_ite(x));
+    }
+
+    #[test]
+    fn wrong_format_version_is_a_typed_error() {
+        let (cerl, _) = trained_cerl(1);
+        let mut snapshot = cerl.to_snapshot();
+        snapshot.format_version = SNAPSHOT_FORMAT_VERSION + 1;
+        let bytes = snapshot.to_bytes().unwrap();
+        match ModelSnapshot::from_bytes(&bytes) {
+            Err(CerlError::Snapshot(SnapshotError::UnsupportedVersion { found, supported })) => {
+                assert_eq!(found, SNAPSHOT_FORMAT_VERSION + 1);
+                assert_eq!(supported, SNAPSHOT_FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_are_malformed_not_panics() {
+        for bytes in [&b"not json"[..], &[0xFF, 0xFE][..], b"{}", b"[1,2,3]"] {
+            match ModelSnapshot::from_bytes(bytes) {
+                Err(CerlError::Snapshot(SnapshotError::Malformed(_))) => {}
+                other => panic!("expected Malformed for {bytes:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_output_layer_is_rejected() {
+        let (cerl, _) = trained_cerl(1);
+        let bytes = cerl.to_snapshot().to_bytes().unwrap();
+        // Null out both output layers in the document itself (the typed
+        // ModelSnapshot cannot express this; a hostile document can).
+        fn null_field(v: &mut serde::Value, name: &str) {
+            if let serde::Value::Object(fields) = v {
+                for (k, val) in fields.iter_mut() {
+                    if k == name {
+                        *val = serde::Value::Null;
+                    } else {
+                        null_field(val, name);
+                    }
+                }
+            }
+        }
+        let mut value = serde_json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        null_field(&mut value, "out_cosine");
+        null_field(&mut value, "out_plain");
+        let doctored = serde_json::to_string(&value).unwrap();
+        let parsed = ModelSnapshot::from_bytes(doctored.as_bytes()).expect("format is valid");
+        match Cerl::from_snapshot(parsed) {
+            Err(CerlError::Snapshot(SnapshotError::Incompatible(reason))) => {
+                assert!(reason.contains("output layer"), "{reason}");
+            }
+            Err(other) => panic!("expected Incompatible, got {other:?}"),
+            Ok(_) => panic!("doctored snapshot must not load"),
+        }
+    }
+
+    #[test]
+    fn doctored_parameter_shapes_fail_closed_not_panic() {
+        let (cerl, _) = trained_cerl(1);
+        let bytes = cerl.to_snapshot().to_bytes().unwrap();
+        // Shrink every parameter matrix to 1x1 — ids stay valid, shapes no
+        // longer chain. Loading must return a typed error, not panic.
+        fn shrink_matrices(v: &mut serde::Value) {
+            if let serde::Value::Object(fields) = v {
+                let is_matrix = fields.iter().any(|(k, _)| k == "rows")
+                    && fields.iter().any(|(k, _)| k == "cols")
+                    && fields.iter().any(|(k, _)| k == "data");
+                if is_matrix {
+                    for (k, val) in fields.iter_mut() {
+                        match k.as_str() {
+                            "rows" | "cols" => *val = serde::Value::UInt(1),
+                            "data" => *val = serde::Value::Array(vec![serde::Value::Float(0.5)]),
+                            _ => {}
+                        }
+                    }
+                    return;
+                }
+                for (_, val) in fields.iter_mut() {
+                    shrink_matrices(val);
+                }
+            } else if let serde::Value::Array(items) = v {
+                for item in items.iter_mut() {
+                    shrink_matrices(item);
+                }
+            }
+        }
+        let mut value = serde_json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        shrink_matrices(&mut value);
+        let doctored = serde_json::to_string(&value).unwrap();
+        let parsed = ModelSnapshot::from_bytes(doctored.as_bytes()).expect("format is valid");
+        match Cerl::from_snapshot(parsed) {
+            Err(CerlError::Snapshot(SnapshotError::Incompatible(_))) => {}
+            Err(other) => panic!("expected Incompatible, got {other:?}"),
+            Ok(_) => panic!("doctored shapes must not load"),
+        }
+    }
+
+    #[test]
+    fn out_of_sync_memory_arrays_are_rejected() {
+        let (cerl, _) = trained_cerl(2);
+        let mut snapshot = cerl.to_snapshot();
+        // Doctor the memory arrays out of sync at the document level (the
+        // typed constructor would reject this, serde does not).
+        let repr_dim = snapshot.config.net.repr_dim;
+        snapshot.memory = Some(Memory {
+            r: cerl_math::Matrix::zeros(4, repr_dim),
+            y: vec![0.0; 2],
+            t: vec![true; 4],
+        });
+        let parsed = ModelSnapshot::from_bytes(&snapshot.to_bytes().unwrap()).unwrap();
+        match Cerl::from_snapshot(parsed) {
+            Err(CerlError::Snapshot(SnapshotError::Incompatible(reason))) => {
+                assert!(reason.contains("out of sync"), "{reason}");
+            }
+            Err(other) => panic!("expected Incompatible, got {other:?}"),
+            Ok(_) => panic!("out-of-sync memory must not load"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_wiring_is_rejected() {
+        let (cerl, _) = trained_cerl(1);
+        let mut snapshot = cerl.to_snapshot();
+        // Claim a memory in a different representation space.
+        snapshot.memory = Some(Memory::new(
+            cerl_math::Matrix::zeros(4, snapshot.config.net.repr_dim + 3),
+            vec![0.0; 4],
+            vec![true, false, true, false],
+        ));
+        let bytes = snapshot.to_bytes().unwrap();
+        let parsed = ModelSnapshot::from_bytes(&bytes).expect("format is valid");
+        match Cerl::from_snapshot(parsed) {
+            Err(CerlError::Snapshot(SnapshotError::Incompatible(_))) => {}
+            Err(other) => panic!("expected Incompatible, got {other:?}"),
+            Ok(_) => panic!("inconsistent memory must not load"),
+        }
+    }
+}

@@ -15,24 +15,78 @@
 use crate::cfr::CfrModel;
 use crate::config::CerlConfig;
 use crate::continual::Cerl;
+use crate::error::CerlError;
 use crate::metrics::EffectMetrics;
 use cerl_data::CausalDataset;
 use cerl_math::Matrix;
 
 /// A learner that consumes domains one at a time and predicts ITEs.
+///
+/// The fallible `try_*` methods are the required surface (serving systems
+/// route through them); the infallible historical methods are provided as
+/// thin wrappers that panic with the typed error's message, preserving the
+/// original research-facing API during migration.
 pub trait ContinualEstimator {
     /// Short display name (matches the paper's table rows).
     fn name(&self) -> String;
 
+    /// Consume the next incrementally available domain, reporting malformed
+    /// input as a typed error.
+    fn try_observe(&mut self, train: &CausalDataset, val: &CausalDataset) -> Result<(), CerlError>;
+
+    /// Predict unit-level treatment effects for raw covariates, failing
+    /// with a typed error before training or on malformed input.
+    fn try_predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError>;
+
     /// Consume the next incrementally available domain.
-    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset);
+    ///
+    /// # Panics
+    /// On invalid input; [`ContinualEstimator::try_observe`] is the
+    /// fallible form.
+    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset) {
+        if let Err(e) = self.try_observe(train, val) {
+            panic!("{}::observe: {e}", self.name());
+        }
+    }
 
     /// Predict unit-level treatment effects for raw covariates.
-    fn predict_ite(&self, x: &Matrix) -> Vec<f64>;
+    ///
+    /// # Panics
+    /// On invalid input; [`ContinualEstimator::try_predict_ite`] is the
+    /// fallible form.
+    fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
+        match self.try_predict_ite(x) {
+            Ok(ite) => ite,
+            Err(e) => panic!("{}::predict_ite: {e}", self.name()),
+        }
+    }
+
+    /// Serve a batch of request matrices; result `i` is the ITE vector for
+    /// `chunks[i]`. The default implementation predicts chunk by chunk and
+    /// fails fast on the first malformed chunk.
+    fn try_predict_ite_batch(&self, chunks: &[Matrix]) -> Result<Vec<Vec<f64>>, CerlError> {
+        chunks
+            .iter()
+            .map(|chunk| self.try_predict_ite(chunk))
+            .collect()
+    }
 
     /// Evaluate on a labeled dataset.
     fn evaluate(&self, data: &CausalDataset) -> EffectMetrics {
         EffectMetrics::on_dataset(data, &self.predict_ite(&data.x))
+    }
+
+    /// Evaluate on a labeled dataset, reporting failures as typed errors.
+    fn try_evaluate(&self, data: &CausalDataset) -> Result<EffectMetrics, CerlError> {
+        if data.n() == 0 {
+            return Err(CerlError::EmptyInput {
+                what: "evaluation dataset",
+            });
+        }
+        Ok(EffectMetrics::on_dataset(
+            data,
+            &self.try_predict_ite(&data.x)?,
+        ))
     }
 }
 
@@ -45,7 +99,10 @@ pub struct CfrA {
 impl CfrA {
     /// Create for `d_in`-dimensional covariates.
     pub fn new(d_in: usize, cfg: CerlConfig, seed: u64) -> Self {
-        Self { model: CfrModel::new(d_in, cfg, seed), trained: false }
+        Self {
+            model: CfrModel::new(d_in, cfg, seed),
+            trained: false,
+        }
     }
 }
 
@@ -54,17 +111,18 @@ impl ContinualEstimator for CfrA {
         "CFR-A".into()
     }
 
-    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset) {
+    fn try_observe(&mut self, train: &CausalDataset, val: &CausalDataset) -> Result<(), CerlError> {
         if !self.trained {
-            self.model.train(train, val);
+            self.model.try_train(train, val)?;
             self.trained = true;
         }
         // Later domains are ignored: the model was trained once on the
         // original data and is applied directly to everything.
+        Ok(())
     }
 
-    fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
-        self.model.predict_ite(x)
+    fn try_predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
+        self.model.try_predict_ite(x)
     }
 }
 
@@ -76,7 +134,9 @@ pub struct CfrB {
 impl CfrB {
     /// Create for `d_in`-dimensional covariates.
     pub fn new(d_in: usize, cfg: CerlConfig, seed: u64) -> Self {
-        Self { model: CfrModel::new(d_in, cfg, seed) }
+        Self {
+            model: CfrModel::new(d_in, cfg, seed),
+        }
     }
 }
 
@@ -85,15 +145,15 @@ impl ContinualEstimator for CfrB {
         "CFR-B".into()
     }
 
-    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset) {
+    fn try_observe(&mut self, train: &CausalDataset, val: &CausalDataset) -> Result<(), CerlError> {
         // First call trains from scratch; later calls warm-start from the
         // previous parameters — exactly "utilize newly available data to
         // fine-tune the previously learned model".
-        self.model.train(train, val);
+        self.model.try_train(train, val).map(|_| ())
     }
 
-    fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
-        self.model.predict_ite(x)
+    fn try_predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
+        self.model.try_predict_ite(x)
     }
 }
 
@@ -111,7 +171,15 @@ pub struct CfrC {
 impl CfrC {
     /// Create for `d_in`-dimensional covariates.
     pub fn new(d_in: usize, cfg: CerlConfig, seed: u64) -> Self {
-        Self { cfg, seed, d_in, pooled_train: None, pooled_val: None, model: None, retrain_count: 0 }
+        Self {
+            cfg,
+            seed,
+            d_in,
+            pooled_train: None,
+            pooled_val: None,
+            model: None,
+            retrain_count: 0,
+        }
     }
 
     /// Total units of raw data this strategy is holding on to (the
@@ -127,34 +195,49 @@ impl ContinualEstimator for CfrC {
         "CFR-C".into()
     }
 
-    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset) {
-        self.pooled_train = Some(match self.pooled_train.take() {
+    fn try_observe(&mut self, train: &CausalDataset, val: &CausalDataset) -> Result<(), CerlError> {
+        if train.dim() != self.d_in {
+            return Err(CerlError::DimensionMismatch {
+                expected: self.d_in,
+                found: train.dim(),
+            });
+        }
+        if val.n() > 0 && val.dim() != self.d_in {
+            return Err(CerlError::DimensionMismatch {
+                expected: self.d_in,
+                found: val.dim(),
+            });
+        }
+        // Build the grown pools first and commit them only after a
+        // successful retrain, so a failed observe leaves the strategy's
+        // state untouched.
+        let pooled_train = match &self.pooled_train {
             Some(p) => p.concat(train),
             None => train.clone(),
-        });
-        self.pooled_val = Some(match self.pooled_val.take() {
+        };
+        let pooled_val = match &self.pooled_val {
             Some(p) => p.concat(val),
             None => val.clone(),
-        });
+        };
         // Retrain from scratch (fresh initialization) on everything.
-        let mut model = CfrModel::new(
+        let mut model = CfrModel::try_new(
             self.d_in,
             self.cfg.clone(),
             cerl_rand::seeds::derive(self.seed, self.retrain_count as u64),
-        );
-        model.train(
-            self.pooled_train.as_ref().expect("set above"),
-            self.pooled_val.as_ref().expect("set above"),
-        );
+        )?;
+        model.try_train(&pooled_train, &pooled_val)?;
+        self.pooled_train = Some(pooled_train);
+        self.pooled_val = Some(pooled_val);
         self.model = Some(model);
         self.retrain_count += 1;
+        Ok(())
     }
 
-    fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
-        self.model
-            .as_ref()
-            .expect("CFR-C: observe at least one domain first")
-            .predict_ite(x)
+    fn try_predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
+        match self.model.as_ref() {
+            Some(model) => model.try_predict_ite(x),
+            None => Err(CerlError::NotTrained),
+        }
     }
 }
 
@@ -163,12 +246,12 @@ impl ContinualEstimator for Cerl {
         "CERL".into()
     }
 
-    fn observe(&mut self, train: &CausalDataset, val: &CausalDataset) {
-        let _ = Cerl::observe(self, train, val);
+    fn try_observe(&mut self, train: &CausalDataset, val: &CausalDataset) -> Result<(), CerlError> {
+        Cerl::try_observe(self, train, val).map(|_| ())
     }
 
-    fn predict_ite(&self, x: &Matrix) -> Vec<f64> {
-        Cerl::predict_ite(self, x)
+    fn try_predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
+        Cerl::try_predict_ite(self, x)
     }
 }
 
@@ -189,7 +272,10 @@ mod tests {
 
     fn quick_stream() -> DomainStream {
         let gen = SyntheticGenerator::new(
-            SyntheticConfig { n_units: 400, ..SyntheticConfig::small() },
+            SyntheticConfig {
+                n_units: 400,
+                ..SyntheticConfig::small()
+            },
             55,
         );
         DomainStream::synthetic(&gen, 2, 0, 66)
@@ -217,7 +303,10 @@ mod tests {
         let before = a.predict_ite(&stream.domain(0).test.x);
         a.observe(&stream.domain(1).train, &stream.domain(1).val);
         let after = a.predict_ite(&stream.domain(0).test.x);
-        assert_eq!(before, after, "CFR-A must not change after the first domain");
+        assert_eq!(
+            before, after,
+            "CFR-A must not change after the first domain"
+        );
     }
 
     #[test]

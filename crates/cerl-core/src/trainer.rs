@@ -1,11 +1,42 @@
 //! Shared training-loop machinery: mini-batching, early stopping, and the
 //! report type returned by every training stage.
 
+use crate::error::CerlError;
+use cerl_data::CausalDataset;
 use cerl_math::Matrix;
 use cerl_nn::{ParamId, ParamStore};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Shared input validation for every `try_train`/`try_observe` stage:
+/// enough units to fit on, and train/val covariate widths matching the
+/// model (an empty validation set is allowed and skips the width check).
+pub(crate) fn validate_stage_inputs(
+    train: &CausalDataset,
+    val: &CausalDataset,
+    d_in: usize,
+) -> Result<(), CerlError> {
+    if train.n() < 4 {
+        return Err(CerlError::DatasetTooSmall {
+            required: 4,
+            found: train.n(),
+        });
+    }
+    if train.dim() != d_in {
+        return Err(CerlError::DimensionMismatch {
+            expected: d_in,
+            found: train.dim(),
+        });
+    }
+    if val.n() > 0 && val.dim() != d_in {
+        return Err(CerlError::DimensionMismatch {
+            expected: d_in,
+            found: val.dim(),
+        });
+    }
+    Ok(())
+}
 
 /// Outcome of one training stage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -22,14 +53,19 @@ pub struct TrainReport {
 ///
 /// The tail batch is kept if it has at least 2 units (a 1-unit batch makes
 /// MSE/IPM terms degenerate), otherwise merged into the previous batch.
+/// A `batch_size` below 2 is clamped to 2 (config validation rejects it on
+/// the fallible paths before it ever reaches here).
 pub fn minibatches<R: Rng + ?Sized>(n: usize, batch_size: usize, rng: &mut R) -> Vec<Vec<usize>> {
-    assert!(batch_size >= 2, "minibatches: batch size must be ≥ 2");
+    let batch_size = batch_size.max(2);
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(rng);
     let mut out: Vec<Vec<usize>> = idx.chunks(batch_size).map(<[usize]>::to_vec).collect();
-    if out.len() >= 2 && out.last().map(Vec::len).unwrap_or(0) < 2 {
-        let tail = out.pop().expect("non-empty");
-        out.last_mut().expect("non-empty").extend(tail);
+    if out.len() >= 2 && out.last().map_or(0, Vec::len) < 2 {
+        if let Some(tail) = out.pop() {
+            if let Some(prev) = out.last_mut() {
+                prev.extend(tail);
+            }
+        }
     }
     out
 }
@@ -47,7 +83,13 @@ impl EarlyStopper {
     /// Track the given parameters; `patience == 0` disables stopping (but
     /// best-snapshot restoration still applies).
     pub fn new(param_ids: Vec<ParamId>, patience: usize) -> Self {
-        Self { patience, best_loss: f64::INFINITY, wait: 0, param_ids, best_params: None }
+        Self {
+            patience,
+            best_loss: f64::INFINITY,
+            wait: 0,
+            param_ids,
+            best_params: None,
+        }
     }
 
     /// Report a validation loss; returns `true` when training should stop.

@@ -72,7 +72,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg() -> NetConfig {
-        NetConfig { repr_dim: 8, transform_hidden: vec![16], ..NetConfig::default() }
+        NetConfig {
+            repr_dim: 8,
+            transform_hidden: vec![16],
+            ..NetConfig::default()
+        }
     }
 
     #[test]

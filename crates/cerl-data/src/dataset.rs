@@ -5,6 +5,7 @@
 //! true noiseless potential outcomes `μ₀, μ₁`, which evaluation uses to
 //! compute PEHE and the true ATE.
 
+use crate::error::DataError;
 use cerl_math::Matrix;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -27,13 +28,42 @@ pub struct CausalDataset {
 
 impl CausalDataset {
     /// Construct, validating that all fields have consistent lengths.
+    ///
+    /// # Panics
+    /// On inconsistent lengths; [`CausalDataset::try_new`] is the fallible
+    /// form.
     pub fn new(x: Matrix, t: Vec<bool>, y: Vec<f64>, mu0: Vec<f64>, mu1: Vec<f64>) -> Self {
+        match Self::try_new(x, t, y, mu0, mu1) {
+            Ok(ds) => ds,
+            Err(e) => panic!("CausalDataset: {e}"),
+        }
+    }
+
+    /// Construct, returning a typed error when any per-unit field's length
+    /// disagrees with the covariate row count.
+    pub fn try_new(
+        x: Matrix,
+        t: Vec<bool>,
+        y: Vec<f64>,
+        mu0: Vec<f64>,
+        mu1: Vec<f64>,
+    ) -> Result<Self, DataError> {
         let n = x.rows();
-        assert_eq!(t.len(), n, "CausalDataset: t length mismatch");
-        assert_eq!(y.len(), n, "CausalDataset: y length mismatch");
-        assert_eq!(mu0.len(), n, "CausalDataset: mu0 length mismatch");
-        assert_eq!(mu1.len(), n, "CausalDataset: mu1 length mismatch");
-        Self { x, t, y, mu0, mu1 }
+        for (field, found) in [
+            ("t", t.len()),
+            ("y", y.len()),
+            ("mu0", mu0.len()),
+            ("mu1", mu1.len()),
+        ] {
+            if found != n {
+                return Err(DataError::LengthMismatch {
+                    field,
+                    expected: n,
+                    found,
+                });
+            }
+        }
+        Ok(Self { x, t, y, mu0, mu1 })
     }
 
     /// Number of units.
@@ -63,7 +93,11 @@ impl CausalDataset {
 
     /// True individual treatment effect per unit.
     pub fn true_ite(&self) -> Vec<f64> {
-        self.mu1.iter().zip(&self.mu0).map(|(&a, &b)| a - b).collect()
+        self.mu1
+            .iter()
+            .zip(&self.mu0)
+            .map(|(&a, &b)| a - b)
+            .collect()
     }
 
     /// True average treatment effect.
@@ -104,8 +138,10 @@ impl CausalDataset {
         val_frac: f64,
         rng: &mut R,
     ) -> TrainValTest {
-        assert!(train_frac >= 0.0 && val_frac >= 0.0 && train_frac + val_frac <= 1.0,
-            "split: invalid fractions {train_frac}/{val_frac}");
+        assert!(
+            train_frac >= 0.0 && val_frac >= 0.0 && train_frac + val_frac <= 1.0,
+            "split: invalid fractions {train_frac}/{val_frac}"
+        );
         let n = self.n();
         let mut idx: Vec<usize> = (0..n).collect();
         idx.shuffle(rng);
@@ -153,27 +189,89 @@ pub struct Standardizer {
 
 impl Standardizer {
     /// Fit on the rows of `x`; constant columns get std 1 (identity map).
+    ///
+    /// # Panics
+    /// On an empty matrix; [`Standardizer::try_fit`] is the fallible form.
     pub fn fit(x: &Matrix) -> Self {
+        match Self::try_fit(x) {
+            Ok(s) => s,
+            Err(e) => panic!("Standardizer: {e}"),
+        }
+    }
+
+    /// Fit on the rows of `x`, rejecting empty input.
+    pub fn try_fit(x: &Matrix) -> Result<Self, DataError> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(DataError::EmptyInput {
+                what: "Standardizer::fit covariates",
+            });
+        }
         let means = x.col_means();
         let stds = x
             .col_stds()
             .into_iter()
             .map(|s| if s > 1e-12 { s } else { 1.0 })
             .collect();
-        Self { means, stds, clip: None }
+        Ok(Self {
+            means,
+            stds,
+            clip: None,
+        })
     }
 
     /// Fit with symmetric z-score clipping at `±clip`.
+    ///
+    /// # Panics
+    /// On invalid input; [`Standardizer::try_fit_clipped`] is the fallible
+    /// form.
     pub fn fit_clipped(x: &Matrix, clip: f64) -> Self {
-        assert!(clip > 0.0, "Standardizer: clip must be positive");
-        let mut s = Self::fit(x);
+        match Self::try_fit_clipped(x, clip) {
+            Ok(s) => s,
+            Err(e) => panic!("Standardizer: {e}"),
+        }
+    }
+
+    /// Fit with symmetric z-score clipping, rejecting a non-positive clip
+    /// and empty input.
+    pub fn try_fit_clipped(x: &Matrix, clip: f64) -> Result<Self, DataError> {
+        if !clip.is_finite() || clip <= 0.0 {
+            return Err(DataError::InvalidParameter {
+                name: "clip",
+                reason: format!("must be positive and finite, got {clip}"),
+            });
+        }
+        let mut s = Self::try_fit(x)?;
         s.clip = Some(clip);
-        s
+        Ok(s)
     }
 
     /// Apply `(x − μ)/σ` columnwise (then clip, when configured).
+    ///
+    /// # Panics
+    /// On a column-count mismatch; [`Standardizer::try_transform`] is the
+    /// fallible form.
     pub fn transform(&self, x: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.means.len(), "Standardizer: dimension mismatch");
+        match self.try_transform(x) {
+            Ok(z) => z,
+            Err(e) => panic!("Standardizer: {e}"),
+        }
+    }
+
+    /// Apply `(x − μ)/σ` columnwise, returning a typed error when `x` has a
+    /// different column count than the fitting data. A matrix with no rows
+    /// carries no values to map and transforms to an empty matrix of the
+    /// fitted width regardless of its nominal column count (so "no
+    /// validation data" never trips the dimension check).
+    pub fn try_transform(&self, x: &Matrix) -> Result<Matrix, DataError> {
+        if x.rows() == 0 {
+            return Ok(Matrix::zeros(0, self.means.len()));
+        }
+        if x.cols() != self.means.len() {
+            return Err(DataError::DimensionMismatch {
+                expected: self.means.len(),
+                found: x.cols(),
+            });
+        }
         let mut out = x.clone();
         for i in 0..out.rows() {
             let row = out.row_mut(i);
@@ -184,7 +282,7 @@ impl Standardizer {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Number of columns this standardizer was fit on.
@@ -202,10 +300,29 @@ pub struct OutcomeScaler {
 
 impl OutcomeScaler {
     /// Fit on a slice of outcomes; constant outcomes get sd 1.
+    ///
+    /// # Panics
+    /// On an empty slice; [`OutcomeScaler::try_fit`] is the fallible form.
     pub fn fit(y: &[f64]) -> Self {
+        match Self::try_fit(y) {
+            Ok(s) => s,
+            Err(e) => panic!("OutcomeScaler: {e}"),
+        }
+    }
+
+    /// Fit on a slice of outcomes, rejecting empty input.
+    pub fn try_fit(y: &[f64]) -> Result<Self, DataError> {
+        if y.is_empty() {
+            return Err(DataError::EmptyInput {
+                what: "OutcomeScaler::fit outcomes",
+            });
+        }
         let mean = cerl_math::stats::mean(y);
         let sd = cerl_math::stats::std_dev(y);
-        Self { mean, sd: if sd > 1e-12 { sd } else { 1.0 } }
+        Ok(Self {
+            mean,
+            sd: if sd > 1e-12 { sd } else { 1.0 },
+        })
     }
 
     /// `(y − μ)/σ`.
@@ -240,7 +357,9 @@ mod tests {
         let t: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
         let mu0: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let mu1: Vec<f64> = (0..n).map(|i| i as f64 + 2.0).collect();
-        let y: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { mu1[i] } else { mu0[i] }).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { mu1[i] } else { mu0[i] })
+            .collect();
         CausalDataset::new(x, t, y, mu0, mu1)
     }
 
@@ -336,6 +455,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "t length mismatch")]
     fn rejects_inconsistent_lengths() {
-        let _ = CausalDataset::new(Matrix::zeros(3, 2), vec![true], vec![0.0; 3], vec![0.0; 3], vec![0.0; 3]);
+        let _ = CausalDataset::new(
+            Matrix::zeros(3, 2),
+            vec![true],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+        );
     }
 }

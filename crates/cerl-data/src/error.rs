@@ -1,0 +1,61 @@
+//! Typed errors for dataset construction and preprocessing.
+
+use std::fmt;
+
+/// Validation failure in dataset or scaler construction/application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A per-unit field's length disagrees with the covariate row count.
+    LengthMismatch {
+        /// Which field (`t`, `y`, `mu0`, `mu1`, ...).
+        field: &'static str,
+        /// Expected length (number of units).
+        expected: usize,
+        /// Actual length.
+        found: usize,
+    },
+    /// Covariate dimension disagrees with what a scaler was fit on.
+    DimensionMismatch {
+        /// Columns the scaler was fit on.
+        expected: usize,
+        /// Columns of the input.
+        found: usize,
+    },
+    /// A parameter is outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// An input that must be non-empty was empty.
+    EmptyInput {
+        /// What was empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::LengthMismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{field} length mismatch: expected {expected} units, found {found}"
+            ),
+            DataError::DimensionMismatch { expected, found } => write!(
+                f,
+                "covariate dimension mismatch: fit on {expected} columns, input has {found}"
+            ),
+            DataError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DataError::EmptyInput { what } => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

@@ -12,10 +12,12 @@
 //! * [`semisynthetic`] — News and BlogCatalog benchmark builders.
 //! * [`shift`] — substantial / moderate / no domain-shift scenarios.
 //! * [`stream`] — incrementally available domain sequences (Fig. 4).
+//! * [`error`] — typed validation errors ([`DataError`]).
 
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod error;
 pub mod semisynthetic;
 pub mod shift;
 pub mod stream;
@@ -23,6 +25,7 @@ pub mod synthetic;
 pub mod topics;
 
 pub use dataset::{CausalDataset, OutcomeScaler, Standardizer, TrainValTest};
+pub use error::DataError;
 pub use semisynthetic::{SemiSyntheticConfig, SemiSyntheticGenerator};
 pub use shift::DomainShift;
 pub use stream::DomainStream;

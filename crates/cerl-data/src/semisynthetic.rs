@@ -119,7 +119,13 @@ impl SemiSyntheticGenerator {
         // z^c_1: topic distribution of one randomly sampled document.
         let all: Vec<usize> = (0..cfg.topics.n_topics).collect();
         let zc1 = model.document(&all, &mut rng).z;
-        Self { cfg, model, zc0, zc1, base_seed: seed }
+        Self {
+            cfg,
+            model,
+            zc0,
+            zc1,
+            base_seed: seed,
+        }
     }
 
     /// Configuration in use.
@@ -214,8 +220,8 @@ mod tests {
         assert!(nt > 10 && nt < 290, "nt={nt}");
         // Selection bias: treated units have higher z·zc1, hence higher ITE.
         let ite = d.true_ite();
-        let mean_t: f64 = d.treated_indices().iter().map(|&i| ite[i]).sum::<f64>()
-            / d.n_treated().max(1) as f64;
+        let mean_t: f64 =
+            d.treated_indices().iter().map(|&i| ite[i]).sum::<f64>() / d.n_treated().max(1) as f64;
         let mean_c: f64 = d.control_indices().iter().map(|&i| ite[i]).sum::<f64>()
             / (d.n() - d.n_treated()).max(1) as f64;
         assert!(

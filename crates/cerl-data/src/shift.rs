@@ -56,7 +56,11 @@ impl DomainShift {
 
     /// All three scenarios in the paper's table order.
     pub fn all() -> [DomainShift; 3] {
-        [DomainShift::Substantial, DomainShift::Moderate, DomainShift::None]
+        [
+            DomainShift::Substantial,
+            DomainShift::Moderate,
+            DomainShift::None,
+        ]
     }
 }
 

@@ -25,13 +25,19 @@ pub struct DomainStream {
 impl DomainStream {
     /// Build from pre-split domains.
     pub fn from_splits(domains: Vec<TrainValTest>) -> Self {
-        assert!(!domains.is_empty(), "DomainStream: need at least one domain");
+        assert!(
+            !domains.is_empty(),
+            "DomainStream: need at least one domain"
+        );
         Self { domains }
     }
 
     /// Split raw per-domain datasets 60/20/20 with seeded shuffles.
     pub fn from_datasets(datasets: Vec<CausalDataset>, seed: u64) -> Self {
-        assert!(!datasets.is_empty(), "DomainStream: need at least one domain");
+        assert!(
+            !datasets.is_empty(),
+            "DomainStream: need at least one domain"
+        );
         let domains = datasets
             .into_iter()
             .enumerate()
@@ -45,8 +51,7 @@ impl DomainStream {
 
     /// Synthetic stream of `n_domains` domains (replication `rep`).
     pub fn synthetic(gen: &SyntheticGenerator, n_domains: usize, rep: usize, seed: u64) -> Self {
-        let datasets: Vec<CausalDataset> =
-            (0..n_domains).map(|d| gen.domain(d, rep)).collect();
+        let datasets: Vec<CausalDataset> = (0..n_domains).map(|d| gen.domain(d, rep)).collect();
         Self::from_datasets(datasets, seeds::derive(seed, rep as u64))
     }
 
@@ -84,7 +89,10 @@ impl DomainStream {
     /// Union of the training sets of domains `0..=d` (what the ideal
     /// retrain-from-scratch strategy CFR-C gets to see).
     pub fn pooled_train_up_to(&self, d: usize) -> CausalDataset {
-        assert!(d < self.domains.len(), "pooled_train_up_to: domain out of range");
+        assert!(
+            d < self.domains.len(),
+            "pooled_train_up_to: domain out of range"
+        );
         let mut pooled = self.domains[0].train.clone();
         for dom in &self.domains[1..=d] {
             pooled = pooled.concat(&dom.train);
@@ -96,7 +104,10 @@ impl DomainStream {
     /// per-domain metrics can be reported (paper's "previous data" / "new
     /// data" columns).
     pub fn test_sets_up_to(&self, d: usize) -> Vec<&CausalDataset> {
-        assert!(d < self.domains.len(), "test_sets_up_to: domain out of range");
+        assert!(
+            d < self.domains.len(),
+            "test_sets_up_to: domain out of range"
+        );
         self.domains[..=d].iter().map(|s| &s.test).collect()
     }
 }

@@ -22,8 +22,8 @@
 
 use crate::dataset::CausalDataset;
 use cerl_math::correlation::{
-    nearest_correlation_clip,
-    block_diagonal, covariance_from_correlation, hub_toeplitz, perturb_preserving_pd,
+    block_diagonal, covariance_from_correlation, hub_toeplitz, nearest_correlation_clip,
+    perturb_preserving_pd,
 };
 use cerl_math::special::normal_cdf;
 use cerl_math::stats::{mean, std_dev};
@@ -48,12 +48,22 @@ pub struct VariableRoles {
 impl VariableRoles {
     /// The paper's configuration: 35 C, 10 Z, 20 I, 35 A (100 total).
     pub fn paper() -> Self {
-        Self { confounders: 35, instruments: 10, irrelevant: 20, adjustment: 35 }
+        Self {
+            confounders: 35,
+            instruments: 10,
+            irrelevant: 20,
+            adjustment: 35,
+        }
     }
 
     /// Scaled-down configuration for fast tests.
     pub fn small() -> Self {
-        Self { confounders: 7, instruments: 3, irrelevant: 4, adjustment: 6 }
+        Self {
+            confounders: 7,
+            instruments: 3,
+            irrelevant: 4,
+            adjustment: 6,
+        }
     }
 
     /// Total covariate dimension.
@@ -67,7 +77,12 @@ impl VariableRoles {
         let z = c.end..c.end + self.instruments;
         let i = z.end..z.end + self.irrelevant;
         let a = i.end..i.end + self.adjustment;
-        RoleRanges { confounders: c, instruments: z, irrelevant: i, adjustment: a }
+        RoleRanges {
+            confounders: c,
+            instruments: z,
+            irrelevant: i,
+            adjustment: a,
+        }
     }
 }
 
@@ -135,7 +150,11 @@ impl Default for SyntheticConfig {
 impl SyntheticConfig {
     /// Small, fast configuration for tests and examples.
     pub fn small() -> Self {
-        Self { roles: VariableRoles::small(), n_units: 400, ..Self::default() }
+        Self {
+            roles: VariableRoles::small(),
+            n_units: 400,
+            ..Self::default()
+        }
     }
 }
 
@@ -173,8 +192,16 @@ impl SyntheticGenerator {
             let mut pilot_rng = seeds::rng_labeled(seed, "pilot-distribution");
             let (_mu, sigma) = build_distribution(&cfg, &mut pilot_rng);
             let ranges = roles.ranges();
-            let ca: Vec<usize> = ranges.confounders.clone().chain(ranges.adjustment.clone()).collect();
-            let cz: Vec<usize> = ranges.confounders.clone().chain(ranges.instruments.clone()).collect();
+            let ca: Vec<usize> = ranges
+                .confounders
+                .clone()
+                .chain(ranges.adjustment.clone())
+                .collect();
+            let cz: Vec<usize> = ranges
+                .confounders
+                .clone()
+                .chain(ranges.instruments.clone())
+                .collect();
             (
                 projection_sd(&sigma, &ca, &b_tau),
                 projection_sd(&sigma, &ca, &b_g),
@@ -183,7 +210,16 @@ impl SyntheticGenerator {
         } else {
             (1.0, 1.0, 1.0)
         };
-        Self { cfg, b_tau, b_g, b_a, scale_tau, scale_g, scale_a, base_seed: seed }
+        Self {
+            cfg,
+            b_tau,
+            b_g,
+            b_a,
+            scale_tau,
+            scale_g,
+            scale_a,
+            base_seed: seed,
+        }
     }
 
     /// Configuration in use.
@@ -267,7 +303,12 @@ fn build_distribution<R: Rng + ?Sized>(cfg: &SyntheticConfig, rng: &mut R) -> (V
     // draws are projected back to the correlation cone (eigenvalue
     // clipping), as Hardin et al. prescribe.
     let mut blocks = Vec::with_capacity(4);
-    for &size in &[roles.confounders, roles.instruments, roles.irrelevant, roles.adjustment] {
+    for &size in &[
+        roles.confounders,
+        roles.instruments,
+        roles.irrelevant,
+        roles.adjustment,
+    ] {
         let rho_max = sample_range(rng, cfg.rho_max_range);
         let rho_min = sample_range(rng, cfg.rho_min_range).min(rho_max);
         let mut block = hub_toeplitz(size, rho_max, rho_min, cfg.gamma);
@@ -396,7 +437,10 @@ mod tests {
         // Propensity depends on confounders: treated and control covariate
         // means must differ on confounder columns.
         let g = SyntheticGenerator::new(
-            SyntheticConfig { n_units: 4000, ..SyntheticConfig::small() },
+            SyntheticConfig {
+                n_units: 4000,
+                ..SyntheticConfig::small()
+            },
             99,
         );
         let d = g.domain(0, 0);
@@ -405,11 +449,11 @@ mod tests {
         let mt = xt.col_means();
         let mc = xc.col_means();
         let ranges = VariableRoles::small().ranges();
-        let conf_gap: f64 = ranges
-            .confounders
-            .map(|j| (mt[j] - mc[j]).abs())
-            .sum();
-        assert!(conf_gap > 0.05, "no selection bias detected: gap={conf_gap}");
+        let conf_gap: f64 = ranges.confounders.map(|j| (mt[j] - mc[j]).abs()).sum();
+        assert!(
+            conf_gap > 0.05,
+            "no selection bias detected: gap={conf_gap}"
+        );
     }
 
     #[test]

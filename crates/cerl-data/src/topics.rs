@@ -78,9 +78,14 @@ impl TopicModel {
     pub fn generate<R: Rng + ?Sized>(cfg: TopicModelConfig, rng: &mut R) -> Self {
         assert!(cfg.n_topics >= 2, "TopicModel: need at least 2 topics");
         assert!(cfg.vocab_size >= 2, "TopicModel: need at least 2 words");
-        assert!(cfg.doc_length.0 >= 1 && cfg.doc_length.0 <= cfg.doc_length.1,
-            "TopicModel: invalid doc_length range");
-        assert!((0.0..1.0).contains(&cfg.background_mix), "TopicModel: background_mix in [0,1)");
+        assert!(
+            cfg.doc_length.0 >= 1 && cfg.doc_length.0 <= cfg.doc_length.1,
+            "TopicModel: invalid doc_length range"
+        );
+        assert!(
+            (0.0..1.0).contains(&cfg.background_mix),
+            "TopicModel: background_mix in [0,1)"
+        );
         let word_prior = Dirichlet::symmetric(cfg.vocab_size, cfg.word_alpha);
         let mut topic_word = Matrix::zeros(cfg.n_topics, cfg.vocab_size);
         let mut samplers = Vec::with_capacity(cfg.n_topics);
@@ -94,7 +99,12 @@ impl TopicModel {
         let background_dist =
             Dirichlet::symmetric(cfg.vocab_size, (cfg.word_alpha * 10.0).max(0.5)).sample(rng);
         let background = Categorical::new(&background_dist);
-        Self { topic_word, samplers, background, cfg }
+        Self {
+            topic_word,
+            samplers,
+            background,
+            cfg,
+        }
     }
 
     /// Configuration in use.
@@ -129,23 +139,21 @@ impl TopicModel {
                 z[k] = w;
             }
         }
-        let topic_sampler = Categorical::new(
-            &allowed_topics.iter().map(|&k| z[k]).collect::<Vec<_>>(),
-        );
+        let topic_sampler =
+            Categorical::new(&allowed_topics.iter().map(|&k| z[k]).collect::<Vec<_>>());
 
         let (lo, hi) = self.cfg.doc_length;
         let len = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
         let mut counts = vec![0.0; self.cfg.vocab_size];
         for _ in 0..len {
-            let word = if self.cfg.background_mix > 0.0
-                && rng.gen::<f64>() < self.cfg.background_mix
-            {
-                self.background.sample(rng)
-            } else {
-                let local = topic_sampler.sample(rng);
-                let topic = allowed_topics[local];
-                self.samplers[topic].sample(rng)
-            };
+            let word =
+                if self.cfg.background_mix > 0.0 && rng.gen::<f64>() < self.cfg.background_mix {
+                    self.background.sample(rng)
+                } else {
+                    let local = topic_sampler.sample(rng);
+                    let topic = allowed_topics[local];
+                    self.samplers[topic].sample(rng)
+                };
             counts[word] += 1.0;
         }
 
@@ -155,7 +163,11 @@ impl TopicModel {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in mixture"))
             .map(|(k, _)| k)
             .unwrap_or(0);
-        Document { counts, z, dominant_topic }
+        Document {
+            counts,
+            z,
+            dominant_topic,
+        }
     }
 
     /// Mean topic mixture over `n` pilot documents drawn from the full

@@ -17,7 +17,9 @@
 //! smallest eigenvalue of the block-diagonal matrix (Hardin et al.,
 //! Algorithm 3).
 
-use crate::decomp::{cholesky_with_jitter, is_positive_definite, smallest_eigenvalue, symmetric_eigen};
+use crate::decomp::{
+    cholesky_with_jitter, is_positive_definite, smallest_eigenvalue, symmetric_eigen,
+};
 use crate::error::MathError;
 use crate::matrix::Matrix;
 
@@ -30,7 +32,10 @@ use crate::matrix::Matrix;
 /// If `ρ_max < ρ_min`, correlations are outside `[0, 1)`, or `γ ≤ 0`.
 pub fn hub_first_column(d: usize, rho_max: f64, rho_min: f64, gamma: f64) -> Vec<f64> {
     assert!(rho_max >= rho_min, "hub_first_column: rho_max < rho_min");
-    assert!((0.0..1.0).contains(&rho_min) && (0.0..1.0).contains(&rho_max), "hub correlations must lie in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&rho_min) && (0.0..1.0).contains(&rho_max),
+        "hub correlations must lie in [0,1)"
+    );
     assert!(gamma > 0.0, "hub_first_column: gamma must be positive");
     let mut col = Vec::with_capacity(d);
     if d == 0 {
@@ -38,7 +43,11 @@ pub fn hub_first_column(d: usize, rho_max: f64, rho_min: f64, gamma: f64) -> Vec
     }
     col.push(1.0);
     for i in 2..=d {
-        let frac = if d <= 2 { 0.0 } else { (i as f64 - 2.0) / (d as f64 - 2.0) };
+        let frac = if d <= 2 {
+            0.0
+        } else {
+            (i as f64 - 2.0) / (d as f64 - 2.0)
+        };
         col.push(rho_max - frac.powf(gamma) * (rho_max - rho_min));
     }
     col
@@ -88,18 +97,29 @@ pub fn perturb_preserving_pd(
     noise: &Matrix,
     safety: f64,
 ) -> Result<(Matrix, f64), MathError> {
-    assert_eq!(r.shape(), noise.shape(), "perturb_preserving_pd: shape mismatch");
-    assert!((0.0..1.0).contains(&safety) || safety == 1.0, "safety must be in (0,1]");
+    assert_eq!(
+        r.shape(),
+        noise.shape(),
+        "perturb_preserving_pd: shape mismatch"
+    );
+    assert!(
+        (0.0..1.0).contains(&safety) || safety == 1.0,
+        "safety must be in (0,1]"
+    );
     let lam_min = smallest_eigenvalue(r)?;
     if lam_min <= 0.0 {
-        return Err(MathError::NotPositiveDefinite { pivot: 0, value: lam_min });
+        return Err(MathError::NotPositiveDefinite {
+            pivot: 0,
+            value: lam_min,
+        });
     }
     let eig = symmetric_eigen(noise)?;
-    let spectral = eig
-        .values
-        .iter()
-        .fold(0.0_f64, |m, &v| m.max(v.abs()));
-    let scale = if spectral == 0.0 { 0.0 } else { (safety * lam_min / spectral).min(1.0) };
+    let spectral = eig.values.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let scale = if spectral == 0.0 {
+        0.0
+    } else {
+        (safety * lam_min / spectral).min(1.0)
+    };
     let mut out = r.clone();
     out.axpy(scale, noise);
     // Re-impose exact unit diagonal (noise should not touch it, but guard).
@@ -142,7 +162,10 @@ pub fn nearest_correlation_clip(a: &Matrix, floor: f64) -> Result<Matrix, MathEr
 pub fn correlation_from_covariance(sigma: &Matrix) -> Result<Matrix, MathError> {
     let n = sigma.rows();
     if sigma.cols() != n {
-        return Err(MathError::NotSquare { rows: sigma.rows(), cols: sigma.cols() });
+        return Err(MathError::NotSquare {
+            rows: sigma.rows(),
+            cols: sigma.cols(),
+        });
     }
     let mut d = Vec::with_capacity(n);
     for i in 0..n {
@@ -160,7 +183,10 @@ pub fn correlation_from_covariance(sigma: &Matrix) -> Result<Matrix, MathError> 
 pub fn covariance_from_correlation(r: &Matrix, sds: &[f64]) -> Result<Matrix, MathError> {
     let n = r.rows();
     if r.cols() != n {
-        return Err(MathError::NotSquare { rows: r.rows(), cols: r.cols() });
+        return Err(MathError::NotSquare {
+            rows: r.rows(),
+            cols: r.cols(),
+        });
     }
     if sds.len() != n {
         return Err(MathError::DimensionMismatch {
@@ -178,11 +204,17 @@ pub fn covariance_from_correlation(r: &Matrix, sds: &[f64]) -> Result<Matrix, Ma
 pub fn validate_correlation(r: &Matrix) -> Result<Matrix, MathError> {
     let n = r.rows();
     if r.cols() != n {
-        return Err(MathError::NotSquare { rows: r.rows(), cols: r.cols() });
+        return Err(MathError::NotSquare {
+            rows: r.rows(),
+            cols: r.cols(),
+        });
     }
     for i in 0..n {
         if (r[(i, i)] - 1.0).abs() > 1e-9 {
-            return Err(MathError::NotPositiveDefinite { pivot: i, value: r[(i, i)] });
+            return Err(MathError::NotPositiveDefinite {
+                pivot: i,
+                value: r[(i, i)],
+            });
         }
         for j in 0..n {
             let v = r[(i, j)];
@@ -212,8 +244,14 @@ mod tests {
         let col = hub_first_column(10, 0.8, 0.2, 1.0);
         assert_eq!(col.len(), 10);
         assert_eq!(col[0], 1.0);
-        assert!((col[1] - 0.8).abs() < 1e-12, "first off-hub correlation is rho_max");
-        assert!((col[9] - 0.2).abs() < 1e-12, "last off-hub correlation is rho_min");
+        assert!(
+            (col[1] - 0.8).abs() < 1e-12,
+            "first off-hub correlation is rho_max"
+        );
+        assert!(
+            (col[9] - 0.2).abs() < 1e-12,
+            "last off-hub correlation is rho_min"
+        );
         // Monotone decreasing between.
         for w in col[1..].windows(2) {
             assert!(w[0] >= w[1] - 1e-12);

@@ -13,7 +13,10 @@ use crate::matrix::Matrix;
 pub fn cholesky(a: &Matrix) -> Result<Matrix, MathError> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(MathError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(MathError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     let scale = a.max_abs().max(1.0);
     let tol = 1e-14 * scale;
@@ -24,7 +27,10 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, MathError> {
             diag -= l[(j, k)] * l[(j, k)];
         }
         if diag <= tol {
-            return Err(MathError::NotPositiveDefinite { pivot: j, value: diag });
+            return Err(MathError::NotPositiveDefinite {
+                pivot: j,
+                value: diag,
+            });
         }
         let ljj = diag.sqrt();
         l[(j, j)] = ljj;
@@ -63,7 +69,10 @@ pub fn cholesky_with_jitter(
         }
         jitter *= 10.0;
     }
-    Err(MathError::NotPositiveDefinite { pivot: 0, value: f64::NEG_INFINITY })
+    Err(MathError::NotPositiveDefinite {
+        pivot: 0,
+        value: f64::NEG_INFINITY,
+    })
 }
 
 /// True when `a` admits a Cholesky factorization (i.e. is numerically SPD).
@@ -149,7 +158,10 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
-        assert!(matches!(cholesky(&a), Err(MathError::NotPositiveDefinite { .. })));
+        assert!(matches!(
+            cholesky(&a),
+            Err(MathError::NotPositiveDefinite { .. })
+        ));
         assert!(!is_positive_definite(&a));
     }
 

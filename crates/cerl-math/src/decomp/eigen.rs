@@ -26,10 +26,16 @@ pub struct SymmetricEigen {
 pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, MathError> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(MathError::NotSquare { rows: a.rows(), cols: a.cols() });
+        return Err(MathError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
     }
     if n == 0 {
-        return Ok(SymmetricEigen { values: vec![], vectors: Matrix::zeros(0, 0) });
+        return Ok(SymmetricEigen {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        });
     }
     let mut m = a.zip_map(&a.transpose(), |x, y| 0.5 * (x + y));
     let mut v = Matrix::identity(n);
@@ -96,18 +102,16 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<SymmetricEigen, MathError> {
 
 /// Smallest eigenvalue of a symmetric matrix.
 pub fn smallest_eigenvalue(a: &Matrix) -> Result<f64, MathError> {
-    Ok(*symmetric_eigen(a)?
-        .values
-        .first()
-        .ok_or(MathError::Empty { context: "smallest_eigenvalue" })?)
+    Ok(*symmetric_eigen(a)?.values.first().ok_or(MathError::Empty {
+        context: "smallest_eigenvalue",
+    })?)
 }
 
 /// Largest eigenvalue of a symmetric matrix.
 pub fn largest_eigenvalue(a: &Matrix) -> Result<f64, MathError> {
-    Ok(*symmetric_eigen(a)?
-        .values
-        .last()
-        .ok_or(MathError::Empty { context: "largest_eigenvalue" })?)
+    Ok(*symmetric_eigen(a)?.values.last().ok_or(MathError::Empty {
+        context: "largest_eigenvalue",
+    })?)
 }
 
 #[cfg(test)]
@@ -185,7 +189,10 @@ mod tests {
 
     #[test]
     fn empty_and_non_square() {
-        assert!(symmetric_eigen(&Matrix::zeros(0, 0)).unwrap().values.is_empty());
+        assert!(symmetric_eigen(&Matrix::zeros(0, 0))
+            .unwrap()
+            .values
+            .is_empty());
         assert!(matches!(
             symmetric_eigen(&Matrix::zeros(2, 3)),
             Err(MathError::NotSquare { .. })

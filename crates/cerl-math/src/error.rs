@@ -49,13 +49,26 @@ impl fmt::Display for MathError {
                 write!(f, "expected a square matrix, got {rows}x{cols}")
             }
             MathError::NotPositiveDefinite { pivot, value } => {
-                write!(f, "matrix is not positive definite (pivot {pivot} = {value:.3e})")
+                write!(
+                    f,
+                    "matrix is not positive definite (pivot {pivot} = {value:.3e})"
+                )
             }
-            MathError::DimensionMismatch { expected, actual, context } => {
-                write!(f, "{context}: dimension mismatch (expected {expected}, got {actual})")
+            MathError::DimensionMismatch {
+                expected,
+                actual,
+                context,
+            } => {
+                write!(
+                    f,
+                    "{context}: dimension mismatch (expected {expected}, got {actual})"
+                )
             }
             MathError::Empty { context } => write!(f, "{context}: empty input"),
-            MathError::NoConvergence { context, iterations } => {
+            MathError::NoConvergence {
+                context,
+                iterations,
+            } => {
                 write!(f, "{context}: no convergence after {iterations} iterations")
             }
         }
@@ -72,13 +85,23 @@ mod tests {
     fn display_messages() {
         let e = MathError::NotSquare { rows: 2, cols: 3 };
         assert!(e.to_string().contains("2x3"));
-        let e = MathError::NotPositiveDefinite { pivot: 4, value: -1.0 };
+        let e = MathError::NotPositiveDefinite {
+            pivot: 4,
+            value: -1.0,
+        };
         assert!(e.to_string().contains("pivot 4"));
-        let e = MathError::DimensionMismatch { expected: 5, actual: 3, context: "test" };
+        let e = MathError::DimensionMismatch {
+            expected: 5,
+            actual: 3,
+            context: "test",
+        };
         assert!(e.to_string().contains("expected 5"));
         let e = MathError::Empty { context: "op" };
         assert!(e.to_string().contains("empty"));
-        let e = MathError::NoConvergence { context: "iter", iterations: 10 };
+        let e = MathError::NoConvergence {
+            context: "iter",
+            iterations: 10,
+        };
         assert!(e.to_string().contains("10"));
     }
 }

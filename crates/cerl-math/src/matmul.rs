@@ -14,7 +14,10 @@ const PARALLEL_FLOP_THRESHOLD: usize = 8_000_000;
 
 /// Number of worker threads used by the parallel kernel.
 fn worker_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// `A · B`, choosing the serial or parallel kernel by problem size.
@@ -39,7 +42,11 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// Single-threaded `ikj` kernel (row-major friendly, autovectorizes).
 pub fn matmul_serial(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul_serial: inner dimension mismatch");
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_serial: inner dimension mismatch"
+    );
     let (m, k) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
@@ -62,7 +69,11 @@ pub fn matmul_serial(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// Parallel kernel: splits rows of `A` across scoped threads.
 pub fn matmul_parallel(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul_parallel: inner dimension mismatch");
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_parallel: inner dimension mismatch"
+    );
     let (m, k) = a.shape();
     let n = b.cols();
     let threads = worker_threads().min(m.max(1));

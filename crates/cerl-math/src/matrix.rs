@@ -12,6 +12,8 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+mod serde_impl;
+
 /// Dense row-major matrix of `f64`.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
@@ -23,7 +25,11 @@ pub struct Matrix {
 impl Matrix {
     /// Create a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix of ones.
@@ -33,7 +39,11 @@ impl Matrix {
 
     /// Create a matrix where every entry is `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Create the `n × n` identity matrix.
@@ -70,10 +80,19 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "Matrix::from_rows: row {i} has length {}, expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "Matrix::from_rows: row {i} has length {}, expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Build with a generator function over `(row, col)`.
@@ -89,12 +108,20 @@ impl Matrix {
 
     /// A single-row matrix from a slice.
     pub fn row_vector(v: &[f64]) -> Self {
-        Self { rows: 1, cols: v.len(), data: v.to_vec() }
+        Self {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
     }
 
     /// A single-column matrix from a slice.
     pub fn col_vector(v: &[f64]) -> Self {
-        Self { rows: v.len(), cols: 1, data: v.to_vec() }
+        Self {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -147,20 +174,32 @@ impl Matrix {
     /// Borrow row `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
-        debug_assert!(i < self.rows, "row index {i} out of bounds ({} rows)", self.rows);
+        debug_assert!(
+            i < self.rows,
+            "row index {i} out of bounds ({} rows)",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Mutably borrow row `i`.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        debug_assert!(i < self.rows, "row index {i} out of bounds ({} rows)", self.rows);
+        debug_assert!(
+            i < self.rows,
+            "row index {i} out of bounds ({} rows)",
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Copy column `j` into a new vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "col index {j} out of bounds ({} cols)", self.cols);
+        assert!(
+            j < self.cols,
+            "col index {j} out of bounds ({} cols)",
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -194,7 +233,12 @@ impl Matrix {
         Self {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -322,7 +366,13 @@ impl Matrix {
     /// Mean of each row, as a vector of length `rows`.
     pub fn row_means(&self) -> Vec<f64> {
         self.iter_rows()
-            .map(|r| if r.is_empty() { 0.0 } else { r.iter().sum::<f64>() / r.len() as f64 })
+            .map(|r| {
+                if r.is_empty() {
+                    0.0
+                } else {
+                    r.iter().sum::<f64>() / r.len() as f64
+                }
+            })
             .collect()
     }
 
@@ -333,10 +383,37 @@ impl Matrix {
     pub fn select_rows(&self, indices: &[usize]) -> Self {
         let mut data = Vec::with_capacity(indices.len() * self.cols);
         for &i in indices {
-            assert!(i < self.rows, "select_rows: index {i} out of bounds ({} rows)", self.rows);
+            assert!(
+                i < self.rows,
+                "select_rows: index {i} out of bounds ({} rows)",
+                self.rows
+            );
             data.extend_from_slice(self.row(i));
         }
-        Self { rows: indices.len(), cols: self.cols, data }
+        Self {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Contiguous row range `[start, end)` as a new matrix — a single
+    /// memcpy for row-major data, unlike the gather in
+    /// [`Matrix::select_rows`].
+    ///
+    /// # Panics
+    /// If `start > end` or `end > rows`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Self {
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows: invalid range {start}..{end} ({} rows)",
+            self.rows
+        );
+        Self {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
     }
 
     /// Stack `self` on top of `other` (column counts must match).
@@ -347,11 +424,19 @@ impl Matrix {
         if other.rows == 0 {
             return self.clone();
         }
-        assert_eq!(self.cols, other.cols, "vstack: column mismatch {} vs {}", self.cols, other.cols);
+        assert_eq!(
+            self.cols, other.cols,
+            "vstack: column mismatch {} vs {}",
+            self.cols, other.cols
+        );
         let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Self { rows: self.rows + other.rows, cols: self.cols, data }
+        Self {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Concatenate columns of `self` and `other` (row counts must match).
@@ -362,14 +447,22 @@ impl Matrix {
         if other.cols == 0 {
             return self.clone();
         }
-        assert_eq!(self.rows, other.rows, "hstack: row mismatch {} vs {}", self.rows, other.rows);
+        assert_eq!(
+            self.rows, other.rows,
+            "hstack: row mismatch {} vs {}",
+            self.rows, other.rows
+        );
         let cols = self.cols + other.cols;
         let mut data = Vec::with_capacity(self.rows * cols);
         for i in 0..self.rows {
             data.extend_from_slice(self.row(i));
             data.extend_from_slice(other.row(i));
         }
-        Self { rows: self.rows, cols, data }
+        Self {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// True when every entry is finite.
@@ -408,7 +501,11 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds {:?}", self.shape());
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds {:?}",
+            self.shape()
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -416,7 +513,11 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds {:?}", self.shape());
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds {:?}",
+            self.shape()
+        );
         &mut self.data[i * self.cols + j]
     }
 }

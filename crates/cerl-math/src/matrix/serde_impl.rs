@@ -1,0 +1,68 @@
+//! Serde support for [`Matrix`].
+//!
+//! Hand-written (rather than derived) so deserialization can re-validate
+//! the `rows × cols == data.len()` invariant instead of trusting the
+//! document, and so the field layout (`{rows, cols, data}`) is a stable
+//! part of the model-snapshot format.
+
+use super::Matrix;
+use serde::{Deserialize, Error, Serialize, Value};
+
+impl Serialize for Matrix {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("rows".to_string(), self.rows().serialize()),
+            ("cols".to_string(), self.cols().serialize()),
+            ("data".to_string(), self.as_slice().serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Matrix {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let obj = value.as_object().ok_or_else(|| {
+            Error::custom(format!(
+                "expected object for Matrix, found {}",
+                value.kind()
+            ))
+        })?;
+        let rows: usize = serde::field(obj, "rows")?;
+        let cols: usize = serde::field(obj, "cols")?;
+        let data: Vec<f64> = serde::field(obj, "data")?;
+        let expected = rows
+            .checked_mul(cols)
+            .ok_or_else(|| Error::custom(format!("Matrix dimensions overflow: {rows}x{cols}")))?;
+        if data.len() != expected {
+            return Err(Error::custom(format!(
+                "Matrix data length {} does not match {rows}x{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_including_special_floats() {
+        let m = Matrix::from_vec(2, 3, vec![0.1, -0.0, 1e-300, f64::MAX, -5.5, 2.0 / 3.0]);
+        let back = Matrix::deserialize(&m.serialize()).unwrap();
+        assert_eq!(back.shape(), (2, 3));
+        for (a, b) in back.as_slice().iter().zip(m.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_shape() {
+        let mut v = match Matrix::zeros(2, 2).serialize() {
+            Value::Object(fields) => fields,
+            _ => unreachable!(),
+        };
+        v[0].1 = Value::UInt(3); // claim 3 rows with 4 data values
+        assert!(Matrix::deserialize(&Value::Object(v)).is_err());
+    }
+}

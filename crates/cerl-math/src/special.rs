@@ -236,7 +236,11 @@ mod tests {
             (4.0, 0.9999999845827421),
         ];
         for (x, want) in cases {
-            assert!((erf(x) - want).abs() < 1e-12, "erf({x}) = {} want {want}", erf(x));
+            assert!(
+                (erf(x) - want).abs() < 1e-12,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
             assert!((erf(-x) + want).abs() < 1e-12, "erf odd symmetry at {x}");
         }
     }
@@ -270,9 +274,24 @@ mod tests {
 
     #[test]
     fn quantile_inverts_cdf() {
-        for &p in &[1e-10, 1e-4, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.9999, 1.0 - 1e-10] {
+        for &p in &[
+            1e-10,
+            1e-4,
+            0.01,
+            0.1,
+            0.25,
+            0.5,
+            0.75,
+            0.9,
+            0.99,
+            0.9999,
+            1.0 - 1e-10,
+        ] {
             let x = normal_quantile(p);
-            assert!((normal_cdf(x) - p).abs() < 1e-12 * p.max(1e-3), "p={p}, x={x}");
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-12 * p.max(1e-3),
+                "p={p}, x={x}"
+            );
         }
         assert_eq!(normal_quantile(0.0), f64::NEG_INFINITY);
         assert_eq!(normal_quantile(1.0), f64::INFINITY);
@@ -303,7 +322,10 @@ mod tests {
         assert!((ln_gamma(0.5) - PI.sqrt().ln()).abs() < 1e-11);
         // Recurrence Γ(x+1) = x Γ(x)
         for &x in &[0.3, 1.7, 4.2, 9.9] {
-            assert!((ln_gamma(x + 1.0) - (ln_gamma(x) + x.ln())).abs() < 1e-10, "x={x}");
+            assert!(
+                (ln_gamma(x + 1.0) - (ln_gamma(x) + x.ln())).abs() < 1e-10,
+                "x={x}"
+            );
         }
     }
 

@@ -106,14 +106,29 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<PairedTTest> {
         // Zero variance: identical sequences are maximally insignificant;
         // a constant nonzero difference is maximally significant.
         return Some(if md == 0.0 {
-            PairedTTest { t: 0.0, dof: n - 1, p_value: 1.0, mean_diff: md }
+            PairedTTest {
+                t: 0.0,
+                dof: n - 1,
+                p_value: 1.0,
+                mean_diff: md,
+            }
         } else {
-            PairedTTest { t: md.signum() * f64::INFINITY, dof: n - 1, p_value: 0.0, mean_diff: md }
+            PairedTTest {
+                t: md.signum() * f64::INFINITY,
+                dof: n - 1,
+                p_value: 0.0,
+                mean_diff: md,
+            }
         });
     }
     let t = md / (sd / (n as f64).sqrt());
     let p = 2.0 * (1.0 - normal_cdf(t.abs()));
-    Some(PairedTTest { t, dof: n - 1, p_value: p.clamp(0.0, 1.0), mean_diff: md })
+    Some(PairedTTest {
+        t,
+        dof: n - 1,
+        p_value: p.clamp(0.0, 1.0),
+        mean_diff: md,
+    })
 }
 
 /// Quantile of a sample via linear interpolation (type-7, as in NumPy).

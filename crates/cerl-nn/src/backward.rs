@@ -40,7 +40,13 @@ impl Gradients {
         let mut keys: Vec<usize> = self.param_grads.keys().copied().collect();
         keys.sort_unstable();
         keys.iter()
-            .map(|k| self.param_grads[k].as_slice().iter().map(|v| v * v).sum::<f64>())
+            .map(|k| {
+                self.param_grads[k]
+                    .as_slice()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f64>()
+            })
             .sum::<f64>()
             .sqrt()
     }
@@ -83,7 +89,9 @@ impl Graph {
         grads[loss.index()] = Some(Matrix::filled(1, 1, 1.0));
 
         for idx in (0..=loss.index()).rev() {
-            let Some(go) = grads[idx].take() else { continue };
+            let Some(go) = grads[idx].take() else {
+                continue;
+            };
             // Re-store so node_grad() can report it afterwards.
             let node = &self.nodes[idx];
             self.propagate(idx, &node.op, &go, &mut grads);
@@ -101,7 +109,10 @@ impl Graph {
                 }
             }
         }
-        Gradients { node_grads: grads, param_grads }
+        Gradients {
+            node_grads: grads,
+            param_grads,
+        }
     }
 
     fn accumulate(&self, grads: &mut [Option<Matrix>], target: NodeId, delta: Matrix) {

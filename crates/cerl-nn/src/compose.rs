@@ -32,11 +32,7 @@ pub fn l1_penalty(g: &mut Graph, w: NodeId) -> NodeId {
 /// Elastic net `Σ_p (‖p‖₂² + ‖p‖₁)` over the given parameters (Eq. 1).
 ///
 /// Returns a scalar node; with an empty list returns a zero node.
-pub fn elastic_net_penalty(
-    g: &mut Graph,
-    store: &ParamStore,
-    params: &[ParamId],
-) -> NodeId {
+pub fn elastic_net_penalty(g: &mut Graph, store: &ParamStore, params: &[ParamId]) -> NodeId {
     let mut acc: Option<NodeId> = None;
     for &pid in params {
         let w = g.param(store, pid);
@@ -150,8 +146,16 @@ mod tests {
     #[test]
     fn cosine_similarity_rows() {
         let mut g = Graph::new();
-        let a = g.input(Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![0.0, 0.0]]));
-        let b = g.input(Matrix::from_rows(&[vec![1.0, 0.0], vec![-1.0, -1.0], vec![1.0, 2.0]]));
+        let a = g.input(Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+        ]));
+        let b = g.input(Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![-1.0, -1.0],
+            vec![1.0, 2.0],
+        ]));
         let cs = row_cosine_similarity(&mut g, a, b);
         let v = g.value(cs);
         assert!((v[(0, 0)] - 1.0).abs() < 1e-12);
@@ -184,7 +188,10 @@ mod tests {
         for i in 0..2 {
             for j in 0..2 {
                 let v = g.value(out)[(i, j)];
-                assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&v), "out[{i},{j}]={v}");
+                assert!(
+                    (-1.0 - 1e-12..=1.0 + 1e-12).contains(&v),
+                    "out[{i},{j}]={v}"
+                );
             }
         }
     }

@@ -18,10 +18,5 @@ pub trait CustomOp: std::fmt::Debug {
     /// Gradients of the loss w.r.t. each input, given the node's inputs,
     /// output, and incoming gradient. Must return one matrix per input,
     /// each shaped like the corresponding input.
-    fn backward(
-        &self,
-        inputs: &[&Matrix],
-        output: &Matrix,
-        grad_output: &Matrix,
-    ) -> Vec<Matrix>;
+    fn backward(&self, inputs: &[&Matrix], output: &Matrix, grad_output: &Matrix) -> Vec<Matrix>;
 }

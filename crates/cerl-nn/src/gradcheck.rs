@@ -40,7 +40,11 @@ pub fn check_param_gradient(
     mut loss_fn: impl FnMut(&ParamStore) -> f64,
 ) -> GradCheckReport {
     let shape = store.value(id).shape();
-    assert_eq!(analytic.shape(), shape, "check_param_gradient: gradient shape mismatch");
+    assert_eq!(
+        analytic.shape(),
+        shape,
+        "check_param_gradient: gradient shape mismatch"
+    );
     let mut max_abs = 0.0_f64;
     let mut max_rel = 0.0_f64;
     let mut checked = 0usize;
@@ -62,7 +66,11 @@ pub fn check_param_gradient(
             checked += 1;
         }
     }
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel, checked }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        checked,
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +143,14 @@ mod tests {
     fn mlp_tanh_gradients() {
         let mut rng = StdRng::seed_from_u64(11);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, &mut rng, &[3, 5, 2], Activation::Tanh, Activation::Identity, "m");
+        let mlp = Mlp::new(
+            &mut store,
+            &mut rng,
+            &[3, 5, 2],
+            Activation::Tanh,
+            Activation::Identity,
+            "m",
+        );
         let x = rand_matrix(&mut rng, 4, 3);
         let y = rand_matrix(&mut rng, 4, 2);
         for pid in mlp.params() {

@@ -58,7 +58,10 @@ pub(crate) enum Op {
     /// Stack rows of the first input on top of the second.
     ConcatRows(NodeId, NodeId),
     /// Externally defined op (see [`CustomOp`]).
-    Custom { inputs: Vec<NodeId>, op: Box<dyn CustomOp> },
+    Custom {
+        inputs: Vec<NodeId>,
+        op: Box<dyn CustomOp>,
+    },
 }
 
 pub(crate) struct Node {
@@ -103,13 +106,26 @@ impl Graph {
     /// If the node is not 1×1.
     pub fn scalar(&self, id: NodeId) -> f64 {
         let v = self.value(id);
-        assert_eq!(v.shape(), (1, 1), "scalar: node is {:?}, not 1x1", v.shape());
+        assert_eq!(
+            v.shape(),
+            (1, 1),
+            "scalar: node is {:?}, not 1x1",
+            v.shape()
+        );
         v[(0, 0)]
     }
 
     fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> NodeId {
-        debug_assert!(value.all_finite(), "non-finite value produced by {}", op_name(&op));
-        self.nodes.push(Node { value, op, requires_grad });
+        debug_assert!(
+            value.all_finite(),
+            "non-finite value produced by {}",
+            op_name(&op)
+        );
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
         NodeId(self.nodes.len() - 1)
     }
 
@@ -207,7 +223,9 @@ impl Graph {
 
     /// Exponential linear unit with slope `alpha` on the negative side.
     pub fn elu(&mut self, a: NodeId, alpha: f64) -> NodeId {
-        let v = self.value(a).map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        let v = self
+            .value(a)
+            .map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
         let rg = self.rg(a);
         self.push(v, Op::Elu(a, alpha), rg)
     }
@@ -341,7 +359,14 @@ impl Graph {
         let in_values: Vec<&Matrix> = inputs.iter().map(|&i| self.value(i)).collect();
         let value = op.forward(&in_values);
         let rg = inputs.iter().any(|&i| self.rg(i));
-        self.push(value, Op::Custom { inputs: inputs.to_vec(), op }, rg)
+        self.push(
+            value,
+            Op::Custom {
+                inputs: inputs.to_vec(),
+                op,
+            },
+            rg,
+        )
     }
 }
 
@@ -416,7 +441,10 @@ mod tests {
     fn matmul_and_bias() {
         let mut g = Graph::new();
         let x = g.input(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]));
-        let w = g.input(Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]]));
+        let w = g.input(Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0],
+        ]));
         let b = g.input(Matrix::from_vec(1, 3, vec![10.0, 20.0, 30.0]));
         let xw = g.matmul(x, w);
         assert_eq!(g.value(xw).row(0), &[1.0, 2.0, 3.0]);

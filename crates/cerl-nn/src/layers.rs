@@ -5,9 +5,10 @@ use crate::compose::cosine_linear;
 use crate::graph::{Graph, NodeId};
 use crate::params::{he_normal, xavier_uniform, zeros, ParamId, ParamStore};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Elementwise nonlinearity applied after a layer's linear map.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Activation {
     /// No nonlinearity.
     Identity,
@@ -35,7 +36,7 @@ impl Activation {
 }
 
 /// Fully connected layer `act(x·W + b)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dense {
     w: ParamId,
     b: ParamId,
@@ -86,7 +87,7 @@ impl Dense {
 /// No bias: the pre-activation is already bounded in `[-1, 1]`, which is the
 /// point — it controls the representation variance when domains have very
 /// different covariate magnitudes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CosineDense {
     w: ParamId,
     activation: Activation,
@@ -125,7 +126,7 @@ impl CosineDense {
 }
 
 /// Multi-layer perceptron with uniform hidden activation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<Dense>,
 }
@@ -147,8 +148,19 @@ impl Mlp {
         assert!(dims.len() >= 2, "Mlp: need at least input and output dims");
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for (i, w) in dims.windows(2).enumerate() {
-            let act = if i + 2 == dims.len() { out_act } else { hidden_act };
-            layers.push(Dense::new(store, rng, w[0], w[1], act, &format!("{name}.{i}")));
+            let act = if i + 2 == dims.len() {
+                out_act
+            } else {
+                hidden_act
+            };
+            layers.push(Dense::new(
+                store,
+                rng,
+                w[0],
+                w[1],
+                act,
+                &format!("{name}.{i}"),
+            ));
         }
         Self { layers }
     }
@@ -205,7 +217,9 @@ mod tests {
         let layer = CosineDense::new(&mut store, &mut rng, 6, 4, Activation::Identity, "c");
         let mut g = Graph::new();
         // Wildly different magnitudes — outputs still bounded.
-        let x = g.input(Matrix::from_fn(3, 6, |i, j| (i as f64 + 1.0) * 1e4 * ((j as f64) - 2.5)));
+        let x = g.input(Matrix::from_fn(3, 6, |i, j| {
+            (i as f64 + 1.0) * 1e4 * ((j as f64) - 2.5)
+        }));
         let y = layer.forward(&mut g, &store, x);
         for &v in g.value(y).as_slice() {
             assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "v={v}");
@@ -239,7 +253,14 @@ mod tests {
     fn mlp_needs_two_dims() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut store = ParamStore::new();
-        let _ = Mlp::new(&mut store, &mut rng, &[3], Activation::Relu, Activation::Identity, "x");
+        let _ = Mlp::new(
+            &mut store,
+            &mut rng,
+            &[3],
+            Activation::Relu,
+            Activation::Identity,
+            "x",
+        );
     }
 
     #[test]
@@ -253,7 +274,11 @@ mod tests {
         let t = Activation::Tanh.apply(&mut g, x);
         assert!((g.value(t)[(0, 1)] - 1.0_f64.tanh()).abs() < 1e-15);
         let s = Activation::Sigmoid.apply(&mut g, x);
-        assert!(g.value(s).as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(g
+            .value(s)
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
         let e = Activation::Elu(1.0).apply(&mut g, x);
         assert!((g.value(e)[(0, 0)] - ((-1.0_f64).exp() - 1.0)).abs() < 1e-15);
     }

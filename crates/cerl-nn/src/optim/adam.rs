@@ -28,10 +28,25 @@ impl Adam {
     /// Fully parameterized construction.
     pub fn with_config(lr: f64, beta1: f64, beta2: f64, eps: f64, weight_decay: f64) -> Self {
         assert!(lr > 0.0, "Adam: learning rate must be positive");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "Adam: betas in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "Adam: betas in [0,1)"
+        );
         assert!(eps > 0.0, "Adam: eps must be positive");
-        assert!(weight_decay >= 0.0, "Adam: weight decay must be non-negative");
-        Self { lr, beta1, beta2, eps, weight_decay, t: 0, m: HashMap::new(), v: HashMap::new() }
+        assert!(
+            weight_decay >= 0.0,
+            "Adam: weight decay must be non-negative"
+        );
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
     }
 
     /// Reset step count and moment estimates (used when reusing an
@@ -49,7 +64,9 @@ impl Optimizer for Adam {
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
         for &pid in params {
-            let Some(g) = grads.param_grad(pid) else { continue };
+            let Some(g) = grads.param_grad(pid) else {
+                continue;
+            };
             let m = self
                 .m
                 .entry(pid.index())
@@ -110,7 +127,11 @@ mod tests {
             let grads = g.backward(loss);
             opt.step(&mut store, &grads, &[w]);
         }
-        assert!(store.value(w).approx_eq(&target, 1e-3), "{:?}", store.value(w));
+        assert!(
+            store.value(w).approx_eq(&target, 1e-3),
+            "{:?}",
+            store.value(w)
+        );
     }
 
     #[test]

@@ -26,14 +26,21 @@ impl RmsProp {
         assert!(lr > 0.0, "RmsProp: learning rate must be positive");
         assert!((0.0..1.0).contains(&rho), "RmsProp: rho must be in [0,1)");
         assert!(eps > 0.0, "RmsProp: eps must be positive");
-        Self { lr, rho, eps, v: HashMap::new() }
+        Self {
+            lr,
+            rho,
+            eps,
+            v: HashMap::new(),
+        }
     }
 }
 
 impl Optimizer for RmsProp {
     fn step(&mut self, store: &mut ParamStore, grads: &Gradients, params: &[ParamId]) {
         for &pid in params {
-            let Some(g) = grads.param_grad(pid) else { continue };
+            let Some(g) = grads.param_grad(pid) else {
+                continue;
+            };
             let v = self
                 .v
                 .entry(pid.index())
@@ -42,7 +49,12 @@ impl Optimizer for RmsProp {
             let g2 = g.map(|x| x * x);
             v.axpy(1.0 - self.rho, &g2);
             let w = store.value_mut(pid);
-            for ((wi, gi), vi) in w.as_mut_slice().iter_mut().zip(g.as_slice()).zip(v.as_slice()) {
+            for ((wi, gi), vi) in w
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(v.as_slice())
+            {
                 *wi -= self.lr * gi / (vi.sqrt() + self.eps);
             }
         }
@@ -77,7 +89,11 @@ mod tests {
             let grads = g.backward(loss);
             opt.step(&mut store, &grads, &[w]);
         }
-        assert!(store.value(w).approx_eq(&target, 1e-2), "{:?}", store.value(w));
+        assert!(
+            store.value(w).approx_eq(&target, 1e-2),
+            "{:?}",
+            store.value(w)
+        );
     }
 
     #[test]

@@ -11,10 +11,20 @@ pub struct ExponentialDecay {
 impl ExponentialDecay {
     /// Construct; `gamma ∈ (0, 1]`, decay applied every `every` epochs.
     pub fn new(initial: f64, gamma: f64, every: usize) -> Self {
-        assert!(initial > 0.0, "ExponentialDecay: initial lr must be positive");
-        assert!(gamma > 0.0 && gamma <= 1.0, "ExponentialDecay: gamma in (0,1]");
+        assert!(
+            initial > 0.0,
+            "ExponentialDecay: initial lr must be positive"
+        );
+        assert!(
+            gamma > 0.0 && gamma <= 1.0,
+            "ExponentialDecay: gamma in (0,1]"
+        );
         assert!(every > 0, "ExponentialDecay: every must be >= 1");
-        Self { initial, gamma, every }
+        Self {
+            initial,
+            gamma,
+            every,
+        }
     }
 
     /// Learning rate at the given epoch (0-based).

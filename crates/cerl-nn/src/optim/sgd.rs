@@ -23,15 +23,24 @@ impl Sgd {
     /// SGD with momentum `μ ∈ [0, 1)`.
     pub fn with_momentum(lr: f64, momentum: f64) -> Self {
         assert!(lr > 0.0, "Sgd: learning rate must be positive");
-        assert!((0.0..1.0).contains(&momentum), "Sgd: momentum must be in [0,1)");
-        Self { lr, momentum, velocity: HashMap::new() }
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "Sgd: momentum must be in [0,1)"
+        );
+        Self {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
     }
 }
 
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore, grads: &Gradients, params: &[ParamId]) {
         for &pid in params {
-            let Some(g) = grads.param_grad(pid) else { continue };
+            let Some(g) = grads.param_grad(pid) else {
+                continue;
+            };
             if self.momentum == 0.0 {
                 store.value_mut(pid).axpy(-self.lr, g);
             } else {

@@ -7,9 +7,14 @@
 use cerl_math::Matrix;
 use cerl_rand::StandardNormal;
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Handle to a parameter inside a [`ParamStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Serializes transparently as its raw index; a deserialized id is only
+/// meaningful against the [`ParamStore`] snapshot it was saved with (the
+/// model-snapshot layer in `cerl-core` re-validates ids on load).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ParamId(pub(crate) usize);
 
 impl ParamId {
@@ -19,14 +24,14 @@ impl ParamId {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Param {
     name: String,
     value: Matrix,
 }
 
 /// Collection of named, trainable matrices.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ParamStore {
     params: Vec<Param>,
 }
@@ -39,7 +44,10 @@ impl ParamStore {
 
     /// Register a parameter; names are for diagnostics and need not be unique.
     pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
-        self.params.push(Param { name: name.into(), value });
+        self.params.push(Param {
+            name: name.into(),
+            value,
+        });
         ParamId(self.params.len() - 1)
     }
 
@@ -105,7 +113,11 @@ impl ParamStore {
 
     /// Restore values captured with [`ParamStore::snapshot`].
     pub fn restore(&mut self, ids: &[ParamId], values: &[Matrix]) {
-        assert_eq!(ids.len(), values.len(), "ParamStore::restore: length mismatch");
+        assert_eq!(
+            ids.len(),
+            values.len(),
+            "ParamStore::restore: length mismatch"
+        );
         for (&id, v) in ids.iter().zip(values) {
             self.set(id, v.clone());
         }

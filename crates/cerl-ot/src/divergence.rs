@@ -22,12 +22,7 @@ use cerl_nn::{Graph, NodeId};
 /// Composes three [`wasserstein`] ops on the tape, so gradients flow
 /// through all terms (self-terms included, which is what keeps the
 /// divergence's minimum exactly at `P = Q`).
-pub fn sinkhorn_divergence(
-    g: &mut Graph,
-    a: NodeId,
-    b: NodeId,
-    cfg: SinkhornConfig,
-) -> NodeId {
+pub fn sinkhorn_divergence(g: &mut Graph, a: NodeId, b: NodeId, cfg: SinkhornConfig) -> NodeId {
     let w_ab = wasserstein(g, a, b, cfg);
     let w_aa = wasserstein(g, a, a, cfg);
     let w_bb = wasserstein(g, b, b, cfg);
@@ -43,7 +38,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn cfg(eps: f64) -> SinkhornConfig {
-        SinkhornConfig { epsilon: eps, epsilon_mode: EpsilonMode::Absolute, iterations: 300 }
+        SinkhornConfig {
+            epsilon: eps,
+            epsilon_mode: EpsilonMode::Absolute,
+            iterations: 300,
+        }
     }
 
     fn batch(n: usize, d: usize, shift: f64, seed: u64) -> Matrix {

@@ -17,7 +17,11 @@ pub fn w2_squared_1d(a: &[f64], b: &[f64]) -> f64 {
     let mut sb = b.to_vec();
     sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
     sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
-    sa.iter().zip(&sb).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+    sa.iter()
+        .zip(&sb)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        / a.len() as f64
 }
 
 /// Exact 1-Wasserstein (earth mover's) distance between two equal-size
@@ -29,7 +33,11 @@ pub fn w1_1d(a: &[f64], b: &[f64]) -> f64 {
     let mut sb = b.to_vec();
     sa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
     sb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
-    sa.iter().zip(&sb).map(|(&x, &y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+    sa.iter()
+        .zip(&sb)
+        .map(|(&x, &y)| (x - y).abs())
+        .sum::<f64>()
+        / a.len() as f64
 }
 
 #[cfg(test)]
@@ -77,7 +85,11 @@ mod tests {
         // Entropic bias is positive and shrinks with ε; 5% agreement is
         // plenty to establish correctness against the oracle.
         let rel = (r.cost - exact).abs() / exact.max(1e-12);
-        assert!(rel < 0.05, "sinkhorn {} vs exact {exact} (rel {rel})", r.cost);
+        assert!(
+            rel < 0.05,
+            "sinkhorn {} vs exact {exact} (rel {rel})",
+            r.cost
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub struct RbfMmdOp {
 impl RbfMmdOp {
     /// Create with the given bandwidth policy.
     pub fn new(bandwidth: Bandwidth) -> Self {
-        Self { bandwidth, sigma2: std::cell::Cell::new(1.0) }
+        Self {
+            bandwidth,
+            sigma2: std::cell::Cell::new(1.0),
+        }
     }
 
     fn resolve_sigma2(&self, xt: &Matrix, xc: &Matrix) -> f64 {

@@ -30,7 +30,11 @@ pub enum EpsilonMode {
 
 impl Default for SinkhornConfig {
     fn default() -> Self {
-        Self { epsilon: 0.05, epsilon_mode: EpsilonMode::RelativeToMeanCost, iterations: 50 }
+        Self {
+            epsilon: 0.05,
+            epsilon_mode: EpsilonMode::RelativeToMeanCost,
+            iterations: 50,
+        }
     }
 }
 
@@ -56,10 +60,20 @@ pub fn sinkhorn_plan(cost: &Matrix, a: &[f64], b: &[f64], cfg: &SinkhornConfig) 
     assert_eq!(a.len(), n, "sinkhorn_plan: marginal a length mismatch");
     assert_eq!(b.len(), m, "sinkhorn_plan: marginal b length mismatch");
     if n == 0 || m == 0 {
-        return SinkhornResult { plan: Matrix::zeros(n, m), cost: 0.0, effective_epsilon: cfg.epsilon };
+        return SinkhornResult {
+            plan: Matrix::zeros(n, m),
+            cost: 0.0,
+            effective_epsilon: cfg.epsilon,
+        };
     }
-    assert!(a.iter().all(|&v| v > 0.0), "sinkhorn_plan: marginal a must be positive");
-    assert!(b.iter().all(|&v| v > 0.0), "sinkhorn_plan: marginal b must be positive");
+    assert!(
+        a.iter().all(|&v| v > 0.0),
+        "sinkhorn_plan: marginal a must be positive"
+    );
+    assert!(
+        b.iter().all(|&v| v > 0.0),
+        "sinkhorn_plan: marginal b must be positive"
+    );
 
     let eps = match cfg.epsilon_mode {
         EpsilonMode::Absolute => cfg.epsilon,
@@ -112,7 +126,11 @@ pub fn sinkhorn_plan(cost: &Matrix, a: &[f64], b: &[f64], cfg: &SinkhornConfig) 
             total += p * cost[(i, j)];
         }
     }
-    SinkhornResult { plan, cost: total, effective_epsilon: eps }
+    SinkhornResult {
+        plan,
+        cost: total,
+        effective_epsilon: eps,
+    }
 }
 
 /// [`sinkhorn_plan`] with uniform marginals.
@@ -129,7 +147,11 @@ mod tests {
     use cerl_math::norms::pairwise_sq_dists;
 
     fn cfg(eps: f64, iters: usize) -> SinkhornConfig {
-        SinkhornConfig { epsilon: eps, epsilon_mode: EpsilonMode::Absolute, iterations: iters }
+        SinkhornConfig {
+            epsilon: eps,
+            epsilon_mode: EpsilonMode::Absolute,
+            iterations: iters,
+        }
     }
 
     #[test]
@@ -183,7 +205,8 @@ mod tests {
 
     #[test]
     fn relative_epsilon_scales_with_cost() {
-        let cost_small = Matrix::from_fn(3, 3, |i, j| ((i + 2 * j) as f64 * 0.31).cos().abs() * 0.01);
+        let cost_small =
+            Matrix::from_fn(3, 3, |i, j| ((i + 2 * j) as f64 * 0.31).cos().abs() * 0.01);
         let cost_big = cost_small.scale(1e6);
         let cfg_rel = SinkhornConfig {
             epsilon: 0.05,

@@ -31,7 +31,10 @@ pub struct WassersteinOp {
 impl WassersteinOp {
     /// Create with the given Sinkhorn configuration.
     pub fn new(cfg: SinkhornConfig) -> Self {
-        Self { cfg, plan: RefCell::new(None) }
+        Self {
+            cfg,
+            plan: RefCell::new(None),
+        }
     }
 }
 
@@ -41,7 +44,11 @@ impl CustomOp for WassersteinOp {
     }
 
     fn forward(&mut self, inputs: &[&Matrix]) -> Matrix {
-        assert_eq!(inputs.len(), 2, "WassersteinOp: expected [treated, control]");
+        assert_eq!(
+            inputs.len(),
+            2,
+            "WassersteinOp: expected [treated, control]"
+        );
         let (xt, xc) = (inputs[0], inputs[1]);
         if xt.rows() == 0 || xc.rows() == 0 {
             *self.plan.borrow_mut() = Some(Matrix::zeros(xt.rows(), xc.rows()));
@@ -57,7 +64,9 @@ impl CustomOp for WassersteinOp {
         let (xt, xc) = (inputs[0], inputs[1]);
         let go = grad_output[(0, 0)];
         let plan_ref = self.plan.borrow();
-        let plan = plan_ref.as_ref().expect("WassersteinOp: backward before forward");
+        let plan = plan_ref
+            .as_ref()
+            .expect("WassersteinOp: backward before forward");
 
         let (n1, d) = xt.shape();
         let n0 = xc.rows();
@@ -101,7 +110,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn cfg() -> SinkhornConfig {
-        SinkhornConfig { epsilon: 0.02, epsilon_mode: EpsilonMode::Absolute, iterations: 400 }
+        SinkhornConfig {
+            epsilon: 0.02,
+            epsilon_mode: EpsilonMode::Absolute,
+            iterations: 400,
+        }
     }
 
     #[test]
@@ -146,7 +159,10 @@ mod tests {
         // and is small at the smaller one.
         let mut rng = StdRng::seed_from_u64(21);
         let mut store = ParamStore::new();
-        let xt = store.add("xt", Matrix::from_fn(4, 3, |_, _| rng.gen::<f64>() * 2.0 - 1.0));
+        let xt = store.add(
+            "xt",
+            Matrix::from_fn(4, 3, |_, _| rng.gen::<f64>() * 2.0 - 1.0),
+        );
         let xc_val = Matrix::from_fn(5, 3, |_, _| rng.gen::<f64>() * 2.0 - 1.0 + 0.5);
 
         let mut rel_at = |eps: f64, iters: usize| {
@@ -174,8 +190,14 @@ mod tests {
 
         let coarse = rel_at(0.05, 800);
         let fine = rel_at(0.002, 4000);
-        assert!(fine < coarse, "bias should shrink with ε: {fine} vs {coarse}");
-        assert!(fine < 1e-2, "envelope gradient off at small ε: rel={fine:.3e}");
+        assert!(
+            fine < coarse,
+            "bias should shrink with ε: {fine} vs {coarse}"
+        );
+        assert!(
+            fine < 1e-2,
+            "envelope gradient off at small ε: rel={fine:.3e}"
+        );
     }
 
     #[test]
@@ -197,6 +219,9 @@ mod tests {
         }
         let first = dist_history[0];
         let last = *dist_history.last().unwrap();
-        assert!(last < first * 0.2, "distance did not shrink: {first} -> {last}");
+        assert!(
+            last < first * 0.2,
+            "distance did not shrink: {first} -> {last}"
+        );
     }
 }

@@ -40,8 +40,11 @@ impl Dirichlet {
 
     /// Draw one probability vector (sums to 1).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
-        let mut draws: Vec<f64> =
-            self.alphas.iter().map(|&a| sample_gamma_shape(rng, a)).collect();
+        let mut draws: Vec<f64> = self
+            .alphas
+            .iter()
+            .map(|&a| sample_gamma_shape(rng, a))
+            .collect();
         let total: f64 = draws.iter().sum();
         if total <= 0.0 {
             // Vanishingly unlikely; fall back to uniform.
@@ -102,7 +105,11 @@ mod tests {
             max_sum += p.iter().cloned().fold(0.0, f64::max);
         }
         // The largest coordinate should dominate on average.
-        assert!(max_sum / n as f64 > 0.75, "mean max = {}", max_sum / n as f64);
+        assert!(
+            max_sum / n as f64 > 0.75,
+            "mean max = {}",
+            max_sum / n as f64
+        );
     }
 
     #[test]

@@ -14,8 +14,14 @@ pub struct Gamma {
 impl Gamma {
     /// Construct; panics on non-positive or non-finite parameters.
     pub fn new(alpha: f64, theta: f64) -> Self {
-        assert!(alpha > 0.0 && alpha.is_finite(), "Gamma: invalid shape {alpha}");
-        assert!(theta > 0.0 && theta.is_finite(), "Gamma: invalid scale {theta}");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "Gamma: invalid shape {alpha}"
+        );
+        assert!(
+            theta > 0.0 && theta.is_finite(),
+            "Gamma: invalid scale {theta}"
+        );
         Self { alpha, theta }
     }
 

@@ -104,7 +104,10 @@ mod tests {
             assert!((got - want).abs() < 0.03, "mean {got} vs {want}");
         }
         let cov = sample_cov(&x);
-        assert!(cov.approx_eq(&r, 0.05), "covariance off:\n{cov:?}\nvs\n{r:?}");
+        assert!(
+            cov.approx_eq(&r, 0.05),
+            "covariance off:\n{cov:?}\nvs\n{r:?}"
+        );
     }
 
     #[test]

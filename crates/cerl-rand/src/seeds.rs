@@ -72,7 +72,10 @@ mod tests {
     fn labels_map_to_distinct_streams() {
         let mut seen = std::collections::HashSet::new();
         for label in ["domain-0", "domain-1", "rep-0", "rep-1", "herding", "train"] {
-            assert!(seen.insert(derive_labeled(99, label)), "collision for {label}");
+            assert!(
+                seen.insert(derive_labeled(99, label)),
+                "collision for {label}"
+            );
         }
     }
 }

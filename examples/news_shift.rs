@@ -13,7 +13,7 @@
 use cerl::data::TopicModelConfig;
 use cerl::prelude::*;
 
-fn main() {
+fn main() -> Result<(), CerlError> {
     // Reduced News configuration (full scale: 5000 docs × 3477 words).
     let news = SemiSyntheticConfig {
         n_units: 800,
@@ -44,16 +44,13 @@ fn main() {
             Box::new(Cerl::new(d_in, cfg.clone(), 23)),
         ];
 
-        println!(
-            "{:<8} {:>16} {:>16}",
-            "model", "prev √PEHE", "new √PEHE"
-        );
+        println!("{:<8} {:>16} {:>16}", "model", "prev √PEHE", "new √PEHE");
         for mut est in estimators {
             for d in 0..stream.len() {
-                est.observe(&stream.domain(d).train, &stream.domain(d).val);
+                est.try_observe(&stream.domain(d).train, &stream.domain(d).val)?;
             }
-            let prev = est.evaluate(&stream.domain(0).test);
-            let new = est.evaluate(&stream.domain(1).test);
+            let prev = est.try_evaluate(&stream.domain(0).test)?;
+            let new = est.try_evaluate(&stream.domain(1).test)?;
             println!(
                 "{:<8} {:>16.2} {:>16.2}",
                 est.name(),
@@ -66,4 +63,5 @@ fn main() {
     println!("expected shape: under substantial shift CFR-A degrades on the new");
     println!("dataset, CFR-B on the previous one, CERL stays close on both;");
     println!("with no shift all three are similar (paper Table I).");
+    Ok(())
 }

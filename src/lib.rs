@@ -20,9 +20,16 @@
 //! | [`nn`](cerl_nn) | tape autodiff, layers (incl. cosine normalization), Adam/SGD |
 //! | [`ot`](cerl_ot) | Sinkhorn-Wasserstein and MMD representation-balance penalties |
 //! | [`data`](cerl_data) | synthetic §IV.C generator, News/BlogCatalog simulators, domain streams |
-//! | [`core`](cerl_core) | the CERL learner, CFR baseline, strategies CFR-A/B/C, metrics |
+//! | [`core`](cerl_core) | the CERL learner, serving engine, CFR baselines, strategies, metrics |
 //!
-//! ## Quickstart
+//! ## Quickstart: the serving engine
+//!
+//! [`CerlEngine`](prelude::CerlEngine) is the recommended entry point: a
+//! fallible builder validates the configuration, the covariate dimension
+//! is inferred from the first observed domain, every request path returns
+//! a typed [`CerlError`](prelude::CerlError) instead of panicking, and a
+//! trained estimator round-trips through versioned snapshot bytes — so a
+//! service can restart (or hot-swap replicas) without losing the model.
 //!
 //! ```
 //! use cerl::prelude::*;
@@ -33,19 +40,45 @@
 //!
 //! let mut cfg = CerlConfig::quick_test();
 //! cfg.train.epochs = 2; // doc-test speed; use the default for real runs
-//! let mut learner = Cerl::new(stream.domain(0).train.dim(), cfg, 42);
+//! let mut engine = CerlEngineBuilder::new(cfg).seed(42).build()?;
 //!
 //! for d in 0..stream.len() {
-//!     let report = learner.observe(&stream.domain(d).train, &stream.domain(d).val);
+//!     let report = engine.observe(&stream.domain(d).train, &stream.domain(d).val)?;
 //!     assert_eq!(report.stage, d + 1);
 //! }
 //!
 //! // One model serves every seen domain; raw history was never retained.
-//! let metrics = EffectMetrics::on_dataset(
-//!     &stream.domain(0).test,
-//!     &learner.predict_ite(&stream.domain(0).test.x),
-//! );
+//! let test = &stream.domain(0).test;
+//! let metrics = EffectMetrics::on_dataset(test, &engine.predict_ite(&test.x)?);
 //! assert!(metrics.sqrt_pehe.is_finite());
+//!
+//! // Persist across restarts / ship to another replica.
+//! let bytes = engine.save_bytes()?;
+//! let restored = CerlEngine::load_bytes(&bytes)?;
+//! assert_eq!(restored.predict_ite(&test.x)?, engine.predict_ite(&test.x)?);
+//! # Ok::<(), CerlError>(())
+//! ```
+//!
+//! ## Research-style API
+//!
+//! The original research-facing types remain available: construct
+//! [`Cerl`](prelude::Cerl) directly when the covariate dimension is known
+//! up front, or use the infallible `observe`/`predict_ite` wrappers (which
+//! panic with the typed error's message on misuse):
+//!
+//! ```
+//! use cerl::prelude::*;
+//!
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 42);
+//! let stream = DomainStream::synthetic(&gen, 2, 0, 42);
+//!
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 2; // doc-test speed
+//! let mut learner = Cerl::new(stream.domain(0).train.dim(), cfg, 42);
+//! for d in 0..stream.len() {
+//!     learner.observe(&stream.domain(d).train, &stream.domain(d).val);
+//! }
+//! assert_eq!(learner.stage(), 2);
 //! ```
 
 pub use cerl_core as core;
@@ -58,12 +91,14 @@ pub use cerl_rand as rand;
 /// Convenient single-import surface for applications.
 pub mod prelude {
     pub use cerl_core::{
-        Ablation, Cerl, CerlConfig, CfrA, CfrB, CfrC, CfrModel, ContinualEstimator,
-        EffectMetrics, IpmKind, Memory, StageReport, TrainReport,
+        paper_lineup, Ablation, Cerl, CerlConfig, CerlEngine, CerlEngineBuilder, CerlError, CfrA,
+        CfrB, CfrC, CfrModel, ContinualEstimator, DistillKind, EffectMetrics, IpmKind, Memory,
+        ModelSnapshot, NetConfig, SLearner, SnapshotError, StageReport, TLearner, TrainConfig,
+        TrainReport, SNAPSHOT_FORMAT_VERSION,
     };
     pub use cerl_data::{
-        CausalDataset, DomainShift, DomainStream, SemiSyntheticConfig, SemiSyntheticGenerator,
-        SyntheticConfig, SyntheticGenerator,
+        CausalDataset, DataError, DomainShift, DomainStream, SemiSyntheticConfig,
+        SemiSyntheticGenerator, SyntheticConfig, SyntheticGenerator,
     };
     pub use cerl_math::Matrix;
 }

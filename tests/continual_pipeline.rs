@@ -12,7 +12,11 @@ fn quick_cfg() -> CerlConfig {
 
 fn quick_stream(domains: usize, seed: u64) -> DomainStream {
     let gen = SyntheticGenerator::new(
-        SyntheticConfig { n_units: 500, noise_sd: 0.4, ..SyntheticConfig::small() },
+        SyntheticConfig {
+            n_units: 500,
+            noise_sd: 0.4,
+            ..SyntheticConfig::small()
+        },
         seed,
     );
     DomainStream::synthetic(&gen, domains, 0, seed)
@@ -95,7 +99,12 @@ fn memory_is_bounded_and_balanced_across_five_domains() {
     let mut cerl = Cerl::new(d_in, cfg, 104);
     for d in 0..5 {
         let report = cerl.observe(&stream.domain(d).train, &stream.domain(d).val);
-        assert!(report.memory_len <= 80, "stage {}: {}", d, report.memory_len);
+        assert!(
+            report.memory_len <= 80,
+            "stage {}: {}",
+            d,
+            report.memory_len
+        );
     }
     let mem = cerl.memory().expect("memory exists");
     let nt = mem.treated_indices().len() as i64;

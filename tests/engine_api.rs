@@ -1,0 +1,243 @@
+//! Serving-API integration tests through the public facade: typed error
+//! paths (no panics on malformed requests), builder validation, batched
+//! inference, and snapshot restart semantics.
+
+use cerl::prelude::*;
+
+fn quick_cfg() -> CerlConfig {
+    let mut cfg = CerlConfig::quick_test();
+    cfg.train.epochs = 6;
+    cfg.memory_size = 80;
+    cfg
+}
+
+fn quick_stream(domains: usize, seed: u64) -> DomainStream {
+    let gen = SyntheticGenerator::new(
+        SyntheticConfig {
+            n_units: 400,
+            ..SyntheticConfig::small()
+        },
+        seed,
+    );
+    DomainStream::synthetic(&gen, domains, 0, seed)
+}
+
+// ---- error paths: no panics, the right variant ---------------------------
+
+#[test]
+fn predicting_from_untrained_model_is_a_typed_error() {
+    let engine = CerlEngineBuilder::new(quick_cfg()).build().unwrap();
+    let x = Matrix::zeros(3, 10);
+    assert!(matches!(engine.predict_ite(&x), Err(CerlError::NotTrained)));
+    assert!(matches!(
+        engine.predict_potential_outcomes(&x),
+        Err(CerlError::NotTrained)
+    ));
+    assert!(matches!(engine.embed(&x), Err(CerlError::NotTrained)));
+    assert!(matches!(
+        engine.predict_ite_batch(std::slice::from_ref(&x)),
+        Err(CerlError::NotTrained)
+    ));
+    assert!(matches!(engine.save_bytes(), Err(CerlError::NotTrained)));
+
+    // Same contract on the research types and every lineup member.
+    let cerl = Cerl::try_new(10, quick_cfg(), 1).unwrap();
+    assert!(matches!(
+        cerl.try_predict_ite(&x),
+        Err(CerlError::NotTrained)
+    ));
+    for est in paper_lineup(10, &quick_cfg(), 1) {
+        assert!(
+            matches!(est.try_predict_ite(&x), Err(CerlError::NotTrained)),
+            "{} should report NotTrained",
+            est.name()
+        );
+    }
+    let s = SLearner::new(10, quick_cfg(), 1);
+    assert!(matches!(s.try_predict_ite(&x), Err(CerlError::NotTrained)));
+    let t = TLearner::new(10, quick_cfg(), 1);
+    assert!(matches!(t.try_predict_ite(&x), Err(CerlError::NotTrained)));
+}
+
+#[test]
+fn mismatched_covariate_dimension_is_a_typed_error() {
+    let stream = quick_stream(2, 201);
+    let d_in = stream.domain(0).train.dim();
+    let mut engine = CerlEngineBuilder::new(quick_cfg())
+        .seed(201)
+        .build()
+        .unwrap();
+    engine
+        .observe(&stream.domain(0).train, &stream.domain(0).val)
+        .unwrap();
+
+    // Predict with the wrong width.
+    let bad = Matrix::zeros(5, d_in + 1);
+    match engine.predict_ite(&bad) {
+        Err(CerlError::DimensionMismatch { expected, found }) => {
+            assert_eq!(expected, d_in);
+            assert_eq!(found, d_in + 1);
+        }
+        other => panic!("expected DimensionMismatch, got {:?}", other.map(|_| ())),
+    }
+
+    // Observe a later domain with the wrong width; engine state must
+    // survive untouched and keep serving.
+    let narrow = stream
+        .domain(1)
+        .train
+        .select(&(0..stream.domain(1).train.n()).collect::<Vec<_>>());
+    let mut wrong = narrow.clone();
+    wrong.x = Matrix::zeros(narrow.n(), d_in + 3);
+    match engine.observe(&wrong, &stream.domain(1).val) {
+        Err(CerlError::DimensionMismatch { expected, found }) => {
+            assert_eq!(expected, d_in);
+            assert_eq!(found, d_in + 3);
+        }
+        other => panic!("expected DimensionMismatch, got {:?}", other.map(|_| ())),
+    }
+    assert_eq!(
+        engine.stage(),
+        1,
+        "failed observe must not advance the stage"
+    );
+    assert!(engine.predict_ite(&stream.domain(0).test.x).is_ok());
+}
+
+type ConfigTweak = Box<dyn Fn(&mut CerlConfig)>;
+
+#[test]
+fn invalid_configs_name_the_offending_field() {
+    let cases: Vec<(&'static str, ConfigTweak)> = vec![
+        ("memory_size", Box::new(|c| c.memory_size = 0)),
+        ("alpha", Box::new(|c| c.alpha = -1.0)),
+        ("delta", Box::new(|c| c.delta = f64::NAN)),
+        ("train.epochs", Box::new(|c| c.train.epochs = 0)),
+        ("train.batch_size", Box::new(|c| c.train.batch_size = 1)),
+        (
+            "train.learning_rate",
+            Box::new(|c| c.train.learning_rate = 0.0),
+        ),
+        ("net.repr_dim", Box::new(|c| c.net.repr_dim = 0)),
+        (
+            "sinkhorn_iterations",
+            Box::new(|c| c.sinkhorn_iterations = 0),
+        ),
+    ];
+    for (expected_field, tweak) in cases {
+        let mut cfg = quick_cfg();
+        tweak(&mut cfg);
+        match CerlEngineBuilder::new(cfg.clone()).build() {
+            Err(CerlError::InvalidConfig { field, .. }) => assert_eq!(field, expected_field),
+            other => panic!(
+                "{expected_field}: expected InvalidConfig, got {:?}",
+                other.map(|_| ())
+            ),
+        }
+        // The research constructor reports the identical error.
+        match Cerl::try_new(10, cfg, 0) {
+            Err(CerlError::InvalidConfig { field, .. }) => assert_eq!(field, expected_field),
+            other => panic!(
+                "{expected_field}: expected InvalidConfig, got {:?}",
+                other.map(|_| ())
+            ),
+        }
+    }
+}
+
+#[test]
+fn tiny_domains_are_rejected_not_panicked_on() {
+    let stream = quick_stream(1, 202);
+    let tiny = stream.domain(0).train.select(&[0, 1, 2]);
+    let mut engine = CerlEngineBuilder::new(quick_cfg()).build().unwrap();
+    match engine.observe(&tiny, &stream.domain(0).val) {
+        Err(CerlError::DatasetTooSmall {
+            required: 4,
+            found: 3,
+        }) => {}
+        other => panic!("expected DatasetTooSmall, got {:?}", other.map(|_| ())),
+    }
+}
+
+// ---- batched inference ----------------------------------------------------
+
+#[test]
+fn batch_and_chunked_inference_agree_with_single_calls_across_estimators() {
+    let stream = quick_stream(1, 203);
+    let d_in = stream.domain(0).train.dim();
+    let x = &stream.domain(0).test.x;
+    let halves: Vec<Matrix> = {
+        let n = x.rows();
+        let first: Vec<usize> = (0..n / 2).collect();
+        let second: Vec<usize> = (n / 2..n).collect();
+        vec![x.select_rows(&first), x.select_rows(&second)]
+    };
+    for mut est in paper_lineup(d_in, &quick_cfg(), 203) {
+        est.try_observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let single = est.try_predict_ite(x).unwrap();
+        let batched: Vec<f64> = est
+            .try_predict_ite_batch(&halves)
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(batched, single, "{}", est.name());
+    }
+}
+
+// ---- snapshot restart ------------------------------------------------------
+
+#[test]
+fn snapshot_survives_restart_and_keeps_learning() {
+    let stream = quick_stream(3, 204);
+    let mut engine = CerlEngineBuilder::new(quick_cfg())
+        .seed(204)
+        .build()
+        .unwrap();
+    engine
+        .observe(&stream.domain(0).train, &stream.domain(0).val)
+        .unwrap();
+    engine
+        .observe(&stream.domain(1).train, &stream.domain(1).val)
+        .unwrap();
+
+    let bytes = engine.save_bytes().unwrap();
+    drop(engine); // "process exit"
+
+    let mut restored = CerlEngine::load_bytes(&bytes).unwrap();
+    assert_eq!(restored.stage(), 2);
+    let report = restored
+        .observe(&stream.domain(2).train, &stream.domain(2).val)
+        .unwrap();
+    assert_eq!(report.stage, 3);
+
+    // Still serves sensible estimates for every seen domain.
+    for d in 0..3 {
+        let test = &stream.domain(d).test;
+        let m = EffectMetrics::on_dataset(test, &restored.predict_ite(&test.x).unwrap());
+        assert!(m.sqrt_pehe.is_finite(), "domain {d}");
+    }
+}
+
+#[test]
+fn truncated_snapshots_fail_closed() {
+    let stream = quick_stream(1, 205);
+    let mut engine = CerlEngineBuilder::new(quick_cfg())
+        .seed(205)
+        .build()
+        .unwrap();
+    engine
+        .observe(&stream.domain(0).train, &stream.domain(0).val)
+        .unwrap();
+    let bytes = engine.save_bytes().unwrap();
+    for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            matches!(
+                CerlEngine::load_bytes(&bytes[..cut]),
+                Err(CerlError::Snapshot(SnapshotError::Malformed(_)))
+            ),
+            "cut at {cut} must be Malformed"
+        );
+    }
+}

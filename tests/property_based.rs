@@ -6,6 +6,40 @@ use cerl::math::Matrix;
 use cerl::nn::{Graph, ParamStore};
 use cerl::prelude::*;
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One trained engine shared by the snapshot properties (training inside
+/// every proptest case would dominate the suite's runtime), plus its
+/// restored-from-bytes replica and covariate dimension.
+fn snapshot_fixture() -> &'static (CerlEngine, CerlEngine, usize) {
+    static FIXTURE: OnceLock<(CerlEngine, CerlEngine, usize)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig {
+                n_units: 400,
+                ..SyntheticConfig::small()
+            },
+            77,
+        );
+        let stream = DomainStream::synthetic(&gen, 2, 0, 77);
+        let d_in = stream.domain(0).train.dim();
+        let mut cfg = CerlConfig::quick_test();
+        cfg.train.epochs = 6;
+        cfg.memory_size = 80;
+        let mut engine = CerlEngineBuilder::new(cfg)
+            .seed(77)
+            .build()
+            .expect("valid config");
+        for d in 0..2 {
+            engine
+                .observe(&stream.domain(d).train, &stream.domain(d).val)
+                .expect("well-formed synthetic domains");
+        }
+        let bytes = engine.save_bytes().expect("trained engine saves");
+        let restored = CerlEngine::load_bytes(&bytes).expect("own bytes load");
+        (engine, restored, d_in)
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -151,6 +185,48 @@ proptest! {
         let grads = g.backward(loss);
         let gw = grads.param_grad(w).unwrap();
         prop_assert!(gw.approx_eq(&Matrix::ones(rows, cols), 1e-12));
+    }
+
+    // ---- model snapshots --------------------------------------------------
+
+    #[test]
+    fn snapshot_roundtrip_predicts_bitwise_identically_on_random_covariates(
+        rows in 1usize..40,
+        seed in any::<u64>(),
+        scale in 0.1f64..10.0,
+    ) {
+        let (engine, restored, d_in) = snapshot_fixture();
+        let mut state = seed;
+        let x = Matrix::from_fn(rows, *d_in, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * scale
+        });
+        let a = engine.predict_ite(&x).expect("engine predicts");
+        let b = restored.predict_ite(&x).expect("restored predicts");
+        prop_assert_eq!(a.len(), b.len());
+        for (va, vb) in a.iter().zip(&b) {
+            prop_assert_eq!(va.to_bits(), vb.to_bits());
+        }
+        // Potential outcomes and embeddings round-trip identically too.
+        let (a0, a1) = engine.predict_potential_outcomes(&x).expect("engine predicts");
+        let (b0, b1) = restored.predict_potential_outcomes(&x).expect("restored predicts");
+        prop_assert_eq!(a0, b0);
+        prop_assert_eq!(a1, b1);
+    }
+
+    #[test]
+    fn snapshot_rejects_every_foreign_format_version(bump in 1u32..1000) {
+        let (engine, _, _) = snapshot_fixture();
+        let mut snapshot = engine.snapshot().expect("trained engine snapshots");
+        snapshot.format_version = SNAPSHOT_FORMAT_VERSION.wrapping_add(bump);
+        let bytes = snapshot.to_bytes().expect("serializes");
+        match CerlEngine::load_bytes(&bytes) {
+            Err(CerlError::Snapshot(SnapshotError::UnsupportedVersion { found, supported })) => {
+                prop_assert_eq!(found, SNAPSHOT_FORMAT_VERSION.wrapping_add(bump));
+                prop_assert_eq!(supported, SNAPSHOT_FORMAT_VERSION);
+            }
+            other => prop_assert!(false, "expected UnsupportedVersion, got {:?}", other.map(|_| ())),
+        }
     }
 
     // ---- dataset handling -------------------------------------------------

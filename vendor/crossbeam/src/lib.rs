@@ -1,0 +1,60 @@
+//! Offline stand-in for the `crossbeam` scoped-thread API, implemented on
+//! `std::thread::scope` (available since Rust 1.63).
+//!
+//! Only the subset the CERL workspace uses is provided: [`scope`] and
+//! [`Scope::spawn`] where the spawned closure ignores its scope argument
+//! (`scope.spawn(|_| ...)`), which is how the parallel GEMM kernel uses it.
+
+#![warn(missing_docs)]
+
+/// Handle passed to the [`scope`] closure; lets it spawn scoped workers.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Placeholder passed to spawned closures in place of crossbeam's nested
+/// scope handle (the workspace's closures ignore it).
+#[derive(Debug, Clone, Copy)]
+pub struct SpawnScope;
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker thread bound to the enclosing scope.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(SpawnScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(SpawnScope))
+    }
+}
+
+/// Run `f` with a scope handle; all spawned workers are joined before this
+/// returns. Matching crossbeam's signature, the result is wrapped in
+/// `Ok(..)`; a panicking worker propagates its panic at scope exit (std
+/// semantics) instead of surfacing as `Err`, which is strictly stricter.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_workers_share_borrows_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        scope(|s| {
+            for (o, &v) in out.iter_mut().zip(&data) {
+                s.spawn(move |_| {
+                    *o = v * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for `proptest` (API-compatible subset).
+//!
+//! Provides the `proptest!` macro, range/`any`/`vec` strategies, and
+//! `prop_assert*` macros. Inputs are sampled from a deterministic RNG
+//! derived from the test name and case index (no shrinking — a failing
+//! case panics with the sampled values left in the assertion message).
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+use strategy::Strategy;
+use test_runner::TestRng;
+
+/// Strategy producing uniformly random values of `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Uniform strategy over every value of `T` (`u64`, `usize`, `f64`, `bool`).
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Strategy for Any<usize> {
+    type Value = usize;
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = rng.unit_f64() * 2e6 - 1e6;
+        mag * rng.unit_f64()
+    }
+}
+
+/// Run property tests over sampled inputs.
+///
+/// Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(...)]` inner attribute followed by `#[test]`
+/// functions whose arguments use `pattern in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_mut)]
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                    $( let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property body (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 2usize..10, x in -1.5f64..2.5) {
+            prop_assert!((2..10).contains(&n));
+            prop_assert!((-1.5..2.5).contains(&x));
+        }
+
+        #[test]
+        fn vecs_hit_requested_sizes(mut xs in prop::collection::vec(0.0f64..1.0, 1..7)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 7);
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn any_u64_varies(seed in any::<u64>()) {
+            // Determinism across case replays is provided by the runner;
+            // here just exercise the strategy.
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::test_runner::TestRng::for_case("t", 3).next_u64();
+        let b = crate::test_runner::TestRng::for_case("t", 3).next_u64();
+        let c = crate::test_runner::TestRng::for_case("t", 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,77 @@
+//! The [`Strategy`] trait and range strategies.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for sampling test inputs.
+pub trait Strategy {
+    /// Type of the sampled value.
+    type Value;
+
+    /// Draw one input.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range {self:?}");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<usize> {
+    type Value = usize;
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range {self:?}");
+        lo + rng.below((hi - lo) as u64 + 1) as usize
+    }
+}
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range {self:?}");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<i32> {
+    type Value = i32;
+    fn sample(&self, rng: &mut TestRng) -> i32 {
+        assert!(self.start < self.end, "empty range {self:?}");
+        self.start + rng.below((self.end - self.start) as u64) as i32
+    }
+}
+
+impl Strategy for std::ops::Range<u32> {
+    type Value = u32;
+    fn sample(&self, rng: &mut TestRng) -> u32 {
+        assert!(self.start < self.end, "empty range {self:?}");
+        self.start + rng.below((self.end - self.start) as u64) as u32
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "invalid range {self:?}");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "invalid range {self:?}");
+        lo + (hi - lo) * rng.unit_f64()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}

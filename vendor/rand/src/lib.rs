@@ -1,0 +1,168 @@
+//! Offline stand-in for the `rand` crate (API-compatible subset).
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! provides exactly the surface the CERL workspace uses: the [`Rng`] /
+//! [`RngCore`] / [`SeedableRng`] traits, [`rngs::StdRng`] (xoshiro256++
+//! seeded via SplitMix64 — *not* bit-compatible with upstream `StdRng`, but
+//! deterministic and statistically sound), uniform ranges for `gen_range`,
+//! and [`seq::SliceRandom::shuffle`].
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Uniform-sampling helpers over a raw [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build from a `u64` seed (SplitMix64-expanded internal state).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Ranges that support single uniform draws.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+#[inline]
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, width: u64) -> u64 {
+    // Widening-multiply mapping; bias is < 2^-64 per draw, negligible for
+    // the index/width magnitudes used in this workspace.
+    ((rng.next_u64() as u128 * width as u128) >> 64) as u64
+}
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let width = self.end.checked_sub(self.start).filter(|&w| w > 0);
+        let width = match width {
+            Some(w) => w as u64,
+            None => panic!("gen_range: empty range {}..{}", self.start, self.end),
+        };
+        self.start + uniform_u64_below(rng, width) as usize
+    }
+}
+
+impl SampleRange<usize> for std::ops::RangeInclusive<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        if lo > hi {
+            panic!("gen_range: empty range {lo}..={hi}");
+        }
+        let width = (hi - lo) as u64 + 1;
+        if width == 0 {
+            // Full u64-width inclusive range of usize.
+            return rng.next_u64() as usize;
+        }
+        lo + uniform_u64_below(rng, width) as usize
+    }
+}
+
+impl SampleRange<u64> for std::ops::Range<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        if self.end <= self.start {
+            panic!("gen_range: empty range {}..{}", self.start, self.end);
+        }
+        self.start + uniform_u64_below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        if !(self.start.is_finite() && self.end.is_finite()) || self.start >= self.end {
+            panic!("gen_range: invalid range {}..{}", self.start, self.end);
+        }
+        let u: f64 = Standard.sample(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_is_unit_interval_with_decent_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5..=6usize);
+            assert!((5..=6).contains(&w));
+            let f = rng.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+}
