@@ -63,6 +63,104 @@ fn serving_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) 
     }
 }
 
+/// Concurrent-serving throughput probe: rows/sec of a 10k-row ITE request
+/// served by [`cerl_core::ServingEngine::predict_ite_parallel`] at 1/2/4/8
+/// reader threads, plus a hot-swap-under-load sanity pass.
+fn concurrent_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) {
+    use cerl_core::engine::CerlEngineBuilder;
+    use cerl_core::ServingEngine;
+    use std::time::Instant;
+
+    let mut engine = CerlEngineBuilder::new(cfg.clone())
+        .seed(seed)
+        .build()
+        .expect("diag: config validated by model_config");
+    engine
+        .observe(&stream.domain(0).train, &stream.domain(0).val)
+        .expect("diag: synthetic domains are well-formed");
+    let serving = ServingEngine::new(engine);
+
+    // 10k-row request matrix: tile the test split's rows.
+    let base = &stream.domain(0).test.x;
+    let rows = 10_000;
+    let idx: Vec<usize> = (0..rows).map(|i| i % base.rows()).collect();
+    let request = base.select_rows(&idx);
+
+    // BENCH note: `available_parallelism` is a syscall; the GEMM kernels
+    // (and this probe) read it through a process-wide OnceLock so the
+    // hottest path never re-queries it per multiply.
+    println!(
+        "machine: {} matmul worker thread(s) (available_parallelism, cached in OnceLock)",
+        cerl_math::matmul::worker_threads()
+    );
+
+    let reps = 5;
+    let mut baseline = 0.0_f64;
+    for threads in [1usize, 2, 4, 8] {
+        // Warm-up keeps allocator and cache effects out of the timing.
+        let expect = serving
+            .predict_ite_parallel(&request, threads)
+            .expect("well-formed request");
+        assert_eq!(expect.len(), rows);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            serving
+                .predict_ite_parallel(&request, threads)
+                .expect("well-formed request");
+        }
+        let rows_per_sec = (reps * rows) as f64 / t0.elapsed().as_secs_f64();
+        if threads == 1 {
+            baseline = rows_per_sec;
+        }
+        println!(
+            "predict_ite_parallel: {threads} reader thread(s): {:>10.0} rows/sec (x{:.2} vs 1 thread)",
+            rows_per_sec,
+            rows_per_sec / baseline.max(1.0)
+        );
+    }
+
+    // Hot-swap under load: readers hammer the 10k-row request while a new
+    // domain is observed and swapped in; zero reader errors expected.
+    let serving = std::sync::Arc::new(serving);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let reader_errors = std::sync::atomic::AtomicUsize::new(0);
+    let served = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    match serving.predict_ite(&request) {
+                        Ok(_) => {
+                            served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            reader_errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        let swap = serving
+            .observe_and_swap(&stream.domain(1).train, &stream.domain(1).val)
+            .map(|(_, v)| v);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        match swap {
+            Ok(v) => println!("hot swap under load: published version {v}"),
+            Err(e) => println!("hot swap under load FAILED: {e}"),
+        }
+    });
+    let stats = serving.stats();
+    println!(
+        "under swap: {} requests answered, {} reader errors (want 0); totals: {} served / {} rows / {} swaps / {} rejected",
+        served.load(std::sync::atomic::Ordering::Relaxed),
+        reader_errors.load(std::sync::atomic::Ordering::Relaxed),
+        stats.requests_served,
+        stats.rows_predicted,
+        stats.swaps,
+        stats.rejected_requests,
+    );
+}
+
 /// Pure supervised regression of the true ITE surface τ(x): upper-bounds
 /// what any causal estimator could achieve on this data.
 fn supervised_probe(train: &cerl_data::CausalDataset, test: &cerl_data::CausalDataset, seed: u64) {
@@ -302,6 +400,10 @@ fn main() {
     }
     if args.has_flag("--serving") {
         serving_probe(&stream, &cfg, args.seed);
+        return;
+    }
+    if args.has_flag("--concurrent") {
+        concurrent_probe(&stream, &cfg, args.seed);
         return;
     }
     let mut model = CfrModel::new(d0.train.dim(), cfg, args.seed);

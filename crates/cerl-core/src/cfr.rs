@@ -26,6 +26,7 @@ use cerl_rand::seeds;
 pub(crate) const Z_CLIP: f64 = 8.0;
 
 /// Counterfactual-regression model (representation net + two heads).
+#[derive(Clone)]
 pub struct CfrModel {
     cfg: CerlConfig,
     store: ParamStore,

@@ -51,6 +51,7 @@ pub struct StageReport {
 }
 
 /// The continual causal-effect learner.
+#[derive(Clone)]
 pub struct Cerl {
     cfg: CerlConfig,
     model: CfrModel,
@@ -136,7 +137,7 @@ impl Cerl {
         } else {
             self.continual_stage(train, val)?
         };
-        self.rebuild_memory(train);
+        self.rebuild_memory(train)?;
         self.stage += 1;
         Ok(StageReport {
             stage: self.stage,
@@ -577,20 +578,26 @@ impl Cerl {
 
     /// `M_d = herding({R_d, Y_d, T_d} ∪ φ(M_{d-1}))` (the φ part was already
     /// applied at stage end; here we add the new domain and reduce).
-    fn rebuild_memory(&mut self, train: &CausalDataset) {
+    ///
+    /// Fallible: the checked [`Memory::try_concat`] rejects a stored memory
+    /// whose representation dimension disagrees with the new embeddings
+    /// (possible only via corrupt restored state), so the mismatch surfaces
+    /// as a typed error instead of poisoning the exemplar store.
+    fn rebuild_memory(&mut self, train: &CausalDataset) -> Result<(), CerlError> {
         if !self.cfg.ablation.feature_transform {
             self.memory = None;
-            return;
+            return Ok(());
         }
         let r_new = self.model.embed(&train.x);
-        let new_part = Memory::new(r_new, train.y.clone(), train.t.clone());
+        let new_part = Memory::try_new(r_new, train.y.clone(), train.t.clone())?;
         let combined = match &self.memory {
-            Some(old) => new_part.concat(old),
+            Some(old) => new_part.try_concat(old)?,
             None => new_part,
         };
         let mut rng = seeds::rng_labeled(self.seed, &format!("herding-{}", self.stage));
         self.memory =
             Some(combined.reduce(self.cfg.memory_size, self.cfg.ablation.herding, &mut rng));
+        Ok(())
     }
 }
 

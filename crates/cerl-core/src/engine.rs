@@ -117,6 +117,12 @@ impl CerlEngineBuilder {
 
 /// Long-lived serving facade: observes domains as they arrive, answers
 /// prediction requests, and saves/loads versioned snapshots.
+///
+/// `Clone` produces an independent replica (all state is owned); the
+/// concurrent [`ServingEngine`](crate::serving::ServingEngine) uses this to
+/// train a successor off to the side while readers keep hitting the
+/// current engine.
+#[derive(Clone)]
 pub struct CerlEngine {
     cfg: CerlConfig,
     seed: u64,
@@ -240,6 +246,13 @@ impl CerlEngine {
     /// Whether at least one domain has been observed.
     pub fn is_trained(&self) -> bool {
         self.stage() > 0
+    }
+
+    /// Covariate dimension served by this engine, once known (fixed via
+    /// [`CerlEngineBuilder::covariate_dim`] or inferred from the first
+    /// observed domain).
+    pub fn covariate_dim(&self) -> Option<usize> {
+        self.model.as_ref().map(Cerl::d_in)
     }
 
     /// Configuration in use.

@@ -29,6 +29,15 @@ pub enum CerlError {
         /// Dimension of the offending input.
         found: usize,
     },
+    /// Replay-memory representation dimensions disagree (stored exemplars
+    /// vs the model's representation width — possible only via corrupt or
+    /// foreign restored state, never from a request).
+    MemoryDimensionMismatch {
+        /// Representation dimension of the model / incoming exemplars.
+        expected: usize,
+        /// Representation dimension of the offending stored memory.
+        found: usize,
+    },
     /// A training split is too small to fit on.
     DatasetTooSmall {
         /// Minimum number of units required.
@@ -79,6 +88,10 @@ impl fmt::Display for CerlError {
             CerlError::DimensionMismatch { expected, found } => write!(
                 f,
                 "covariate dimension mismatch: model expects {expected}, input has {found}"
+            ),
+            CerlError::MemoryDimensionMismatch { expected, found } => write!(
+                f,
+                "replay-memory representation dimension mismatch: expected {expected}, stored exemplars have {found}"
             ),
             CerlError::DatasetTooSmall { required, found } => write!(
                 f,
@@ -145,6 +158,11 @@ mod tests {
             found: 3,
         };
         assert!(e.to_string().contains("10") && e.to_string().contains('3'));
+        let e = CerlError::MemoryDimensionMismatch {
+            expected: 16,
+            found: 9,
+        };
+        assert!(e.to_string().contains("replay-memory") && e.to_string().contains("16"));
         let e = CerlError::Snapshot(SnapshotError::UnsupportedVersion {
             found: 9,
             supported: 1,

@@ -10,6 +10,12 @@
 //! * [`engine`] — the serving facade: [`CerlEngine`](engine::CerlEngine)
 //!   with a fallible builder, typed errors, batched inference, and
 //!   versioned model snapshots.
+//! * [`serving`] — the concurrent layer on top:
+//!   [`ServingEngine`](serving::ServingEngine) shares one engine across
+//!   reader threads behind an atomically swappable snapshot pointer,
+//!   fans large requests across workers
+//!   ([`predict_ite_parallel`](serving::ServingEngine::predict_ite_parallel)),
+//!   and counts traffic in [`ServingStats`](serving::ServingStats).
 //! * [`error`] / [`snapshot`] — [`CerlError`](error::CerlError) and the
 //!   [`ModelSnapshot`](snapshot::ModelSnapshot) persistence format.
 //! * [`cfr`] — the baseline causal-effect learner (Eq. 5): selective +
@@ -54,6 +60,41 @@
 //! assert_eq!(restored.predict_ite(&test.x)?, engine.predict_ite(&test.x)?);
 //! # Ok::<(), cerl_core::error::CerlError>(())
 //! ```
+//!
+//! ## Serving under concurrency
+//!
+//! To serve many request threads from one process — and keep serving while
+//! new domains are trained in — wrap the engine in a
+//! [`ServingEngine`](serving::ServingEngine). Readers pin the current
+//! engine version through a lock held only for an `Arc` clone;
+//! [`observe_and_swap`](serving::ServingEngine::observe_and_swap) trains a
+//! successor off to the side and publishes it with a single pointer swap:
+//!
+//! ```
+//! use cerl_core::config::CerlConfig;
+//! use cerl_core::engine::CerlEngineBuilder;
+//! use cerl_core::serving::ServingEngine;
+//! use cerl_data::{DomainStream, SyntheticConfig, SyntheticGenerator};
+//!
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 7);
+//! let stream = DomainStream::synthetic(&gen, 2, 0, 7);
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 2; // doc-test speed
+//! let mut engine = CerlEngineBuilder::new(cfg).seed(7).build()?;
+//! engine.observe(&stream.domain(0).train, &stream.domain(0).val)?;
+//!
+//! let serving = std::sync::Arc::new(ServingEngine::new(engine));
+//! let x = &stream.domain(0).test.x;
+//! // Request threads: `serving.predict_ite(&x)` from as many threads as
+//! // desired; large matrices can fan out across workers.
+//! let ite = serving.predict_ite_parallel(x, 4)?;
+//! // Trainer thread: readers keep answering version 1 during this call.
+//! serving.observe_and_swap(&stream.domain(1).train, &stream.domain(1).val)?;
+//! assert_eq!(serving.version(), 2);
+//! assert_eq!(serving.stats().requests_served, 1);
+//! # assert_eq!(ite.len(), x.rows());
+//! # Ok::<(), cerl_core::error::CerlError>(())
+//! ```
 
 #![warn(missing_docs)]
 
@@ -68,6 +109,7 @@ pub mod herding;
 pub mod memory;
 pub mod metrics;
 pub mod repr;
+pub mod serving;
 pub mod snapshot;
 pub mod strategies;
 pub mod trainer;
@@ -83,6 +125,7 @@ pub use engine::{CerlEngine, CerlEngineBuilder};
 pub use error::{CerlError, SnapshotError};
 pub use memory::Memory;
 pub use metrics::EffectMetrics;
+pub use serving::{ServingEngine, ServingStats, ServingStatsSnapshot, VersionedEngine};
 pub use snapshot::{ModelSnapshot, SNAPSHOT_FORMAT_VERSION};
 pub use strategies::{paper_lineup, CfrA, CfrB, CfrC, ContinualEstimator};
 pub use trainer::TrainReport;

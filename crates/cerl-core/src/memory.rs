@@ -98,12 +98,38 @@ impl Memory {
     }
 
     /// Union of two memories (same representation dimension).
+    ///
+    /// # Panics
+    /// On representation-dimension mismatch; [`Memory::try_concat`] is the
+    /// fallible form.
     pub fn concat(&self, other: &Self) -> Self {
-        Self {
+        match self.try_concat(other) {
+            Ok(m) => m,
+            Err(e) => panic!("Memory::concat: {e}"),
+        }
+    }
+
+    /// Union of two memories, failing with
+    /// [`CerlError::MemoryDimensionMismatch`] when the representation
+    /// dimensions disagree.
+    ///
+    /// The check is unconditional — even for an empty side, whose dimension
+    /// is still carried by its matrix — so replay memory restored from a
+    /// corrupt or foreign snapshot is rejected here instead of silently
+    /// poisoning the exemplar store (or panicking inside `vstack` mid-way
+    /// through a serving process's `observe`).
+    pub fn try_concat(&self, other: &Self) -> Result<Self, CerlError> {
+        if self.dim() != other.dim() {
+            return Err(CerlError::MemoryDimensionMismatch {
+                expected: self.dim(),
+                found: other.dim(),
+            });
+        }
+        Ok(Self {
             r: self.r.vstack(&other.r),
             y: self.y.iter().chain(&other.y).copied().collect(),
             t: self.t.iter().chain(&other.t).copied().collect(),
-        }
+        })
     }
 
     /// Reduce to at most `budget` exemplars, half per treatment group
@@ -178,6 +204,35 @@ mod tests {
         assert_eq!(s.y, vec![0.0, 5.0]);
         let c = m.concat(&s);
         assert_eq!(c.len(), 8);
+    }
+
+    #[test]
+    fn concat_rejects_dimension_mismatch() {
+        let a = toy_memory(4, 10);
+        let b = Memory::new(Matrix::zeros(3, 7), vec![0.0; 3], vec![false; 3]);
+        match a.try_concat(&b) {
+            Err(CerlError::MemoryDimensionMismatch { expected, found }) => {
+                assert_eq!(expected, 4);
+                assert_eq!(found, 7);
+            }
+            other => panic!(
+                "expected MemoryDimensionMismatch, got {:?}",
+                other.map(|_| ())
+            ),
+        }
+        // Emptiness does not bypass the check: an empty memory still
+        // declares a representation dimension.
+        let empty = Memory::empty(7);
+        assert!(a.try_concat(&empty).is_err());
+        assert!(Memory::empty(4).try_concat(&a).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn concat_panicking_wrapper_uses_typed_message() {
+        let a = toy_memory(4, 11);
+        let b = Memory::empty(9);
+        let _ = a.concat(&b);
     }
 
     #[test]

@@ -1,0 +1,590 @@
+//! Concurrent serving layer: many reader threads, lock-free-in-spirit
+//! snapshot hot-swap.
+//!
+//! [`ServingEngine`] is the multi-threaded counterpart of
+//! [`CerlEngine`](crate::engine::CerlEngine). A long-running service keeps
+//! one `ServingEngine` (typically inside an `Arc`) and lets every request
+//! thread call the predict methods directly:
+//!
+//! * **Readers never block on training.** The current engine lives behind
+//!   an atomically swappable `Arc` pointer guarded by a lightweight
+//!   `RwLock` that is held only for the pointer clone/replace — never
+//!   across inference, deserialization, or an `observe` pass. A reader
+//!   pins a [`VersionedEngine`] handle (one `Arc` clone) and serves the
+//!   whole request from that immutable engine, so a swap mid-request can
+//!   never tear a prediction.
+//! * **Writers publish whole engines.** [`ServingEngine::swap_engine`],
+//!   [`ServingEngine::swap_snapshot_bytes`] (a replica shipping in a new
+//!   [`ModelSnapshot`](crate::snapshot::ModelSnapshot)), and
+//!   [`ServingEngine::observe_and_swap`] (train a successor off to the
+//!   side, then publish) all build the successor *outside* the reader
+//!   lock and install it with a single pointer store. Writers are
+//!   serialized with each other for their whole read-modify-publish span,
+//!   so a newly published engine is never clobbered by a successor that
+//!   was derived from a predecessor. Versions increase by exactly one per
+//!   swap, under the lock, so readers observe a monotone sequence.
+//! * **Parallel inference.** [`ServingEngine::predict_ite_parallel`] fans
+//!   fixed-size row chunks of one large request matrix across scoped
+//!   worker threads (same row-partitioning idea as the parallel GEMM in
+//!   `cerl-math`). Chunk boundaries are independent of the thread count
+//!   and per-row inference is batch-independent, so the output is bitwise
+//!   identical for any number of workers.
+//! * **Observability.** Every request updates a [`ServingStats`] block of
+//!   atomic counters; [`ServingEngine::stats`] returns a coherent-enough
+//!   [`ServingStatsSnapshot`] for dashboards and load tests.
+//!
+//! ```
+//! use cerl_core::config::CerlConfig;
+//! use cerl_core::engine::CerlEngineBuilder;
+//! use cerl_core::serving::ServingEngine;
+//! use cerl_data::{DomainStream, SyntheticConfig, SyntheticGenerator};
+//!
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 3);
+//! let stream = DomainStream::synthetic(&gen, 2, 0, 3);
+//!
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 2; // doc-test speed
+//! let mut engine = CerlEngineBuilder::new(cfg).seed(3).build()?;
+//! engine.observe(&stream.domain(0).train, &stream.domain(0).val)?;
+//!
+//! let serving = ServingEngine::new(engine);
+//! let x = &stream.domain(0).test.x;
+//! let serial = serving.predict_ite(x)?;
+//! let parallel = serving.predict_ite_parallel(x, 4)?;
+//! assert_eq!(serial, parallel); // bitwise, regardless of thread count
+//!
+//! // Hot-swap: train a successor on the next domain while readers keep
+//! // answering from version 1, then publish version 2.
+//! let (report, version) =
+//!     serving.observe_and_swap(&stream.domain(1).train, &stream.domain(1).val)?;
+//! assert_eq!(report.stage, 2);
+//! assert_eq!(version, 2);
+//! assert_eq!(serving.stats().swaps, 1);
+//! # Ok::<(), cerl_core::error::CerlError>(())
+//! ```
+
+use crate::continual::StageReport;
+use crate::engine::CerlEngine;
+use crate::error::CerlError;
+use cerl_data::CausalDataset;
+use cerl_math::Matrix;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+
+/// Row-chunk size used by [`ServingEngine::predict_ite_parallel`].
+///
+/// Chosen so one chunk's forward-pass GEMMs stay below the parallel
+/// threshold of `cerl_math::matmul` — reader threads scale the request,
+/// the kernels underneath stay serial, and the two layers do not fight
+/// over the same cores.
+pub const PARALLEL_CHUNK_ROWS: usize = 512;
+
+/// One published engine version: an immutable [`CerlEngine`] plus the
+/// monotone version number it was installed under.
+///
+/// Readers obtain these from [`ServingEngine::current`] and may hold them
+/// for as long as a request needs a consistent model — a concurrent swap
+/// only redirects *future* readers.
+pub struct VersionedEngine {
+    engine: CerlEngine,
+    version: u64,
+}
+
+impl std::fmt::Debug for VersionedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedEngine")
+            .field("version", &self.version)
+            .field("stage", &self.engine.stage())
+            .finish_non_exhaustive()
+    }
+}
+
+impl VersionedEngine {
+    /// The pinned engine (immutable; safe to share across threads).
+    pub fn engine(&self) -> &CerlEngine {
+        &self.engine
+    }
+
+    /// Monotone swap version this engine was published under (the engine a
+    /// [`ServingEngine`] is created with has version 1).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// Atomic request counters maintained by every [`ServingEngine`] call.
+#[derive(Debug, Default)]
+pub struct ServingStats {
+    requests_served: AtomicU64,
+    rows_predicted: AtomicU64,
+    swaps: AtomicU64,
+    rejected_requests: AtomicU64,
+}
+
+impl ServingStats {
+    /// Read all counters (each individually coherent).
+    pub fn snapshot(&self) -> ServingStatsSnapshot {
+        ServingStatsSnapshot {
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            rows_predicted: self.rows_predicted.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            rejected_requests: self.rejected_requests.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_success(&self, rows: usize) {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        self.rows_predicted
+            .fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    fn record_rejection(&self) {
+        self.rejected_requests.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of a [`ServingStats`] block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServingStatsSnapshot {
+    /// Prediction requests answered successfully.
+    pub requests_served: u64,
+    /// Total rows across all successful prediction requests.
+    pub rows_predicted: u64,
+    /// Engine versions published (swaps) since construction.
+    pub swaps: u64,
+    /// Prediction requests rejected with a typed error.
+    pub rejected_requests: u64,
+}
+
+/// Thread-safe serving facade: shared by reader threads, hot-swappable by
+/// a writer, instrumented with [`ServingStats`].
+///
+/// See the [module docs](self) for the concurrency contract.
+pub struct ServingEngine {
+    current: RwLock<Arc<VersionedEngine>>,
+    /// Serializes writers — every publish path ([`swap_engine`],
+    /// [`swap_snapshot_bytes`], [`observe_and_swap`]) holds this for its
+    /// whole read-modify-publish span. Without it, a swap landing while
+    /// `observe_and_swap` trains its successor (cloned from the pre-swap
+    /// engine) would be silently overwritten by that stale successor.
+    /// Readers never touch this lock.
+    ///
+    /// [`swap_engine`]: ServingEngine::swap_engine
+    /// [`swap_snapshot_bytes`]: ServingEngine::swap_snapshot_bytes
+    /// [`observe_and_swap`]: ServingEngine::observe_and_swap
+    writer_lock: Mutex<()>,
+    stats: ServingStats,
+}
+
+impl ServingEngine {
+    /// Wrap an engine (trained or not) as version 1.
+    pub fn new(engine: CerlEngine) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(VersionedEngine { engine, version: 1 })),
+            writer_lock: Mutex::new(()),
+            stats: ServingStats::default(),
+        }
+    }
+
+    /// Build version 1 directly from snapshot bytes (a fresh replica
+    /// joining a fleet).
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, CerlError> {
+        Ok(Self::new(CerlEngine::load_bytes(bytes)?))
+    }
+
+    /// Pin the currently published engine version.
+    ///
+    /// This is one `Arc` clone under a read lock held for nanoseconds;
+    /// the returned handle stays valid (and immutable) for as long as the
+    /// caller keeps it, across any number of concurrent swaps.
+    pub fn current(&self) -> Arc<VersionedEngine> {
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Version of the currently published engine.
+    pub fn version(&self) -> u64 {
+        self.current().version
+    }
+
+    /// Counters accumulated since construction.
+    pub fn stats(&self) -> ServingStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Predicted ITEs for one request matrix against the current engine
+    /// version.
+    pub fn predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
+        Ok(self.predict_ite_versioned(x)?.1)
+    }
+
+    /// Like [`ServingEngine::predict_ite`], also reporting which engine
+    /// version served the request (for audit trails and consistency
+    /// checks: predictions are bitwise-stable *per version*).
+    pub fn predict_ite_versioned(&self, x: &Matrix) -> Result<(u64, Vec<f64>), CerlError> {
+        let pinned = self.current();
+        match pinned.engine.predict_ite(x) {
+            Ok(ite) => {
+                self.stats.record_success(ite.len());
+                Ok((pinned.version, ite))
+            }
+            Err(e) => {
+                self.stats.record_rejection();
+                Err(e)
+            }
+        }
+    }
+
+    /// Predicted potential outcomes `(ŷ₀, ŷ₁)` against the current engine
+    /// version.
+    pub fn predict_potential_outcomes(
+        &self,
+        x: &Matrix,
+    ) -> Result<(Vec<f64>, Vec<f64>), CerlError> {
+        let pinned = self.current();
+        match pinned.engine.predict_potential_outcomes(x) {
+            Ok(out) => {
+                self.stats.record_success(out.0.len());
+                Ok(out)
+            }
+            Err(e) => {
+                self.stats.record_rejection();
+                Err(e)
+            }
+        }
+    }
+
+    /// Predict ITEs for one large request matrix with `threads` scoped
+    /// worker threads (`0` selects the GEMM worker count of the machine).
+    ///
+    /// The whole request is served from a single pinned engine version,
+    /// even if a swap lands mid-request. Rows are split into
+    /// [`PARALLEL_CHUNK_ROWS`]-sized chunks drained from a shared cursor
+    /// (dynamic load balancing); chunk boundaries do not depend on
+    /// `threads`, and per-row inference does not depend on its batch, so
+    /// the result is bitwise identical to [`ServingEngine::predict_ite`]
+    /// for every thread count.
+    pub fn predict_ite_parallel(&self, x: &Matrix, threads: usize) -> Result<Vec<f64>, CerlError> {
+        let pinned = self.current();
+        match Self::predict_parallel_pinned(&pinned.engine, x, threads) {
+            Ok(ite) => {
+                self.stats.record_success(ite.len());
+                Ok(ite)
+            }
+            Err(e) => {
+                self.stats.record_rejection();
+                Err(e)
+            }
+        }
+    }
+
+    fn predict_parallel_pinned(
+        engine: &CerlEngine,
+        x: &Matrix,
+        threads: usize,
+    ) -> Result<Vec<f64>, CerlError> {
+        let threads = if threads == 0 {
+            cerl_math::matmul::worker_threads()
+        } else {
+            threads
+        };
+        let n = x.rows();
+        let n_chunks = n.div_ceil(PARALLEL_CHUNK_ROWS).max(1);
+        let workers = threads.clamp(1, n_chunks);
+        if workers == 1 {
+            // Same chunk walk on the caller's thread: identical output,
+            // no scope setup.
+            return engine.predict_ite_chunked(x, PARALLEL_CHUNK_ROWS);
+        }
+        // Fail malformed requests before spinning up any worker.
+        if let Some(expected) = engine.covariate_dim() {
+            if x.cols() != expected {
+                return Err(CerlError::DimensionMismatch {
+                    expected,
+                    found: x.cols(),
+                });
+            }
+        }
+
+        // One slot per chunk; each is written exactly once by whichever
+        // worker drains that chunk from the cursor.
+        type ChunkSlot = Mutex<Option<Result<Vec<f64>, CerlError>>>;
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<ChunkSlot> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let start = c * PARALLEL_CHUNK_ROWS;
+                    let end = (start + PARALLEL_CHUNK_ROWS).min(n);
+                    let result = engine.predict_ite(&x.slice_rows(start, end));
+                    *slots[c].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+                });
+            }
+        })
+        .expect("predict_ite_parallel: worker thread panicked");
+
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            let chunk = slot
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("cursor visits every chunk exactly once");
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+
+    /// Publish a new engine; returns the version it was installed under.
+    ///
+    /// Waits for any in-flight writer (including a training
+    /// [`ServingEngine::observe_and_swap`]) — writers are serialized so a
+    /// publish can never be silently overwritten by a successor that was
+    /// trained from a pre-publish engine. The reader-facing write lock is
+    /// still held only for the pointer replacement, so readers that
+    /// already pinned the old version finish undisturbed and new readers
+    /// block only for the swap itself.
+    pub fn swap_engine(&self, engine: CerlEngine) -> u64 {
+        let _writer = self
+            .writer_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.publish(engine)
+    }
+
+    /// Deserialize snapshot bytes into a fresh engine and publish it.
+    ///
+    /// Parsing and validation happen *before* either lock is taken, so a
+    /// slow or malformed snapshot never stalls readers; on error the
+    /// published engine is unchanged. Like [`ServingEngine::swap_engine`],
+    /// the publish waits for any in-flight writer.
+    pub fn swap_snapshot_bytes(&self, bytes: &[u8]) -> Result<u64, CerlError> {
+        let engine = CerlEngine::load_bytes(bytes)?;
+        Ok(self.swap_engine(engine))
+    }
+
+    /// Observe the next domain on a private successor of the current
+    /// engine, then publish the successor.
+    ///
+    /// The (long) training pass runs entirely outside the reader lock —
+    /// readers keep serving the previous version throughout — and the
+    /// publish is a single pointer swap. The writer lock is held for the
+    /// whole clone-train-publish span: concurrent trainers are serialized
+    /// so each observed domain lands on top of the previous one, and a
+    /// plain swap cannot slip in mid-training only to be clobbered by a
+    /// successor cloned from the pre-swap engine. On error nothing is
+    /// published.
+    pub fn observe_and_swap(
+        &self,
+        train: &CausalDataset,
+        val: &CausalDataset,
+    ) -> Result<(StageReport, u64), CerlError> {
+        let _writer = self
+            .writer_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut successor = self.current().engine.clone();
+        let report = successor.observe(train, val)?;
+        let version = self.publish(successor);
+        Ok((report, version))
+    }
+
+    /// Install `engine` as the next version. Caller must hold
+    /// `writer_lock`.
+    fn publish(&self, engine: CerlEngine) -> u64 {
+        let mut guard = self.current.write().unwrap_or_else(PoisonError::into_inner);
+        let version = guard.version + 1;
+        *guard = Arc::new(VersionedEngine { engine, version });
+        drop(guard);
+        self.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        version
+    }
+}
+
+// The whole point of this module: compile-time proof the serving stack may
+// be shared across threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CerlEngine>();
+    assert_send_sync::<VersionedEngine>();
+    assert_send_sync::<ServingEngine>();
+    assert_send_sync::<ServingStats>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CerlConfig;
+    use crate::engine::CerlEngineBuilder;
+    use cerl_data::{DomainStream, SyntheticConfig, SyntheticGenerator};
+
+    fn quick_cfg() -> CerlConfig {
+        let mut cfg = CerlConfig::quick_test();
+        cfg.train.epochs = 6;
+        cfg.memory_size = 80;
+        cfg
+    }
+
+    fn quick_stream(domains: usize) -> DomainStream {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig {
+                n_units: 400,
+                ..SyntheticConfig::small()
+            },
+            51,
+        );
+        DomainStream::synthetic(&gen, domains, 0, 51)
+    }
+
+    fn trained_serving(stream: &DomainStream, stages: usize) -> ServingEngine {
+        let mut engine = CerlEngineBuilder::new(quick_cfg()).seed(7).build().unwrap();
+        for d in 0..stages {
+            engine
+                .observe(&stream.domain(d).train, &stream.domain(d).val)
+                .unwrap();
+        }
+        ServingEngine::new(engine)
+    }
+
+    #[test]
+    fn parallel_prediction_is_bitwise_identical_across_thread_counts() {
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        let x = &stream.domain(0).test.x;
+        let serial = serving.predict_ite(x).unwrap();
+        for threads in [0, 1, 2, 3, 4, 8] {
+            let par = serving.predict_ite_parallel(x, threads).unwrap();
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_bumps_version_and_redirects_new_readers() {
+        let stream = quick_stream(2);
+        let serving = trained_serving(&stream, 1);
+        assert_eq!(serving.version(), 1);
+        let x = &stream.domain(0).test.x;
+        let v1_pred = serving.predict_ite(x).unwrap();
+
+        // A reader that pinned version 1 before the swap...
+        let pinned = serving.current();
+
+        let (report, version) = serving
+            .observe_and_swap(&stream.domain(1).train, &stream.domain(1).val)
+            .unwrap();
+        assert_eq!(report.stage, 2);
+        assert_eq!(version, 2);
+        assert_eq!(serving.version(), 2);
+
+        // ...still answers with version-1 predictions after it.
+        assert_eq!(pinned.version(), 1);
+        assert_eq!(pinned.engine().predict_ite(x).unwrap(), v1_pred);
+
+        // New readers see the retrained model (2 stages observed).
+        assert_eq!(serving.current().engine().stage(), 2);
+        let v2_pred = serving.predict_ite(x).unwrap();
+        assert_ne!(v1_pred, v2_pred, "stage-2 model should differ");
+    }
+
+    #[test]
+    fn snapshot_swap_installs_replica_bytes() {
+        let stream = quick_stream(2);
+        let serving = trained_serving(&stream, 1);
+
+        // Another replica trains one stage further and ships its bytes.
+        let mut donor = CerlEngineBuilder::new(quick_cfg()).seed(7).build().unwrap();
+        for d in 0..2 {
+            donor
+                .observe(&stream.domain(d).train, &stream.domain(d).val)
+                .unwrap();
+        }
+        let bytes = donor.save_bytes().unwrap();
+
+        let version = serving.swap_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(version, 2);
+        let x = &stream.domain(1).test.x;
+        assert_eq!(
+            serving.predict_ite(x).unwrap(),
+            donor.predict_ite(x).unwrap()
+        );
+
+        // Malformed bytes leave the published engine untouched.
+        assert!(serving.swap_snapshot_bytes(b"not a snapshot").is_err());
+        assert_eq!(serving.version(), 2);
+    }
+
+    #[test]
+    fn trainer_builds_on_latest_published_engine() {
+        // Writers serialize: after a plain swap, `observe_and_swap` must
+        // clone the *swapped-in* engine, not any earlier version.
+        let stream = quick_stream(2);
+        let serving = trained_serving(&stream, 1);
+
+        let mut fresh = CerlEngineBuilder::new(quick_cfg())
+            .seed(99)
+            .build()
+            .unwrap();
+        fresh
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let mut replica = fresh.clone();
+        assert_eq!(serving.swap_engine(fresh), 2);
+
+        let (report, version) = serving
+            .observe_and_swap(&stream.domain(1).train, &stream.domain(1).val)
+            .unwrap();
+        assert_eq!((report.stage, version), (2, 3));
+
+        // The successor matches an offline replica continued from the
+        // swapped-in engine — proof the clone base was the latest publish.
+        replica
+            .observe(&stream.domain(1).train, &stream.domain(1).val)
+            .unwrap();
+        let x = &stream.domain(1).test.x;
+        assert_eq!(
+            serving.predict_ite(x).unwrap(),
+            replica.predict_ite(x).unwrap()
+        );
+        assert_eq!(serving.stats().swaps, 2);
+    }
+
+    #[test]
+    fn stats_count_requests_rows_swaps_and_rejections() {
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        let x = &stream.domain(0).test.x;
+
+        serving.predict_ite(x).unwrap();
+        serving.predict_ite_parallel(x, 2).unwrap();
+        let bad = Matrix::zeros(3, x.cols() + 1);
+        assert!(serving.predict_ite(&bad).is_err());
+        assert!(serving.predict_ite_parallel(&bad, 2).is_err());
+
+        let stats = serving.stats();
+        assert_eq!(stats.requests_served, 2);
+        assert_eq!(stats.rows_predicted, 2 * x.rows() as u64);
+        assert_eq!(stats.rejected_requests, 2);
+        assert_eq!(stats.swaps, 0);
+    }
+
+    #[test]
+    fn untrained_engine_rejects_reads_until_first_swap() {
+        let stream = quick_stream(1);
+        let serving = ServingEngine::new(CerlEngineBuilder::new(quick_cfg()).build().unwrap());
+        let x = &stream.domain(0).test.x;
+        assert!(matches!(serving.predict_ite(x), Err(CerlError::NotTrained)));
+        let (report, version) = serving
+            .observe_and_swap(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        assert_eq!((report.stage, version), (1, 2));
+        assert!(serving.predict_ite(x).is_ok());
+    }
+}

@@ -6,6 +6,7 @@
 //! `d`.
 
 use crate::dataset::{CausalDataset, TrainValTest};
+use crate::error::DataError;
 use crate::semisynthetic::SemiSyntheticGenerator;
 use crate::shift::DomainShift;
 use crate::synthetic::SyntheticGenerator;
@@ -24,20 +25,49 @@ pub struct DomainStream {
 
 impl DomainStream {
     /// Build from pre-split domains.
+    ///
+    /// # Panics
+    /// On an empty domain list; [`DomainStream::try_from_splits`] is the
+    /// fallible form a serving process should use.
     pub fn from_splits(domains: Vec<TrainValTest>) -> Self {
-        assert!(
-            !domains.is_empty(),
-            "DomainStream: need at least one domain"
-        );
-        Self { domains }
+        match Self::try_from_splits(domains) {
+            Ok(stream) => stream,
+            Err(e) => panic!("DomainStream: {e}"),
+        }
+    }
+
+    /// Build from pre-split domains, returning a typed error on an empty
+    /// list instead of panicking (an empty stream has no covariate
+    /// dimension, no stage 0, and nothing downstream can do with it).
+    pub fn try_from_splits(domains: Vec<TrainValTest>) -> Result<Self, DataError> {
+        if domains.is_empty() {
+            return Err(DataError::EmptyInput {
+                what: "domain stream (need at least one domain)",
+            });
+        }
+        Ok(Self { domains })
     }
 
     /// Split raw per-domain datasets 60/20/20 with seeded shuffles.
+    ///
+    /// # Panics
+    /// On an empty dataset list; [`DomainStream::try_from_datasets`] is the
+    /// fallible form a serving process should use.
     pub fn from_datasets(datasets: Vec<CausalDataset>, seed: u64) -> Self {
-        assert!(
-            !datasets.is_empty(),
-            "DomainStream: need at least one domain"
-        );
+        match Self::try_from_datasets(datasets, seed) {
+            Ok(stream) => stream,
+            Err(e) => panic!("DomainStream: {e}"),
+        }
+    }
+
+    /// Split raw per-domain datasets 60/20/20 with seeded shuffles,
+    /// returning a typed error on an empty list instead of panicking.
+    pub fn try_from_datasets(datasets: Vec<CausalDataset>, seed: u64) -> Result<Self, DataError> {
+        if datasets.is_empty() {
+            return Err(DataError::EmptyInput {
+                what: "domain stream (need at least one domain)",
+            });
+        }
         let domains = datasets
             .into_iter()
             .enumerate()
@@ -46,7 +76,7 @@ impl DomainStream {
                 ds.split(TRAIN_FRAC, VAL_FRAC, &mut rng)
             })
             .collect();
-        Self { domains }
+        Ok(Self { domains })
     }
 
     /// Synthetic stream of `n_domains` domains (replication `rep`).
@@ -154,5 +184,25 @@ mod tests {
     #[should_panic(expected = "at least one domain")]
     fn empty_stream_rejected() {
         let _ = DomainStream::from_splits(vec![]);
+    }
+
+    #[test]
+    fn try_constructors_reject_empty_with_typed_error() {
+        assert!(matches!(
+            DomainStream::try_from_splits(vec![]),
+            Err(DataError::EmptyInput { .. })
+        ));
+        assert!(matches!(
+            DomainStream::try_from_datasets(vec![], 3),
+            Err(DataError::EmptyInput { .. })
+        ));
+    }
+
+    #[test]
+    fn try_constructors_match_panicking_forms() {
+        let s = quick_stream(2);
+        let rebuilt = DomainStream::try_from_splits(s.domains.clone()).unwrap();
+        assert_eq!(rebuilt.len(), 2);
+        assert_eq!(rebuilt.domain(0).train.y, s.domain(0).train.y);
     }
 }

@@ -8,16 +8,26 @@
 //! thread-free.
 
 use crate::matrix::Matrix;
+use std::sync::OnceLock;
 
 /// FLOP count (2·m·k·n) above which [`matmul`] switches to the parallel kernel.
 const PARALLEL_FLOP_THRESHOLD: usize = 8_000_000;
 
 /// Number of worker threads used by the parallel kernel.
-fn worker_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+///
+/// `std::thread::available_parallelism` is a syscall; [`matmul`] sits on
+/// the hottest path of both training and serving, so the value is resolved
+/// once per process and cached in a `OnceLock` (the machine's core count
+/// does not change under us). Public so diagnostics can report the figure
+/// the kernels will actually use.
+pub fn worker_threads() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    })
 }
 
 /// `A · B`, choosing the serial or parallel kernel by problem size.
@@ -269,6 +279,16 @@ mod tests {
         let v = matvec(&a, &x);
         for (i, &vi) in v.iter().enumerate() {
             assert!((vi - via_mm[(i, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn worker_threads_is_cached_and_sane() {
+        let first = worker_threads();
+        assert!((1..=8).contains(&first));
+        // Cached: repeated calls return the same value without re-querying.
+        for _ in 0..1000 {
+            assert_eq!(worker_threads(), first);
         }
     }
 

@@ -1,0 +1,109 @@
+//! Hot-swap under load: the serving deployment shape from the paper's
+//! continual story. One process answers ITE requests from several reader
+//! threads *without interruption* while a new observational domain is
+//! trained in and atomically swapped into place.
+//!
+//! Readers pin an engine version per request, so every answer comes from
+//! exactly one published model — no torn reads, no blocking on training —
+//! and the version numbers they observe only ever move forward.
+//!
+//! ```text
+//! cargo run --release --example serving_hot_swap
+//! ```
+
+use cerl::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const READERS: usize = 4;
+
+fn main() -> Result<(), CerlError> {
+    let gen = SyntheticGenerator::new(
+        SyntheticConfig {
+            n_units: 800,
+            noise_sd: 0.4,
+            mean_shift_scale: 1.0,
+            ..SyntheticConfig::default()
+        },
+        13,
+    );
+    let stream = DomainStream::synthetic(&gen, 2, 0, 13);
+
+    let mut cfg = CerlConfig::quick_test();
+    cfg.train.epochs = 20;
+
+    // Stage 1: train on the first domain, then start serving.
+    let mut engine = CerlEngineBuilder::new(cfg).seed(13).build()?;
+    engine.observe(&stream.domain(0).train, &stream.domain(0).val)?;
+    let serving = Arc::new(ServingEngine::new(engine));
+    println!(
+        "serving version {} (stage {}), {READERS} reader threads starting...",
+        serving.version(),
+        serving.current().engine().stage()
+    );
+
+    let request = &stream.domain(0).test.x;
+    let stop = AtomicBool::new(false);
+    let errors = AtomicUsize::new(0);
+    let served_v1 = AtomicUsize::new(0);
+    let served_v2 = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..READERS {
+            scope.spawn(|| {
+                let mut last_version = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    match serving.predict_ite_versioned(request) {
+                        Ok((version, ite)) => {
+                            assert!(version >= last_version, "versions must be monotone");
+                            assert_eq!(ite.len(), request.rows());
+                            last_version = version;
+                            let counter = if version == 1 { &served_v1 } else { &served_v2 };
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Meanwhile, the second domain arrives: train a successor off to
+        // the side and publish it. Readers above never pause.
+        let outcome = serving.observe_and_swap(&stream.domain(1).train, &stream.domain(1).val);
+        stop.store(true, Ordering::Relaxed);
+        let (report, version) = outcome.expect("training the successor succeeds");
+        println!(
+            "swapped in version {version}: stage {} after {} epochs",
+            report.stage, report.train.epochs_run
+        );
+    });
+
+    let stats = serving.stats();
+    println!(
+        "requests answered during training+swap: {} on v1, {} on v2, {} errors (want 0)",
+        served_v1.load(Ordering::Relaxed),
+        served_v2.load(Ordering::Relaxed),
+        errors.load(Ordering::Relaxed),
+    );
+    println!(
+        "stats: {} served, {} rows, {} swaps, {} rejected",
+        stats.requests_served, stats.rows_predicted, stats.swaps, stats.rejected_requests
+    );
+
+    assert_eq!(errors.load(Ordering::Relaxed), 0, "zero reader errors");
+    assert_eq!(serving.version(), 2);
+    assert!(
+        served_v1.load(Ordering::Relaxed) > 0,
+        "readers served during training"
+    );
+
+    // The final model serves both domains it has seen.
+    for d in 0..2 {
+        let test = &stream.domain(d).test;
+        let m = EffectMetrics::on_dataset(test, &serving.predict_ite_parallel(&test.x, 0)?);
+        println!("domain {d}: sqrtPEHE {:.3}", m.sqrt_pehe);
+    }
+    Ok(())
+}

@@ -59,6 +59,38 @@
 //! # Ok::<(), CerlError>(())
 //! ```
 //!
+//! ## Concurrent serving
+//!
+//! For a process with many request threads, wrap the engine in a
+//! [`ServingEngine`](prelude::ServingEngine): readers pin the current
+//! engine version through a lock held only for an `Arc` clone, large
+//! requests fan out across scoped worker threads with bitwise-deterministic
+//! results, and a writer can hot-swap a retrained or freshly deserialized
+//! engine under load without readers ever blocking on training:
+//!
+//! ```
+//! use cerl::prelude::*;
+//!
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 9);
+//! let stream = DomainStream::synthetic(&gen, 2, 0, 9);
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 2; // doc-test speed
+//! let mut engine = CerlEngineBuilder::new(cfg).seed(9).build()?;
+//! engine.observe(&stream.domain(0).train, &stream.domain(0).val)?;
+//!
+//! let serving = std::sync::Arc::new(ServingEngine::new(engine));
+//! let x = &stream.domain(0).test.x;
+//! let ite = serving.predict_ite_parallel(x, 4)?; // fan out one request
+//! assert_eq!(ite, serving.predict_ite(x)?);      // ... deterministically
+//!
+//! // Train the next domain in and publish it; concurrent readers keep
+//! // answering from version 1 until the single-pointer swap.
+//! let (_, version) =
+//!     serving.observe_and_swap(&stream.domain(1).train, &stream.domain(1).val)?;
+//! assert_eq!(version, 2);
+//! # Ok::<(), CerlError>(())
+//! ```
+//!
 //! ## Research-style API
 //!
 //! The original research-facing types remain available: construct
@@ -93,8 +125,9 @@ pub mod prelude {
     pub use cerl_core::{
         paper_lineup, Ablation, Cerl, CerlConfig, CerlEngine, CerlEngineBuilder, CerlError, CfrA,
         CfrB, CfrC, CfrModel, ContinualEstimator, DistillKind, EffectMetrics, IpmKind, Memory,
-        ModelSnapshot, NetConfig, SLearner, SnapshotError, StageReport, TLearner, TrainConfig,
-        TrainReport, SNAPSHOT_FORMAT_VERSION,
+        ModelSnapshot, NetConfig, SLearner, ServingEngine, ServingStats, ServingStatsSnapshot,
+        SnapshotError, StageReport, TLearner, TrainConfig, TrainReport, VersionedEngine,
+        SNAPSHOT_FORMAT_VERSION,
     };
     pub use cerl_data::{
         CausalDataset, DataError, DomainShift, DomainStream, SemiSyntheticConfig,
