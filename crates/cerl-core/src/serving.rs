@@ -110,6 +110,18 @@ impl VersionedEngine {
     pub fn version(&self) -> u64 {
         self.version
     }
+
+    /// Parallel chunked inference against this pinned version (the batch
+    /// execution hook used by `cerl-serve`'s micro-batching scheduler: pin
+    /// once, run one fanned-out pass for a whole coalesced batch, demux).
+    ///
+    /// Identical semantics to [`ServingEngine::predict_ite_parallel`],
+    /// except the version is the caller's pin rather than whatever is
+    /// current, and no serving-stats counters are touched — callers that
+    /// want accounting should go through the [`ServingEngine`] methods.
+    pub fn predict_ite_parallel(&self, x: &Matrix, threads: usize) -> Result<Vec<f64>, CerlError> {
+        ServingEngine::predict_parallel_pinned(&self.engine, x, threads)
+    }
 }
 
 /// Atomic request counters maintained by every [`ServingEngine`] call.
@@ -267,11 +279,26 @@ impl ServingEngine {
     /// the result is bitwise identical to [`ServingEngine::predict_ite`]
     /// for every thread count.
     pub fn predict_ite_parallel(&self, x: &Matrix, threads: usize) -> Result<Vec<f64>, CerlError> {
+        Ok(self.predict_ite_parallel_versioned(x, threads)?.1)
+    }
+
+    /// Like [`ServingEngine::predict_ite_parallel`], also reporting which
+    /// engine version served the request.
+    ///
+    /// The whole matrix — typically a coalesced micro-batch assembled by a
+    /// scheduler — is executed against one pinned version, so every row of
+    /// the result is attributable to the returned version even if a swap
+    /// lands mid-call.
+    pub fn predict_ite_parallel_versioned(
+        &self,
+        x: &Matrix,
+        threads: usize,
+    ) -> Result<(u64, Vec<f64>), CerlError> {
         let pinned = self.current();
         match Self::predict_parallel_pinned(&pinned.engine, x, threads) {
             Ok(ite) => {
                 self.stats.record_success(ite.len());
-                Ok(ite)
+                Ok((pinned.version, ite))
             }
             Err(e) => {
                 self.stats.record_rejection();
@@ -366,6 +393,57 @@ impl ServingEngine {
     pub fn swap_snapshot_bytes(&self, bytes: &[u8]) -> Result<u64, CerlError> {
         let engine = CerlEngine::load_bytes(bytes)?;
         Ok(self.swap_engine(engine))
+    }
+
+    /// Like [`ServingEngine::swap_engine`], but run one probe batch
+    /// against the successor *before* publishing (swap hygiene).
+    ///
+    /// The probe is a single zero row of the successor's covariate
+    /// dimension; it pre-touches every parameter matrix along the forward
+    /// path (so the first real request does not pay the page-in cost) and,
+    /// more importantly, proves the successor can actually answer. A
+    /// successor that cannot serve — untrained, or with internally
+    /// inconsistent parameters that would panic on the first request — is
+    /// dropped and its error returned; the published engine is unchanged
+    /// and readers never see the broken version.
+    pub fn swap_engine_warm(&self, engine: CerlEngine) -> Result<u64, CerlError> {
+        let _writer = self
+            .writer_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Self::probe(&engine)?;
+        Ok(self.publish(engine))
+    }
+
+    /// [`ServingEngine::swap_snapshot_bytes`] with the warm-up probe of
+    /// [`ServingEngine::swap_engine_warm`]: the snapshot is parsed,
+    /// validated, *and probed* before the pointer swap, so corrupt replica
+    /// bytes can never become the visible version.
+    pub fn swap_snapshot_bytes_warm(&self, bytes: &[u8]) -> Result<u64, CerlError> {
+        let engine = CerlEngine::load_bytes(bytes)?;
+        self.swap_engine_warm(engine)
+    }
+
+    /// Run one probe batch against a successor candidate; `Ok` means it
+    /// can serve requests.
+    fn probe(engine: &CerlEngine) -> Result<(), CerlError> {
+        let d_in = engine.covariate_dim().ok_or(CerlError::NotTrained)?;
+        let probe = Matrix::zeros(1, d_in);
+        // A well-formed engine returns a 1-row prediction; a corrupted one
+        // returns its typed error (or, defensively, panics — convert that
+        // into the snapshot-incompatibility error rather than taking down
+        // the serving process's writer thread).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.predict_ite(&probe).map(|_| ())
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(_) => Err(CerlError::Snapshot(
+                crate::error::SnapshotError::Incompatible(
+                    "successor engine panicked on the warm-up probe batch".into(),
+                ),
+            )),
+        }
     }
 
     /// Observe the next domain on a private successor of the current
@@ -573,6 +651,68 @@ mod tests {
         assert_eq!(stats.rows_predicted, 2 * x.rows() as u64);
         assert_eq!(stats.rejected_requests, 2);
         assert_eq!(stats.swaps, 0);
+    }
+
+    #[test]
+    fn warm_swap_publishes_probed_successor() {
+        let stream = quick_stream(2);
+        let serving = trained_serving(&stream, 1);
+
+        let mut donor = CerlEngineBuilder::new(quick_cfg()).seed(7).build().unwrap();
+        for d in 0..2 {
+            donor
+                .observe(&stream.domain(d).train, &stream.domain(d).val)
+                .unwrap();
+        }
+        let version = serving.swap_engine_warm(donor.clone()).unwrap();
+        assert_eq!(version, 2);
+        let x = &stream.domain(1).test.x;
+        assert_eq!(
+            serving.predict_ite(x).unwrap(),
+            donor.predict_ite(x).unwrap()
+        );
+
+        // The snapshot variant probes too.
+        let version = serving
+            .swap_snapshot_bytes_warm(&donor.save_bytes().unwrap())
+            .unwrap();
+        assert_eq!(version, 3);
+    }
+
+    #[test]
+    fn warm_swap_never_publishes_a_broken_successor() {
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        let x = &stream.domain(0).test.x;
+        let before = serving.predict_ite(x).unwrap();
+
+        // An untrained successor cannot answer the probe: the swap fails,
+        // the version does not move, and readers keep the old engine.
+        let untrained = CerlEngineBuilder::new(quick_cfg()).build().unwrap();
+        assert!(matches!(
+            serving.swap_engine_warm(untrained),
+            Err(CerlError::NotTrained)
+        ));
+        assert_eq!(serving.version(), 1);
+        assert_eq!(serving.predict_ite(x).unwrap(), before);
+
+        // Corrupt replica bytes fail before the pointer swap as well.
+        assert!(serving.swap_snapshot_bytes_warm(b"not a snapshot").is_err());
+        assert_eq!(serving.version(), 1);
+        assert_eq!(serving.stats().swaps, 0);
+        assert_eq!(serving.predict_ite(x).unwrap(), before);
+    }
+
+    #[test]
+    fn pinned_parallel_hook_matches_engine_path_and_reports_version() {
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        let x = &stream.domain(0).test.x;
+        let (version, batched) = serving.predict_ite_parallel_versioned(x, 2).unwrap();
+        assert_eq!(version, 1);
+        let pinned = serving.current();
+        assert_eq!(pinned.predict_ite_parallel(x, 3).unwrap(), batched);
+        assert_eq!(serving.predict_ite(x).unwrap(), batched);
     }
 
     #[test]

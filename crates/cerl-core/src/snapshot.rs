@@ -32,7 +32,127 @@ use serde::{Deserialize, Serialize};
 
 /// Snapshot format version written by this build (and the only one it
 /// reads). Bump on any incompatible change to the document layout.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **1** — initial layout (PR 1).
+/// * **2** — adds the `shard_map` routing-metadata field ([`ShardMap`]).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+
+/// Routing metadata: which serving shard owns each domain id.
+///
+/// A fleet that splits traffic across N independently hot-swappable
+/// engines (one per domain cluster or geography — see the `cerl-serve`
+/// crate's `ShardRouter`) carries this map in the snapshot so a replica
+/// restoring from bytes knows the fleet topology, not just its own
+/// weights. Assignments are kept sorted by domain id; lookups are binary
+/// searches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMap {
+    /// Total number of shards in the fleet (shard indices are `0..shards`).
+    shards: usize,
+    /// Sorted, deduplicated `domain → shard` assignments.
+    assignments: Vec<ShardAssignment>,
+}
+
+/// One `domain → shard` routing entry of a [`ShardMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardAssignment {
+    /// Domain identifier as seen on requests.
+    pub domain: u64,
+    /// Index of the shard that serves this domain.
+    pub shard: usize,
+}
+
+impl ShardMap {
+    /// Build a map over `shards` shards from `(domain, shard)` pairs.
+    ///
+    /// Fails with [`CerlError::InvalidConfig`] when `shards` is 0, a pair
+    /// routes to a shard index `>= shards`, or the same domain is assigned
+    /// twice (to *different* shards — exact duplicates are collapsed).
+    pub fn from_pairs(shards: usize, pairs: &[(u64, usize)]) -> Result<Self, CerlError> {
+        if shards == 0 {
+            return Err(invalid_shard_map("shard count is 0".into()));
+        }
+        let mut assignments: Vec<ShardAssignment> = pairs
+            .iter()
+            .map(|&(domain, shard)| ShardAssignment { domain, shard })
+            .collect();
+        assignments.sort_by_key(|a| (a.domain, a.shard));
+        assignments.dedup();
+        for pair in assignments.windows(2) {
+            if pair[0].domain == pair[1].domain {
+                return Err(invalid_shard_map(format!(
+                    "domain {} assigned to both shard {} and shard {}",
+                    pair[0].domain, pair[0].shard, pair[1].shard
+                )));
+            }
+        }
+        for a in &assignments {
+            if a.shard >= shards {
+                return Err(invalid_shard_map(format!(
+                    "domain {} routed to shard {} but the map declares {shards} shard(s)",
+                    a.domain, a.shard
+                )));
+            }
+        }
+        Ok(Self {
+            shards,
+            assignments,
+        })
+    }
+
+    /// The shard serving `domain`, or `None` when the domain is not mapped.
+    pub fn shard_for(&self, domain: u64) -> Option<usize> {
+        self.assignments
+            .binary_search_by_key(&domain, |a| a.domain)
+            .ok()
+            .map(|i| self.assignments[i].shard)
+    }
+
+    /// Number of shards the map routes across.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of mapped domains.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether no domain is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// All assignments, sorted by domain id.
+    pub fn assignments(&self) -> &[ShardAssignment] {
+        &self.assignments
+    }
+
+    /// Re-check the invariants [`ShardMap::from_pairs`] enforces (a
+    /// deserialized map bypasses the constructor).
+    pub(crate) fn validate(&self) -> Result<(), CerlError> {
+        let pairs: Vec<(u64, usize)> = self
+            .assignments
+            .iter()
+            .map(|a| (a.domain, a.shard))
+            .collect();
+        let rebuilt = Self::from_pairs(self.shards, &pairs)?;
+        if rebuilt.assignments != self.assignments {
+            return Err(invalid_shard_map(
+                "assignments are not sorted/deduplicated by domain".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn invalid_shard_map(reason: String) -> CerlError {
+    CerlError::InvalidConfig {
+        field: "shard_map",
+        reason,
+    }
+}
 
 /// Serializable state of the backbone CFR model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -58,6 +178,13 @@ pub struct ModelSnapshot {
     pub stage: usize,
     /// Full configuration in effect when the snapshot was taken.
     pub config: CerlConfig,
+    /// Fleet routing metadata (`domain → shard`), when the snapshot was
+    /// taken from a sharded deployment. `None` for single-engine fleets.
+    pub shard_map: Option<ShardMap>,
+    /// Which shard of [`ModelSnapshot::shard_map`] this snapshot was
+    /// taken from, so a fleet restored from a registry does not depend
+    /// on the order replicas are fetched in.
+    pub shard_index: Option<usize>,
     pub(crate) model: CfrState,
     pub(crate) memory: Option<Memory>,
 }
@@ -78,9 +205,24 @@ impl ModelSnapshot {
             seed,
             stage,
             config: config.clone(),
+            shard_map: None,
+            shard_index: None,
             model: model.to_state(),
             memory: memory.cloned(),
         }
+    }
+
+    /// Attach fleet routing metadata to this snapshot (builder-style).
+    pub fn with_shard_map(mut self, map: ShardMap) -> Self {
+        self.shard_map = Some(map);
+        self
+    }
+
+    /// Record which shard of the attached map this snapshot serves
+    /// (builder-style).
+    pub fn with_shard_index(mut self, shard: usize) -> Self {
+        self.shard_index = Some(shard);
+        self
     }
 
     /// Serialize to the versioned byte format.
@@ -126,6 +268,17 @@ impl ModelSnapshot {
     /// wiring against the parameter store, and memory dimensions.
     pub(crate) fn validate(&self) -> Result<(), CerlError> {
         self.config.validate()?;
+        if let Some(map) = &self.shard_map {
+            map.validate()?;
+            if let Some(shard) = self.shard_index {
+                if shard >= map.shard_count() {
+                    return Err(invalid_shard_map(format!(
+                        "snapshot claims shard {shard} of a {}-shard map",
+                        map.shard_count()
+                    )));
+                }
+            }
+        }
         if self.model.d_in == 0 {
             return Err(incompatible("covariate dimension is 0"));
         }
@@ -286,6 +439,50 @@ mod tests {
         original.observe(&stream.domain(1).train, &stream.domain(1).val);
         let x = &stream.domain(1).test.x;
         assert_eq!(original.predict_ite(x), restored.predict_ite(x));
+    }
+
+    #[test]
+    fn shard_map_routes_and_validates() {
+        let map = ShardMap::from_pairs(3, &[(10, 0), (11, 1), (12, 2), (11, 1)]).unwrap();
+        assert_eq!(map.shard_count(), 3);
+        assert_eq!(map.len(), 3); // exact duplicate collapsed
+        assert_eq!(map.shard_for(11), Some(1));
+        assert_eq!(map.shard_for(99), None);
+
+        assert!(ShardMap::from_pairs(0, &[]).is_err());
+        assert!(ShardMap::from_pairs(2, &[(1, 2)]).is_err());
+        assert!(ShardMap::from_pairs(2, &[(1, 0), (1, 1)]).is_err());
+    }
+
+    #[test]
+    fn shard_map_roundtrips_in_snapshot_and_is_validated_on_load() {
+        let (cerl, _) = trained_cerl(1);
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 1)]).unwrap();
+        let bytes = cerl
+            .to_snapshot()
+            .with_shard_map(map.clone())
+            .to_bytes()
+            .unwrap();
+        let restored = ModelSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.shard_map.as_ref(), Some(&map));
+        // The restored map still builds a working estimator.
+        assert!(Cerl::from_snapshot(restored).is_ok());
+
+        // A doctored map (shard index out of range) is rejected when the
+        // model is built, even though the document parses.
+        let mut snapshot = cerl.to_snapshot();
+        snapshot.shard_map = Some(ShardMap {
+            shards: 1,
+            assignments: vec![ShardAssignment {
+                domain: 0,
+                shard: 5,
+            }],
+        });
+        let parsed = ModelSnapshot::from_bytes(&snapshot.to_bytes().unwrap()).unwrap();
+        match Cerl::from_snapshot(parsed) {
+            Err(CerlError::InvalidConfig { field, .. }) => assert_eq!(field, "shard_map"),
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+        }
     }
 
     #[test]

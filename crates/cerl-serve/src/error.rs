@@ -1,0 +1,109 @@
+//! Typed errors of the serving front-end.
+//!
+//! [`ServeError`] covers the failures the *front-end* introduces — routing
+//! to an unknown domain or shard, a full submission queue, a stopped
+//! scheduler — and wraps the engine layer's
+//! [`CerlError`](cerl_core::error::CerlError) for everything underneath,
+//! so one error type flows back to a request handler regardless of where
+//! in the stack a request died.
+
+use cerl_core::error::CerlError;
+use std::fmt;
+
+/// Error returned by the batching scheduler and shard router.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request named a domain the shard map does not route.
+    UnknownDomain {
+        /// Domain id carried by the request.
+        domain: u64,
+    },
+    /// A shard index outside the fleet was addressed directly.
+    UnknownShard {
+        /// The offending shard index.
+        shard: usize,
+        /// Number of shards in the fleet.
+        shards: usize,
+    },
+    /// The bounded submission queue is at capacity; the request was
+    /// rejected instead of queued (shed load rather than grow latency
+    /// without bound).
+    QueueFull {
+        /// Configured queue capacity (pending requests).
+        capacity: usize,
+    },
+    /// The scheduler's collector thread has shut down; no more requests
+    /// will be served by this scheduler instance.
+    SchedulerShutdown,
+    /// The engine rejected the request (wrong dimension, untrained model,
+    /// bad snapshot, ...).
+    Engine(CerlError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownDomain { domain } => {
+                write!(f, "no shard is mapped for domain {domain}")
+            }
+            ServeError::UnknownShard { shard, shards } => {
+                write!(
+                    f,
+                    "shard {shard} does not exist (fleet has {shards} shard(s))"
+                )
+            }
+            ServeError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "submission queue is full ({capacity} pending requests); retry with backoff"
+                )
+            }
+            ServeError::SchedulerShutdown => {
+                write!(f, "batch scheduler has shut down")
+            }
+            ServeError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CerlError> for ServeError {
+    fn from(e: CerlError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ServeError::UnknownDomain { domain: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(ServeError::UnknownShard {
+            shard: 9,
+            shards: 3
+        }
+        .to_string()
+        .contains('9'));
+        assert!(ServeError::QueueFull { capacity: 128 }
+            .to_string()
+            .contains("128"));
+        assert!(ServeError::SchedulerShutdown
+            .to_string()
+            .contains("shut down"));
+        let e: ServeError = CerlError::NotTrained.into();
+        assert!(e.to_string().contains("not observed"));
+        assert_eq!(e, ServeError::Engine(CerlError::NotTrained));
+    }
+}

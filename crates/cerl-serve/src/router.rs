@@ -1,0 +1,511 @@
+//! Shard-per-domain routing: one serving fleet, N independently
+//! hot-swappable engines.
+//!
+//! The paper's deployment is inherently sharded: observational data
+//! arrives *per domain* (a city, a cohort, a geography), and each
+//! domain's estimator retrains on its own cadence. [`ShardRouter`] fronts
+//! N [`ServingEngine`] shards with a
+//! [`ShardMap`](cerl_core::snapshot::ShardMap) — the `domain → shard`
+//! assignment that also travels inside snapshot metadata
+//! ([`ModelSnapshot::shard_map`](cerl_core::snapshot::ModelSnapshot)) so
+//! a replica restoring from bytes learns the fleet topology along with
+//! its weights:
+//!
+//! * **Routing.** [`ShardRouter::predict_ite`] resolves the request's
+//!   domain id through the map and serves it from that shard — through
+//!   the shard's [`BatchScheduler`] when the router was built
+//!   [`with_batching`](ShardRouter::with_batching), directly otherwise.
+//!   Unknown domains fail fast with [`ServeError::UnknownDomain`].
+//! * **Independent hot swaps.** [`ShardRouter::swap_shard_engine`] /
+//!   [`ShardRouter::swap_shard_snapshot_bytes`] publish a new version on
+//!   one shard (with the warm-up probe of
+//!   [`swap_engine_warm`](ServingEngine::swap_engine_warm) — a broken
+//!   successor is never published) while every other shard keeps serving
+//!   undisturbed.
+//! * **Observability.** The router keeps its own [`ServeStats`]
+//!   (end-to-end latency, per-version request accounting across the
+//!   fleet); [`ShardRouter::shard_stats`] exposes each shard scheduler's
+//!   queue-wait and batch-shape numbers for canary watching.
+
+use crate::error::ServeError;
+use crate::scheduler::{BatchConfig, BatchScheduler, ServeMetrics, ServeStats};
+use cerl_core::engine::CerlEngine;
+use cerl_core::error::CerlError;
+use cerl_core::serving::ServingEngine;
+use cerl_core::snapshot::{ModelSnapshot, ShardMap};
+use cerl_math::Matrix;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One shard of the fleet: the hot-swappable engine plus its optional
+/// batching front-end.
+struct ShardSlot {
+    engine: Arc<ServingEngine>,
+    scheduler: Option<BatchScheduler>,
+}
+
+/// Domain-keyed router over N independently hot-swappable serving shards
+/// (see the [module docs](self)).
+pub struct ShardRouter {
+    shards: Vec<ShardSlot>,
+    map: ShardMap,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("shards", &self.shards.len())
+            .field("domains", &self.map.len())
+            .field(
+                "batched",
+                &self.shards.first().is_some_and(|s| s.scheduler.is_some()),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardRouter {
+    /// Build an unbatched router: requests go straight to their shard's
+    /// engine. `engines[i]` serves shard `i`; the map must declare
+    /// exactly `engines.len()` shards.
+    pub fn new(engines: Vec<CerlEngine>, map: ShardMap) -> Result<Self, ServeError> {
+        Self::build(engines, map, None)
+    }
+
+    /// Build a router with a [`BatchScheduler`] (one per shard, same
+    /// knobs) coalescing each shard's traffic.
+    pub fn with_batching(
+        engines: Vec<CerlEngine>,
+        map: ShardMap,
+        batch: BatchConfig,
+    ) -> Result<Self, ServeError> {
+        Self::build(engines, map, Some(batch))
+    }
+
+    /// Rebuild a fleet from per-shard snapshot bytes. The shard map is
+    /// read from the snapshot metadata (every replica that carries one
+    /// must agree), and when the replicas also carry their shard index
+    /// ([`ShardRouter::shard_snapshot_bytes`] always embeds it) each one
+    /// is seated at that index, so the order replicas were fetched from
+    /// a registry in does not matter. Index-free replicas (all or none —
+    /// mixing is rejected) are seated positionally: shard `i` restores
+    /// from `replicas[i]`.
+    pub fn from_snapshot_bytes(
+        replicas: &[Vec<u8>],
+        batch: Option<BatchConfig>,
+    ) -> Result<Self, ServeError> {
+        let mut seats: Vec<Option<CerlEngine>> = (0..replicas.len()).map(|_| None).collect();
+        let mut positional = Vec::new();
+        let mut map: Option<ShardMap> = None;
+        for bytes in replicas {
+            let snapshot = ModelSnapshot::from_bytes(bytes).map_err(ServeError::Engine)?;
+            match (&map, &snapshot.shard_map) {
+                (None, Some(found)) => map = Some(found.clone()),
+                (Some(agreed), Some(found)) if agreed != found => {
+                    return Err(invalid_fleet(
+                        "replica snapshots carry conflicting shard maps".into(),
+                    ))
+                }
+                _ => {}
+            }
+            let shard_index = snapshot.shard_index;
+            let engine = CerlEngine::from_snapshot(snapshot).map_err(ServeError::Engine)?;
+            match shard_index {
+                Some(shard) => {
+                    let seat = seats.get_mut(shard).ok_or_else(|| {
+                        invalid_fleet(format!(
+                            "replica claims shard {shard} but only {} replica(s) were provided",
+                            replicas.len()
+                        ))
+                    })?;
+                    if seat.is_some() {
+                        return Err(invalid_fleet(format!("two replicas claim shard {shard}")));
+                    }
+                    *seat = Some(engine);
+                }
+                None => positional.push(engine),
+            }
+        }
+        let map =
+            map.ok_or_else(|| invalid_fleet("no replica snapshot carries a shard map".into()))?;
+        let engines = if positional.len() == replicas.len() {
+            positional
+        } else if positional.is_empty() {
+            // Every replica named its seat; seats.len() == replicas.len()
+            // and no seat was claimed twice, so all are filled.
+            seats.into_iter().flatten().collect()
+        } else {
+            return Err(invalid_fleet(
+                "some replica snapshots carry a shard index and some do not".into(),
+            ));
+        };
+        Self::build(engines, map, batch)
+    }
+
+    fn build(
+        engines: Vec<CerlEngine>,
+        map: ShardMap,
+        batch: Option<BatchConfig>,
+    ) -> Result<Self, ServeError> {
+        if engines.is_empty() {
+            return Err(invalid_fleet("a fleet needs at least one shard".into()));
+        }
+        if map.shard_count() != engines.len() {
+            return Err(invalid_fleet(format!(
+                "shard map declares {} shard(s) but {} engine(s) were provided",
+                map.shard_count(),
+                engines.len()
+            )));
+        }
+        let shards = engines
+            .into_iter()
+            .map(|engine| {
+                let engine = Arc::new(ServingEngine::new(engine));
+                let scheduler = batch
+                    .as_ref()
+                    .map(|cfg| BatchScheduler::new(Arc::clone(&engine), cfg.clone()));
+                ShardSlot { engine, scheduler }
+            })
+            .collect();
+        Ok(Self {
+            shards,
+            map,
+            metrics: Arc::new(ServeMetrics::default()),
+        })
+    }
+
+    /// Resolve the shard serving `domain`.
+    pub fn route(&self, domain: u64) -> Result<usize, ServeError> {
+        self.map
+            .shard_for(domain)
+            .ok_or(ServeError::UnknownDomain { domain })
+    }
+
+    /// Predicted ITEs for one request belonging to `domain`.
+    pub fn predict_ite(&self, domain: u64, x: &Matrix) -> Result<Vec<f64>, ServeError> {
+        Ok(self.predict_ite_versioned(domain, x)?.1)
+    }
+
+    /// Like [`ShardRouter::predict_ite`], also reporting the engine
+    /// version (of the serving shard) that answered.
+    pub fn predict_ite_versioned(
+        &self,
+        domain: u64,
+        x: &Matrix,
+    ) -> Result<(u64, Vec<f64>), ServeError> {
+        let start = Instant::now();
+        let outcome = self.route(domain).and_then(|shard| {
+            let slot = &self.shards[shard];
+            match &slot.scheduler {
+                Some(scheduler) => scheduler.predict_ite_versioned(x),
+                None => slot
+                    .engine
+                    .predict_ite_versioned(x)
+                    .map_err(ServeError::from),
+            }
+        });
+        match outcome {
+            Ok((version, ite)) => {
+                self.metrics.record_response(version, start.elapsed());
+                Ok((version, ite))
+            }
+            Err(e) => {
+                self.metrics.record_rejection();
+                Err(e)
+            }
+        }
+    }
+
+    /// The (warm) hot-swap of one shard: probe `engine` with one batch,
+    /// then publish it as the shard's next version. Other shards are
+    /// untouched; a successor that cannot serve is never published.
+    pub fn swap_shard_engine(&self, shard: usize, engine: CerlEngine) -> Result<u64, ServeError> {
+        Ok(self.shard(shard)?.swap_engine_warm(engine)?)
+    }
+
+    /// Warm snapshot swap of one shard (replica bytes shipped from a
+    /// trainer): parsed, validated, and probed before the pointer moves.
+    pub fn swap_shard_snapshot_bytes(&self, shard: usize, bytes: &[u8]) -> Result<u64, ServeError> {
+        Ok(self.shard(shard)?.swap_snapshot_bytes_warm(bytes)?)
+    }
+
+    /// Snapshot bytes of one shard's current engine with the fleet's
+    /// shard map embedded — what a registry should store so a restoring
+    /// replica (or [`ShardRouter::from_snapshot_bytes`]) learns the
+    /// topology too.
+    pub fn shard_snapshot_bytes(&self, shard: usize) -> Result<Vec<u8>, ServeError> {
+        let snapshot = self
+            .shard(shard)?
+            .current()
+            .engine()
+            .snapshot()
+            .map_err(ServeError::Engine)?
+            .with_shard_map(self.map.clone())
+            .with_shard_index(shard);
+        snapshot.to_bytes().map_err(ServeError::Engine)
+    }
+
+    /// Direct handle to one shard's serving engine.
+    pub fn shard(&self, shard: usize) -> Result<&Arc<ServingEngine>, ServeError> {
+        Ok(&self.slot(shard)?.engine)
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Currently published engine version of every shard, by index.
+    pub fn shard_versions(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.engine.version()).collect()
+    }
+
+    /// The routing map this fleet was built with.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Fleet-level statistics: end-to-end latency over every routed
+    /// request and per-version accounting aggregated across shards
+    /// (shard versions are independent; attribute with
+    /// [`ShardRouter::shard_stats`]).
+    pub fn stats(&self) -> ServeStats {
+        self.metrics.snapshot()
+    }
+
+    /// The per-shard scheduler's statistics (queue wait, batch shape,
+    /// per-version counts), or `None` when the router is unbatched.
+    pub fn shard_stats(&self, shard: usize) -> Result<Option<ServeStats>, ServeError> {
+        Ok(self
+            .slot(shard)?
+            .scheduler
+            .as_ref()
+            .map(BatchScheduler::stats))
+    }
+
+    fn slot(&self, shard: usize) -> Result<&ShardSlot, ServeError> {
+        self.shards.get(shard).ok_or(ServeError::UnknownShard {
+            shard,
+            shards: self.shards.len(),
+        })
+    }
+}
+
+fn invalid_fleet(reason: String) -> ServeError {
+    ServeError::Engine(CerlError::InvalidConfig {
+        field: "shard_map",
+        reason,
+    })
+}
+
+// Compile-time proof the router may be shared across request threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardRouter>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerl_core::config::CerlConfig;
+    use cerl_core::engine::CerlEngineBuilder;
+    use cerl_data::{DomainStream, SyntheticConfig, SyntheticGenerator};
+    use std::time::Duration;
+
+    fn quick_cfg() -> CerlConfig {
+        let mut cfg = CerlConfig::quick_test();
+        cfg.train.epochs = 6;
+        cfg.memory_size = 80;
+        cfg
+    }
+
+    fn quick_stream(domains: usize) -> DomainStream {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig {
+                n_units: 400,
+                ..SyntheticConfig::small()
+            },
+            71,
+        );
+        DomainStream::synthetic(&gen, domains, 0, 71)
+    }
+
+    /// Shard i trained on domain i of the stream.
+    fn shard_engines(stream: &DomainStream, shards: usize) -> Vec<CerlEngine> {
+        (0..shards)
+            .map(|d| {
+                let mut engine = CerlEngineBuilder::new(quick_cfg())
+                    .seed(13 + d as u64)
+                    .build()
+                    .unwrap();
+                engine
+                    .observe(&stream.domain(d).train, &stream.domain(d).val)
+                    .unwrap();
+                engine
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routes_domains_to_their_shards() {
+        let stream = quick_stream(2);
+        let engines = shard_engines(&stream, 2);
+        let references = engines.clone();
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 1)]).unwrap();
+        let router = ShardRouter::new(engines, map).unwrap();
+
+        for d in 0..2u64 {
+            let x = &stream.domain(d as usize).test.x;
+            let (version, routed) = router.predict_ite_versioned(d, x).unwrap();
+            assert_eq!(version, 1);
+            assert_eq!(routed, references[d as usize].predict_ite(x).unwrap());
+        }
+        let x = &stream.domain(0).test.x;
+        assert!(matches!(
+            router.predict_ite(99, x),
+            Err(ServeError::UnknownDomain { domain: 99 })
+        ));
+        let stats = router.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.per_version_requests, vec![(1, 2)]);
+        assert_eq!(router.shard_stats(0).unwrap(), None); // unbatched
+        assert!(router.shard_stats(5).is_err());
+    }
+
+    #[test]
+    fn per_shard_swap_leaves_other_shards_alone() {
+        let stream = quick_stream(3);
+        let engines = shard_engines(&stream, 2);
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 1)]).unwrap();
+        let router = ShardRouter::new(engines, map).unwrap();
+
+        let x0 = &stream.domain(0).test.x;
+        let before_shard0 = router.predict_ite(0, x0).unwrap();
+
+        // Retrain shard 1 on a further domain and swap only that shard.
+        let mut successor = CerlEngineBuilder::new(quick_cfg())
+            .seed(14)
+            .build()
+            .unwrap();
+        for d in [1usize, 2] {
+            successor
+                .observe(&stream.domain(d).train, &stream.domain(d).val)
+                .unwrap();
+        }
+        let version = router.swap_shard_engine(1, successor.clone()).unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(router.shard_versions(), vec![1, 2]);
+
+        let x1 = &stream.domain(1).test.x;
+        assert_eq!(
+            router.predict_ite(1, x1).unwrap(),
+            successor.predict_ite(x1).unwrap()
+        );
+        // Shard 0 still serves its original version bitwise-identically.
+        assert_eq!(router.predict_ite(0, x0).unwrap(), before_shard0);
+
+        // A broken successor is rejected and nothing changes.
+        let untrained = CerlEngineBuilder::new(quick_cfg()).build().unwrap();
+        assert!(router.swap_shard_engine(1, untrained).is_err());
+        assert_eq!(router.shard_versions(), vec![1, 2]);
+        assert!(matches!(
+            router.swap_shard_engine(7, successor),
+            Err(ServeError::UnknownShard {
+                shard: 7,
+                shards: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn snapshot_bytes_carry_the_shard_map_and_rebuild_the_fleet() {
+        let stream = quick_stream(2);
+        let engines = shard_engines(&stream, 2);
+        let map = ShardMap::from_pairs(2, &[(0, 0), (7, 1)]).unwrap();
+        let router = ShardRouter::new(engines, map.clone()).unwrap();
+
+        let replicas: Vec<Vec<u8>> = (0..2)
+            .map(|s| router.shard_snapshot_bytes(s).unwrap())
+            .collect();
+        // Each replica's snapshot embeds the fleet map.
+        for bytes in &replicas {
+            let snapshot = ModelSnapshot::from_bytes(bytes).unwrap();
+            assert_eq!(snapshot.shard_map.as_ref(), Some(&map));
+        }
+
+        let rebuilt = ShardRouter::from_snapshot_bytes(&replicas, None).unwrap();
+        assert_eq!(rebuilt.shard_count(), 2);
+        let x = &stream.domain(0).test.x;
+        assert_eq!(
+            rebuilt.predict_ite(0, x).unwrap(),
+            router.predict_ite(0, x).unwrap()
+        );
+        assert_eq!(rebuilt.route(7).unwrap(), 1);
+        assert!(rebuilt.route(1).is_err());
+
+        // Registry fetch order must not matter: each replica carries its
+        // shard index, so a reversed fleet still routes domain 0 to the
+        // engine trained for it.
+        let reversed: Vec<Vec<u8>> = replicas.iter().rev().cloned().collect();
+        let reordered = ShardRouter::from_snapshot_bytes(&reversed, None).unwrap();
+        assert_eq!(
+            reordered.predict_ite(0, x).unwrap(),
+            router.predict_ite(0, x).unwrap()
+        );
+        // Two replicas claiming the same shard cannot build a fleet.
+        let duplicated = vec![replicas[0].clone(), replicas[0].clone()];
+        assert!(ShardRouter::from_snapshot_bytes(&duplicated, None).is_err());
+
+        // A fleet whose snapshots carry no map cannot be rebuilt blind.
+        let bare = router
+            .shard(0)
+            .unwrap()
+            .current()
+            .engine()
+            .save_bytes()
+            .unwrap();
+        assert!(ShardRouter::from_snapshot_bytes(&[bare], None).is_err());
+    }
+
+    #[test]
+    fn mismatched_map_and_fleet_size_is_rejected() {
+        let stream = quick_stream(1);
+        let engines = shard_engines(&stream, 1);
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 1)]).unwrap();
+        assert!(ShardRouter::new(engines, map).is_err());
+        let map = ShardMap::from_pairs(1, &[(0, 0)]).unwrap();
+        assert!(ShardRouter::new(Vec::new(), map).is_err());
+    }
+
+    #[test]
+    fn batched_router_serves_through_shard_schedulers() {
+        let stream = quick_stream(2);
+        let engines = shard_engines(&stream, 2);
+        let references = engines.clone();
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 1)]).unwrap();
+        let router = ShardRouter::with_batching(
+            engines,
+            map,
+            BatchConfig {
+                max_wait: Duration::from_millis(5),
+                ..BatchConfig::default()
+            },
+        )
+        .unwrap();
+
+        for d in 0..2u64 {
+            let x = stream.domain(d as usize).test.x.slice_rows(0, 6);
+            let routed = router.predict_ite(d, &x).unwrap();
+            assert_eq!(routed, references[d as usize].predict_ite(&x).unwrap());
+        }
+        // The shard schedulers saw the traffic and measured queue wait.
+        for s in 0..2 {
+            let stats = router.shard_stats(s).unwrap().expect("batched");
+            assert_eq!(stats.requests, 1);
+            assert_eq!(stats.queue_wait.count, 1);
+        }
+        assert_eq!(router.stats().requests, 2);
+    }
+}

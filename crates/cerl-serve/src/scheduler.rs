@@ -1,0 +1,694 @@
+//! Micro-batching request scheduler: coalesce many small concurrent
+//! prediction requests into one forward pass.
+//!
+//! A serving process taking thousands of small `predict_ite` calls per
+//! second wastes most of its time on per-request overhead: every call
+//! pays its own standardizer pass, GEMM setup, and activation
+//! allocations for a handful of rows. [`BatchScheduler`] amortizes that
+//! by queueing concurrent requests and running **one**
+//! [`predict_ite_parallel`](cerl_core::serving::ServingEngine::predict_ite_parallel)
+//! call over their coalesced rows:
+//!
+//! * **Bounded submission queue.** [`BatchScheduler::submit`] enqueues a
+//!   request or fails fast with [`ServeError::QueueFull`] — load is shed
+//!   at the front door instead of growing the queue (and every queued
+//!   request's latency) without bound.
+//! * **Latency budget.** A dedicated collector thread drains the queue;
+//!   a batch closes when its coalesced rows reach
+//!   [`BatchConfig::max_batch_rows`] or when
+//!   [`BatchConfig::max_wait`] has elapsed since the batch opened —
+//!   whichever comes first. An idle scheduler serves a lone request
+//!   after at most `max_wait`.
+//! * **Per-request demux.** The batch runs against one pinned engine
+//!   version; result rows are sliced back out and delivered through each
+//!   request's private channel together with the version that served it.
+//! * **Bitwise-identical results.** Per-row inference is
+//!   batch-independent and the fanned execution uses the fixed-chunk
+//!   walk of `ServingEngine`, so a coalesced request's slice is bitwise
+//!   identical to the same rows served by an unbatched
+//!   [`predict_ite`](cerl_core::serving::ServingEngine::predict_ite)
+//!   call against the same engine version (test-enforced in
+//!   `tests/serving_batching.rs`).
+//! * **Observability.** Queue-wait and end-to-end latency land in
+//!   [`LatencyHistogram`]s; [`BatchScheduler::stats`] reports p50/p95/p99
+//!   plus batch shape and per-version request counts (see [`ServeStats`]).
+
+use crate::error::ServeError;
+use crate::histogram::{LatencyHistogram, LatencySnapshot};
+use cerl_core::error::CerlError;
+use cerl_core::serving::ServingEngine;
+use cerl_math::Matrix;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`BatchScheduler`].
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Close a batch once its coalesced rows reach this bound (default
+    /// 1024 — about two [`PARALLEL_CHUNK_ROWS`] chunks, enough to keep
+    /// the fanned forward pass busy without unbounded memory).
+    ///
+    /// [`PARALLEL_CHUNK_ROWS`]: cerl_core::serving::PARALLEL_CHUNK_ROWS
+    pub max_batch_rows: usize,
+    /// Close a batch this long after it opened even if under-full
+    /// (default 2 ms). This is the extra latency an isolated request pays
+    /// for batching; under load batches fill long before the budget.
+    pub max_wait: Duration,
+    /// Bounded submission queue capacity in pending requests (default
+    /// 1024). Submissions beyond it fail with [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Worker threads for the coalesced forward pass (default 0 = the
+    /// machine's GEMM worker count).
+    pub worker_threads: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_rows: 1024,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 1024,
+            worker_threads: 0,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Clamp degenerate values (0 rows / 0 capacity would deadlock).
+    fn normalized(mut self) -> Self {
+        self.max_batch_rows = self.max_batch_rows.max(1);
+        self.queue_capacity = self.queue_capacity.max(1);
+        self
+    }
+}
+
+/// Shared serve-path counters: scheduler and router both maintain one.
+#[derive(Debug, Default)]
+pub(crate) struct ServeMetrics {
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    batched_rows: AtomicU64,
+    max_batch_requests: AtomicU64,
+    queue_wait: LatencyHistogram,
+    end_to_end: LatencyHistogram,
+    per_version: Mutex<BTreeMap<u64, u64>>,
+}
+
+impl ServeMetrics {
+    pub(crate) fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record(wait);
+    }
+
+    pub(crate) fn record_batch(&self, requests: u64, rows: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(requests, Ordering::Relaxed);
+        self.batched_rows.fetch_add(rows, Ordering::Relaxed);
+        self.max_batch_requests
+            .fetch_max(requests, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_response(&self, version: u64, end_to_end: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.end_to_end.record(end_to_end);
+        *self
+            .per_version
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(version)
+            .or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_rejection(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            batched_rows: self.batched_rows.load(Ordering::Relaxed),
+            max_batch_requests: self.max_batch_requests.load(Ordering::Relaxed),
+            queue_wait: self.queue_wait.snapshot(),
+            end_to_end: self.end_to_end.snapshot(),
+            per_version_requests: self
+                .per_version
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(&v, &c)| (v, c))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time serve-path statistics ([`BatchScheduler::stats`] /
+/// `ShardRouter::stats`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests answered successfully.
+    pub requests: u64,
+    /// Requests rejected with a [`ServeError`].
+    pub rejected: u64,
+    /// Coalesced forward passes executed.
+    pub batches: u64,
+    /// Total requests that entered a coalesced forward pass (excludes
+    /// submit-time rejections, which never reach a batch).
+    pub batched_requests: u64,
+    /// Total rows across all coalesced forward passes.
+    pub batched_rows: u64,
+    /// Largest number of requests coalesced into one batch so far.
+    pub max_batch_requests: u64,
+    /// Time requests spent queued before their batch started executing.
+    pub queue_wait: LatencySnapshot,
+    /// Submit-to-response latency as observed by the caller.
+    pub end_to_end: LatencySnapshot,
+    /// Successful requests per engine version, ascending by version —
+    /// watch these counters shift to judge a canary swap. (A router
+    /// aggregates across shards whose versions are independent; use its
+    /// per-shard stats to attribute versions.)
+    pub per_version_requests: Vec<(u64, u64)>,
+}
+
+impl ServeStats {
+    /// Mean requests coalesced per forward pass (1.0 = no batching won).
+    pub fn mean_requests_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_requests as f64 / self.batches as f64
+    }
+
+    /// Mean rows per coalesced forward pass.
+    pub fn mean_rows_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_rows as f64 / self.batches as f64
+    }
+}
+
+type ReplyPayload = Result<(u64, Vec<f64>), ServeError>;
+
+/// One queued prediction request awaiting its batch.
+struct PendingRequest {
+    x: Matrix,
+    enqueued: Instant,
+    reply: mpsc::Sender<ReplyPayload>,
+}
+
+/// In-flight response of a [`BatchScheduler::submit`] call.
+///
+/// Dropping the handle abandons the request (the batch still runs; the
+/// result is discarded and not counted in [`ServeStats::requests`]).
+#[must_use = "submit() only enqueues; call wait() to receive the prediction"]
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<ReplyPayload>,
+    submitted: Instant,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl ResponseHandle {
+    /// Block until the batch containing this request has executed;
+    /// returns the serving engine version and the request's own ITE rows.
+    pub fn wait(self) -> Result<(u64, Vec<f64>), ServeError> {
+        let outcome = self.rx.recv().unwrap_or(Err(ServeError::SchedulerShutdown));
+        match outcome {
+            Ok((version, ite)) => {
+                self.metrics
+                    .record_response(version, self.submitted.elapsed());
+                Ok((version, ite))
+            }
+            Err(e) => {
+                self.metrics.record_rejection();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Micro-batching front-end over one [`ServingEngine`] (see the
+/// [module docs](self)).
+///
+/// Shared by reference across request threads; dropping the scheduler
+/// stops the collector after it drains the in-flight batch.
+pub struct BatchScheduler {
+    engine: Arc<ServingEngine>,
+    queue: SyncSender<PendingRequest>,
+    collector: Option<JoinHandle<()>>,
+    metrics: Arc<ServeMetrics>,
+    cfg: BatchConfig,
+}
+
+impl std::fmt::Debug for BatchScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchScheduler")
+            .field("cfg", &self.cfg)
+            .field("engine_version", &self.engine.version())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchScheduler {
+    /// Spawn the collector thread over `engine` with the given knobs.
+    pub fn new(engine: Arc<ServingEngine>, cfg: BatchConfig) -> Self {
+        let cfg = cfg.normalized();
+        let (queue, rx) = mpsc::sync_channel(cfg.queue_capacity);
+        let metrics = Arc::new(ServeMetrics::default());
+        let collector = std::thread::Builder::new()
+            .name("cerl-serve-collector".into())
+            .spawn({
+                let engine = Arc::clone(&engine);
+                let metrics = Arc::clone(&metrics);
+                let cfg = cfg.clone();
+                move || collector_loop(&engine, &rx, &cfg, &metrics)
+            })
+            .expect("spawn batch-collector thread");
+        Self {
+            engine,
+            queue,
+            collector: Some(collector),
+            metrics,
+            cfg,
+        }
+    }
+
+    /// Convenience constructor with [`BatchConfig::default`] knobs.
+    pub fn with_defaults(engine: Arc<ServingEngine>) -> Self {
+        Self::new(engine, BatchConfig::default())
+    }
+
+    /// Enqueue one request without blocking for its result.
+    ///
+    /// Fails fast with [`ServeError::QueueFull`] when the bounded queue
+    /// is at capacity, and pre-screens the covariate width against the
+    /// current engine so an obviously malformed request never poisons a
+    /// batch slot. (The screen is best-effort — the authoritative check
+    /// happens inside the forward pass against the batch's pinned
+    /// version.)
+    pub fn submit(&self, x: Matrix) -> Result<ResponseHandle, ServeError> {
+        let submitted = Instant::now();
+        if x.rows() == 0 {
+            self.metrics.record_rejection();
+            return Err(ServeError::Engine(CerlError::EmptyInput {
+                what: "request matrix has no rows",
+            }));
+        }
+        if let Some(expected) = self.engine.current().engine().covariate_dim() {
+            if x.cols() != expected {
+                self.metrics.record_rejection();
+                return Err(ServeError::Engine(CerlError::DimensionMismatch {
+                    expected,
+                    found: x.cols(),
+                }));
+            }
+        }
+        let (reply, rx) = mpsc::channel();
+        let pending = PendingRequest {
+            x,
+            enqueued: submitted,
+            reply,
+        };
+        self.queue.try_send(pending).map_err(|e| {
+            self.metrics.record_rejection();
+            match e {
+                TrySendError::Full(_) => ServeError::QueueFull {
+                    capacity: self.cfg.queue_capacity,
+                },
+                TrySendError::Disconnected(_) => ServeError::SchedulerShutdown,
+            }
+        })?;
+        Ok(ResponseHandle {
+            rx,
+            submitted,
+            metrics: Arc::clone(&self.metrics),
+        })
+    }
+
+    /// Predicted ITEs for one request, served through the batch path
+    /// (blocks for at most queue wait + `max_wait` + one forward pass).
+    pub fn predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, ServeError> {
+        Ok(self.predict_ite_versioned(x)?.1)
+    }
+
+    /// Like [`BatchScheduler::predict_ite`], also reporting the engine
+    /// version whose batch served this request.
+    pub fn predict_ite_versioned(&self, x: &Matrix) -> Result<(u64, Vec<f64>), ServeError> {
+        self.submit(x.clone())?.wait()
+    }
+
+    /// The engine this scheduler batches onto (hot-swappable underneath —
+    /// in-flight batches keep their pinned version).
+    pub fn engine(&self) -> &Arc<ServingEngine> {
+        &self.engine
+    }
+
+    /// The knobs this scheduler runs with (normalized).
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    /// Serve-path statistics accumulated since construction.
+    pub fn stats(&self) -> ServeStats {
+        self.metrics.snapshot()
+    }
+}
+
+impl Drop for BatchScheduler {
+    fn drop(&mut self) {
+        // Disconnect the queue so the collector drains what is in flight
+        // and exits, then join it: no request that got an Ok from
+        // `submit` before the drop is abandoned mid-batch.
+        let (disconnected, _) = mpsc::sync_channel(1);
+        drop(std::mem::replace(&mut self.queue, disconnected));
+        if let Some(collector) = self.collector.take() {
+            let _ = collector.join();
+        }
+    }
+}
+
+/// Collector thread body: open a batch on the first queued request,
+/// top it up until `max_batch_rows` or the `max_wait` budget, execute,
+/// demux, repeat. Exits when every [`BatchScheduler`] queue handle is
+/// gone.
+fn collector_loop(
+    engine: &ServingEngine,
+    rx: &Receiver<PendingRequest>,
+    cfg: &BatchConfig,
+    metrics: &ServeMetrics,
+) {
+    loop {
+        // Block for the batch-opening request.
+        let first = match rx.recv() {
+            Ok(first) => first,
+            Err(_) => return,
+        };
+        let deadline = Instant::now() + cfg.max_wait;
+        let mut batch = vec![first];
+        let mut rows = batch[0].x.rows();
+        while rows < cfg.max_batch_rows {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(next) => {
+                    rows += next.x.rows();
+                    batch.push(next);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                // Scheduler dropped mid-drain: serve what we have (the
+                // next outer recv() will observe the disconnect and exit).
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        serve_batch(engine, &batch, cfg, metrics);
+    }
+}
+
+/// Execute one closed batch: coalesce rows per covariate width, run one
+/// pinned-version forward pass per width group, slice results back to
+/// their requests.
+fn serve_batch(
+    engine: &ServingEngine,
+    batch: &[PendingRequest],
+    cfg: &BatchConfig,
+    metrics: &ServeMetrics,
+) {
+    let exec_start = Instant::now();
+    for request in batch {
+        metrics.record_queue_wait(exec_start.saturating_duration_since(request.enqueued));
+    }
+
+    // Group by covariate width: the submit-time screen is best-effort
+    // (the engine may be untrained, or hot-swapped since), and rows of
+    // different widths cannot share a matrix. In the healthy steady
+    // state there is exactly one group.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, request) in batch.iter().enumerate() {
+        let cols = request.x.cols();
+        match groups.iter_mut().find(|(c, _)| *c == cols) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((cols, vec![i])),
+        }
+    }
+
+    for (cols, members) in groups {
+        let total_rows: usize = members.iter().map(|&i| batch[i].x.rows()).sum();
+        let coalesced_owned;
+        let coalesced: &Matrix = if members.len() == 1 {
+            &batch[members[0]].x
+        } else {
+            let mut data = Vec::with_capacity(total_rows * cols);
+            for &i in &members {
+                data.extend_from_slice(batch[i].x.as_slice());
+            }
+            coalesced_owned = Matrix::from_vec(total_rows, cols, data);
+            &coalesced_owned
+        };
+        metrics.record_batch(members.len() as u64, total_rows as u64);
+        match engine.predict_ite_parallel_versioned(coalesced, cfg.worker_threads) {
+            Ok((version, ite)) => {
+                let mut offset = 0;
+                for &i in &members {
+                    let n = batch[i].x.rows();
+                    let slice = ite[offset..offset + n].to_vec();
+                    offset += n;
+                    // A dropped ResponseHandle just discards its slice.
+                    let _ = batch[i].reply.send(Ok((version, slice)));
+                }
+            }
+            Err(e) => {
+                for &i in &members {
+                    let _ = batch[i].reply.send(Err(ServeError::Engine(e.clone())));
+                }
+            }
+        }
+    }
+}
+
+// Compile-time proof the scheduler may be shared across request threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BatchScheduler>();
+    assert_send_sync::<ServeMetrics>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerl_core::config::CerlConfig;
+    use cerl_core::engine::CerlEngineBuilder;
+    use cerl_data::{DomainStream, SyntheticConfig, SyntheticGenerator};
+
+    fn quick_cfg() -> CerlConfig {
+        let mut cfg = CerlConfig::quick_test();
+        cfg.train.epochs = 6;
+        cfg.memory_size = 80;
+        cfg
+    }
+
+    fn quick_stream(domains: usize) -> DomainStream {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig {
+                n_units: 400,
+                ..SyntheticConfig::small()
+            },
+            61,
+        );
+        DomainStream::synthetic(&gen, domains, 0, 61)
+    }
+
+    fn trained_serving(stream: &DomainStream, stages: usize) -> Arc<ServingEngine> {
+        let mut engine = CerlEngineBuilder::new(quick_cfg()).seed(8).build().unwrap();
+        for d in 0..stages {
+            engine
+                .observe(&stream.domain(d).train, &stream.domain(d).val)
+                .unwrap();
+        }
+        Arc::new(ServingEngine::new(engine))
+    }
+
+    #[test]
+    fn batched_results_match_unbatched_bitwise() {
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        let scheduler = BatchScheduler::new(
+            Arc::clone(&serving),
+            BatchConfig {
+                max_wait: Duration::from_millis(20),
+                ..BatchConfig::default()
+            },
+        );
+        let x = &stream.domain(0).test.x;
+
+        // Submit several overlapping slices concurrently so they coalesce.
+        let slices: Vec<Matrix> = (0..8).map(|i| x.slice_rows(i * 4, i * 4 + 4)).collect();
+        let handles: Vec<ResponseHandle> = slices
+            .iter()
+            .map(|s| scheduler.submit(s.clone()).unwrap())
+            .collect();
+        for (slice, handle) in slices.iter().zip(handles) {
+            let (version, batched) = handle.wait().unwrap();
+            assert_eq!(version, 1);
+            let reference = serving.predict_ite(slice).unwrap();
+            assert_eq!(batched.len(), reference.len());
+            for (a, b) in batched.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        let stats = scheduler.stats();
+        assert_eq!(stats.requests, 8);
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.batches >= 1);
+        assert_eq!(stats.batched_requests, 8);
+        assert_eq!(stats.batched_rows, 32);
+        assert_eq!(stats.mean_requests_per_batch(), 8.0 / stats.batches as f64);
+        assert_eq!(stats.per_version_requests, vec![(1, 8)]);
+        assert_eq!(stats.queue_wait.count, 8);
+        assert_eq!(stats.end_to_end.count, 8);
+        assert!(stats.end_to_end.p99 >= stats.queue_wait.p50);
+    }
+
+    #[test]
+    fn lone_request_is_served_within_the_latency_budget() {
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        let scheduler = BatchScheduler::new(
+            Arc::clone(&serving),
+            BatchConfig {
+                max_batch_rows: 1_000_000, // never close on rows
+                max_wait: Duration::from_millis(5),
+                ..BatchConfig::default()
+            },
+        );
+        let x = stream.domain(0).test.x.slice_rows(0, 3);
+        let t0 = Instant::now();
+        let ite = scheduler.predict_ite(&x).unwrap();
+        // Generous bound: budget + one small forward pass + scheduling
+        // noise on a loaded 1-CPU container.
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert_eq!(ite, serving.predict_ite(&x).unwrap());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_batched() {
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        let scheduler = BatchScheduler::with_defaults(Arc::clone(&serving));
+        let x = &stream.domain(0).test.x;
+
+        let wrong_width = Matrix::zeros(2, x.cols() + 1);
+        assert!(matches!(
+            scheduler.predict_ite(&wrong_width),
+            Err(ServeError::Engine(CerlError::DimensionMismatch { .. }))
+        ));
+        let empty = Matrix::zeros(0, x.cols());
+        assert!(matches!(
+            scheduler.predict_ite(&empty),
+            Err(ServeError::Engine(CerlError::EmptyInput { .. }))
+        ));
+        let stats = scheduler.stats();
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.batches, 0);
+        // Submit-time rejections never enter a batch, so they must not
+        // leak into the coalescing-shape accounting.
+        assert_eq!(stats.batched_requests, 0);
+        assert_eq!(stats.mean_requests_per_batch(), 0.0);
+    }
+
+    #[test]
+    fn untrained_engine_errors_flow_back_per_request() {
+        let untrained = Arc::new(ServingEngine::new(
+            CerlEngineBuilder::new(quick_cfg()).build().unwrap(),
+        ));
+        let scheduler = BatchScheduler::new(
+            untrained,
+            BatchConfig {
+                max_wait: Duration::from_millis(1),
+                ..BatchConfig::default()
+            },
+        );
+        // Width screening cannot run (no covariate dim yet); the batch
+        // itself fails and each request receives the typed error.
+        let a = scheduler.submit(Matrix::zeros(2, 5)).unwrap();
+        let b = scheduler.submit(Matrix::zeros(2, 7)).unwrap();
+        assert!(matches!(
+            a.wait(),
+            Err(ServeError::Engine(CerlError::NotTrained))
+        ));
+        assert!(matches!(
+            b.wait(),
+            Err(ServeError::Engine(CerlError::NotTrained))
+        ));
+        assert_eq!(scheduler.stats().rejected, 2);
+    }
+
+    #[test]
+    fn full_queue_sheds_load_with_a_typed_error() {
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        // Queue capacity 1, batches close immediately: the queue can only
+        // back up while the collector is inside a forward pass, so park it
+        // there with one large request and probe the full queue.
+        let scheduler = BatchScheduler::new(
+            Arc::clone(&serving),
+            BatchConfig {
+                max_batch_rows: 1,
+                max_wait: Duration::ZERO,
+                queue_capacity: 1,
+                ..BatchConfig::default()
+            },
+        );
+        let base = &stream.domain(0).test.x;
+        let idx: Vec<usize> = (0..30_000).map(|i| i % base.rows()).collect();
+        let big = scheduler.submit(base.select_rows(&idx)).unwrap();
+        // Wait for the collector to start executing the big batch
+        // (record_batch precedes the forward pass), then the window in
+        // which it cannot drain the queue is open for the whole pass.
+        while scheduler.stats().batches == 0 {
+            std::thread::yield_now();
+        }
+        let small = stream.domain(0).test.x.slice_rows(0, 2);
+        let parked = scheduler.submit(small.clone()).unwrap();
+        let rejected = scheduler.submit(small.clone());
+        assert!(matches!(
+            rejected,
+            Err(ServeError::QueueFull { capacity: 1 })
+        ));
+        // Queued and in-flight requests still complete.
+        assert!(big.wait().is_ok());
+        assert!(parked.wait().is_ok());
+        let stats = scheduler.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn drop_drains_in_flight_requests_then_stops() {
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        let scheduler = BatchScheduler::new(
+            Arc::clone(&serving),
+            BatchConfig {
+                max_wait: Duration::from_millis(200),
+                ..BatchConfig::default()
+            },
+        );
+        let x = stream.domain(0).test.x.slice_rows(0, 2);
+        let handle = scheduler.submit(x.clone()).unwrap();
+        drop(scheduler); // disconnects the queue; collector drains first
+        let (version, ite) = handle.wait().unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(ite, serving.predict_ite(&x).unwrap());
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`ot`](cerl_ot) | Sinkhorn-Wasserstein and MMD representation-balance penalties |
 //! | [`data`](cerl_data) | synthetic §IV.C generator, News/BlogCatalog simulators, domain streams |
 //! | [`core`](cerl_core) | the CERL learner, serving engine, CFR baselines, strategies, metrics |
+//! | [`serve`](cerl_serve) | micro-batching scheduler, shard-per-domain router, latency histograms |
 //!
 //! ## Quickstart: the serving engine
 //!
@@ -91,6 +92,55 @@
 //! # Ok::<(), CerlError>(())
 //! ```
 //!
+//! ## Serving at scale: batching and sharding
+//!
+//! The [`serve`](cerl_serve) layer turns the engine into a service
+//! front-end. A [`BatchScheduler`](prelude::BatchScheduler) coalesces
+//! many small concurrent requests into one fanned forward pass — with a
+//! bounded submission queue, a `max_wait` latency budget, and results
+//! bitwise identical to unbatched calls — and a
+//! [`ShardRouter`](prelude::ShardRouter) keys N independently
+//! hot-swappable engines by the
+//! [`ShardMap`](prelude::ShardMap) carried in snapshot metadata.
+//! [`ServeStats`](prelude::ServeStats) reports p50/p95/p99 queue-wait
+//! and end-to-end latency plus per-version request counts for watching
+//! a canary swap:
+//!
+//! ```
+//! use cerl::prelude::*;
+//! use std::time::Duration;
+//!
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 11);
+//! let stream = DomainStream::synthetic(&gen, 2, 0, 11);
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 2; // doc-test speed
+//!
+//! // One engine per domain shard, routed by domain id.
+//! let engines: Vec<CerlEngine> = (0..2)
+//!     .map(|d| {
+//!         let mut e = CerlEngineBuilder::new(cfg.clone()).seed(d as u64).build()?;
+//!         e.observe(&stream.domain(d).train, &stream.domain(d).val)?;
+//!         Ok(e)
+//!     })
+//!     .collect::<Result<_, CerlError>>()?;
+//! let map = ShardMap::from_pairs(2, &[(0, 0), (1, 1)])?;
+//! let router = ShardRouter::with_batching(
+//!     engines,
+//!     map,
+//!     BatchConfig { max_wait: Duration::from_millis(2), ..BatchConfig::default() },
+//! )?;
+//!
+//! let x = stream.domain(1).test.x.slice_rows(0, 4);
+//! let (version, ite) = router.predict_ite_versioned(1, &x)?;
+//! assert_eq!((version, ite.len()), (1, 4));
+//! assert!(matches!(
+//!     router.predict_ite(42, &x),
+//!     Err(ServeError::UnknownDomain { domain: 42 })
+//! ));
+//! assert_eq!(router.stats().requests, 1);
+//! # Ok::<(), cerl::serve::ServeError>(())
+//! ```
+//!
 //! ## Research-style API
 //!
 //! The original research-facing types remain available: construct
@@ -119,6 +169,7 @@ pub use cerl_math as math;
 pub use cerl_nn as nn;
 pub use cerl_ot as ot;
 pub use cerl_rand as rand;
+pub use cerl_serve as serve;
 
 /// Convenient single-import surface for applications.
 pub mod prelude {
@@ -126,12 +177,16 @@ pub mod prelude {
         paper_lineup, Ablation, Cerl, CerlConfig, CerlEngine, CerlEngineBuilder, CerlError, CfrA,
         CfrB, CfrC, CfrModel, ContinualEstimator, DistillKind, EffectMetrics, IpmKind, Memory,
         ModelSnapshot, NetConfig, SLearner, ServingEngine, ServingStats, ServingStatsSnapshot,
-        SnapshotError, StageReport, TLearner, TrainConfig, TrainReport, VersionedEngine,
-        SNAPSHOT_FORMAT_VERSION,
+        ShardAssignment, ShardMap, SnapshotError, StageReport, TLearner, TrainConfig, TrainReport,
+        VersionedEngine, SNAPSHOT_FORMAT_VERSION,
     };
     pub use cerl_data::{
         CausalDataset, DataError, DomainShift, DomainStream, SemiSyntheticConfig,
         SemiSyntheticGenerator, SyntheticConfig, SyntheticGenerator,
     };
     pub use cerl_math::Matrix;
+    pub use cerl_serve::{
+        BatchConfig, BatchScheduler, LatencyHistogram, LatencySnapshot, ResponseHandle, ServeError,
+        ServeStats, ShardRouter,
+    };
 }
