@@ -126,6 +126,8 @@ pub use error::{CerlError, SnapshotError};
 pub use memory::Memory;
 pub use metrics::EffectMetrics;
 pub use serving::{ServingEngine, ServingStats, ServingStatsSnapshot, VersionedEngine};
-pub use snapshot::{ModelSnapshot, ShardAssignment, ShardMap, SNAPSHOT_FORMAT_VERSION};
+pub use snapshot::{
+    ModelSnapshot, ShardAssignment, ShardMap, ShardMapDiff, ShardMove, SNAPSHOT_FORMAT_VERSION,
+};
 pub use strategies::{paper_lineup, CfrA, CfrB, CfrC, ContinualEstimator};
 pub use trainer::TrainReport;

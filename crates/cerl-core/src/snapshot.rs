@@ -129,6 +129,81 @@ impl ShardMap {
         &self.assignments
     }
 
+    /// A copy of this map with `domain` re-routed to `to_shard` — the
+    /// topology flip a shard rebalance commits.
+    ///
+    /// The domain must already be mapped (rebalancing moves existing
+    /// traffic; use [`ShardMap::merge`] to introduce new domains) and
+    /// `to_shard` must be inside the declared shard range. The original
+    /// map is untouched, so a router can build the successor topology off
+    /// to the side and publish it with one atomic pointer swap.
+    pub fn with_domain_moved(&self, domain: u64, to_shard: usize) -> Result<Self, CerlError> {
+        if self.shard_for(domain).is_none() {
+            return Err(invalid_shard_map(format!(
+                "cannot move domain {domain}: the map does not route it"
+            )));
+        }
+        let pairs: Vec<(u64, usize)> = self
+            .assignments
+            .iter()
+            .map(|a| {
+                if a.domain == domain {
+                    (a.domain, to_shard)
+                } else {
+                    (a.domain, a.shard)
+                }
+            })
+            .collect();
+        Self::from_pairs(self.shards, &pairs)
+    }
+
+    /// Structural difference between this topology and `successor`:
+    /// which domains moved shards, which were added, which were removed.
+    ///
+    /// A fleet restore uses this to explain *how* two replica snapshots
+    /// disagree (e.g. a registry captured mid-rebalance), and an
+    /// orchestrator can turn the `moved` list into a rebalance plan.
+    pub fn diff(&self, successor: &ShardMap) -> ShardMapDiff {
+        let mut diff = ShardMapDiff::default();
+        for a in &self.assignments {
+            match successor.shard_for(a.domain) {
+                Some(shard) if shard != a.shard => diff.moved.push(ShardMove {
+                    domain: a.domain,
+                    from: a.shard,
+                    to: shard,
+                }),
+                Some(_) => {}
+                None => diff.removed.push(*a),
+            }
+        }
+        for a in &successor.assignments {
+            if self.shard_for(a.domain).is_none() {
+                diff.added.push(*a);
+            }
+        }
+        diff
+    }
+
+    /// Union of two topologies: every domain either map routes, over
+    /// `max(shard_count)` shards.
+    ///
+    /// Fails when the maps route the same domain to different shards —
+    /// merging is for composing disjoint fleets (or re-assembling a map
+    /// from per-shard fragments), not for resolving conflicts; use
+    /// [`ShardMap::diff`] to see a conflict and
+    /// [`ShardMap::with_domain_moved`] to resolve it deliberately.
+    pub fn merge(&self, other: &ShardMap) -> Result<Self, CerlError> {
+        let mut pairs: Vec<(u64, usize)> = self
+            .assignments
+            .iter()
+            .chain(&other.assignments)
+            .map(|a| (a.domain, a.shard))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        Self::from_pairs(self.shards.max(other.shards), &pairs)
+    }
+
     /// Re-check the invariants [`ShardMap::from_pairs`] enforces (a
     /// deserialized map bypasses the constructor).
     pub(crate) fn validate(&self) -> Result<(), CerlError> {
@@ -151,6 +226,48 @@ fn invalid_shard_map(reason: String) -> CerlError {
     CerlError::InvalidConfig {
         field: "shard_map",
         reason,
+    }
+}
+
+/// One domain's relocation between shards (an entry of
+/// [`ShardMapDiff::moved`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMove {
+    /// Domain that changed shards.
+    pub domain: u64,
+    /// Shard it was routed to in the older topology.
+    pub from: usize,
+    /// Shard it is routed to in the newer topology.
+    pub to: usize,
+}
+
+impl std::fmt::Display for ShardMove {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "domain {} moved shard {} -> {}",
+            self.domain, self.from, self.to
+        )
+    }
+}
+
+/// Structural difference between two [`ShardMap`] topologies
+/// ([`ShardMap::diff`]). All lists are sorted by domain id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardMapDiff {
+    /// Domains routed by both maps, to different shards.
+    pub moved: Vec<ShardMove>,
+    /// Domains only the newer map routes.
+    pub added: Vec<ShardAssignment>,
+    /// Domains only the older map routes.
+    pub removed: Vec<ShardAssignment>,
+}
+
+impl ShardMapDiff {
+    /// Whether the two topologies route identically (shard *counts* may
+    /// still differ; the diff is about domain placement).
+    pub fn is_empty(&self) -> bool {
+        self.moved.is_empty() && self.added.is_empty() && self.removed.is_empty()
     }
 }
 
@@ -452,6 +569,56 @@ mod tests {
         assert!(ShardMap::from_pairs(0, &[]).is_err());
         assert!(ShardMap::from_pairs(2, &[(1, 2)]).is_err());
         assert!(ShardMap::from_pairs(2, &[(1, 0), (1, 1)]).is_err());
+    }
+
+    #[test]
+    fn shard_map_move_diff_and_merge() {
+        let map = ShardMap::from_pairs(3, &[(0, 0), (1, 0), (2, 1)]).unwrap();
+
+        let moved = map.with_domain_moved(1, 2).unwrap();
+        assert_eq!(moved.shard_for(1), Some(2));
+        assert_eq!(moved.shard_for(0), Some(0));
+        assert_eq!(map.shard_for(1), Some(0), "original map is untouched");
+        assert!(map.with_domain_moved(99, 1).is_err(), "unmapped domain");
+        assert!(map.with_domain_moved(1, 7).is_err(), "shard out of range");
+
+        let diff = map.diff(&moved);
+        assert_eq!(
+            diff.moved,
+            vec![ShardMove {
+                domain: 1,
+                from: 0,
+                to: 2
+            }]
+        );
+        assert!(diff.added.is_empty() && diff.removed.is_empty());
+        assert!(map.diff(&map).is_empty());
+        assert_eq!(diff.moved[0].to_string(), "domain 1 moved shard 0 -> 2");
+
+        // Added/removed domains show up on the right side of the diff.
+        let grown = map
+            .merge(&ShardMap::from_pairs(3, &[(7, 2)]).unwrap())
+            .unwrap();
+        assert_eq!(map.diff(&grown).added.len(), 1);
+        assert_eq!(grown.diff(&map).removed.len(), 1);
+        assert_eq!(grown.len(), 4);
+        assert_eq!(grown.shard_for(7), Some(2));
+
+        // Merging conflicting placements is refused; identical overlap is
+        // fine (re-assembling a topology from per-shard fragments).
+        let conflicting = ShardMap::from_pairs(3, &[(1, 2)]).unwrap();
+        assert!(map.merge(&conflicting).is_err());
+        assert_eq!(map.merge(&map).unwrap(), map);
+
+        // A rebalanced topology round-trips through format-v2 bytes.
+        let (cerl, _) = trained_cerl(1);
+        let bytes = cerl
+            .to_snapshot()
+            .with_shard_map(moved.clone())
+            .to_bytes()
+            .unwrap();
+        let restored = ModelSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.shard_map, Some(moved));
     }
 
     #[test]

@@ -35,6 +35,31 @@ pub enum ServeError {
     /// The scheduler's collector thread has shut down; no more requests
     /// will be served by this scheduler instance.
     SchedulerShutdown,
+    /// A scatter-gather request's per-row domain tags do not line up with
+    /// its matrix rows.
+    DomainTagMismatch {
+        /// Rows in the request matrix.
+        rows: usize,
+        /// Domain tags provided.
+        tags: usize,
+    },
+    /// A fleet restore found a shard map whose declared shard count does
+    /// not match the number of replica snapshots provided.
+    FleetSizeMismatch {
+        /// Shards the embedded topology declares.
+        expected: usize,
+        /// Replica snapshots actually provided.
+        found: usize,
+    },
+    /// `begin_rebalance` was called while another domain's move is still
+    /// in its dual-route window; commit or abort that one first.
+    RebalanceInProgress {
+        /// Domain of the in-flight rebalance.
+        domain: u64,
+    },
+    /// `commit_rebalance`/`abort_rebalance` was called with no rebalance
+    /// begun.
+    NoRebalancePending,
     /// The engine rejected the request (wrong dimension, untrained model,
     /// bad snapshot, ...).
     Engine(CerlError),
@@ -60,6 +85,27 @@ impl fmt::Display for ServeError {
             }
             ServeError::SchedulerShutdown => {
                 write!(f, "batch scheduler has shut down")
+            }
+            ServeError::DomainTagMismatch { rows, tags } => {
+                write!(
+                    f,
+                    "scatter request has {rows} row(s) but {tags} domain tag(s); every row needs exactly one tag"
+                )
+            }
+            ServeError::FleetSizeMismatch { expected, found } => {
+                write!(
+                    f,
+                    "replica shard map declares {expected} shard(s) but {found} replica snapshot(s) were provided"
+                )
+            }
+            ServeError::RebalanceInProgress { domain } => {
+                write!(
+                    f,
+                    "a rebalance of domain {domain} is already in progress; commit or abort it first"
+                )
+            }
+            ServeError::NoRebalancePending => {
+                write!(f, "no rebalance has been begun on this router")
             }
             ServeError::Engine(e) => write!(f, "{e}"),
         }
@@ -102,6 +148,23 @@ mod tests {
         assert!(ServeError::SchedulerShutdown
             .to_string()
             .contains("shut down"));
+        let tag = ServeError::DomainTagMismatch { rows: 4, tags: 3 }.to_string();
+        assert!(tag.contains('4') && tag.contains('3'));
+        let fleet = ServeError::FleetSizeMismatch {
+            expected: 3,
+            found: 2,
+        }
+        .to_string();
+        assert!(
+            fleet.contains("3 shard(s)") && fleet.contains("2 replica snapshot(s)"),
+            "{fleet}"
+        );
+        assert!(ServeError::RebalanceInProgress { domain: 12 }
+            .to_string()
+            .contains("12"));
+        assert!(ServeError::NoRebalancePending
+            .to_string()
+            .contains("no rebalance"));
         let e: ServeError = CerlError::NotTrained.into();
         assert!(e.to_string().contains("not observed"));
         assert_eq!(e, ServeError::Engine(CerlError::NotTrained));

@@ -69,6 +69,35 @@ impl LatencyHistogram {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
+    /// The bucket a sample of `nanos` nanoseconds falls in — public so
+    /// tests (and dashboard code aligning external data with these
+    /// buckets) can reason about which bucket a known sample landed in.
+    pub fn bucket_for(nanos: u64) -> usize {
+        Self::bucket_index(nanos)
+    }
+
+    /// Inclusive `(lower, upper)` duration bounds of bucket `i`.
+    ///
+    /// Bucket 0's lower bound is zero; the final overflow bucket's upper
+    /// bound is [`Duration::MAX`]. Every quantile the histogram reports
+    /// for a rank landing in bucket `i` lies within these bounds (the
+    /// geometric-midpoint contract, property-tested in
+    /// `tests/property_based.rs`).
+    pub fn bucket_bounds(i: usize) -> (Duration, Duration) {
+        assert!(i < BUCKET_COUNT, "bucket {i} out of range");
+        let lower = if i == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(Self::bucket_upper_nanos(i - 1) as u64)
+        };
+        let upper = if i == BUCKET_COUNT - 1 {
+            Duration::MAX
+        } else {
+            Duration::from_nanos(Self::bucket_upper_nanos(i) as u64)
+        };
+        (lower, upper)
+    }
+
     /// The bucket a sample of `nanos` nanoseconds falls in.
     fn bucket_index(nanos: u64) -> usize {
         if nanos as f64 <= FIRST_UPPER_NANOS {

@@ -18,7 +18,14 @@
 //!   [`ShardMap`](cerl_core::snapshot::ShardMap) (`domain → shard`)
 //!   that also rides in snapshot metadata; per-shard warm swaps, typed
 //!   [`ServeError::UnknownDomain`] routing errors, optional per-shard
-//!   batching.
+//!   batching. Mixed-domain requests are served by
+//!   [`ShardRouter::predict_ite_scatter`] (scatter-gather with results
+//!   bitwise identical to a single unsharded engine), and
+//!   [`ShardRouter::begin_rebalance`] /
+//!   [`commit_rebalance`](ShardRouter::commit_rebalance) /
+//!   [`abort_rebalance`](ShardRouter::abort_rebalance) move a domain
+//!   between shards with zero downtime (see the dual-route contract in
+//!   the [`router`] module docs).
 //! * [`histogram`] — [`LatencyHistogram`]: fixed log-spaced buckets with
 //!   wait-free atomic recording; [`ServeStats`] reports p50/p95/p99
 //!   queue-wait and end-to-end latency plus per-version request
@@ -103,9 +110,9 @@ pub mod scheduler;
 
 pub use error::ServeError;
 pub use histogram::{LatencyHistogram, LatencySnapshot};
-pub use router::ShardRouter;
+pub use router::{ScatterResponse, ShardRouter};
 pub use scheduler::{BatchConfig, BatchScheduler, ResponseHandle, ServeStats};
 
 // Routing metadata lives in cerl-core (it is snapshot state); re-export
 // it here so `cerl_serve::ShardMap` works without a cerl-core import.
-pub use cerl_core::snapshot::{ShardAssignment, ShardMap};
+pub use cerl_core::snapshot::{ShardAssignment, ShardMap, ShardMapDiff, ShardMove};

@@ -22,19 +22,44 @@
 //!   [`swap_engine_warm`](ServingEngine::swap_engine_warm) — a broken
 //!   successor is never published) while every other shard keeps serving
 //!   undisturbed.
+//! * **Cross-shard queries.** [`ShardRouter::predict_ite_scatter`]
+//!   serves a *mixed-domain* request — every row carries its own domain
+//!   tag — by demultiplexing rows into per-shard sub-batches (original
+//!   row order preserved within each sub-batch), fanning the sub-batches
+//!   out through each shard's scheduler (or a pinned
+//!   [`predict_ite_parallel`](ServingEngine::predict_ite_parallel) pass
+//!   when unbatched), and gathering the slices back into submission
+//!   order. Per-row inference is batch-independent, so the merged result
+//!   is **bitwise identical** to a single unsharded engine serving the
+//!   same rows (property-tested in `tests/property_based.rs`).
+//! * **Zero-downtime rebalancing.** [`ShardRouter::begin_rebalance`]
+//!   stages a successor engine for the destination shard (probed at
+//!   staging time — see
+//!   [`probe_successor`](ServingEngine::probe_successor)) and opens the
+//!   *dual-route window*: the routing map is untouched, so reads of the
+//!   moving domain keep landing on the source shard, which still holds
+//!   it. [`ShardRouter::commit_rebalance`] publishes the staged engine on
+//!   the destination **first** (a warm swap) and only then flips the
+//!   [`ShardMap`] with a single `Arc` replacement — requests pin the map
+//!   once per call, so each one observes either the old or the new
+//!   topology in full, never a torn mixture, and whichever shard a
+//!   request routes to held the domain at the instant its map was
+//!   pinned. [`ShardRouter::abort_rebalance`] drops the staged engine;
+//!   nothing was ever published, so rollback is a no-op for readers.
 //! * **Observability.** The router keeps its own [`ServeStats`]
 //!   (end-to-end latency, per-version request accounting across the
-//!   fleet); [`ShardRouter::shard_stats`] exposes each shard scheduler's
-//!   queue-wait and batch-shape numbers for canary watching.
+//!   fleet, scatter fan-out shape); [`ShardRouter::shard_stats`] exposes
+//!   each shard scheduler's queue-wait and batch-shape numbers for
+//!   canary watching.
 
 use crate::error::ServeError;
-use crate::scheduler::{BatchConfig, BatchScheduler, ServeMetrics, ServeStats};
+use crate::scheduler::{BatchConfig, BatchScheduler, ResponseHandle, ServeMetrics, ServeStats};
 use cerl_core::engine::CerlEngine;
 use cerl_core::error::CerlError;
 use cerl_core::serving::ServingEngine;
 use cerl_core::snapshot::{ModelSnapshot, ShardMap};
 use cerl_math::Matrix;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Instant;
 
 /// One shard of the fleet: the hot-swappable engine plus its optional
@@ -44,11 +69,41 @@ struct ShardSlot {
     scheduler: Option<BatchScheduler>,
 }
 
+/// An in-flight domain move: staged at `begin_rebalance`, consumed by
+/// `commit_rebalance`/`abort_rebalance`. While one of these is pending
+/// the routing map is unchanged — the staged engine is invisible to
+/// readers until the commit publishes it.
+struct PendingRebalance {
+    domain: u64,
+    from: usize,
+    to: usize,
+    staged: CerlEngine,
+}
+
+/// Outcome of one cross-shard scatter-gather request
+/// ([`ShardRouter::predict_ite_scatter_versioned`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterResponse {
+    /// Predicted ITEs in the request's original row order.
+    pub ite: Vec<f64>,
+    /// `(shard, engine version)` for every shard that served part of the
+    /// request, ascending by shard index. Each sub-batch ran against one
+    /// pinned version, so every output row is attributable to exactly
+    /// one entry here (via its row's domain tag and the pinned map).
+    pub shard_versions: Vec<(usize, u64)>,
+}
+
 /// Domain-keyed router over N independently hot-swappable serving shards
 /// (see the [module docs](self)).
 pub struct ShardRouter {
     shards: Vec<ShardSlot>,
-    map: ShardMap,
+    /// The routing topology, swapped atomically on a rebalance commit.
+    /// Requests clone the `Arc` once and route every row of the request
+    /// through that pinned topology.
+    map: RwLock<Arc<ShardMap>>,
+    /// At most one domain moves at a time; the mutex also serializes
+    /// begin/commit/abort against each other.
+    rebalance: Mutex<Option<PendingRebalance>>,
     metrics: Arc<ServeMetrics>,
 }
 
@@ -56,11 +111,12 @@ impl std::fmt::Debug for ShardRouter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardRouter")
             .field("shards", &self.shards.len())
-            .field("domains", &self.map.len())
+            .field("domains", &self.map().len())
             .field(
                 "batched",
                 &self.shards.first().is_some_and(|s| s.scheduler.is_some()),
             )
+            .field("rebalancing", &self.rebalance_in_progress())
             .finish_non_exhaustive()
     }
 }
@@ -103,9 +159,30 @@ impl ShardRouter {
             match (&map, &snapshot.shard_map) {
                 (None, Some(found)) => map = Some(found.clone()),
                 (Some(agreed), Some(found)) if agreed != found => {
-                    return Err(invalid_fleet(
-                        "replica snapshots carry conflicting shard maps".into(),
-                    ))
+                    // Name the disagreement: a registry captured
+                    // mid-rebalance shows up as a `moved` entry, which is
+                    // far more actionable than "maps differ".
+                    let diff = agreed.diff(found);
+                    let detail = if diff.is_empty() {
+                        "shard counts differ".to_string()
+                    } else {
+                        diff.moved
+                            .iter()
+                            .map(ToString::to_string)
+                            .chain(diff.added.iter().map(|a| {
+                                format!("domain {} only in one map (shard {})", a.domain, a.shard)
+                            }))
+                            .chain(
+                                diff.removed
+                                    .iter()
+                                    .map(|a| format!("domain {} missing from one map", a.domain)),
+                            )
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    };
+                    return Err(invalid_fleet(format!(
+                        "replica snapshots carry conflicting shard maps: {detail}"
+                    )));
                 }
                 _ => {}
             }
@@ -129,6 +206,12 @@ impl ShardRouter {
         }
         let map =
             map.ok_or_else(|| invalid_fleet("no replica snapshot carries a shard map".into()))?;
+        if map.shard_count() != replicas.len() {
+            return Err(ServeError::FleetSizeMismatch {
+                expected: map.shard_count(),
+                found: replicas.len(),
+            });
+        }
         let engines = if positional.len() == replicas.len() {
             positional
         } else if positional.is_empty() {
@@ -170,14 +253,15 @@ impl ShardRouter {
             .collect();
         Ok(Self {
             shards,
-            map,
+            map: RwLock::new(Arc::new(map)),
+            rebalance: Mutex::new(None),
             metrics: Arc::new(ServeMetrics::default()),
         })
     }
 
-    /// Resolve the shard serving `domain`.
+    /// Resolve the shard serving `domain` under the current topology.
     pub fn route(&self, domain: u64) -> Result<usize, ServeError> {
-        self.map
+        self.map()
             .shard_for(domain)
             .ok_or(ServeError::UnknownDomain { domain })
     }
@@ -217,6 +301,214 @@ impl ShardRouter {
         }
     }
 
+    /// Predicted ITEs for a mixed-domain request: row `i` of `x` belongs
+    /// to `domains[i]`. Rows are demuxed into per-shard sub-batches,
+    /// fanned out, and gathered back into the original row order — the
+    /// merged result is bitwise identical to one unsharded engine
+    /// serving the same rows.
+    pub fn predict_ite_scatter(&self, domains: &[u64], x: &Matrix) -> Result<Vec<f64>, ServeError> {
+        Ok(self.predict_ite_scatter_versioned(domains, x)?.ite)
+    }
+
+    /// Like [`ShardRouter::predict_ite_scatter`], also reporting which
+    /// shards (and which engine versions) answered.
+    ///
+    /// The topology is pinned **once** for the whole request: every row
+    /// routes through the same [`ShardMap`] even if a rebalance commits
+    /// mid-call, and each sub-batch runs against one pinned engine
+    /// version of its shard. Any sub-batch failure fails the whole
+    /// request with that sub-batch's typed error (sub-batches already
+    /// submitted still execute; their slices are discarded).
+    pub fn predict_ite_scatter_versioned(
+        &self,
+        domains: &[u64],
+        x: &Matrix,
+    ) -> Result<ScatterResponse, ServeError> {
+        let start = Instant::now();
+        match self.scatter_gather(domains, x) {
+            Ok(response) => {
+                self.metrics
+                    .record_scatter(&response.shard_versions, start.elapsed());
+                Ok(response)
+            }
+            Err(e) => {
+                self.metrics.record_rejection();
+                Err(e)
+            }
+        }
+    }
+
+    fn scatter_gather(&self, domains: &[u64], x: &Matrix) -> Result<ScatterResponse, ServeError> {
+        if domains.len() != x.rows() {
+            return Err(ServeError::DomainTagMismatch {
+                rows: x.rows(),
+                tags: domains.len(),
+            });
+        }
+        if x.rows() == 0 {
+            return Err(ServeError::Engine(CerlError::EmptyInput {
+                what: "scatter request matrix has no rows",
+            }));
+        }
+        // Pin the topology once; resolve every row before any work runs
+        // so an unknown domain rejects the request without partial
+        // execution.
+        let map = self.map();
+        let mut rows_by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (row, &domain) in domains.iter().enumerate() {
+            let shard = map
+                .shard_for(domain)
+                .ok_or(ServeError::UnknownDomain { domain })?;
+            rows_by_shard[shard].push(row);
+        }
+
+        let mut ite = vec![0.0f64; x.rows()];
+        let mut shard_versions = Vec::new();
+        // Fan out: with batching, submit every sub-batch before waiting
+        // on any, so the shards' collector threads coalesce and execute
+        // them concurrently; unbatched shards run a pinned parallel pass
+        // inline. `rows_by_shard[shard]` is ascending, so each sub-batch
+        // preserves the request's original row order.
+        let mut pending: Vec<(usize, ResponseHandle)> = Vec::new();
+        for (shard, rows) in rows_by_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, rows)| !rows.is_empty())
+        {
+            let sub = x.select_rows(rows);
+            match &self.shards[shard].scheduler {
+                Some(scheduler) => pending.push((shard, scheduler.submit(sub)?)),
+                None => {
+                    let (version, slice) = self.shards[shard]
+                        .engine
+                        .predict_ite_parallel_versioned(&sub, 0)
+                        .map_err(ServeError::Engine)?;
+                    gather(&mut ite, rows, &slice);
+                    shard_versions.push((shard, version));
+                }
+            }
+        }
+        for (shard, handle) in pending {
+            let (version, slice) = handle.wait()?;
+            gather(&mut ite, &rows_by_shard[shard], &slice);
+            shard_versions.push((shard, version));
+        }
+        Ok(ScatterResponse {
+            ite,
+            shard_versions,
+        })
+    }
+
+    /// Stage a rebalance: move `domain` to `to_shard`, whose next engine
+    /// will be `successor` (an engine that holds the domain — typically
+    /// the destination's current model retrained on the domain's data, or
+    /// a snapshot restored from the source shard).
+    ///
+    /// The successor is probed immediately (staging fails fast if it
+    /// cannot serve) but **not** published: this call opens the
+    /// dual-route window in which the routing map still sends the
+    /// domain's reads to its current shard. Only one rebalance may be in
+    /// flight per router.
+    pub fn begin_rebalance(
+        &self,
+        domain: u64,
+        to_shard: usize,
+        successor: CerlEngine,
+    ) -> Result<(), ServeError> {
+        let mut pending = self
+            .rebalance
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(p) = pending.as_ref() {
+            return Err(ServeError::RebalanceInProgress { domain: p.domain });
+        }
+        let from = self.route(domain)?;
+        if to_shard >= self.shards.len() {
+            return Err(ServeError::UnknownShard {
+                shard: to_shard,
+                shards: self.shards.len(),
+            });
+        }
+        if to_shard == from {
+            return Err(invalid_fleet(format!(
+                "domain {domain} already lives on shard {to_shard}"
+            )));
+        }
+        ServingEngine::probe_successor(&successor).map_err(ServeError::Engine)?;
+        *pending = Some(PendingRebalance {
+            domain,
+            from,
+            to: to_shard,
+            staged: successor,
+        });
+        Ok(())
+    }
+
+    /// [`ShardRouter::begin_rebalance`] with the successor shipped as
+    /// snapshot bytes (parsed and validated before anything is staged).
+    pub fn begin_rebalance_snapshot_bytes(
+        &self,
+        domain: u64,
+        to_shard: usize,
+        bytes: &[u8],
+    ) -> Result<(), ServeError> {
+        let successor = CerlEngine::load_bytes(bytes).map_err(ServeError::Engine)?;
+        self.begin_rebalance(domain, to_shard, successor)
+    }
+
+    /// Commit the staged rebalance; returns the destination shard's new
+    /// engine version.
+    ///
+    /// Ordering is the whole point: the staged engine is warm-swapped
+    /// into the destination **before** the map flips, so from the moment
+    /// a request can route the domain to the destination, the
+    /// destination's published engine already holds it. The flip itself
+    /// is a single `Arc` replacement — a request pins either the old map
+    /// (routing to the source shard, which still answers) or the new one,
+    /// never a torn mixture. If the final warm swap fails (the staged
+    /// engine degraded between probe and publish — effectively never),
+    /// the rebalance is cleared, the map is untouched, and the error is
+    /// returned: equivalent to an abort.
+    pub fn commit_rebalance(&self) -> Result<u64, ServeError> {
+        let mut pending = self
+            .rebalance
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let rebalance = pending.take().ok_or(ServeError::NoRebalancePending)?;
+        let version = self.shards[rebalance.to]
+            .engine
+            .swap_engine_warm(rebalance.staged)
+            .map_err(ServeError::Engine)?;
+        let flipped = self
+            .map()
+            .with_domain_moved(rebalance.domain, rebalance.to)
+            .map_err(ServeError::Engine)?;
+        *self.map.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(flipped);
+        Ok(version)
+    }
+
+    /// Drop the staged rebalance. Nothing was published during the
+    /// window, so readers never observed the staged engine and the map is
+    /// exactly as it was before [`ShardRouter::begin_rebalance`].
+    pub fn abort_rebalance(&self) -> Result<(), ServeError> {
+        self.rebalance
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .map(drop)
+            .ok_or(ServeError::NoRebalancePending)
+    }
+
+    /// The in-flight rebalance as `(domain, from_shard, to_shard)`, if
+    /// one is staged.
+    pub fn rebalance_in_progress(&self) -> Option<(u64, usize, usize)> {
+        self.rebalance
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(|p| (p.domain, p.from, p.to))
+    }
+
     /// The (warm) hot-swap of one shard: probe `engine` with one batch,
     /// then publish it as the shard's next version. Other shards are
     /// untouched; a successor that cannot serve is never published.
@@ -241,7 +533,7 @@ impl ShardRouter {
             .engine()
             .snapshot()
             .map_err(ServeError::Engine)?
-            .with_shard_map(self.map.clone())
+            .with_shard_map(self.map().as_ref().clone())
             .with_shard_index(shard);
         snapshot.to_bytes().map_err(ServeError::Engine)
     }
@@ -261,9 +553,15 @@ impl ShardRouter {
         self.shards.iter().map(|s| s.engine.version()).collect()
     }
 
-    /// The routing map this fleet was built with.
-    pub fn map(&self) -> &ShardMap {
-        &self.map
+    /// Pin the current routing topology (one `Arc` clone under a read
+    /// lock held for nanoseconds). The returned map stays internally
+    /// consistent for as long as the caller holds it; a concurrent
+    /// rebalance commit only redirects *future* pins.
+    pub fn map(&self) -> Arc<ShardMap> {
+        self.map
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Fleet-level statistics: end-to-end latency over every routed
@@ -289,6 +587,15 @@ impl ShardRouter {
             shard,
             shards: self.shards.len(),
         })
+    }
+}
+
+/// Scatter one shard's result slice back into the merged output at the
+/// rows it was demuxed from.
+fn gather(out: &mut [f64], rows: &[usize], slice: &[f64]) {
+    debug_assert_eq!(rows.len(), slice.len());
+    for (&row, &value) in rows.iter().zip(slice) {
+        out[row] = value;
     }
 }
 
@@ -477,6 +784,251 @@ mod tests {
         assert!(ShardRouter::new(engines, map).is_err());
         let map = ShardMap::from_pairs(1, &[(0, 0)]).unwrap();
         assert!(ShardRouter::new(Vec::new(), map).is_err());
+    }
+
+    /// Two shards holding clones of the same engine: scatter output must
+    /// be bitwise what the single engine answers for the mixed rows.
+    #[test]
+    fn scatter_merges_subbatches_back_into_submission_order() {
+        let stream = quick_stream(1);
+        let mut reference = CerlEngineBuilder::new(quick_cfg())
+            .seed(13)
+            .build()
+            .unwrap();
+        reference
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 1), (5, 1)]).unwrap();
+        let router =
+            ShardRouter::new(vec![reference.clone(), reference.clone()], map.clone()).unwrap();
+
+        let x = stream.domain(0).test.x.slice_rows(0, 12);
+        let tags: Vec<u64> = (0..12).map(|i| [0u64, 1, 5, 1][i % 4]).collect();
+        let response = router.predict_ite_scatter_versioned(&tags, &x).unwrap();
+        let expected = reference.predict_ite(&x).unwrap();
+        assert_eq!(response.ite.len(), expected.len());
+        for (i, (a, b)) in response.ite.iter().zip(&expected).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+        }
+        assert_eq!(response.shard_versions, vec![(0, 1), (1, 1)]);
+
+        // A single-domain scatter touches one shard only.
+        let lone = router.predict_ite_scatter_versioned(&[5; 12], &x).unwrap();
+        assert_eq!(lone.shard_versions, vec![(1, 1)]);
+        assert_eq!(lone.ite, expected);
+
+        // Batched router: identical bits through the scheduler fan-out.
+        let batched = ShardRouter::with_batching(
+            vec![reference.clone(), reference],
+            map,
+            BatchConfig {
+                max_wait: Duration::from_millis(2),
+                ..BatchConfig::default()
+            },
+        )
+        .unwrap();
+        let via_schedulers = batched.predict_ite_scatter(&tags, &x).unwrap();
+        for (a, b) in via_schedulers.iter().zip(&expected) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for shard in 0..2 {
+            let stats = batched.shard_stats(shard).unwrap().expect("batched");
+            assert_eq!(stats.requests, 1, "each shard saw one sub-batch");
+        }
+
+        // Typed failures: unknown tag, tag/row mismatch, empty request.
+        assert!(matches!(
+            router.predict_ite_scatter(&[9; 12], &x),
+            Err(ServeError::UnknownDomain { domain: 9 })
+        ));
+        assert!(matches!(
+            router.predict_ite_scatter(&tags[..3], &x),
+            Err(ServeError::DomainTagMismatch { rows: 12, tags: 3 })
+        ));
+        assert!(matches!(
+            router.predict_ite_scatter(&[], &Matrix::zeros(0, x.cols())),
+            Err(ServeError::Engine(CerlError::EmptyInput { .. }))
+        ));
+
+        let stats = router.stats();
+        assert_eq!(stats.scatter_requests, 2);
+        assert_eq!(stats.scatter_subrequests, 3);
+        assert_eq!(stats.mean_shards_per_scatter(), 1.5);
+        assert_eq!(stats.rejected, 3);
+        // Scatter counts once per participating shard in the version
+        // table: 3 sub-batches, all on version 1.
+        assert_eq!(stats.per_version_requests, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn rebalance_commit_publishes_destination_before_flipping_the_map() {
+        let stream = quick_stream(2);
+        let engines = shard_engines(&stream, 2);
+        let references = engines.clone();
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 0), (2, 1)]).unwrap();
+        let router = ShardRouter::new(engines, map).unwrap();
+        let x = stream.domain(1).test.x.slice_rows(0, 6);
+
+        // Stage: destination's successor holds domain 1 (here: shard 1's
+        // engine retrained on it).
+        let mut successor = references[1].clone();
+        successor
+            .observe(&stream.domain(1).train, &stream.domain(1).val)
+            .unwrap();
+        router.begin_rebalance(1, 1, successor.clone()).unwrap();
+        assert_eq!(router.rebalance_in_progress(), Some((1, 0, 1)));
+
+        // Dual-route window: the map is untouched, the source still
+        // answers, the destination still serves its old version.
+        assert_eq!(router.route(1).unwrap(), 0);
+        assert_eq!(
+            router.predict_ite(1, &x).unwrap(),
+            references[0].predict_ite(&x).unwrap()
+        );
+        assert_eq!(router.shard_versions(), vec![1, 1]);
+
+        // A second begin is refused while one is staged.
+        assert!(matches!(
+            router.begin_rebalance(2, 0, references[0].clone()),
+            Err(ServeError::RebalanceInProgress { domain: 1 })
+        ));
+
+        let version = router.commit_rebalance().unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(router.shard_versions(), vec![1, 2]);
+        assert_eq!(router.route(1).unwrap(), 1);
+        assert_eq!(
+            router.predict_ite(1, &x).unwrap(),
+            successor.predict_ite(&x).unwrap()
+        );
+        // Domain 0 stayed on the source, bitwise untouched.
+        let x0 = stream.domain(0).test.x.slice_rows(0, 6);
+        assert_eq!(
+            router.predict_ite(0, &x0).unwrap(),
+            references[0].predict_ite(&x0).unwrap()
+        );
+        assert_eq!(router.rebalance_in_progress(), None);
+        assert!(matches!(
+            router.commit_rebalance(),
+            Err(ServeError::NoRebalancePending)
+        ));
+
+        // The rebalanced topology rides in fresh snapshot bytes (v2
+        // round-trip) and rebuilds a fleet that routes the new way.
+        let replicas: Vec<Vec<u8>> = (0..2)
+            .map(|s| router.shard_snapshot_bytes(s).unwrap())
+            .collect();
+        let rebuilt = ShardRouter::from_snapshot_bytes(&replicas, None).unwrap();
+        assert_eq!(rebuilt.route(1).unwrap(), 1);
+        assert_eq!(
+            rebuilt.predict_ite(1, &x).unwrap(),
+            successor.predict_ite(&x).unwrap()
+        );
+    }
+
+    #[test]
+    fn rebalance_begin_validates_and_abort_rolls_back_cleanly() {
+        let stream = quick_stream(2);
+        let engines = shard_engines(&stream, 2);
+        let references = engines.clone();
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 0), (2, 1)]).unwrap();
+        let router = ShardRouter::new(engines, map).unwrap();
+
+        // Bad begins: unmapped domain, out-of-range shard, no-op move,
+        // successor that cannot serve. None of them stage anything.
+        assert!(matches!(
+            router.begin_rebalance(9, 1, references[0].clone()),
+            Err(ServeError::UnknownDomain { domain: 9 })
+        ));
+        assert!(matches!(
+            router.begin_rebalance(1, 5, references[0].clone()),
+            Err(ServeError::UnknownShard {
+                shard: 5,
+                shards: 2
+            })
+        ));
+        assert!(router.begin_rebalance(1, 0, references[0].clone()).is_err());
+        let untrained = CerlEngineBuilder::new(quick_cfg()).build().unwrap();
+        assert!(matches!(
+            router.begin_rebalance(1, 1, untrained),
+            Err(ServeError::Engine(CerlError::NotTrained))
+        ));
+        assert_eq!(router.rebalance_in_progress(), None);
+
+        // Stage a real move, then abort: map, versions, and answers are
+        // exactly as before the begin.
+        let x = stream.domain(1).test.x.slice_rows(0, 6);
+        let before = router.predict_ite(1, &x).unwrap();
+        router.begin_rebalance(1, 1, references[0].clone()).unwrap();
+        router.abort_rebalance().unwrap();
+        assert_eq!(router.rebalance_in_progress(), None);
+        assert_eq!(router.route(1).unwrap(), 0);
+        assert_eq!(router.shard_versions(), vec![1, 1]);
+        assert_eq!(router.predict_ite(1, &x).unwrap(), before);
+        assert!(matches!(
+            router.abort_rebalance(),
+            Err(ServeError::NoRebalancePending)
+        ));
+
+        // The snapshot-bytes staging path stages (and aborts) too.
+        let bytes = references[1].save_bytes().unwrap();
+        router.begin_rebalance_snapshot_bytes(1, 1, &bytes).unwrap();
+        assert_eq!(router.rebalance_in_progress(), Some((1, 0, 1)));
+        router.abort_rebalance().unwrap();
+    }
+
+    #[test]
+    fn fleet_restore_size_mismatch_names_expected_vs_found() {
+        let stream = quick_stream(3);
+        let engines = shard_engines(&stream, 3);
+        let map = ShardMap::from_pairs(3, &[(0, 0), (1, 1), (2, 2)]).unwrap();
+        let router = ShardRouter::new(engines, map).unwrap();
+        // Only two of the three replicas reach the restore.
+        let partial: Vec<Vec<u8>> = (0..2)
+            .map(|s| router.shard_snapshot_bytes(s).unwrap())
+            .collect();
+        match ShardRouter::from_snapshot_bytes(&partial, None) {
+            Err(
+                e @ ServeError::FleetSizeMismatch {
+                    expected: 3,
+                    found: 2,
+                },
+            ) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("3 shard(s)") && msg.contains("2 replica snapshot(s)"),
+                    "{msg}"
+                );
+            }
+            other => panic!("expected FleetSizeMismatch, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn conflicting_replica_maps_name_the_moved_domain() {
+        let stream = quick_stream(2);
+        let engines = shard_engines(&stream, 2);
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 0), (2, 1)]).unwrap();
+        let router = ShardRouter::new(engines, map).unwrap();
+        let before = router.shard_snapshot_bytes(0).unwrap();
+        // A registry captured replica 1 after a rebalance of domain 1.
+        let mut successor = router.shard(1).unwrap().current().engine().clone();
+        successor
+            .observe(&stream.domain(1).train, &stream.domain(1).val)
+            .unwrap();
+        router.begin_rebalance(1, 1, successor).unwrap();
+        router.commit_rebalance().unwrap();
+        let after = router.shard_snapshot_bytes(1).unwrap();
+        match ShardRouter::from_snapshot_bytes(&[before, after], None) {
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("domain 1 moved shard 0 -> 1"),
+                    "conflict should name the move: {msg}"
+                );
+            }
+            Ok(_) => panic!("conflicting maps must not rebuild a fleet"),
+        }
     }
 
     #[test]

@@ -95,6 +95,8 @@ pub(crate) struct ServeMetrics {
     batched_requests: AtomicU64,
     batched_rows: AtomicU64,
     max_batch_requests: AtomicU64,
+    scatter_requests: AtomicU64,
+    scatter_subrequests: AtomicU64,
     queue_wait: LatencyHistogram,
     end_to_end: LatencyHistogram,
     per_version: Mutex<BTreeMap<u64, u64>>,
@@ -128,6 +130,26 @@ impl ServeMetrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// One answered cross-shard scatter-gather request: counted once as a
+    /// request, once per participating shard in the per-version table
+    /// (`versions` holds each sub-batch's `(shard, version)` pin), so
+    /// `per_version_requests` sums can exceed `requests` on fleets
+    /// serving mixed-domain traffic.
+    pub(crate) fn record_scatter(&self, versions: &[(usize, u64)], end_to_end: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.scatter_requests.fetch_add(1, Ordering::Relaxed);
+        self.scatter_subrequests
+            .fetch_add(versions.len() as u64, Ordering::Relaxed);
+        self.end_to_end.record(end_to_end);
+        let mut per_version = self
+            .per_version
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for &(_, version) in versions {
+            *per_version.entry(version).or_insert(0) += 1;
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> ServeStats {
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
@@ -136,6 +158,8 @@ impl ServeMetrics {
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             batched_rows: self.batched_rows.load(Ordering::Relaxed),
             max_batch_requests: self.max_batch_requests.load(Ordering::Relaxed),
+            scatter_requests: self.scatter_requests.load(Ordering::Relaxed),
+            scatter_subrequests: self.scatter_subrequests.load(Ordering::Relaxed),
             queue_wait: self.queue_wait.snapshot(),
             end_to_end: self.end_to_end.snapshot(),
             per_version_requests: self
@@ -166,6 +190,12 @@ pub struct ServeStats {
     pub batched_rows: u64,
     /// Largest number of requests coalesced into one batch so far.
     pub max_batch_requests: u64,
+    /// Cross-shard scatter-gather requests answered (router only; a
+    /// scatter also counts once in [`ServeStats::requests`]).
+    pub scatter_requests: u64,
+    /// Per-shard sub-batches those scatter requests fanned out into
+    /// (`scatter_subrequests / scatter_requests` = mean shards touched).
+    pub scatter_subrequests: u64,
     /// Time requests spent queued before their batch started executing.
     pub queue_wait: LatencySnapshot,
     /// Submit-to-response latency as observed by the caller.
@@ -173,7 +203,9 @@ pub struct ServeStats {
     /// Successful requests per engine version, ascending by version —
     /// watch these counters shift to judge a canary swap. (A router
     /// aggregates across shards whose versions are independent; use its
-    /// per-shard stats to attribute versions.)
+    /// per-shard stats to attribute versions. A scatter-gather request
+    /// counts once per participating shard's version here, so the column
+    /// sum can exceed [`ServeStats::requests`].)
     pub per_version_requests: Vec<(u64, u64)>,
 }
 
@@ -192,6 +224,15 @@ impl ServeStats {
             return 0.0;
         }
         self.batched_rows as f64 / self.batches as f64
+    }
+
+    /// Mean shards a scatter-gather request fanned out to (1.0 = traffic
+    /// never actually crossed shards; 0.0 = no scatter traffic yet).
+    pub fn mean_shards_per_scatter(&self) -> f64 {
+        if self.scatter_requests == 0 {
+            return 0.0;
+        }
+        self.scatter_subrequests as f64 / self.scatter_requests as f64
     }
 }
 

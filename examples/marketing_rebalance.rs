@@ -1,0 +1,167 @@
+//! Zero-downtime shard rebalancing: a city changes shards while batched
+//! mixed-domain traffic keeps flowing.
+//!
+//! The fleet starts with cities 0 and 1 on shard 0 and city 2 on shard 1
+//! (shard 0 is running hot). Clients hammer **cross-shard** requests —
+//! every request mixes rows from all three cities, demuxed and merged by
+//! [`ShardRouter::predict_ite_scatter`] — while an operator moves city 1
+//! to shard 1:
+//!
+//! 1. `begin_rebalance` stages a successor engine for shard 1 (probed at
+//!    staging time) and opens the dual-route window — the routing map is
+//!    untouched, so city 1's reads keep landing on shard 0, which still
+//!    holds it. A first attempt is **aborted** to show rollback is
+//!    invisible to traffic.
+//! 2. `commit_rebalance` publishes the successor on shard 1 and then
+//!    flips the map with one atomic pointer swap: every request observes
+//!    either the old topology or the new one, never a torn mixture.
+//!
+//! Zero request errors across the whole move is asserted at the end.
+//!
+//! ```text
+//! cargo run --release --example marketing_rebalance
+//! ```
+
+use cerl::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CITIES: u64 = 3;
+const CLIENTS: usize = 4;
+
+fn main() -> Result<(), ServeError> {
+    let gen = SyntheticGenerator::new(
+        SyntheticConfig {
+            n_units: 800,
+            noise_sd: 0.4,
+            mean_shift_scale: 1.0,
+            ..SyntheticConfig::default()
+        },
+        37,
+    );
+    let stream = DomainStream::synthetic(&gen, CITIES as usize, 0, 37);
+
+    let mut cfg = CerlConfig::quick_test();
+    cfg.train.epochs = 20;
+
+    // Shard 0 carries cities 0 and 1; shard 1 carries city 2.
+    let mut shard0 = CerlEngineBuilder::new(cfg.clone()).seed(37).build()?;
+    shard0.observe(&stream.domain(0).train, &stream.domain(0).val)?;
+    shard0.observe(&stream.domain(1).train, &stream.domain(1).val)?;
+    let mut shard1 = CerlEngineBuilder::new(cfg.clone()).seed(38).build()?;
+    shard1.observe(&stream.domain(2).train, &stream.domain(2).val)?;
+
+    let map = ShardMap::from_pairs(2, &[(0, 0), (1, 0), (2, 1)])?;
+    let router = Arc::new(ShardRouter::with_batching(
+        vec![shard0, shard1.clone()],
+        map,
+        BatchConfig {
+            max_wait: Duration::from_millis(2),
+            ..BatchConfig::default()
+        },
+    )?);
+    println!(
+        "fleet up: {:?} — city 1 lives on shard {}, shard versions {:?}",
+        router.map().assignments(),
+        router.route(1)?,
+        router.shard_versions(),
+    );
+
+    // The successor shard 1 will warm during the move: its own engine
+    // retrained on city 1's data, prepared off to the side.
+    let mut successor = shard1;
+    successor.observe(&stream.domain(1).train, &stream.domain(1).val)?;
+
+    let stop = AtomicBool::new(false);
+    let errors = AtomicUsize::new(0);
+    let served = AtomicUsize::new(0);
+    let cross_shard = AtomicU64::new(0);
+
+    std::thread::scope(|scope| -> Result<(), ServeError> {
+        let (stream, router) = (&stream, &router);
+        let (stop, errors, served, cross_shard) = (&stop, &errors, &served, &cross_shard);
+        for client in 0..CLIENTS {
+            scope.spawn(move || {
+                // Every request mixes rows of all three cities.
+                let mut offset = client;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut tags = Vec::with_capacity(9);
+                    let mut data = Vec::new();
+                    let mut cols = 0;
+                    for i in 0..9usize {
+                        let city = (client + i) as u64 % CITIES;
+                        let x = &stream.domain(city as usize).test.x;
+                        let row = (offset * 5 + i) % x.rows();
+                        let slice = x.slice_rows(row, row + 1);
+                        cols = slice.cols();
+                        data.extend_from_slice(slice.as_slice());
+                        tags.push(city);
+                    }
+                    offset += 1;
+                    let x = Matrix::from_vec(tags.len(), cols, data);
+                    match router.predict_ite_scatter_versioned(&tags, &x) {
+                        Ok(response) => {
+                            assert_eq!(response.ite.len(), tags.len());
+                            if response.shard_versions.len() > 1 {
+                                cross_shard.fetch_add(1, Ordering::Relaxed);
+                            }
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+
+        // First attempt: stage, then change our minds. Traffic never
+        // notices — nothing was published.
+        router.begin_rebalance(1, 1, successor.clone())?;
+        println!(
+            "dual-route window open: staged {:?}, city 1 still served by shard {}",
+            router.rebalance_in_progress(),
+            router.route(1)?,
+        );
+        std::thread::sleep(Duration::from_millis(100));
+        router.abort_rebalance()?;
+        println!(
+            "aborted: map unchanged (city 1 on shard {}), shard versions {:?}",
+            router.route(1)?,
+            router.shard_versions(),
+        );
+
+        // Second attempt: stage and commit under the same load.
+        router.begin_rebalance(1, 1, successor.clone())?;
+        std::thread::sleep(Duration::from_millis(100));
+        let version = router.commit_rebalance()?;
+        println!(
+            "committed: city 1 now on shard {} (destination at v{version}), shard versions {:?}",
+            router.route(1)?,
+            router.shard_versions(),
+        );
+
+        // Let the clients route against the new topology for a moment.
+        std::thread::sleep(Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+        Ok(())
+    })?;
+
+    let stats = router.stats();
+    println!(
+        "{} scatter requests served ({} crossed shards, mean fan-out {:.2}), {} errors (want 0)",
+        served.load(Ordering::Relaxed),
+        cross_shard.load(Ordering::Relaxed),
+        stats.mean_shards_per_scatter(),
+        errors.load(Ordering::Relaxed),
+    );
+    println!(
+        "per-version sub-batch counts across the move: {:?} | fleet e2e p95 {:.2} ms",
+        stats.per_version_requests,
+        stats.end_to_end.p95.as_secs_f64() * 1e3,
+    );
+    assert_eq!(errors.load(Ordering::Relaxed), 0);
+    assert_eq!(router.route(1)?, 1);
+    Ok(())
+}

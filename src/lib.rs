@@ -141,6 +141,55 @@
 //! # Ok::<(), cerl::serve::ServeError>(())
 //! ```
 //!
+//! ## Cross-shard queries and rebalancing
+//!
+//! Real traffic mixes domains in one request, and fleet topology is not
+//! forever. [`ShardRouter::predict_ite_scatter`](prelude::ShardRouter)
+//! serves a request whose rows span domains: rows are demuxed by the
+//! pinned [`ShardMap`](prelude::ShardMap) into per-shard sub-batches,
+//! fanned out, and merged back in the original row order — bitwise
+//! identical to one unsharded engine serving the same rows. To move a
+//! domain between shards with zero downtime,
+//! [`begin_rebalance`](prelude::ShardRouter::begin_rebalance) stages a
+//! probed successor for the destination (reads keep routing to the
+//! source — the *dual-route window*),
+//! [`commit_rebalance`](prelude::ShardRouter::commit_rebalance)
+//! publishes the successor and then flips the map with one atomic
+//! pointer swap (no request ever sees a torn topology), and
+//! [`abort_rebalance`](prelude::ShardRouter::abort_rebalance) discards
+//! the staged engine without readers ever having seen it:
+//!
+//! ```
+//! use cerl::prelude::*;
+//!
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 13);
+//! let stream = DomainStream::synthetic(&gen, 2, 0, 13);
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 2; // doc-test speed
+//! let mut engine = CerlEngineBuilder::new(cfg).seed(13).build()?;
+//! engine.observe(&stream.domain(0).train, &stream.domain(0).val)?;
+//!
+//! // Two shards (clones of one engine, for the doc's determinism);
+//! // domains 0 and 1 start on shard 0, domain 2 on shard 1.
+//! let map = ShardMap::from_pairs(2, &[(0, 0), (1, 0), (2, 1)])?;
+//! let router = ShardRouter::new(vec![engine.clone(), engine.clone()], map)?;
+//!
+//! // A mixed-domain request: each row carries its own domain tag.
+//! let x = stream.domain(0).test.x.slice_rows(0, 6);
+//! let tags = [0u64, 2, 1, 2, 0, 1];
+//! let scatter = router.predict_ite_scatter(&tags, &x)?;
+//! assert_eq!(scatter, engine.predict_ite(&x)?); // bitwise, despite the fan-out
+//!
+//! // Move domain 1 to shard 1: stage (dual-route window opens), commit
+//! // (destination publishes first, then the map flips atomically).
+//! router.begin_rebalance(1, 1, engine.clone())?;
+//! assert_eq!(router.route(1)?, 0); // reads still on the source
+//! router.commit_rebalance()?;
+//! assert_eq!(router.route(1)?, 1);
+//! assert_eq!(router.predict_ite_scatter(&tags, &x)?, scatter);
+//! # Ok::<(), cerl::serve::ServeError>(())
+//! ```
+//!
 //! ## Research-style API
 //!
 //! The original research-facing types remain available: construct
@@ -177,8 +226,8 @@ pub mod prelude {
         paper_lineup, Ablation, Cerl, CerlConfig, CerlEngine, CerlEngineBuilder, CerlError, CfrA,
         CfrB, CfrC, CfrModel, ContinualEstimator, DistillKind, EffectMetrics, IpmKind, Memory,
         ModelSnapshot, NetConfig, SLearner, ServingEngine, ServingStats, ServingStatsSnapshot,
-        ShardAssignment, ShardMap, SnapshotError, StageReport, TLearner, TrainConfig, TrainReport,
-        VersionedEngine, SNAPSHOT_FORMAT_VERSION,
+        ShardAssignment, ShardMap, ShardMapDiff, ShardMove, SnapshotError, StageReport, TLearner,
+        TrainConfig, TrainReport, VersionedEngine, SNAPSHOT_FORMAT_VERSION,
     };
     pub use cerl_data::{
         CausalDataset, DataError, DomainShift, DomainStream, SemiSyntheticConfig,
@@ -186,7 +235,7 @@ pub mod prelude {
     };
     pub use cerl_math::Matrix;
     pub use cerl_serve::{
-        BatchConfig, BatchScheduler, LatencyHistogram, LatencySnapshot, ResponseHandle, ServeError,
-        ServeStats, ShardRouter,
+        BatchConfig, BatchScheduler, LatencyHistogram, LatencySnapshot, ResponseHandle,
+        ScatterResponse, ServeError, ServeStats, ShardRouter,
     };
 }

@@ -220,6 +220,120 @@ fn snapshot_survives_restart_and_keeps_learning() {
     }
 }
 
+// ---- hostile shard-map metadata (snapshot format v2) -----------------------
+
+/// A trained snapshot carrying a valid 2-shard map, as a JSON string the
+/// hostile tests below can doctor at the document level (the typed
+/// constructors refuse to build these maps, a wire document cannot).
+fn snapshot_text_with_map(seed: u64) -> String {
+    let stream = quick_stream(1, seed);
+    let mut engine = CerlEngineBuilder::new(quick_cfg())
+        .seed(seed)
+        .build()
+        .unwrap();
+    engine
+        .observe(&stream.domain(0).train, &stream.domain(0).val)
+        .unwrap();
+    let map = ShardMap::from_pairs(2, &[(5, 0), (9, 1)]).unwrap();
+    let bytes = engine
+        .snapshot()
+        .unwrap()
+        .with_shard_map(map)
+        .to_bytes()
+        .unwrap();
+    String::from_utf8(bytes).unwrap()
+}
+
+/// Every load path must reject the bytes with a typed error — never
+/// panic, and never build a serving fleet from a hostile topology.
+fn assert_rejected_everywhere(hostile: &str, expected_field: &str) {
+    match CerlEngine::load_bytes(hostile.as_bytes()) {
+        Err(CerlError::InvalidConfig { field, .. }) => assert_eq!(field, expected_field),
+        other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+    }
+    assert!(ServingEngine::from_snapshot_bytes(hostile.as_bytes()).is_err());
+    assert!(matches!(
+        ShardRouter::from_snapshot_bytes(&[hostile.as_bytes().to_vec()], None),
+        Err(ServeError::Engine(CerlError::InvalidConfig { .. }))
+    ));
+}
+
+#[test]
+fn shard_map_with_out_of_range_shard_id_fails_closed() {
+    let text = snapshot_text_with_map(206);
+    assert!(
+        text.contains(r#""domain":9,"shard":1"#),
+        "layout assumption"
+    );
+    let hostile = text.replace(r#""domain":9,"shard":1"#, r#""domain":9,"shard":7"#);
+    assert_rejected_everywhere(&hostile, "shard_map");
+}
+
+#[test]
+fn shard_map_with_duplicate_domain_entries_fails_closed() {
+    let text = snapshot_text_with_map(207);
+    // Domain 5 now claims both shard 0 and shard 1.
+    let hostile = text.replace(r#""domain":9,"shard":1"#, r#""domain":5,"shard":1"#);
+    assert_rejected_everywhere(&hostile, "shard_map");
+    // Exact duplicate entries (same shard twice) are rejected too: the
+    // wire document bypassed the constructor's dedup, so it is not the
+    // canonical form the fleet agreed on.
+    let hostile = text.replace(r#""domain":9,"shard":1"#, r#""domain":5,"shard":0"#);
+    assert_rejected_everywhere(&hostile, "shard_map");
+}
+
+#[test]
+fn shard_map_referencing_a_missing_shard_fails_the_fleet_restore() {
+    // The map itself is valid but declares 3 shards; only one replica
+    // exists, so the fleet cannot be seated — typed, and it names the
+    // expected vs found counts.
+    let text = snapshot_text_with_map(208);
+    let hostile = text.replace(r#""shards":2"#, r#""shards":3"#);
+    // A lone engine restore tolerates it (routing is the fleet's concern)...
+    assert!(CerlEngine::load_bytes(hostile.as_bytes()).is_ok());
+    // ...the fleet restore does not.
+    match ShardRouter::from_snapshot_bytes(&[hostile.into_bytes()], None) {
+        Err(
+            e @ ServeError::FleetSizeMismatch {
+                expected: 3,
+                found: 1,
+            },
+        ) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains("3 shard(s)") && msg.contains("1 replica snapshot(s)"),
+                "{msg}"
+            );
+        }
+        other => panic!("expected FleetSizeMismatch, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn shard_index_outside_the_map_fails_closed() {
+    let stream = quick_stream(1, 209);
+    let mut engine = CerlEngineBuilder::new(quick_cfg())
+        .seed(209)
+        .build()
+        .unwrap();
+    engine
+        .observe(&stream.domain(0).train, &stream.domain(0).val)
+        .unwrap();
+    let map = ShardMap::from_pairs(2, &[(0, 0), (1, 1)]).unwrap();
+    // The builder API itself can express this hostile claim; loading may not.
+    let bytes = engine
+        .snapshot()
+        .unwrap()
+        .with_shard_map(map)
+        .with_shard_index(5)
+        .to_bytes()
+        .unwrap();
+    match CerlEngine::load_bytes(&bytes) {
+        Err(CerlError::InvalidConfig { field, .. }) => assert_eq!(field, "shard_map"),
+        other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+    }
+}
+
 #[test]
 fn truncated_snapshots_fail_closed() {
     let stream = quick_stream(1, 205);

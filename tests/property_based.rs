@@ -7,6 +7,7 @@ use cerl::nn::{Graph, ParamStore};
 use cerl::prelude::*;
 use proptest::prelude::*;
 use std::sync::OnceLock;
+use std::time::Duration;
 
 /// One trained engine shared by the snapshot properties (training inside
 /// every proptest case would dominate the suite's runtime), plus its
@@ -231,6 +232,43 @@ proptest! {
 
     // ---- dataset handling -------------------------------------------------
 
+    // ---- latency histogram ------------------------------------------------
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_land_in_their_buckets(
+        samples in prop::collection::vec(0u64..30_000_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = LatencyHistogram::new();
+        for &nanos in &samples {
+            h.record(Duration::from_nanos(nanos));
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+
+        // Quantiles are monotone in q...
+        let s = h.snapshot();
+        prop_assert!(s.p50 <= s.p95, "p50 {:?} > p95 {:?}", s.p50, s.p95);
+        prop_assert!(s.p95 <= s.p99, "p95 {:?} > p99 {:?}", s.p95, s.p99);
+
+        // ...and each reported quantile lies inside the bounds of the
+        // bucket its target-rank sample landed in (the geometric-midpoint
+        // representative never escapes its bucket).
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let total = sorted.len() as u64;
+        for q in [q, 0.50, 0.95, 0.99, 1.0] {
+            let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+            let rank_sample = sorted[(target - 1) as usize];
+            let bucket = LatencyHistogram::bucket_for(rank_sample);
+            let (lower, upper) = LatencyHistogram::bucket_bounds(bucket);
+            let reported = h.quantile(q).expect("histogram is non-empty");
+            prop_assert!(
+                reported >= lower && reported <= upper,
+                "q={q}: reported {reported:?} outside bucket {bucket} bounds [{lower:?}, {upper:?}] (rank sample {rank_sample} ns)"
+            );
+        }
+    }
+
     #[test]
     fn dataset_select_preserves_alignment(n in 4usize..40, seed in any::<u64>()) {
         let mut state = seed;
@@ -249,5 +287,97 @@ proptest! {
             prop_assert_eq!(sel.t[k], t[i]);
         }
         prop_assert_eq!(sel.true_ate(), ds.true_ate());
+    }
+}
+
+// The scatter-gather contract gets its own, larger case budget: the
+// cross-shard merge path must hold for *arbitrary* topologies and row
+// interleavings, and the CI release job runs this suite with optimized
+// merge code (`cargo test --release -q --test property_based`).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- cross-shard scatter-gather ---------------------------------------
+
+    /// For an arbitrary domain→shard map and an arbitrary per-row domain
+    /// interleaving, a fleet of shards all holding the same model answers
+    /// a mixed-domain scatter request bitwise identically to one
+    /// unsharded engine's `predict_ite_batch` over the same rows.
+    #[test]
+    fn scatter_gather_is_bitwise_identical_to_an_unsharded_engine(
+        shards in 1usize..4,
+        rows in 1usize..48,
+        map_seed in any::<u64>(),
+        tag_seed in any::<u64>(),
+        scale in 0.1f64..10.0,
+    ) {
+        let (engine, _, d_in) = snapshot_fixture();
+        let mut state = map_seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+
+        // Arbitrary topology: 1..=6 domains with arbitrary (sparse,
+        // non-contiguous, strictly increasing — hence unique) ids, each
+        // assigned to an arbitrary shard.
+        let domain_count = 1 + (next() % 6) as usize;
+        let mut domain_id = next() % 3;
+        let pairs: Vec<(u64, usize)> = (0..domain_count)
+            .map(|_| {
+                let pair = (domain_id, next() as usize % shards);
+                domain_id += 1 + next() % 4;
+                pair
+            })
+            .collect();
+        let map = ShardMap::from_pairs(shards, &pairs).expect("generated pairs are in range");
+        let router = ShardRouter::new(
+            (0..shards).map(|_| engine.clone()).collect(),
+            map.clone(),
+        )
+        .expect("map and fleet sizes agree");
+
+        // Arbitrary rows, each tagged with an arbitrary mapped domain.
+        let mut tag_state = tag_seed;
+        let mut next_tag = move || {
+            tag_state = tag_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            tag_state >> 33
+        };
+        let tags: Vec<u64> = (0..rows)
+            .map(|_| map.assignments()[next_tag() as usize % map.len()].domain)
+            .collect();
+        let mut x_state = tag_seed ^ map_seed;
+        let x = Matrix::from_fn(rows, *d_in, |_, _| {
+            x_state = x_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x_state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * scale
+        });
+
+        let response = router
+            .predict_ite_scatter_versioned(&tags, &x)
+            .expect("every tag is mapped");
+        let expected: Vec<f64> = engine
+            .predict_ite_batch(std::slice::from_ref(&x))
+            .expect("engine serves the same rows")
+            .into_iter()
+            .flatten()
+            .collect();
+        prop_assert_eq!(response.ite.len(), expected.len());
+        for (i, (a, b)) in response.ite.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "row {} (domain {}) diverged from the unsharded engine", i, tags[i]
+            );
+        }
+
+        // The fan-out shape is exactly the set of shards the tags hit,
+        // ascending, each pinned at version 1 (nothing ever swapped).
+        let mut hit: Vec<usize> = tags
+            .iter()
+            .map(|&d| map.shard_for(d).expect("tag was drawn from the map"))
+            .collect();
+        hit.sort_unstable();
+        hit.dedup();
+        let expected_versions: Vec<(usize, u64)> = hit.into_iter().map(|s| (s, 1)).collect();
+        prop_assert_eq!(response.shard_versions, expected_versions);
     }
 }

@@ -1,0 +1,286 @@
+//! Rebalancing under fire: concurrent mixed-domain clients hammer a
+//! sharded fleet across a full begin→abort and begin→commit domain move.
+//!
+//! Every response is checked bitwise against the per-version reference
+//! engines, which pins the three dual-route invariants at once:
+//!
+//! * **zero errors** — no request fails at any point of the window;
+//! * **monotone per-shard versions** — a client never observes a shard's
+//!   version move backwards;
+//! * **no stray serving** — a row is only ever answered by an engine
+//!   version of a shard that held the row's domain at the instant the
+//!   request pinned the routing map. For the moving domain that means:
+//!   bitwise equal to the source shard's engine (old topology) or to the
+//!   committed successor (new topology) — never to the destination's
+//!   *pre-commit* engine, which did not hold the domain.
+
+use cerl::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 4;
+const MOVING_DOMAIN: u64 = 1;
+
+fn quick_cfg() -> CerlConfig {
+    let mut cfg = CerlConfig::quick_test();
+    cfg.train.epochs = 6;
+    cfg.memory_size = 80;
+    cfg
+}
+
+/// Shared fixture: the domain stream, the two shard engines, and the
+/// staged successor (the destination's engine retrained on the moving
+/// domain) — training once keeps the two stress variants fast.
+struct Fixture {
+    stream: DomainStream,
+    /// Shard 0's engine (serves domains 0 and 1 at the start).
+    source: CerlEngine,
+    /// Shard 1's engine (serves domain 2 at the start).
+    destination: CerlEngine,
+    /// Successor staged for shard 1: `destination` retrained on the
+    /// moving domain. Distinct weights from both fleet engines, so every
+    /// response row identifies the engine that produced it.
+    successor: CerlEngine,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig {
+                n_units: 400,
+                ..SyntheticConfig::small()
+            },
+            83,
+        );
+        let stream = DomainStream::synthetic(&gen, 3, 0, 83);
+        let mut source = CerlEngineBuilder::new(quick_cfg())
+            .seed(31)
+            .build()
+            .unwrap();
+        source
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let mut destination = CerlEngineBuilder::new(quick_cfg())
+            .seed(32)
+            .build()
+            .unwrap();
+        destination
+            .observe(&stream.domain(2).train, &stream.domain(2).val)
+            .unwrap();
+        let mut successor = destination.clone();
+        successor
+            .observe(&stream.domain(1).train, &stream.domain(1).val)
+            .unwrap();
+        Fixture {
+            stream,
+            source,
+            destination,
+            successor,
+        }
+    })
+}
+
+/// A mixed-domain request interleaving rows of all three domains, plus
+/// the bitwise reference answer of each engine for those exact rows.
+struct MixedRequest {
+    tags: Vec<u64>,
+    x: Matrix,
+    by_source: Vec<f64>,
+    by_destination: Vec<f64>,
+    by_successor: Vec<f64>,
+}
+
+fn mixed_request(fx: &Fixture, salt: usize) -> MixedRequest {
+    let mut tags = Vec::new();
+    let mut rows = Vec::new();
+    for i in 0..9usize {
+        let domain = ((salt + i) % 3) as u64;
+        let x = &fx.stream.domain(domain as usize).test.x;
+        let row = (salt * 7 + i * 3) % x.rows();
+        tags.push(domain);
+        rows.push(x.slice_rows(row, row + 1));
+    }
+    let mut data = Vec::new();
+    for row in &rows {
+        data.extend_from_slice(row.as_slice());
+    }
+    let x = Matrix::from_vec(tags.len(), rows[0].cols(), data);
+    let by_source = fx.source.predict_ite(&x).unwrap();
+    let by_destination = fx.destination.predict_ite(&x).unwrap();
+    let by_successor = fx.successor.predict_ite(&x).unwrap();
+    MixedRequest {
+        tags,
+        x,
+        by_source,
+        by_destination,
+        by_successor,
+    }
+}
+
+/// Check one scatter response against the per-version references; panics
+/// (failing the test) on any torn or stray row.
+fn check_response(
+    request: &MixedRequest,
+    response: &ScatterResponse,
+    last_versions: &mut HashMap<usize, u64>,
+) {
+    for &(shard, version) in &response.shard_versions {
+        let last = last_versions.entry(shard).or_insert(0);
+        assert!(
+            version >= *last,
+            "shard {shard} version went backwards: {version} after {last}"
+        );
+        *last = version;
+    }
+    let shard1_version = response
+        .shard_versions
+        .iter()
+        .find(|&&(shard, _)| shard == 1)
+        .map(|&(_, version)| version);
+    for (i, value) in response.ite.iter().enumerate() {
+        let bits = value.to_bits();
+        match request.tags[i] {
+            // Shard 0 never swaps: its domain is always the source's bits.
+            0 => assert_eq!(
+                bits,
+                request.by_source[i].to_bits(),
+                "row {i}: domain 0 diverged from shard 0's only version"
+            ),
+            // Shard 1's row must match the exact version the response
+            // reports for shard 1 — a torn engine matches neither.
+            2 => {
+                let expected = match shard1_version {
+                    Some(1) => request.by_destination[i].to_bits(),
+                    Some(2) => request.by_successor[i].to_bits(),
+                    other => panic!("domain 2 row answered without a shard-1 pin ({other:?})"),
+                };
+                assert_eq!(bits, expected, "row {i}: domain 2 diverged");
+            }
+            // The moving domain: legitimately answered by the source
+            // shard (old topology) or the committed successor (new
+            // topology). The destination's pre-commit engine never held
+            // the domain, so its bits must never appear.
+            MOVING_DOMAIN => {
+                let by_source = bits == request.by_source[i].to_bits();
+                let by_successor = bits == request.by_successor[i].to_bits();
+                assert!(
+                    by_source || (by_successor && shard1_version == Some(2)),
+                    "row {i}: moving domain answered by a shard that does not hold it \
+                     (source={by_source}, successor={by_successor}, shard1={shard1_version:?})"
+                );
+            }
+            other => unreachable!("unexpected tag {other}"),
+        }
+    }
+}
+
+fn run_stress(batch: Option<BatchConfig>) {
+    let fx = fixture();
+    let map = ShardMap::from_pairs(2, &[(0, 0), (MOVING_DOMAIN, 0), (2, 1)]).unwrap();
+    let engines = vec![fx.source.clone(), fx.destination.clone()];
+    let router = Arc::new(match batch {
+        Some(cfg) => ShardRouter::with_batching(engines, map, cfg).unwrap(),
+        None => ShardRouter::new(engines, map).unwrap(),
+    });
+
+    let stop = AtomicBool::new(false);
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let wait_for = |predicate: &dyn Fn() -> bool, what: &str| {
+        while !predicate() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::yield_now();
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let router = Arc::clone(&router);
+            let stop = &stop;
+            scope.spawn(move || {
+                let request = mixed_request(fx, client);
+                let mut last_versions = HashMap::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let response = router
+                        .predict_ite_scatter_versioned(&request.tags, &request.x)
+                        .expect("no request may fail during a rebalance");
+                    check_response(&request, &response, &mut last_versions);
+                }
+            });
+        }
+
+        let stats = || router.stats();
+        // Phase 1: plain traffic on the original topology.
+        wait_for(&|| stats().requests >= 12, "warm-up traffic");
+
+        // Phase 2: begin → abort. The window opens and closes with the
+        // map untouched; clients keep verifying that the moving domain is
+        // answered by the source shard throughout.
+        router
+            .begin_rebalance(MOVING_DOMAIN, 1, fx.successor.clone())
+            .unwrap();
+        let mid_window = stats().requests + 10;
+        wait_for(
+            &|| stats().requests >= mid_window,
+            "traffic inside the abort window",
+        );
+        router.abort_rebalance().unwrap();
+        assert_eq!(router.route(MOVING_DOMAIN).unwrap(), 0);
+        assert_eq!(router.shard_versions(), vec![1, 1]);
+        let post_abort = stats().requests + 10;
+        wait_for(
+            &|| stats().requests >= post_abort,
+            "traffic after the abort",
+        );
+
+        // Phase 3: begin → commit under the same load.
+        router
+            .begin_rebalance(MOVING_DOMAIN, 1, fx.successor.clone())
+            .unwrap();
+        let in_window = stats().requests + 10;
+        wait_for(
+            &|| stats().requests >= in_window,
+            "traffic inside the commit window",
+        );
+        let version = router.commit_rebalance().unwrap();
+        assert_eq!(version, 2);
+
+        // Let every client observe the new topology before stopping:
+        // version 2 answers show up in the fleet's per-version table.
+        wait_for(
+            &|| {
+                stats()
+                    .per_version_requests
+                    .iter()
+                    .any(|&(v, count)| v == 2 && count >= 4 * CLIENTS as u64)
+            },
+            "post-commit traffic on the successor version",
+        );
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(router.route(MOVING_DOMAIN).unwrap(), 1);
+    assert_eq!(router.shard_versions(), vec![1, 2]);
+    let stats = router.stats();
+    assert_eq!(stats.rejected, 0, "zero errors across the whole stress");
+    assert_eq!(stats.scatter_requests, stats.requests);
+    assert!(
+        stats.mean_shards_per_scatter() > 1.0,
+        "requests really crossed shards: {stats:?}"
+    );
+}
+
+#[test]
+fn rebalance_under_unbatched_scatter_load() {
+    run_stress(None);
+}
+
+#[test]
+fn rebalance_under_batched_scatter_load() {
+    run_stress(Some(BatchConfig {
+        max_wait: Duration::from_millis(2),
+        ..BatchConfig::default()
+    }));
+}
