@@ -13,12 +13,62 @@ use cerl_core::metrics::EffectMetrics;
 use cerl_core::CfrModel;
 use cerl_data::{DomainStream, SyntheticGenerator};
 use cerl_math::stats::{mean, std_dev};
+use serde::Serialize;
+
+/// Machine-readable outcome of one diag probe — the unit of the
+/// perf-trajectory artifact (`--trajectory PATH` writes one JSON document
+/// holding a [`ProbeRecord`] per probe) and of the `--orchestrate`
+/// probe's JSON line. `passed == false` makes diag exit non-zero, so the
+/// bench lane doubles as a correctness gate.
+#[derive(Debug, Clone, Serialize)]
+struct ProbeRecord {
+    /// Probe name (`serving`, `batched`, `scatter`, `orchestrate`).
+    probe: String,
+    /// Sustained throughput of the probe's main measured path.
+    rows_per_sec: f64,
+    /// Median per-request latency of that path, milliseconds.
+    p50_ms: f64,
+    /// 95th-percentile per-request latency, milliseconds.
+    p95_ms: f64,
+    /// 99th-percentile per-request latency, milliseconds.
+    p99_ms: f64,
+    /// Whether every correctness check inside the probe held
+    /// (bitwise-identical outputs, zero request errors, plan committed).
+    passed: bool,
+    /// Free-form probe-specific summary.
+    detail: String,
+}
+
+impl ProbeRecord {
+    fn new(probe: &str, rows_per_sec: f64, latency: cerl_serve::LatencySnapshot) -> Self {
+        Self {
+            probe: probe.to_string(),
+            rows_per_sec,
+            p50_ms: latency.p50.as_secs_f64() * 1e3,
+            p95_ms: latency.p95.as_secs_f64() * 1e3,
+            p99_ms: latency.p99.as_secs_f64() * 1e3,
+            passed: true,
+            detail: String::new(),
+        }
+    }
+}
+
+/// The trajectory artifact: every probe's record plus enough metadata to
+/// compare artifacts across commits (`BENCH_5.json` in CI).
+#[derive(Debug, Serialize)]
+struct TrajectoryReport {
+    schema: String,
+    scale: String,
+    seed: u64,
+    probes: Vec<ProbeRecord>,
+}
 
 /// Serving-path diagnostics: engine snapshot round-trip (size, save/load
 /// latency, bitwise-identical predictions) and chunked-inference
 /// throughput at request sizes a service would see.
-fn serving_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) {
+fn serving_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) -> ProbeRecord {
     use cerl_core::engine::CerlEngineBuilder;
+    use cerl_serve::LatencyHistogram;
     use std::time::Instant;
 
     let mut engine = CerlEngineBuilder::new(cfg.clone())
@@ -47,26 +97,41 @@ fn serving_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) 
         load.as_secs_f64() * 1e3,
     );
 
+    let mut best_rows_per_sec = 0.0f64;
+    let hist = LatencyHistogram::new();
     for chunk_rows in [64usize, 512, 4096] {
         let t0 = Instant::now();
         let reps = 20;
         for _ in 0..reps {
+            let t_req = Instant::now();
             engine
                 .predict_ite_chunked(x, chunk_rows)
                 .expect("chunked predict");
+            if chunk_rows == 512 {
+                hist.record(t_req.elapsed());
+            }
         }
-        let per_row = t0.elapsed().as_secs_f64() / (reps * x.rows()) as f64;
+        let elapsed = t0.elapsed().as_secs_f64();
+        let per_row = elapsed / (reps * x.rows()) as f64;
+        best_rows_per_sec = best_rows_per_sec.max((reps * x.rows()) as f64 / elapsed);
         println!(
             "chunked inference ({chunk_rows:>4}-row chunks): {:.2} µs/unit",
             per_row * 1e6
         );
     }
+    let mut record = ProbeRecord::new("serving", best_rows_per_sec, hist.snapshot());
+    record.passed = identical;
+    record.detail = format!(
+        "snapshot {} bytes; bitwise-identical restore: {identical}",
+        bytes.len()
+    );
+    record
 }
 
 /// Concurrent-serving throughput probe: rows/sec of a 10k-row ITE request
 /// served by [`cerl_core::ServingEngine::predict_ite_parallel`] at 1/2/4/8
 /// reader threads, plus a hot-swap-under-load sanity pass.
-fn concurrent_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) {
+fn concurrent_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) -> bool {
     use cerl_core::engine::CerlEngineBuilder;
     use cerl_core::ServingEngine;
     use std::time::Instant;
@@ -121,6 +186,7 @@ fn concurrent_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u6
 
     // Hot-swap under load: readers hammer the 10k-row request while a new
     // domain is observed and swapped in; zero reader errors expected.
+    let mut swap_ok = false;
     let serving = std::sync::Arc::new(serving);
     let stop = std::sync::atomic::AtomicBool::new(false);
     let reader_errors = std::sync::atomic::AtomicUsize::new(0);
@@ -145,20 +211,24 @@ fn concurrent_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u6
             .map(|(_, v)| v);
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         match swap {
-            Ok(v) => println!("hot swap under load: published version {v}"),
+            Ok(v) => {
+                swap_ok = true;
+                println!("hot swap under load: published version {v}");
+            }
             Err(e) => println!("hot swap under load FAILED: {e}"),
         }
     });
     let stats = serving.stats();
+    let error_count = reader_errors.load(std::sync::atomic::Ordering::Relaxed);
     println!(
-        "under swap: {} requests answered, {} reader errors (want 0); totals: {} served / {} rows / {} swaps / {} rejected",
+        "under swap: {} requests answered, {error_count} reader errors (want 0); totals: {} served / {} rows / {} swaps / {} rejected",
         served.load(std::sync::atomic::Ordering::Relaxed),
-        reader_errors.load(std::sync::atomic::Ordering::Relaxed),
         stats.requests_served,
         stats.rows_predicted,
         stats.swaps,
         stats.rejected_requests,
     );
+    swap_ok && error_count == 0
 }
 
 /// Micro-batching throughput probe: 64 concurrent clients each issuing
@@ -166,7 +236,7 @@ fn concurrent_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u6
 /// [`cerl_core::ServingEngine`]) vs through a
 /// [`cerl_serve::BatchScheduler`] that coalesces them into one forward
 /// pass — rows/sec and p95 end-to-end latency for both paths.
-fn batched_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) {
+fn batched_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) -> ProbeRecord {
     use cerl_core::engine::CerlEngineBuilder;
     use cerl_core::ServingEngine;
     use cerl_serve::{BatchConfig, BatchScheduler, LatencyHistogram};
@@ -201,7 +271,9 @@ fn batched_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) 
 
     // Each client round-trips its own request `rounds` times; the
     // histogram sees every per-request end-to-end latency.
-    let run = |label: &str, predict: &(dyn Fn(&cerl_math::Matrix) -> Vec<f64> + Sync)| -> f64 {
+    let run = |label: &str,
+               predict: &(dyn Fn(&cerl_math::Matrix) -> Vec<f64> + Sync)|
+     -> (f64, cerl_serve::LatencySnapshot) {
         // Warm-up wave outside the timing: thread pools, allocator, and
         // (for the batched path) the collector are all hot before t0.
         std::thread::scope(|scope| {
@@ -233,10 +305,10 @@ fn batched_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) 
             s.p95.as_secs_f64() * 1e3,
             s.p99.as_secs_f64() * 1e3,
         );
-        rows_per_sec
+        (rows_per_sec, s)
     };
 
-    let unbatched = run("unbatched", &|x| {
+    let (unbatched, _) = run("unbatched", &|x| {
         serving.predict_ite(x).expect("well-formed request")
     });
 
@@ -252,9 +324,20 @@ fn batched_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) 
             ..BatchConfig::default()
         },
     );
-    let batched = run("batched", &|x| {
+    let (batched, batched_latency) = run("batched", &|x| {
         scheduler.predict_ite(x).expect("well-formed request")
     });
+    // The batching contract: a coalesced request's slice is bitwise what
+    // the unbatched path answers against the same engine version.
+    let bitwise_ok = requests.iter().all(|request| {
+        let via_batch = scheduler.predict_ite(request).expect("well-formed request");
+        let direct = serving.predict_ite(request).expect("well-formed request");
+        via_batch
+            .iter()
+            .zip(&direct)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+    println!("  batched results bitwise-identical to unbatched: {bitwise_ok}");
     let stats = scheduler.stats();
     println!(
         "  coalescing: {} requests in {} batches (mean {:.1} requests = {:.0} rows per forward pass, max {} requests) | queue wait p95 {:.2} ms",
@@ -274,6 +357,14 @@ fn batched_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) 
 overhead (one standardizer pass + GEMM setup per batch instead of per request); \
 multi-core hardware adds the parallel reader fan-out of `--concurrent` on top."
     );
+    let mut record = ProbeRecord::new("batched", batched, batched_latency);
+    record.passed = bitwise_ok;
+    record.detail = format!(
+        "{clients} clients x {request_rows} rows; batched/unbatched x{:.2}; mean {:.1} requests/batch; bitwise: {bitwise_ok}",
+        batched / unbatched.max(1.0),
+        stats.mean_requests_per_batch(),
+    );
+    record
 }
 
 /// Cross-shard scatter-gather probe: a 3-shard fleet (clones of one
@@ -281,10 +372,10 @@ multi-core hardware adds the parallel reader fan-out of `--concurrent` on top."
 /// requests; verifies the merged output is bitwise identical to the
 /// unsharded engine, compares throughput, then moves a domain between
 /// shards (begin → commit) under live scatter load.
-fn scatter_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) {
+fn scatter_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) -> ProbeRecord {
     use cerl_core::engine::CerlEngineBuilder;
     use cerl_core::{ServingEngine, ShardMap};
-    use cerl_serve::ShardRouter;
+    use cerl_serve::{LatencyHistogram, ShardRouter};
     use std::time::Instant;
 
     let mut engine = CerlEngineBuilder::new(cfg.clone())
@@ -329,11 +420,14 @@ fn scatter_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) 
         engine.predict_ite(&request).expect("well-formed request");
     }
     let unsharded = (reps * rows) as f64 / t0.elapsed().as_secs_f64();
+    let hist = LatencyHistogram::new();
     let t0 = Instant::now();
     for _ in 0..reps {
+        let t_req = Instant::now();
         router
             .predict_ite_scatter(&tags, &request)
             .expect("every tag is mapped");
+        hist.record(t_req.elapsed());
     }
     let sharded = (reps * rows) as f64 / t0.elapsed().as_secs_f64();
     let stats = router.stats();
@@ -349,6 +443,7 @@ multi-core hardware runs the per-shard sub-batches concurrently."
 
     // Rebalance under live scatter load: move domain 1 from shard 1 to
     // shard 2 with clients hammering mixed requests throughout.
+    let mut commit_ok = false;
     let stop = std::sync::atomic::AtomicBool::new(false);
     let errors = std::sync::atomic::AtomicUsize::new(0);
     let served = std::sync::atomic::AtomicUsize::new(0);
@@ -369,9 +464,8 @@ multi-core hardware runs the per-shard sub-batches concurrently."
                 }
             });
         }
-        router
-            .begin_rebalance(1, 2, engine.clone())
-            .expect("staging a trained successor");
+        let staged = router.begin_rebalance(1, 2, engine.clone());
+        assert!(staged.is_ok(), "staging a trained successor: {staged:?}");
         // Dual-route window: pin source and destination coherently.
         let (src, dst) = ServingEngine::pin_pair(
             router.shard(1).expect("shard 1 exists"),
@@ -385,19 +479,183 @@ multi-core hardware runs the per-shard sub-batches concurrently."
         let commit = router.commit_rebalance();
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         match commit {
-            Ok(v) => println!(
-                "rebalance committed under load: domain 1 now on shard {}, destination at v{v}",
-                router.route(1).expect("domain 1 is mapped"),
-            ),
+            Ok(v) => {
+                commit_ok = true;
+                println!(
+                    "rebalance committed under load: domain 1 now on shard {}, destination at v{v}",
+                    router.route(1).expect("domain 1 is mapped"),
+                );
+            }
             Err(e) => println!("rebalance FAILED: {e}"),
         }
     });
+    let error_count = errors.load(std::sync::atomic::Ordering::Relaxed);
     println!(
-        "under rebalance: {} scatter requests answered, {} errors (want 0); shard versions {:?}",
+        "under rebalance: {} scatter requests answered, {error_count} errors (want 0); shard versions {:?}",
         served.load(std::sync::atomic::Ordering::Relaxed),
-        errors.load(std::sync::atomic::Ordering::Relaxed),
         router.shard_versions(),
     );
+    let mut record = ProbeRecord::new("scatter", sharded, hist.snapshot());
+    record.passed = identical && commit_ok && error_count == 0;
+    record.detail = format!(
+        "{rows} rows over {domains} domains / {shards} shards; bitwise: {identical}; \
+         rebalance-under-load errors: {error_count}"
+    );
+    record
+}
+
+/// Orchestrated-rebalance probe: a 4-shard fleet (clones of one engine,
+/// so the single-engine reference is bitwise exact) starts with eight
+/// domains packed onto two shards; a [`cerl_serve::RebalanceOrchestrator`]
+/// executes the plan to a spread-out target — one canary-watched
+/// begin → probe → commit move at a time — while client threads hammer
+/// mixed-domain scatter requests and bitwise-check every response.
+/// Emits one machine-readable JSON line with the probe's outcome.
+fn orchestrate_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) -> ProbeRecord {
+    use cerl_core::engine::CerlEngineBuilder;
+    use cerl_core::ShardMap;
+    use cerl_serve::{
+        CanaryConfig, LatencyHistogram, OrchestratorConfig, RebalanceOrchestrator, ShardRouter,
+    };
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let mut engine = CerlEngineBuilder::new(cfg.clone())
+        .seed(seed)
+        .build()
+        .expect("diag: config validated by model_config");
+    engine
+        .observe(&stream.domain(0).train, &stream.domain(0).val)
+        .expect("diag: synthetic domains are well-formed");
+
+    // Eight domains packed onto shards 0 and 1 of a 4-shard fleet; the
+    // target spreads them round-robin across all four.
+    let shards = 4usize;
+    let domains = 8u64;
+    let packed: Vec<(u64, usize)> = (0..domains).map(|d| (d, (d % 2) as usize)).collect();
+    let spread: Vec<(u64, usize)> = (0..domains).map(|d| (d, d as usize % shards)).collect();
+    let current = ShardMap::from_pairs(shards, &packed).expect("pairs are in range");
+    let target = ShardMap::from_pairs(shards, &spread).expect("pairs are in range");
+    let router = Arc::new(
+        ShardRouter::new((0..shards).map(|_| engine.clone()).collect(), current)
+            .expect("fleet sizes agree"),
+    );
+    let orchestrator = RebalanceOrchestrator::new(
+        Arc::clone(&router),
+        OrchestratorConfig {
+            canary: CanaryConfig {
+                window_requests: 8,
+                max_wait: Duration::from_secs(10),
+                max_error_rate: 0.5,
+                // Latency on a loaded 1-CPU container is too noisy to
+                // gate a smoke probe on; the stress suite covers it.
+                max_p95_ratio: 1e6,
+            },
+            max_staged: 2,
+        },
+    );
+    let plan = orchestrator
+        .plan(&target)
+        .expect("target only moves domains");
+    println!(
+        "orchestrate: {} move(s) planned from packed {{0,1}} to round-robin over {shards} shards",
+        plan.len()
+    );
+
+    let base = &stream.domain(0).test.x;
+    let request_rows = 64usize;
+    let request = base.select_rows(
+        &(0..request_rows)
+            .map(|i| i % base.rows())
+            .collect::<Vec<_>>(),
+    );
+    let tags: Vec<u64> = (0..request_rows).map(|i| i as u64 % domains).collect();
+    let reference = engine.predict_ite(&request).expect("well-formed request");
+
+    let stop = AtomicBool::new(false);
+    let errors = AtomicUsize::new(0);
+    let served = AtomicUsize::new(0);
+    let torn = AtomicUsize::new(0);
+    let hist = LatencyHistogram::new();
+    let t0 = Instant::now();
+    let mut outcome = None;
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let router = Arc::clone(&router);
+            let (stop, errors, served, torn) = (&stop, &errors, &served, &torn);
+            let (reference, tags, request, hist) = (&reference, &tags, &request, &hist);
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let t_req = Instant::now();
+                    match router.predict_ite_scatter(tags, request) {
+                        Ok(ite) => {
+                            hist.record(t_req.elapsed());
+                            served.fetch_add(1, Ordering::Relaxed);
+                            if ite
+                                .iter()
+                                .zip(reference)
+                                .any(|(a, b)| a.to_bits() != b.to_bits())
+                            {
+                                torn.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        outcome = Some(orchestrator.execute(&plan, |_| Ok(engine.clone())));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let outcome = outcome.expect("scope body ran");
+
+    let error_count = errors.load(Ordering::Relaxed);
+    let torn_count = torn.load(Ordering::Relaxed);
+    let committed = outcome.as_ref().map_or(0, |r| r.moves.len());
+    let plan_ok = match &outcome {
+        Ok(report) => {
+            for mv in &report.moves {
+                println!(
+                    "  committed: {} (destination v{}, window {} reqs / {} rejected)",
+                    mv.mv, mv.destination_version, mv.window.requests, mv.window.rejected
+                );
+            }
+            true
+        }
+        Err(e) => {
+            println!("  plan halted: {e}");
+            false
+        }
+    };
+    let topology_ok = *router.map() == target;
+    let rows_per_sec = (served.load(Ordering::Relaxed) * request_rows) as f64 / elapsed.max(1e-9);
+    println!(
+        "under orchestration: {} scatter requests answered ({rows_per_sec:.0} rows/sec), \
+         {error_count} errors (want 0), {torn_count} torn responses (want 0); shard versions {:?}",
+        served.load(Ordering::Relaxed),
+        router.shard_versions(),
+    );
+
+    let mut record = ProbeRecord::new("orchestrate", rows_per_sec, hist.snapshot());
+    record.passed =
+        plan_ok && topology_ok && error_count == 0 && torn_count == 0 && committed == plan.len();
+    record.detail = format!(
+        "{}/{} moves committed; topology reached target: {topology_ok}; errors: {error_count}; \
+         torn: {torn_count}",
+        committed,
+        plan.len()
+    );
+    // The machine-readable line CI-side tooling scrapes without parsing
+    // the human text above.
+    println!(
+        "{}",
+        serde_json::to_string(&record).expect("probe record serializes")
+    );
+    record
 }
 
 /// Pure supervised regression of the true ITE surface τ(x): upper-bounds
@@ -578,6 +836,21 @@ fn cerl_term_sweep(_stream: &DomainStream, base: &cerl_core::CerlConfig, seed: u
     }
 }
 
+/// Exit non-zero when any probe's correctness check missed, naming it —
+/// a bitwise mismatch or request failure in a bench lane is a bug, not a
+/// slow run.
+fn exit_on_failure(records: &[ProbeRecord]) {
+    let failed: Vec<&str> = records
+        .iter()
+        .filter(|r| !r.passed)
+        .map(|r| r.probe.as_str())
+        .collect();
+    if !failed.is_empty() {
+        eprintln!("diag: FAILED probe(s): {}", failed.join(", "));
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = RunArgs::parse(std::env::args().skip(1));
     let mut cfg = model_config(args.scale);
@@ -637,20 +910,53 @@ fn main() {
         cerl_term_sweep(&stream, &cfg, args.seed);
         return;
     }
+    // The perf-trajectory lane: run every serving-path probe, write one
+    // JSON artifact, and fail the process on any correctness miss — CI's
+    // bench job doubles as a gate.
+    if let Some(pos) = args.extra.iter().position(|f| f == "--trajectory") {
+        let path = args
+            .extra
+            .get(pos + 1)
+            .expect("--trajectory needs an output path");
+        let probes = vec![
+            serving_probe(&stream, &cfg, args.seed),
+            batched_probe(&stream, &cfg, args.seed),
+            scatter_probe(&stream, &cfg, args.seed),
+            orchestrate_probe(&stream, &cfg, args.seed),
+        ];
+        let report = TrajectoryReport {
+            schema: "cerl-bench-trajectory/v1".into(),
+            scale: format!("{:?}", args.scale).to_lowercase(),
+            seed: args.seed,
+            probes,
+        };
+        let json = serde_json::to_string_pretty(&report).expect("trajectory serializes");
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("trajectory artifact written to {path}");
+        exit_on_failure(&report.probes);
+        return;
+    }
     if args.has_flag("--serving") {
-        serving_probe(&stream, &cfg, args.seed);
+        exit_on_failure(&[serving_probe(&stream, &cfg, args.seed)]);
         return;
     }
     if args.has_flag("--concurrent") {
-        concurrent_probe(&stream, &cfg, args.seed);
+        if !concurrent_probe(&stream, &cfg, args.seed) {
+            eprintln!("diag: --concurrent probe FAILED");
+            std::process::exit(1);
+        }
         return;
     }
     if args.has_flag("--batched") {
-        batched_probe(&stream, &cfg, args.seed);
+        exit_on_failure(&[batched_probe(&stream, &cfg, args.seed)]);
         return;
     }
     if args.has_flag("--scatter") {
-        scatter_probe(&stream, &cfg, args.seed);
+        exit_on_failure(&[scatter_probe(&stream, &cfg, args.seed)]);
+        return;
+    }
+    if args.has_flag("--orchestrate") {
+        exit_on_failure(&[orchestrate_probe(&stream, &cfg, args.seed)]);
         return;
     }
     let mut model = CfrModel::new(d0.train.dim(), cfg, args.seed);

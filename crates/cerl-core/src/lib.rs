@@ -7,24 +7,24 @@
 //!
 //! The crate provides:
 //!
-//! * [`engine`] — the serving facade: [`CerlEngine`](engine::CerlEngine)
+//! * [`engine`] — the serving facade: [`CerlEngine`]
 //!   with a fallible builder, typed errors, batched inference, and
 //!   versioned model snapshots.
 //! * [`serving`] — the concurrent layer on top:
-//!   [`ServingEngine`](serving::ServingEngine) shares one engine across
+//!   [`ServingEngine`] shares one engine across
 //!   reader threads behind an atomically swappable snapshot pointer,
 //!   fans large requests across workers
 //!   ([`predict_ite_parallel`](serving::ServingEngine::predict_ite_parallel)),
-//!   and counts traffic in [`ServingStats`](serving::ServingStats).
-//! * [`error`] / [`snapshot`] — [`CerlError`](error::CerlError) and the
-//!   [`ModelSnapshot`](snapshot::ModelSnapshot) persistence format.
+//!   and counts traffic in [`ServingStats`].
+//! * [`error`] / [`snapshot`] — [`CerlError`] and the
+//!   [`ModelSnapshot`] persistence format.
 //! * [`cfr`] — the baseline causal-effect learner (Eq. 5): selective +
 //!   balanced representation learning with two-head outcome inference.
-//! * [`continual`] — [`Cerl`](continual::Cerl), Algorithm 1: feature
+//! * [`continual`] — [`Cerl`], Algorithm 1: feature
 //!   distillation (Eq. 6), feature transformation (Eq. 7), herding memory,
 //!   and global representation balancing (Eqs. 8–9).
 //! * [`strategies`] — CFR-A/B/C adaptation baselines and the common
-//!   [`ContinualEstimator`](strategies::ContinualEstimator) trait (fallible
+//!   [`ContinualEstimator`] trait (fallible
 //!   `try_observe`/`try_predict_ite` core with infallible wrappers).
 //! * [`baselines`] — classic S-learner / T-learner meta-learners.
 //! * [`herding`] / [`memory`] — bounded representation memory.
@@ -65,7 +65,7 @@
 //!
 //! To serve many request threads from one process — and keep serving while
 //! new domains are trained in — wrap the engine in a
-//! [`ServingEngine`](serving::ServingEngine). Readers pin the current
+//! [`ServingEngine`]. Readers pin the current
 //! engine version through a lock held only for an `Arc` clone;
 //! [`observe_and_swap`](serving::ServingEngine::observe_and_swap) trains a
 //! successor off to the side and publishes it with a single pointer swap:
@@ -125,7 +125,9 @@ pub use engine::{CerlEngine, CerlEngineBuilder};
 pub use error::{CerlError, SnapshotError};
 pub use memory::Memory;
 pub use metrics::EffectMetrics;
-pub use serving::{ServingEngine, ServingStats, ServingStatsSnapshot, VersionedEngine};
+pub use serving::{
+    ServingEngine, ServingStats, ServingStatsSnapshot, VersionStats, VersionedEngine,
+};
 pub use snapshot::{
     ModelSnapshot, ShardAssignment, ShardMap, ShardMapDiff, ShardMove, SNAPSHOT_FORMAT_VERSION,
 };

@@ -2,7 +2,7 @@
 //! snapshot hot-swap.
 //!
 //! [`ServingEngine`] is the multi-threaded counterpart of
-//! [`CerlEngine`](crate::engine::CerlEngine). A long-running service keeps
+//! [`CerlEngine`]. A long-running service keeps
 //! one `ServingEngine` (typically inside an `Arc`) and lets every request
 //! thread call the predict methods directly:
 //!
@@ -68,6 +68,7 @@ use crate::engine::CerlEngine;
 use crate::error::CerlError;
 use cerl_data::CausalDataset;
 use cerl_math::Matrix;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
@@ -131,6 +132,18 @@ pub struct ServingStats {
     rows_predicted: AtomicU64,
     swaps: AtomicU64,
     rejected_requests: AtomicU64,
+    /// Per-version request accounting — the canary signal a rebalance
+    /// orchestrator watches: a freshly published version that rejects
+    /// requests shows up here, attributable to exactly that version,
+    /// while the aggregate counters above only say *something* failed.
+    ///
+    /// This is the one non-atomic counter on the request path: a short
+    /// uncontended mutex per request (tens of nanoseconds on the futex
+    /// fast path — noise next to a forward pass). Should many-core
+    /// contention ever show up in profiles, the fix is a small wait-free
+    /// ring keyed by `version % N`, trading full version history for
+    /// lock-freedom.
+    per_version: Mutex<BTreeMap<u64, (u64, u64)>>,
 }
 
 impl ServingStats {
@@ -144,15 +157,57 @@ impl ServingStats {
         }
     }
 
-    fn record_success(&self, rows: usize) {
+    /// Per-version served/rejected counts, ascending by version.
+    pub fn version_stats(&self) -> Vec<VersionStats> {
+        self.per_version
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&version, &(served, rejected))| VersionStats {
+                version,
+                served,
+                rejected,
+            })
+            .collect()
+    }
+
+    fn record_success(&self, version: u64, rows: usize) {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
         self.rows_predicted
             .fetch_add(rows as u64, Ordering::Relaxed);
+        self.per_version
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(version)
+            .or_insert((0, 0))
+            .0 += 1;
     }
 
-    fn record_rejection(&self) {
+    fn record_rejection(&self, version: u64) {
         self.rejected_requests.fetch_add(1, Ordering::Relaxed);
+        self.per_version
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(version)
+            .or_insert((0, 0))
+            .1 += 1;
     }
+}
+
+/// One engine version's request accounting ([`ServingStats::version_stats`]).
+///
+/// The canary counters a rebalance orchestrator reads during a dual-route
+/// window: a regression on the version currently published by an involved
+/// shard is visible as `rejected` growing against `served`, attributable
+/// to that exact version rather than smeared across the engine's history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VersionStats {
+    /// Engine version these counters describe.
+    pub version: u64,
+    /// Requests this version answered successfully.
+    pub served: u64,
+    /// Requests this version rejected with a typed error.
+    pub rejected: u64,
 }
 
 /// Point-in-time copy of a [`ServingStats`] block.
@@ -253,6 +308,15 @@ impl ServingEngine {
         self.stats.snapshot()
     }
 
+    /// Per-version served/rejected canary counters, ascending by version
+    /// (see [`VersionStats`]). A canary watcher compares the currently
+    /// published version's rejection share against earlier versions to
+    /// judge whether a swap (or a rebalance's dual-route window) is
+    /// regressing.
+    pub fn version_stats(&self) -> Vec<VersionStats> {
+        self.stats.version_stats()
+    }
+
     /// Predicted ITEs for one request matrix against the current engine
     /// version.
     pub fn predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
@@ -266,11 +330,11 @@ impl ServingEngine {
         let pinned = self.current();
         match pinned.engine.predict_ite(x) {
             Ok(ite) => {
-                self.stats.record_success(ite.len());
+                self.stats.record_success(pinned.version, ite.len());
                 Ok((pinned.version, ite))
             }
             Err(e) => {
-                self.stats.record_rejection();
+                self.stats.record_rejection(pinned.version);
                 Err(e)
             }
         }
@@ -285,11 +349,11 @@ impl ServingEngine {
         let pinned = self.current();
         match pinned.engine.predict_potential_outcomes(x) {
             Ok(out) => {
-                self.stats.record_success(out.0.len());
+                self.stats.record_success(pinned.version, out.0.len());
                 Ok(out)
             }
             Err(e) => {
-                self.stats.record_rejection();
+                self.stats.record_rejection(pinned.version);
                 Err(e)
             }
         }
@@ -324,11 +388,11 @@ impl ServingEngine {
         let pinned = self.current();
         match Self::predict_parallel_pinned(&pinned.engine, x, threads) {
             Ok(ite) => {
-                self.stats.record_success(ite.len());
+                self.stats.record_success(pinned.version, ite.len());
                 Ok((pinned.version, ite))
             }
             Err(e) => {
-                self.stats.record_rejection();
+                self.stats.record_rejection(pinned.version);
                 Err(e)
             }
         }
@@ -691,6 +755,45 @@ mod tests {
         assert_eq!(stats.rows_predicted, 2 * x.rows() as u64);
         assert_eq!(stats.rejected_requests, 2);
         assert_eq!(stats.swaps, 0);
+        assert_eq!(
+            serving.version_stats(),
+            vec![VersionStats {
+                version: 1,
+                served: 2,
+                rejected: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn version_stats_attribute_requests_to_the_version_that_answered() {
+        let stream = quick_stream(2);
+        let serving = trained_serving(&stream, 1);
+        let x = &stream.domain(0).test.x;
+        serving.predict_ite(x).unwrap();
+        serving
+            .observe_and_swap(&stream.domain(1).train, &stream.domain(1).val)
+            .unwrap();
+        serving.predict_ite(x).unwrap();
+        serving.predict_ite(x).unwrap();
+        assert!(serving
+            .predict_ite(&Matrix::zeros(1, x.cols() + 3))
+            .is_err());
+        assert_eq!(
+            serving.version_stats(),
+            vec![
+                VersionStats {
+                    version: 1,
+                    served: 1,
+                    rejected: 0
+                },
+                VersionStats {
+                    version: 2,
+                    served: 2,
+                    rejected: 1
+                },
+            ]
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Versioned model snapshots: persist a trained estimator and restore it in
 //! another process (or hot-swap it between serving replicas).
 //!
-//! A [`ModelSnapshot`] captures everything [`Cerl`](crate::continual::Cerl)
+//! A [`ModelSnapshot`] captures everything [`Cerl`]
 //! needs to keep serving and keep learning after a restart:
 //!
 //! * the full parameter store (all stage networks, every `φ` ever created),
@@ -356,7 +356,7 @@ impl ModelSnapshot {
     /// error about fields that were added or removed later. Parsing checks
     /// format concerns only; semantic consistency (network wiring,
     /// parameter shapes, scaler dimensions) is validated once, when a
-    /// model is built from the snapshot ([`into_cerl`](Self::into_cerl) via
+    /// model is built from the snapshot (`into_cerl` via
     /// [`Cerl::from_snapshot`] or `CerlEngine::load_bytes`).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CerlError> {
         let text = std::str::from_utf8(bytes).map_err(|e| {
@@ -619,6 +619,60 @@ mod tests {
             .unwrap();
         let restored = ModelSnapshot::from_bytes(&bytes).unwrap();
         assert_eq!(restored.shard_map, Some(moved));
+    }
+
+    #[test]
+    fn shard_map_diff_spans_fleets_of_different_sizes() {
+        // A rebalance planner diffs the live topology against a target
+        // that may declare brand-new shards; the diff must describe the
+        // change faithfully across shard-count boundaries.
+        let current = ShardMap::from_pairs(2, &[(0, 0), (1, 0), (2, 1)]).unwrap();
+        let grown = ShardMap::from_pairs(4, &[(0, 0), (1, 3), (2, 1)]).unwrap();
+        let diff = current.diff(&grown);
+        assert_eq!(
+            diff.moved,
+            vec![ShardMove {
+                domain: 1,
+                from: 0,
+                to: 3
+            }]
+        );
+        assert!(diff.added.is_empty() && diff.removed.is_empty());
+        // Same placements over more declared shards: an empty diff even
+        // though the shard counts differ (the diff is about placement).
+        let widened = ShardMap::from_pairs(4, &[(0, 0), (1, 0), (2, 1)]).unwrap();
+        assert!(current.diff(&widened).is_empty());
+        assert_ne!(current, widened);
+        // The reverse direction sees the move coming back.
+        assert_eq!(
+            grown.diff(&current).moved,
+            vec![ShardMove {
+                domain: 1,
+                from: 3,
+                to: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn shard_map_merge_conflicts_name_the_domain_and_both_shards() {
+        let a = ShardMap::from_pairs(3, &[(0, 0), (1, 0), (2, 1)]).unwrap();
+        let b = ShardMap::from_pairs(3, &[(1, 2), (5, 2)]).unwrap();
+        let msg = a.merge(&b).unwrap_err().to_string();
+        assert!(
+            msg.contains("domain 1") && msg.contains("shard 0") && msg.contains("shard 2"),
+            "conflict must name the domain and both placements: {msg}"
+        );
+        // Merge order does not change the verdict.
+        assert!(b.merge(&a).is_err());
+        // Disjoint merge over differing shard counts takes the wider
+        // fleet and keeps every placement.
+        let wide = ShardMap::from_pairs(5, &[(9, 4)]).unwrap();
+        let merged = a.merge(&wide).unwrap();
+        assert_eq!(merged.shard_count(), 5);
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.shard_for(9), Some(4));
+        assert_eq!(merged.shard_for(1), Some(0));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! Provides:
 //! * [`Matrix`] — row-major dense `f64` matrix (units are rows).
-//! * [`matmul`] — blocked serial and crossbeam-parallel GEMM kernels.
+//! * [`matmul`](mod@matmul) — blocked serial and crossbeam-parallel GEMM kernels.
 //! * [`decomp`] — Cholesky factorization and Jacobi symmetric eigen.
 //! * [`special`] — erf / normal CDF / quantile / log-gamma.
 //! * [`correlation`] — hub-Toeplitz correlation construction

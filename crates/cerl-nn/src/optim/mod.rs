@@ -1,4 +1,4 @@
-//! First-order optimizers over a [`ParamStore`](crate::params::ParamStore).
+//! First-order optimizers over a [`ParamStore`].
 
 mod adam;
 mod rmsprop;

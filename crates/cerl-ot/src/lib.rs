@@ -4,7 +4,7 @@
 //! gradients that plug into the `cerl-nn` tape:
 //!
 //! * [`sinkhorn`] — log-domain Sinkhorn solver for entropy-regularized OT.
-//! * [`wasserstein`] — the paper's IPM (Eq. 3): Sinkhorn-Wasserstein
+//! * [`wasserstein`](mod@wasserstein) — the paper's IPM (Eq. 3): Sinkhorn-Wasserstein
 //!   between treated/control representation batches, with envelope
 //!   gradients through the cached transport plan.
 //! * [`divergence`] — debiased Sinkhorn divergence `S_ε` (Feydy et al.).

@@ -3,7 +3,7 @@
 //! [`ServeError`] covers the failures the *front-end* introduces — routing
 //! to an unknown domain or shard, a full submission queue, a stopped
 //! scheduler — and wraps the engine layer's
-//! [`CerlError`](cerl_core::error::CerlError) for everything underneath,
+//! [`CerlError`] for everything underneath,
 //! so one error type flows back to a request handler regardless of where
 //! in the stack a request died.
 
@@ -60,6 +60,23 @@ pub enum ServeError {
     /// `commit_rebalance`/`abort_rebalance` was called with no rebalance
     /// begun.
     NoRebalancePending,
+    /// A `RebalanceOrchestrator` plan execution was started while another
+    /// plan is still running on the same orchestrator.
+    PlanInProgress,
+    /// An orchestrated rebalance plan was halted: the canary window of the
+    /// named move regressed, the in-flight move was aborted, and the
+    /// remaining moves were not executed. The fleet is left on the valid
+    /// intermediate topology produced by the committed prefix.
+    PlanHalted {
+        /// Domain whose move was aborted.
+        domain: u64,
+        /// Moves committed before the halt (the applied prefix).
+        committed: usize,
+        /// Moves not applied (the aborted one and everything after it).
+        remaining: usize,
+        /// Human-readable description of the canary regression.
+        reason: String,
+    },
     /// The engine rejected the request (wrong dimension, untrained model,
     /// bad snapshot, ...).
     Engine(CerlError),
@@ -106,6 +123,24 @@ impl fmt::Display for ServeError {
             }
             ServeError::NoRebalancePending => {
                 write!(f, "no rebalance has been begun on this router")
+            }
+            ServeError::PlanInProgress => {
+                write!(
+                    f,
+                    "another rebalance plan is already executing on this orchestrator"
+                )
+            }
+            ServeError::PlanHalted {
+                domain,
+                committed,
+                remaining,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "rebalance plan halted at domain {domain}'s move ({committed} move(s) \
+                     committed, {remaining} not applied): {reason}"
+                )
             }
             ServeError::Engine(e) => write!(f, "{e}"),
         }
@@ -165,6 +200,23 @@ mod tests {
         assert!(ServeError::NoRebalancePending
             .to_string()
             .contains("no rebalance"));
+        assert!(ServeError::PlanInProgress
+            .to_string()
+            .contains("already executing"));
+        let halted = ServeError::PlanHalted {
+            domain: 4,
+            committed: 2,
+            remaining: 3,
+            reason: "error rate 0.40 above 0.10".into(),
+        }
+        .to_string();
+        assert!(
+            halted.contains("domain 4")
+                && halted.contains("2 move(s)")
+                && halted.contains("3 not applied")
+                && halted.contains("error rate"),
+            "{halted}"
+        );
         let e: ServeError = CerlError::NotTrained.into();
         assert!(e.to_string().contains("not observed"));
         assert_eq!(e, ServeError::Engine(CerlError::NotTrained));

@@ -132,11 +132,28 @@ impl LatencyHistogram {
     /// The `q`-quantile (`0 < q <= 1`) of recorded samples, or `None`
     /// while the histogram is empty.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
-        let counts: Vec<u64> = self
-            .counts
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
+        Self::quantile_from_counts(&self.bucket_counts(), q)
+    }
+
+    /// Point-in-time copy of every bucket's sample count (index `i`
+    /// covers [`LatencyHistogram::bucket_bounds`]`(i)`).
+    ///
+    /// Bucket counts are cumulative over the histogram's lifetime and only
+    /// ever grow, so two snapshots bracket a window: subtracting them
+    /// element-wise yields the window's own distribution, and
+    /// [`LatencyHistogram::quantile_from_counts`] turns that difference
+    /// into *windowed* quantiles — the signal a canary watcher compares
+    /// against a baseline window, where the cumulative p95 of
+    /// [`LatencyHistogram::snapshot`] would dilute a fresh regression
+    /// under the weight of history.
+    pub fn bucket_counts(&self) -> [u64; BUCKET_COUNT] {
+        std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile of an explicit bucket-count array (typically the
+    /// element-wise difference of two [`LatencyHistogram::bucket_counts`]
+    /// snapshots), or `None` when the counts are all zero.
+    pub fn quantile_from_counts(counts: &[u64; BUCKET_COUNT], q: f64) -> Option<Duration> {
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return None;
@@ -254,6 +271,34 @@ mod tests {
         let mean = h.snapshot().mean;
         // True mean is 1.09ms; the running-total mean is exact.
         assert!(mean >= Duration::from_micros(1085) && mean <= Duration::from_micros(1095));
+    }
+
+    #[test]
+    fn windowed_quantiles_come_from_bucket_count_differences() {
+        let h = LatencyHistogram::new();
+        // History: a fast steady state.
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100));
+        }
+        let before = h.bucket_counts();
+        // Window: a clear regression to 10 ms.
+        for _ in 0..20 {
+            h.record(Duration::from_millis(10));
+        }
+        let after = h.bucket_counts();
+        let window: [u64; BUCKET_COUNT] = std::array::from_fn(|i| after[i] - before[i]);
+        assert_eq!(window.iter().sum::<u64>(), 20);
+        let windowed_p50 = LatencyHistogram::quantile_from_counts(&window, 0.50).unwrap();
+        assert!(
+            windowed_p50 >= Duration::from_millis(7),
+            "window must surface the regression: {windowed_p50:?}"
+        );
+        // The cumulative median still remembers the fast history and sits
+        // far below — exactly why canary checks need the windowed view.
+        assert!(h.quantile(0.50).unwrap() < windowed_p50);
+        // An empty window has no quantiles.
+        let empty = [0u64; BUCKET_COUNT];
+        assert_eq!(LatencyHistogram::quantile_from_counts(&empty, 0.5), None);
     }
 
     #[test]

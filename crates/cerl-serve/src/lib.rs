@@ -2,7 +2,7 @@
 //!
 //! Serving front-end for the CERL engine stack: micro-batching,
 //! shard-per-domain routing, and latency observability — the layer that
-//! turns one-process inference ([`ServingEngine`]) into a deployable
+//! turns one-process inference ([`ServingEngine`](cerl_core::serving::ServingEngine)) into a deployable
 //! service for heavy concurrent traffic.
 //!
 //! * [`scheduler`] — [`BatchScheduler`]: coalesce many small concurrent
@@ -14,8 +14,8 @@
 //!   ([`BatchConfig::max_wait`]). Batched results are **bitwise
 //!   identical** to unbatched calls against the same engine version.
 //! * [`router`] — [`ShardRouter`]: N independently hot-swappable
-//!   [`ServingEngine`] shards keyed by a
-//!   [`ShardMap`](cerl_core::snapshot::ShardMap) (`domain → shard`)
+//!   [`ServingEngine`](cerl_core::serving::ServingEngine) shards keyed by a
+//!   [`ShardMap`] (`domain → shard`)
 //!   that also rides in snapshot metadata; per-shard warm swaps, typed
 //!   [`ServeError::UnknownDomain`] routing errors, optional per-shard
 //!   batching. Mixed-domain requests are served by
@@ -26,6 +26,13 @@
 //!   [`abort_rebalance`](ShardRouter::abort_rebalance) move a domain
 //!   between shards with zero downtime (see the dual-route contract in
 //!   the [`router`] module docs).
+//! * [`orchestrator`] — [`RebalancePlanner`] / [`RebalanceOrchestrator`]:
+//!   turn a target [`ShardMap`] into a
+//!   load-aware-ordered sequence of single-domain moves and execute them
+//!   through the router's begin → probe → commit path, watching a canary
+//!   window per move (windowed p95 and error-rate deltas) with automatic
+//!   [`abort_rebalance`](ShardRouter::abort_rebalance) and plan halt
+//!   ([`ServeError::PlanHalted`]) on regression.
 //! * [`histogram`] — [`LatencyHistogram`]: fixed log-spaced buckets with
 //!   wait-free atomic recording; [`ServeStats`] reports p50/p95/p99
 //!   queue-wait and end-to-end latency plus per-version request
@@ -86,7 +93,7 @@
 //!
 //! ## Shard-map format
 //!
-//! A [`ShardMap`](cerl_core::snapshot::ShardMap) is built from
+//! A [`ShardMap`] is built from
 //! `(domain_id, shard_index)` pairs over a declared shard count; it
 //! rejects out-of-range shards and conflicting duplicate domains, and it
 //! serializes inside [`ModelSnapshot`](cerl_core::snapshot::ModelSnapshot)
@@ -105,11 +112,16 @@
 
 pub mod error;
 pub mod histogram;
+pub mod orchestrator;
 pub mod router;
 pub mod scheduler;
 
 pub use error::ServeError;
 pub use histogram::{LatencyHistogram, LatencySnapshot};
+pub use orchestrator::{
+    CanaryConfig, CanarySnapshot, CanaryWindow, MoveReport, OrchestratorConfig, PlanReport,
+    RebalanceOrchestrator, RebalancePlan, RebalancePlanner, ShardLoad,
+};
 pub use router::{ScatterResponse, ShardRouter};
 pub use scheduler::{BatchConfig, BatchScheduler, ResponseHandle, ServeStats};
 

@@ -1,0 +1,830 @@
+//! Rebalance orchestration: turn a target topology into a sequence of
+//! canary-watched single-domain moves.
+//!
+//! The paper's continual setting retrains and redeploys estimators as
+//! each new data domain arrives; at serving scale that means the fleet's
+//! `domain → shard` topology evolves continuously. The router's
+//! [`begin_rebalance`](ShardRouter::begin_rebalance) /
+//! [`commit_rebalance`](ShardRouter::commit_rebalance) /
+//! [`abort_rebalance`](ShardRouter::abort_rebalance) primitives move one
+//! domain with zero downtime — this module sequences *many* of them:
+//!
+//! * **Planning.** [`RebalancePlanner::plan`] diffs the live
+//!   [`ShardMap`] against a target ([`ShardMap::diff`] yields the move
+//!   list) and orders the moves **load-aware**: largest
+//!   source-minus-destination imbalance first (per-shard row counts from
+//!   [`ShardRouter::shard_loads`]), ties broken by hotter source shard
+//!   and then ascending domain id — so the plan is a deterministic pure
+//!   function of `(current map, target map, loads)`. A target that adds
+//!   or removes domains is rejected: rebalancing relocates existing
+//!   traffic ([`ShardMap::merge`] is the tool for introducing domains).
+//! * **Execution.** [`RebalanceOrchestrator::execute`] drives each move
+//!   through the existing begin → probe → commit path. Successor engines
+//!   come from a caller-supplied provider and are pre-built at most
+//!   [`OrchestratorConfig::max_staged`] ahead of the executing move, so a
+//!   long plan never holds the whole fleet's successors in memory.
+//!
+//! # The canary window and auto-abort
+//!
+//! Every move's dual-route window doubles as a **canary window**. After
+//! `begin_rebalance` stages the successor (probed, unpublished — readers
+//! still route to the source shard), the orchestrator watches live
+//! traffic until [`CanaryConfig::window_requests`] fleet requests have
+//! been observed or [`CanaryConfig::max_wait`] has elapsed, then judges
+//! the window against three regression signals:
+//!
+//! 1. **Fleet error rate** — rejected / (answered + rejected) over the
+//!    window, from [`ShardRouter::canary_snapshot`] deltas, above
+//!    [`CanaryConfig::max_error_rate`];
+//! 2. **Involved-shard error rate** — the same ratio computed from the
+//!    source and destination shards' *per-version* counters
+//!    ([`ServingEngine::version_stats`](cerl_core::ServingEngine::version_stats),
+//!    scoped to each shard's currently published version), so a
+//!    regression on the shards actually touched by the move is caught
+//!    even when the rest of a large fleet dilutes the fleet-wide rate;
+//! 3. **Windowed latency** — the window's own p95 (bucket-count deltas
+//!    via [`LatencyHistogram::quantile_from_counts`], *not* the
+//!    cumulative histogram, which dilutes fresh regressions under
+//!    history) above [`CanaryConfig::max_p95_ratio`] × the baseline p95
+//!    measured over an identical window before the first move.
+//!
+//! On any regression the in-flight move is **auto-aborted** — nothing
+//! was published during the window, so readers never saw the staged
+//! engine — and the plan halts with [`ServeError::PlanHalted`] naming
+//! the aborted domain, the committed prefix, and the reason. The fleet
+//! is left on the valid intermediate topology produced by that prefix:
+//! every domain is still served, by exactly the shard its pinned map
+//! routes it to. An idle window (zero requests) is treated as healthy —
+//! there is no traffic to regress.
+//!
+//! ```no_run
+//! use cerl_serve::{RebalanceOrchestrator, OrchestratorConfig, ShardMap, ShardRouter};
+//! # fn demo(router: std::sync::Arc<ShardRouter>,
+//! #         target: ShardMap,
+//! #         successor: cerl_core::CerlEngine) -> Result<(), cerl_serve::ServeError> {
+//! let orchestrator = RebalanceOrchestrator::new(router, OrchestratorConfig::default());
+//! let plan = orchestrator.plan(&target)?;
+//! let report = orchestrator.execute(&plan, |mv| {
+//!     // Ship a successor that holds `mv.domain` plus everything the
+//!     // destination shard already serves.
+//!     Ok(successor.clone())
+//! })?;
+//! assert_eq!(report.moves.len(), plan.len());
+//! # Ok(()) }
+//! ```
+
+use crate::error::ServeError;
+use crate::histogram::{LatencyHistogram, BUCKET_COUNT};
+use crate::router::ShardRouter;
+use cerl_core::engine::CerlEngine;
+use cerl_core::error::CerlError;
+use cerl_core::snapshot::{ShardMap, ShardMove};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One shard's cumulative load counters ([`ShardRouter::shard_loads`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Shard index in the fleet.
+    pub shard: usize,
+    /// Requests the shard's engine has answered.
+    pub requests: u64,
+    /// Rows across those requests — the planner's load measure (a shard
+    /// serving few huge requests is hotter than one serving many tiny
+    /// ones).
+    pub rows: u64,
+}
+
+/// Cumulative fleet counters cheap enough to poll every few hundred
+/// microseconds ([`ShardRouter::canary_snapshot`]). Two snapshots bracket
+/// a canary window; their element-wise differences are the window's own
+/// traffic, error, and latency distribution.
+#[derive(Debug, Clone)]
+pub struct CanarySnapshot {
+    /// Requests answered successfully since fleet construction.
+    pub requests: u64,
+    /// Requests rejected since fleet construction.
+    pub rejected: u64,
+    /// Raw end-to-end latency bucket counts (see
+    /// [`LatencyHistogram::bucket_counts`]).
+    pub end_to_end_buckets: [u64; BUCKET_COUNT],
+}
+
+impl CanarySnapshot {
+    /// Total requests observed (answered + rejected).
+    pub fn total(&self) -> u64 {
+        self.requests + self.rejected
+    }
+
+    /// The window between `self` (earlier) and `later`: windowed p95 from
+    /// bucket-count deltas, or `None` for an idle window.
+    fn windowed_p95(&self, later: &CanarySnapshot) -> Option<Duration> {
+        let window: [u64; BUCKET_COUNT] = std::array::from_fn(|i| {
+            later.end_to_end_buckets[i].saturating_sub(self.end_to_end_buckets[i])
+        });
+        LatencyHistogram::quantile_from_counts(&window, 0.95)
+    }
+}
+
+/// Canary-window thresholds of a [`RebalanceOrchestrator`].
+#[derive(Debug, Clone)]
+pub struct CanaryConfig {
+    /// Close the window once this many fleet requests (answered or
+    /// rejected) have been observed since it opened (default 32). `0`
+    /// closes the window immediately — useful for tests and for applying
+    /// a plan to an idle fleet.
+    pub window_requests: u64,
+    /// Close the window after this long even if under-observed (default
+    /// 2 s) — an idle fleet must not stall its own topology change.
+    pub max_wait: Duration,
+    /// Regression threshold for both the fleet-wide and the
+    /// involved-shard rejection share over the window (default 0.02).
+    ///
+    /// The fleet-wide rate counts *every* typed rejection, including
+    /// front-end request validation (unknown domain, tag mismatch) — the
+    /// canary is deliberately conservative: halting is cheap (the plan
+    /// resumes with a re-run) while committing into a degraded fleet is
+    /// not. On fleets with a persistent source of malformed client
+    /// traffic, raise this threshold or fix the client first; the
+    /// involved-shard signal, computed from engine-layer per-version
+    /// counters, is unaffected by routing-level rejections.
+    pub max_error_rate: f64,
+    /// Regression threshold for the window's p95 end-to-end latency as a
+    /// multiple of the pre-plan baseline window's p95 (default 3.0;
+    /// latency is only judged when both windows saw traffic).
+    pub max_p95_ratio: f64,
+}
+
+impl Default for CanaryConfig {
+    fn default() -> Self {
+        Self {
+            window_requests: 32,
+            max_wait: Duration::from_secs(2),
+            max_error_rate: 0.02,
+            max_p95_ratio: 3.0,
+        }
+    }
+}
+
+/// What one canary window observed (deltas over the window, not
+/// cumulative counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CanaryWindow {
+    /// Fleet requests answered during the window.
+    pub requests: u64,
+    /// Fleet requests rejected during the window.
+    pub rejected: u64,
+    /// The window's own p95 end-to-end latency (`None` when idle).
+    pub p95: Option<Duration>,
+    /// Requests the move's source/destination shards answered during the
+    /// window, on their currently published versions.
+    pub shard_served: u64,
+    /// Requests those shards rejected during the window.
+    pub shard_rejected: u64,
+}
+
+impl CanaryConfig {
+    /// Judge one observed window against these thresholds: `None` means
+    /// healthy, `Some(reason)` names the regression that must halt the
+    /// plan. Pure function — the decision logic is unit-testable without
+    /// a fleet or a clock.
+    pub fn verdict(&self, baseline_p95: Option<Duration>, window: &CanaryWindow) -> Option<String> {
+        let fleet_total = window.requests + window.rejected;
+        if fleet_total > 0 {
+            let rate = window.rejected as f64 / fleet_total as f64;
+            if rate > self.max_error_rate {
+                return Some(format!(
+                    "fleet error rate {rate:.3} above {:.3} ({} of {} window requests rejected)",
+                    self.max_error_rate, window.rejected, fleet_total
+                ));
+            }
+        }
+        let shard_total = window.shard_served + window.shard_rejected;
+        if shard_total > 0 {
+            let rate = window.shard_rejected as f64 / shard_total as f64;
+            if rate > self.max_error_rate {
+                return Some(format!(
+                    "involved-shard error rate {rate:.3} above {:.3} ({} of {} requests on the \
+                     source/destination shards' published versions rejected)",
+                    self.max_error_rate, window.shard_rejected, shard_total
+                ));
+            }
+        }
+        if let (Some(baseline), Some(p95)) = (baseline_p95, window.p95) {
+            if baseline > Duration::ZERO
+                && p95.as_secs_f64() > baseline.as_secs_f64() * self.max_p95_ratio
+            {
+                return Some(format!(
+                    "windowed p95 {:.2} ms above {:.1}x baseline {:.2} ms",
+                    p95.as_secs_f64() * 1e3,
+                    self.max_p95_ratio,
+                    baseline.as_secs_f64() * 1e3
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// An ordered, validated sequence of single-domain moves — the output of
+/// [`RebalancePlanner::plan`], consumed by
+/// [`RebalanceOrchestrator::execute`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalancePlan {
+    /// Moves in execution order (largest load imbalance first).
+    pub moves: Vec<ShardMove>,
+}
+
+impl RebalancePlan {
+    /// Number of moves in the plan.
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether the plan has no moves (the topologies already agree).
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// Derives ordered [`RebalancePlan`]s from topology diffs (see the
+/// [module docs](self)).
+pub struct RebalancePlanner;
+
+impl RebalancePlanner {
+    /// Plan the moves taking `router`'s live topology to `target`, ordered
+    /// by the router's current per-shard loads.
+    pub fn plan(router: &ShardRouter, target: &ShardMap) -> Result<RebalancePlan, ServeError> {
+        Self::plan_with_loads(&router.map(), target, &router.shard_loads())
+    }
+
+    /// Plan from an explicit `(current, target, loads)` triple — the pure
+    /// core of [`RebalancePlanner::plan`], usable for what-if planning
+    /// against recorded load snapshots.
+    ///
+    /// Fails when the target declares a different shard count than the
+    /// current fleet (the orchestrator moves domains between *existing*
+    /// shards; growing a fleet means building a router with idle shards
+    /// first) or when the target adds/removes domains rather than moving
+    /// them.
+    pub fn plan_with_loads(
+        current: &ShardMap,
+        target: &ShardMap,
+        loads: &[ShardLoad],
+    ) -> Result<RebalancePlan, ServeError> {
+        if target.shard_count() != current.shard_count() {
+            return Err(invalid_plan(format!(
+                "target topology declares {} shard(s) but the fleet has {}",
+                target.shard_count(),
+                current.shard_count()
+            )));
+        }
+        let diff = current.diff(target);
+        if !diff.added.is_empty() || !diff.removed.is_empty() {
+            let name = |prefix: &str, list: &[cerl_core::snapshot::ShardAssignment]| {
+                list.iter()
+                    .map(|a| format!("{prefix} domain {}", a.domain))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let mut parts = Vec::new();
+            if !diff.added.is_empty() {
+                parts.push(name("adds", &diff.added));
+            }
+            if !diff.removed.is_empty() {
+                parts.push(name("removes", &diff.removed));
+            }
+            return Err(invalid_plan(format!(
+                "target topology does not just move domains: {}; a rebalance plan relocates \
+                 existing traffic (use ShardMap::merge to introduce domains)",
+                parts.join("; ")
+            )));
+        }
+        let mut rows_by_shard = vec![0u64; current.shard_count()];
+        for load in loads {
+            if let Some(slot) = rows_by_shard.get_mut(load.shard) {
+                *slot = load.rows;
+            }
+        }
+        let mut moves = diff.moved;
+        // Largest imbalance (source load minus destination load) first:
+        // draining the hottest shard toward the coolest buys the most
+        // headroom per move. Ties prefer the hotter source, then the
+        // smaller domain id, so the order is a deterministic function of
+        // the inputs.
+        moves.sort_by(|a, b| {
+            let key = |m: &ShardMove| {
+                let from = rows_by_shard[m.from] as i128;
+                let to = rows_by_shard[m.to] as i128;
+                (from - to, from)
+            };
+            key(b).cmp(&key(a)).then(a.domain.cmp(&b.domain))
+        });
+        Ok(RebalancePlan { moves })
+    }
+}
+
+/// Knobs of a [`RebalanceOrchestrator`].
+#[derive(Debug, Clone, Default)]
+pub struct OrchestratorConfig {
+    /// Canary-window thresholds applied to every move.
+    pub canary: CanaryConfig,
+    /// Successor engines pre-built ahead of the executing move (clamped
+    /// to ≥ 1; default 1). Staging is where the memory goes — a staged
+    /// successor is a whole engine — so this bounds the plan's peak
+    /// footprint at `max_staged + 1` engines beyond the fleet itself.
+    pub max_staged: usize,
+}
+
+/// What one committed move's canary window observed.
+#[derive(Debug, Clone, Copy)]
+pub struct MoveReport {
+    /// The move that committed.
+    pub mv: ShardMove,
+    /// Engine version published on the destination shard by the commit.
+    pub destination_version: u64,
+    /// The canary window that cleared the move.
+    pub window: CanaryWindow,
+}
+
+/// Outcome of a fully executed plan ([`RebalanceOrchestrator::execute`]).
+#[derive(Debug, Clone, Default)]
+pub struct PlanReport {
+    /// One report per committed move, in execution order. Moves the live
+    /// topology already reflected (a re-run of a partly applied plan)
+    /// are skipped and absent here.
+    pub moves: Vec<MoveReport>,
+    /// p95 of the baseline window measured before the first move
+    /// (`None` when the fleet was idle).
+    pub baseline_p95: Option<Duration>,
+}
+
+/// Executes [`RebalancePlan`]s against a [`ShardRouter`] with per-move
+/// canary watching and auto-abort (see the [module docs](self)).
+pub struct RebalanceOrchestrator {
+    router: Arc<ShardRouter>,
+    cfg: OrchestratorConfig,
+    executing: AtomicBool,
+}
+
+impl std::fmt::Debug for RebalanceOrchestrator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RebalanceOrchestrator")
+            .field("cfg", &self.cfg)
+            .field("executing", &self.executing.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl RebalanceOrchestrator {
+    /// Bind an orchestrator to a fleet.
+    pub fn new(router: Arc<ShardRouter>, cfg: OrchestratorConfig) -> Self {
+        Self {
+            router,
+            cfg,
+            executing: AtomicBool::new(false),
+        }
+    }
+
+    /// The fleet this orchestrator drives.
+    pub fn router(&self) -> &Arc<ShardRouter> {
+        &self.router
+    }
+
+    /// Plan the moves from the router's live topology to `target`
+    /// (convenience for [`RebalancePlanner::plan`]).
+    pub fn plan(&self, target: &ShardMap) -> Result<RebalancePlan, ServeError> {
+        RebalancePlanner::plan(&self.router, target)
+    }
+
+    /// Whether a plan is currently executing on this orchestrator.
+    pub fn is_executing(&self) -> bool {
+        self.executing.load(Ordering::Acquire)
+    }
+
+    /// Execute `plan` move by move: stage the successor from
+    /// `successor_for`, open the dual-route window with
+    /// [`begin_rebalance`](ShardRouter::begin_rebalance), watch one
+    /// canary window, then commit — or auto-abort and halt with
+    /// [`ServeError::PlanHalted`] on a regression (see the
+    /// [module docs](self) for the exact signals).
+    ///
+    /// `successor_for` must return an engine that holds `mv.domain`
+    /// **and** every domain the destination shard already serves — a
+    /// commit publishes it as the destination's next version for all of
+    /// them. Successors are requested in plan order, at most
+    /// [`OrchestratorConfig::max_staged`] ahead of the executing move.
+    ///
+    /// Only one plan may execute at a time per orchestrator; a second
+    /// call fails fast with [`ServeError::PlanInProgress`]. Moves the
+    /// live topology already reflects are skipped, so re-running a halted
+    /// plan resumes where it left off.
+    pub fn execute(
+        &self,
+        plan: &RebalancePlan,
+        mut successor_for: impl FnMut(&ShardMove) -> Result<CerlEngine, ServeError>,
+    ) -> Result<PlanReport, ServeError> {
+        let _guard = self.begin_execution()?;
+        let mut report = PlanReport::default();
+        if plan.moves.is_empty() {
+            return Ok(report);
+        }
+
+        // Baseline window: the steady state every move's canary window is
+        // judged against, observed with the same knobs.
+        let base = self.router.canary_snapshot();
+        self.wait_window(&base);
+        report.baseline_p95 = base.windowed_p95(&self.router.canary_snapshot());
+
+        let mut staged: VecDeque<(usize, CerlEngine)> = VecDeque::new();
+        let mut next_staged = 0usize;
+        for (i, mv) in plan.moves.iter().enumerate() {
+            // Top the staging queue up to the configured bound before
+            // each move, so successor construction (training, snapshot
+            // transfer) overlaps plan execution without ever holding the
+            // whole plan's engines at once. Moves the live topology
+            // already reflects (a re-run of a halted plan) are never
+            // staged — building an engine only to drop it can cost a
+            // whole training run.
+            while next_staged < plan.moves.len() && staged.len() < self.cfg.max_staged.max(1) {
+                let pending = &plan.moves[next_staged];
+                if self.router.route(pending.domain)? != pending.to {
+                    staged.push_back((next_staged, successor_for(pending)?));
+                }
+                next_staged += 1;
+            }
+            let successor = match staged.front() {
+                Some(&(idx, _)) if idx == i => Some(staged.pop_front().expect("front exists").1),
+                _ => None, // move was already applied at staging time
+            };
+            if self.router.route(mv.domain)? == mv.to {
+                continue; // already applied (e.g. re-run of a halted plan)
+            }
+            let successor = match successor {
+                Some(successor) => successor,
+                // The move looked applied when the staging queue was
+                // topped up but no longer is (an external actor moved the
+                // domain back mid-plan): build its successor now.
+                None => successor_for(mv)?,
+            };
+
+            let before = self.router.canary_snapshot();
+            let shards_before = self.involved_counters(mv)?;
+            self.router.begin_rebalance(mv.domain, mv.to, successor)?;
+            self.wait_window(&before);
+            let after = self.router.canary_snapshot();
+            let shards_after = self.involved_counters(mv)?;
+            let window = CanaryWindow {
+                requests: after.requests.saturating_sub(before.requests),
+                rejected: after.rejected.saturating_sub(before.rejected),
+                p95: before.windowed_p95(&after),
+                shard_served: shards_after.0.saturating_sub(shards_before.0),
+                shard_rejected: shards_after.1.saturating_sub(shards_before.1),
+            };
+            if let Some(reason) = self.cfg.canary.verdict(report.baseline_p95, &window) {
+                self.router.abort_rebalance()?;
+                return Err(ServeError::PlanHalted {
+                    domain: mv.domain,
+                    committed: report.moves.len(),
+                    remaining: plan.moves.len() - i,
+                    reason,
+                });
+            }
+            let destination_version = self.router.commit_rebalance()?;
+            report.moves.push(MoveReport {
+                mv: *mv,
+                destination_version,
+                window,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Plan and execute in one call: the moves from the live topology to
+    /// `target`, load-aware ordered, canary-watched.
+    pub fn execute_target(
+        &self,
+        target: &ShardMap,
+        successor_for: impl FnMut(&ShardMove) -> Result<CerlEngine, ServeError>,
+    ) -> Result<PlanReport, ServeError> {
+        let plan = self.plan(target)?;
+        self.execute(&plan, successor_for)
+    }
+
+    /// Block until `window_requests` more fleet requests have been
+    /// observed since `from`, or `max_wait` has elapsed.
+    fn wait_window(&self, from: &CanarySnapshot) {
+        let canary = &self.cfg.canary;
+        let deadline = Instant::now() + canary.max_wait;
+        let target = from.total().saturating_add(canary.window_requests);
+        while self.router.canary_snapshot().total() < target && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    /// Summed `(served, rejected)` counters of the move's source and
+    /// destination shards, scoped to each shard's currently published
+    /// version (per-version counters from the engine layer; during a
+    /// dual-route window neither shard publishes, so the scoped version
+    /// is stable across the window).
+    fn involved_counters(&self, mv: &ShardMove) -> Result<(u64, u64), ServeError> {
+        let mut served = 0u64;
+        let mut rejected = 0u64;
+        for shard in [mv.from, mv.to] {
+            let engine = self.router.shard(shard)?;
+            let version = engine.version();
+            if let Some(v) = engine.version_stats().iter().find(|v| v.version == version) {
+                served += v.served;
+                rejected += v.rejected;
+            }
+        }
+        Ok((served, rejected))
+    }
+
+    fn begin_execution(&self) -> Result<ExecutionGuard<'_>, ServeError> {
+        if self
+            .executing
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(ServeError::PlanInProgress);
+        }
+        Ok(ExecutionGuard(&self.executing))
+    }
+}
+
+/// Clears the `executing` flag when a plan finishes, halts, or unwinds.
+struct ExecutionGuard<'a>(&'a AtomicBool);
+
+impl Drop for ExecutionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+fn invalid_plan(reason: String) -> ServeError {
+    ServeError::Engine(CerlError::InvalidConfig {
+        field: "rebalance_plan",
+        reason,
+    })
+}
+
+// Compile-time proof the orchestrator may drive a fleet from any thread.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RebalanceOrchestrator>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cerl_core::config::CerlConfig;
+    use cerl_core::engine::CerlEngineBuilder;
+    use cerl_data::{DomainStream, SyntheticConfig, SyntheticGenerator};
+
+    fn load(shard: usize, rows: u64) -> ShardLoad {
+        ShardLoad {
+            shard,
+            requests: rows / 4,
+            rows,
+        }
+    }
+
+    #[test]
+    fn plan_is_a_deterministic_function_of_maps_and_loads() {
+        let current = ShardMap::from_pairs(3, &[(0, 0), (1, 0), (2, 0), (3, 1), (4, 2)]).unwrap();
+        let target = ShardMap::from_pairs(3, &[(0, 0), (1, 1), (2, 2), (3, 1), (4, 2)]).unwrap();
+        let loads = [load(0, 9_000), load(1, 100), load(2, 500)];
+        let plan = RebalancePlanner::plan_with_loads(&current, &target, &loads).unwrap();
+        // Both moves drain shard 0; the one toward the cooler shard 1
+        // (imbalance 8 900) beats the one toward shard 2 (8 500).
+        assert_eq!(
+            plan.moves,
+            vec![
+                ShardMove {
+                    domain: 1,
+                    from: 0,
+                    to: 1
+                },
+                ShardMove {
+                    domain: 2,
+                    from: 0,
+                    to: 2
+                },
+            ]
+        );
+        // Same inputs, same plan — byte for byte.
+        let again = RebalancePlanner::plan_with_loads(&current, &target, &loads).unwrap();
+        assert_eq!(plan, again);
+        // Flipping the destination loads flips the order.
+        let flipped = [load(0, 9_000), load(1, 500), load(2, 100)];
+        let plan = RebalancePlanner::plan_with_loads(&current, &target, &flipped).unwrap();
+        assert_eq!(plan.moves[0].domain, 2);
+    }
+
+    #[test]
+    fn equal_imbalances_order_by_hotter_source_then_domain() {
+        let current = ShardMap::from_pairs(4, &[(7, 0), (3, 1), (5, 1)]).unwrap();
+        let target = ShardMap::from_pairs(4, &[(7, 2), (3, 3), (5, 3)]).unwrap();
+        // Shard 1 is more imbalanced vs its idle target than shard 0, so
+        // its moves drain first; within shard 1, the smaller domain id.
+        let loads = [load(0, 1_000), load(1, 2_000)];
+        let plan = RebalancePlanner::plan_with_loads(&current, &target, &loads).unwrap();
+        let domains: Vec<u64> = plan.moves.iter().map(|m| m.domain).collect();
+        assert_eq!(domains, vec![3, 5, 7]);
+        // With no load signal at all, order falls back to domain id.
+        let plan = RebalancePlanner::plan_with_loads(&current, &target, &[]).unwrap();
+        let domains: Vec<u64> = plan.moves.iter().map(|m| m.domain).collect();
+        assert_eq!(domains, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn identical_topologies_plan_no_moves() {
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 1)]).unwrap();
+        assert!(map.diff(&map).is_empty());
+        let plan = RebalancePlanner::plan_with_loads(&map, &map.clone(), &[]).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+    }
+
+    #[test]
+    fn plans_reject_targets_that_add_remove_or_resize() {
+        let current = ShardMap::from_pairs(2, &[(0, 0), (1, 1)]).unwrap();
+        // A target declaring a brand-new shard is not a plan the fleet
+        // can execute — there is no engine behind shard 2.
+        let grown = ShardMap::from_pairs(3, &[(0, 0), (1, 2)]).unwrap();
+        let e = RebalancePlanner::plan_with_loads(&current, &grown, &[]).unwrap_err();
+        assert!(e.to_string().contains("3 shard(s)"), "{e}");
+        // ShardMap::diff itself happily describes the same change — the
+        // planner is where fleet feasibility is enforced.
+        let diff = current.diff(&grown);
+        assert_eq!(diff.moved.len(), 1);
+        assert_eq!((diff.moved[0].from, diff.moved[0].to), (1, 2));
+        // Added or removed domains are named in the rejection.
+        let added = ShardMap::from_pairs(2, &[(0, 0), (1, 1), (9, 0)]).unwrap();
+        let e = RebalancePlanner::plan_with_loads(&current, &added, &[]).unwrap_err();
+        assert!(e.to_string().contains("adds domain 9"), "{e}");
+        let removed = ShardMap::from_pairs(2, &[(0, 0)]).unwrap();
+        let e = RebalancePlanner::plan_with_loads(&current, &removed, &[]).unwrap_err();
+        assert!(e.to_string().contains("removes domain 1"), "{e}");
+    }
+
+    #[test]
+    fn verdict_flags_each_regression_signal_and_passes_health() {
+        let cfg = CanaryConfig {
+            max_error_rate: 0.1,
+            max_p95_ratio: 2.0,
+            ..CanaryConfig::default()
+        };
+        let healthy = CanaryWindow {
+            requests: 100,
+            rejected: 5,
+            p95: Some(Duration::from_millis(10)),
+            shard_served: 60,
+            shard_rejected: 0,
+        };
+        assert_eq!(cfg.verdict(Some(Duration::from_millis(8)), &healthy), None);
+        // An idle window cannot regress.
+        assert_eq!(
+            cfg.verdict(Some(Duration::from_millis(8)), &CanaryWindow::default()),
+            None
+        );
+        // Fleet error rate above threshold.
+        let fleet_errors = CanaryWindow {
+            rejected: 50,
+            ..healthy
+        };
+        let reason = cfg.verdict(None, &fleet_errors).unwrap();
+        assert!(reason.contains("fleet error rate"), "{reason}");
+        // Involved-shard rejections caught even when the fleet-wide rate
+        // stays under the threshold (large healthy remainder).
+        let shard_errors = CanaryWindow {
+            requests: 10_000,
+            shard_served: 10,
+            shard_rejected: 10,
+            ..healthy
+        };
+        let reason = cfg.verdict(None, &shard_errors).unwrap();
+        assert!(reason.contains("involved-shard"), "{reason}");
+        // Windowed latency above ratio × baseline.
+        let slow = CanaryWindow {
+            p95: Some(Duration::from_millis(30)),
+            ..healthy
+        };
+        let reason = cfg.verdict(Some(Duration::from_millis(10)), &slow).unwrap();
+        assert!(reason.contains("windowed p95"), "{reason}");
+        // No baseline (idle pre-plan fleet): latency is not judged.
+        assert_eq!(cfg.verdict(None, &slow), None);
+    }
+
+    fn quick_cfg() -> CerlConfig {
+        let mut cfg = CerlConfig::quick_test();
+        cfg.train.epochs = 6;
+        cfg.memory_size = 80;
+        cfg
+    }
+
+    #[test]
+    fn execute_applies_every_move_and_reports_versions() {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig {
+                n_units: 400,
+                ..SyntheticConfig::small()
+            },
+            97,
+        );
+        let stream = DomainStream::synthetic(&gen, 1, 0, 97);
+        let mut engine = CerlEngineBuilder::new(quick_cfg())
+            .seed(41)
+            .build()
+            .unwrap();
+        engine
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+
+        // Four domains packed onto shard 0 of a 3-shard fleet; the target
+        // spreads them. All shards are clones of one engine, so answers
+        // stay bitwise-stable across every intermediate topology.
+        let current = ShardMap::from_pairs(3, &[(0, 0), (1, 0), (2, 0), (3, 0)]).unwrap();
+        let target = ShardMap::from_pairs(3, &[(0, 0), (1, 1), (2, 2), (3, 1)]).unwrap();
+        let router =
+            Arc::new(ShardRouter::new((0..3).map(|_| engine.clone()).collect(), current).unwrap());
+        let orchestrator = RebalanceOrchestrator::new(
+            Arc::clone(&router),
+            OrchestratorConfig {
+                canary: CanaryConfig {
+                    window_requests: 0, // no live traffic in this unit test
+                    ..CanaryConfig::default()
+                },
+                max_staged: 2,
+            },
+        );
+
+        let plan = orchestrator.plan(&target).unwrap();
+        assert_eq!(plan.len(), 3);
+        let mut staged_domains = Vec::new();
+        let report = orchestrator
+            .execute(&plan, |mv| {
+                staged_domains.push(mv.domain);
+                Ok(engine.clone())
+            })
+            .unwrap();
+        // Successors were requested in plan order.
+        let plan_domains: Vec<u64> = plan.moves.iter().map(|m| m.domain).collect();
+        assert_eq!(staged_domains, plan_domains);
+        assert_eq!(report.moves.len(), 3);
+        for (mv, reported) in plan.moves.iter().zip(&report.moves) {
+            assert_eq!(*mv, reported.mv);
+            assert_eq!(router.route(mv.domain).unwrap(), mv.to);
+        }
+        // Destination shards each published exactly their commits.
+        assert_eq!(router.shard_versions(), vec![1, 3, 2]);
+        assert!(!orchestrator.is_executing());
+
+        // Idempotent: the topology now matches, so a fresh plan is empty
+        // and a re-run of the old plan skips every move — without ever
+        // asking the provider for a successor it would only drop.
+        assert!(orchestrator.plan(&target).unwrap().is_empty());
+        let mut rebuilt = 0;
+        let rerun = orchestrator
+            .execute(&plan, |_| {
+                rebuilt += 1;
+                Ok(engine.clone())
+            })
+            .unwrap();
+        assert!(rerun.moves.is_empty());
+        assert_eq!(rebuilt, 0, "applied moves must not be re-staged");
+        assert_eq!(router.shard_versions(), vec![1, 3, 2]);
+
+        // The plan's answers never tore: a mixed request still matches
+        // the single-engine reference bitwise.
+        let x = stream.domain(0).test.x.slice_rows(0, 8);
+        let tags: Vec<u64> = (0..8).map(|i| i as u64 % 4).collect();
+        let scattered = router.predict_ite_scatter(&tags, &x).unwrap();
+        let reference = engine.predict_ite(&x).unwrap();
+        for (a, b) in scattered.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn successor_provider_errors_propagate_before_anything_is_staged() {
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 0)]).unwrap();
+        let target = ShardMap::from_pairs(2, &[(0, 0), (1, 1)]).unwrap();
+        let engine = CerlEngineBuilder::new(quick_cfg()).build().unwrap();
+        let router = Arc::new(ShardRouter::new(vec![engine.clone(), engine], map).unwrap());
+        let orchestrator =
+            RebalanceOrchestrator::new(Arc::clone(&router), OrchestratorConfig::default());
+        let plan = orchestrator.plan(&target).unwrap();
+        let e = orchestrator
+            .execute(&plan, |_| Err(ServeError::SchedulerShutdown))
+            .unwrap_err();
+        assert_eq!(e, ServeError::SchedulerShutdown);
+        // Nothing was begun: the fleet is untouched and idle.
+        assert_eq!(router.rebalance_in_progress(), None);
+        assert_eq!(router.route(1).unwrap(), 0);
+        assert!(!orchestrator.is_executing());
+    }
+}

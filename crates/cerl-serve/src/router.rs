@@ -5,7 +5,7 @@
 //! arrives *per domain* (a city, a cohort, a geography), and each
 //! domain's estimator retrains on its own cadence. [`ShardRouter`] fronts
 //! N [`ServingEngine`] shards with a
-//! [`ShardMap`](cerl_core::snapshot::ShardMap) — the `domain → shard`
+//! [`ShardMap`] — the `domain → shard`
 //! assignment that also travels inside snapshot metadata
 //! ([`ModelSnapshot::shard_map`](cerl_core::snapshot::ModelSnapshot)) so
 //! a replica restoring from bytes learns the fleet topology along with
@@ -53,6 +53,7 @@
 //!   canary watching.
 
 use crate::error::ServeError;
+use crate::orchestrator::{CanarySnapshot, ShardLoad};
 use crate::scheduler::{BatchConfig, BatchScheduler, ResponseHandle, ServeMetrics, ServeStats};
 use cerl_core::engine::CerlEngine;
 use cerl_core::error::CerlError;
@@ -570,6 +571,37 @@ impl ShardRouter {
     /// [`ShardRouter::shard_stats`]).
     pub fn stats(&self) -> ServeStats {
         self.metrics.snapshot()
+    }
+
+    /// Per-shard load counters (requests and rows each shard's engine has
+    /// served since fleet construction), by shard index.
+    ///
+    /// Both the batched and the unbatched serve paths execute on the
+    /// shard's [`ServingEngine`], so these counters see all traffic —
+    /// including scatter sub-batches — regardless of front-end. This is
+    /// the snapshot the rebalance planner orders moves by
+    /// (largest-imbalance-first).
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, slot)| {
+                let stats = slot.engine.stats();
+                ShardLoad {
+                    shard,
+                    requests: stats.requests_served,
+                    rows: stats.rows_predicted,
+                }
+            })
+            .collect()
+    }
+
+    /// Fleet-level canary counters: cumulative request/rejection counts
+    /// plus the raw end-to-end latency bucket counts, cheap enough to
+    /// snapshot on every poll. Two snapshots bracket a canary window —
+    /// see [`CanarySnapshot`] and the `orchestrator` module docs.
+    pub fn canary_snapshot(&self) -> CanarySnapshot {
+        self.metrics.canary_snapshot()
     }
 
     /// The per-shard scheduler's statistics (queue wait, batch shape,

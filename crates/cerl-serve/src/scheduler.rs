@@ -150,6 +150,18 @@ impl ServeMetrics {
         }
     }
 
+    /// Cheap counters-only view for canary polling: no quantile walk, no
+    /// per-version table clone — just the request/rejection totals and
+    /// the raw end-to-end bucket counts, so an orchestrator can poll at
+    /// window resolution without perturbing the fleet it is watching.
+    pub(crate) fn canary_snapshot(&self) -> crate::orchestrator::CanarySnapshot {
+        crate::orchestrator::CanarySnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            end_to_end_buckets: self.end_to_end.bucket_counts(),
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> ServeStats {
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),

@@ -1,0 +1,207 @@
+//! Planned topology change: a 3-shard fleet grows into a 5-shard target
+//! under live cross-shard traffic, driven by the rebalance orchestrator.
+//!
+//! Six cities start packed onto three shards; two freshly provisioned
+//! shards (3 and 4) sit idle. Instead of hand-sequencing
+//! `begin_rebalance`/`commit_rebalance` per city, an operator hands the
+//! [`RebalanceOrchestrator`] the *target* [`ShardMap`]:
+//!
+//! 1. [`RebalanceOrchestrator::plan`] diffs live vs target topology and
+//!    orders the moves load-aware — the hottest source shard drains
+//!    first, ties resolved deterministically.
+//! 2. [`RebalanceOrchestrator::execute`] runs each move through the
+//!    zero-downtime begin → probe → commit path, watching a **canary
+//!    window** of live traffic per move (error-rate and windowed-p95
+//!    deltas against a pre-plan baseline) and auto-aborting the plan if
+//!    the fleet regresses. Successor engines are staged at most
+//!    `max_staged` ahead, bounding peak memory.
+//!
+//! Four concurrent clients hammer mixed-city scatter requests the whole
+//! time; zero request errors across the entire migration is asserted at
+//! the end.
+//!
+//! ```text
+//! cargo run --release --example marketing_topology
+//! ```
+
+use cerl::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CITIES: u64 = 6;
+const CLIENTS: usize = 4;
+
+fn main() -> Result<(), ServeError> {
+    let gen = SyntheticGenerator::new(
+        SyntheticConfig {
+            n_units: 800,
+            noise_sd: 0.4,
+            mean_shift_scale: 1.0,
+            ..SyntheticConfig::default()
+        },
+        53,
+    );
+    let stream = DomainStream::synthetic(&gen, CITIES as usize, 0, 53);
+    let mut cfg = CerlConfig::quick_test();
+    cfg.train.epochs = 20;
+
+    let train = |seed: u64, cities: &[usize]| -> Result<CerlEngine, ServeError> {
+        let mut engine = CerlEngineBuilder::new(cfg.clone())
+            .seed(seed)
+            .build()
+            .map_err(ServeError::Engine)?;
+        for &c in cities {
+            engine
+                .observe(&stream.domain(c).train, &stream.domain(c).val)
+                .map_err(ServeError::Engine)?;
+        }
+        Ok(engine)
+    };
+
+    // Three serving shards, two cities each; shards 3 and 4 are freshly
+    // provisioned and idle — their engines are untrained placeholders,
+    // legal because no domain routes to them until a commit publishes a
+    // probed successor there first.
+    let e0 = train(61, &[0, 1])?;
+    let e1 = train(62, &[2, 3])?;
+    let e2 = train(63, &[4, 5])?;
+    let idle = |seed: u64| CerlEngineBuilder::new(cfg.clone()).seed(seed).build();
+    let packed = ShardMap::from_pairs(5, &[(0, 0), (1, 0), (2, 1), (3, 1), (4, 2), (5, 2)])?;
+    let router = Arc::new(ShardRouter::with_batching(
+        vec![
+            e0.clone(),
+            e1,
+            e2,
+            idle(64).map_err(ServeError::Engine)?,
+            idle(65).map_err(ServeError::Engine)?,
+        ],
+        packed,
+        BatchConfig {
+            max_wait: Duration::from_millis(2),
+            ..BatchConfig::default()
+        },
+    )?);
+    println!(
+        "fleet up: {:?} over 5 shards (3 serving, 2 idle), versions {:?}",
+        router.map().assignments(),
+        router.shard_versions(),
+    );
+
+    // The target spreads the packed cities: city 1 gets its own shard 3,
+    // city 3 gets shard 4, and city 5 consolidates onto shard 0.
+    let target = ShardMap::from_pairs(5, &[(0, 0), (1, 3), (2, 1), (3, 4), (4, 2), (5, 0)])?;
+    // Successors, prepared off to the side: dedicated per-city models for
+    // the new shards; shard 0's next engine is its current model
+    // retrained on the arriving city (it must keep serving city 0 too).
+    let s3 = train(71, &[1])?;
+    let s4 = train(72, &[3])?;
+    let mut s0 = e0;
+    s0.observe(&stream.domain(5).train, &stream.domain(5).val)
+        .map_err(ServeError::Engine)?;
+
+    let orchestrator = RebalanceOrchestrator::new(
+        Arc::clone(&router),
+        OrchestratorConfig {
+            canary: CanaryConfig {
+                window_requests: 16,
+                max_wait: Duration::from_secs(5),
+                max_error_rate: 0.05,
+                max_p95_ratio: 100.0,
+            },
+            max_staged: 2,
+        },
+    );
+
+    let stop = AtomicBool::new(false);
+    let errors = AtomicUsize::new(0);
+    let served = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| -> Result<(), ServeError> {
+        let (stream, router) = (&stream, &router);
+        let (stop, errors, served) = (&stop, &errors, &served);
+        for client in 0..CLIENTS {
+            scope.spawn(move || {
+                // Every request mixes rows from all six cities.
+                let mut offset = client;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut tags = Vec::with_capacity(12);
+                    let mut data = Vec::new();
+                    let mut cols = 0;
+                    for i in 0..12usize {
+                        let city = (client + i) as u64 % CITIES;
+                        let x = &stream.domain(city as usize).test.x;
+                        let row = (offset * 5 + i) % x.rows();
+                        let slice = x.slice_rows(row, row + 1);
+                        cols = slice.cols();
+                        data.extend_from_slice(slice.as_slice());
+                        tags.push(city);
+                    }
+                    offset += 1;
+                    let x = Matrix::from_vec(tags.len(), cols, data);
+                    match router.predict_ite_scatter(&tags, &x) {
+                        Ok(ite) => {
+                            assert_eq!(ite.len(), tags.len());
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+
+        let plan = orchestrator.plan(&target)?;
+        println!("plan ({} moves, hottest source first):", plan.len());
+        for mv in &plan.moves {
+            println!("  {mv}");
+        }
+
+        let report = orchestrator.execute(&plan, |mv| {
+            Ok(match mv.domain {
+                1 => s3.clone(),
+                3 => s4.clone(),
+                5 => s0.clone(),
+                other => unreachable!("no successor prepared for city {other}"),
+            })
+        })?;
+        println!(
+            "plan committed (baseline p95 {:?}):",
+            report.baseline_p95.unwrap_or_default()
+        );
+        for mv in &report.moves {
+            println!(
+                "  {} -> destination v{} | canary window: {} ok / {} rejected, p95 {:?}",
+                mv.mv,
+                mv.destination_version,
+                mv.window.requests,
+                mv.window.rejected,
+                mv.window.p95.unwrap_or_default(),
+            );
+        }
+
+        // Let the clients route against the final topology for a moment.
+        std::thread::sleep(Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+        Ok(())
+    })?;
+
+    let stats = router.stats();
+    println!(
+        "final topology: {:?}, versions {:?}",
+        router.map().assignments(),
+        router.shard_versions(),
+    );
+    println!(
+        "{} scatter requests served across the migration, {} errors (want 0), mean fan-out {:.2} shards/request, fleet e2e p95 {:.2} ms",
+        served.load(Ordering::Relaxed),
+        errors.load(Ordering::Relaxed),
+        stats.mean_shards_per_scatter(),
+        stats.end_to_end.p95.as_secs_f64() * 1e3,
+    );
+    assert_eq!(errors.load(Ordering::Relaxed), 0);
+    assert_eq!(*router.map(), target);
+    assert!(orchestrator.plan(&target)?.is_empty());
+    Ok(())
+}

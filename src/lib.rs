@@ -15,13 +15,13 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`math`](cerl_math) | dense matrices, Cholesky/Jacobi, special functions, hub-Toeplitz correlations |
-//! | [`rand`](cerl_rand) | normal/gamma/Dirichlet/categorical/MVN samplers, seed derivation |
-//! | [`nn`](cerl_nn) | tape autodiff, layers (incl. cosine normalization), Adam/SGD |
-//! | [`ot`](cerl_ot) | Sinkhorn-Wasserstein and MMD representation-balance penalties |
-//! | [`data`](cerl_data) | synthetic §IV.C generator, News/BlogCatalog simulators, domain streams |
-//! | [`core`](cerl_core) | the CERL learner, serving engine, CFR baselines, strategies, metrics |
-//! | [`serve`](cerl_serve) | micro-batching scheduler, shard-per-domain router, latency histograms |
+//! | [`math`] | dense matrices, Cholesky/Jacobi, special functions, hub-Toeplitz correlations |
+//! | [`rand`] | normal/gamma/Dirichlet/categorical/MVN samplers, seed derivation |
+//! | [`nn`] | tape autodiff, layers (incl. cosine normalization), Adam/SGD |
+//! | [`ot`] | Sinkhorn-Wasserstein and MMD representation-balance penalties |
+//! | [`data`] | synthetic §IV.C generator, News/BlogCatalog simulators, domain streams |
+//! | [`core`] | the CERL learner, serving engine, CFR baselines, strategies, metrics |
+//! | [`serve`] | micro-batching scheduler, shard-per-domain router, latency histograms |
 //!
 //! ## Quickstart: the serving engine
 //!
@@ -94,7 +94,7 @@
 //!
 //! ## Serving at scale: batching and sharding
 //!
-//! The [`serve`](cerl_serve) layer turns the engine into a service
+//! The [`serve`] layer turns the engine into a service
 //! front-end. A [`BatchScheduler`](prelude::BatchScheduler) coalesces
 //! many small concurrent requests into one fanned forward pass — with a
 //! bounded submission queue, a `max_wait` latency budget, and results
@@ -190,6 +190,64 @@
 //! # Ok::<(), cerl::serve::ServeError>(())
 //! ```
 //!
+//! ## Planned topology changes
+//!
+//! Moving domains one `begin`/`commit` at a time does not scale to a
+//! fleet whose topology evolves with every arriving domain. A
+//! [`RebalanceOrchestrator`](prelude::RebalanceOrchestrator) takes a
+//! *target* [`ShardMap`](prelude::ShardMap), derives the move list
+//! ([`ShardMap::diff`](prelude::ShardMap::diff)), orders it load-aware
+//! (hottest source shard drains first), and executes every move through
+//! the zero-downtime path — watching a **canary window** per move
+//! (windowed p95 latency and error-rate deltas against a pre-plan
+//! baseline) and auto-aborting with
+//! [`ServeError::PlanHalted`](prelude::ServeError) if live traffic
+//! regresses, leaving the fleet on the valid topology formed by the
+//! committed prefix:
+//!
+//! ```
+//! use cerl::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 17);
+//! let stream = DomainStream::synthetic(&gen, 1, 0, 17);
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 2; // doc-test speed
+//! let mut engine = CerlEngineBuilder::new(cfg).seed(17).build()?;
+//! engine.observe(&stream.domain(0).train, &stream.domain(0).val)?;
+//!
+//! // Three domains packed onto shard 0 of a 3-shard fleet (clones of one
+//! // engine, for the doc's determinism); the target spreads them out.
+//! let packed = ShardMap::from_pairs(3, &[(0, 0), (1, 0), (2, 0)])?;
+//! let target = ShardMap::from_pairs(3, &[(0, 0), (1, 1), (2, 2)])?;
+//! let router = Arc::new(ShardRouter::new(
+//!     vec![engine.clone(), engine.clone(), engine.clone()],
+//!     packed,
+//! )?);
+//!
+//! let orchestrator = RebalanceOrchestrator::new(
+//!     Arc::clone(&router),
+//!     OrchestratorConfig {
+//!         // An idle doc-test fleet: close canary windows immediately.
+//!         canary: CanaryConfig { window_requests: 0, ..CanaryConfig::default() },
+//!         ..OrchestratorConfig::default()
+//!     },
+//! );
+//! let plan = orchestrator.plan(&target)?;
+//! assert_eq!(plan.len(), 2);
+//!
+//! // Each move's successor must hold the arriving domain plus whatever
+//! // its destination already serves (here: a clone of the one engine).
+//! let report = orchestrator.execute(&plan, |_mv| Ok(engine.clone()))?;
+//! assert_eq!(report.moves.len(), 2);
+//! assert_eq!(router.route(1)?, 1);
+//! assert_eq!(router.route(2)?, 2);
+//!
+//! // The topology now matches the target: a fresh plan is empty.
+//! assert!(orchestrator.plan(&target)?.is_empty());
+//! # Ok::<(), cerl::serve::ServeError>(())
+//! ```
+//!
 //! ## Research-style API
 //!
 //! The original research-facing types remain available: construct
@@ -227,7 +285,7 @@ pub mod prelude {
         CfrB, CfrC, CfrModel, ContinualEstimator, DistillKind, EffectMetrics, IpmKind, Memory,
         ModelSnapshot, NetConfig, SLearner, ServingEngine, ServingStats, ServingStatsSnapshot,
         ShardAssignment, ShardMap, ShardMapDiff, ShardMove, SnapshotError, StageReport, TLearner,
-        TrainConfig, TrainReport, VersionedEngine, SNAPSHOT_FORMAT_VERSION,
+        TrainConfig, TrainReport, VersionStats, VersionedEngine, SNAPSHOT_FORMAT_VERSION,
     };
     pub use cerl_data::{
         CausalDataset, DataError, DomainShift, DomainStream, SemiSyntheticConfig,
@@ -235,7 +293,9 @@ pub mod prelude {
     };
     pub use cerl_math::Matrix;
     pub use cerl_serve::{
-        BatchConfig, BatchScheduler, LatencyHistogram, LatencySnapshot, ResponseHandle,
-        ScatterResponse, ServeError, ServeStats, ShardRouter,
+        BatchConfig, BatchScheduler, CanaryConfig, CanarySnapshot, CanaryWindow, LatencyHistogram,
+        LatencySnapshot, MoveReport, OrchestratorConfig, PlanReport, RebalanceOrchestrator,
+        RebalancePlan, RebalancePlanner, ResponseHandle, ScatterResponse, ServeError, ServeStats,
+        ShardLoad, ShardRouter,
     };
 }

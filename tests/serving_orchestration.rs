@@ -1,0 +1,527 @@
+//! Orchestrated rebalancing under fire: a multi-move topology plan
+//! executes — one canary-watched begin → probe → commit move at a time —
+//! while concurrent mixed-domain scatter clients hammer the fleet.
+//!
+//! Every response is checked bitwise against the per-(shard, version)
+//! reference engines, which pins the orchestration invariants:
+//!
+//! * **zero client errors** — no request fails at any point of the plan;
+//! * **bitwise-correct rows throughout** — a row is only ever answered by
+//!   an engine that legitimately held the row's domain under the
+//!   topology the request pinned: the original holder before the
+//!   domain's move commits, the committed successor after — never a
+//!   destination shard's *pre-commit* engine;
+//! * **plan determinism** — the same `(topology, target, loads)` triple
+//!   yields the same move order, byte for byte;
+//! * **auto-abort** — an injected canary regression (a flood of rejected
+//!   requests during a move's dual-route window) halts the plan with
+//!   `ServeError::PlanHalted`, aborts the in-flight move, and leaves the
+//!   committed prefix serving every domain from a valid topology.
+
+use cerl::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 4;
+
+fn quick_cfg() -> CerlConfig {
+    let mut cfg = CerlConfig::quick_test();
+    cfg.train.epochs = 6;
+    cfg.memory_size = 80;
+    cfg
+}
+
+/// Shared fixture. The fleet starts as:
+///
+/// * shard 0 (`e0`): domains 0, 1, 2 — running hot;
+/// * shard 1 (`e1`): domains 3, 4;
+/// * shard 2 (`e2`): domain 5.
+///
+/// The target moves domain 2 to shard 1 (successor `s1` = `e1` retrained
+/// on it) and domain 1 to shard 2 (successor `s2` = `e2` retrained on
+/// it). All five engines have distinct weights, so every response row
+/// identifies the engine that produced it.
+struct Fixture {
+    stream: DomainStream,
+    e0: CerlEngine,
+    e1: CerlEngine,
+    e2: CerlEngine,
+    s1: CerlEngine,
+    s2: CerlEngine,
+}
+
+const DOMAINS: u64 = 6;
+
+fn initial_map() -> ShardMap {
+    ShardMap::from_pairs(3, &[(0, 0), (1, 0), (2, 0), (3, 1), (4, 1), (5, 2)]).unwrap()
+}
+
+fn target_map() -> ShardMap {
+    ShardMap::from_pairs(3, &[(0, 0), (1, 2), (2, 1), (3, 1), (4, 1), (5, 2)]).unwrap()
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig {
+                n_units: 400,
+                ..SyntheticConfig::small()
+            },
+            89,
+        );
+        let stream = DomainStream::synthetic(&gen, DOMAINS as usize, 0, 89);
+        let observe = |engine: &mut CerlEngine, domains: &[usize]| {
+            for &d in domains {
+                engine
+                    .observe(&stream.domain(d).train, &stream.domain(d).val)
+                    .unwrap();
+            }
+        };
+        let mut e0 = CerlEngineBuilder::new(quick_cfg())
+            .seed(51)
+            .build()
+            .unwrap();
+        observe(&mut e0, &[0, 1, 2]);
+        let mut e1 = CerlEngineBuilder::new(quick_cfg())
+            .seed(52)
+            .build()
+            .unwrap();
+        observe(&mut e1, &[3, 4]);
+        let mut e2 = CerlEngineBuilder::new(quick_cfg())
+            .seed(53)
+            .build()
+            .unwrap();
+        observe(&mut e2, &[5]);
+        let mut s1 = e1.clone();
+        observe(&mut s1, &[2]);
+        let mut s2 = e2.clone();
+        observe(&mut s2, &[1]);
+        Fixture {
+            stream,
+            e0,
+            e1,
+            e2,
+            s1,
+            s2,
+        }
+    })
+}
+
+/// One client's fixed mixed-domain request plus the bitwise reference
+/// answer of every engine that could legitimately serve any of its rows.
+struct MixedRequest {
+    tags: Vec<u64>,
+    x: Matrix,
+    by_engine: [Vec<f64>; 5], // e0, e1, e2, s1, s2
+}
+
+fn mixed_request(fx: &Fixture, salt: usize) -> MixedRequest {
+    let mut tags = Vec::new();
+    let mut data = Vec::new();
+    let mut cols = 0;
+    for i in 0..12usize {
+        let domain = ((salt + i) % DOMAINS as usize) as u64;
+        let x = &fx.stream.domain(domain as usize).test.x;
+        let row = (salt * 11 + i * 5) % x.rows();
+        let slice = x.slice_rows(row, row + 1);
+        cols = slice.cols();
+        data.extend_from_slice(slice.as_slice());
+        tags.push(domain);
+    }
+    let x = Matrix::from_vec(tags.len(), cols, data);
+    let by_engine = [
+        fx.e0.predict_ite(&x).unwrap(),
+        fx.e1.predict_ite(&x).unwrap(),
+        fx.e2.predict_ite(&x).unwrap(),
+        fx.s1.predict_ite(&x).unwrap(),
+        fx.s2.predict_ite(&x).unwrap(),
+    ];
+    MixedRequest { tags, x, by_engine }
+}
+
+/// Check one scatter response: versions monotone per shard, every row
+/// answered by an engine that held its domain under some topology the
+/// request could legitimately have pinned.
+fn check_response(
+    request: &MixedRequest,
+    response: &ScatterResponse,
+    last_versions: &mut HashMap<usize, u64>,
+) {
+    for &(shard, version) in &response.shard_versions {
+        let last = last_versions.entry(shard).or_insert(0);
+        assert!(
+            version >= *last,
+            "shard {shard} version went backwards: {version} after {last}"
+        );
+        *last = version;
+    }
+    let version_of = |shard: usize| {
+        response
+            .shard_versions
+            .iter()
+            .find(|&&(s, _)| s == shard)
+            .map(|&(_, v)| v)
+    };
+    let [by_e0, by_e1, by_e2, by_s1, by_s2] = &request.by_engine;
+    for (i, value) in response.ite.iter().enumerate() {
+        let bits = value.to_bits();
+        match request.tags[i] {
+            // Domain 0 never moves and shard 0 never swaps.
+            0 => assert_eq!(bits, by_e0[i].to_bits(), "row {i}: domain 0 diverged"),
+            // Moving domains: the source's engine (old topology) or the
+            // committed successor (new topology) — a successor answer
+            // requires its destination shard to be on version 2, because
+            // the map flips only after the destination publishes.
+            1 => {
+                let ok = bits == by_e0[i].to_bits()
+                    || (bits == by_s2[i].to_bits() && version_of(2) == Some(2));
+                assert!(ok, "row {i}: domain 1 answered by a stray engine");
+            }
+            2 => {
+                let ok = bits == by_e0[i].to_bits()
+                    || (bits == by_s1[i].to_bits() && version_of(1) == Some(2));
+                assert!(ok, "row {i}: domain 2 answered by a stray engine");
+            }
+            // Stationary domains on destination shards: the version the
+            // response reports for their shard decides which engine's
+            // bits are legitimate — a torn engine matches neither.
+            3 | 4 => {
+                let expected = match version_of(1) {
+                    Some(1) => by_e1[i].to_bits(),
+                    Some(2) => by_s1[i].to_bits(),
+                    other => panic!(
+                        "row {i}: domain {} without a shard-1 pin ({other:?})",
+                        request.tags[i]
+                    ),
+                };
+                assert_eq!(
+                    bits, expected,
+                    "row {i}: domain {} diverged",
+                    request.tags[i]
+                );
+            }
+            5 => {
+                let expected = match version_of(2) {
+                    Some(1) => by_e2[i].to_bits(),
+                    Some(2) => by_s2[i].to_bits(),
+                    other => panic!("row {i}: domain 5 without a shard-2 pin ({other:?})"),
+                };
+                assert_eq!(bits, expected, "row {i}: domain 5 diverged");
+            }
+            other => unreachable!("unexpected tag {other}"),
+        }
+    }
+}
+
+fn successor_for(fx: &Fixture, mv: &ShardMove) -> Result<CerlEngine, ServeError> {
+    match mv.domain {
+        2 => Ok(fx.s1.clone()),
+        1 => Ok(fx.s2.clone()),
+        other => panic!("no successor prepared for domain {other}"),
+    }
+}
+
+fn stress_orchestrator(router: &Arc<ShardRouter>) -> RebalanceOrchestrator {
+    RebalanceOrchestrator::new(
+        Arc::clone(router),
+        OrchestratorConfig {
+            canary: CanaryConfig {
+                window_requests: 8,
+                max_wait: Duration::from_secs(60),
+                max_error_rate: 0.05,
+                // Latency on a loaded CI box is too noisy to gate a
+                // correctness stress on; the verdict logic has its own
+                // deterministic unit tests.
+                max_p95_ratio: 1e9,
+            },
+            max_staged: 2,
+        },
+    )
+}
+
+fn run_stress(batch: Option<BatchConfig>) {
+    let fx = fixture();
+    let engines = vec![fx.e0.clone(), fx.e1.clone(), fx.e2.clone()];
+    let router = Arc::new(match batch {
+        Some(cfg) => ShardRouter::with_batching(engines, initial_map(), cfg).unwrap(),
+        None => ShardRouter::new(engines, initial_map()).unwrap(),
+    });
+    let orchestrator = stress_orchestrator(&router);
+
+    let stop = AtomicBool::new(false);
+    let deadline = Instant::now() + Duration::from_secs(300);
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let router = Arc::clone(&router);
+            let stop = &stop;
+            scope.spawn(move || {
+                let request = mixed_request(fx, client);
+                let mut last_versions = HashMap::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let response = router
+                        .predict_ite_scatter_versioned(&request.tags, &request.x)
+                        .expect("no request may fail during an orchestrated plan");
+                    check_response(&request, &response, &mut last_versions);
+                }
+            });
+        }
+
+        // Warm-up traffic so the plan sees real per-shard loads.
+        while router.stats().requests < 12 {
+            assert!(Instant::now() < deadline, "timed out warming up");
+            std::thread::yield_now();
+        }
+
+        // Plan determinism: the same (topology, target, loads) triple
+        // plans the same byte-identical move order, even under traffic
+        // (the plan is pinned off one loads snapshot).
+        let loads = router.shard_loads();
+        let target = target_map();
+        let plan = RebalancePlanner::plan_with_loads(&router.map(), &target, &loads).unwrap();
+        let again = RebalancePlanner::plan_with_loads(&router.map(), &target, &loads).unwrap();
+        assert_eq!(plan, again, "planning is deterministic");
+        assert_eq!(plan.len(), 2);
+        // Both moves drain the hot shard 0; order is fixed by the loads.
+        assert!(plan.moves.iter().all(|m| m.from == 0));
+
+        let report = orchestrator
+            .execute(&plan, |mv| successor_for(fx, mv))
+            .expect("a healthy fleet commits the whole plan");
+        assert_eq!(report.moves.len(), 2);
+        for (mv, reported) in plan.moves.iter().zip(&report.moves) {
+            assert_eq!(*mv, reported.mv);
+            assert_eq!(reported.destination_version, 2);
+            assert_eq!(router.route(mv.domain).unwrap(), mv.to);
+        }
+
+        // Let every client observe the final topology before stopping.
+        let settled = router.stats().requests + 4 * CLIENTS as u64;
+        while router.stats().requests < settled {
+            assert!(Instant::now() < deadline, "timed out settling");
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(*router.map(), target_map());
+    assert_eq!(router.shard_versions(), vec![1, 2, 2]);
+    let stats = router.stats();
+    assert_eq!(stats.rejected, 0, "zero errors across the whole plan");
+    assert!(
+        stats.mean_shards_per_scatter() > 1.0,
+        "requests really crossed shards: {stats:?}"
+    );
+    // The topology now matches the target: planning again is a no-op.
+    assert!(orchestrator.plan(&target_map()).unwrap().is_empty());
+}
+
+#[test]
+fn orchestrated_plan_under_unbatched_scatter_load() {
+    run_stress(None);
+}
+
+#[test]
+fn orchestrated_plan_under_batched_scatter_load() {
+    run_stress(Some(BatchConfig {
+        max_wait: Duration::from_millis(2),
+        ..BatchConfig::default()
+    }));
+}
+
+/// An injected canary regression — a flood of rejected requests during
+/// the second move's dual-route window — must abort that move, halt the
+/// plan with `PlanHalted`, and leave the fleet serving every domain from
+/// the valid intermediate topology formed by the committed prefix.
+/// Re-running the plan once the regression clears finishes the job.
+#[test]
+fn injected_canary_regression_aborts_and_leaves_a_serving_topology() {
+    let fx = fixture();
+    let engines = vec![fx.e0.clone(), fx.e1.clone(), fx.e2.clone()];
+    let router = Arc::new(ShardRouter::new(engines, initial_map()).unwrap());
+    let orchestrator = RebalanceOrchestrator::new(
+        Arc::clone(&router),
+        OrchestratorConfig {
+            canary: CanaryConfig {
+                // Windows must span many 1-CPU scheduler timeslices, or
+                // the flooding thread may never run inside one: release
+                // mode serves thousands of requests per second, so a
+                // dozen-request window fits in a single timeslice and
+                // closes before the injected rejections can land.
+                window_requests: 2000,
+                // Doubles as the window length in debug mode (requests
+                // are ~1000x slower) and keeps the post-halt re-run fast
+                // (its windows idle out at max_wait — traffic has
+                // stopped by then).
+                max_wait: Duration::from_secs(10),
+                max_error_rate: 0.2,
+                max_p95_ratio: 1e9,
+            },
+            max_staged: 1,
+        },
+    );
+    let plan = orchestrator.plan(&target_map()).unwrap();
+    assert_eq!(plan.len(), 2);
+    let first = plan.moves[0];
+    let second = plan.moves[1];
+
+    let stop = AtomicBool::new(false);
+    let good_errors = AtomicUsize::new(0);
+    let outcome = std::thread::scope(|scope| {
+        // Two well-behaved clients keep verified traffic flowing.
+        for client in 0..2 {
+            let router = Arc::clone(&router);
+            let (stop, good_errors) = (&stop, &good_errors);
+            scope.spawn(move || {
+                let request = mixed_request(fx, client);
+                let mut last_versions = HashMap::new();
+                while !stop.load(Ordering::Relaxed) {
+                    match router.predict_ite_scatter_versioned(&request.tags, &request.x) {
+                        Ok(response) => check_response(&request, &response, &mut last_versions),
+                        Err(_) => {
+                            good_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        // The attacker waits for the first commit (the moved domain's
+        // route flips), then floods unroutable requests: cheap typed
+        // rejections that spike the fleet's canary error rate inside the
+        // second move's window.
+        {
+            let router = Arc::clone(&router);
+            let stop = &stop;
+            scope.spawn(move || {
+                let x = fx.stream.domain(0).test.x.slice_rows(0, 1);
+                while !stop.load(Ordering::Relaxed) && router.route(first.domain) != Ok(first.to) {
+                    std::thread::yield_now();
+                }
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = router.predict_ite_scatter(&[999], &x);
+                }
+            });
+        }
+
+        // Staging the second move's successor happens after the first
+        // commit and before the second canary window opens, so holding
+        // the provider until the flood is verifiably in flight makes the
+        // injection deterministic — the window cannot fill with healthy
+        // traffic and close before any rejection lands.
+        let outcome = orchestrator.execute(&plan, |mv| {
+            if mv.domain == second.domain {
+                let t0 = Instant::now();
+                while router.stats().rejected < 50 {
+                    assert!(
+                        t0.elapsed() < Duration::from_secs(120),
+                        "timed out waiting for the injected regression to start"
+                    );
+                    std::thread::yield_now();
+                }
+            }
+            successor_for(fx, mv)
+        });
+        stop.store(true, Ordering::Relaxed);
+        outcome
+    });
+
+    match outcome.unwrap_err() {
+        ServeError::PlanHalted {
+            domain,
+            committed,
+            remaining,
+            reason,
+        } => {
+            assert_eq!(domain, second.domain);
+            assert_eq!((committed, remaining), (1, 1));
+            assert!(reason.contains("error rate"), "{reason}");
+        }
+        other => panic!("expected PlanHalted, got {other:?}"),
+    }
+
+    // The fleet sits on the valid intermediate topology: first move
+    // applied, second aborted before publishing anything, no rebalance
+    // pending, and every domain still answers bitwise-correctly.
+    assert_eq!(router.rebalance_in_progress(), None);
+    assert_eq!(router.route(first.domain).unwrap(), first.to);
+    assert_eq!(router.route(second.domain).unwrap(), second.from);
+    assert_eq!(
+        good_errors.load(Ordering::Relaxed),
+        0,
+        "well-formed clients never failed"
+    );
+    let request = mixed_request(fx, 3);
+    let response = router
+        .predict_ite_scatter_versioned(&request.tags, &request.x)
+        .expect("the intermediate topology serves all domains");
+    check_response(&request, &response, &mut HashMap::new());
+
+    // With the regression gone, re-running the same plan skips the
+    // committed move and finishes the remaining one.
+    let report = orchestrator
+        .execute(&plan, |mv| successor_for(fx, mv))
+        .expect("the re-run completes the plan");
+    assert_eq!(report.moves.len(), 1);
+    assert_eq!(report.moves[0].mv, second);
+    assert_eq!(*router.map(), target_map());
+}
+
+/// A second plan is refused while one is executing; the running plan is
+/// undisturbed and finishes normally.
+#[test]
+fn concurrent_plan_execution_is_refused_with_plan_in_progress() {
+    let fx = fixture();
+    // Clones of one engine: answers are version-independent, so this
+    // test needs no traffic and no canary window.
+    let engines = vec![fx.e0.clone(), fx.e0.clone(), fx.e0.clone()];
+    let map = ShardMap::from_pairs(3, &[(0, 0), (1, 0), (2, 0)]).unwrap();
+    let target = ShardMap::from_pairs(3, &[(0, 0), (1, 1), (2, 2)]).unwrap();
+    let router = Arc::new(ShardRouter::new(engines, map).unwrap());
+    let orchestrator = RebalanceOrchestrator::new(
+        Arc::clone(&router),
+        OrchestratorConfig {
+            canary: CanaryConfig {
+                window_requests: 0,
+                ..CanaryConfig::default()
+            },
+            max_staged: 1,
+        },
+    );
+    let plan = orchestrator.plan(&target).unwrap();
+    assert_eq!(plan.len(), 2);
+
+    // The second move's successor provider blocks until released, pinning
+    // the executor inside its plan while the main thread probes it.
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    std::thread::scope(|scope| {
+        let (orchestrator_ref, plan_ref) = (&orchestrator, &plan);
+        let executor = scope.spawn(move || {
+            let mut staged = 0;
+            orchestrator_ref.execute(plan_ref, |_| {
+                staged += 1;
+                if staged == 2 {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                }
+                Ok(fx.e0.clone())
+            })
+        });
+        entered_rx.recv().unwrap();
+        assert!(orchestrator.is_executing());
+        assert_eq!(
+            orchestrator
+                .execute(&plan, |_| Ok(fx.e0.clone()))
+                .unwrap_err(),
+            ServeError::PlanInProgress
+        );
+        release_tx.send(()).unwrap();
+        let report = executor.join().unwrap().unwrap();
+        assert_eq!(report.moves.len(), 2);
+    });
+    assert!(!orchestrator.is_executing());
+    assert_eq!(*router.map(), target);
+}
