@@ -22,7 +22,8 @@ use serde::Serialize;
 /// bench lane doubles as a correctness gate.
 #[derive(Debug, Clone, Serialize)]
 struct ProbeRecord {
-    /// Probe name (`serving`, `batched`, `scatter`, `orchestrate`).
+    /// Probe name (`serving`, `batched`, `scatter`, `orchestrate`,
+    /// `net`).
     probe: String,
     /// Sustained throughput of the probe's main measured path.
     rows_per_sec: f64,
@@ -54,7 +55,7 @@ impl ProbeRecord {
 }
 
 /// The trajectory artifact: every probe's record plus enough metadata to
-/// compare artifacts across commits (`BENCH_5.json` in CI).
+/// compare artifacts across commits (`BENCH_6.json` in CI).
 #[derive(Debug, Serialize)]
 struct TrajectoryReport {
     schema: String,
@@ -504,6 +505,127 @@ multi-core hardware runs the per-shard sub-batches concurrently."
     record
 }
 
+/// Network front-end probe: a loopback [`cerl_net::NetServer`] reactor
+/// fronting a [`cerl_serve::BatchScheduler`], driven by 64 concurrent
+/// client connections (8 driver threads x 8 sockets) round-tripping
+/// small ITE requests over the wire protocol. Measures end-to-end
+/// rows/sec and per-request p50/p95/p99 (socket, frame codec, epoll,
+/// batching, and inference together) and bitwise-checks every response
+/// against the in-process engine; any serve fault or payload mismatch
+/// fails the probe.
+fn net_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) -> ProbeRecord {
+    use cerl_core::engine::CerlEngineBuilder;
+    use cerl_core::ServingEngine;
+    use cerl_net::{NetBackend, NetClient, NetServer, NetServerConfig};
+    use cerl_serve::{BatchConfig, BatchScheduler, LatencyHistogram};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let mut engine = CerlEngineBuilder::new(cfg.clone())
+        .seed(seed)
+        .build()
+        .expect("diag: config validated by model_config");
+    engine
+        .observe(&stream.domain(0).train, &stream.domain(0).val)
+        .expect("diag: synthetic domains are well-formed");
+    let serving = Arc::new(ServingEngine::new(engine));
+    let scheduler = Arc::new(BatchScheduler::new(
+        Arc::clone(&serving),
+        BatchConfig {
+            max_wait: Duration::from_micros(300),
+            queue_capacity: 8192,
+            ..BatchConfig::default()
+        },
+    ));
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetBackend::Scheduler(scheduler),
+        NetServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let threads = 8usize;
+    let conns_per_thread = 8usize;
+    let rounds = 30usize;
+    let request_rows = 4usize;
+    let base = &stream.domain(0).test.x;
+    let request = base.slice_rows(0, request_rows);
+    let reference = serving.predict_ite(&request).expect("well-formed request");
+    println!(
+        "net: loopback reactor on {addr}, {} connections x {rounds} rounds x {request_rows}-row requests",
+        threads * conns_per_thread
+    );
+
+    let hist = LatencyHistogram::new();
+    let bitwise_ok = AtomicBool::new(true);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let (hist, bitwise_ok, reference, request) = (&hist, &bitwise_ok, &reference, &request);
+            scope.spawn(move || {
+                let mut clients: Vec<NetClient> = (0..conns_per_thread)
+                    .map(|_| NetClient::connect(addr).expect("loopback connect"))
+                    .collect();
+                for _ in 0..rounds {
+                    for client in &mut clients {
+                        let t_req = Instant::now();
+                        let ite = client
+                            .predict(&vec![0; request.rows()], request, None)
+                            .expect("healthy request over loopback");
+                        hist.record(t_req.elapsed());
+                        if ite
+                            .iter()
+                            .zip(reference)
+                            .any(|(a, b)| a.to_bits() != b.to_bits())
+                        {
+                            bitwise_ok.store(false, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let expected = (threads * conns_per_thread * rounds) as u64;
+    let rows_per_sec = (expected * request_rows as u64) as f64 / elapsed.max(1e-9);
+    let snapshot = hist.snapshot();
+    let snap = server.stats();
+    let bitwise = bitwise_ok.load(Ordering::Relaxed);
+    let clean = snap.responses_ok == expected
+        && snap.rejected_serve == 0
+        && snap.rejected_client == 0
+        && snap.deadline_shed == 0;
+    println!(
+        "net: {rows_per_sec:>9.0} rows/sec end-to-end | request latency p50 {:.2} ms p95 {:.2} ms p99 {:.2} ms",
+        snapshot.p50.as_secs_f64() * 1e3,
+        snapshot.p95.as_secs_f64() * 1e3,
+        snapshot.p99.as_secs_f64() * 1e3,
+    );
+    println!(
+        "net: {} accepted, {} ok responses ({} expected), {} serve faults (want 0), bitwise-identical: {bitwise}",
+        snap.accepted, snap.responses_ok, expected, snap.rejected_serve,
+    );
+    println!(
+        "NOTE: on this 1-CPU container the reactor, the batch collector, and the clients \
+time-share one core, so the latency tail measures the machine; the rows/sec and the \
+zero-fault/bitwise checks are the signal."
+    );
+    server.shutdown().expect("reactor joins cleanly");
+
+    let mut record = ProbeRecord::new("net", rows_per_sec, snapshot);
+    record.passed = bitwise && clean;
+    record.detail = format!(
+        "{} conns x {rounds} rounds over loopback; ok {}/{}; serve faults {}; bitwise: {bitwise}",
+        threads * conns_per_thread,
+        snap.responses_ok,
+        expected,
+        snap.rejected_serve,
+    );
+    record
+}
+
 /// Orchestrated-rebalance probe: a 4-shard fleet (clones of one engine,
 /// so the single-engine reference is bitwise exact) starts with eight
 /// domains packed onto two shards; a [`cerl_serve::RebalanceOrchestrator`]
@@ -923,6 +1045,7 @@ fn main() {
             batched_probe(&stream, &cfg, args.seed),
             scatter_probe(&stream, &cfg, args.seed),
             orchestrate_probe(&stream, &cfg, args.seed),
+            net_probe(&stream, &cfg, args.seed),
         ];
         let report = TrajectoryReport {
             schema: "cerl-bench-trajectory/v1".into(),
@@ -957,6 +1080,10 @@ fn main() {
     }
     if args.has_flag("--orchestrate") {
         exit_on_failure(&[orchestrate_probe(&stream, &cfg, args.seed)]);
+        return;
+    }
+    if args.has_flag("--net") {
+        exit_on_failure(&[net_probe(&stream, &cfg, args.seed)]);
         return;
     }
     let mut model = CfrModel::new(d0.train.dim(), cfg, args.seed);

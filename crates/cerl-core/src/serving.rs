@@ -68,7 +68,6 @@ use crate::engine::CerlEngine;
 use crate::error::CerlError;
 use cerl_data::CausalDataset;
 use cerl_math::Matrix;
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
@@ -125,25 +124,61 @@ impl VersionedEngine {
     }
 }
 
-/// Atomic request counters maintained by every [`ServingEngine`] call.
+/// Slots in the wait-free per-version counter ring (see
+/// [`ServingStats::version_stats`]): per-version history is kept for the
+/// most recent `VERSION_RING_SLOTS` published versions; publishing
+/// version `v` evicts the slot last claimed by version
+/// `v - VERSION_RING_SLOTS`.
+pub const VERSION_RING_SLOTS: usize = 64;
+
+/// One ring slot: a version tag plus its served/rejected counters.
+/// Recorders attribute to a slot only when the tag matches their pinned
+/// version, so counts never bleed across an eviction.
 #[derive(Debug, Default)]
+struct VersionSlot {
+    /// The version this slot currently counts for (0 = unclaimed).
+    version: AtomicU64,
+    served: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// Atomic request counters maintained by every [`ServingEngine`] call.
+#[derive(Debug)]
 pub struct ServingStats {
     requests_served: AtomicU64,
     rows_predicted: AtomicU64,
     swaps: AtomicU64,
     rejected_requests: AtomicU64,
+    retired_versions: AtomicU64,
     /// Per-version request accounting — the canary signal a rebalance
     /// orchestrator watches: a freshly published version that rejects
     /// requests shows up here, attributable to exactly that version,
     /// while the aggregate counters above only say *something* failed.
     ///
-    /// This is the one non-atomic counter on the request path: a short
-    /// uncontended mutex per request (tens of nanoseconds on the futex
-    /// fast path — noise next to a forward pass). Should many-core
-    /// contention ever show up in profiles, the fix is a small wait-free
-    /// ring keyed by `version % N`, trading full version history for
-    /// lock-freedom.
-    per_version: Mutex<BTreeMap<u64, (u64, u64)>>,
+    /// A wait-free ring keyed by `version % VERSION_RING_SLOTS`: the
+    /// request path is two atomic ops (tag check + counter bump) with no
+    /// lock anywhere, so a reactor multiplexing thousands of in-flight
+    /// network requests never serializes on stats. The trade is history
+    /// depth — a version's counters survive until the version
+    /// `VERSION_RING_SLOTS` swaps later evicts its slot. Slots are
+    /// claimed under the publisher's writer lock, so claims never race
+    /// each other; a recorder racing an eviction (its version is exactly
+    /// `VERSION_RING_SLOTS` behind the publish) drops that one request's
+    /// per-version attribution, never the aggregate counters.
+    per_version: [VersionSlot; VERSION_RING_SLOTS],
+}
+
+impl Default for ServingStats {
+    fn default() -> Self {
+        Self {
+            requests_served: AtomicU64::new(0),
+            rows_predicted: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            rejected_requests: AtomicU64::new(0),
+            retired_versions: AtomicU64::new(0),
+            per_version: std::array::from_fn(|_| VersionSlot::default()),
+        }
+    }
 }
 
 impl ServingStats {
@@ -154,43 +189,71 @@ impl ServingStats {
             rows_predicted: self.rows_predicted.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
             rejected_requests: self.rejected_requests.load(Ordering::Relaxed),
+            retired_versions: self.retired_versions.load(Ordering::Relaxed),
         }
     }
 
-    /// Per-version served/rejected counts, ascending by version.
+    /// Per-version served/rejected counts, ascending by version (the
+    /// most recent [`VERSION_RING_SLOTS`] versions — older slots have
+    /// been evicted by the ring).
     pub fn version_stats(&self) -> Vec<VersionStats> {
-        self.per_version
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .iter()
-            .map(|(&version, &(served, rejected))| VersionStats {
+        let mut out = Vec::new();
+        for slot in &self.per_version {
+            let version = slot.version.load(Ordering::Acquire);
+            if version == 0 {
+                continue;
+            }
+            let served = slot.served.load(Ordering::Relaxed);
+            let rejected = slot.rejected.load(Ordering::Relaxed);
+            // Re-check the tag: a claim racing between the loads means
+            // the counters may mix two versions — skip the slot for this
+            // snapshot rather than report a torn row.
+            if slot.version.load(Ordering::Acquire) != version {
+                continue;
+            }
+            out.push(VersionStats {
                 version,
                 served,
                 rejected,
-            })
-            .collect()
+            });
+        }
+        out.sort_unstable_by_key(|v| v.version);
+        out
+    }
+
+    fn slot(&self, version: u64) -> &VersionSlot {
+        &self.per_version[(version % VERSION_RING_SLOTS as u64) as usize]
+    }
+
+    /// Claim the ring slot for a freshly published version. Must be
+    /// called with the publisher's writer lock held, so claims are
+    /// serialized; recorders are wait-free throughout.
+    fn claim_version(&self, version: u64) {
+        let slot = self.slot(version);
+        // Retire the tag first so concurrent recorders stop attributing
+        // to the evicted version before its counters reset.
+        slot.version.store(0, Ordering::Release);
+        slot.served.store(0, Ordering::Relaxed);
+        slot.rejected.store(0, Ordering::Relaxed);
+        slot.version.store(version, Ordering::Release);
     }
 
     fn record_success(&self, version: u64, rows: usize) {
         self.requests_served.fetch_add(1, Ordering::Relaxed);
         self.rows_predicted
             .fetch_add(rows as u64, Ordering::Relaxed);
-        self.per_version
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .entry(version)
-            .or_insert((0, 0))
-            .0 += 1;
+        let slot = self.slot(version);
+        if slot.version.load(Ordering::Acquire) == version {
+            slot.served.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn record_rejection(&self, version: u64) {
         self.rejected_requests.fetch_add(1, Ordering::Relaxed);
-        self.per_version
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .entry(version)
-            .or_insert((0, 0))
-            .1 += 1;
+        let slot = self.slot(version);
+        if slot.version.load(Ordering::Acquire) == version {
+            slot.rejected.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -221,6 +284,9 @@ pub struct ServingStatsSnapshot {
     pub swaps: u64,
     /// Prediction requests rejected with a typed error.
     pub rejected_requests: u64,
+    /// Superseded engine versions fully retired — dropped from the swap
+    /// grace list after their last pinned handle was released.
+    pub retired_versions: u64,
 }
 
 /// Thread-safe serving facade: shared by reader threads, hot-swappable by
@@ -241,15 +307,26 @@ pub struct ServingEngine {
     /// [`observe_and_swap`]: ServingEngine::observe_and_swap
     writer_lock: Mutex<()>,
     stats: ServingStats,
+    /// Swap grace period: superseded engine versions are parked here at
+    /// publish time and retired only once their last pinned
+    /// [`VersionedEngine`] handle drops — a long-lived request (e.g. a
+    /// network connection mid-inference) may still be running on a
+    /// version that is no longer current. Reaped opportunistically on
+    /// every publish and [`stats`](ServingEngine::stats) call, or
+    /// explicitly via [`reap_superseded`](ServingEngine::reap_superseded).
+    superseded: Mutex<Vec<Arc<VersionedEngine>>>,
 }
 
 impl ServingEngine {
     /// Wrap an engine (trained or not) as version 1.
     pub fn new(engine: CerlEngine) -> Self {
+        let stats = ServingStats::default();
+        stats.claim_version(1);
         Self {
             current: RwLock::new(Arc::new(VersionedEngine { engine, version: 1 })),
             writer_lock: Mutex::new(()),
-            stats: ServingStats::default(),
+            stats,
+            superseded: Mutex::new(Vec::new()),
         }
     }
 
@@ -304,8 +381,43 @@ impl ServingEngine {
     }
 
     /// Counters accumulated since construction.
+    ///
+    /// Reaps the swap grace list first so `retired_versions` reflects
+    /// pins released since the last publish.
     pub fn stats(&self) -> ServingStatsSnapshot {
+        self.reap_superseded();
         self.stats.snapshot()
+    }
+
+    /// Drop superseded engine versions whose last pinned handle is gone;
+    /// returns how many versions were retired by this call. Versions
+    /// still pinned by an in-flight request stay parked (and alive) on
+    /// the grace list.
+    pub fn reap_superseded(&self) -> usize {
+        let mut superseded = self
+            .superseded
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let before = superseded.len();
+        // strong_count == 1 means the grace list holds the only handle:
+        // the version cannot be re-pinned (it is no longer `current`), so
+        // dropping it here frees the engine.
+        superseded.retain(|engine| Arc::strong_count(engine) > 1);
+        let retired = before - superseded.len();
+        if retired > 0 {
+            self.stats
+                .retired_versions
+                .fetch_add(retired as u64, Ordering::Relaxed);
+        }
+        retired
+    }
+
+    /// Superseded engine versions currently kept alive by pinned handles.
+    pub fn superseded_count(&self) -> usize {
+        self.superseded
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Per-version served/rejected canary counters, ascending by version
@@ -581,9 +693,17 @@ impl ServingEngine {
     fn publish(&self, engine: CerlEngine) -> u64 {
         let mut guard = self.current.write().unwrap_or_else(PoisonError::into_inner);
         let version = guard.version + 1;
-        *guard = Arc::new(VersionedEngine { engine, version });
+        let old = std::mem::replace(&mut *guard, Arc::new(VersionedEngine { engine, version }));
         drop(guard);
+        // Park the superseded version until its last pin drops, then
+        // reap anything whose grace period has ended.
+        self.superseded
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(old);
+        self.reap_superseded();
         self.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        self.stats.claim_version(version);
         version
     }
 }
@@ -892,6 +1012,83 @@ mod tests {
             swaps.join().unwrap();
         });
         assert_eq!(a.version(), 51);
+    }
+
+    #[test]
+    fn swap_grace_holds_superseded_versions_until_last_pin_drops() {
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        let donor = serving.current().engine().clone();
+        let x = &stream.domain(0).test.x;
+
+        // A long-lived request pins version 1 across a swap: the
+        // superseded engine is parked on the grace list, not dropped, and
+        // keeps answering.
+        let pinned = serving.current();
+        assert_eq!(serving.swap_engine(donor.clone()), 2);
+        assert_eq!(serving.superseded_count(), 1);
+        assert_eq!(serving.stats().retired_versions, 0);
+        assert_eq!(pinned.version(), 1);
+        assert!(pinned.engine().predict_ite(x).is_ok());
+
+        // Last pin drops → the grace period ends on the next reap.
+        drop(pinned);
+        assert_eq!(serving.reap_superseded(), 1);
+        assert_eq!(serving.superseded_count(), 0);
+        assert_eq!(serving.stats().retired_versions, 1);
+
+        // An unpinned swap retires its predecessor immediately: publish
+        // reaps the grace list after parking.
+        assert_eq!(serving.swap_engine(donor), 3);
+        assert_eq!(serving.superseded_count(), 0);
+        assert_eq!(serving.stats().retired_versions, 2);
+    }
+
+    #[test]
+    fn version_ring_attributes_exactly_under_concurrent_traffic_and_swaps() {
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        let donor = serving.current().engine().clone();
+        let x = stream.domain(0).test.x.slice_rows(0, 2);
+        let bad = Matrix::zeros(1, x.cols() + 1);
+
+        std::thread::scope(|scope| {
+            let serving = &serving;
+            let (x, bad) = (&x, &bad);
+            let writer = scope.spawn(move || {
+                for _ in 0..5 {
+                    serving.swap_engine(donor.clone());
+                    std::thread::yield_now();
+                }
+            });
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        for _ in 0..25 {
+                            serving.predict_ite(x).unwrap();
+                            serving.predict_ite(bad).unwrap_err();
+                        }
+                    })
+                })
+                .collect();
+            for reader in readers {
+                reader.join().unwrap();
+            }
+            writer.join().unwrap();
+        });
+
+        // Fewer than VERSION_RING_SLOTS versions ever existed, so no slot
+        // was evicted: per-version counts must reconcile exactly with the
+        // aggregates, attributed only to versions 1..=6.
+        let stats = serving.stats();
+        assert_eq!(stats.swaps, 5);
+        assert_eq!(stats.requests_served, 100);
+        assert_eq!(stats.rejected_requests, 100);
+        let per_version = serving.version_stats();
+        assert!(per_version.windows(2).all(|w| w[0].version < w[1].version));
+        assert!(per_version.iter().all(|v| (1..=6).contains(&v.version)));
+        assert_eq!(per_version.iter().map(|v| v.served).sum::<u64>(), 100);
+        assert_eq!(per_version.iter().map(|v| v.rejected).sum::<u64>(), 100);
     }
 
     #[test]

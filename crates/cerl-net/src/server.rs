@@ -1,0 +1,1069 @@
+//! Single-threaded epoll reactor serving the wire protocol.
+//!
+//! # Architecture
+//!
+//! One reactor thread owns every socket. It multiplexes with `epoll`
+//! (via the crate-private `sys` syscall shims) over three token
+//! classes: the self-pipe
+//! (token 0, woken by task wakers and `shutdown`), the listener
+//! (token 1), and one token per connection. Inference never runs on
+//! the reactor thread — decoded requests are submitted to the backend
+//! ([`BatchScheduler::submit`] or [`ShardRouter::submit_scatter`]) and
+//! the returned handles are polled as genuine `Future`s: each
+//! connection owns a [`Waker`] that pushes its token onto a ready
+//! queue and pokes the self-pipe, so one thread keeps thousands of
+//! in-flight requests moving with no blocking `recv` anywhere.
+//!
+//! # Flow control
+//!
+//! Per connection, three mechanisms compose so one bad client cannot
+//! starve the rest:
+//!
+//! * **Bounded in-flight** — at most
+//!   [`NetServerConfig::max_inflight_per_conn`] requests per connection are
+//!   submitted to the backend at once, with at most that many more
+//!   decoded and waiting for a slot (their admission-deadline clock
+//!   running); further frames stay buffered (and eventually unread)
+//!   until responses drain.
+//! * **Write backpressure** — when a slow reader lets its response
+//!   backlog grow past [`NetServerConfig::write_high_water`], the reactor
+//!   stops *reading* that socket (drops `EPOLLIN` interest) until the
+//!   backlog drains below the mark; TCP then pushes back on the
+//!   client's sends.
+//! * **Round-robin fairness** — each reactor turn parses at most
+//!   [`NetServerConfig::frames_per_turn`] frames per connection, cycling
+//!   through connections from a rotating cursor, so a bursty pipeliner
+//!   shares the decode budget with everyone else.
+//!
+//! Requests carry an optional deadline. It is an **admission**
+//! deadline: checked after decode and immediately before backend
+//! submission. A request that waited out its budget behind the
+//! in-flight cap is shed with a typed [`Status::Deadline`] response
+//! *before* any work reaches the inference pool; once admitted, a
+//! request runs to completion and its (possibly late) response is
+//! still correct and bitwise-deterministic.
+//!
+//! # One-CPU caveat
+//!
+//! The reactor is one thread and inference runs on the backend's
+//! threads. On a single-CPU host they time-share: the reactor's
+//! latency numbers include scheduler preemption by inference work, so
+//! p99s measured there describe the machine, not the design. The
+//! stress tests therefore assert on *correctness* counters (zero
+//! serve faults, bitwise-identical payloads), not on wall-clock.
+
+use crate::sys::{
+    self, Epoll, EpollEvent, WakePipe, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+use crate::wire::{self, Request, Response, Status, WireError};
+use cerl_math::Matrix;
+use cerl_serve::{BatchScheduler, ResponseHandle, ScatterHandle, ServeError, ShardRouter};
+use std::collections::VecDeque;
+use std::future::Future;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Token of the self-pipe's read end in the epoll set.
+const TOKEN_WAKE: u64 = 0;
+/// Token of the listening socket.
+const TOKEN_LISTENER: u64 = 1;
+/// First connection token; connection `i` uses token `i + TOKEN_CONN0`.
+const TOKEN_CONN0: u64 = 2;
+
+/// What the reactor submits requests to.
+pub enum NetBackend {
+    /// Single-engine micro-batching: domain tags are ignored, every
+    /// request coalesces into the scheduler's next batch.
+    Scheduler(Arc<BatchScheduler>),
+    /// Shard-per-domain fleet: per-row tags scatter across shards and
+    /// gather (`submit_scatter`), so one socket request may fan out to
+    /// several engines and still return rows in request order.
+    Router(Arc<ShardRouter>),
+}
+
+impl NetBackend {
+    fn submit(&self, request: Request) -> Result<InflightFuture, ServeError> {
+        let rows = request.rows();
+        let x = Matrix::from_vec(rows, request.cols as usize, request.covariates);
+        match self {
+            NetBackend::Scheduler(scheduler) => scheduler.submit(x).map(InflightFuture::Single),
+            NetBackend::Router(router) => router
+                .submit_scatter(&request.tags, &x)
+                .map(InflightFuture::Scatter),
+        }
+    }
+}
+
+/// A submitted request's future, unified across backends.
+enum InflightFuture {
+    Single(ResponseHandle),
+    Scatter(ScatterHandle),
+}
+
+impl InflightFuture {
+    fn poll(&mut self, cx: &mut Context<'_>) -> Poll<Result<Vec<f64>, ServeError>> {
+        match self {
+            InflightFuture::Single(handle) => Pin::new(handle)
+                .poll(cx)
+                .map(|r| r.map(|(_version, ite)| ite)),
+            InflightFuture::Scatter(handle) => Pin::new(handle)
+                .poll(cx)
+                .map(|r| r.map(|response| response.ite)),
+        }
+    }
+}
+
+/// Reactor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Admission window per connection: at most this many requests
+    /// submitted to the backend at once, plus at most this many more
+    /// decoded and waiting for a slot — that wait is where an
+    /// admission deadline runs down. Frames beyond the waiting room
+    /// stay in the read buffer.
+    pub max_inflight_per_conn: usize,
+    /// Response backlog (bytes) above which the reactor stops reading
+    /// a connection until the backlog drains (write backpressure).
+    pub write_high_water: usize,
+    /// Frames parsed per connection per reactor turn (fairness).
+    pub frames_per_turn: usize,
+    /// Bytes read per connection per reactor turn.
+    pub read_chunk: usize,
+    /// Kernel `SO_SNDBUF` override for accepted sockets; tests shrink
+    /// it to make write backpressure deterministic.
+    pub send_buffer_bytes: Option<usize>,
+    /// Connections accepted concurrently; extras are closed at accept.
+    pub max_connections: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight_per_conn: 32,
+            write_high_water: 256 * 1024,
+            frames_per_turn: 8,
+            read_chunk: 64 * 1024,
+            send_buffer_bytes: None,
+            max_connections: 4096,
+        }
+    }
+}
+
+/// Wait-free reactor counters (all `Relaxed`; read via
+/// [`NetServer::stats`]).
+#[derive(Debug, Default)]
+struct NetStats {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    requests: AtomicU64,
+    responses_ok: AtomicU64,
+    rejected_client: AtomicU64,
+    rejected_serve: AtomicU64,
+    deadline_shed: AtomicU64,
+    malformed: AtomicU64,
+    backpressure_pauses: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl NetStats {
+    fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses_ok: self.responses_ok.load(Ordering::Relaxed),
+            rejected_client: self.rejected_client.load(Ordering::Relaxed),
+            rejected_serve: self.rejected_serve.load(Ordering::Relaxed),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            backpressure_pauses: self.backpressure_pauses.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_response(&self, response: &Response) {
+        match response {
+            Response::Ite { .. } => {
+                self.responses_ok.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::Error { status, .. } => {
+                if status.is_client_fault() {
+                    self.rejected_client.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.rejected_serve.fetch_add(1, Ordering::Relaxed);
+                }
+                match status {
+                    Status::Deadline => {
+                        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Status::MalformedRequest => {
+                        self.malformed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Point-in-time copy of the reactor's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted since the server started.
+    pub accepted: u64,
+    /// Connections fully closed (client disconnects, protocol faults,
+    /// and over-limit accepts).
+    pub closed: u64,
+    /// Request frames successfully decoded.
+    pub requests: u64,
+    /// Requests answered with predictions.
+    pub responses_ok: u64,
+    /// Requests rejected with a client-fault status (malformed bytes,
+    /// unknown domains, expired deadlines).
+    pub rejected_client: u64,
+    /// Requests rejected with a serve-fault status (queue overflow,
+    /// shutdown, engine failures on well-formed input). A healthy
+    /// fleet keeps this at zero regardless of client behavior.
+    pub rejected_serve: u64,
+    /// Requests shed by the admission deadline before reaching the
+    /// inference pool (subset of `rejected_client`).
+    pub deadline_shed: u64,
+    /// Hostile or corrupt frames answered with
+    /// [`Status::MalformedRequest`] (subset of `rejected_client`).
+    pub malformed: u64,
+    /// Times a connection's reads were paused by write backpressure
+    /// or the in-flight cap.
+    pub backpressure_pauses: u64,
+    /// Raw bytes read from clients.
+    pub bytes_in: u64,
+    /// Raw bytes written to clients.
+    pub bytes_out: u64,
+}
+
+/// Connection tokens whose futures have completed since the reactor
+/// last looked; wakers push here and poke the self-pipe.
+struct ReadyQueue {
+    ready: Mutex<Vec<u64>>,
+    pipe: Arc<WakePipe>,
+}
+
+impl ReadyQueue {
+    fn push(&self, token: u64) {
+        self.ready
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(token);
+        self.pipe.wake();
+    }
+
+    fn take(&self) -> Vec<u64> {
+        let mut tokens =
+            std::mem::take(&mut *self.ready.lock().unwrap_or_else(PoisonError::into_inner));
+        tokens.sort_unstable();
+        tokens.dedup();
+        tokens
+    }
+}
+
+/// The per-connection waker handed to every future poll: completion on
+/// any backend thread re-schedules exactly this connection.
+struct ConnWaker {
+    token: u64,
+    queue: Arc<ReadyQueue>,
+}
+
+impl Wake for ConnWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.push(self.token);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.push(self.token);
+    }
+}
+
+/// A decoded request waiting for an in-flight slot.
+struct PendingSubmit {
+    request: Request,
+    deadline: Option<Instant>,
+}
+
+/// A request submitted to the backend, awaiting its future.
+struct Inflight {
+    request_id: u64,
+    future: InflightFuture,
+}
+
+struct Conn {
+    stream: TcpStream,
+    waker: Waker,
+    reader: wire::FrameReader,
+    pending: VecDeque<PendingSubmit>,
+    inflight: Vec<Inflight>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// epoll interest mask currently registered for this socket.
+    interest: u32,
+    /// Reads paused by backpressure (write backlog or in-flight cap).
+    paused: bool,
+    /// Protocol fault observed: answer, flush, then close.
+    corrupt: bool,
+}
+
+impl Conn {
+    fn backlog(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    fn occupancy(&self) -> usize {
+        self.pending.len() + self.inflight.len()
+    }
+
+    /// Deferred work the reactor should service without waiting for a
+    /// socket event.
+    fn has_deferred_work(&self, cfg: &NetServerConfig) -> bool {
+        if self.corrupt {
+            return false;
+        }
+        (!self.pending.is_empty() && self.inflight.len() < cfg.max_inflight_per_conn)
+            || (self.reader.has_frame() && self.pending.len() < cfg.max_inflight_per_conn)
+    }
+
+    fn earliest_deadline(&self) -> Option<Instant> {
+        self.pending.iter().filter_map(|p| p.deadline).min()
+    }
+}
+
+/// Map a backend rejection onto the wire status taxonomy.
+fn status_of(error: &ServeError) -> Status {
+    match error {
+        ServeError::UnknownDomain { .. } => Status::UnknownDomain,
+        ServeError::QueueFull { .. } => Status::Overloaded,
+        ServeError::SchedulerShutdown => Status::ShuttingDown,
+        e if e.is_client_fault() => Status::MalformedRequest,
+        _ => Status::ServeFault,
+    }
+}
+
+/// A TCP front-end serving the CERL wire protocol from a dedicated
+/// reactor thread (see the [module docs](self) for semantics).
+pub struct NetServer {
+    addr: SocketAddr,
+    stats: Arc<NetStats>,
+    shutdown: Arc<AtomicBool>,
+    wake: Arc<WakePipe>,
+    thread: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start the reactor.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        backend: NetBackend,
+        cfg: NetServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(NetStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let wake = Arc::new(WakePipe::new()?);
+
+        let mut reactor = Reactor::new(
+            listener,
+            backend,
+            cfg,
+            Arc::clone(&stats),
+            Arc::clone(&shutdown),
+            Arc::clone(&wake),
+        )?;
+        let thread = std::thread::Builder::new()
+            .name("cerl-net-reactor".into())
+            .spawn(move || reactor.run())?;
+
+        Ok(Self {
+            addr,
+            stats,
+            shutdown,
+            wake,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current reactor counters.
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stop accepting, drop every connection, and join the reactor.
+    /// Returns the final counters.
+    pub fn shutdown(mut self) -> io::Result<NetStatsSnapshot> {
+        self.stop()?;
+        Ok(self.stats.snapshot())
+    }
+
+    fn stop(&mut self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::Release);
+        self.wake.wake();
+        match self.thread.take() {
+            Some(thread) => thread
+                .join()
+                .map_err(|_| io::Error::other("reactor thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+struct Reactor {
+    epoll: Epoll,
+    listener: TcpListener,
+    backend: NetBackend,
+    cfg: NetServerConfig,
+    stats: Arc<NetStats>,
+    shutdown: Arc<AtomicBool>,
+    wake: Arc<WakePipe>,
+    queue: Arc<ReadyQueue>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Round-robin start offset for the per-turn service sweep.
+    cursor: usize,
+}
+
+impl Reactor {
+    fn new(
+        listener: TcpListener,
+        backend: NetBackend,
+        cfg: NetServerConfig,
+        stats: Arc<NetStats>,
+        shutdown: Arc<AtomicBool>,
+        wake: Arc<WakePipe>,
+    ) -> io::Result<Self> {
+        let epoll = Epoll::new()?;
+        epoll.add(wake.read_fd(), EPOLLIN, TOKEN_WAKE)?;
+        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        let queue = Arc::new(ReadyQueue {
+            ready: Mutex::new(Vec::new()),
+            pipe: Arc::clone(&wake),
+        });
+        Ok(Self {
+            epoll,
+            listener,
+            backend,
+            cfg,
+            stats,
+            shutdown,
+            wake,
+            queue,
+            conns: Vec::new(),
+            free: Vec::new(),
+            cursor: 0,
+        })
+    }
+
+    fn run(&mut self) -> io::Result<()> {
+        let mut events: Vec<EpollEvent> = Vec::with_capacity(256);
+        while !self.shutdown.load(Ordering::Acquire) {
+            let timeout = self.next_timeout_ms();
+            self.epoll.wait(&mut events, timeout)?;
+
+            let mut accept = false;
+            let mut woken = false;
+            // Collect per-connection readiness first; service after.
+            let mut io_ready: Vec<(usize, u32)> = Vec::new();
+            for event in events.iter() {
+                let (token, bits) = ({ event.data }, { event.events });
+                match token {
+                    TOKEN_WAKE => woken = true,
+                    TOKEN_LISTENER => accept = true,
+                    _ => io_ready.push(((token - TOKEN_CONN0) as usize, bits)),
+                }
+            }
+
+            if woken {
+                self.wake.drain();
+                for token in self.queue.take() {
+                    let idx = (token - TOKEN_CONN0) as usize;
+                    self.poll_conn(idx);
+                }
+            }
+            if accept {
+                self.accept_ready();
+            }
+            for (idx, bits) in io_ready {
+                self.handle_io(idx, bits);
+            }
+            self.service_sweep();
+        }
+        Ok(())
+    }
+
+    /// Zero when deferred parse/submit work exists, else the time to
+    /// the nearest admission deadline, else a housekeeping tick.
+    fn next_timeout_ms(&self) -> i32 {
+        let mut timeout: i32 = 100;
+        let now = Instant::now();
+        for conn in self.conns.iter().flatten() {
+            if conn.has_deferred_work(&self.cfg) {
+                return 0;
+            }
+            if let Some(deadline) = conn.earliest_deadline() {
+                let ms = deadline.saturating_duration_since(now).as_millis().min(100) as i32;
+                timeout = timeout.min(ms.max(1));
+            }
+        }
+        timeout
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    if self.install(stream).is_none() {
+                        // Over max_connections (or registration failed):
+                        // the stream drops here, closing the socket.
+                        self.stats.closed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (ECONNABORTED, EMFILE burst):
+                // drop this readiness edge, epoll will re-report.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn install(&mut self, stream: TcpStream) -> Option<usize> {
+        let live = self.conns.iter().filter(|c| c.is_some()).count();
+        if live >= self.cfg.max_connections {
+            return None;
+        }
+        stream.set_nonblocking(true).ok()?;
+        stream.set_nodelay(true).ok()?;
+        if let Some(bytes) = self.cfg.send_buffer_bytes {
+            sys::set_send_buffer(stream.as_raw_fd(), bytes).ok()?;
+        }
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let token = idx as u64 + TOKEN_CONN0;
+        let interest = EPOLLIN | EPOLLRDHUP;
+        if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+            self.free.push(idx);
+            return None;
+        }
+        let waker = Waker::from(Arc::new(ConnWaker {
+            token,
+            queue: Arc::clone(&self.queue),
+        }));
+        self.conns[idx] = Some(Conn {
+            stream,
+            waker,
+            reader: wire::FrameReader::new(),
+            pending: VecDeque::new(),
+            inflight: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            interest,
+            paused: false,
+            corrupt: false,
+        });
+        Some(idx)
+    }
+
+    fn close(&mut self, idx: usize) {
+        if let Some(conn) = self.conns[idx].take() {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.free.push(idx);
+            self.stats.closed.fetch_add(1, Ordering::Relaxed);
+            // Dropping `conn` abandons its in-flight futures: the
+            // backend still completes them, the results are discarded.
+        }
+    }
+
+    fn handle_io(&mut self, idx: usize, bits: u32) {
+        if bits & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close(idx);
+            return;
+        }
+        let read_chunk = self.cfg.read_chunk.max(1024);
+        let mut close_needed = false;
+        {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            if bits & EPOLLIN != 0 && !conn.paused && !conn.corrupt {
+                let mut buf = vec![0u8; read_chunk];
+                let mut read_total = 0usize;
+                loop {
+                    match conn.stream.read(&mut buf[..]) {
+                        Ok(0) => {
+                            // Peer closed. Anything already buffered or
+                            // in flight is abandoned with it: the
+                            // protocol is full-duplex, a client that
+                            // stops listening forfeits its answers.
+                            close_needed = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.reader.extend(&buf[..n]);
+                            read_total += n;
+                            self.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                            if read_total >= read_chunk {
+                                break; // fairness: level-triggered epoll re-reports
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            close_needed = true;
+                            break;
+                        }
+                    }
+                }
+            } else if bits & EPOLLRDHUP != 0 && conn.backlog() == 0 && conn.occupancy() == 0 {
+                // Peer hung up while we had nothing left to say (reads
+                // may be paused, so EPOLLIN would never fire again).
+                close_needed = true;
+            }
+        }
+        if close_needed {
+            self.close(idx);
+            return;
+        }
+        if bits & EPOLLOUT != 0 {
+            self.flush(idx);
+        }
+    }
+
+    /// Write as much backlog as the socket accepts; closes on error or
+    /// when a corrupt connection finishes flushing its last response.
+    fn flush(&mut self, idx: usize) {
+        let mut close_needed = false;
+        {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            while conn.write_pos < conn.write_buf.len() {
+                match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                    Ok(0) => {
+                        close_needed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.write_pos += n;
+                        self.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        close_needed = true;
+                        break;
+                    }
+                }
+            }
+            if !close_needed {
+                if conn.write_pos == conn.write_buf.len() {
+                    conn.write_buf.clear();
+                    conn.write_pos = 0;
+                    if conn.corrupt {
+                        close_needed = true;
+                    }
+                } else if conn.write_pos > 64 * 1024 {
+                    conn.write_buf.drain(..conn.write_pos);
+                    conn.write_pos = 0;
+                }
+            }
+        }
+        if close_needed {
+            self.close(idx);
+        }
+    }
+
+    /// Poll every in-flight future of connection `idx` once.
+    fn poll_conn(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return; // stale wake for a closed slot
+        };
+        let waker = conn.waker.clone();
+        let mut cx = Context::from_waker(&waker);
+        let mut i = 0;
+        while i < conn.inflight.len() {
+            match conn.inflight[i].future.poll(&mut cx) {
+                Poll::Pending => i += 1,
+                Poll::Ready(outcome) => {
+                    let inflight = conn.inflight.swap_remove(i);
+                    let response = match outcome {
+                        Ok(ite) => Response::Ite {
+                            request_id: inflight.request_id,
+                            ite,
+                        },
+                        Err(e) => Response::Error {
+                            request_id: inflight.request_id,
+                            status: status_of(&e),
+                            detail: e.to_string(),
+                        },
+                    };
+                    self.stats.record_response(&response);
+                    wire::encode_response(&response, &mut conn.write_buf);
+                }
+            }
+        }
+        self.flush(idx);
+    }
+
+    /// Round-robin parse/submit sweep over all live connections.
+    fn service_sweep(&mut self) {
+        let n = self.conns.len();
+        if n == 0 {
+            return;
+        }
+        self.cursor = (self.cursor + 1) % n;
+        for offset in 0..n {
+            let idx = (self.cursor + offset) % n;
+            if self.conns[idx].is_some() {
+                self.service_conn(idx);
+            }
+        }
+    }
+
+    fn service_conn(&mut self, idx: usize) {
+        let now = Instant::now();
+        // 1. Shed pending requests whose admission deadline has passed —
+        //    typed response, no backend work.
+        {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            let mut kept = VecDeque::with_capacity(conn.pending.len());
+            for pending in conn.pending.drain(..) {
+                if pending.deadline.is_some_and(|d| d <= now) {
+                    let response = Response::Error {
+                        request_id: pending.request.request_id,
+                        status: Status::Deadline,
+                        detail: format!(
+                            "deadline of {} ms expired before inference was admitted",
+                            pending.request.deadline_ms
+                        ),
+                    };
+                    self.stats.record_response(&response);
+                    wire::encode_response(&response, &mut conn.write_buf);
+                } else {
+                    kept.push_back(pending);
+                }
+            }
+            conn.pending = kept;
+        }
+
+        // 2. Parse frames (bounded per turn) and submit while slots
+        //    remain; new futures are polled once immediately so inline
+        //    completions and waker registration both happen.
+        let mut budget = self.cfg.frames_per_turn;
+        let mut submitted_any = false;
+        loop {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            if conn.corrupt {
+                break;
+            }
+            // Drain pending into in-flight slots first (FIFO per conn).
+            if conn.inflight.len() < self.cfg.max_inflight_per_conn {
+                if let Some(pending) = conn.pending.pop_front() {
+                    let request_id = pending.request.request_id;
+                    // Last call before the inference pool: a request
+                    // whose admission deadline ran out while it waited
+                    // for a slot is shed, not submitted.
+                    if pending.deadline.is_some_and(|d| d <= now) {
+                        let response = Response::Error {
+                            request_id,
+                            status: Status::Deadline,
+                            detail: format!(
+                                "deadline of {} ms expired before inference was admitted",
+                                pending.request.deadline_ms
+                            ),
+                        };
+                        self.stats.record_response(&response);
+                        wire::encode_response(&response, &mut conn.write_buf);
+                        continue;
+                    }
+                    match self.backend.submit(pending.request) {
+                        Ok(future) => {
+                            conn.inflight.push(Inflight { request_id, future });
+                            submitted_any = true;
+                        }
+                        Err(e) => {
+                            let response = Response::Error {
+                                request_id,
+                                status: status_of(&e),
+                                detail: e.to_string(),
+                            };
+                            self.stats.record_response(&response);
+                            wire::encode_response(&response, &mut conn.write_buf);
+                        }
+                    }
+                    continue;
+                }
+            }
+            // Then decode more frames while the waiting room has space.
+            // Decoding past the in-flight cap is deliberate: it starts
+            // the admission-deadline clock for queued requests, so a
+            // flood behind a slow request is shed instead of served
+            // arbitrarily late.
+            if budget == 0 || conn.pending.len() >= self.cfg.max_inflight_per_conn {
+                break;
+            }
+            match conn.reader.next_frame() {
+                Ok(None) => break,
+                Ok(Some(payload)) => {
+                    budget -= 1;
+                    match wire::decode_request(&payload) {
+                        Ok(request) => {
+                            self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                            let deadline = (request.deadline_ms > 0).then(|| {
+                                now + Duration::from_millis(u64::from(request.deadline_ms))
+                            });
+                            conn.pending.push_back(PendingSubmit { request, deadline });
+                        }
+                        Err(e) => self.wire_fault(idx, 0, e),
+                    }
+                }
+                Err(e) => {
+                    self.wire_fault(idx, 0, e);
+                    break;
+                }
+            }
+        }
+        if submitted_any {
+            self.poll_conn(idx);
+        }
+        self.flush(idx);
+        self.update_interest(idx);
+    }
+
+    /// Answer a hostile or corrupt frame and mark the connection for
+    /// close-after-flush: framing can no longer be trusted.
+    fn wire_fault(&mut self, idx: usize, request_id: u64, error: WireError) {
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        let response = Response::Error {
+            request_id,
+            status: Status::MalformedRequest,
+            detail: error.to_string(),
+        };
+        self.stats.record_response(&response);
+        wire::encode_response(&response, &mut conn.write_buf);
+        conn.corrupt = true;
+        conn.pending.clear();
+    }
+
+    /// Recompute a connection's epoll interest from its backpressure
+    /// state and pending writes.
+    fn update_interest(&mut self, idx: usize) {
+        let mut close_needed = false;
+        {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            let should_pause = conn.backlog() >= self.cfg.write_high_water
+                || (conn.pending.len() >= self.cfg.max_inflight_per_conn
+                    && conn.reader.has_frame());
+            if should_pause && !conn.paused {
+                self.stats
+                    .backpressure_pauses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            conn.paused = should_pause;
+            let mut interest = EPOLLRDHUP;
+            if !conn.paused && !conn.corrupt {
+                interest |= EPOLLIN;
+            }
+            if conn.backlog() > 0 {
+                interest |= EPOLLOUT;
+            }
+            if interest != conn.interest {
+                let token = idx as u64 + TOKEN_CONN0;
+                if self
+                    .epoll
+                    .modify(conn.stream.as_raw_fd(), interest, token)
+                    .is_ok()
+                {
+                    conn.interest = interest;
+                } else {
+                    close_needed = true;
+                }
+            }
+        }
+        if close_needed {
+            self.close(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{NetClient, NetError};
+    use cerl_core::config::CerlConfig;
+    use cerl_core::engine::CerlEngineBuilder;
+    use cerl_core::serving::ServingEngine;
+    use cerl_data::{DomainStream, SyntheticConfig, SyntheticGenerator};
+    use cerl_serve::BatchConfig;
+
+    fn quick_cfg() -> CerlConfig {
+        let mut cfg = CerlConfig::quick_test();
+        cfg.train.epochs = 4;
+        cfg.memory_size = 80;
+        cfg
+    }
+
+    fn quick_stream() -> DomainStream {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig {
+                n_units: 300,
+                ..SyntheticConfig::small()
+            },
+            29,
+        );
+        DomainStream::synthetic(&gen, 1, 0, 29)
+    }
+
+    fn scheduler_server(stream: &DomainStream) -> (NetServer, Arc<ServingEngine>) {
+        let mut engine = CerlEngineBuilder::new(quick_cfg()).seed(3).build().unwrap();
+        engine
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let serving = Arc::new(ServingEngine::new(engine));
+        let scheduler = Arc::new(BatchScheduler::new(
+            Arc::clone(&serving),
+            BatchConfig {
+                max_wait: Duration::from_millis(2),
+                ..BatchConfig::default()
+            },
+        ));
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            NetBackend::Scheduler(scheduler),
+            NetServerConfig::default(),
+        )
+        .unwrap();
+        (server, serving)
+    }
+
+    #[test]
+    fn serves_predictions_bitwise_identical_to_in_process() {
+        let stream = quick_stream();
+        let (server, serving) = scheduler_server(&stream);
+        let x = stream.domain(0).test.x.slice_rows(0, 6);
+        let reference = serving.predict_ite(&x).unwrap();
+
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let tags = vec![0u64; x.rows()];
+        for _ in 0..3 {
+            let ite = client.predict(&tags, &x, None).unwrap();
+            assert_eq!(ite.len(), reference.len());
+            for (a, b) in ite.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.responses_ok, 3);
+        assert_eq!(stats.rejected_serve, 0);
+        assert_eq!(stats.accepted, 1);
+    }
+
+    #[test]
+    fn hostile_frames_get_a_typed_answer_and_a_close_without_hurting_others() {
+        let stream = quick_stream();
+        let (server, serving) = scheduler_server(&stream);
+        let x = stream.domain(0).test.x.slice_rows(0, 4);
+        let reference = serving.predict_ite(&x).unwrap();
+        let tags = vec![0u64; x.rows()];
+
+        let mut healthy = NetClient::connect(server.local_addr()).unwrap();
+        let mut hostile = NetClient::connect(server.local_addr()).unwrap();
+
+        // A frame whose payload is garbage: typed MalformedRequest, then
+        // the server hangs up on the corrupt stream.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&8u32.to_le_bytes());
+        frame.extend_from_slice(&[0xFF; 8]);
+        hostile.send_raw(&frame).unwrap();
+        match hostile.recv_response().unwrap() {
+            Response::Error { status, .. } => assert_eq!(status, Status::MalformedRequest),
+            other => panic!("expected error response, got {other:?}"),
+        }
+        match hostile.recv_response() {
+            Err(NetError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected EOF after protocol fault, got {other:?}"),
+        }
+
+        // The healthy connection is completely unaffected.
+        let ite = healthy.predict(&tags, &x, None).unwrap();
+        assert_eq!(ite, reference);
+
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(stats.rejected_client, 1);
+        assert_eq!(stats.rejected_serve, 0);
+        assert_eq!(stats.responses_ok, 1);
+    }
+
+    #[test]
+    fn rejects_connections_past_the_limit() {
+        let stream = quick_stream();
+        let mut engine = CerlEngineBuilder::new(quick_cfg()).seed(3).build().unwrap();
+        engine
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let serving = Arc::new(ServingEngine::new(engine));
+        let scheduler = Arc::new(BatchScheduler::with_defaults(serving));
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            NetBackend::Scheduler(scheduler),
+            NetServerConfig {
+                max_connections: 2,
+                ..NetServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        let _a = NetClient::connect(server.local_addr()).unwrap();
+        let _b = NetClient::connect(server.local_addr()).unwrap();
+        let mut c = NetClient::connect(server.local_addr()).unwrap();
+        // The third connection is accepted then immediately closed.
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        match c.recv_response() {
+            Err(NetError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected over-limit close, got {other:?}"),
+        }
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.accepted, 3);
+        assert!(stats.closed >= 1);
+    }
+}

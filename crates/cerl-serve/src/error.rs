@@ -82,6 +82,34 @@ pub enum ServeError {
     Engine(CerlError),
 }
 
+impl ServeError {
+    /// Whether this failure is the **client's fault** — the request
+    /// itself was unservable — rather than a failure of the serving
+    /// fleet.
+    ///
+    /// Client faults: an unroutable domain tag, mismatched tag/row
+    /// counts, and requests the engine can never serve regardless of
+    /// health (wrong covariate width, empty input). Everything else —
+    /// queue overflow, scheduler shutdown, rebalance bookkeeping, any
+    /// other engine failure — is a serve fault.
+    ///
+    /// The split exists so a misbehaving network client flooding typed
+    /// rejections cannot masquerade as fleet regression:
+    /// [`CanaryConfig::verdict`](crate::orchestrator::CanaryConfig::verdict)
+    /// judges serve faults only. (The network layer's own client faults —
+    /// malformed frames, expired deadlines — are classified by
+    /// `cerl-net` before a `ServeError` ever exists.)
+    pub fn is_client_fault(&self) -> bool {
+        matches!(
+            self,
+            ServeError::UnknownDomain { .. }
+                | ServeError::DomainTagMismatch { .. }
+                | ServeError::Engine(CerlError::DimensionMismatch { .. })
+                | ServeError::Engine(CerlError::EmptyInput { .. })
+        )
+    }
+}
+
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -220,5 +248,31 @@ mod tests {
         let e: ServeError = CerlError::NotTrained.into();
         assert!(e.to_string().contains("not observed"));
         assert_eq!(e, ServeError::Engine(CerlError::NotTrained));
+    }
+
+    #[test]
+    fn fault_classification_separates_client_from_serve() {
+        // Client faults: the request was unservable by construction.
+        assert!(ServeError::UnknownDomain { domain: 7 }.is_client_fault());
+        assert!(ServeError::DomainTagMismatch { rows: 4, tags: 3 }.is_client_fault());
+        assert!(ServeError::Engine(CerlError::DimensionMismatch {
+            expected: 10,
+            found: 3
+        })
+        .is_client_fault());
+        assert!(ServeError::Engine(CerlError::EmptyInput {
+            what: "request matrix has no rows"
+        })
+        .is_client_fault());
+        // Serve faults: the fleet failed a well-formed request.
+        assert!(!ServeError::QueueFull { capacity: 8 }.is_client_fault());
+        assert!(!ServeError::SchedulerShutdown.is_client_fault());
+        assert!(!ServeError::Engine(CerlError::NotTrained).is_client_fault());
+        assert!(!ServeError::UnknownShard {
+            shard: 9,
+            shards: 3
+        }
+        .is_client_fault());
+        assert!(!ServeError::NoRebalancePending.is_client_fault());
     }
 }

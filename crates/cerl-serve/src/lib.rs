@@ -122,7 +122,7 @@ pub use orchestrator::{
     CanaryConfig, CanarySnapshot, CanaryWindow, MoveReport, OrchestratorConfig, PlanReport,
     RebalanceOrchestrator, RebalancePlan, RebalancePlanner, ShardLoad,
 };
-pub use router::{ScatterResponse, ShardRouter};
+pub use router::{ScatterHandle, ScatterResponse, ShardRouter};
 pub use scheduler::{BatchConfig, BatchScheduler, ResponseHandle, ServeStats};
 
 // Routing metadata lives in cerl-core (it is snapshot state); re-export

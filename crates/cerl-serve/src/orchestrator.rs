@@ -33,9 +33,12 @@
 //! been observed or [`CanaryConfig::max_wait`] has elapsed, then judges
 //! the window against three regression signals:
 //!
-//! 1. **Fleet error rate** — rejected / (answered + rejected) over the
-//!    window, from [`ShardRouter::canary_snapshot`] deltas, above
-//!    [`CanaryConfig::max_error_rate`];
+//! 1. **Fleet error rate** — serve-fault rejections / (answered +
+//!    rejected) over the window, from [`ShardRouter::canary_snapshot`]
+//!    deltas, above [`CanaryConfig::max_error_rate`]. Client faults
+//!    (malformed requests, unknown domains — see
+//!    [`ServeError::is_client_fault`]) are excluded, so a misbehaving
+//!    client cannot halt the plan;
 //! 2. **Involved-shard error rate** — the same ratio computed from the
 //!    source and destination shards' *per-version* counters
 //!    ([`ServingEngine::version_stats`](cerl_core::ServingEngine::version_stats),
@@ -105,8 +108,12 @@ pub struct ShardLoad {
 pub struct CanarySnapshot {
     /// Requests answered successfully since fleet construction.
     pub requests: u64,
-    /// Requests rejected since fleet construction.
+    /// Requests rejected since fleet construction (all faults).
     pub rejected: u64,
+    /// The subset of [`CanarySnapshot::rejected`] that were client
+    /// faults ([`ServeError::is_client_fault`]) — excluded from the
+    /// canary's serve-fault error rate.
+    pub rejected_client: u64,
     /// Raw end-to-end latency bucket counts (see
     /// [`LatencyHistogram::bucket_counts`]).
     pub end_to_end_buckets: [u64; BUCKET_COUNT],
@@ -142,14 +149,15 @@ pub struct CanaryConfig {
     /// Regression threshold for both the fleet-wide and the
     /// involved-shard rejection share over the window (default 0.02).
     ///
-    /// The fleet-wide rate counts *every* typed rejection, including
-    /// front-end request validation (unknown domain, tag mismatch) — the
-    /// canary is deliberately conservative: halting is cheap (the plan
-    /// resumes with a re-run) while committing into a degraded fleet is
-    /// not. On fleets with a persistent source of malformed client
-    /// traffic, raise this threshold or fix the client first; the
-    /// involved-shard signal, computed from engine-layer per-version
-    /// counters, is unaffected by routing-level rejections.
+    /// The fleet-wide rate counts **serve faults only** — rejections the
+    /// fleet is responsible for (queue overflow, scheduler shutdown,
+    /// engine failure). Client faults (unknown domain, tag mismatch,
+    /// wrong covariate width — see [`ServeError::is_client_fault`]) are
+    /// excluded, so a misbehaving network client flooding malformed
+    /// requests cannot halt a rebalance plan the fleet is executing
+    /// perfectly. The canary remains deliberately conservative about the
+    /// faults it does judge: halting is cheap (the plan resumes with a
+    /// re-run) while committing into a degraded fleet is not.
     pub max_error_rate: f64,
     /// Regression threshold for the window's p95 end-to-end latency as a
     /// multiple of the pre-plan baseline window's p95 (default 3.0;
@@ -174,8 +182,11 @@ impl Default for CanaryConfig {
 pub struct CanaryWindow {
     /// Fleet requests answered during the window.
     pub requests: u64,
-    /// Fleet requests rejected during the window.
+    /// Fleet requests rejected during the window (all faults).
     pub rejected: u64,
+    /// The subset of [`CanaryWindow::rejected`] that were client faults;
+    /// [`CanaryConfig::verdict`] judges `rejected - rejected_client`.
+    pub rejected_client: u64,
     /// The window's own p95 end-to-end latency (`None` when idle).
     pub p95: Option<Duration>,
     /// Requests the move's source/destination shards answered during the
@@ -192,12 +203,14 @@ impl CanaryConfig {
     /// a fleet or a clock.
     pub fn verdict(&self, baseline_p95: Option<Duration>, window: &CanaryWindow) -> Option<String> {
         let fleet_total = window.requests + window.rejected;
+        let serve_faults = window.rejected.saturating_sub(window.rejected_client);
         if fleet_total > 0 {
-            let rate = window.rejected as f64 / fleet_total as f64;
+            let rate = serve_faults as f64 / fleet_total as f64;
             if rate > self.max_error_rate {
                 return Some(format!(
-                    "fleet error rate {rate:.3} above {:.3} ({} of {} window requests rejected)",
-                    self.max_error_rate, window.rejected, fleet_total
+                    "fleet error rate {rate:.3} above {:.3} ({} of {} window requests rejected \
+                     with serve faults)",
+                    self.max_error_rate, serve_faults, fleet_total
                 ));
             }
         }
@@ -479,6 +492,7 @@ impl RebalanceOrchestrator {
             let window = CanaryWindow {
                 requests: after.requests.saturating_sub(before.requests),
                 rejected: after.rejected.saturating_sub(before.rejected),
+                rejected_client: after.rejected_client.saturating_sub(before.rejected_client),
                 p95: before.windowed_p95(&after),
                 shard_served: shards_after.0.saturating_sub(shards_before.0),
                 shard_rejected: shards_after.1.saturating_sub(shards_before.1),
@@ -681,6 +695,7 @@ mod tests {
         let healthy = CanaryWindow {
             requests: 100,
             rejected: 5,
+            rejected_client: 0,
             p95: Some(Duration::from_millis(10)),
             shard_served: 60,
             shard_rejected: 0,
@@ -717,6 +732,40 @@ mod tests {
         assert!(reason.contains("windowed p95"), "{reason}");
         // No baseline (idle pre-plan fleet): latency is not judged.
         assert_eq!(cfg.verdict(None, &slow), None);
+    }
+
+    #[test]
+    fn verdict_judges_serve_faults_only() {
+        let cfg = CanaryConfig {
+            max_error_rate: 0.1,
+            ..CanaryConfig::default()
+        };
+        // A hostile client flooding malformed requests: a 90% rejection
+        // rate, every one a client fault. The fleet is healthy — the
+        // plan must not halt.
+        let client_flood = CanaryWindow {
+            requests: 10,
+            rejected: 90,
+            rejected_client: 90,
+            ..CanaryWindow::default()
+        };
+        assert_eq!(cfg.verdict(None, &client_flood), None);
+        // The same rejection volume as serve faults halts immediately.
+        let serve_flood = CanaryWindow {
+            rejected_client: 0,
+            ..client_flood
+        };
+        let reason = cfg.verdict(None, &serve_flood).unwrap();
+        assert!(reason.contains("fleet error rate"), "{reason}");
+        // Mixed traffic: only the serve-fault share counts toward the
+        // threshold (5 serve faults over 100 total = 0.05 < 0.1).
+        let mixed = CanaryWindow {
+            requests: 55,
+            rejected: 45,
+            rejected_client: 40,
+            ..CanaryWindow::default()
+        };
+        assert_eq!(cfg.verdict(None, &mixed), None);
     }
 
     fn quick_cfg() -> CerlConfig {

@@ -60,7 +60,10 @@ use cerl_core::error::CerlError;
 use cerl_core::serving::ServingEngine;
 use cerl_core::snapshot::{ModelSnapshot, ShardMap};
 use cerl_math::Matrix;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::task::{Context, Poll};
 use std::time::Instant;
 
 /// One shard of the fleet: the hot-swappable engine plus its optional
@@ -92,6 +95,94 @@ pub struct ScatterResponse {
     /// pinned version, so every output row is attributable to exactly
     /// one entry here (via its row's domain tag and the pinned map).
     pub shard_versions: Vec<(usize, u64)>,
+}
+
+/// In-flight response of a [`ShardRouter::submit_scatter`] call.
+///
+/// Resolves once every participating shard's sub-batch has answered;
+/// consume it by blocking ([`ScatterHandle::wait`]) or by `.await`ing /
+/// polling it. Polling drives each still-pending per-shard
+/// [`ResponseHandle`] with the caller's waker, so a reactor wakes
+/// exactly when a sub-batch lands. Any sub-batch failure fails the
+/// whole request with that sub-batch's typed error (sub-batches already
+/// submitted still execute; their slices are discarded). Dropping the
+/// handle abandons the request the same way.
+#[must_use = "submit_scatter() only enqueues; wait() or poll to receive the prediction"]
+pub struct ScatterHandle {
+    rows: usize,
+    rows_by_shard: Vec<Vec<usize>>,
+    pending: Vec<(usize, ResponseHandle)>,
+    resolved: Vec<(usize, u64, Vec<f64>)>,
+    submitted: Instant,
+    metrics: Arc<ServeMetrics>,
+    done: bool,
+}
+
+impl ScatterHandle {
+    /// Block until every sub-batch has answered and gather the merged
+    /// [`ScatterResponse`].
+    pub fn wait(mut self) -> Result<ScatterResponse, ServeError> {
+        while !self.pending.is_empty() {
+            let (shard, handle) = self.pending.remove(0);
+            match handle.wait() {
+                Ok((version, slice)) => self.resolved.push((shard, version, slice)),
+                Err(e) => return Err(self.fail(e)),
+            }
+        }
+        Ok(self.finish())
+    }
+
+    fn fail(&mut self, e: ServeError) -> ServeError {
+        self.done = true;
+        self.metrics.record_rejection(&e);
+        e
+    }
+
+    /// Gather resolved slices into submission order and record the
+    /// request (shared tail of `wait` and `poll`).
+    fn finish(&mut self) -> ScatterResponse {
+        self.done = true;
+        let mut ite = vec![0.0f64; self.rows];
+        self.resolved.sort_unstable_by_key(|&(shard, _, _)| shard);
+        let mut shard_versions = Vec::with_capacity(self.resolved.len());
+        for (shard, version, slice) in &self.resolved {
+            gather(&mut ite, &self.rows_by_shard[*shard], slice);
+            shard_versions.push((*shard, *version));
+        }
+        self.metrics
+            .record_scatter(&shard_versions, self.submitted.elapsed());
+        ScatterResponse {
+            ite,
+            shard_versions,
+        }
+    }
+}
+
+impl Future for ScatterHandle {
+    type Output = Result<ScatterResponse, ServeError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        assert!(!this.done, "ScatterHandle polled after completion");
+        let mut i = 0;
+        while i < this.pending.len() {
+            match Pin::new(&mut this.pending[i].1).poll(cx) {
+                Poll::Pending => i += 1,
+                Poll::Ready(outcome) => {
+                    let (shard, _) = this.pending.swap_remove(i);
+                    match outcome {
+                        Ok((version, slice)) => this.resolved.push((shard, version, slice)),
+                        Err(e) => return Poll::Ready(Err(this.fail(e))),
+                    }
+                }
+            }
+        }
+        if this.pending.is_empty() {
+            Poll::Ready(Ok(this.finish()))
+        } else {
+            Poll::Pending
+        }
+    }
 }
 
 /// Domain-keyed router over N independently hot-swappable serving shards
@@ -296,7 +387,7 @@ impl ShardRouter {
                 Ok((version, ite))
             }
             Err(e) => {
-                self.metrics.record_rejection();
+                self.metrics.record_rejection(&e);
                 Err(e)
             }
         }
@@ -325,21 +416,32 @@ impl ShardRouter {
         domains: &[u64],
         x: &Matrix,
     ) -> Result<ScatterResponse, ServeError> {
-        let start = Instant::now();
-        match self.scatter_gather(domains, x) {
-            Ok(response) => {
-                self.metrics
-                    .record_scatter(&response.shard_versions, start.elapsed());
-                Ok(response)
-            }
+        self.submit_scatter(domains, x)?.wait()
+    }
+
+    /// Enqueue one mixed-domain request without blocking for its result.
+    ///
+    /// The demux and per-shard submissions happen here (so topology is
+    /// pinned and row order fixed at call time); the returned
+    /// [`ScatterHandle`] resolves — by blocking
+    /// ([`ScatterHandle::wait`]) or by polling (it is a [`Future`]) —
+    /// once every shard's sub-batch has answered. On a **batched** fleet
+    /// this call never blocks on inference, which is what lets a single
+    /// reactor thread keep thousands of scatter requests in flight; on
+    /// an unbatched fleet each shard's pinned parallel pass runs inline
+    /// before this returns.
+    pub fn submit_scatter(&self, domains: &[u64], x: &Matrix) -> Result<ScatterHandle, ServeError> {
+        match self.scatter_submit(domains, x) {
+            Ok(handle) => Ok(handle),
             Err(e) => {
-                self.metrics.record_rejection();
+                self.metrics.record_rejection(&e);
                 Err(e)
             }
         }
     }
 
-    fn scatter_gather(&self, domains: &[u64], x: &Matrix) -> Result<ScatterResponse, ServeError> {
+    fn scatter_submit(&self, domains: &[u64], x: &Matrix) -> Result<ScatterHandle, ServeError> {
+        let submitted = Instant::now();
         if domains.len() != x.rows() {
             return Err(ServeError::DomainTagMismatch {
                 rows: x.rows(),
@@ -363,14 +465,13 @@ impl ShardRouter {
             rows_by_shard[shard].push(row);
         }
 
-        let mut ite = vec![0.0f64; x.rows()];
-        let mut shard_versions = Vec::new();
         // Fan out: with batching, submit every sub-batch before waiting
         // on any, so the shards' collector threads coalesce and execute
         // them concurrently; unbatched shards run a pinned parallel pass
         // inline. `rows_by_shard[shard]` is ascending, so each sub-batch
         // preserves the request's original row order.
         let mut pending: Vec<(usize, ResponseHandle)> = Vec::new();
+        let mut resolved: Vec<(usize, u64, Vec<f64>)> = Vec::new();
         for (shard, rows) in rows_by_shard
             .iter()
             .enumerate()
@@ -384,19 +485,18 @@ impl ShardRouter {
                         .engine
                         .predict_ite_parallel_versioned(&sub, 0)
                         .map_err(ServeError::Engine)?;
-                    gather(&mut ite, rows, &slice);
-                    shard_versions.push((shard, version));
+                    resolved.push((shard, version, slice));
                 }
             }
         }
-        for (shard, handle) in pending {
-            let (version, slice) = handle.wait()?;
-            gather(&mut ite, &rows_by_shard[shard], &slice);
-            shard_versions.push((shard, version));
-        }
-        Ok(ScatterResponse {
-            ite,
-            shard_versions,
+        Ok(ScatterHandle {
+            rows: x.rows(),
+            rows_by_shard,
+            pending,
+            resolved,
+            submitted,
+            metrics: Arc::clone(&self.metrics),
+            done: false,
         })
     }
 

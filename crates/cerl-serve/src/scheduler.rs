@@ -39,9 +39,12 @@ use cerl_core::error::CerlError;
 use cerl_core::serving::ServingEngine;
 use cerl_math::Matrix;
 use std::collections::BTreeMap;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::task::{Context, Poll, Waker};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -91,6 +94,7 @@ impl BatchConfig {
 pub(crate) struct ServeMetrics {
     requests: AtomicU64,
     rejected: AtomicU64,
+    rejected_client: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
     batched_rows: AtomicU64,
@@ -126,8 +130,15 @@ impl ServeMetrics {
             .or_insert(0) += 1;
     }
 
-    pub(crate) fn record_rejection(&self) {
+    /// One rejected request, classified by fault: client faults (the
+    /// request itself was unservable — see [`ServeError::is_client_fault`])
+    /// are counted separately so canary verdicts can judge serve health
+    /// without being halted by a misbehaving client.
+    pub(crate) fn record_rejection(&self, error: &ServeError) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+        if error.is_client_fault() {
+            self.rejected_client.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// One answered cross-shard scatter-gather request: counted once as a
@@ -158,6 +169,7 @@ impl ServeMetrics {
         crate::orchestrator::CanarySnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            rejected_client: self.rejected_client.load(Ordering::Relaxed),
             end_to_end_buckets: self.end_to_end.bucket_counts(),
         }
     }
@@ -166,6 +178,7 @@ impl ServeMetrics {
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            rejected_client: self.rejected_client.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             batched_rows: self.batched_rows.load(Ordering::Relaxed),
@@ -191,8 +204,14 @@ impl ServeMetrics {
 pub struct ServeStats {
     /// Requests answered successfully.
     pub requests: u64,
-    /// Requests rejected with a [`ServeError`].
+    /// Requests rejected with a [`ServeError`] (all faults).
     pub rejected: u64,
+    /// The subset of [`ServeStats::rejected`] that were **client faults**
+    /// — the request itself was unservable (unknown domain, wrong
+    /// covariate width, empty input; see [`ServeError::is_client_fault`]).
+    /// `rejected - rejected_client` (= [`ServeStats::rejected_serve`]) is
+    /// the serve-fault count a canary should judge.
+    pub rejected_client: u64,
     /// Coalesced forward passes executed.
     pub batches: u64,
     /// Total requests that entered a coalesced forward pass (excludes
@@ -222,6 +241,12 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
+    /// Rejections that were the serving fleet's fault (queue overflow,
+    /// shutdown, engine failure) — the class a canary verdict judges.
+    pub fn rejected_serve(&self) -> u64 {
+        self.rejected.saturating_sub(self.rejected_client)
+    }
+
     /// Mean requests coalesced per forward pass (1.0 = no batching won).
     pub fn mean_requests_per_batch(&self) -> f64 {
         if self.batches == 0 {
@@ -250,29 +275,123 @@ impl ServeStats {
 
 type ReplyPayload = Result<(u64, Vec<f64>), ServeError>;
 
+/// One-shot completion slot shared between a queued request and its
+/// [`ResponseHandle`]. The handle can consume the outcome two ways:
+/// blocking on the condvar ([`ResponseHandle::wait`]) or registering a
+/// task [`Waker`] (the [`Future`] impl) — the latter is what lets one
+/// reactor thread multiplex thousands of in-flight requests without a
+/// thread per connection.
+struct ReplySlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct SlotState {
+    fulfilled: bool,
+    payload: Option<ReplyPayload>,
+    waker: Option<Waker>,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SlotState::default()),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Deliver the outcome — first fulfillment wins, later calls are
+    /// no-ops — and wake whichever side waits: condvar blocker or waker.
+    fn fulfill(&self, payload: ReplyPayload) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.fulfilled {
+            return;
+        }
+        state.fulfilled = true;
+        state.payload = Some(payload);
+        let waker = state.waker.take();
+        drop(state);
+        self.ready.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+
+    fn wait_payload(&self) -> ReplyPayload {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(payload) = state.payload.take() {
+                return payload;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking poll: takes the payload if delivered, otherwise
+    /// (re)registers `waker` to fire on fulfillment.
+    fn poll_payload(&self, waker: &Waker) -> Option<ReplyPayload> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(payload) = state.payload.take() {
+            return Some(payload);
+        }
+        match &mut state.waker {
+            Some(existing) => existing.clone_from(waker),
+            None => state.waker = Some(waker.clone()),
+        }
+        None
+    }
+}
+
 /// One queued prediction request awaiting its batch.
 struct PendingRequest {
     x: Matrix,
     enqueued: Instant,
-    reply: mpsc::Sender<ReplyPayload>,
+    slot: Arc<ReplySlot>,
+}
+
+impl Drop for PendingRequest {
+    fn drop(&mut self) {
+        // Dropped without being served (scheduler shutdown mid-drain, or
+        // a panic unwinding a batch): the waiting handle gets the typed
+        // shutdown error instead of hanging forever. After a normal
+        // fulfillment this is a no-op.
+        self.slot.fulfill(Err(ServeError::SchedulerShutdown));
+    }
 }
 
 /// In-flight response of a [`BatchScheduler::submit`] call.
 ///
+/// Consume it either by blocking ([`ResponseHandle::wait`]) or by
+/// `.await`/polling it — the handle is a true [`Future`], resolved by
+/// the collector thread through the stored waker, so an event loop can
+/// keep thousands of requests in flight without blocking a thread each.
+///
 /// Dropping the handle abandons the request (the batch still runs; the
 /// result is discarded and not counted in [`ServeStats::requests`]).
-#[must_use = "submit() only enqueues; call wait() to receive the prediction"]
+#[must_use = "submit() only enqueues; wait() or poll to receive the prediction"]
 pub struct ResponseHandle {
-    rx: mpsc::Receiver<ReplyPayload>,
+    slot: Arc<ReplySlot>,
     submitted: Instant,
     metrics: Arc<ServeMetrics>,
+    done: bool,
 }
 
 impl ResponseHandle {
     /// Block until the batch containing this request has executed;
     /// returns the serving engine version and the request's own ITE rows.
-    pub fn wait(self) -> Result<(u64, Vec<f64>), ServeError> {
-        let outcome = self.rx.recv().unwrap_or(Err(ServeError::SchedulerShutdown));
+    pub fn wait(mut self) -> Result<(u64, Vec<f64>), ServeError> {
+        let outcome = self.slot.wait_payload();
+        self.settle(outcome)
+    }
+
+    /// Record the outcome in the serve-path metrics exactly once and
+    /// hand it to the caller (shared tail of `wait` and `poll`).
+    fn settle(&mut self, outcome: ReplyPayload) -> Result<(u64, Vec<f64>), ServeError> {
+        self.done = true;
         match outcome {
             Ok((version, ite)) => {
                 self.metrics
@@ -280,9 +399,22 @@ impl ResponseHandle {
                 Ok((version, ite))
             }
             Err(e) => {
-                self.metrics.record_rejection();
+                self.metrics.record_rejection(&e);
                 Err(e)
             }
+        }
+    }
+}
+
+impl Future for ResponseHandle {
+    type Output = Result<(u64, Vec<f64>), ServeError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        assert!(!this.done, "ResponseHandle polled after completion");
+        match this.slot.poll_payload(cx.waker()) {
+            Some(outcome) => Poll::Ready(this.settle(outcome)),
+            None => Poll::Pending,
         }
     }
 }
@@ -349,39 +481,43 @@ impl BatchScheduler {
     pub fn submit(&self, x: Matrix) -> Result<ResponseHandle, ServeError> {
         let submitted = Instant::now();
         if x.rows() == 0 {
-            self.metrics.record_rejection();
-            return Err(ServeError::Engine(CerlError::EmptyInput {
+            let e = ServeError::Engine(CerlError::EmptyInput {
                 what: "request matrix has no rows",
-            }));
+            });
+            self.metrics.record_rejection(&e);
+            return Err(e);
         }
         if let Some(expected) = self.engine.current().engine().covariate_dim() {
             if x.cols() != expected {
-                self.metrics.record_rejection();
-                return Err(ServeError::Engine(CerlError::DimensionMismatch {
+                let e = ServeError::Engine(CerlError::DimensionMismatch {
                     expected,
                     found: x.cols(),
-                }));
+                });
+                self.metrics.record_rejection(&e);
+                return Err(e);
             }
         }
-        let (reply, rx) = mpsc::channel();
+        let slot = ReplySlot::new();
         let pending = PendingRequest {
             x,
             enqueued: submitted,
-            reply,
+            slot: Arc::clone(&slot),
         };
-        self.queue.try_send(pending).map_err(|e| {
-            self.metrics.record_rejection();
-            match e {
+        if let Err(e) = self.queue.try_send(pending) {
+            let err = match e {
                 TrySendError::Full(_) => ServeError::QueueFull {
                     capacity: self.cfg.queue_capacity,
                 },
                 TrySendError::Disconnected(_) => ServeError::SchedulerShutdown,
-            }
-        })?;
+            };
+            self.metrics.record_rejection(&err);
+            return Err(err);
+        }
         Ok(ResponseHandle {
-            rx,
+            slot,
             submitted,
             metrics: Arc::clone(&self.metrics),
+            done: false,
         })
     }
 
@@ -515,12 +651,12 @@ fn serve_batch(
                     let slice = ite[offset..offset + n].to_vec();
                     offset += n;
                     // A dropped ResponseHandle just discards its slice.
-                    let _ = batch[i].reply.send(Ok((version, slice)));
+                    batch[i].slot.fulfill(Ok((version, slice)));
                 }
             }
             Err(e) => {
                 for &i in &members {
-                    let _ = batch[i].reply.send(Err(ServeError::Engine(e.clone())));
+                    batch[i].slot.fulfill(Err(ServeError::Engine(e.clone())));
                 }
             }
         }
@@ -724,6 +860,65 @@ mod tests {
         let stats = scheduler.stats();
         assert_eq!(stats.requests, 2);
         assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn response_handle_resolves_as_a_future_through_the_stored_waker() {
+        use std::sync::atomic::AtomicBool;
+        use std::task::Wake;
+
+        /// Waker that flags readiness and unparks the polling thread —
+        /// the same shape a socket reactor uses (flag a token, kick the
+        /// event loop awake).
+        struct Unparker {
+            woken: AtomicBool,
+            thread: std::thread::Thread,
+        }
+        impl Wake for Unparker {
+            fn wake(self: Arc<Self>) {
+                self.woken.store(true, Ordering::Release);
+                self.thread.unpark();
+            }
+        }
+
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        let scheduler = BatchScheduler::new(
+            Arc::clone(&serving),
+            BatchConfig {
+                max_wait: Duration::from_millis(10),
+                ..BatchConfig::default()
+            },
+        );
+        let x = stream.domain(0).test.x.slice_rows(0, 3);
+        let mut handle = scheduler.submit(x.clone()).unwrap();
+
+        let unparker = Arc::new(Unparker {
+            woken: AtomicBool::new(false),
+            thread: std::thread::current(),
+        });
+        let waker = Waker::from(Arc::clone(&unparker));
+        let mut cx = Context::from_waker(&waker);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let (version, ite) = loop {
+            match Pin::new(&mut handle).poll(&mut cx) {
+                Poll::Ready(outcome) => break outcome.unwrap(),
+                Poll::Pending => {
+                    // Sleep until the collector fulfills the slot and the
+                    // stored waker unparks us — no busy spin.
+                    while !unparker.woken.swap(false, Ordering::Acquire) {
+                        assert!(Instant::now() < deadline, "waker never fired");
+                        std::thread::park_timeout(Duration::from_millis(50));
+                    }
+                }
+            }
+        };
+        assert_eq!(version, 1);
+        assert_eq!(ite, serving.predict_ite(&x).unwrap());
+        let stats = scheduler.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.rejected_client, 0);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`data`] | synthetic §IV.C generator, News/BlogCatalog simulators, domain streams |
 //! | [`core`] | the CERL learner, serving engine, CFR baselines, strategies, metrics |
 //! | [`serve`] | micro-batching scheduler, shard-per-domain router, latency histograms |
+//! | [`net`] | epoll socket front-end: binary wire protocol, admission deadlines, connection backpressure |
 //!
 //! ## Quickstart: the serving engine
 //!
@@ -248,6 +249,79 @@
 //! # Ok::<(), cerl::serve::ServeError>(())
 //! ```
 //!
+//! ## Serving over the network
+//!
+//! The [`net`] layer puts a real socket in front of all of the above: a
+//! [`NetServer`](prelude::NetServer) runs a single-threaded `epoll`
+//! reactor (no external runtime) that decodes a length-prefixed binary
+//! protocol, submits each request to a [`NetBackend`](prelude::NetBackend)
+//! — a [`BatchScheduler`](prelude::BatchScheduler) or a
+//! [`ShardRouter`](prelude::ShardRouter) — and polls the returned handles
+//! as `Future`s via per-connection wakers, so one thread multiplexes
+//! thousands of in-flight requests. A prediction served over the socket
+//! is **bitwise identical** to the same request answered in-process.
+//!
+//! Request frames (little-endian; responses mirror the header and carry
+//! either ITE rows or a typed status + detail string):
+//!
+//! | bytes | field |
+//! |-------|-------|
+//! | 4 | frame length `u32` (16 MiB cap — hostile prefixes are rejected, never allocated) |
+//! | 1, 1, 1, 1 | magic `0xC3`, protocol version, kind (0 = request), flags (must be 0) |
+//! | 8 | request id `u64` (echoed in the response) |
+//! | 4 | admission deadline in ms, `u32` (0 = none) |
+//! | 4, 4 | rows `u32`, cols `u32` |
+//! | rows × 8 | per-row domain tags `u64` (ignored by the scheduler backend) |
+//! | rows × cols × 8 | covariates, `f64` bit patterns |
+//!
+//! Per connection the reactor enforces a bounded in-flight window,
+//! sheds requests whose **admission deadline** expires before a slot
+//! frees (typed [`Deadline`](prelude::WireStatus::Deadline) response,
+//! no inference spent), and stops *reading* any socket whose response
+//! backlog passes the high-water mark, so a slow reader pushes back on
+//! itself instead of on the fleet. Malformed bytes always produce a
+//! typed [`MalformedRequest`](prelude::WireStatus::MalformedRequest) —
+//! client faults and serve faults are counted separately
+//! ([`NetStatsSnapshot`](prelude::NetStatsSnapshot)), mirroring the
+//! canary taxonomy of
+//! [`ServeError::is_client_fault`](prelude::ServeError::is_client_fault).
+//!
+//! ```
+//! use cerl::prelude::*;
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 19);
+//! let stream = DomainStream::synthetic(&gen, 1, 0, 19);
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 2; // doc-test speed
+//! let mut engine = CerlEngineBuilder::new(cfg).seed(19).build()?;
+//! engine.observe(&stream.domain(0).train, &stream.domain(0).val)?;
+//!
+//! // In-process stack: serving engine + micro-batching scheduler.
+//! let serving = Arc::new(ServingEngine::new(engine));
+//! let scheduler = Arc::new(BatchScheduler::new(
+//!     Arc::clone(&serving),
+//!     BatchConfig { max_wait: Duration::from_millis(1), ..BatchConfig::default() },
+//! ));
+//!
+//! // Put a socket in front of it and talk to it like any client would.
+//! let server = NetServer::bind(
+//!     "127.0.0.1:0",
+//!     NetBackend::Scheduler(scheduler),
+//!     NetServerConfig::default(),
+//! )?;
+//! let mut client = NetClient::connect(server.local_addr())?;
+//!
+//! let x = stream.domain(0).test.x.slice_rows(0, 4);
+//! let ite = client.predict(&[0; 4], &x, Some(Duration::from_secs(5)))?;
+//! assert_eq!(ite, serving.predict_ite(&x)?); // bitwise, across the socket
+//!
+//! let stats = server.shutdown()?;
+//! assert_eq!((stats.responses_ok, stats.rejected_serve), (1, 0));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! ## Research-style API
 //!
 //! The original research-facing types remain available: construct
@@ -273,6 +347,7 @@
 pub use cerl_core as core;
 pub use cerl_data as data;
 pub use cerl_math as math;
+pub use cerl_net as net;
 pub use cerl_nn as nn;
 pub use cerl_ot as ot;
 pub use cerl_rand as rand;
@@ -292,10 +367,14 @@ pub mod prelude {
         SemiSyntheticGenerator, SyntheticConfig, SyntheticGenerator,
     };
     pub use cerl_math::Matrix;
+    pub use cerl_net::{
+        NetBackend, NetClient, NetError, NetServer, NetServerConfig, NetStatsSnapshot,
+        Request as WireRequest, Response as WireResponse, Status as WireStatus, WireError,
+    };
     pub use cerl_serve::{
         BatchConfig, BatchScheduler, CanaryConfig, CanarySnapshot, CanaryWindow, LatencyHistogram,
         LatencySnapshot, MoveReport, OrchestratorConfig, PlanReport, RebalanceOrchestrator,
-        RebalancePlan, RebalancePlanner, ResponseHandle, ScatterResponse, ServeError, ServeStats,
-        ShardLoad, ShardRouter,
+        RebalancePlan, RebalancePlanner, ResponseHandle, ScatterHandle, ScatterResponse,
+        ServeError, ServeStats, ShardLoad, ShardRouter,
     };
 }

@@ -13,10 +13,13 @@
 //!   destination shard's *pre-commit* engine;
 //! * **plan determinism** — the same `(topology, target, loads)` triple
 //!   yields the same move order, byte for byte;
-//! * **auto-abort** — an injected canary regression (a flood of rejected
-//!   requests during a move's dual-route window) halts the plan with
-//!   `ServeError::PlanHalted`, aborts the in-flight move, and leaves the
-//!   committed prefix serving every domain from a valid topology.
+//! * **auto-abort** — an injected canary regression (the destination
+//!   shard failing requests on its published version during a move's
+//!   dual-route window) halts the plan with `ServeError::PlanHalted`,
+//!   aborts the in-flight move, and leaves the committed prefix serving
+//!   every domain from a valid topology. Client faults are excluded from
+//!   the verdict, so a hostile flood of unroutable requests running at
+//!   the same time cannot be what trips it.
 
 use cerl::prelude::*;
 use std::collections::HashMap;
@@ -332,10 +335,14 @@ fn orchestrated_plan_under_batched_scatter_load() {
     }));
 }
 
-/// An injected canary regression — a flood of rejected requests during
-/// the second move's dual-route window — must abort that move, halt the
-/// plan with `PlanHalted`, and leave the fleet serving every domain from
-/// the valid intermediate topology formed by the committed prefix.
+/// An injected canary regression — the second move's destination shard
+/// failing requests on its published version during the dual-route
+/// window — must abort that move, halt the plan with `PlanHalted`, and
+/// leave the fleet serving every domain from the valid intermediate
+/// topology formed by the committed prefix. A concurrent hostile flood
+/// of unroutable requests (client faults, excluded from the verdict)
+/// must *not* be what trips it — the fleet-level serve-fault rate stays
+/// clean; it is the involved-shard rate that halts the plan.
 /// Re-running the plan once the regression clears finishes the job.
 #[test]
 fn injected_canary_regression_aborts_and_leaves_a_serving_topology() {
@@ -388,33 +395,51 @@ fn injected_canary_regression_aborts_and_leaves_a_serving_topology() {
                 }
             });
         }
-        // The attacker waits for the first commit (the moved domain's
-        // route flips), then floods unroutable requests: cheap typed
-        // rejections that spike the fleet's canary error rate inside the
-        // second move's window.
+        // After the first commit (the moved domain's route flips), two
+        // things start at once. A hostile client floods unroutable
+        // requests — typed *client* faults, which the canary verdict
+        // excludes, so they must be powerless to halt the plan. And the
+        // second move's destination shard starts failing requests on
+        // its published version (a wrong-width matrix hammered straight
+        // at the shard's serving engine) — the genuine serve-side
+        // regression the involved-shard canary branch must catch. One
+        // thread interleaves both 1:1, so however the 1-CPU scheduler
+        // slices the canary window, the client-fault rejections filling
+        // it are matched by shard-side rejections landing inside it.
         {
             let router = Arc::clone(&router);
             let stop = &stop;
             scope.spawn(move || {
-                let x = fx.stream.domain(0).test.x.slice_rows(0, 1);
+                let good = fx.stream.domain(0).test.x.slice_rows(0, 1);
+                let bad = Matrix::from_vec(1, 1, vec![0.5]);
                 while !stop.load(Ordering::Relaxed) && router.route(first.domain) != Ok(first.to) {
                     std::thread::yield_now();
                 }
                 while !stop.load(Ordering::Relaxed) {
-                    let _ = router.predict_ite_scatter(&[999], &x);
+                    let _ = router.predict_ite_scatter(&[999], &good);
+                    let _ = router.shard(second.to).unwrap().predict_ite(&bad);
                 }
             });
         }
 
         // Staging the second move's successor happens after the first
         // commit and before the second canary window opens, so holding
-        // the provider until the flood is verifiably in flight makes the
-        // injection deterministic — the window cannot fill with healthy
-        // traffic and close before any rejection lands.
+        // the provider until the shard-side regression is verifiably in
+        // flight makes the injection deterministic — the window cannot
+        // fill with healthy traffic and close before any rejection lands.
+        let dest_rejections = || -> u64 {
+            router
+                .shard(second.to)
+                .unwrap()
+                .version_stats()
+                .iter()
+                .map(|v| v.rejected)
+                .sum()
+        };
         let outcome = orchestrator.execute(&plan, |mv| {
             if mv.domain == second.domain {
                 let t0 = Instant::now();
-                while router.stats().rejected < 50 {
+                while dest_rejections() < 50 {
                     assert!(
                         t0.elapsed() < Duration::from_secs(120),
                         "timed out waiting for the injected regression to start"
@@ -437,7 +462,9 @@ fn injected_canary_regression_aborts_and_leaves_a_serving_topology() {
         } => {
             assert_eq!(domain, second.domain);
             assert_eq!((committed, remaining), (1, 1));
-            assert!(reason.contains("error rate"), "{reason}");
+            // The *involved-shard* branch tripped — the hostile flood's
+            // client faults left the fleet-level serve rate clean.
+            assert!(reason.contains("involved-shard error rate"), "{reason}");
         }
         other => panic!("expected PlanHalted, got {other:?}"),
     }
