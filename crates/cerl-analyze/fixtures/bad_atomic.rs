@@ -1,0 +1,8 @@
+//! Fixture: an atomic access with no `// ordering:` comment naming the
+//! happens-before edge. Expected finding: `atomic-ordering`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

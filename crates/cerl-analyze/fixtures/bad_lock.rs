@@ -1,0 +1,13 @@
+//! Fixture: a mutex guard held across a channel `recv()`. Expected
+//! finding: `lock-blocking`.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub fn drain(state: &Mutex<Vec<u64>>, rx: &Receiver<u64>) {
+    // panic-ok: fixture; poisoning is unrecoverable here.
+    let mut guard = state.lock().unwrap();
+    while let Ok(v) = rx.recv() {
+        guard.push(v);
+    }
+}

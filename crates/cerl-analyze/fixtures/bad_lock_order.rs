@@ -1,0 +1,16 @@
+//! Fixture: the published-pointer lock (`current`) written without the
+//! writer lock held first. Expected finding: `lock-order`.
+
+use std::sync::RwLock;
+
+pub struct Published {
+    current: RwLock<u64>,
+}
+
+impl Published {
+    pub fn publish(&self, v: u64) {
+        // panic-ok: fixture; poisoning is unrecoverable here.
+        let mut cur = self.current.write().unwrap();
+        *cur = v;
+    }
+}

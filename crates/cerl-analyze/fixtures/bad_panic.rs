@@ -1,0 +1,6 @@
+//! Fixture: `.unwrap()` on the serving path with no `// panic-ok:`
+//! reason. Expected finding: `panic-path`.
+
+pub fn first(v: &[u64]) -> u64 {
+    v.first().copied().unwrap()
+}

@@ -1,0 +1,12 @@
+//! Fixture: `SeqCst` on a hot-path module. The `// ordering:` comment
+//! satisfies the audit rule, but `seqcst-hot-path` is not waivable —
+//! a weaker ordering (or a written argument for why total order is
+//! required) must land in review, not in an annotation.
+//! Expected finding: `seqcst-hot-path`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn read(c: &AtomicU64) -> u64 {
+    // ordering: annotated, but SeqCst is still flagged on hot paths.
+    c.load(Ordering::SeqCst)
+}

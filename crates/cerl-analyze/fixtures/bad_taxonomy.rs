@@ -1,0 +1,14 @@
+//! Fixture: a fault-classified enum whose classifier never mentions two
+//! of its variants. Expected findings: `taxonomy` (Pass and Skip).
+
+pub enum Verdict {
+    Pass,
+    Fail,
+    Skip,
+}
+
+impl Verdict {
+    pub fn is_client_fault(&self) -> bool {
+        matches!(self, Verdict::Fail)
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: a fault classifier hiding behind a wildcard arm — adding a
+//! variant would silently classify it instead of forcing a decision.
+//! Expected finding: `taxonomy` (wildcard; `Ok` also unmapped).
+
+pub enum Code {
+    Ok,
+    Err,
+}
+
+impl Code {
+    pub fn is_client_fault(&self) -> bool {
+        match self {
+            Code::Err => true,
+            _ => false,
+        }
+    }
+}

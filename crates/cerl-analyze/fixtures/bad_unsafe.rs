@@ -1,0 +1,6 @@
+//! Fixture: an `unsafe` block with no `// SAFETY:` justification.
+//! Expected finding: `unsafe-comment`.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

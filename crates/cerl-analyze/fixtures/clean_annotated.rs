@@ -1,0 +1,55 @@
+//! Fixture: every rule's happy path in one file — annotated unsafe,
+//! justified atomics, waived panics, guard dropped before blocking,
+//! writer-lock-then-pointer-lock order, exhaustive classifier.
+//! Expected findings: none.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Mutex, RwLock};
+
+pub struct Published {
+    writer_lock: Mutex<()>,
+    current: RwLock<u64>,
+    counter: AtomicU64,
+}
+
+pub enum Verdict {
+    Pass,
+    Fail,
+}
+
+impl Verdict {
+    pub fn is_client_fault(&self) -> bool {
+        match self {
+            Verdict::Pass => false,
+            Verdict::Fail => true,
+        }
+    }
+}
+
+impl Published {
+    pub fn publish(&self, v: u64) {
+        // panic-ok: poisoning is unrecoverable in this fixture.
+        let _writer = self.writer_lock.lock().unwrap();
+        // lock-order: `writer_lock` above strictly precedes this
+        // pointer-lock write.
+        // panic-ok: poisoning is unrecoverable in this fixture.
+        let mut cur = self.current.write().unwrap();
+        *cur = v;
+        self.counter.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
+    }
+
+    pub fn drain(&self, rx: &Receiver<u64>) {
+        {
+            // panic-ok: poisoning is unrecoverable in this fixture.
+            let _g = self.writer_lock.lock().unwrap();
+        }
+        while rx.recv().is_ok() {}
+    }
+
+    pub fn peek(v: &[u8]) -> u8 {
+        // SAFETY: as_ptr() of a non-empty slice is valid for one read;
+        // the caller-visible contract requires `!v.is_empty()`.
+        unsafe { *v.as_ptr() }
+    }
+}

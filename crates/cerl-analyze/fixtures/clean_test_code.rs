@@ -1,0 +1,17 @@
+//! Fixture: unannotated atomics, unwraps, asserts, and indexing — all
+//! inside `#[cfg(test)]` code, which every rule exempts.
+//! Expected findings: none.
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn counters_work() {
+        let c = AtomicU64::new(0);
+        c.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+        let v = vec![1u64];
+        assert!(v.first().copied().unwrap() == v[0]);
+    }
+}

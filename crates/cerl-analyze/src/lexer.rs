@@ -1,0 +1,372 @@
+//! A lightweight Rust-source lexer: just enough token discipline to
+//! separate *code* from *comments* per line, blank out string/char
+//! literal contents, and mark `#[cfg(test)]` regions — without pulling
+//! in `syn` (the workspace builds with no external dependencies).
+//!
+//! The model is deliberately line-oriented: every rule in
+//! [`crate::rules`] reasons about "this line's code" and "the comment
+//! on or directly above this statement", which is exactly the
+//! granularity at which the annotation conventions (`// SAFETY:`,
+//! `// ordering:`, `// panic-ok:`) live.
+
+/// One source line after lexing.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line's code with comments removed and the *contents* of
+    /// string/char literals blanked to spaces (delimiters kept), so
+    /// substring rules never match inside a literal or a comment.
+    pub code: String,
+    /// Comment text carried by this line (`//`, `///`, `//!`, and any
+    /// part of a `/* */` block that crosses it), concatenated.
+    pub comment: String,
+    /// Brace depth at the *start* of the line.
+    pub depth: usize,
+    /// True when the line sits inside a `#[cfg(test)]` / `#[test]`
+    /// item (including the opening line of that item).
+    pub in_test: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in findings (workspace-relative when produced
+    /// by the workspace walk).
+    pub rel_path: String,
+    /// Lexed lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+/// Lex `text` into per-line code/comment channels.
+pub fn lex(rel_path: &str, text: &str) -> SourceFile {
+    let chars: Vec<char> = text.chars().collect();
+    let n = chars.len();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut i = 0;
+
+    // flush helper is inlined below ("push current line") because
+    // closures borrowing both buffers and `lines` fight the borrow
+    // checker more than the duplication costs.
+    macro_rules! newline {
+        () => {
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                depth: 0,
+                in_test: false,
+            });
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            newline!();
+            i += 1;
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            // Line comment (also doc comments). Consume to EOL.
+            let mut j = i;
+            while j < n && chars[j] != '\n' {
+                comment.push(chars[j]);
+                j += 1;
+            }
+            i = j;
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            // Block comment, nesting per Rust rules; may span lines.
+            let mut depth = 1usize;
+            comment.push('/');
+            comment.push('*');
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    newline!();
+                    j += 1;
+                } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    comment.push_str("/*");
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    comment.push_str("*/");
+                    j += 2;
+                } else {
+                    comment.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = j;
+        } else if c == '"' {
+            i = consume_string(&chars, i, &mut code, &mut lines, &mut comment);
+        } else if (c == 'r' || c == 'b') && !prev_is_ident(&code) {
+            // Possible raw / byte string or byte char: r", r#", b", br",
+            // br#", b'. Anything else falls through as plain code.
+            let (is_raw, start) = raw_string_lookahead(&chars, i);
+            if is_raw {
+                i = consume_raw_string(&chars, i, start, &mut code, &mut lines, &mut comment);
+            } else if c == 'b' && i + 1 < n && chars[i + 1] == '\'' {
+                code.push('b');
+                i = consume_char_or_lifetime(&chars, i + 1, &mut code);
+            } else if c == 'b' && i + 1 < n && chars[i + 1] == '"' {
+                code.push('b');
+                i = consume_string(&chars, i + 1, &mut code, &mut lines, &mut comment);
+            } else {
+                code.push(c);
+                i += 1;
+            }
+        } else if c == '\'' {
+            i = consume_char_or_lifetime(&chars, i, &mut code);
+        } else {
+            code.push(c);
+            i += 1;
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        newline!();
+    }
+
+    mark_depth_and_tests(&mut lines);
+    SourceFile {
+        rel_path: rel_path.to_string(),
+        lines,
+    }
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Does `chars[i..]` start a raw string (`r"`, `r#"`, `br##"` ...)?
+/// Returns `(true, index_of_quote)` when it does.
+fn raw_string_lookahead(chars: &[char], i: usize) -> (bool, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if j >= chars.len() || chars[j] != 'r' {
+        return (false, 0);
+    }
+    j += 1;
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    if j < chars.len() && chars[j] == '"' {
+        (true, j)
+    } else {
+        (false, 0)
+    }
+}
+
+/// Consume a normal string literal starting at the `"` at `chars[i]`,
+/// blanking its contents. Returns the index just past the closing quote.
+fn consume_string(
+    chars: &[char],
+    i: usize,
+    code: &mut String,
+    lines: &mut Vec<Line>,
+    comment: &mut String,
+) -> usize {
+    code.push('"');
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                code.push(' ');
+                if j + 1 < chars.len() && chars[j + 1] == '\n' {
+                    // String line continuation: leave the newline for
+                    // the outer loop so line numbers stay aligned.
+                    j += 1;
+                } else {
+                    if j + 1 < chars.len() {
+                        code.push(' ');
+                    }
+                    j += 2;
+                }
+            }
+            '"' => {
+                code.push('"');
+                return j + 1;
+            }
+            '\n' => {
+                lines.push(Line {
+                    code: std::mem::take(code),
+                    comment: std::mem::take(comment),
+                    depth: 0,
+                    in_test: false,
+                });
+                j += 1;
+            }
+            _ => {
+                code.push(' ');
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// Consume a raw string whose opening quote sits at `quote`; hashes
+/// between `chars[i]` and the quote set the closing delimiter length.
+fn consume_raw_string(
+    chars: &[char],
+    i: usize,
+    quote: usize,
+    code: &mut String,
+    lines: &mut Vec<Line>,
+    comment: &mut String,
+) -> usize {
+    let hashes = chars[i..quote].iter().filter(|&&c| c == '#').count();
+    for &c in &chars[i..=quote] {
+        code.push(c);
+    }
+    let mut j = quote + 1;
+    while j < chars.len() {
+        if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < chars.len() && chars[k] == '#' && seen < hashes {
+                k += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                code.push('"');
+                for _ in 0..hashes {
+                    code.push('#');
+                }
+                return k;
+            }
+            code.push(' ');
+            j += 1;
+        } else if chars[j] == '\n' {
+            lines.push(Line {
+                code: std::mem::take(code),
+                comment: std::mem::take(comment),
+                depth: 0,
+                in_test: false,
+            });
+            j += 1;
+        } else {
+            code.push(' ');
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Disambiguate `'a'` (char literal) from `'a` (lifetime) at the `'`
+/// at `chars[i]`; blanks char-literal contents, passes lifetimes
+/// through. Returns the index just past what was consumed.
+fn consume_char_or_lifetime(chars: &[char], i: usize, code: &mut String) -> usize {
+    let n = chars.len();
+    if i + 1 < n && chars[i + 1] == '\\' {
+        // Escaped char literal: consume to the closing quote.
+        code.push('\'');
+        let mut j = i + 2;
+        while j < n && chars[j] != '\'' && chars[j] != '\n' {
+            code.push(' ');
+            j += 1;
+        }
+        if j < n && chars[j] == '\'' {
+            code.push('\'');
+            j += 1;
+        }
+        return j;
+    }
+    if i + 2 < n && chars[i + 2] == '\'' {
+        // One-char literal 'x'.
+        code.push('\'');
+        code.push(' ');
+        code.push('\'');
+        return i + 3;
+    }
+    // Lifetime (or a stray quote): emit as-is.
+    code.push('\'');
+    i + 1
+}
+
+/// Second pass: compute brace depth per line and propagate
+/// `#[cfg(test)]` / `#[test]` item regions.
+fn mark_depth_and_tests(lines: &mut [Line]) {
+    let mut depth = 0usize;
+    let mut pending_test = false;
+    let mut test_stack: Vec<usize> = Vec::new();
+    for line in lines.iter_mut() {
+        line.depth = depth;
+        line.in_test = !test_stack.is_empty();
+        let t = line.code.trim();
+        if (t.starts_with("#[cfg") && t.contains("test")) || t.starts_with("#[test]") {
+            pending_test = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending_test {
+                        test_stack.push(depth);
+                        pending_test = false;
+                        line.in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                }
+                // `#[cfg(test)] use foo;` — the gated item ended
+                // without a brace; stop waiting for one.
+                ';' if pending_test && depth == line.depth => pending_test = false,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Index of the first line of the statement containing `line` — walks
+/// up while the previous line is a continuation (does not end in `;`,
+/// `{` or `}` and is not blank/comment-only).
+pub fn statement_start(file: &SourceFile, line: usize) -> usize {
+    let mut s = line;
+    while s > 0 {
+        let prev = file.lines[s - 1].code.trim();
+        if prev.is_empty() {
+            break;
+        }
+        if prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}') {
+            break;
+        }
+        s -= 1;
+    }
+    s
+}
+
+/// Whether the statement containing `line` carries `marker` — either as
+/// a trailing comment on one of the statement's own lines, or in the
+/// contiguous comment block (attributes allowed in between) directly
+/// above the statement.
+pub fn has_annotation(file: &SourceFile, line: usize, marker: &str) -> bool {
+    let start = statement_start(file, line);
+    for l in start..=line {
+        if file.lines[l].comment.contains(marker) {
+            return true;
+        }
+    }
+    let mut j = start;
+    while j > 0 {
+        let above = &file.lines[j - 1];
+        let code_t = above.code.trim();
+        if code_t.is_empty() && !above.comment.trim().is_empty() {
+            if above.comment.contains(marker) {
+                return true;
+            }
+            j -= 1;
+        } else if code_t.starts_with("#[") {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    false
+}

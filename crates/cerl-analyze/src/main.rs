@@ -1,0 +1,101 @@
+//! CLI for the cerl-analyze invariant gate.
+//!
+//! ```text
+//! cerl-analyze [--root DIR] [--deny] [--json PATH] [--quiet] [FILE.rs ...]
+//! ```
+//!
+//! With no file arguments, walks the workspace under `--root` (default
+//! `.`) applying each file's path-derived rule scope. Explicit file
+//! arguments are analyzed with *every* rule on (fixture mode). Exit
+//! code: 0 clean (or findings without `--deny`), 1 findings under
+//! `--deny`, 2 usage/IO error.
+
+use cerl_analyze::rules::{analyze, Scope};
+use cerl_analyze::{analyze_workspace, render_json, scan_file, Finding};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut quiet = false;
+    let mut root = String::from(".");
+    let mut json_path: Option<String> = None;
+    let mut file_args: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(r) => root = r,
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => return usage("--json needs a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "cerl-analyze [--root DIR] [--deny] [--json PATH] [--quiet] [FILE.rs ...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            file => file_args.push(file.to_string()),
+        }
+    }
+
+    let (findings, scanned): (Vec<Finding>, usize) = if file_args.is_empty() {
+        match analyze_workspace(Path::new(&root)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cerl-analyze: cannot scan {root}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut all = Vec::new();
+        for f in &file_args {
+            match scan_file(Path::new(f), f) {
+                Ok(src) => all.extend(analyze(&src, &Scope::all())),
+                Err(e) => {
+                    eprintln!("cerl-analyze: cannot read {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let n = file_args.len();
+        (all, n)
+    };
+
+    if !quiet {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "cerl-analyze: {} finding(s) across {} file(s) scanned{}",
+            findings.len(),
+            scanned,
+            if deny { " [deny mode]" } else { "" }
+        );
+    }
+    if let Some(p) = json_path {
+        if let Err(e) = std::fs::write(&p, render_json(&findings, scanned)) {
+            eprintln!("cerl-analyze: cannot write {p}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cerl-analyze: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,593 @@
+//! The invariant rules. Each rule walks a lexed [`SourceFile`] and
+//! emits [`Finding`]s; annotation markers waive a site only where the
+//! rule says so.
+//!
+//! Rule ids (stable — CI and tests match on them):
+//!
+//! | id               | invariant                                                        |
+//! |------------------|------------------------------------------------------------------|
+//! | `unsafe-comment` | every `unsafe` carries a `// SAFETY:` justification              |
+//! | `atomic-ordering`| every `Ordering::*` carries an `// ordering:` happens-before note|
+//! | `seqcst-hot-path`| no `SeqCst` at all in hot-path modules (not waivable)            |
+//! | `panic-path`     | no panicking construct on the serving path sans `// panic-ok:`   |
+//! | `lock-blocking`  | no lock guard held across a blocking call sans `// lock-ok:`     |
+//! | `lock-order`     | `current.write()` only after `writer_lock` (or `// lock-order:`) |
+//! | `taxonomy`       | every error/status variant classified & decodable                |
+
+use crate::lexer::{has_annotation, statement_start, SourceFile};
+use crate::Finding;
+
+/// Which rule families apply to a file. The workspace walk derives this
+/// from the path; fixture tests construct it directly.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    /// `unsafe-comment` (applies to every scanned file).
+    pub unsafe_hygiene: bool,
+    /// `atomic-ordering`.
+    pub atomics: bool,
+    /// `seqcst-hot-path` — the file is a hot-path module.
+    pub hot_path: bool,
+    /// `panic-path` — the file is on the serving path.
+    pub panic_free: bool,
+    /// `lock-blocking`.
+    pub locks: bool,
+    /// `lock-order` — the file documents the writer-lock-before-
+    /// pointer-lock discipline (`cerl-core/src/serving.rs`).
+    pub lock_order: bool,
+    /// `taxonomy` — enum/classifier exhaustiveness.
+    pub taxonomy: bool,
+}
+
+impl Scope {
+    /// Every rule on — used for fixtures and explicit file arguments.
+    pub fn all() -> Self {
+        Scope {
+            unsafe_hygiene: true,
+            atomics: true,
+            hot_path: true,
+            panic_free: true,
+            locks: true,
+            lock_order: true,
+            taxonomy: true,
+        }
+    }
+}
+
+/// Run every in-scope rule over one file.
+pub fn analyze(file: &SourceFile, scope: &Scope) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if scope.unsafe_hygiene {
+        check_unsafe(file, &mut out);
+    }
+    if scope.atomics || scope.hot_path {
+        check_atomics(file, scope, &mut out);
+    }
+    if scope.panic_free {
+        check_panics(file, &mut out);
+    }
+    if scope.locks {
+        check_lock_blocking(file, &mut out);
+    }
+    if scope.lock_order {
+        check_lock_order(file, &mut out);
+    }
+    if scope.taxonomy {
+        check_taxonomy(file, &mut out);
+    }
+    out
+}
+
+fn finding(file: &SourceFile, line: usize, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: file.rel_path.clone(),
+        line: line + 1,
+        rule,
+        message,
+    }
+}
+
+/// Word-boundary search: every index where `word` occurs in `code` not
+/// flanked by identifier characters.
+fn word_positions(code: &str, word: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || {
+            let b = bytes[end];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len();
+    }
+    out
+}
+
+// ---------------------------------------------------------------- unsafe
+
+fn check_unsafe(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test || word_positions(&line.code, "unsafe").is_empty() {
+            continue;
+        }
+        if !has_annotation(file, i, "SAFETY:") {
+            out.push(finding(
+                file,
+                i,
+                "unsafe-comment",
+                "`unsafe` without a `// SAFETY:` justification".into(),
+            ));
+        }
+    }
+}
+
+// --------------------------------------------------------------- atomics
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn check_atomics(file: &SourceFile, scope: &Scope, out: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let mut used: Vec<&str> = Vec::new();
+        for ord in ORDERINGS {
+            let qualified = format!("Ordering::{ord}");
+            if line.code.contains(&qualified) {
+                used.push(ord);
+            }
+        }
+        if used.is_empty() {
+            continue;
+        }
+        if scope.hot_path && used.contains(&"SeqCst") {
+            out.push(finding(
+                file,
+                i,
+                "seqcst-hot-path",
+                "Ordering::SeqCst in a hot-path module; use Acquire/Release (or AcqRel) \
+                 or move the sequentially-consistent logic off the serving path"
+                    .into(),
+            ));
+        }
+        if scope.atomics && !has_annotation(file, i, "ordering:") {
+            out.push(finding(
+                file,
+                i,
+                "atomic-ordering",
+                format!(
+                    "atomic Ordering::{} without an `// ordering:` comment naming the \
+                     happens-before edge it relies on",
+                    used.join("/")
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- panics
+
+const PANIC_MACROS: [&str; 7] = [
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+    "assert!",
+    "assert_eq!",
+    "assert_ne!",
+];
+
+fn check_panics(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let mut what: Option<String> = None;
+        if code.contains(".unwrap()") {
+            what = Some(".unwrap()".into());
+        } else if code.contains(".expect(") {
+            what = Some(".expect(...)".into());
+        } else {
+            for m in PANIC_MACROS {
+                // word_positions on the macro name (sans `!`) keeps
+                // `debug_assert!` from matching `assert!`.
+                let name = &m[..m.len() - 1];
+                let hit = word_positions(code, name)
+                    .into_iter()
+                    .any(|p| code[p + name.len()..].starts_with('!'));
+                if hit {
+                    what = Some(m.to_string());
+                    break;
+                }
+            }
+        }
+        if what.is_none() && has_indexing(code) {
+            what = Some("slice/array indexing".into());
+        }
+        if let Some(w) = what {
+            if !has_annotation(file, i, "panic-ok:") {
+                out.push(finding(
+                    file,
+                    i,
+                    "panic-path",
+                    format!("panicking construct {w} on the serving path without a `// panic-ok:` reason"),
+                ));
+            }
+        }
+    }
+}
+
+/// `expr[` — a `[` *immediately* preceded (rustfmt leaves no space
+/// before an index bracket) by something that ends an expression: an
+/// identifier, `)`, or `]`. Types (`&[u8]`, `Vec<[f64; 4]>`), macros
+/// (`vec![`), attributes (`#[`) and array literals after keywords
+/// (`for x in [a, b]`) all fail that test.
+fn has_indexing(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    for (j, &c) in chars.iter().enumerate() {
+        if c != '[' || j == 0 {
+            continue;
+        }
+        let p = chars[j - 1];
+        if !(p.is_alphanumeric() || p == '_' || p == ')' || p == ']') {
+            continue;
+        }
+        // Walk back over the identifier: a bare keyword before `[` is
+        // an array-literal position, not an indexed expression.
+        let mut s = j;
+        while s > 0 && (chars[s - 1].is_alphanumeric() || chars[s - 1] == '_') {
+            s -= 1;
+        }
+        let word: String = chars[s..j].iter().collect();
+        if matches!(
+            word.as_str(),
+            "in" | "return" | "break" | "if" | "else" | "match" | "move" | "mut" | "ref" | "as"
+        ) {
+            continue;
+        }
+        return true;
+    }
+    false
+}
+
+// ----------------------------------------------------------------- locks
+
+const LOCK_ACQUIRE: [&str; 3] = [".lock()", ".read()", ".write()"];
+const BLOCKING: [&str; 6] = [
+    ".recv()",
+    ".recv_timeout(",
+    ".submit(",
+    ".accept(",
+    "thread::sleep",
+    ".join()",
+];
+
+fn check_lock_blocking(file: &SourceFile, out: &mut Vec<Finding>) {
+    struct Guard {
+        name: String,
+        depth: usize,
+        line: usize,
+    }
+    let mut active: Vec<Guard> = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            active.clear();
+            continue;
+        }
+        // Scope exit: drop guards bound deeper than the current line.
+        active.retain(|g| g.depth <= line.depth);
+        // Explicit `drop(guard)`.
+        active.retain(|g| {
+            !word_positions(&line.code, "drop")
+                .iter()
+                .any(|&p| line.code[p..].starts_with(&format!("drop({})", g.name)))
+        });
+        if !active.is_empty() {
+            for b in BLOCKING {
+                if line.code.contains(b) && !has_annotation(file, i, "lock-ok:") {
+                    let g = &active[active.len() - 1];
+                    out.push(finding(
+                        file,
+                        i,
+                        "lock-blocking",
+                        format!(
+                            "lock guard `{}` (acquired line {}) held across blocking call `{}`; \
+                             drop the guard first or waive with `// lock-ok:`",
+                            g.name,
+                            g.line + 1,
+                            b.trim_matches(|c| c == '.' || c == '(')
+                        ),
+                    ));
+                }
+            }
+        }
+        // New guard binding: `let [mut] name = ... .lock()/.read()/.write()`
+        // — the acquisition may sit on a continuation line of a
+        // rustfmt-wrapped statement, so resolve the statement start.
+        if LOCK_ACQUIRE.iter().any(|a| line.code.contains(a)) {
+            let s = statement_start(file, i);
+            if active.last().map(|g| g.line) == Some(s) {
+                continue; // already tracked via an earlier line of this statement
+            }
+            let t = file.lines[s].code.trim_start();
+            if let Some(rest) = t.strip_prefix("let ") {
+                let rest = rest.trim_start();
+                let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !name.is_empty() && name != "_" {
+                    active.push(Guard {
+                        name,
+                        depth: file.lines[s].depth,
+                        line: s,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_lock_order(file: &SourceFile, out: &mut Vec<Finding>) {
+    let spans = fn_spans(file);
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test || !line.code.contains(".current.write()") {
+            continue;
+        }
+        if has_annotation(file, i, "lock-order:") {
+            continue;
+        }
+        let Some(&(start, _end, ref name)) = spans.iter().find(|&&(s, e, _)| s <= i && i <= e)
+        else {
+            continue;
+        };
+        let precedes = file.lines[start..i]
+            .iter()
+            .any(|l| l.code.contains("writer_lock"));
+        let fn_documented = (start..=i).any(|l| has_annotation(file, l, "lock-order:"));
+        if !precedes && !fn_documented {
+            out.push(finding(
+                file,
+                i,
+                "lock-order",
+                format!(
+                    "`current.write()` in `fn {name}` without a prior `writer_lock` \
+                     acquisition; take the writer lock first, or document the caller's \
+                     obligation with `// lock-order:`"
+                ),
+            ));
+        }
+    }
+}
+
+/// `(start_line, end_line, name)` spans of non-test `fn` items,
+/// resolved against the lexer's per-line brace depths.
+fn fn_spans(file: &SourceFile) -> Vec<(usize, usize, String)> {
+    let mut spans = Vec::new();
+    let n = file.lines.len();
+    for i in 0..n {
+        let line = &file.lines[i];
+        if line.in_test {
+            continue;
+        }
+        let Some(name) = fn_name_on(&line.code) else {
+            continue;
+        };
+        let d = line.depth;
+        // Walk forward to the body's `{`; a `;` first means a bodyless
+        // declaration (extern block / trait method).
+        let mut b = i;
+        let mut has_body = false;
+        while b < n {
+            let code = &file.lines[b].code;
+            if code.contains('{') {
+                has_body = true;
+                break;
+            }
+            if code.contains(';') {
+                break;
+            }
+            b += 1;
+        }
+        if !has_body {
+            continue;
+        }
+        let mut j = b + 1;
+        while j < n && file.lines[j].depth > d {
+            j += 1;
+        }
+        spans.push((i, j.saturating_sub(1).max(b), name));
+    }
+    spans
+}
+
+/// The name of the `fn` item declared on this line, if any.
+fn fn_name_on(code: &str) -> Option<String> {
+    for p in word_positions(code, "fn") {
+        let after = code[p + 2..].trim_start();
+        if after
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            return Some(
+                after
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect(),
+            );
+        }
+    }
+    None
+}
+
+// -------------------------------------------------------------- taxonomy
+
+/// Classifier functions whose arms must name every variant: the fn
+/// name, and whether a wildcard/catch-all arm is forbidden in its body.
+/// `from_byte` decodes untrusted bytes, so its catch-all `other =>
+/// Err(...)` arm is legitimate; `is_client_fault` must stay exhaustive
+/// so a new variant fails the gate until a human classifies it.
+const CLASSIFIERS: [(&str, bool); 2] = [("is_client_fault", true), ("from_byte", false)];
+
+/// For every `enum E` in the file with an inherent `impl E` that
+/// defines a classifier fn, require each variant of `E` to appear in
+/// that fn's body (and no `_ =>` wildcard where forbidden).
+fn check_taxonomy(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (enum_line, enum_name, variants) in enums_of(file) {
+        let Some((impl_start, impl_end)) = inherent_impl_span(file, &enum_name) else {
+            continue;
+        };
+        for (fn_name, forbid_wildcard) in CLASSIFIERS {
+            let Some((fn_start, fn_end)) = fn_body_in(file, impl_start, impl_end, fn_name) else {
+                continue;
+            };
+            let body: Vec<&str> = file.lines[fn_start..=fn_end]
+                .iter()
+                .map(|l| l.code.as_str())
+                .collect();
+            for (v_line, v) in &variants {
+                let named = body.iter().any(|c| !word_positions(c, v).is_empty());
+                if !named {
+                    out.push(finding(
+                        file,
+                        *v_line,
+                        "taxonomy",
+                        format!(
+                            "variant `{enum_name}::{v}` is not handled in `fn {fn_name}`; \
+                             classify it explicitly"
+                        ),
+                    ));
+                }
+            }
+            if forbid_wildcard {
+                for (off, c) in body.iter().enumerate() {
+                    if c.contains("_ =>") || c.trim_start().starts_with("| _") {
+                        out.push(finding(
+                            file,
+                            fn_start + off,
+                            "taxonomy",
+                            format!(
+                                "wildcard arm in `fn {fn_name}` defeats exhaustiveness: a new \
+                                 `{enum_name}` variant would be classified silently \
+                                 (enum defined at line {})",
+                                enum_line + 1
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One `enum` definition: its line, its name, and `(line, name)` per
+/// variant.
+type EnumDef = (usize, String, Vec<(usize, String)>);
+
+/// All non-test `enum` definitions.
+fn enums_of(file: &SourceFile) -> Vec<EnumDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < file.lines.len() {
+        let line = &file.lines[i];
+        if line.in_test {
+            i += 1;
+            continue;
+        }
+        let Some(p) = word_positions(&line.code, "enum").first().copied() else {
+            i += 1;
+            continue;
+        };
+        let name: String = line.code[p + 4..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            i += 1;
+            continue;
+        }
+        // Body depth: the enum's `{` opens at this line's depth (plus
+        // any earlier braces on the same line — none in practice).
+        let body_depth = line.depth + 1;
+        let mut variants = Vec::new();
+        let mut j = i + 1;
+        while j < file.lines.len() && file.lines[j].depth >= body_depth {
+            let l = &file.lines[j];
+            if l.depth == body_depth {
+                let t = l.code.trim();
+                if t.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    let v: String = t
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    variants.push((j, v));
+                }
+            }
+            j += 1;
+        }
+        out.push((i, name, variants));
+        i = j;
+    }
+    out
+}
+
+/// Span of `impl Name {` (inherent — not `impl Trait for Name`).
+fn inherent_impl_span(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let Some(p) = word_positions(&line.code, "impl").first().copied() else {
+            continue;
+        };
+        let after = line.code[p + 4..].trim_start();
+        if !after.starts_with(name) {
+            continue;
+        }
+        let tail = after[name.len()..].trim_start();
+        if !tail.starts_with('{') {
+            continue;
+        }
+        let open_depth = line.depth;
+        let mut j = i + 1;
+        while j < file.lines.len() && file.lines[j].depth > open_depth {
+            j += 1;
+        }
+        return Some((i, j.min(file.lines.len() - 1)));
+    }
+    None
+}
+
+/// Body span of `fn name` inside `[impl_start, impl_end]`.
+fn fn_body_in(
+    file: &SourceFile,
+    impl_start: usize,
+    impl_end: usize,
+    name: &str,
+) -> Option<(usize, usize)> {
+    let needle = format!("fn {name}");
+    for i in impl_start..=impl_end {
+        if !file.lines[i].code.contains(&needle) {
+            continue;
+        }
+        let fn_depth = file.lines[i].depth;
+        let mut j = i + 1;
+        while j <= impl_end && file.lines[j].depth > fn_depth {
+            j += 1;
+        }
+        return Some((i, (j - 1).max(i)));
+    }
+    None
+}

@@ -1,0 +1,186 @@
+//! The analyzer analyzed: every bad fixture is flagged with the right
+//! rule id, the clean fixtures pass, the CLI's deny mode exits non-zero
+//! on violations, and — the gate itself — the workspace scans clean.
+
+use cerl_analyze::rules::{analyze, Scope};
+use cerl_analyze::{analyze_workspace, scan_file, Finding};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn findings_for(name: &str) -> Vec<Finding> {
+    let path = fixture(name);
+    let src = scan_file(&path, name).unwrap_or_else(|e| panic!("cannot read {name}: {e}"));
+    analyze(&src, &Scope::all())
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn bad_fixtures_are_flagged_with_the_right_rule() {
+    for (name, rule) in [
+        ("bad_unsafe.rs", "unsafe-comment"),
+        ("bad_atomic.rs", "atomic-ordering"),
+        ("bad_seqcst.rs", "seqcst-hot-path"),
+        ("bad_panic.rs", "panic-path"),
+        ("bad_lock.rs", "lock-blocking"),
+        ("bad_lock_order.rs", "lock-order"),
+        ("bad_taxonomy.rs", "taxonomy"),
+        ("bad_taxonomy_wildcard.rs", "taxonomy"),
+    ] {
+        let findings = findings_for(name);
+        let rules = rules_of(&findings);
+        assert!(
+            rules.contains(&rule),
+            "{name}: expected a `{rule}` finding, got {rules:?}"
+        );
+        // Isolation: nothing *other* than the intended rule fires, so a
+        // fixture regression cannot hide behind an unrelated finding.
+        assert!(
+            rules.iter().all(|r| *r == rule),
+            "{name}: expected only `{rule}` findings, got {rules:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_fixture_findings_point_at_real_lines() {
+    for name in ["bad_unsafe.rs", "bad_atomic.rs", "bad_panic.rs"] {
+        let path = fixture(name);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let lines: Vec<&str> = text.lines().collect();
+        for f in findings_for(name) {
+            let line = lines
+                .get(f.line - 1)
+                .unwrap_or_else(|| panic!("{name}: finding line {} out of range", f.line));
+            assert!(
+                !line.trim().is_empty() && !line.trim_start().starts_with("//"),
+                "{name}:{} points at a blank/comment line: {line:?}",
+                f.line
+            );
+        }
+    }
+}
+
+#[test]
+fn seqcst_fixture_is_flagged_despite_ordering_annotation() {
+    // `// ordering:` silences the audit rule but must never waive the
+    // hot-path SeqCst flag.
+    let findings = findings_for("bad_seqcst.rs");
+    let rules = rules_of(&findings);
+    assert_eq!(rules, ["seqcst-hot-path"]);
+}
+
+#[test]
+fn clean_fixtures_pass_every_rule() {
+    for name in ["clean_annotated.rs", "clean_test_code.rs"] {
+        let findings = findings_for(name);
+        assert!(findings.is_empty(), "{name}: unexpected {findings:?}");
+    }
+}
+
+#[test]
+fn lock_blocking_names_the_guard_and_call() {
+    let findings = findings_for("bad_lock.rs");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(
+        findings[0].message.contains("guard `guard`") && findings[0].message.contains("recv"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn deny_mode_exits_nonzero_on_each_bad_fixture() {
+    for (name, rule) in [
+        ("bad_unsafe.rs", "unsafe-comment"),
+        ("bad_atomic.rs", "atomic-ordering"),
+        ("bad_seqcst.rs", "seqcst-hot-path"),
+        ("bad_panic.rs", "panic-path"),
+        ("bad_lock.rs", "lock-blocking"),
+        ("bad_lock_order.rs", "lock-order"),
+        ("bad_taxonomy.rs", "taxonomy"),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_cerl-analyze"))
+            .arg("--deny")
+            .arg(fixture(name))
+            .output()
+            .expect("spawn cerl-analyze");
+        assert!(
+            !out.status.success(),
+            "{name}: deny mode should exit non-zero"
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(rule),
+            "{name}: stdout should name `{rule}`:\n{stdout}"
+        );
+        assert!(stdout.contains("[deny mode]"), "{name}:\n{stdout}");
+    }
+}
+
+#[test]
+fn deny_mode_exits_zero_on_clean_fixtures() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cerl-analyze"))
+        .arg("--deny")
+        .arg(fixture("clean_annotated.rs"))
+        .arg(fixture("clean_test_code.rs"))
+        .output()
+        .expect("spawn cerl-analyze");
+    assert!(
+        out.status.success(),
+        "clean fixtures should pass deny mode: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn json_summary_is_well_formed() {
+    let dir = std::env::temp_dir().join(format!("cerl-analyze-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let json_path = dir.join("summary.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_cerl-analyze"))
+        .arg("--quiet")
+        .arg("--json")
+        .arg(&json_path)
+        .arg(fixture("bad_atomic.rs"))
+        .output()
+        .expect("spawn cerl-analyze");
+    assert!(
+        out.status.success(),
+        "no --deny, so exit 0 despite findings"
+    );
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(json.contains("\"schema\": \"cerl-analyze/v1\""), "{json}");
+    assert!(json.contains("\"atomic-ordering\""), "{json}");
+    assert!(json.contains("\"files_scanned\": 1"), "{json}");
+}
+
+#[test]
+fn workspace_scans_clean() {
+    // The gate itself: the repo carries zero findings. CARGO_MANIFEST_DIR
+    // is crates/cerl-analyze; the workspace root is two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let (findings, scanned) = analyze_workspace(&root).expect("workspace scan");
+    assert!(
+        scanned > 20,
+        "workspace walk looks truncated: {scanned} files"
+    );
+    assert!(
+        findings.is_empty(),
+        "workspace must scan clean; found:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -185,6 +185,9 @@ impl ServingStats {
     /// Read all counters (each individually coherent).
     pub fn snapshot(&self) -> ServingStatsSnapshot {
         ServingStatsSnapshot {
+            // ordering: independent monotone counters — the snapshot is
+            // advisory and promises per-counter coherence only, so
+            // Relaxed atomicity is all that is needed (no edges).
             requests_served: self.requests_served.load(Ordering::Relaxed),
             rows_predicted: self.rows_predicted.load(Ordering::Relaxed),
             swaps: self.swaps.load(Ordering::Relaxed),
@@ -199,15 +202,20 @@ impl ServingStats {
     pub fn version_stats(&self) -> Vec<VersionStats> {
         let mut out = Vec::new();
         for slot in &self.per_version {
+            // ordering: Acquire pairs with claim_version's Release tag
+            // stores — counts read below belong to the generation
+            // observed here (or the re-check discards them).
             let version = slot.version.load(Ordering::Acquire);
             if version == 0 {
                 continue;
             }
-            let served = slot.served.load(Ordering::Relaxed);
-            let rejected = slot.rejected.load(Ordering::Relaxed);
-            // Re-check the tag: a claim racing between the loads means
-            // the counters may mix two versions — skip the slot for this
-            // snapshot rather than report a torn row.
+            let served = slot.served.load(Ordering::Relaxed); // ordering: guarded by tag re-check below
+            let rejected = slot.rejected.load(Ordering::Relaxed); // ordering: guarded by tag re-check below
+                                                                  // Re-check the tag: a claim racing between the loads means
+                                                                  // the counters may mix two versions — skip the slot for this
+                                                                  // snapshot rather than report a torn row.
+                                                                  // ordering: Acquire pairs with claim_version's Release; a
+                                                                  // changed tag proves the slot was recycled mid-read.
             if slot.version.load(Ordering::Acquire) != version {
                 continue;
             }
@@ -222,6 +230,8 @@ impl ServingStats {
     }
 
     fn slot(&self, version: u64) -> &VersionSlot {
+        // panic-ok: the modulo bounds the index below VERSION_RING_SLOTS
+        // by construction.
         &self.per_version[(version % VERSION_RING_SLOTS as u64) as usize]
     }
 
@@ -232,27 +242,36 @@ impl ServingStats {
         let slot = self.slot(version);
         // Retire the tag first so concurrent recorders stop attributing
         // to the evicted version before its counters reset.
+        // ordering: both Release tag stores pair with the Acquire tag
+        // loads in version_stats/record_* — a recorder that observes the
+        // new tag also observes the zeroed counters; one that observes 0
+        // skips the slot.
         slot.version.store(0, Ordering::Release);
-        slot.served.store(0, Ordering::Relaxed);
-        slot.rejected.store(0, Ordering::Relaxed);
-        slot.version.store(version, Ordering::Release);
+        slot.served.store(0, Ordering::Relaxed); // ordering: published by the Release tag store below
+        slot.rejected.store(0, Ordering::Relaxed); // ordering: published by the Release tag store below
+        slot.version.store(version, Ordering::Release); // ordering: see block comment above
     }
 
     fn record_success(&self, version: u64, rows: usize) {
-        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        self.requests_served.fetch_add(1, Ordering::Relaxed); // ordering: lone monotone counter, no edges
+                                                              // ordering: lone monotone counter, no edges.
         self.rows_predicted
             .fetch_add(rows as u64, Ordering::Relaxed);
         let slot = self.slot(version);
+        // ordering: Acquire pairs with claim_version's Release — seeing
+        // our tag proves the slot's counters were reset for this version.
         if slot.version.load(Ordering::Acquire) == version {
-            slot.served.fetch_add(1, Ordering::Relaxed);
+            slot.served.fetch_add(1, Ordering::Relaxed); // ordering: tag check above attributes it
         }
     }
 
     fn record_rejection(&self, version: u64) {
-        self.rejected_requests.fetch_add(1, Ordering::Relaxed);
+        self.rejected_requests.fetch_add(1, Ordering::Relaxed); // ordering: lone monotone counter, no edges
         let slot = self.slot(version);
+        // ordering: Acquire pairs with claim_version's Release — seeing
+        // our tag proves the slot's counters were reset for this version.
         if slot.version.load(Ordering::Acquire) == version {
-            slot.rejected.fetch_add(1, Ordering::Relaxed);
+            slot.rejected.fetch_add(1, Ordering::Relaxed); // ordering: tag check above attributes it
         }
     }
 }
@@ -405,6 +424,7 @@ impl ServingEngine {
         superseded.retain(|engine| Arc::strong_count(engine) > 1);
         let retired = before - superseded.len();
         if retired > 0 {
+            // ordering: lone monotone counter, no edges.
             self.stats
                 .retired_versions
                 .fetch_add(retired as u64, Ordering::Relaxed);
@@ -546,6 +566,10 @@ impl ServingEngine {
         crossbeam::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|_| loop {
+                    // ordering: fetch_add's atomicity alone partitions
+                    // chunks; results are published to the caller by the
+                    // scope join (thread-exit happens-before), not by
+                    // this counter.
                     let c = cursor.fetch_add(1, Ordering::Relaxed);
                     if c >= n_chunks {
                         break;
@@ -553,10 +577,14 @@ impl ServingEngine {
                     let start = c * PARALLEL_CHUNK_ROWS;
                     let end = (start + PARALLEL_CHUNK_ROWS).min(n);
                     let result = engine.predict_ite(&x.slice_rows(start, end));
+                    // panic-ok: `c < n_chunks` was checked above, and
+                    // `slots` holds exactly `n_chunks` entries.
                     *slots[c].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 });
             }
         })
+        // panic-ok: Err only if a worker panicked — an engine bug, not a
+        // request fault; propagating the panic is the honest outcome.
         .expect("predict_ite_parallel: worker thread panicked");
 
         let mut out = Vec::with_capacity(n);
@@ -564,6 +592,9 @@ impl ServingEngine {
             let chunk = slot
                 .into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
+                // panic-ok: the cursor hands every chunk index below
+                // n_chunks to exactly one worker, which always writes
+                // its slot; an empty slot is an engine bug.
                 .expect("cursor visits every chunk exactly once");
             out.extend(chunk?);
         }
@@ -690,6 +721,10 @@ impl ServingEngine {
 
     /// Install `engine` as the next version. Caller must hold
     /// `writer_lock`.
+    ///
+    /// lock-order: `writer_lock` strictly precedes this pointer-lock
+    /// write — taking `current.write()` without it would let two
+    /// publishers interleave version assignment with the swap.
     fn publish(&self, engine: CerlEngine) -> u64 {
         let mut guard = self.current.write().unwrap_or_else(PoisonError::into_inner);
         let version = guard.version + 1;
@@ -702,7 +737,7 @@ impl ServingEngine {
             .unwrap_or_else(PoisonError::into_inner)
             .push(old);
         self.reap_superseded();
-        self.stats.swaps.fetch_add(1, Ordering::Relaxed);
+        self.stats.swaps.fetch_add(1, Ordering::Relaxed); // ordering: lone monotone counter, no edges
         self.stats.claim_version(version);
         version
     }

@@ -152,6 +152,7 @@ impl NetClient {
                     "server closed the connection mid-response",
                 )));
             }
+            // panic-ok: read(2) returned n <= buf.len().
             self.reader.extend(&buf[..n]);
         }
     }

@@ -176,6 +176,9 @@ struct NetStats {
 impl NetStats {
     fn snapshot(&self) -> NetStatsSnapshot {
         NetStatsSnapshot {
+            // ordering: independent monotone counters; the snapshot is
+            // advisory and promises per-counter coherence only, so
+            // Relaxed atomicity suffices (no edges).
             accepted: self.accepted.load(Ordering::Relaxed),
             closed: self.closed.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
@@ -193,20 +196,20 @@ impl NetStats {
     fn record_response(&self, response: &Response) {
         match response {
             Response::Ite { .. } => {
-                self.responses_ok.fetch_add(1, Ordering::Relaxed);
+                self.responses_ok.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
             }
             Response::Error { status, .. } => {
                 if status.is_client_fault() {
-                    self.rejected_client.fetch_add(1, Ordering::Relaxed);
+                    self.rejected_client.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
                 } else {
-                    self.rejected_serve.fetch_add(1, Ordering::Relaxed);
+                    self.rejected_serve.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
                 }
                 match status {
                     Status::Deadline => {
-                        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                        self.deadline_shed.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
                     }
                     Status::MalformedRequest => {
-                        self.malformed.fetch_add(1, Ordering::Relaxed);
+                        self.malformed.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
                     }
                     _ => {}
                 }
@@ -417,6 +420,9 @@ impl NetServer {
     }
 
     fn stop(&mut self) -> io::Result<()> {
+        // ordering: Release pairs with the reactor loop's Acquire load —
+        // whatever the caller did before stop() is visible to the
+        // reactor's final drain turn once it observes the flag.
         self.shutdown.store(true, Ordering::Release);
         self.wake.wake();
         match self.thread.take() {
@@ -482,6 +488,8 @@ impl Reactor {
 
     fn run(&mut self) -> io::Result<()> {
         let mut events: Vec<EpollEvent> = Vec::with_capacity(256);
+        // ordering: Acquire pairs with stop()'s Release store (see
+        // there for the edge).
         while !self.shutdown.load(Ordering::Acquire) {
             let timeout = self.next_timeout_ms();
             self.epoll.wait(&mut events, timeout)?;
@@ -538,11 +546,11 @@ impl Reactor {
         loop {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.stats.accepted.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
                     if self.install(stream).is_none() {
                         // Over max_connections (or registration failed):
                         // the stream drops here, closing the socket.
-                        self.stats.closed.fetch_add(1, Ordering::Relaxed);
+                        self.stats.closed.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
@@ -578,6 +586,8 @@ impl Reactor {
             token,
             queue: Arc::clone(&self.queue),
         }));
+        // panic-ok: `idx` is a token minted from a conns slot index
+        // at install time, always < conns.len().
         self.conns[idx] = Some(Conn {
             stream,
             waker,
@@ -594,12 +604,14 @@ impl Reactor {
     }
 
     fn close(&mut self, idx: usize) {
+        // panic-ok: `idx` is a token minted from a conns slot index
+        // at install time, always < conns.len().
         if let Some(conn) = self.conns[idx].take() {
             let _ = self.epoll.delete(conn.stream.as_raw_fd());
             self.free.push(idx);
-            self.stats.closed.fetch_add(1, Ordering::Relaxed);
-            // Dropping `conn` abandons its in-flight futures: the
-            // backend still completes them, the results are discarded.
+            self.stats.closed.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
+                                                               // Dropping `conn` abandons its in-flight futures: the
+                                                               // backend still completes them, the results are discarded.
         }
     }
 
@@ -611,6 +623,8 @@ impl Reactor {
         let read_chunk = self.cfg.read_chunk.max(1024);
         let mut close_needed = false;
         {
+            // panic-ok: `idx` is a token minted from a conns slot index
+            // at install time, always < conns.len().
             let Some(conn) = self.conns[idx].as_mut() else {
                 return;
             };
@@ -618,6 +632,7 @@ impl Reactor {
                 let mut buf = vec![0u8; read_chunk];
                 let mut read_total = 0usize;
                 loop {
+                    // panic-ok: full-range slice of a local buffer.
                     match conn.stream.read(&mut buf[..]) {
                         Ok(0) => {
                             // Peer closed. Anything already buffered or
@@ -628,9 +643,10 @@ impl Reactor {
                             break;
                         }
                         Ok(n) => {
+                            // panic-ok: read returned n <= buf.len().
                             conn.reader.extend(&buf[..n]);
                             read_total += n;
-                            self.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                            self.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed); // ordering: lone stat counter, no edges
                             if read_total >= read_chunk {
                                 break; // fairness: level-triggered epoll re-reports
                             }
@@ -663,10 +679,13 @@ impl Reactor {
     fn flush(&mut self, idx: usize) {
         let mut close_needed = false;
         {
+            // panic-ok: `idx` is a token minted from a conns slot index
+            // at install time, always < conns.len().
             let Some(conn) = self.conns[idx].as_mut() else {
                 return;
             };
             while conn.write_pos < conn.write_buf.len() {
+                // panic-ok: the loop condition keeps write_pos in range.
                 match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
                     Ok(0) => {
                         close_needed = true;
@@ -674,6 +693,7 @@ impl Reactor {
                     }
                     Ok(n) => {
                         conn.write_pos += n;
+                        // ordering: lone stat counter, no edges
                         self.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -704,6 +724,8 @@ impl Reactor {
 
     /// Poll every in-flight future of connection `idx` once.
     fn poll_conn(&mut self, idx: usize) {
+        // panic-ok: `idx` is a token minted from a conns slot index
+        // at install time, always < conns.len().
         let Some(conn) = self.conns[idx].as_mut() else {
             return; // stale wake for a closed slot
         };
@@ -711,6 +733,7 @@ impl Reactor {
         let mut cx = Context::from_waker(&waker);
         let mut i = 0;
         while i < conn.inflight.len() {
+            // panic-ok: the loop condition keeps i < inflight.len().
             match conn.inflight[i].future.poll(&mut cx) {
                 Poll::Pending => i += 1,
                 Poll::Ready(outcome) => {
@@ -743,6 +766,7 @@ impl Reactor {
         self.cursor = (self.cursor + 1) % n;
         for offset in 0..n {
             let idx = (self.cursor + offset) % n;
+            // panic-ok: idx < n == conns.len() by the modulo above.
             if self.conns[idx].is_some() {
                 self.service_conn(idx);
             }
@@ -754,6 +778,8 @@ impl Reactor {
         // 1. Shed pending requests whose admission deadline has passed —
         //    typed response, no backend work.
         {
+            // panic-ok: `idx` is a token minted from a conns slot index
+            // at install time, always < conns.len().
             let Some(conn) = self.conns[idx].as_mut() else {
                 return;
             };
@@ -783,6 +809,8 @@ impl Reactor {
         let mut budget = self.cfg.frames_per_turn;
         let mut submitted_any = false;
         loop {
+            // panic-ok: `idx` is a token minted from a conns slot index
+            // at install time, always < conns.len().
             let Some(conn) = self.conns[idx].as_mut() else {
                 return;
             };
@@ -841,7 +869,7 @@ impl Reactor {
                     budget -= 1;
                     match wire::decode_request(&payload) {
                         Ok(request) => {
-                            self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                            self.stats.requests.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
                             let deadline = (request.deadline_ms > 0).then(|| {
                                 now + Duration::from_millis(u64::from(request.deadline_ms))
                             });
@@ -866,6 +894,8 @@ impl Reactor {
     /// Answer a hostile or corrupt frame and mark the connection for
     /// close-after-flush: framing can no longer be trusted.
     fn wire_fault(&mut self, idx: usize, request_id: u64, error: WireError) {
+        // panic-ok: `idx` is a token minted from a conns slot index
+        // at install time, always < conns.len().
         let Some(conn) = self.conns[idx].as_mut() else {
             return;
         };
@@ -885,6 +915,8 @@ impl Reactor {
     fn update_interest(&mut self, idx: usize) {
         let mut close_needed = false;
         {
+            // panic-ok: `idx` is a token minted from a conns slot index
+            // at install time, always < conns.len().
             let Some(conn) = self.conns[idx].as_mut() else {
                 return;
             };
@@ -892,6 +924,7 @@ impl Reactor {
                 || (conn.pending.len() >= self.cfg.max_inflight_per_conn
                     && conn.reader.has_frame());
             if should_pause && !conn.paused {
+                // ordering: lone stat counter, no edges.
                 self.stats
                     .backpressure_pauses
                     .fetch_add(1, Ordering::Relaxed);

@@ -73,6 +73,8 @@ pub(crate) struct Epoll {
 
 impl Epoll {
     pub fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes no pointers; any flag value is
+        // merely rejected with EINVAL, surfaced through cvt.
         let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
         Ok(Self { fd })
     }
@@ -96,6 +98,9 @@ impl Epoll {
             events,
             data: token,
         };
+        // SAFETY: `ev` is a live, properly aligned EpollEvent for the
+        // duration of the call; the kernel only reads it. Bad fds or ops
+        // come back as errors through cvt, never as memory unsafety.
         cvt(unsafe { epoll_ctl(self.fd, op, fd, &mut ev) }).map(|_| ())
     }
 
@@ -105,10 +110,14 @@ impl Epoll {
         let cap = events.capacity().max(64) as i32;
         events.reserve(cap as usize);
         loop {
+            // SAFETY: `events` has capacity for at least `cap` entries
+            // (reserved above), so the kernel writes only into owned
+            // memory; the buffer outlives the call.
             let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), cap, timeout_ms) };
             match cvt(n) {
                 Ok(n) => {
-                    // Safety: the kernel initialized the first n entries.
+                    // SAFETY: epoll_wait returned n <= cap, and the
+                    // kernel initialized exactly the first n entries.
                     unsafe { events.set_len(n as usize) };
                     return Ok(());
                 }
@@ -121,6 +130,8 @@ impl Epoll {
 
 impl Drop for Epoll {
     fn drop(&mut self) {
+        // SAFETY: self.fd is the epoll fd this struct owns exclusively;
+        // nothing reuses it after drop, so double-close cannot occur.
         unsafe { close(self.fd) };
     }
 }
@@ -136,10 +147,12 @@ pub(crate) struct WakePipe {
 impl WakePipe {
     pub fn new() -> io::Result<Self> {
         let mut fds = [0i32; 2];
+        // SAFETY: `fds` is a live [i32; 2]; pipe2 writes exactly two fds
+        // into it on success and nothing on failure.
         cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
         Ok(Self {
-            read_fd: fds[0],
-            write_fd: fds[1],
+            read_fd: fds[0],  // panic-ok: constant index into [i32; 2]
+            write_fd: fds[1], // panic-ok: constant index into [i32; 2]
         })
     }
 
@@ -152,6 +165,9 @@ impl WakePipe {
     /// racing close, `EPIPE`) are success.
     pub fn wake(&self) {
         let byte = 1u8;
+        // SAFETY: writes 1 byte from a live local; the fd is owned by
+        // this pipe. Errors (EAGAIN on a full pipe, EPIPE on a racing
+        // close) are deliberately ignored — see the doc comment.
         unsafe { write(self.write_fd, &byte, 1) };
     }
 
@@ -159,6 +175,8 @@ impl WakePipe {
     pub fn drain(&self) {
         let mut buf = [0u8; 64];
         loop {
+            // SAFETY: reads at most buf.len() bytes into a live local
+            // buffer from the fd this pipe owns.
             let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
             if n <= 0 {
                 return;
@@ -169,6 +187,8 @@ impl WakePipe {
 
 impl Drop for WakePipe {
     fn drop(&mut self) {
+        // SAFETY: both fds are owned exclusively by this struct and are
+        // closed exactly once, here.
         unsafe {
             close(self.read_fd);
             close(self.write_fd);
@@ -182,6 +202,8 @@ impl Drop for WakePipe {
 /// kernel doubles the value internally and clamps to `/proc` limits.
 pub(crate) fn set_send_buffer(fd: RawFd, bytes: usize) -> io::Result<()> {
     let val = bytes as i32;
+    // SAFETY: passes a pointer to a live i32 with its exact size; the
+    // kernel copies the value out during the call.
     cvt(unsafe {
         setsockopt(
             fd,

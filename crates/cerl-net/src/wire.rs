@@ -89,10 +89,13 @@ impl Status {
     /// a client flooding malformed frames or impossible deadlines must
     /// not look like a fleet regression to a canary watcher.
     pub fn is_client_fault(self) -> bool {
-        matches!(
-            self,
-            Status::MalformedRequest | Status::UnknownDomain | Status::Deadline
-        )
+        // Exhaustive on purpose (no wildcard arm): a new `Status` must
+        // be classified here before it compiles — both the compiler and
+        // `cerl-analyze`'s taxonomy rule check it.
+        match self {
+            Status::MalformedRequest | Status::UnknownDomain | Status::Deadline => true,
+            Status::Ok | Status::Overloaded | Status::ShuttingDown | Status::ServeFault => false,
+        }
     }
 
     fn from_byte(b: u8) -> Result<Self, WireError> {
@@ -250,6 +253,8 @@ impl<'a> Cursor<'a> {
             .checked_add(n)
             .filter(|&end| end <= self.buf.len())
             .ok_or(WireError::Truncated { reading })?;
+        // panic-ok: `end` was validated against `buf.len()` on the line
+        // above and `pos <= end` by construction.
         let slice = &self.buf[self.pos..end];
         self.pos = end;
         Ok(slice)
@@ -260,15 +265,19 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self, reading: &'static str) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(
-            self.take(4, reading)?.try_into().expect("4 bytes"),
-        ))
+        let bytes: [u8; 4] = self
+            .take(4, reading)?
+            .try_into()
+            .map_err(|_| WireError::Truncated { reading })?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self, reading: &'static str) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(
-            self.take(8, reading)?.try_into().expect("8 bytes"),
-        ))
+        let bytes: [u8; 8] = self
+            .take(8, reading)?
+            .try_into()
+            .map_err(|_| WireError::Truncated { reading })?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     fn remaining(&self) -> usize {
@@ -444,6 +453,14 @@ pub struct FrameReader {
     start: usize,
 }
 
+/// Little-endian `u32` length prefix at the head of `bytes`, `None`
+/// when fewer than 4 bytes are buffered. A hostile peer controls these
+/// bytes, so this must never panic.
+fn length_prefix(bytes: &[u8]) -> Option<usize> {
+    let head: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(head) as usize)
+}
+
 impl FrameReader {
     /// Empty assembler.
     pub fn new() -> Self {
@@ -466,11 +483,12 @@ impl FrameReader {
 
     /// Whether a complete frame is buffered (cheap peek, no copy).
     pub fn has_frame(&self) -> bool {
+        // panic-ok: `start <= buf.len()` is a struct invariant — it only
+        // ever advances past bytes already present in `buf`.
         let avail = &self.buf[self.start..];
-        if avail.len() < 4 {
+        let Some(len) = length_prefix(avail) else {
             return false;
-        }
-        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        };
         // An oversized declaration still counts: next_frame must run to
         // report the error.
         len > MAX_FRAME_BYTES || avail.len() >= 4 + len
@@ -479,17 +497,19 @@ impl FrameReader {
     /// Pop the next complete payload, `Ok(None)` if more bytes are
     /// needed, or the frame-level error for a hostile length prefix.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        // panic-ok: `start <= buf.len()` is a struct invariant — it only
+        // ever advances past bytes already present in `buf`.
         let avail = &self.buf[self.start..];
-        if avail.len() < 4 {
+        let Some(len) = length_prefix(avail) else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+        };
         if len > MAX_FRAME_BYTES {
             return Err(WireError::FrameTooLarge { declared: len });
         }
         if avail.len() < 4 + len {
             return Ok(None);
         }
+        // panic-ok: `avail.len() >= 4 + len` was checked two lines up.
         let payload = avail[4..4 + len].to_vec();
         self.start += 4 + len;
         if self.start == self.buf.len() {

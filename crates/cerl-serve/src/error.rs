@@ -100,13 +100,23 @@ impl ServeError {
     /// malformed frames, expired deadlines — are classified by
     /// `cerl-net` before a `ServeError` ever exists.)
     pub fn is_client_fault(&self) -> bool {
-        matches!(
-            self,
-            ServeError::UnknownDomain { .. }
-                | ServeError::DomainTagMismatch { .. }
-                | ServeError::Engine(CerlError::DimensionMismatch { .. })
-                | ServeError::Engine(CerlError::EmptyInput { .. })
-        )
+        // Exhaustive on purpose (no wildcard arm): adding a `ServeError`
+        // variant must force a classification decision here — both the
+        // compiler and `cerl-analyze`'s taxonomy rule check it.
+        match self {
+            ServeError::UnknownDomain { .. } | ServeError::DomainTagMismatch { .. } => true,
+            ServeError::Engine(CerlError::DimensionMismatch { .. })
+            | ServeError::Engine(CerlError::EmptyInput { .. }) => true,
+            ServeError::UnknownShard { .. }
+            | ServeError::QueueFull { .. }
+            | ServeError::SchedulerShutdown
+            | ServeError::FleetSizeMismatch { .. }
+            | ServeError::RebalanceInProgress { .. }
+            | ServeError::NoRebalancePending
+            | ServeError::PlanInProgress
+            | ServeError::PlanHalted { .. }
+            | ServeError::Engine(_) => false,
+        }
     }
 }
 

@@ -60,12 +60,18 @@ impl LatencyHistogram {
     /// Record one sample (wait-free; two relaxed `fetch_add`s).
     pub fn record(&self, latency: Duration) {
         let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        // ordering: wait-free recorder — readers tolerate racing
+        // increments (monotone-read contract), so Relaxed atomicity is
+        // all that is needed. panic-ok: bucket_index returns
+        // < BUCKET_COUNT by construction (property-tested).
         self.counts[Self::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
-        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed); // ordering: lone stat counter, no edges
     }
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
+        // ordering: advisory monotone read; no cross-bucket coherence is
+        // promised, so Relaxed needs no edges.
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
@@ -84,6 +90,8 @@ impl LatencyHistogram {
     /// geometric-midpoint contract, property-tested in
     /// `tests/property_based.rs`).
     pub fn bucket_bounds(i: usize) -> (Duration, Duration) {
+        // panic-ok: documented API precondition of this diagnostic
+        // accessor; serving-path callers pass loop indices < BUCKET_COUNT.
         assert!(i < BUCKET_COUNT, "bucket {i} out of range");
         let lower = if i == 0 {
             Duration::ZERO
@@ -147,6 +155,8 @@ impl LatencyHistogram {
     /// [`LatencyHistogram::snapshot`] would dilute a fresh regression
     /// under the weight of history.
     pub fn bucket_counts(&self) -> [u64; BUCKET_COUNT] {
+        // ordering: advisory monotone read, no edges. panic-ok:
+        // from_fn hands indices < BUCKET_COUNT only.
         std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
     }
 
@@ -172,6 +182,7 @@ impl LatencyHistogram {
     /// Coherent-enough point-in-time summary (count, mean, p50/p95/p99).
     pub fn snapshot(&self) -> LatencySnapshot {
         let count = self.count();
+        // ordering: advisory monotone read, no edges.
         let mean = self
             .total_nanos
             .load(Ordering::Relaxed)

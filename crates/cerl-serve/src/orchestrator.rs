@@ -129,6 +129,8 @@ impl CanarySnapshot {
     /// bucket-count deltas, or `None` for an idle window.
     fn windowed_p95(&self, later: &CanarySnapshot) -> Option<Duration> {
         let window: [u64; BUCKET_COUNT] = std::array::from_fn(|i| {
+            // panic-ok: both snapshots carry [u64; BUCKET_COUNT] arrays
+            // and from_fn hands indices < BUCKET_COUNT only.
             later.end_to_end_buckets[i].saturating_sub(self.end_to_end_buckets[i])
         });
         LatencyHistogram::quantile_from_counts(&window, 0.95)
@@ -329,8 +331,11 @@ impl RebalancePlanner {
         // the inputs.
         moves.sort_by(|a, b| {
             let key = |m: &ShardMove| {
+                // panic-ok: every move's from/to came from the target
+                // map's shard indices, bounded by the fleet size that
+                // built rows_by_shard above.
                 let from = rows_by_shard[m.from] as i128;
-                let to = rows_by_shard[m.to] as i128;
+                let to = rows_by_shard[m.to] as i128; // panic-ok: see above
                 (from - to, from)
             };
             key(b).cmp(&key(a)).then(a.domain.cmp(&b.domain))
@@ -386,6 +391,7 @@ impl std::fmt::Debug for RebalanceOrchestrator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RebalanceOrchestrator")
             .field("cfg", &self.cfg)
+            // ordering: debug introspection only; staleness is fine.
             .field("executing", &self.executing.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
@@ -414,6 +420,8 @@ impl RebalanceOrchestrator {
 
     /// Whether a plan is currently executing on this orchestrator.
     pub fn is_executing(&self) -> bool {
+        // ordering: Acquire pairs with ExecutionGuard's Release store —
+        // observing false also observes the finished plan's effects.
         self.executing.load(Ordering::Acquire)
     }
 
@@ -462,6 +470,7 @@ impl RebalanceOrchestrator {
             // staged — building an engine only to drop it can cost a
             // whole training run.
             while next_staged < plan.moves.len() && staged.len() < self.cfg.max_staged.max(1) {
+                // panic-ok: the loop condition bounds next_staged.
                 let pending = &plan.moves[next_staged];
                 if self.router.route(pending.domain)? != pending.to {
                     staged.push_back((next_staged, successor_for(pending)?));
@@ -469,7 +478,7 @@ impl RebalanceOrchestrator {
                 next_staged += 1;
             }
             let successor = match staged.front() {
-                Some(&(idx, _)) if idx == i => Some(staged.pop_front().expect("front exists").1),
+                Some(&(idx, _)) if idx == i => staged.pop_front().map(|(_, engine)| engine),
                 _ => None, // move was already applied at staging time
             };
             if self.router.route(mv.domain)? == mv.to {
@@ -558,6 +567,11 @@ impl RebalanceOrchestrator {
     }
 
     fn begin_execution(&self) -> Result<ExecutionGuard<'_>, ServeError> {
+        // ordering: AcqRel on success — the Acquire half pairs with the
+        // previous ExecutionGuard's Release drop (this plan sees that
+        // plan's effects); the Release half publishes the claim to the
+        // next is_executing/CAS reader. Acquire on failure suffices to
+        // read the competing plan's claim.
         if self
             .executing
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
@@ -574,6 +588,9 @@ struct ExecutionGuard<'a>(&'a AtomicBool);
 
 impl Drop for ExecutionGuard<'_> {
     fn drop(&mut self) {
+        // ordering: Release pairs with the Acquire side of
+        // begin_execution's compare_exchange (and is_executing): the
+        // next plan acquires everything this one wrote.
         self.0.store(false, Ordering::Release);
     }
 }

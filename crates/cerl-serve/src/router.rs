@@ -146,6 +146,8 @@ impl ScatterHandle {
         self.resolved.sort_unstable_by_key(|&(shard, _, _)| shard);
         let mut shard_versions = Vec::with_capacity(self.resolved.len());
         for (shard, version, slice) in &self.resolved {
+            // panic-ok: resolved entries were produced from
+            // rows_by_shard's own enumerate() indices.
             gather(&mut ite, &self.rows_by_shard[*shard], slice);
             shard_versions.push((*shard, *version));
         }
@@ -163,9 +165,12 @@ impl Future for ScatterHandle {
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
+        // panic-ok: Future contract violation by the caller — polling
+        // after Ready is a programming error, not a serving fault.
         assert!(!this.done, "ScatterHandle polled after completion");
         let mut i = 0;
         while i < this.pending.len() {
+            // panic-ok: i < pending.len() by the loop condition.
             match Pin::new(&mut this.pending[i].1).poll(cx) {
                 Poll::Pending => i += 1,
                 Poll::Ready(outcome) => {
@@ -372,6 +377,8 @@ impl ShardRouter {
     ) -> Result<(u64, Vec<f64>), ServeError> {
         let start = Instant::now();
         let outcome = self.route(domain).and_then(|shard| {
+            // panic-ok: route() only returns indices < shards.len()
+            // (the pinned map was validated against the fleet size).
             let slot = &self.shards[shard];
             match &slot.scheduler {
                 Some(scheduler) => scheduler.predict_ite_versioned(x),
@@ -462,6 +469,8 @@ impl ShardRouter {
             let shard = map
                 .shard_for(domain)
                 .ok_or(ServeError::UnknownDomain { domain })?;
+            // panic-ok: shard_for is validated against the fleet size,
+            // which sized rows_by_shard.
             rows_by_shard[shard].push(row);
         }
 
@@ -478,9 +487,12 @@ impl ShardRouter {
             .filter(|(_, rows)| !rows.is_empty())
         {
             let sub = x.select_rows(rows);
+            // panic-ok: shard is an enumerate() index over a Vec sized
+            // to shards.len() (both sites in this arm).
             match &self.shards[shard].scheduler {
                 Some(scheduler) => pending.push((shard, scheduler.submit(sub)?)),
                 None => {
+                    // panic-ok: same enumerate() bound as above.
                     let (version, slice) = self.shards[shard]
                         .engine
                         .predict_ite_parallel_versioned(&sub, 0)
@@ -576,6 +588,8 @@ impl ShardRouter {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let rebalance = pending.take().ok_or(ServeError::NoRebalancePending)?;
+        // panic-ok: begin_rebalance validated `to` against the fleet
+        // size before staging this rebalance.
         let version = self.shards[rebalance.to]
             .engine
             .swap_engine_warm(rebalance.staged)
@@ -727,6 +741,8 @@ impl ShardRouter {
 fn gather(out: &mut [f64], rows: &[usize], slice: &[f64]) {
     debug_assert_eq!(rows.len(), slice.len());
     for (&row, &value) in rows.iter().zip(slice) {
+        // panic-ok: rows are original request-row indices and `out` was
+        // sized to the request's row count by the caller.
         out[row] = value;
     }
 }

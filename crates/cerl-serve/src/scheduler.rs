@@ -112,15 +112,16 @@ impl ServeMetrics {
     }
 
     pub(crate) fn record_batch(&self, requests: u64, rows: u64) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests.fetch_add(requests, Ordering::Relaxed);
-        self.batched_rows.fetch_add(rows, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
+        self.batched_requests.fetch_add(requests, Ordering::Relaxed); // ordering: lone stat counter, no edges
+        self.batched_rows.fetch_add(rows, Ordering::Relaxed); // ordering: lone stat counter, no edges
+                                                              // ordering: lone stat high-water mark, no edges.
         self.max_batch_requests
             .fetch_max(requests, Ordering::Relaxed);
     }
 
     pub(crate) fn record_response(&self, version: u64, end_to_end: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
         self.end_to_end.record(end_to_end);
         *self
             .per_version
@@ -135,9 +136,9 @@ impl ServeMetrics {
     /// are counted separately so canary verdicts can judge serve health
     /// without being halted by a misbehaving client.
     pub(crate) fn record_rejection(&self, error: &ServeError) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
         if error.is_client_fault() {
-            self.rejected_client.fetch_add(1, Ordering::Relaxed);
+            self.rejected_client.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
         }
     }
 
@@ -147,8 +148,9 @@ impl ServeMetrics {
     /// `per_version_requests` sums can exceed `requests` on fleets
     /// serving mixed-domain traffic.
     pub(crate) fn record_scatter(&self, versions: &[(usize, u64)], end_to_end: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.scatter_requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
+        self.scatter_requests.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
+                                                               // ordering: lone stat counter, no edges.
         self.scatter_subrequests
             .fetch_add(versions.len() as u64, Ordering::Relaxed);
         self.end_to_end.record(end_to_end);
@@ -167,6 +169,8 @@ impl ServeMetrics {
     /// window resolution without perturbing the fleet it is watching.
     pub(crate) fn canary_snapshot(&self) -> crate::orchestrator::CanarySnapshot {
         crate::orchestrator::CanarySnapshot {
+            // ordering: advisory snapshot of independent monotone
+            // counters — per-counter coherence only, no edges.
             requests: self.requests.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             rejected_client: self.rejected_client.load(Ordering::Relaxed),
@@ -176,6 +180,8 @@ impl ServeMetrics {
 
     pub(crate) fn snapshot(&self) -> ServeStats {
         ServeStats {
+            // ordering: advisory snapshot of independent monotone
+            // counters — per-counter coherence only, no edges.
             requests: self.requests.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             rejected_client: self.rejected_client.load(Ordering::Relaxed),
@@ -411,6 +417,9 @@ impl Future for ResponseHandle {
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
+        // panic-ok: polling a completed Future violates the Future
+        // contract; the panic is in the misbehaving caller's task, not
+        // the serving fleet's.
         assert!(!this.done, "ResponseHandle polled after completion");
         match this.slot.poll_payload(cx.waker()) {
             Some(outcome) => Poll::Ready(this.settle(outcome)),
@@ -455,6 +464,9 @@ impl BatchScheduler {
                 let cfg = cfg.clone();
                 move || collector_loop(&engine, &rx, &cfg, &metrics)
             })
+            // panic-ok: construction-time only — failing to spawn the
+            // collector thread means the scheduler cannot exist; no
+            // in-flight request is lost.
             .expect("spawn batch-collector thread");
         Self {
             engine,
@@ -581,7 +593,7 @@ fn collector_loop(
         };
         let deadline = Instant::now() + cfg.max_wait;
         let mut batch = vec![first];
-        let mut rows = batch[0].x.rows();
+        let mut rows = batch[0].x.rows(); // panic-ok: batch was just built with one element
         while rows < cfg.max_batch_rows {
             let now = Instant::now();
             if now >= deadline {
@@ -630,13 +642,17 @@ fn serve_batch(
     }
 
     for (cols, members) in groups {
+        // panic-ok: every i in `members` indexes into this same `batch`
+        // (the grouping loop above produced them).
         let total_rows: usize = members.iter().map(|&i| batch[i].x.rows()).sum();
         let coalesced_owned;
         let coalesced: &Matrix = if members.len() == 1 {
+            // panic-ok: members is non-empty and indexes `batch`.
             &batch[members[0]].x
         } else {
             let mut data = Vec::with_capacity(total_rows * cols);
             for &i in &members {
+                // panic-ok: members indexes `batch` (see above).
                 data.extend_from_slice(batch[i].x.as_slice());
             }
             coalesced_owned = Matrix::from_vec(total_rows, cols, data);
@@ -647,15 +663,22 @@ fn serve_batch(
             Ok((version, ite)) => {
                 let mut offset = 0;
                 for &i in &members {
+                    // panic-ok: members indexes `batch`, and `ite` holds
+                    // exactly total_rows == sum of member rows entries,
+                    // so every [offset, offset + n) window is in range.
                     let n = batch[i].x.rows();
+                    // panic-ok: ite holds sum-of-member-rows entries, so
+                    // every [offset, offset + n) window is in range.
                     let slice = ite[offset..offset + n].to_vec();
                     offset += n;
                     // A dropped ResponseHandle just discards its slice.
+                    // panic-ok: members indexes `batch` (see above).
                     batch[i].slot.fulfill(Ok((version, slice)));
                 }
             }
             Err(e) => {
                 for &i in &members {
+                    // panic-ok: members indexes `batch` (see above).
                     batch[i].slot.fulfill(Err(ServeError::Engine(e.clone())));
                 }
             }

@@ -322,6 +322,30 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! ## Invariants, machine-checked
+//!
+//! The concurrency discipline the serving stack depends on is enforced
+//! by `cerl-analyze`, a dependency-free static-analysis pass that runs
+//! as a deny-mode CI lane (and locally via
+//! `cargo run -p cerl-analyze -- --deny`):
+//!
+//! | Rule id | Invariant |
+//! |---|---|
+//! | `unsafe-comment` | every `unsafe` carries a `// SAFETY:` justification |
+//! | `atomic-ordering` | every `Ordering::*` in non-test code carries an `// ordering:` comment naming the happens-before edge it relies on (or stating there is none) |
+//! | `seqcst-hot-path` | `SeqCst` is flagged unconditionally in hot-path modules — not waivable by annotation; today the workspace contains **zero** `SeqCst` sites |
+//! | `panic-path` | no `unwrap`/`expect`/`panic!`/`assert!`/slice-indexing in non-test serving-path code (`cerl-serve`, `cerl-net`, `cerl-core`'s serving module) without a `// panic-ok:` reason stating the bound or contract |
+//! | `lock-blocking` | no lock guard held across `recv()`/`submit()`/`accept()`/`sleep`/`join()` (waive with `// lock-ok:`) |
+//! | `lock-order` | the hot-swap discipline: the writer lock is acquired before the published-pointer lock (document a caller obligation with `// lock-order:`) |
+//! | `taxonomy` | every `ServeError` variant is classified by `is_client_fault` (no wildcard arm) and every wire `Status` is mapped in encode/decode |
+//!
+//! Annotations live where the code lives, so `git blame` answers "why
+//! is this ordering sufficient" the same way it answers "why is this
+//! line here". Findings print as `file:line — rule — message`, with a
+//! JSON summary (`--json`) for tooling. The analyzer's own fixtures
+//! (`crates/cerl-analyze/fixtures/`) pin each rule's fire/no-fire
+//! behaviour, and a self-test asserts the workspace scans clean.
+//!
 //! ## Research-style API
 //!
 //! The original research-facing types remain available: construct
