@@ -1,0 +1,16 @@
+//! Fixture: lifecycle-ordered stamps and a waived generic forwarder —
+//! no rule fires.
+
+pub fn admit(span: &TraceSpan) {
+    span.stamp(Stage::Decoded);
+    span.stamp(Stage::AdmissionWait);
+}
+
+pub fn gather(span: &TraceSpan) {
+    span.stamp(Stage::Gathered);
+}
+
+pub fn forward(span: &TraceSpan, stage: Stage) {
+    // obs-stage: generic forwarder, stage named at call sites.
+    span.stamp(stage);
+}

@@ -1,0 +1,11 @@
+//! Fixture: trace stamps out of lifecycle order plus a stamp without a
+//! literal stage — `obs-stage` must fire (and nothing else).
+
+pub fn serve_one(span: &TraceSpan) {
+    span.stamp(Stage::Inference);
+    span.stamp(Stage::Decoded);
+}
+
+pub fn forward(span: &TraceSpan, stage: Stage) {
+    span.stamp(stage);
+}

@@ -62,10 +62,11 @@ pub fn scan_file(path: &Path, rel: &str) -> io::Result<SourceFile> {
 /// - `vendor/` (offline dependency shims) and generated trees are out;
 /// - `crates/cerl-bench` is a diagnostic harness, held to unsafe
 ///   hygiene only (its counters are not serving-path atomics);
-/// - the panic/lock rules cover the serving path: `cerl-serve`,
-///   `cerl-net`, and `cerl-core/src/serving.rs`;
-/// - hot-path modules (`serving.rs`, `histogram.rs`, `server.rs`)
-///   additionally forbid `SeqCst` outright.
+/// - the panic/lock/obs-stage rules cover the serving path:
+///   `cerl-serve`, `cerl-net`, `cerl-obs`, and
+///   `cerl-core/src/serving.rs`;
+/// - hot-path modules (`serving.rs`, `histogram.rs`, `server.rs`,
+///   `trace.rs`) additionally forbid `SeqCst` outright.
 pub fn scope_for(rel: &str) -> Option<Scope> {
     if !rel.ends_with(".rs") {
         return None;
@@ -81,9 +82,14 @@ pub fn scope_for(rel: &str) -> Option<Scope> {
     let analyzer = rel.starts_with("crates/cerl-analyze/");
     let serving_path = rel.starts_with("crates/cerl-serve/src/")
         || rel.starts_with("crates/cerl-net/src/")
+        || rel.starts_with("crates/cerl-obs/src/")
         || rel == "crates/cerl-core/src/serving.rs";
     let base = rel.rsplit('/').next().unwrap_or(rel);
-    let hot = serving_path && matches!(base, "serving.rs" | "histogram.rs" | "server.rs");
+    let hot = serving_path
+        && matches!(
+            base,
+            "serving.rs" | "histogram.rs" | "server.rs" | "trace.rs"
+        );
     Some(Scope {
         unsafe_hygiene: true,
         atomics: !bench && !analyzer,
@@ -92,6 +98,7 @@ pub fn scope_for(rel: &str) -> Option<Scope> {
         locks: serving_path,
         lock_order: rel == "crates/cerl-core/src/serving.rs",
         taxonomy: !bench && !analyzer,
+        obs_stage: serving_path,
     })
 }
 

@@ -13,6 +13,8 @@
 //! | `lock-blocking`  | no lock guard held across a blocking call sans `// lock-ok:`     |
 //! | `lock-order`     | `current.write()` only after `writer_lock` (or `// lock-order:`) |
 //! | `taxonomy`       | every error/status variant classified & decodable                |
+//! | `obs-stage`      | `.stamp(` sites name a literal `Stage::<variant>`, in lifecycle  |
+//! |                  | order per function (generic forwarders waive `// obs-stage:`)    |
 
 use crate::lexer::{has_annotation, statement_start, SourceFile};
 use crate::Finding;
@@ -36,6 +38,9 @@ pub struct Scope {
     pub lock_order: bool,
     /// `taxonomy` — enum/classifier exhaustiveness.
     pub taxonomy: bool,
+    /// `obs-stage` — trace stamp call sites name their stage literally
+    /// and in request-lifecycle order.
+    pub obs_stage: bool,
 }
 
 impl Scope {
@@ -49,6 +54,7 @@ impl Scope {
             locks: true,
             lock_order: true,
             taxonomy: true,
+            obs_stage: true,
         }
     }
 }
@@ -73,6 +79,9 @@ pub fn analyze(file: &SourceFile, scope: &Scope) -> Vec<Finding> {
     }
     if scope.taxonomy {
         check_taxonomy(file, &mut out);
+    }
+    if scope.obs_stage {
+        check_obs_stage(file, &mut out);
     }
     out
 }
@@ -568,6 +577,86 @@ fn inherent_impl_span(file: &SourceFile, name: &str) -> Option<(usize, usize)> {
         return Some((i, j.min(file.lines.len() - 1)));
     }
     None
+}
+
+// ------------------------------------------------------------- obs-stage
+
+/// The canonical request lifecycle, in order (mirrors
+/// `cerl_obs::Stage::ALL`). A `.stamp(...)` call site must name its
+/// stage literally, and within one function the named stages must
+/// appear in this textual order — so the trace a span records can never
+/// contradict the code path that produced it. Generic forwarders that
+/// take a `Stage` parameter waive the site with `// obs-stage:` and a
+/// reason.
+const STAGES: [&str; 9] = [
+    "Accepted",
+    "Decoded",
+    "AdmissionWait",
+    "Submitted",
+    "QueueWait",
+    "Batched",
+    "Inference",
+    "Gathered",
+    "Written",
+];
+
+fn check_obs_stage(file: &SourceFile, out: &mut Vec<Finding>) {
+    // `(line, stage index)` per literal stamp site, textual order.
+    let mut sites: Vec<(usize, usize)> = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test || !line.code.contains(".stamp(") {
+            continue;
+        }
+        if has_annotation(file, i, "obs-stage:") {
+            continue;
+        }
+        // The stage literal may sit on a rustfmt continuation line just
+        // below the call.
+        let stage = (i..file.lines.len().min(i + 3)).find_map(|j| {
+            STAGES
+                .iter()
+                .position(|s| file.lines[j].code.contains(&format!("Stage::{s}")))
+        });
+        let Some(idx) = stage else {
+            out.push(finding(
+                file,
+                i,
+                "obs-stage",
+                "`.stamp(...)` without a literal `Stage::<variant>` at the call site; \
+                 name the stage, or waive a generic forwarder with `// obs-stage:`"
+                    .into(),
+            ));
+            continue;
+        };
+        sites.push((i, idx));
+    }
+    if sites.is_empty() {
+        return;
+    }
+    for &(start, end, ref name) in &fn_spans(file) {
+        let mut max_seen: Option<usize> = None;
+        for &(line, idx) in sites.iter().filter(|&&(l, _)| start <= l && l <= end) {
+            if let Some(prev) = max_seen {
+                if idx < prev {
+                    out.push(finding(
+                        file,
+                        line,
+                        "obs-stage",
+                        format!(
+                            "stage `{}` stamped after later stage `{}` in `fn {name}`; \
+                             stamp sites must follow the request lifecycle order \
+                             ({} … {})",
+                            STAGES[idx],
+                            STAGES[prev],
+                            STAGES[0],
+                            STAGES[STAGES.len() - 1],
+                        ),
+                    ));
+                }
+            }
+            max_seen = Some(max_seen.map_or(idx, |p| p.max(idx)));
+        }
+    }
 }
 
 /// Body span of `fn name` inside `[impl_start, impl_end]`.

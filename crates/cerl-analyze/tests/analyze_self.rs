@@ -34,6 +34,7 @@ fn bad_fixtures_are_flagged_with_the_right_rule() {
         ("bad_lock_order.rs", "lock-order"),
         ("bad_taxonomy.rs", "taxonomy"),
         ("bad_taxonomy_wildcard.rs", "taxonomy"),
+        ("obs_stage_fire.rs", "obs-stage"),
     ] {
         let findings = findings_for(name);
         let rules = rules_of(&findings);
@@ -80,7 +81,11 @@ fn seqcst_fixture_is_flagged_despite_ordering_annotation() {
 
 #[test]
 fn clean_fixtures_pass_every_rule() {
-    for name in ["clean_annotated.rs", "clean_test_code.rs"] {
+    for name in [
+        "clean_annotated.rs",
+        "clean_test_code.rs",
+        "obs_stage_clean.rs",
+    ] {
         let findings = findings_for(name);
         assert!(findings.is_empty(), "{name}: unexpected {findings:?}");
     }
@@ -107,6 +112,7 @@ fn deny_mode_exits_nonzero_on_each_bad_fixture() {
         ("bad_lock.rs", "lock-blocking"),
         ("bad_lock_order.rs", "lock-order"),
         ("bad_taxonomy.rs", "taxonomy"),
+        ("obs_stage_fire.rs", "obs-stage"),
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_cerl-analyze"))
             .arg("--deny")

@@ -9,60 +9,11 @@
 //! * cross-domain degradation: same model evaluated on a shifted domain.
 
 use cerl_bench::scale::{model_config, synthetic_config, RunArgs};
+use cerl_bench::trajectory::{self, BandConfig, ProbeRecord, TrajectoryReport};
 use cerl_core::metrics::EffectMetrics;
 use cerl_core::CfrModel;
 use cerl_data::{DomainStream, SyntheticGenerator};
 use cerl_math::stats::{mean, std_dev};
-use serde::Serialize;
-
-/// Machine-readable outcome of one diag probe — the unit of the
-/// perf-trajectory artifact (`--trajectory PATH` writes one JSON document
-/// holding a [`ProbeRecord`] per probe) and of the `--orchestrate`
-/// probe's JSON line. `passed == false` makes diag exit non-zero, so the
-/// bench lane doubles as a correctness gate.
-#[derive(Debug, Clone, Serialize)]
-struct ProbeRecord {
-    /// Probe name (`serving`, `batched`, `scatter`, `orchestrate`,
-    /// `net`).
-    probe: String,
-    /// Sustained throughput of the probe's main measured path.
-    rows_per_sec: f64,
-    /// Median per-request latency of that path, milliseconds.
-    p50_ms: f64,
-    /// 95th-percentile per-request latency, milliseconds.
-    p95_ms: f64,
-    /// 99th-percentile per-request latency, milliseconds.
-    p99_ms: f64,
-    /// Whether every correctness check inside the probe held
-    /// (bitwise-identical outputs, zero request errors, plan committed).
-    passed: bool,
-    /// Free-form probe-specific summary.
-    detail: String,
-}
-
-impl ProbeRecord {
-    fn new(probe: &str, rows_per_sec: f64, latency: cerl_serve::LatencySnapshot) -> Self {
-        Self {
-            probe: probe.to_string(),
-            rows_per_sec,
-            p50_ms: latency.p50.as_secs_f64() * 1e3,
-            p95_ms: latency.p95.as_secs_f64() * 1e3,
-            p99_ms: latency.p99.as_secs_f64() * 1e3,
-            passed: true,
-            detail: String::new(),
-        }
-    }
-}
-
-/// The trajectory artifact: every probe's record plus enough metadata to
-/// compare artifacts across commits (`BENCH_6.json` in CI).
-#[derive(Debug, Serialize)]
-struct TrajectoryReport {
-    schema: String,
-    scale: String,
-    seed: u64,
-    probes: Vec<ProbeRecord>,
-}
 
 /// Serving-path diagnostics: engine snapshot round-trip (size, save/load
 /// latency, bitwise-identical predictions) and chunked-inference
@@ -517,6 +468,7 @@ fn net_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) -> P
     use cerl_core::engine::CerlEngineBuilder;
     use cerl_core::ServingEngine;
     use cerl_net::{NetBackend, NetClient, NetServer, NetServerConfig};
+    use cerl_obs::TraceRing;
     use cerl_serve::{BatchConfig, BatchScheduler, LatencyHistogram};
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
@@ -538,10 +490,16 @@ fn net_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) -> P
             ..BatchConfig::default()
         },
     ));
+    // The acceptance bar for the tracing hot path: 1-in-8 sampling must
+    // cost nothing measurable against the untraced BENCH_7 baseline.
+    let ring = TraceRing::new(1024, 8);
     let server = NetServer::bind(
         "127.0.0.1:0",
         NetBackend::Scheduler(scheduler),
-        NetServerConfig::default(),
+        NetServerConfig {
+            trace: Some(Arc::clone(&ring)),
+            ..NetServerConfig::default()
+        },
     )
     .expect("bind loopback");
     let addr = server.local_addr();
@@ -614,14 +572,26 @@ zero-fault/bitwise checks are the signal."
     );
     server.shutdown().expect("reactor joins cleanly");
 
+    let trace_stats = ring.stats();
+    let spans = ring.dump(1024);
+    let monotone = spans.iter().all(|s| s.is_monotone());
+    let trace_ok = monotone && trace_stats.sampled > 0 && trace_stats.dropped == 0;
+    println!(
+        "net: trace 1-in-8: {} seen, {} sampled, {} completed, {} dropped, all monotone: {monotone}",
+        trace_stats.seen, trace_stats.sampled, trace_stats.completed, trace_stats.dropped,
+    );
+
     let mut record = ProbeRecord::new("net", rows_per_sec, snapshot);
-    record.passed = bitwise && clean;
+    record.passed = bitwise && clean && trace_ok;
     record.detail = format!(
-        "{} conns x {rounds} rounds over loopback; ok {}/{}; serve faults {}; bitwise: {bitwise}",
+        "{} conns x {rounds} rounds over loopback; ok {}/{}; serve faults {}; bitwise: {bitwise}; \
+         trace 1-in-8 sampled {} dropped {} monotone {monotone}",
         threads * conns_per_thread,
         snap.responses_ok,
         expected,
         snap.rejected_serve,
+        trace_stats.sampled,
+        trace_stats.dropped,
     );
     record
 }
@@ -973,8 +943,49 @@ fn exit_on_failure(records: &[ProbeRecord]) {
     }
 }
 
+/// `--diff-trajectory NEW OLD [--band PCT] [--p95-band PCT]`: the
+/// tolerance-banded regression check between two trajectory artifacts.
+/// Exits non-zero when any probe regressed beyond its band; CI runs it
+/// soft-fail so the log line, not a red build, is the signal.
+fn diff_trajectory(args: &RunArgs, pos: usize) -> ! {
+    let new_path = args
+        .extra
+        .get(pos + 1)
+        .expect("--diff-trajectory needs NEW and OLD artifact paths");
+    let old_path = args
+        .extra
+        .get(pos + 2)
+        .expect("--diff-trajectory needs NEW and OLD artifact paths");
+    let mut band = BandConfig::default();
+    if let Some(b) = args.extra.iter().position(|f| f == "--band") {
+        band.max_rows_per_sec_drop_pct = args.extra[b + 1]
+            .parse()
+            .expect("--band needs a percentage");
+    }
+    if let Some(b) = args.extra.iter().position(|f| f == "--p95-band") {
+        band.max_p95_rise_pct = args.extra[b + 1]
+            .parse()
+            .expect("--p95-band needs a percentage");
+    }
+    let new = trajectory::load_report(std::path::Path::new(new_path))
+        .unwrap_or_else(|e| panic!("diag: {e}"));
+    let old = trajectory::load_report(std::path::Path::new(old_path))
+        .unwrap_or_else(|e| panic!("diag: {e}"));
+    let diff = trajectory::diff_reports(&new, &old, band);
+    print!("{}", diff.render());
+    if diff.ok() {
+        println!("trajectory diff: within bands");
+        std::process::exit(0);
+    }
+    eprintln!("diag: trajectory regression beyond the tolerance band");
+    std::process::exit(1);
+}
+
 fn main() {
     let args = RunArgs::parse(std::env::args().skip(1));
+    if let Some(pos) = args.extra.iter().position(|f| f == "--diff-trajectory") {
+        diff_trajectory(&args, pos);
+    }
     let mut cfg = model_config(args.scale);
     // Ad-hoc calibration switches.
     if args.has_flag("--no-cosine") {

@@ -22,5 +22,7 @@ pub mod report;
 pub mod scale;
 pub mod table1;
 pub mod table2;
+pub mod trajectory;
 
 pub use scale::{RunArgs, Scale};
+pub use trajectory::{BandConfig, ProbeRecord, TrajectoryReport};

@@ -1,0 +1,332 @@
+//! Perf-trajectory artifacts and the tolerance-banded regression diff.
+//!
+//! `diag --trajectory PATH` writes one [`TrajectoryReport`] per commit
+//! (`results/BENCH_<pr>.json` in CI). This module owns the artifact's
+//! schema and the comparison between two artifacts:
+//! `diag --diff-trajectory NEW OLD [--band PCT] [--p95-band PCT]`
+//! loads both, matches probes by name, and fails when the new artifact
+//! dropped a probe, failed a correctness check, lost more throughput
+//! than the band allows, or grew its p95 latency beyond its band.
+//!
+//! The bands exist because the CI container is a single noisy CPU: a
+//! hard equality gate would flake on every run, while an unbounded diff
+//! would let a real regression ride in under "the machine was slow".
+//! CI runs the diff as a soft-fail step — the signal is the log line,
+//! not a red build — but the exit code is real so a future lane can
+//! promote it to a hard gate.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Machine-readable outcome of one diag probe — the unit of the
+/// trajectory artifact. `passed == false` makes diag exit non-zero, so
+/// the bench lane doubles as a correctness gate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeRecord {
+    /// Probe name (`serving`, `batched`, `scatter`, `orchestrate`,
+    /// `net`).
+    pub probe: String,
+    /// Sustained throughput of the probe's main measured path.
+    pub rows_per_sec: f64,
+    /// Median per-request latency of that path, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-request latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile per-request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Whether every correctness check inside the probe held
+    /// (bitwise-identical outputs, zero request errors, plan committed).
+    pub passed: bool,
+    /// Free-form probe-specific summary.
+    pub detail: String,
+}
+
+impl ProbeRecord {
+    /// A passing record from a probe's throughput and latency snapshot;
+    /// the caller downgrades `passed` / fills `detail` afterwards.
+    pub fn new(probe: &str, rows_per_sec: f64, latency: cerl_serve::LatencySnapshot) -> Self {
+        Self {
+            probe: probe.to_string(),
+            rows_per_sec,
+            p50_ms: latency.p50.as_secs_f64() * 1e3,
+            p95_ms: latency.p95.as_secs_f64() * 1e3,
+            p99_ms: latency.p99.as_secs_f64() * 1e3,
+            passed: true,
+            detail: String::new(),
+        }
+    }
+}
+
+/// The trajectory artifact: every probe's record plus enough metadata
+/// to compare artifacts across commits.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct TrajectoryReport {
+    /// Artifact schema tag (`cerl-bench-trajectory/v1`).
+    pub schema: String,
+    /// Run scale the probes were measured at (`quick` / `standard` / …).
+    pub scale: String,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// One record per probe, in execution order.
+    pub probes: Vec<ProbeRecord>,
+}
+
+/// Load a trajectory artifact from disk.
+pub fn load_report(path: &Path) -> Result<TrajectoryReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// Tolerance bands for the trajectory diff, in percent of the *old*
+/// value. Defaults are sized for the 1-CPU CI container, where run-to-
+/// run throughput noise of a few percent is normal and tail latency is
+/// mostly a property of the machine.
+#[derive(Debug, Clone, Copy)]
+pub struct BandConfig {
+    /// Maximum tolerated throughput drop, percent (default 10).
+    pub max_rows_per_sec_drop_pct: f64,
+    /// Maximum tolerated p95 latency rise, percent (default 50).
+    pub max_p95_rise_pct: f64,
+    /// Absolute p95 rises at or below this many milliseconds never
+    /// fail, whatever the percentage says (default 2). The histogram
+    /// behind these quantiles is bucket-resolution: a millisecond-scale
+    /// p95 hopping one bucket reads as +70% while meaning nothing, so a
+    /// ratio band alone would flake on every quiet probe.
+    pub p95_slack_ms: f64,
+}
+
+impl Default for BandConfig {
+    fn default() -> Self {
+        Self {
+            max_rows_per_sec_drop_pct: 10.0,
+            max_p95_rise_pct: 50.0,
+            p95_slack_ms: 2.0,
+        }
+    }
+}
+
+/// One probe's comparison in a [`TrajectoryDiff`].
+#[derive(Debug, Clone)]
+pub struct DiffLine {
+    /// Probe name.
+    pub probe: String,
+    /// Human-readable comparison.
+    pub summary: String,
+    /// Whether this probe stayed inside every band.
+    pub ok: bool,
+}
+
+/// Outcome of comparing two trajectory artifacts.
+#[derive(Debug)]
+pub struct TrajectoryDiff {
+    /// One line per compared (or missing) probe.
+    pub lines: Vec<DiffLine>,
+    /// The bands the comparison used.
+    pub band: BandConfig,
+}
+
+impl TrajectoryDiff {
+    /// Whether every probe stayed inside its bands.
+    pub fn ok(&self) -> bool {
+        self.lines.iter().all(|l| l.ok)
+    }
+
+    /// Render the diff as an aligned report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "trajectory diff (bands: rows/sec drop <= {:.1}%, p95 rise <= {:.1}% or <= {:.1} ms)\n",
+            self.band.max_rows_per_sec_drop_pct, self.band.max_p95_rise_pct, self.band.p95_slack_ms
+        );
+        for line in &self.lines {
+            let mark = if line.ok { "ok  " } else { "FAIL" };
+            out.push_str(&format!("  {mark} {:<12} {}\n", line.probe, line.summary));
+        }
+        out
+    }
+}
+
+/// Percent change from `old` to `new`; positive means `new` is larger.
+fn pct_change(new: f64, old: f64) -> f64 {
+    if old.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    (new - old) / old * 100.0
+}
+
+/// Compare `new` against `old` probe-by-probe under `band`.
+///
+/// A probe present in `old` but absent from `new` is a failure (a lane
+/// silently losing coverage is a regression); a probe new to `new` is
+/// reported informationally and cannot fail.
+pub fn diff_reports(
+    new: &TrajectoryReport,
+    old: &TrajectoryReport,
+    band: BandConfig,
+) -> TrajectoryDiff {
+    let mut lines = Vec::new();
+    for prev in &old.probes {
+        let Some(cur) = new.probes.iter().find(|p| p.probe == prev.probe) else {
+            lines.push(DiffLine {
+                probe: prev.probe.clone(),
+                summary: "probe missing from the new artifact".into(),
+                ok: false,
+            });
+            continue;
+        };
+        let rows_pct = pct_change(cur.rows_per_sec, prev.rows_per_sec);
+        let p95_pct = pct_change(cur.p95_ms, prev.p95_ms);
+        let rows_ok = rows_pct >= -band.max_rows_per_sec_drop_pct;
+        // A p95 that was effectively zero before cannot band a ratio,
+        // and a rise inside the absolute slack is bucket jitter.
+        let p95_ok = prev.p95_ms < 1e-6
+            || cur.p95_ms - prev.p95_ms <= band.p95_slack_ms
+            || p95_pct <= band.max_p95_rise_pct;
+        let ok = cur.passed && rows_ok && p95_ok;
+        let mut summary = format!(
+            "{:>9.0} -> {:>9.0} rows/sec ({rows_pct:+.1}%) | p95 {:.2} -> {:.2} ms ({p95_pct:+.1}%)",
+            prev.rows_per_sec, cur.rows_per_sec, prev.p95_ms, cur.p95_ms
+        );
+        if !cur.passed {
+            summary.push_str(" | correctness check FAILED");
+        }
+        lines.push(DiffLine {
+            probe: prev.probe.clone(),
+            summary,
+            ok,
+        });
+    }
+    for cur in &new.probes {
+        if !old.probes.iter().any(|p| p.probe == cur.probe) {
+            lines.push(DiffLine {
+                probe: cur.probe.clone(),
+                summary: format!(
+                    "new probe: {:>9.0} rows/sec, p95 {:.2} ms (no baseline)",
+                    cur.rows_per_sec, cur.p95_ms
+                ),
+                ok: true,
+            });
+        }
+    }
+    TrajectoryDiff { lines, band }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(name: &str, rows: f64, p95: f64) -> ProbeRecord {
+        ProbeRecord {
+            probe: name.into(),
+            rows_per_sec: rows,
+            p50_ms: p95 / 2.0,
+            p95_ms: p95,
+            p99_ms: p95 * 2.0,
+            passed: true,
+            detail: String::new(),
+        }
+    }
+
+    fn report(probes: Vec<ProbeRecord>) -> TrajectoryReport {
+        TrajectoryReport {
+            schema: "cerl-bench-trajectory/v1".into(),
+            scale: "quick".into(),
+            seed: 7,
+            probes,
+        }
+    }
+
+    #[test]
+    fn noise_inside_the_band_passes() {
+        let old = report(vec![
+            probe("net", 30000.0, 1.5),
+            probe("serving", 9000.0, 0.8),
+        ]);
+        let new = report(vec![
+            probe("net", 28000.0, 1.9),
+            probe("serving", 9400.0, 0.7),
+        ]);
+        let diff = diff_reports(&new, &old, BandConfig::default());
+        assert!(diff.ok(), "{}", diff.render());
+        assert_eq!(diff.lines.len(), 2);
+    }
+
+    #[test]
+    fn throughput_drop_beyond_band_fails() {
+        let old = report(vec![probe("net", 30000.0, 1.5)]);
+        let new = report(vec![probe("net", 20000.0, 1.5)]);
+        let diff = diff_reports(&new, &old, BandConfig::default());
+        assert!(!diff.ok());
+        assert!(diff.render().contains("FAIL net"), "{}", diff.render());
+        // A wider band admits the same drop.
+        let wide = BandConfig {
+            max_rows_per_sec_drop_pct: 40.0,
+            ..BandConfig::default()
+        };
+        assert!(diff_reports(&new, &old, wide).ok());
+    }
+
+    #[test]
+    fn p95_rise_beyond_band_fails() {
+        let old = report(vec![probe("scatter", 5000.0, 10.0)]);
+        let new = report(vec![probe("scatter", 5000.0, 16.0)]);
+        assert!(!diff_reports(&new, &old, BandConfig::default()).ok());
+        assert!(diff_reports(&new, &old, BandConfig::default())
+            .render()
+            .contains("+60.0%"));
+    }
+
+    #[test]
+    fn sub_slack_p95_bucket_jitter_passes_whatever_the_ratio_says() {
+        // 1.05 ms -> 1.77 ms is one histogram bucket (+69%): huge as a
+        // ratio, meaningless as a latency change.
+        let old = report(vec![probe("orchestrate", 5000.0, 1.05)]);
+        let new = report(vec![probe("orchestrate", 5000.0, 1.77)]);
+        let diff = diff_reports(&new, &old, BandConfig::default());
+        assert!(diff.ok(), "{}", diff.render());
+        // Squeezing the slack to zero restores the pure ratio band.
+        let strict = BandConfig {
+            p95_slack_ms: 0.0,
+            ..BandConfig::default()
+        };
+        assert!(!diff_reports(&new, &old, strict).ok());
+    }
+
+    #[test]
+    fn missing_probe_and_failed_probe_are_regressions() {
+        let old = report(vec![
+            probe("net", 30000.0, 1.5),
+            probe("scatter", 5000.0, 1.0),
+        ]);
+        let new = report(vec![probe("net", 30000.0, 1.5)]);
+        let diff = diff_reports(&new, &old, BandConfig::default());
+        assert!(!diff.ok());
+        assert!(diff.render().contains("missing"), "{}", diff.render());
+
+        let mut failed = report(vec![probe("net", 30000.0, 1.5)]);
+        failed.probes[0].passed = false;
+        let old = report(vec![probe("net", 30000.0, 1.5)]);
+        let diff = diff_reports(&failed, &old, BandConfig::default());
+        assert!(!diff.ok());
+        assert!(diff.render().contains("correctness check FAILED"));
+    }
+
+    #[test]
+    fn brand_new_probe_is_informational() {
+        let old = report(vec![probe("net", 30000.0, 1.5)]);
+        let new = report(vec![probe("net", 30000.0, 1.5), probe("udp", 1000.0, 0.1)]);
+        let diff = diff_reports(&new, &old, BandConfig::default());
+        assert!(diff.ok());
+        assert!(diff.render().contains("no baseline"), "{}", diff.render());
+    }
+
+    #[test]
+    fn artifacts_roundtrip_through_json() {
+        let report = report(vec![probe("net", 31050.06, 1.52)]);
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: TrajectoryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.probes[0].probe, "net");
+        assert_eq!(back.probes[0].rows_per_sec, 31050.06);
+        assert!(back.probes[0].passed);
+    }
+}

@@ -440,6 +440,15 @@ impl ServingEngine {
             .len()
     }
 
+    /// Engine versions currently alive in this process: the published
+    /// version plus every superseded version still pinned by in-flight
+    /// requests. This is the `<version-count>` a readiness probe
+    /// reports — 1 in steady state, transiently higher across a swap.
+    pub fn live_version_count(&self) -> usize {
+        self.reap_superseded();
+        1 + self.superseded_count()
+    }
+
     /// Per-version served/rejected canary counters, ascending by version
     /// (see [`VersionStats`]). A canary watcher compares the currently
     /// published version's rejection share against earlier versions to

@@ -7,7 +7,9 @@
 //! on the server's reactor, and a thousand of these across a handful
 //! of threads is exactly the hostile herd the stress tests need.
 
-use crate::wire::{self, FrameReader, Request, Response, Status, WireError};
+use crate::wire::{
+    self, AdminOp, AdminRequest, AdminResponse, FrameReader, Request, Response, Status, WireError,
+};
 use cerl_math::Matrix;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -144,6 +146,68 @@ impl NetClient {
         loop {
             if let Some(payload) = self.reader.next_frame()? {
                 return Ok(wire::decode_response(&payload)?);
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(NetError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-response",
+                )));
+            }
+            // panic-ok: read(2) returned n <= buf.len().
+            self.reader.extend(&buf[..n]);
+        }
+    }
+
+    /// Send one admin frame and block for its response body. Only
+    /// meaningful on a connection to the server's **admin** listener
+    /// ([`NetServer::admin_addr`](crate::NetServer::admin_addr)); the
+    /// serve listener rejects admin frames as malformed.
+    pub fn admin(&mut self, op: AdminOp) -> Result<String, NetError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        let mut frame = Vec::new();
+        wire::encode_admin_request(&AdminRequest { request_id, op }, &mut frame);
+        self.stream.write_all(&frame)?;
+        let response = self.recv_admin_response()?;
+        if response.status == Status::Ok && response.request_id == request_id {
+            Ok(response.body)
+        } else if response.request_id != request_id {
+            Err(NetError::IdMismatch {
+                expected: request_id,
+                found: response.request_id,
+            })
+        } else {
+            Err(NetError::Remote {
+                status: response.status,
+                detail: response.body,
+            })
+        }
+    }
+
+    /// Scrape the unified metrics exposition ([`AdminOp::Metrics`]).
+    pub fn scrape_metrics(&mut self) -> Result<String, NetError> {
+        self.admin(AdminOp::Metrics)
+    }
+
+    /// Fetch the `ok:<versions>:<inflight>` health line
+    /// ([`AdminOp::Health`]).
+    pub fn health(&mut self) -> Result<String, NetError> {
+        self.admin(AdminOp::Health)
+    }
+
+    /// Fetch recently completed spans and fleet events
+    /// ([`AdminOp::TraceDump`]).
+    pub fn trace_dump(&mut self) -> Result<String, NetError> {
+        self.admin(AdminOp::TraceDump)
+    }
+
+    /// Block until the next complete **admin** response frame arrives.
+    pub fn recv_admin_response(&mut self) -> Result<AdminResponse, NetError> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            if let Some(payload) = self.reader.next_frame()? {
+                return Ok(wire::decode_admin_response(&payload)?);
             }
             let n = self.stream.read(&mut buf)?;
             if n == 0 {

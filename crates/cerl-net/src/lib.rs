@@ -25,8 +25,17 @@
 //!   hostile bytes can be wrong; decoding never panics and never
 //!   over-allocates.
 //! * [`client`] — [`NetClient`]: a small blocking client used by the
-//!   tests, benches, and examples; supports pipelining and raw-byte
-//!   injection for robustness tests.
+//!   tests, benches, and examples; supports pipelining, raw-byte
+//!   injection for robustness tests, and the admin ops
+//!   ([`NetClient::scrape_metrics`], [`NetClient::health`],
+//!   [`NetClient::trace_dump`]).
+//!
+//! The reactor also carries the serving stack's **observability
+//! plane**: an optional admin listener speaking [`AdminOp`] frames
+//! (unified metrics exposition, health, trace dumps), a UDP health
+//! socket answering any datagram with `ok:<versions>:<inflight>`, and
+//! optional 1-in-N request tracing through a shared
+//! [`cerl_obs::TraceRing`] — see the [`server`] module docs.
 //!
 //! The error taxonomy mirrors the serving layer's
 //! [`ServeError::is_client_fault`](cerl_serve::ServeError::is_client_fault)
@@ -48,5 +57,5 @@ mod sys;
 pub mod wire;
 
 pub use client::{NetClient, NetError};
-pub use server::{NetBackend, NetServer, NetServerConfig, NetStatsSnapshot};
-pub use wire::{Request, Response, Status, WireError};
+pub use server::{ConnStatsSnapshot, NetBackend, NetServer, NetServerConfig, NetStatsSnapshot};
+pub use wire::{AdminOp, AdminRequest, AdminResponse, Request, Response, Status, WireError};

@@ -3,10 +3,11 @@
 //! # Architecture
 //!
 //! One reactor thread owns every socket. It multiplexes with `epoll`
-//! (via the crate-private `sys` syscall shims) over three token
-//! classes: the self-pipe
-//! (token 0, woken by task wakers and `shutdown`), the listener
-//! (token 1), and one token per connection. Inference never runs on
+//! (via the crate-private `sys` syscall shims) over five token
+//! classes: the self-pipe (token 0, woken by task wakers and
+//! `shutdown`), the serve listener (token 1), the optional admin
+//! listener (token 2, see below), the UDP health socket (token 3),
+//! and one token per connection. Inference never runs on
 //! the reactor thread — decoded requests are submitted to the backend
 //! ([`BatchScheduler::submit`] or [`ShardRouter::submit_scatter`]) and
 //! the returned handles are polled as genuine `Future`s: each
@@ -43,6 +44,31 @@
 //! request runs to completion and its (possibly late) response is
 //! still correct and bitwise-deterministic.
 //!
+//! # Observability
+//!
+//! The same reactor serves an **admin plane** beside the data plane:
+//!
+//! * [`NetServerConfig::admin_bind`] opens a second TCP listener that
+//!   speaks admin frames only ([`AdminOp::Metrics`] returns the
+//!   unified Prometheus-style exposition assembled at scrape time from
+//!   the reactor counters, per-connection counters, the backend's
+//!   serving metrics, and the trace ring; [`AdminOp::Health`] returns
+//!   the one-line health probe; [`AdminOp::TraceDump`] returns
+//!   recently completed spans and orchestration events). Predict
+//!   frames on the admin port — and admin frames on the serve port —
+//!   are rejected as malformed before any work is done.
+//! * A **UDP health socket** bound to the serve listener's own
+//!   address answers any datagram with `ok:<versions>:<inflight>`, so
+//!   a load balancer can probe liveness without a TCP handshake or a
+//!   wire-protocol implementation.
+//! * With [`NetServerConfig::trace`] set, 1-in-N requests get an
+//!   end-to-end span stamped at every pipeline stage (accepted →
+//!   decoded → admission-wait → submitted → queue-wait → batched →
+//!   inference → gathered → written). Stamping is wait-free and
+//!   allocation-free; abandoned requests (connection close, protocol
+//!   fault) still retire their span via a drop guard, so the ring
+//!   never leaks live slots.
+//!
 //! # One-CPU caveat
 //!
 //! The reactor is one thread and inference runs on the backend's
@@ -55,13 +81,16 @@
 use crate::sys::{
     self, Epoll, EpollEvent, WakePipe, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
-use crate::wire::{self, Request, Response, Status, WireError};
+use crate::wire::{
+    self, AdminOp, AdminRequest, AdminResponse, Request, Response, Status, WireError,
+};
 use cerl_math::Matrix;
+use cerl_obs::{MetricsRegistry, Stage, TraceRing, TraceSpan};
 use cerl_serve::{BatchScheduler, ResponseHandle, ScatterHandle, ServeError, ShardRouter};
 use std::collections::VecDeque;
 use std::future::Future;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs, UdpSocket};
 use std::os::unix::io::AsRawFd;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -72,10 +101,14 @@ use std::time::{Duration, Instant};
 
 /// Token of the self-pipe's read end in the epoll set.
 const TOKEN_WAKE: u64 = 0;
-/// Token of the listening socket.
+/// Token of the serve listening socket.
 const TOKEN_LISTENER: u64 = 1;
+/// Token of the optional admin listening socket.
+const TOKEN_ADMIN_LISTENER: u64 = 2;
+/// Token of the UDP health-probe socket.
+const TOKEN_UDP: u64 = 3;
 /// First connection token; connection `i` uses token `i + TOKEN_CONN0`.
-const TOKEN_CONN0: u64 = 2;
+const TOKEN_CONN0: u64 = 4;
 
 /// What the reactor submits requests to.
 pub enum NetBackend {
@@ -89,14 +122,38 @@ pub enum NetBackend {
 }
 
 impl NetBackend {
-    fn submit(&self, request: Request) -> Result<InflightFuture, ServeError> {
+    fn submit(
+        &self,
+        request: Request,
+        trace: Option<TraceSpan>,
+    ) -> Result<InflightFuture, ServeError> {
         let rows = request.rows();
         let x = Matrix::from_vec(rows, request.cols as usize, request.covariates);
         match self {
-            NetBackend::Scheduler(scheduler) => scheduler.submit(x).map(InflightFuture::Single),
+            NetBackend::Scheduler(scheduler) => scheduler
+                .submit_traced(x, trace)
+                .map(InflightFuture::Single),
             NetBackend::Router(router) => router
-                .submit_scatter(&request.tags, &x)
+                .submit_scatter_traced(&request.tags, &x, trace)
                 .map(InflightFuture::Scatter),
+        }
+    }
+
+    /// Engine versions still live behind this backend (published plus
+    /// request-pinned) — the `<versions>` field of the health probe.
+    fn live_version_count(&self) -> usize {
+        match self {
+            NetBackend::Scheduler(scheduler) => scheduler.engine().live_version_count(),
+            NetBackend::Router(router) => router.live_version_count(),
+        }
+    }
+
+    /// Export the backend's serving metrics into `reg` (scrape time
+    /// only — never on the request path).
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        match self {
+            NetBackend::Scheduler(scheduler) => scheduler.export_metrics(reg),
+            NetBackend::Router(router) => router.export_metrics(reg),
         }
     }
 }
@@ -141,6 +198,14 @@ pub struct NetServerConfig {
     pub send_buffer_bytes: Option<usize>,
     /// Connections accepted concurrently; extras are closed at accept.
     pub max_connections: usize,
+    /// Address for the admin listener (e.g. `"127.0.0.1:0"`); `None`
+    /// disables the admin plane. The bound address is reported by
+    /// [`NetServer::admin_addr`].
+    pub admin_bind: Option<String>,
+    /// Trace ring shared with the serving tiers; `None` disables
+    /// request tracing. 1-in-`sample_every` requests get a span
+    /// stamped from accept to response write.
+    pub trace: Option<Arc<TraceRing>>,
 }
 
 impl Default for NetServerConfig {
@@ -152,12 +217,68 @@ impl Default for NetServerConfig {
             read_chunk: 64 * 1024,
             send_buffer_bytes: None,
             max_connections: 4096,
+            admin_bind: None,
+            trace: None,
         }
     }
 }
 
+/// Per-connection wait-free counters (all `Relaxed`), registered at
+/// accept and retired at close — [`NetStatsSnapshot::per_connection`]
+/// and the metrics scrape see **open** connections only.
+#[derive(Debug, Default)]
+struct ConnStats {
+    conn_id: u64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    requests: AtomicU64,
+    responses_ok: AtomicU64,
+    deadline_shed: AtomicU64,
+    backpressure_pauses: AtomicU64,
+    inflight: AtomicU64,
+}
+
+impl ConnStats {
+    fn snapshot(&self) -> ConnStatsSnapshot {
+        ConnStatsSnapshot {
+            conn_id: self.conn_id,
+            // ordering: independent advisory counters, per-counter
+            // coherence only — Relaxed atomicity suffices (no edges).
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses_ok: self.responses_ok.load(Ordering::Relaxed),
+            deadline_shed: self.deadline_shed.load(Ordering::Relaxed),
+            backpressure_pauses: self.backpressure_pauses.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one open connection's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConnStatsSnapshot {
+    /// Reactor-assigned connection id (monotone, never reused).
+    pub conn_id: u64,
+    /// Raw bytes read from this client.
+    pub bytes_in: u64,
+    /// Raw bytes written to this client.
+    pub bytes_out: u64,
+    /// Request frames decoded on this connection.
+    pub requests: u64,
+    /// Requests answered with predictions on this connection.
+    pub responses_ok: u64,
+    /// Requests shed by the admission deadline on this connection.
+    pub deadline_shed: u64,
+    /// Times this connection's reads were paused by backpressure.
+    pub backpressure_pauses: u64,
+    /// Requests currently submitted to the backend (gauge).
+    pub inflight: u64,
+}
+
 /// Wait-free reactor counters (all `Relaxed`; read via
-/// [`NetServer::stats`]).
+/// [`NetServer::stats`]). The per-connection registry is a `Mutex`
+/// touched only at accept, close, and scrape — never per frame.
 #[derive(Debug, Default)]
 struct NetStats {
     accepted: AtomicU64,
@@ -171,6 +292,11 @@ struct NetStats {
     backpressure_pauses: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    admin_requests: AtomicU64,
+    open_connections: AtomicU64,
+    peak_connections: AtomicU64,
+    next_conn_id: AtomicU64,
+    conns: Mutex<Vec<Arc<ConnStats>>>,
 }
 
 impl NetStats {
@@ -190,6 +316,179 @@ impl NetStats {
             backpressure_pauses: self.backpressure_pauses.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            admin_requests: self.admin_requests.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            peak_connections: self.peak_connections.load(Ordering::Relaxed),
+            per_conn: self.per_conn_snapshots(),
+        }
+    }
+
+    /// Mint a [`ConnStats`] for a freshly accepted connection and track
+    /// it as open. Called at accept only, never per frame.
+    fn register_conn(&self) -> Arc<ConnStats> {
+        // ordering: lone id counter, no edges.
+        let conn_id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let stats = Arc::new(ConnStats {
+            conn_id,
+            ..ConnStats::default()
+        });
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&stats));
+        // ordering: advisory open-connection gauge, no edges.
+        let open = self.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        // ordering: advisory peak watermark; a racing fetch_max is benign.
+        self.peak_connections.fetch_max(open, Ordering::Relaxed);
+        stats
+    }
+
+    /// Retire a connection's counters at close; scrapes no longer see
+    /// it. Called at close only, never per frame.
+    fn unregister_conn(&self, conn_id: u64) {
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|c| c.conn_id != conn_id);
+        // ordering: advisory open gauge, no edges.
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn per_conn_snapshots(&self) -> Vec<ConnStatsSnapshot> {
+        self.conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|c| c.snapshot())
+            .collect()
+    }
+
+    /// Export the reactor counters — fleet totals, gauges, and one row
+    /// per open connection — into `reg` under `cerl_net_*`.
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        let snap = self.snapshot();
+        let counters: [(&str, &str, u64); 12] = [
+            (
+                "cerl_net_accepted_total",
+                "Connections accepted.",
+                snap.accepted,
+            ),
+            (
+                "cerl_net_closed_total",
+                "Connections fully closed.",
+                snap.closed,
+            ),
+            (
+                "cerl_net_requests_total",
+                "Request frames decoded.",
+                snap.requests,
+            ),
+            (
+                "cerl_net_responses_ok_total",
+                "Requests answered with predictions.",
+                snap.responses_ok,
+            ),
+            (
+                "cerl_net_rejected_client_total",
+                "Requests rejected with a client-fault status.",
+                snap.rejected_client,
+            ),
+            (
+                "cerl_net_rejected_serve_total",
+                "Requests rejected with a serve-fault status.",
+                snap.rejected_serve,
+            ),
+            (
+                "cerl_net_deadline_shed_total",
+                "Requests shed by the admission deadline.",
+                snap.deadline_shed,
+            ),
+            (
+                "cerl_net_malformed_total",
+                "Hostile or corrupt frames answered and closed.",
+                snap.malformed,
+            ),
+            (
+                "cerl_net_backpressure_pauses_total",
+                "Read pauses from write backpressure or the in-flight cap.",
+                snap.backpressure_pauses,
+            ),
+            (
+                "cerl_net_bytes_in_total",
+                "Raw bytes read from clients.",
+                snap.bytes_in,
+            ),
+            (
+                "cerl_net_bytes_out_total",
+                "Raw bytes written to clients.",
+                snap.bytes_out,
+            ),
+            (
+                "cerl_net_admin_requests_total",
+                "Admin frames served (not counted as requests).",
+                snap.admin_requests,
+            ),
+        ];
+        for (name, help, value) in counters {
+            reg.counter(name, help, &[], value);
+        }
+        reg.gauge(
+            "cerl_net_open_connections",
+            "Connections currently open.",
+            &[],
+            snap.open_connections as f64,
+        );
+        reg.gauge(
+            "cerl_net_peak_connections",
+            "High-water mark of concurrently open connections.",
+            &[],
+            snap.peak_connections as f64,
+        );
+        for conn in snap.per_connection() {
+            let id = conn.conn_id.to_string();
+            let labels: [(&str, &str); 1] = [("conn", &id)];
+            reg.counter(
+                "cerl_net_conn_bytes_in_total",
+                "Raw bytes read, per open connection.",
+                &labels,
+                conn.bytes_in,
+            );
+            reg.counter(
+                "cerl_net_conn_bytes_out_total",
+                "Raw bytes written, per open connection.",
+                &labels,
+                conn.bytes_out,
+            );
+            reg.counter(
+                "cerl_net_conn_requests_total",
+                "Request frames decoded, per open connection.",
+                &labels,
+                conn.requests,
+            );
+            reg.counter(
+                "cerl_net_conn_responses_ok_total",
+                "Predictions answered, per open connection.",
+                &labels,
+                conn.responses_ok,
+            );
+            reg.counter(
+                "cerl_net_conn_deadline_shed_total",
+                "Admission-deadline sheds, per open connection.",
+                &labels,
+                conn.deadline_shed,
+            );
+            reg.counter(
+                "cerl_net_conn_backpressure_pauses_total",
+                "Read pauses, per open connection.",
+                &labels,
+                conn.backpressure_pauses,
+            );
+            reg.gauge(
+                "cerl_net_conn_inflight_requests",
+                "Requests currently submitted to the backend, per open connection.",
+                &labels,
+                conn.inflight as f64,
+            );
         }
     }
 
@@ -219,7 +518,7 @@ impl NetStats {
 }
 
 /// Point-in-time copy of the reactor's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NetStatsSnapshot {
     /// Connections accepted since the server started.
     pub accepted: u64,
@@ -250,6 +549,25 @@ pub struct NetStatsSnapshot {
     pub bytes_in: u64,
     /// Raw bytes written to clients.
     pub bytes_out: u64,
+    /// Admin frames served (metrics scrapes, health probes, trace
+    /// dumps — not counted in `requests`).
+    pub admin_requests: u64,
+    /// Connections open at snapshot time.
+    pub open_connections: u64,
+    /// High-water mark of concurrently open connections since the
+    /// server started — `shutdown()`'s final snapshot reports the
+    /// server's lifetime peak.
+    pub peak_connections: u64,
+    per_conn: Vec<ConnStatsSnapshot>,
+}
+
+impl NetStatsSnapshot {
+    /// Counters of every connection open at snapshot time, ascending
+    /// by connection id. Closed connections are absent — their traffic
+    /// lives on in the fleet totals.
+    pub fn per_connection(&self) -> &[ConnStatsSnapshot] {
+        &self.per_conn
+    }
 }
 
 /// Connection tokens whose futures have completed since the reactor
@@ -294,16 +612,46 @@ impl Wake for ConnWaker {
     }
 }
 
+/// Owns a request's optional trace span and **completes it on drop**,
+/// so every exit — response written, deadline shed, wire fault,
+/// connection close — retires the span's ring slot. Without this, an
+/// abandoned request would leak a live slot forever.
+struct TraceGuard(Option<TraceSpan>);
+
+impl TraceGuard {
+    /// The span to share with the backend (stamps flow through the
+    /// scheduler/router); completion stays with this guard.
+    fn span(&self) -> Option<TraceSpan> {
+        self.0.clone()
+    }
+
+    fn stamp(&self, stage: Stage) {
+        if let Some(trace) = &self.0 {
+            trace.stamp(stage); // obs-stage: generic forwarder, stage named at call sites
+        }
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some(trace) = self.0.take() {
+            trace.complete();
+        }
+    }
+}
+
 /// A decoded request waiting for an in-flight slot.
 struct PendingSubmit {
     request: Request,
     deadline: Option<Instant>,
+    trace: TraceGuard,
 }
 
 /// A request submitted to the backend, awaiting its future.
 struct Inflight {
     request_id: u64,
     future: InflightFuture,
+    trace: TraceGuard,
 }
 
 struct Conn {
@@ -320,6 +668,10 @@ struct Conn {
     paused: bool,
     /// Protocol fault observed: answer, flush, then close.
     corrupt: bool,
+    /// Accepted on the admin listener: speaks admin frames only.
+    admin: bool,
+    /// This connection's wait-free counters (registered at accept).
+    stats: Arc<ConnStats>,
 }
 
 impl Conn {
@@ -361,6 +713,7 @@ fn status_of(error: &ServeError) -> Status {
 /// reactor thread (see the [module docs](self) for semantics).
 pub struct NetServer {
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
     stats: Arc<NetStats>,
     shutdown: Arc<AtomicBool>,
     wake: Arc<WakePipe>,
@@ -368,7 +721,10 @@ pub struct NetServer {
 }
 
 impl NetServer {
-    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start the reactor.
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start the reactor. When
+    /// [`NetServerConfig::admin_bind`] is set, the admin listener binds
+    /// here too; a UDP health socket always binds beside the serve
+    /// listener on its own address.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         backend: NetBackend,
@@ -377,12 +733,30 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let admin_listener = match cfg.admin_bind.as_deref() {
+            Some(admin) => {
+                let admin = TcpListener::bind(admin)?;
+                admin.set_nonblocking(true)?;
+                Some(admin)
+            }
+            None => None,
+        };
+        let admin_addr = match &admin_listener {
+            Some(listener) => Some(listener.local_addr()?),
+            None => None,
+        };
+        // UDP and TCP ports are separate namespaces, so the health
+        // socket shares the serve listener's exact address.
+        let udp = UdpSocket::bind(addr)?;
+        udp.set_nonblocking(true)?;
         let stats = Arc::new(NetStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let wake = Arc::new(WakePipe::new()?);
 
         let mut reactor = Reactor::new(
             listener,
+            admin_listener,
+            udp,
             backend,
             cfg,
             Arc::clone(&stats),
@@ -395,6 +769,7 @@ impl NetServer {
 
         Ok(Self {
             addr,
+            admin_addr,
             stats,
             shutdown,
             wake,
@@ -405,6 +780,12 @@ impl NetServer {
     /// The bound address (with the OS-assigned port when bound to `:0`).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The admin listener's bound address, `None` when
+    /// [`NetServerConfig::admin_bind`] was unset.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
     }
 
     /// Current reactor counters.
@@ -443,6 +824,8 @@ impl Drop for NetServer {
 struct Reactor {
     epoll: Epoll,
     listener: TcpListener,
+    admin_listener: Option<TcpListener>,
+    udp: UdpSocket,
     backend: NetBackend,
     cfg: NetServerConfig,
     stats: Arc<NetStats>,
@@ -456,8 +839,11 @@ struct Reactor {
 }
 
 impl Reactor {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         listener: TcpListener,
+        admin_listener: Option<TcpListener>,
+        udp: UdpSocket,
         backend: NetBackend,
         cfg: NetServerConfig,
         stats: Arc<NetStats>,
@@ -467,6 +853,10 @@ impl Reactor {
         let epoll = Epoll::new()?;
         epoll.add(wake.read_fd(), EPOLLIN, TOKEN_WAKE)?;
         epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        if let Some(admin) = &admin_listener {
+            epoll.add(admin.as_raw_fd(), EPOLLIN, TOKEN_ADMIN_LISTENER)?;
+        }
+        epoll.add(udp.as_raw_fd(), EPOLLIN, TOKEN_UDP)?;
         let queue = Arc::new(ReadyQueue {
             ready: Mutex::new(Vec::new()),
             pipe: Arc::clone(&wake),
@@ -474,6 +864,8 @@ impl Reactor {
         Ok(Self {
             epoll,
             listener,
+            admin_listener,
+            udp,
             backend,
             cfg,
             stats,
@@ -495,6 +887,8 @@ impl Reactor {
             self.epoll.wait(&mut events, timeout)?;
 
             let mut accept = false;
+            let mut accept_admin = false;
+            let mut udp_ready = false;
             let mut woken = false;
             // Collect per-connection readiness first; service after.
             let mut io_ready: Vec<(usize, u32)> = Vec::new();
@@ -503,6 +897,8 @@ impl Reactor {
                 match token {
                     TOKEN_WAKE => woken = true,
                     TOKEN_LISTENER => accept = true,
+                    TOKEN_ADMIN_LISTENER => accept_admin = true,
+                    TOKEN_UDP => udp_ready = true,
                     _ => io_ready.push(((token - TOKEN_CONN0) as usize, bits)),
                 }
             }
@@ -515,7 +911,13 @@ impl Reactor {
                 }
             }
             if accept {
-                self.accept_ready();
+                self.accept_ready(false);
+            }
+            if accept_admin {
+                self.accept_ready(true);
+            }
+            if udp_ready {
+                self.answer_udp_probes();
             }
             for (idx, bits) in io_ready {
                 self.handle_io(idx, bits);
@@ -523,6 +925,36 @@ impl Reactor {
             self.service_sweep();
         }
         Ok(())
+    }
+
+    /// Answer every waiting UDP datagram with the one-line health
+    /// probe. Any payload is a probe; errors drop the datagram (UDP is
+    /// best-effort by contract).
+    fn answer_udp_probes(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match self.udp.recv_from(&mut buf) {
+                Ok((_len, peer)) => {
+                    let line = self.health_line();
+                    let _ = self.udp.send_to(line.as_bytes(), peer);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// `ok:<versions>:<inflight>` — live engine versions behind the
+    /// backend and requests currently submitted to it.
+    fn health_line(&self) -> String {
+        let inflight: usize = self
+            .conns
+            .iter()
+            .flatten()
+            .map(|conn| conn.inflight.len())
+            .sum();
+        format!("ok:{}:{}", self.backend.live_version_count(), inflight)
     }
 
     /// Zero when deferred parse/submit work exists, else the time to
@@ -542,12 +974,16 @@ impl Reactor {
         timeout
     }
 
-    fn accept_ready(&mut self) {
+    fn accept_ready(&mut self, admin: bool) {
         loop {
-            match self.listener.accept() {
+            let accepted = match &self.admin_listener {
+                Some(listener) if admin => listener.accept(),
+                _ => self.listener.accept(),
+            };
+            match accepted {
                 Ok((stream, _peer)) => {
                     self.stats.accepted.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
-                    if self.install(stream).is_none() {
+                    if self.install(stream, admin).is_none() {
                         // Over max_connections (or registration failed):
                         // the stream drops here, closing the socket.
                         self.stats.closed.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
@@ -562,7 +998,7 @@ impl Reactor {
         }
     }
 
-    fn install(&mut self, stream: TcpStream) -> Option<usize> {
+    fn install(&mut self, stream: TcpStream, admin: bool) -> Option<usize> {
         let live = self.conns.iter().filter(|c| c.is_some()).count();
         if live >= self.cfg.max_connections {
             return None;
@@ -599,6 +1035,8 @@ impl Reactor {
             interest,
             paused: false,
             corrupt: false,
+            admin,
+            stats: self.stats.register_conn(),
         });
         Some(idx)
     }
@@ -609,9 +1047,11 @@ impl Reactor {
         if let Some(conn) = self.conns[idx].take() {
             let _ = self.epoll.delete(conn.stream.as_raw_fd());
             self.free.push(idx);
+            self.stats.unregister_conn(conn.stats.conn_id);
             self.stats.closed.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
                                                                // Dropping `conn` abandons its in-flight futures: the
-                                                               // backend still completes them, the results are discarded.
+                                                               // backend still completes them, the results are
+                                                               // discarded — and each one's TraceGuard retires its span.
         }
     }
 
@@ -647,6 +1087,7 @@ impl Reactor {
                             conn.reader.extend(&buf[..n]);
                             read_total += n;
                             self.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed); // ordering: lone stat counter, no edges
+                            conn.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed); // ordering: lone stat counter, no edges
                             if read_total >= read_chunk {
                                 break; // fairness: level-triggered epoll re-reports
                             }
@@ -695,6 +1136,8 @@ impl Reactor {
                         conn.write_pos += n;
                         // ordering: lone stat counter, no edges
                         self.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                        // ordering: lone stat counter, no edges
+                        conn.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -738,11 +1181,17 @@ impl Reactor {
                 Poll::Pending => i += 1,
                 Poll::Ready(outcome) => {
                     let inflight = conn.inflight.swap_remove(i);
+                    // ordering: advisory inflight gauge, no edges.
+                    conn.stats.inflight.fetch_sub(1, Ordering::Relaxed);
                     let response = match outcome {
-                        Ok(ite) => Response::Ite {
-                            request_id: inflight.request_id,
-                            ite,
-                        },
+                        Ok(ite) => {
+                            // ordering: lone stat counter, no edges.
+                            conn.stats.responses_ok.fetch_add(1, Ordering::Relaxed);
+                            Response::Ite {
+                                request_id: inflight.request_id,
+                                ite,
+                            }
+                        }
                         Err(e) => Response::Error {
                             request_id: inflight.request_id,
                             status: status_of(&e),
@@ -751,6 +1200,8 @@ impl Reactor {
                     };
                     self.stats.record_response(&response);
                     wire::encode_response(&response, &mut conn.write_buf);
+                    // Dropping the guard right after completes the span.
+                    inflight.trace.stamp(Stage::Written);
                 }
             }
         }
@@ -767,8 +1218,10 @@ impl Reactor {
         for offset in 0..n {
             let idx = (self.cursor + offset) % n;
             // panic-ok: idx < n == conns.len() by the modulo above.
-            if self.conns[idx].is_some() {
-                self.service_conn(idx);
+            match self.conns[idx].as_ref() {
+                Some(conn) if conn.admin => self.service_admin(idx),
+                Some(_) => self.service_conn(idx),
+                None => {}
             }
         }
     }
@@ -795,7 +1248,11 @@ impl Reactor {
                         ),
                     };
                     self.stats.record_response(&response);
+                    // ordering: lone stat counter, no edges.
+                    conn.stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
                     wire::encode_response(&response, &mut conn.write_buf);
+                    // `pending` drops here; its TraceGuard retires the
+                    // span without a Written stamp — shed, not served.
                 } else {
                     kept.push_back(pending);
                 }
@@ -834,12 +1291,27 @@ impl Reactor {
                             ),
                         };
                         self.stats.record_response(&response);
+                        // ordering: lone stat counter, no edges.
+                        conn.stats.deadline_shed.fetch_add(1, Ordering::Relaxed);
                         wire::encode_response(&response, &mut conn.write_buf);
                         continue;
                     }
-                    match self.backend.submit(pending.request) {
+                    let trace = pending.trace;
+                    // Stamp before the handoff: once `submit` enqueues
+                    // the request, a scheduler worker may stamp the
+                    // later queue/batch stages at any moment, and a
+                    // Submitted stamp taken after that would run
+                    // against the clock.
+                    trace.stamp(Stage::Submitted);
+                    match self.backend.submit(pending.request, trace.span()) {
                         Ok(future) => {
-                            conn.inflight.push(Inflight { request_id, future });
+                            // ordering: advisory inflight gauge, no edges.
+                            conn.stats.inflight.fetch_add(1, Ordering::Relaxed);
+                            conn.inflight.push(Inflight {
+                                request_id,
+                                future,
+                                trace,
+                            });
                             submitted_any = true;
                         }
                         Err(e) => {
@@ -850,6 +1322,8 @@ impl Reactor {
                             };
                             self.stats.record_response(&response);
                             wire::encode_response(&response, &mut conn.write_buf);
+                            // `trace` drops here: a rejected submission
+                            // retires its span unstamped past Submitted.
                         }
                     }
                     continue;
@@ -868,13 +1342,7 @@ impl Reactor {
                 Ok(Some(payload)) => {
                     budget -= 1;
                     match wire::decode_request(&payload) {
-                        Ok(request) => {
-                            self.stats.requests.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
-                            let deadline = (request.deadline_ms > 0).then(|| {
-                                now + Duration::from_millis(u64::from(request.deadline_ms))
-                            });
-                            conn.pending.push_back(PendingSubmit { request, deadline });
-                        }
+                        Ok(request) => self.admit(idx, request, now),
                         Err(e) => self.wire_fault(idx, 0, e),
                     }
                 }
@@ -891,6 +1359,172 @@ impl Reactor {
         self.update_interest(idx);
     }
 
+    /// Admit one decoded request into connection `idx`'s waiting room:
+    /// count it, open its trace span (1-in-N sampled), and start its
+    /// admission-deadline clock.
+    fn admit(&mut self, idx: usize, request: Request, now: Instant) {
+        // panic-ok: `idx` is a token minted from a conns slot index
+        // at install time, always < conns.len().
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        self.stats.requests.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
+        conn.stats.requests.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
+        let trace = TraceGuard(
+            self.cfg
+                .trace
+                .as_ref()
+                .and_then(|ring| ring.begin(conn.stats.conn_id, request.request_id)),
+        );
+        trace.stamp(Stage::Decoded);
+        trace.stamp(Stage::AdmissionWait);
+        let deadline = (request.deadline_ms > 0)
+            .then(|| now + Duration::from_millis(u64::from(request.deadline_ms)));
+        conn.pending.push_back(PendingSubmit {
+            request,
+            deadline,
+            trace,
+        });
+    }
+
+    /// Frame loop for admin connections: decode admin requests, answer
+    /// synchronously (scrapes assemble off the hot path — admin conns
+    /// never touch the backend's submit queue).
+    fn service_admin(&mut self, idx: usize) {
+        let mut budget = self.cfg.frames_per_turn;
+        loop {
+            // panic-ok: `idx` is a token minted from a conns slot index
+            // at install time, always < conns.len().
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            if conn.corrupt || budget == 0 {
+                break;
+            }
+            match conn.reader.next_frame() {
+                Ok(None) => break,
+                Ok(Some(payload)) => {
+                    budget -= 1;
+                    match wire::decode_admin_request(&payload) {
+                        Ok(request) => self.answer_admin(idx, request),
+                        Err(e) => self.wire_fault(idx, 0, e),
+                    }
+                }
+                Err(e) => {
+                    self.wire_fault(idx, 0, e);
+                    break;
+                }
+            }
+        }
+        self.flush(idx);
+        self.update_interest(idx);
+    }
+
+    fn answer_admin(&mut self, idx: usize, request: AdminRequest) {
+        self.stats.admin_requests.fetch_add(1, Ordering::Relaxed); // ordering: lone stat counter, no edges
+        let body = match request.op {
+            AdminOp::Metrics => self.render_metrics(),
+            AdminOp::Health => self.health_line(),
+            AdminOp::TraceDump => self.trace_dump(),
+        };
+        // panic-ok: `idx` is a token minted from a conns slot index
+        // at install time, always < conns.len().
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        let response = AdminResponse {
+            request_id: request.request_id,
+            status: Status::Ok,
+            body,
+        };
+        wire::encode_admin_response(&response, &mut conn.write_buf);
+    }
+
+    /// Assemble the unified text exposition at scrape time: reactor and
+    /// per-connection counters, the backend's serving metrics, and the
+    /// trace ring's own accounting.
+    fn render_metrics(&self) -> String {
+        let mut reg = MetricsRegistry::new();
+        self.stats.export_metrics(&mut reg);
+        self.backend.export_metrics(&mut reg);
+        if let Some(ring) = &self.cfg.trace {
+            let stats = ring.stats();
+            reg.counter(
+                "cerl_obs_trace_seen_total",
+                "Requests offered to the trace ring (sampled or not).",
+                &[],
+                stats.seen,
+            );
+            reg.counter(
+                "cerl_obs_trace_sampled_total",
+                "Requests that received a trace span.",
+                &[],
+                stats.sampled,
+            );
+            reg.counter(
+                "cerl_obs_trace_dropped_total",
+                "Sampled spans dropped because the ring wrapped onto a live span.",
+                &[],
+                stats.dropped,
+            );
+            reg.counter(
+                "cerl_obs_trace_completed_total",
+                "Trace spans completed.",
+                &[],
+                stats.completed,
+            );
+            reg.counter(
+                "cerl_obs_trace_events_total",
+                "Structured fleet events recorded.",
+                &[],
+                stats.events,
+            );
+        }
+        reg.render()
+    }
+
+    /// One line per recent event and completed span (most recent
+    /// first); stage columns are nanosecond offsets from `accepted`.
+    fn trace_dump(&self) -> String {
+        let Some(ring) = &self.cfg.trace else {
+            return "tracing disabled\n".to_string();
+        };
+        let stats = ring.stats();
+        let mut out = format!(
+            "trace seen={} sampled={} dropped={} completed={} events={}\n",
+            stats.seen, stats.sampled, stats.dropped, stats.completed, stats.events
+        );
+        for event in ring.events(64) {
+            out.push_str(&format!(
+                "event seq={} kind={} at={} a={} b={}\n",
+                event.seq,
+                event.kind.name(),
+                event.at_nanos,
+                event.a,
+                event.b
+            ));
+        }
+        for span in ring.dump(256) {
+            out.push_str(&format!(
+                "span id={} conn={} request={}",
+                span.span_id, span.conn, span.request_id
+            ));
+            let accepted = span.stamp(Stage::Accepted).unwrap_or(0);
+            for stage in Stage::ALL {
+                // obs-stage: snapshot read of an already-recorded stamp.
+                if let Some(at) = span.stamp(stage) {
+                    out.push_str(&format!(
+                        " {}=+{}",
+                        stage.name(),
+                        at.saturating_sub(accepted)
+                    ));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
     /// Answer a hostile or corrupt frame and mark the connection for
     /// close-after-flush: framing can no longer be trusted.
     fn wire_fault(&mut self, idx: usize, request_id: u64, error: WireError) {
@@ -905,8 +1539,22 @@ impl Reactor {
             detail: error.to_string(),
         };
         self.stats.record_response(&response);
-        wire::encode_response(&response, &mut conn.write_buf);
+        if conn.admin {
+            // Same taxonomy, admin framing: the peer spoke admin and
+            // gets its error back as an admin frame.
+            wire::encode_admin_response(
+                &AdminResponse {
+                    request_id,
+                    status: Status::MalformedRequest,
+                    body: error.to_string(),
+                },
+                &mut conn.write_buf,
+            );
+        } else {
+            wire::encode_response(&response, &mut conn.write_buf);
+        }
         conn.corrupt = true;
+        // Dropping the queue retires every pending span via its guard.
         conn.pending.clear();
     }
 
@@ -926,6 +1574,10 @@ impl Reactor {
             if should_pause && !conn.paused {
                 // ordering: lone stat counter, no edges.
                 self.stats
+                    .backpressure_pauses
+                    .fetch_add(1, Ordering::Relaxed);
+                // ordering: lone stat counter, no edges.
+                conn.stats
                     .backpressure_pauses
                     .fetch_add(1, Ordering::Relaxed);
             }
@@ -1065,6 +1717,116 @@ mod tests {
         assert_eq!(stats.rejected_client, 1);
         assert_eq!(stats.rejected_serve, 0);
         assert_eq!(stats.responses_ok, 1);
+    }
+
+    #[test]
+    fn admin_plane_and_udp_probe_report_live_state() {
+        let stream = quick_stream();
+        let mut engine = CerlEngineBuilder::new(quick_cfg()).seed(3).build().unwrap();
+        engine
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let serving = Arc::new(ServingEngine::new(engine));
+        let scheduler = Arc::new(BatchScheduler::new(
+            Arc::clone(&serving),
+            BatchConfig {
+                max_wait: Duration::from_millis(2),
+                ..BatchConfig::default()
+            },
+        ));
+        let ring = TraceRing::new(64, 1);
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            NetBackend::Scheduler(scheduler),
+            NetServerConfig {
+                admin_bind: Some("127.0.0.1:0".into()),
+                trace: Some(Arc::clone(&ring)),
+                ..NetServerConfig::default()
+            },
+        )
+        .unwrap();
+        let admin_addr = server.admin_addr().unwrap();
+
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let x = stream.domain(0).test.x.slice_rows(0, 4);
+        let tags = vec![0u64; x.rows()];
+        for _ in 0..5 {
+            client.predict(&tags, &x, None).unwrap();
+        }
+
+        // The UDP probe answers any datagram without a TCP handshake.
+        let udp = UdpSocket::bind("127.0.0.1:0").unwrap();
+        udp.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        udp.send_to(b"ping", server.local_addr()).unwrap();
+        let mut buf = [0u8; 64];
+        let (n, _) = udp.recv_from(&mut buf).unwrap();
+        let line = std::str::from_utf8(&buf[..n]).unwrap();
+        assert!(line.starts_with("ok:1:"), "unexpected health line {line:?}");
+
+        let mut admin = NetClient::connect(admin_addr).unwrap();
+        let health = admin.health().unwrap();
+        assert!(
+            health.starts_with("ok:1:"),
+            "unexpected health body {health:?}"
+        );
+
+        let metrics = admin.scrape_metrics().unwrap();
+        assert!(
+            metrics.contains("cerl_net_responses_ok_total 5"),
+            "missing net counters:\n{metrics}"
+        );
+        assert!(
+            metrics.contains("cerl_serve_requests_total"),
+            "missing backend serving metrics:\n{metrics}"
+        );
+        assert!(
+            metrics.contains("cerl_net_conn_requests_total{conn="),
+            "missing per-connection rows:\n{metrics}"
+        );
+        assert!(
+            metrics.contains("cerl_obs_trace_sampled_total 5"),
+            "missing trace accounting:\n{metrics}"
+        );
+        assert!(
+            metrics.contains("# TYPE cerl_serve_queue_wait_seconds histogram"),
+            "missing latency histogram:\n{metrics}"
+        );
+
+        // Every request was sampled (1-in-1) and every span completed
+        // with monotone stamps through the written stage.
+        let spans = ring.dump(16);
+        assert_eq!(spans.len(), 5);
+        for span in &spans {
+            assert!(span.is_monotone());
+            assert!(span.stamp(cerl_obs::Stage::Written).is_some());
+        }
+        let dump = admin.trace_dump().unwrap();
+        assert!(dump.contains("span id="), "no spans in dump:\n{dump}");
+
+        // A predict frame on the admin port is rejected as malformed
+        // without touching the backend.
+        let mut confused = NetClient::connect(admin_addr).unwrap();
+        let mut frame = Vec::new();
+        wire::encode_request(
+            &Request {
+                request_id: 9,
+                deadline_ms: 0,
+                cols: 1,
+                tags: vec![0],
+                covariates: vec![1.0],
+            },
+            &mut frame,
+        );
+        confused.send_raw(&frame).unwrap();
+        let AdminResponse { status, .. } = confused.recv_admin_response().unwrap();
+        assert_eq!(status, Status::MalformedRequest);
+
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.responses_ok, 5);
+        assert_eq!(stats.admin_requests, 3);
+        assert!(stats.peak_connections >= 3, "{stats:?}");
+        assert_eq!(stats.malformed, 1);
     }
 
     #[test]

@@ -32,6 +32,32 @@
 //! | `Ok`: ites | `rows × f64` | bitwise identical to in-process inference |
 //! | error: detail | `u32` + UTF-8 | human-readable reason |
 //!
+//! **Admin request** (`kind = 2`, client → server, admin listener only):
+//!
+//! | field | type | notes |
+//! |-------|------|-------|
+//! | magic | `u8` | always `0xC3` |
+//! | version | `u8` | 1 |
+//! | kind | `u8` | 2 = admin request |
+//! | op | `u8` | see [`AdminOp`] |
+//! | request id | `u64` | echoed verbatim in the response |
+//!
+//! **Admin response** (`kind = 3`, server → client):
+//!
+//! | field | type | notes |
+//! |-------|------|-------|
+//! | magic | `u8` | always `0xC3` |
+//! | version | `u8` | 1 |
+//! | kind | `u8` | 3 = admin response |
+//! | status | `u8` | see [`Status`] |
+//! | request id | `u64` | copied from the request |
+//! | body | `u32` + UTF-8 | op-specific text (metrics exposition, health line, trace dump) |
+//!
+//! Admin frames are only decoded on the server's **admin** listener and
+//! serve frames only on the serve listener — a predict request sent to
+//! the admin port (or vice versa) is rejected as
+//! [`WireError::UnknownKind`] before any work is done.
+//!
 //! Floats travel as raw IEEE-754 bit patterns (`f64::to_bits`), so a
 //! prediction served over the socket is **bitwise identical** to the
 //! same request answered in-process — the serving stack's core
@@ -57,6 +83,8 @@ pub const MAX_REQUEST_ROWS: u32 = 65_536;
 
 const KIND_REQUEST: u8 = 0;
 const KIND_RESPONSE: u8 = 1;
+const KIND_ADMIN_REQUEST: u8 = 2;
+const KIND_ADMIN_RESPONSE: u8 = 3;
 
 /// Response status byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +194,54 @@ impl Response {
     }
 }
 
+/// Operation byte of an admin request frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum AdminOp {
+    /// Scrape the unified metrics registry; the response body is
+    /// Prometheus-style text exposition.
+    Metrics = 0,
+    /// Liveness probe; the response body is `ok:<versions>:<inflight>`
+    /// (same shape as the UDP health datagram reply).
+    Health = 1,
+    /// Dump recently completed trace spans and orchestration events;
+    /// the response body is one line per span/event.
+    TraceDump = 2,
+}
+
+impl AdminOp {
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            0 => AdminOp::Metrics,
+            1 => AdminOp::Health,
+            2 => AdminOp::TraceDump,
+            other => return Err(WireError::UnknownAdminOp(other)),
+        })
+    }
+}
+
+/// A decoded admin request (admin listener only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdminRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub request_id: u64,
+    /// What the client wants.
+    pub op: AdminOp,
+}
+
+/// A decoded admin response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdminResponse {
+    /// Echo of the request's id.
+    pub request_id: u64,
+    /// [`Status::Ok`] on success; error statuses carry the reason in
+    /// the body.
+    pub status: Status,
+    /// Op-specific UTF-8 text (metrics exposition, health line, trace
+    /// dump — or the error detail).
+    pub body: String,
+}
+
 /// Typed decode failures; hostile bytes end here, never in a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -189,6 +265,8 @@ pub enum WireError {
     BadFlags(u8),
     /// The status byte is outside the [`Status`] range.
     UnknownStatus(u8),
+    /// The admin op byte is outside the [`AdminOp`] range.
+    UnknownAdminOp(u8),
     /// The declared row count exceeds [`MAX_REQUEST_ROWS`].
     RowLimit {
         /// Declared rows.
@@ -223,6 +301,7 @@ impl fmt::Display for WireError {
             WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
             WireError::BadFlags(b) => write!(f, "reserved flag bits set: {b:#04x}"),
             WireError::UnknownStatus(s) => write!(f, "unknown status byte {s}"),
+            WireError::UnknownAdminOp(op) => write!(f, "unknown admin op byte {op}"),
             WireError::RowLimit { rows } => {
                 write!(f, "request declares {rows} rows (limit {MAX_REQUEST_ROWS})")
             }
@@ -440,6 +519,76 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             detail,
         })
     }
+}
+
+/// Append `request` to `out` as one admin frame (length prefix included).
+pub fn encode_admin_request(request: &AdminRequest, out: &mut Vec<u8>) {
+    let payload = 4 + 8;
+    out.reserve(4 + payload);
+    out.extend_from_slice(&(payload as u32).to_le_bytes());
+    out.extend_from_slice(&[
+        WIRE_MAGIC,
+        WIRE_VERSION,
+        KIND_ADMIN_REQUEST,
+        request.op as u8,
+    ]);
+    out.extend_from_slice(&request.request_id.to_le_bytes());
+}
+
+/// Decode one admin request payload (the bytes *after* the length
+/// prefix).
+pub fn decode_admin_request(payload: &[u8]) -> Result<AdminRequest, WireError> {
+    let mut cursor = Cursor::new(payload);
+    header(&mut cursor, KIND_ADMIN_REQUEST)?;
+    let op = AdminOp::from_byte(cursor.u8("admin op")?)?;
+    let request_id = cursor.u64("request id")?;
+    if cursor.remaining() != 0 {
+        return Err(WireError::SizeMismatch {
+            expected: 0,
+            found: cursor.remaining(),
+        });
+    }
+    Ok(AdminRequest { request_id, op })
+}
+
+/// Append `response` to `out` as one admin frame (length prefix
+/// included).
+pub fn encode_admin_response(response: &AdminResponse, out: &mut Vec<u8>) {
+    let body = response.body.as_bytes();
+    let payload = 4 + 8 + 4 + body.len();
+    out.reserve(4 + payload);
+    out.extend_from_slice(&(payload as u32).to_le_bytes());
+    out.extend_from_slice(&[
+        WIRE_MAGIC,
+        WIRE_VERSION,
+        KIND_ADMIN_RESPONSE,
+        response.status as u8,
+    ]);
+    out.extend_from_slice(&response.request_id.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Decode one admin response payload (the bytes *after* the length
+/// prefix).
+pub fn decode_admin_response(payload: &[u8]) -> Result<AdminResponse, WireError> {
+    let mut cursor = Cursor::new(payload);
+    header(&mut cursor, KIND_ADMIN_RESPONSE)?;
+    let status = Status::from_byte(cursor.u8("status")?)?;
+    let request_id = cursor.u64("request id")?;
+    let len = cursor.u32("body length")? as usize;
+    if len != cursor.remaining() {
+        return Err(WireError::SizeMismatch {
+            expected: len,
+            found: cursor.remaining(),
+        });
+    }
+    let body = String::from_utf8_lossy(cursor.take(len, "body")?).into_owned();
+    Ok(AdminResponse {
+        request_id,
+        status,
+        body,
+    })
 }
 
 /// Incremental frame assembler: feed it raw socket bytes, pull complete
@@ -702,6 +851,77 @@ mod tests {
                 declared: u32::MAX as usize
             })
         );
+    }
+
+    #[test]
+    fn admin_frames_roundtrip_and_stay_off_the_serve_listener() {
+        for op in [AdminOp::Metrics, AdminOp::Health, AdminOp::TraceDump] {
+            let request = AdminRequest { request_id: 77, op };
+            let mut frame = Vec::new();
+            encode_admin_request(&request, &mut frame);
+            let mut reader = FrameReader::new();
+            reader.extend(&frame);
+            let payload = reader.next_frame().unwrap().unwrap();
+            assert_eq!(decode_admin_request(&payload).unwrap(), request);
+            // A predict listener must reject the same payload outright.
+            assert_eq!(
+                decode_request(&payload),
+                Err(WireError::UnknownKind(KIND_ADMIN_REQUEST))
+            );
+        }
+        let response = AdminResponse {
+            request_id: 77,
+            status: Status::Ok,
+            body: "cerl_net_requests_total 5\n".into(),
+        };
+        let mut frame = Vec::new();
+        encode_admin_response(&response, &mut frame);
+        let mut reader = FrameReader::new();
+        reader.extend(&frame);
+        let payload = reader.next_frame().unwrap().unwrap();
+        assert_eq!(decode_admin_response(&payload).unwrap(), response);
+        assert_eq!(
+            decode_response(&payload),
+            Err(WireError::UnknownKind(KIND_ADMIN_RESPONSE))
+        );
+        // And the admin listener rejects predict frames symmetrically.
+        let mut predict = Vec::new();
+        encode_request(&sample_request(), &mut predict);
+        assert_eq!(
+            decode_admin_request(&predict[4..]),
+            Err(WireError::UnknownKind(KIND_REQUEST))
+        );
+    }
+
+    #[test]
+    fn hostile_admin_bytes_are_typed_errors() {
+        let mut frame = Vec::new();
+        encode_admin_request(
+            &AdminRequest {
+                request_id: 3,
+                op: AdminOp::Health,
+            },
+            &mut frame,
+        );
+        let good = frame[4..].to_vec();
+        for cut in 0..good.len() {
+            match decode_admin_request(&good[..cut]) {
+                Err(WireError::Truncated { .. }) | Err(WireError::SizeMismatch { .. }) => {}
+                other => panic!("cut at {cut}: expected typed error, got {other:?}"),
+            }
+        }
+        let mut bad_op = good.clone();
+        bad_op[3] = 9;
+        assert_eq!(
+            decode_admin_request(&bad_op),
+            Err(WireError::UnknownAdminOp(9))
+        );
+        let mut trailing = good;
+        trailing.push(0);
+        assert!(matches!(
+            decode_admin_request(&trailing),
+            Err(WireError::SizeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! # cerl-obs
+//!
+//! Observability for the CERL serving stack, dependency-free like the
+//! rest of the workspace: per-request **tracing** with monotonic stage
+//! timestamps in a wait-free ring ([`TraceRing`]), a unified **metrics
+//! registry** with Prometheus-style text exposition
+//! ([`MetricsRegistry`]), and the structured **event** channel the
+//! rebalance orchestrator reports canary outcomes through
+//! ([`EventKind`]).
+//!
+//! The layer is deliberately split in two halves with different cost
+//! models:
+//!
+//! * the *record* half ([`TraceRing::begin`], [`TraceSpan::stamp`],
+//!   [`TraceRing::record_event`]) runs on the serving path — it is
+//!   wait-free, allocation-free per stamp, and 1-in-N sampled, so a
+//!   traced fleet serves at the same rate as an untraced one;
+//! * the *read* half ([`TraceRing::dump`], [`MetricsRegistry::render`])
+//!   runs at scrape time — it copies, sorts, and formats freely,
+//!   because a dashboard scrape is allowed to allocate.
+//!
+//! A request's journey is stamped at nine [`Stage`]s:
+//!
+//! ```text
+//! accepted → decoded → admission_wait → submitted → queue_wait
+//!          → batched → inference → gathered → written
+//! ```
+//!
+//! `cerl-net`'s reactor begins the span and stamps the socket-side
+//! stages; `cerl-serve`'s batch collector stamps the queue/batch/
+//! inference stages through the span handle threaded inside its
+//! `ResponseHandle`/`ScatterHandle`; the reactor completes the span
+//! when the response bytes reach the socket buffer. The `cerl-analyze`
+//! gate's `obs-stage` rule statically checks every stamp call site
+//! names its stage in pipeline order.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::MetricsRegistry;
+pub use trace::{
+    EventKind, EventSnapshot, SpanSnapshot, Stage, TraceRing, TraceSpan, TraceStats, STAGE_COUNT,
+};

@@ -1,0 +1,337 @@
+//! A unified metrics registry with a hand-rolled Prometheus-style text
+//! exposition writer.
+//!
+//! [`MetricsRegistry`] is a scrape-time assembler: each serving tier
+//! contributes its named counters, gauges, and histograms into one
+//! registry, and [`MetricsRegistry::render`] writes the whole fleet as
+//! exposition text (`# HELP` / `# TYPE` headers, `{label="value"}`
+//! sample lines, cumulative `_bucket{le=...}` histogram series). The
+//! registry itself is plain owned data — the hot path never touches
+//! it; tiers read their existing wait-free counters at scrape time and
+//! push the values here, so a scrape allocates but serving does not.
+//!
+//! ```
+//! use cerl_obs::MetricsRegistry;
+//!
+//! let mut reg = MetricsRegistry::new();
+//! reg.counter("cerl_net_requests_total", "Request frames decoded.", &[], 42);
+//! reg.gauge("cerl_net_open_connections", "Connections currently open.", &[], 3.0);
+//! reg.counter(
+//!     "cerl_net_conn_bytes_in_total",
+//!     "Bytes read, per connection.",
+//!     &[("conn", "7")],
+//!     1024,
+//! );
+//! let text = reg.render();
+//! assert!(text.contains("cerl_net_requests_total 42\n"));
+//! assert!(text.contains("cerl_net_conn_bytes_in_total{conn=\"7\"} 1024\n"));
+//! ```
+
+use std::collections::BTreeMap;
+
+/// One sample's value.
+enum Value {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        /// `(upper_bound_seconds, cumulative_count)` in ascending bound
+        /// order, ending with the `+Inf` bucket.
+        buckets: Vec<(f64, u64)>,
+        sum_seconds: f64,
+        count: u64,
+    },
+}
+
+struct Family {
+    help: String,
+    kind: &'static str,
+    /// `(rendered_label_block, value)` in insertion order.
+    samples: Vec<(String, Value)>,
+}
+
+/// A named collection of counters, gauges, and histograms that renders
+/// as Prometheus-style exposition text. See the module docs.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: BTreeMap<String, Family>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("families", &self.families.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of metric families registered.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Whether the registry holds no families.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// Register one counter sample. `labels` are `(name, value)` pairs;
+    /// repeated calls with the same metric name add label series to the
+    /// same family (the first call's help text wins).
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.push(name, help, "counter", labels, Value::Counter(value));
+    }
+
+    /// Register one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.push(name, help, "gauge", labels, Value::Gauge(value));
+    }
+
+    /// Register one histogram sample from *per-bucket* counts.
+    /// `buckets` is `(upper_bound_seconds, count)` in ascending bound
+    /// order (a final unbounded bucket may use `f64::INFINITY`); the
+    /// registry accumulates them into the cumulative `le` series and
+    /// appends the `+Inf` bucket, `_sum`, and `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: &[(f64, u64)],
+        sum_seconds: f64,
+    ) {
+        let mut cumulative = Vec::with_capacity(buckets.len() + 1);
+        let mut running = 0u64;
+        let mut has_inf = false;
+        for &(bound, count) in buckets {
+            running = running.saturating_add(count);
+            has_inf = has_inf || bound.is_infinite();
+            cumulative.push((bound, running));
+        }
+        if !has_inf {
+            cumulative.push((f64::INFINITY, running));
+        }
+        self.push(
+            name,
+            help,
+            "histogram",
+            labels,
+            Value::Histogram {
+                buckets: cumulative,
+                sum_seconds,
+                count: running,
+            },
+        );
+    }
+
+    fn push(
+        &mut self,
+        name: &str,
+        help: &str,
+        kind: &'static str,
+        labels: &[(&str, &str)],
+        value: Value,
+    ) {
+        let family = self
+            .families
+            .entry(name.to_string())
+            .or_insert_with(|| Family {
+                help: help.to_string(),
+                kind,
+                samples: Vec::new(),
+            });
+        family.samples.push((render_labels(labels), value));
+    }
+
+    /// Write every family as Prometheus-style exposition text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, family) in &self.families {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&escape_help(&family.help));
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(family.kind);
+            out.push('\n');
+            for (labels, value) in &family.samples {
+                match value {
+                    Value::Counter(v) => {
+                        out.push_str(name);
+                        out.push_str(labels);
+                        out.push(' ');
+                        out.push_str(&v.to_string());
+                        out.push('\n');
+                    }
+                    Value::Gauge(v) => {
+                        out.push_str(name);
+                        out.push_str(labels);
+                        out.push(' ');
+                        out.push_str(&fmt_f64(*v));
+                        out.push('\n');
+                    }
+                    Value::Histogram {
+                        buckets,
+                        sum_seconds,
+                        count,
+                    } => {
+                        for (bound, cumulative) in buckets {
+                            out.push_str(name);
+                            out.push_str("_bucket");
+                            out.push_str(&with_le(labels, *bound));
+                            out.push(' ');
+                            out.push_str(&cumulative.to_string());
+                            out.push('\n');
+                        }
+                        out.push_str(name);
+                        out.push_str("_sum");
+                        out.push_str(labels);
+                        out.push(' ');
+                        out.push_str(&fmt_f64(*sum_seconds));
+                        out.push('\n');
+                        out.push_str(name);
+                        out.push_str("_count");
+                        out.push_str(labels);
+                        out.push(' ');
+                        out.push_str(&count.to_string());
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{k="v",k2="v2"}` (or the empty string for no labels).
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_label(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splice an `le` label into an already-rendered label block.
+fn with_le(labels: &str, bound: f64) -> String {
+    let le = format!("le=\"{}\"", fmt_f64(bound));
+    match labels.strip_suffix('}') {
+        Some(open) if open.len() > 1 => format!("{open},{le}}}"),
+        _ => format!("{{{le}}}"),
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else if v.is_nan() {
+        "NaN".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_with_headers() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a_total", "Counts a.", &[], 5);
+        reg.gauge("b", "Measures b.", &[("shard", "2")], 1.5);
+        let text = reg.render();
+        assert!(text.contains("# HELP a_total Counts a.\n# TYPE a_total counter\na_total 5\n"));
+        assert!(text.contains("# TYPE b gauge\nb{shard=\"2\"} 1.5\n"));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn families_sort_and_accumulate_label_series() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("z_total", "z", &[], 1);
+        reg.counter("a_total", "a", &[("conn", "1")], 2);
+        reg.counter("a_total", "ignored later help", &[("conn", "2")], 3);
+        let text = reg.render();
+        let a = text.find("a_total").expect("a present");
+        let z = text.find("z_total").expect("z present");
+        assert!(a < z, "families must render in sorted order");
+        assert!(text.contains("a_total{conn=\"1\"} 2\n"));
+        assert!(text.contains("a_total{conn=\"2\"} 3\n"));
+        assert!(text.contains("# HELP a_total a\n"));
+    }
+
+    #[test]
+    fn histograms_cumulate_and_append_inf() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram(
+            "lat_seconds",
+            "Latency.",
+            &[("conn", "9")],
+            &[(0.001, 3), (0.01, 2), (0.1, 0)],
+            0.025,
+        );
+        let text = reg.render();
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{conn=\"9\",le=\"0.001\"} 3\n"));
+        assert!(text.contains("lat_seconds_bucket{conn=\"9\",le=\"0.01\"} 5\n"));
+        assert!(text.contains("lat_seconds_bucket{conn=\"9\",le=\"+Inf\"} 5\n"));
+        assert!(text.contains("lat_seconds_sum{conn=\"9\"} 0.025\n"));
+        assert!(text.contains("lat_seconds_count{conn=\"9\"} 5\n"));
+    }
+
+    #[test]
+    fn labels_escape_quotes_and_newlines() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("e_total", "e", &[("detail", "a\"b\nc\\d")], 1);
+        let text = reg.render();
+        assert!(text.contains("e_total{detail=\"a\\\"b\\nc\\\\d\"} 1\n"));
+    }
+}

@@ -1,0 +1,675 @@
+//! Per-request tracing: sampled spans with monotonic stage timestamps,
+//! recorded into a wait-free fixed-capacity ring.
+//!
+//! A [`TraceSpan`] is begun by the network reactor when a request frame
+//! arrives, threaded through the batching scheduler and scatter router,
+//! and completed when the response bytes are handed to the socket. Each
+//! span carries one timestamp slot per [`Stage`]; stamps are nanoseconds
+//! since the ring's epoch, written with a single compare-exchange
+//! (first writer wins, so scatter sub-batches racing on a shared span
+//! keep the stamps monotone).
+//!
+//! ## Ring discipline
+//!
+//! The ring is a fixed block of atomic slots — no locks, no allocation
+//! on the record path. A slot is recycled only once its previous
+//! occupant *completed* (`done == seq`); when the ring wraps onto a
+//! still-live span, the **new** span is dropped and the drop counter
+//! incremented, so an in-flight span is never corrupted by overflow.
+//! Readers ([`TraceRing::dump`]) copy only completed slots and re-check
+//! the slot's sequence after copying, seqlock-style, so a concurrent
+//! recycle can only cause a skipped snapshot, never a torn one.
+//!
+//! Sampling is 1-in-N: [`TraceRing::begin`] counts every offered
+//! request and allocates a span for every `sample_every`-th one, so the
+//! hot path pays one relaxed `fetch_add` for unsampled requests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of pipeline stages a span records ([`Stage::ALL`]).
+pub const STAGE_COUNT: usize = 9;
+
+/// One stage of a request's journey through the serving stack, in
+/// pipeline order. The static analyzer's `obs-stage` rule holds stamp
+/// call sites to this order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Stage {
+    /// The reactor sampled the request for tracing (span creation).
+    Accepted = 0,
+    /// The request frame decoded cleanly off the wire.
+    Decoded = 1,
+    /// The request entered the connection's admission queue.
+    AdmissionWait = 2,
+    /// The reactor submitted the request to the serving backend.
+    Submitted = 3,
+    /// The batch collector picked the request out of the queue.
+    QueueWait = 4,
+    /// The request was coalesced into a batch.
+    Batched = 5,
+    /// The batched forward pass finished.
+    Inference = 6,
+    /// The caller-visible result was gathered (demuxed / merged).
+    Gathered = 7,
+    /// The response bytes were handed to the socket buffer.
+    Written = 8,
+}
+
+impl Stage {
+    /// Every stage in pipeline order; index `i` holds the stage whose
+    /// [`Stage::index`] is `i`.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Accepted,
+        Stage::Decoded,
+        Stage::AdmissionWait,
+        Stage::Submitted,
+        Stage::QueueWait,
+        Stage::Batched,
+        Stage::Inference,
+        Stage::Gathered,
+        Stage::Written,
+    ];
+
+    /// Position of this stage in the pipeline (0-based).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name used in dumps and exposition text.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Accepted => "accepted",
+            Stage::Decoded => "decoded",
+            Stage::AdmissionWait => "admission_wait",
+            Stage::Submitted => "submitted",
+            Stage::QueueWait => "queue_wait",
+            Stage::Batched => "batched",
+            Stage::Inference => "inference",
+            Stage::Gathered => "gathered",
+            Stage::Written => "written",
+        }
+    }
+}
+
+/// A structured fleet event recorded beside the spans (rebalance and
+/// canary outcomes; rare, so these share the ring's wait-free style
+/// without being on any hot path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A canary baseline window was captured before a rebalance plan.
+    BaselineCaptured = 0,
+    /// A single-domain rebalance move committed (a = domain, b = shard).
+    MoveCommitted = 1,
+    /// A move was aborted by its canary verdict (a = domain, b = shard).
+    MoveAborted = 2,
+    /// The whole plan halted (a = moves committed, b = moves remaining).
+    PlanHalted = 3,
+}
+
+impl EventKind {
+    /// Decode an event kind byte (dumps round-trip through this).
+    pub fn from_byte(b: u8) -> Option<EventKind> {
+        match b {
+            0 => Some(EventKind::BaselineCaptured),
+            1 => Some(EventKind::MoveCommitted),
+            2 => Some(EventKind::MoveAborted),
+            3 => Some(EventKind::PlanHalted),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name used in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::BaselineCaptured => "baseline_captured",
+            EventKind::MoveCommitted => "move_committed",
+            EventKind::MoveAborted => "move_aborted",
+            EventKind::PlanHalted => "plan_halted",
+        }
+    }
+}
+
+/// One span slot. `seq` names the current occupant (0 = never used);
+/// `done` trails `seq` while the occupant is live and catches up when
+/// it completes — the slot is free exactly when `done == seq`.
+struct SpanSlot {
+    seq: AtomicU64,
+    done: AtomicU64,
+    conn: AtomicU64,
+    request_id: AtomicU64,
+    stamps: [AtomicU64; STAGE_COUNT],
+}
+
+/// One event slot, published seqlock-style: `seq` is zeroed, the fields
+/// written, then `seq` stored — readers re-check `seq` after copying.
+struct EventSlot {
+    seq: AtomicU64,
+    kind: AtomicU64,
+    at: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// Counters summarizing a ring's lifetime ([`TraceRing::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Requests offered to [`TraceRing::begin`] (sampled or not).
+    pub seen: u64,
+    /// Spans actually allocated (≈ `seen / sample_every`, minus drops).
+    pub sampled: u64,
+    /// Sampled spans dropped because the ring wrapped onto a live span.
+    pub dropped: u64,
+    /// Spans completed (every completed span is dump-visible until its
+    /// slot is recycled).
+    pub completed: u64,
+    /// Structured events recorded.
+    pub events: u64,
+}
+
+/// Point-in-time copy of one completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// The span's unique id (allocation sequence; never reused).
+    pub span_id: u64,
+    /// Connection identifier the reactor tagged the span with.
+    pub conn: u64,
+    /// The request id from the wire frame.
+    pub request_id: u64,
+    /// Nanoseconds since the ring's epoch per stage, 0 = never stamped.
+    pub stamps: [u64; STAGE_COUNT],
+}
+
+impl SpanSnapshot {
+    /// The stamp for `stage`, or `None` if that stage never ran.
+    pub fn stamp(&self, stage: Stage) -> Option<u64> {
+        // panic-ok: Stage::index is < STAGE_COUNT by construction.
+        let v = self.stamps[stage.index()];
+        (v != 0).then_some(v)
+    }
+
+    /// Whether the recorded (non-zero) stamps are non-decreasing in
+    /// pipeline order — the trace-integrity invariant.
+    pub fn is_monotone(&self) -> bool {
+        let mut last = 0u64;
+        for &v in &self.stamps {
+            if v == 0 {
+                continue;
+            }
+            if v < last {
+                return false;
+            }
+            last = v;
+        }
+        true
+    }
+
+    /// Nanoseconds spent between two stamped stages, or `None` if
+    /// either stage is missing (or the pair is out of order).
+    pub fn wait_nanos(&self, from: Stage, to: Stage) -> Option<u64> {
+        let a = self.stamp(from)?; // obs-stage: snapshot read, not a stamp site.
+        let b = self.stamp(to)?; // obs-stage: snapshot read, not a stamp site.
+        b.checked_sub(a)
+    }
+}
+
+/// Point-in-time copy of one structured event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventSnapshot {
+    /// Allocation sequence of the event (never reused).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Nanoseconds since the ring's epoch.
+    pub at_nanos: u64,
+    /// First kind-specific payload word (see [`EventKind`]).
+    pub a: u64,
+    /// Second kind-specific payload word.
+    pub b: u64,
+}
+
+/// Wait-free fixed-capacity ring of sampled request spans plus a small
+/// side ring of structured fleet events. See the module docs for the
+/// recycling and sampling discipline.
+pub struct TraceRing {
+    epoch: Instant,
+    sample_every: u64,
+    slots: Box<[SpanSlot]>,
+    events: Box<[EventSlot]>,
+    seen: AtomicU64,
+    sampled: AtomicU64,
+    dropped: AtomicU64,
+    completed: AtomicU64,
+    alloc: AtomicU64,
+    event_alloc: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.slots.len())
+            .field("sample_every", &self.sample_every)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Events kept alongside the span ring (rebalances are rare; 64 covers
+/// a long canary history).
+const EVENT_CAPACITY: usize = 64;
+
+impl TraceRing {
+    /// A ring of `capacity` span slots sampling one request in
+    /// `sample_every` (both clamped to at least 1).
+    pub fn new(capacity: usize, sample_every: u64) -> Arc<Self> {
+        let capacity = capacity.max(1);
+        let mk_span = |_| SpanSlot {
+            seq: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            conn: AtomicU64::new(0),
+            request_id: AtomicU64::new(0),
+            stamps: std::array::from_fn(|_| AtomicU64::new(0)),
+        };
+        let mk_event = |_| EventSlot {
+            seq: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            at: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        };
+        Arc::new(TraceRing {
+            epoch: Instant::now(),
+            sample_every: sample_every.max(1),
+            slots: (0..capacity).map(mk_span).collect(),
+            events: (0..EVENT_CAPACITY).map(mk_event).collect(),
+            seen: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            alloc: AtomicU64::new(0),
+            event_alloc: AtomicU64::new(0),
+        })
+    }
+
+    /// Span slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The configured 1-in-N sampling interval.
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Nanoseconds since the ring's epoch, clamped to at least 1 so a
+    /// stored stamp is never confused with "unset" (0).
+    pub fn now_nanos(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64).max(1)
+    }
+
+    /// Offer one request for tracing. Returns a live span for every
+    /// `sample_every`-th offer — unless the ring slot it maps to still
+    /// holds a live span, in which case the new span is dropped (and
+    /// counted) rather than corrupting the occupant.
+    pub fn begin(self: &Arc<Self>, conn: u64, request_id: u64) -> Option<TraceSpan> {
+        // ordering: lone sampling counter, no edges.
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        if !n.is_multiple_of(self.sample_every) {
+            return None;
+        }
+        // ordering: lone sequence source; uniqueness only, no edges.
+        let seq = self.alloc.fetch_add(1, Ordering::Relaxed) + 1;
+        let idx = (seq % self.slots.len() as u64) as usize;
+        // panic-ok: idx is seq modulo slots.len(), always in range.
+        let slot = &self.slots[idx];
+        // ordering: Acquire pairs with the Release in complete_span —
+        // observing done == seq proves the occupant finished and its
+        // stamp writes are visible, so the reset below cannot race it.
+        let cur = slot.seq.load(Ordering::Acquire);
+        // ordering: Acquire half of the same done/seq recycling edge.
+        if slot.done.load(Ordering::Acquire) != cur {
+            // ordering: lone drop counter, no edges.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // ordering: AcqRel claim — the winner owns the slot; Release
+        // orders the claim after the free-check above, Acquire pairs
+        // with competing claimants; failure needs no edge (slot lost).
+        if slot
+            .seq
+            .compare_exchange(cur, seq, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            // ordering: lone drop counter, no edges.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        for s in &slot.stamps {
+            // ordering: claimed-slot reset; published by the Release in
+            // complete_span, so Relaxed stores suffice here.
+            s.store(0, Ordering::Relaxed);
+        }
+        // ordering: claimed-slot field write, published by complete_span.
+        slot.conn.store(conn, Ordering::Relaxed);
+        // ordering: claimed-slot field write, published by complete_span.
+        slot.request_id.store(request_id, Ordering::Relaxed);
+        // ordering: lone stat counter, no edges.
+        self.sampled.fetch_add(1, Ordering::Relaxed);
+        let span = TraceSpan {
+            ring: Arc::clone(self),
+            slot: idx as u32,
+            seq,
+        };
+        span.stamp(Stage::Accepted);
+        Some(span)
+    }
+
+    /// Record one structured event (rebalance / canary outcome).
+    pub fn record_event(&self, kind: EventKind, a: u64, b: u64) {
+        // ordering: lone sequence source; uniqueness only, no edges.
+        let seq = self.event_alloc.fetch_add(1, Ordering::Relaxed) + 1;
+        let idx = (seq % self.events.len() as u64) as usize;
+        // panic-ok: idx is seq modulo events.len(), always in range.
+        let slot = &self.events[idx];
+        // ordering: seqlock write protocol — zero the sequence first
+        // (Release) so readers that caught the old value re-check and
+        // discard; field writes below stay between the two seq stores.
+        slot.seq.store(0, Ordering::Release);
+        // ordering: seqlock-protected field write, published below.
+        slot.kind.store(kind as u8 as u64, Ordering::Relaxed);
+        // ordering: seqlock-protected field write, published below.
+        slot.at.store(self.now_nanos(), Ordering::Relaxed);
+        // ordering: seqlock-protected field write, published below.
+        slot.a.store(a, Ordering::Relaxed);
+        // ordering: seqlock-protected field write, published below.
+        slot.b.store(b, Ordering::Relaxed);
+        // ordering: seqlock publish — Release makes the field writes
+        // visible to any reader that Acquire-loads this sequence.
+        slot.seq.store(seq, Ordering::Release);
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> TraceStats {
+        // ordering: advisory monotone reads, no cross-counter coherence
+        // is promised, so Relaxed needs no edges.
+        let read = |counter: &AtomicU64| counter.load(Ordering::Relaxed);
+        TraceStats {
+            seen: read(&self.seen),
+            sampled: read(&self.sampled),
+            dropped: read(&self.dropped),
+            completed: read(&self.completed),
+            events: read(&self.event_alloc),
+        }
+    }
+
+    /// Copy up to `max` completed spans, most recent first. Live spans
+    /// and slots recycled mid-copy are skipped, never torn.
+    pub fn dump(&self, max: usize) -> Vec<SpanSnapshot> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            // ordering: Acquire pairs with the Release in complete_span;
+            // seeing done == seq below guarantees the stamps read after
+            // it are the completed span's writes.
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                continue;
+            }
+            // ordering: Acquire half of the completion edge (see above).
+            if slot.done.load(Ordering::Acquire) != s1 {
+                continue; // still live
+            }
+            // ordering: read protected by the seq re-check below.
+            let conn = slot.conn.load(Ordering::Relaxed);
+            // ordering: same re-check-protected read.
+            let request_id = slot.request_id.load(Ordering::Relaxed);
+            let snap = SpanSnapshot {
+                span_id: s1,
+                conn,
+                request_id,
+                stamps: std::array::from_fn(|i| {
+                    // panic-ok: from_fn hands indices < STAGE_COUNT only.
+                    // ordering: same re-check-protected read as the fields.
+                    slot.stamps[i].load(Ordering::Relaxed)
+                }),
+            };
+            // ordering: seqlock re-check — Acquire orders it after the
+            // copies above; a changed sequence means a recycle raced the
+            // copy, so the snapshot is discarded.
+            if slot.seq.load(Ordering::Acquire) != s1 {
+                continue;
+            }
+            out.push(snap);
+        }
+        out.sort_by_key(|s| std::cmp::Reverse(s.span_id));
+        out.truncate(max);
+        out
+    }
+
+    /// Copy up to `max` recorded events, most recent first.
+    pub fn events(&self, max: usize) -> Vec<EventSnapshot> {
+        let mut out = Vec::new();
+        for slot in self.events.iter() {
+            // ordering: seqlock read — Acquire pairs with the publishing
+            // Release in record_event.
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                continue;
+            }
+            // ordering: reads protected by the seq re-check below.
+            let kind = slot.kind.load(Ordering::Relaxed);
+            // ordering: seqlock-protected field read (re-checked below).
+            let at = slot.at.load(Ordering::Relaxed);
+            // ordering: seqlock-protected field read (re-checked below).
+            let a = slot.a.load(Ordering::Relaxed);
+            // ordering: seqlock-protected field read (re-checked below).
+            let b = slot.b.load(Ordering::Relaxed);
+            // ordering: seqlock re-check, Acquire-ordered after the
+            // copies; a changed sequence discards the snapshot.
+            if slot.seq.load(Ordering::Acquire) != s1 {
+                continue;
+            }
+            let Some(kind) = EventKind::from_byte(kind.min(u8::MAX as u64) as u8) else {
+                continue;
+            };
+            out.push(EventSnapshot {
+                seq: s1,
+                kind,
+                at_nanos: at,
+                a,
+                b,
+            });
+        }
+        out.sort_by_key(|e| std::cmp::Reverse(e.seq));
+        out.truncate(max);
+        out
+    }
+
+    fn stamp_span(&self, span: &TraceSpan, stage: Stage) {
+        // panic-ok: span.slot was minted from a slots index in begin.
+        let slot = &self.slots[span.slot as usize];
+        // ordering: staleness guard only — a recycled slot carries a
+        // newer seq and the stamp is silently discarded; no edge needed
+        // because publication rides on complete_span's Release.
+        if slot.seq.load(Ordering::Relaxed) != span.seq {
+            return;
+        }
+        let now = self.now_nanos();
+        // panic-ok: Stage::index is < STAGE_COUNT by construction.
+        let cell = &slot.stamps[stage.index()];
+        // ordering: first-writer-wins stamp; Relaxed suffices because
+        // racing writers (scatter sub-batches) only contend on who sets
+        // the value, and readers see it via complete_span's Release.
+        let _ = cell.compare_exchange(0, now, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    fn complete_span(&self, span: &TraceSpan) {
+        // panic-ok: span.slot was minted from a slots index in begin.
+        let slot = &self.slots[span.slot as usize];
+        // ordering: staleness guard (see stamp_span); no edge needed.
+        if slot.seq.load(Ordering::Relaxed) != span.seq {
+            return;
+        }
+        // ordering: AcqRel completion edge — the Release half publishes
+        // every stamp written before it to begin's and dump's Acquire
+        // loads of `done`; the returned prior value makes repeated
+        // completes idempotent for the counter.
+        if slot.done.swap(span.seq, Ordering::AcqRel) != span.seq {
+            // ordering: lone stat counter, no edges.
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A live handle onto one sampled span. Clones share the same slot;
+/// stamps are first-writer-wins, and completion is idempotent, so the
+/// handle can be threaded through the scheduler and router freely.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    ring: Arc<TraceRing>,
+    slot: u32,
+    seq: u64,
+}
+
+impl TraceSpan {
+    /// Record `stage` as happening now (first writer wins; a stamp on a
+    /// recycled slot is silently discarded).
+    pub fn stamp(&self, stage: Stage) {
+        self.ring.stamp_span(self, stage);
+    }
+
+    /// Mark the span finished, making it dump-visible and its slot
+    /// recyclable. Idempotent; the reactor calls this once the response
+    /// is written (or the connection dies with the request in flight).
+    pub fn complete(&self) {
+        self.ring.complete_span(self);
+    }
+
+    /// The span's unique id.
+    pub fn span_id(&self) -> u64 {
+        self.seq
+    }
+
+    /// The ring this span records into.
+    pub fn ring(&self) -> &Arc<TraceRing> {
+        &self.ring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_one_in_n() {
+        let ring = TraceRing::new(16, 4);
+        let mut live = Vec::new();
+        for i in 0..16 {
+            if let Some(span) = ring.begin(1, i) {
+                live.push(span);
+            }
+        }
+        assert_eq!(live.len(), 4);
+        let stats = ring.stats();
+        assert_eq!(stats.seen, 16);
+        assert_eq!(stats.sampled, 4);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn stamps_are_monotone_and_first_writer_wins() {
+        let ring = TraceRing::new(4, 1);
+        let span = ring.begin(7, 42).expect("sampled");
+        span.stamp(Stage::Decoded);
+        span.stamp(Stage::Submitted);
+        span.stamp(Stage::Written);
+        span.complete();
+        let spans = ring.dump(8);
+        assert_eq!(spans.len(), 1);
+        let s = spans[0];
+        assert_eq!(s.conn, 7);
+        assert_eq!(s.request_id, 42);
+        assert!(s.is_monotone(), "{s:?}");
+        assert!(s.stamp(Stage::Accepted).is_some());
+        assert!(s.stamp(Stage::QueueWait).is_none());
+        // Re-stamping does not move an existing stamp.
+        let first = s.stamp(Stage::Decoded);
+        span.stamp(Stage::Decoded);
+        span.complete();
+        assert_eq!(ring.dump(8)[0].stamp(Stage::Decoded), first);
+    }
+
+    #[test]
+    fn overflow_drops_new_spans_and_counts() {
+        let ring = TraceRing::new(2, 1);
+        let a = ring.begin(1, 1).expect("sampled");
+        let b = ring.begin(1, 2).expect("sampled");
+        // Ring full of live spans: the next two offers map onto live
+        // slots and must be dropped.
+        assert!(ring.begin(1, 3).is_none());
+        assert!(ring.begin(1, 4).is_none());
+        assert_eq!(ring.stats().dropped, 2);
+        // The live spans are intact and recyclable after completion.
+        a.stamp(Stage::Written);
+        a.complete();
+        b.complete();
+        assert!(ring.begin(1, 5).is_some());
+        assert_eq!(ring.stats().completed, 2);
+    }
+
+    #[test]
+    fn dump_skips_live_spans() {
+        let ring = TraceRing::new(8, 1);
+        let live = ring.begin(1, 1).expect("sampled");
+        let done = ring.begin(1, 2).expect("sampled");
+        done.complete();
+        let spans = ring.dump(8);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].request_id, 2);
+        live.complete();
+        assert_eq!(ring.dump(8).len(), 2);
+    }
+
+    #[test]
+    fn events_round_trip_most_recent_first() {
+        let ring = TraceRing::new(2, 1);
+        ring.record_event(EventKind::BaselineCaptured, 0, 0);
+        ring.record_event(EventKind::MoveCommitted, 9, 1);
+        ring.record_event(EventKind::PlanHalted, 2, 3);
+        let events = ring.events(2);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::PlanHalted);
+        assert_eq!((events[0].a, events[0].b), (2, 3));
+        assert_eq!(events[1].kind, EventKind::MoveCommitted);
+        assert_eq!(ring.stats().events, 3);
+        assert_eq!(EventKind::from_byte(1), Some(EventKind::MoveCommitted));
+        assert_eq!(EventKind::from_byte(200), None);
+    }
+
+    #[test]
+    fn concurrent_begin_complete_never_corrupts() {
+        let ring = TraceRing::new(8, 1);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let ring = Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        if let Some(span) = ring.begin(t, i) {
+                            span.stamp(Stage::Decoded);
+                            span.stamp(Stage::Submitted);
+                            span.stamp(Stage::Written);
+                            span.complete();
+                        }
+                    }
+                });
+            }
+        });
+        let stats = ring.stats();
+        assert_eq!(stats.seen, 2000);
+        assert_eq!(stats.sampled + stats.dropped, 2000);
+        assert_eq!(stats.completed, stats.sampled);
+        for span in ring.dump(64) {
+            assert!(span.is_monotone(), "{span:?}");
+        }
+    }
+}

@@ -179,6 +179,37 @@ impl LatencyHistogram {
         Some(Self::bucket_representative(BUCKET_COUNT - 1))
     }
 
+    /// Write this histogram into a metrics registry as one
+    /// Prometheus-style histogram family: bucket upper bounds in
+    /// seconds (the overflow bucket renders as `+Inf`) and the exact
+    /// running nanosecond total as `_sum`. Scrape-time only — the
+    /// recording path never sees the registry.
+    pub fn export_into(
+        &self,
+        reg: &mut cerl_obs::MetricsRegistry,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) {
+        let counts = self.bucket_counts();
+        let buckets: Vec<(f64, u64)> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let (_, upper) = Self::bucket_bounds(i);
+                let bound = if upper == Duration::MAX {
+                    f64::INFINITY
+                } else {
+                    upper.as_secs_f64()
+                };
+                (bound, c)
+            })
+            .collect();
+        // ordering: advisory monotone read, no edges.
+        let sum = self.total_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        reg.histogram(name, help, labels, &buckets, sum);
+    }
+
     /// Coherent-enough point-in-time summary (count, mean, p50/p95/p99).
     pub fn snapshot(&self) -> LatencySnapshot {
         let count = self.count();

@@ -82,6 +82,7 @@ use crate::router::ShardRouter;
 use cerl_core::engine::CerlEngine;
 use cerl_core::error::CerlError;
 use cerl_core::snapshot::{ShardMap, ShardMove};
+use cerl_obs::{EventKind, TraceRing};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -385,6 +386,9 @@ pub struct RebalanceOrchestrator {
     router: Arc<ShardRouter>,
     cfg: OrchestratorConfig,
     executing: AtomicBool,
+    /// Optional event sink: verdicts and commits land in the ring's
+    /// event log for the admin endpoint's `TraceDump` to surface.
+    obs: Option<Arc<TraceRing>>,
 }
 
 impl std::fmt::Debug for RebalanceOrchestrator {
@@ -404,6 +408,23 @@ impl RebalanceOrchestrator {
             router,
             cfg,
             executing: AtomicBool::new(false),
+            obs: None,
+        }
+    }
+
+    /// Emit structured events ([`EventKind`]) into `ring`'s event log as
+    /// plans execute: baseline capture, every committed move, every
+    /// auto-abort, and plan halts. The admin endpoint's `TraceDump` frame
+    /// surfaces the same ring, so rebalance history and request traces
+    /// share one wire.
+    pub fn with_obs(mut self, ring: Arc<TraceRing>) -> Self {
+        self.obs = Some(ring);
+        self
+    }
+
+    fn record_event(&self, kind: EventKind, a: u64, b: u64) {
+        if let Some(ring) = &self.obs {
+            ring.record_event(kind, a, b);
         }
     }
 
@@ -458,6 +479,13 @@ impl RebalanceOrchestrator {
         let base = self.router.canary_snapshot();
         self.wait_window(&base);
         report.baseline_p95 = base.windowed_p95(&self.router.canary_snapshot());
+        self.record_event(
+            EventKind::BaselineCaptured,
+            plan.moves.len() as u64,
+            report
+                .baseline_p95
+                .map_or(0, |p95| p95.as_nanos().min(u128::from(u64::MAX)) as u64),
+        );
 
         let mut staged: VecDeque<(usize, CerlEngine)> = VecDeque::new();
         let mut next_staged = 0usize;
@@ -508,6 +536,8 @@ impl RebalanceOrchestrator {
             };
             if let Some(reason) = self.cfg.canary.verdict(report.baseline_p95, &window) {
                 self.router.abort_rebalance()?;
+                self.record_event(EventKind::MoveAborted, mv.domain, mv.to as u64);
+                self.record_event(EventKind::PlanHalted, mv.domain, report.moves.len() as u64);
                 return Err(ServeError::PlanHalted {
                     domain: mv.domain,
                     committed: report.moves.len(),
@@ -516,6 +546,7 @@ impl RebalanceOrchestrator {
                 });
             }
             let destination_version = self.router.commit_rebalance()?;
+            self.record_event(EventKind::MoveCommitted, mv.domain, destination_version);
             report.moves.push(MoveReport {
                 mv: *mv,
                 destination_version,

@@ -60,6 +60,7 @@ use cerl_core::error::CerlError;
 use cerl_core::serving::ServingEngine;
 use cerl_core::snapshot::{ModelSnapshot, ShardMap};
 use cerl_math::Matrix;
+use cerl_obs::{MetricsRegistry, Stage, TraceSpan};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
@@ -115,6 +116,7 @@ pub struct ScatterHandle {
     resolved: Vec<(usize, u64, Vec<f64>)>,
     submitted: Instant,
     metrics: Arc<ServeMetrics>,
+    trace: Option<TraceSpan>,
     done: bool,
 }
 
@@ -134,6 +136,9 @@ impl ScatterHandle {
 
     fn fail(&mut self, e: ServeError) -> ServeError {
         self.done = true;
+        if let Some(trace) = &self.trace {
+            trace.stamp(Stage::Gathered);
+        }
         self.metrics.record_rejection(&e);
         e
     }
@@ -142,6 +147,9 @@ impl ScatterHandle {
     /// request (shared tail of `wait` and `poll`).
     fn finish(&mut self) -> ScatterResponse {
         self.done = true;
+        if let Some(trace) = &self.trace {
+            trace.stamp(Stage::Gathered);
+        }
         let mut ite = vec![0.0f64; self.rows];
         self.resolved.sort_unstable_by_key(|&(shard, _, _)| shard);
         let mut shard_versions = Vec::with_capacity(self.resolved.len());
@@ -438,7 +446,24 @@ impl ShardRouter {
     /// an unbatched fleet each shard's pinned parallel pass runs inline
     /// before this returns.
     pub fn submit_scatter(&self, domains: &[u64], x: &Matrix) -> Result<ScatterHandle, ServeError> {
-        match self.scatter_submit(domains, x) {
+        self.submit_scatter_traced(domains, x, None)
+    }
+
+    /// [`ShardRouter::submit_scatter`] with an optional trace span whose
+    /// stage stamps follow the request through every shard's scheduler.
+    ///
+    /// All sub-batches share the one span: each stage records the
+    /// *earliest* time any sub-batch reached it (first-writer-wins in
+    /// [`cerl_obs::TraceSpan::stamp`]), so the span reads as the
+    /// request's critical path. Completion stays with the caller — the
+    /// router never calls [`cerl_obs::TraceSpan::complete`].
+    pub fn submit_scatter_traced(
+        &self,
+        domains: &[u64],
+        x: &Matrix,
+        trace: Option<TraceSpan>,
+    ) -> Result<ScatterHandle, ServeError> {
+        match self.scatter_submit(domains, x, trace) {
             Ok(handle) => Ok(handle),
             Err(e) => {
                 self.metrics.record_rejection(&e);
@@ -447,7 +472,12 @@ impl ShardRouter {
         }
     }
 
-    fn scatter_submit(&self, domains: &[u64], x: &Matrix) -> Result<ScatterHandle, ServeError> {
+    fn scatter_submit(
+        &self,
+        domains: &[u64],
+        x: &Matrix,
+        trace: Option<TraceSpan>,
+    ) -> Result<ScatterHandle, ServeError> {
         let submitted = Instant::now();
         if domains.len() != x.rows() {
             return Err(ServeError::DomainTagMismatch {
@@ -490,7 +520,9 @@ impl ShardRouter {
             // panic-ok: shard is an enumerate() index over a Vec sized
             // to shards.len() (both sites in this arm).
             match &self.shards[shard].scheduler {
-                Some(scheduler) => pending.push((shard, scheduler.submit(sub)?)),
+                Some(scheduler) => {
+                    pending.push((shard, scheduler.submit_traced(sub, trace.clone())?));
+                }
                 None => {
                     // panic-ok: same enumerate() bound as above.
                     let (version, slice) = self.shards[shard]
@@ -508,6 +540,7 @@ impl ShardRouter {
             resolved,
             submitted,
             metrics: Arc::clone(&self.metrics),
+            trace,
             done: false,
         })
     }
@@ -708,6 +741,56 @@ impl ShardRouter {
                 }
             })
             .collect()
+    }
+
+    /// Number of engine versions still live across the fleet: every
+    /// shard's published version plus superseded versions pinned by
+    /// still-running requests (see
+    /// [`ServingEngine::live_version_count`]).
+    pub fn live_version_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.engine.live_version_count())
+            .sum()
+    }
+
+    /// Export fleet-level serving metrics into `reg` under the
+    /// `cerl_serve_*` namespace, plus per-shard load counters
+    /// (`{shard="N"}`), each shard's published engine version, and the
+    /// fleet-wide live-version gauge. Scrape-time work only — nothing
+    /// here touches the request path.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        self.metrics.export_metrics("cerl_serve", reg);
+        for load in self.shard_loads() {
+            let shard = load.shard.to_string();
+            reg.counter(
+                "cerl_serve_shard_requests_total",
+                "Requests served by each shard's engine (all front-ends).",
+                &[("shard", &shard)],
+                load.requests,
+            );
+            reg.counter(
+                "cerl_serve_shard_rows_total",
+                "Rows predicted by each shard's engine (all front-ends).",
+                &[("shard", &shard)],
+                load.rows,
+            );
+        }
+        for (shard, version) in self.shard_versions().into_iter().enumerate() {
+            let shard = shard.to_string();
+            reg.gauge(
+                "cerl_serve_shard_version",
+                "Currently published engine version of each shard.",
+                &[("shard", &shard)],
+                version as f64,
+            );
+        }
+        reg.gauge(
+            "cerl_core_live_versions",
+            "Engine versions still live across the fleet (published plus request-pinned).",
+            &[],
+            self.live_version_count() as f64,
+        );
     }
 
     /// Fleet-level canary counters: cumulative request/rejection counts

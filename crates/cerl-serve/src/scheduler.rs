@@ -38,6 +38,7 @@ use crate::histogram::{LatencyHistogram, LatencySnapshot};
 use cerl_core::error::CerlError;
 use cerl_core::serving::ServingEngine;
 use cerl_math::Matrix;
+use cerl_obs::{MetricsRegistry, Stage, TraceSpan};
 use std::collections::BTreeMap;
 use std::future::Future;
 use std::pin::Pin;
@@ -175,6 +176,91 @@ impl ServeMetrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             rejected_client: self.rejected_client.load(Ordering::Relaxed),
             end_to_end_buckets: self.end_to_end.bucket_counts(),
+        }
+    }
+
+    /// Write every counter and histogram into `reg` under `prefix`
+    /// (e.g. `cerl_serve`) — the scrape-time half of the unified
+    /// metrics registry; the serving path never touches the registry.
+    pub(crate) fn export_metrics(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        // ordering: advisory snapshot of independent monotone counters —
+        // per-counter coherence only, no edges.
+        let pairs: [(&str, &str, u64); 9] = [
+            (
+                "requests_total",
+                "Requests answered successfully.",
+                self.requests.load(Ordering::Relaxed),
+            ),
+            (
+                "rejected_total",
+                "Requests rejected with a typed ServeError (all faults).",
+                self.rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "rejected_client_total",
+                "Rejected requests that were client faults.",
+                self.rejected_client.load(Ordering::Relaxed),
+            ),
+            (
+                "batches_total",
+                "Coalesced forward passes executed.",
+                self.batches.load(Ordering::Relaxed),
+            ),
+            (
+                "batched_requests_total",
+                "Requests that entered a coalesced forward pass.",
+                self.batched_requests.load(Ordering::Relaxed),
+            ),
+            (
+                "batched_rows_total",
+                "Rows across all coalesced forward passes.",
+                self.batched_rows.load(Ordering::Relaxed),
+            ),
+            (
+                "max_batch_requests",
+                "Largest number of requests coalesced into one batch.",
+                self.max_batch_requests.load(Ordering::Relaxed),
+            ),
+            (
+                "scatter_requests_total",
+                "Cross-shard scatter-gather requests answered.",
+                self.scatter_requests.load(Ordering::Relaxed),
+            ),
+            (
+                "scatter_subrequests_total",
+                "Per-shard sub-batches scatter requests fanned into.",
+                self.scatter_subrequests.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in pairs {
+            reg.counter(&format!("{prefix}_{name}"), help, &[], value);
+        }
+        self.queue_wait.export_into(
+            reg,
+            &format!("{prefix}_queue_wait_seconds"),
+            "Time requests spent queued before their batch executed.",
+            &[],
+        );
+        self.end_to_end.export_into(
+            reg,
+            &format!("{prefix}_end_to_end_seconds"),
+            "Submit-to-response latency as the caller observes it.",
+            &[],
+        );
+        let per_version: Vec<(u64, u64)> = self
+            .per_version
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&v, &c)| (v, c))
+            .collect();
+        for (version, count) in per_version {
+            reg.counter(
+                &format!("{prefix}_version_requests_total"),
+                "Successful requests per serving engine version.",
+                &[("version", &version.to_string())],
+                count,
+            );
         }
     }
 
@@ -357,6 +443,9 @@ struct PendingRequest {
     x: Matrix,
     enqueued: Instant,
     slot: Arc<ReplySlot>,
+    /// Sampled observability span threaded from the network reactor;
+    /// the collector stamps the queue/batch/inference stages through it.
+    trace: Option<TraceSpan>,
 }
 
 impl Drop for PendingRequest {
@@ -384,6 +473,7 @@ pub struct ResponseHandle {
     submitted: Instant,
     metrics: Arc<ServeMetrics>,
     done: bool,
+    trace: Option<TraceSpan>,
 }
 
 impl ResponseHandle {
@@ -398,6 +488,9 @@ impl ResponseHandle {
     /// hand it to the caller (shared tail of `wait` and `poll`).
     fn settle(&mut self, outcome: ReplyPayload) -> Result<(u64, Vec<f64>), ServeError> {
         self.done = true;
+        if let Some(trace) = &self.trace {
+            trace.stamp(Stage::Gathered);
+        }
         match outcome {
             Ok((version, ite)) => {
                 self.metrics
@@ -491,6 +584,19 @@ impl BatchScheduler {
     /// happens inside the forward pass against the batch's pinned
     /// version.)
     pub fn submit(&self, x: Matrix) -> Result<ResponseHandle, ServeError> {
+        self.submit_traced(x, None)
+    }
+
+    /// [`BatchScheduler::submit`] with a sampled observability span
+    /// threaded through the batch pipeline: the collector stamps the
+    /// queue-wait, batching, and inference stages on `trace`, and the
+    /// returned handle stamps the gather stage when it settles. `None`
+    /// is exactly `submit` (the unsampled hot path pays nothing).
+    pub fn submit_traced(
+        &self,
+        x: Matrix,
+        trace: Option<TraceSpan>,
+    ) -> Result<ResponseHandle, ServeError> {
         let submitted = Instant::now();
         if x.rows() == 0 {
             let e = ServeError::Engine(CerlError::EmptyInput {
@@ -514,6 +620,7 @@ impl BatchScheduler {
             x,
             enqueued: submitted,
             slot: Arc::clone(&slot),
+            trace: trace.clone(),
         };
         if let Err(e) = self.queue.try_send(pending) {
             let err = match e {
@@ -530,6 +637,7 @@ impl BatchScheduler {
             submitted,
             metrics: Arc::clone(&self.metrics),
             done: false,
+            trace,
         })
     }
 
@@ -559,6 +667,20 @@ impl BatchScheduler {
     /// Serve-path statistics accumulated since construction.
     pub fn stats(&self) -> ServeStats {
         self.metrics.snapshot()
+    }
+
+    /// Write this scheduler's counters and latency histograms into a
+    /// [`MetricsRegistry`] under the `cerl_serve` prefix, plus the
+    /// engine's live-version gauge — the scrape-time path behind the
+    /// admin `Metrics` frame.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        self.metrics.export_metrics("cerl_serve", reg);
+        reg.gauge(
+            "cerl_core_live_versions",
+            "Engine versions alive: published plus pinned superseded.",
+            &[],
+            self.engine.live_version_count() as f64,
+        );
     }
 }
 
@@ -626,6 +748,9 @@ fn serve_batch(
     let exec_start = Instant::now();
     for request in batch {
         metrics.record_queue_wait(exec_start.saturating_duration_since(request.enqueued));
+        if let Some(trace) = &request.trace {
+            trace.stamp(Stage::QueueWait);
+        }
     }
 
     // Group by covariate width: the submit-time screen is best-effort
@@ -659,7 +784,20 @@ fn serve_batch(
             &coalesced_owned
         };
         metrics.record_batch(members.len() as u64, total_rows as u64);
-        match engine.predict_ite_parallel_versioned(coalesced, cfg.worker_threads) {
+        for &i in &members {
+            // panic-ok: members indexes `batch` (see above).
+            if let Some(trace) = &batch[i].trace {
+                trace.stamp(Stage::Batched);
+            }
+        }
+        let outcome = engine.predict_ite_parallel_versioned(coalesced, cfg.worker_threads);
+        for &i in &members {
+            // panic-ok: members indexes `batch` (see above).
+            if let Some(trace) = &batch[i].trace {
+                trace.stamp(Stage::Inference);
+            }
+        }
+        match outcome {
             Ok((version, ite)) => {
                 let mut offset = 0;
                 for &i in &members {

@@ -23,6 +23,7 @@
 //! | [`core`] | the CERL learner, serving engine, CFR baselines, strategies, metrics |
 //! | [`serve`] | micro-batching scheduler, shard-per-domain router, latency histograms |
 //! | [`net`] | epoll socket front-end: binary wire protocol, admission deadlines, connection backpressure |
+//! | [`obs`] | wait-free request tracing, unified metrics registry, structured fleet events |
 //!
 //! ## Quickstart: the serving engine
 //!
@@ -322,6 +323,85 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! ## Watching a live fleet
+//!
+//! The [`obs`] layer is the serving stack's observability plane, and it
+//! is wired through every tier above: give the server a
+//! [`TraceRing`](prelude::TraceRing) and every sampled request carries a
+//! span stamped at each pipeline stage (`accepted → decoded →
+//! admission_wait → submitted → queue_wait → batched → inference →
+//! gathered → written`) — wait-free, no lock or allocation on the hot
+//! path, 1-in-N sampling, and an explicit dropped-span counter when the
+//! ring overflows. Give it an `admin_bind` address and the same reactor
+//! serves an **admin plane** on a second listener: unified
+//! Prometheus-style metrics exposition (net counters, per-connection
+//! rows, scheduler/router latency histograms, per-shard loads, trace
+//! accounting), an `ok:<versions>:<inflight>` health line (also
+//! answered to any **UDP datagram** on the serve address, for probes
+//! that cannot afford a TCP handshake), and recent span/event dumps.
+//! [`RebalanceOrchestrator`](prelude::RebalanceOrchestrator) emits
+//! structured [`EventKind`](prelude::EventKind) records (baseline
+//! captured, move committed/aborted, plan halted) into the same ring.
+//!
+//! Admin frames reuse the wire protocol with their own kinds
+//! ([`AdminOp`](prelude::AdminOp): `Metrics`, `Health`, `TraceDump`);
+//! the serve listener rejects them, and the admin listener rejects
+//! predict frames — the planes cannot be crossed by a confused client.
+//!
+//! ```
+//! use cerl::prelude::*;
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 23);
+//! let stream = DomainStream::synthetic(&gen, 1, 0, 23);
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 2; // doc-test speed
+//! let mut engine = CerlEngineBuilder::new(cfg).seed(23).build()?;
+//! engine.observe(&stream.domain(0).train, &stream.domain(0).val)?;
+//!
+//! let serving = Arc::new(ServingEngine::new(engine));
+//! let scheduler = Arc::new(BatchScheduler::new(
+//!     Arc::clone(&serving),
+//!     BatchConfig { max_wait: Duration::from_millis(1), ..BatchConfig::default() },
+//! ));
+//!
+//! // Trace every request (sample_every = 1) and open the admin plane.
+//! let ring = TraceRing::new(256, 1);
+//! let server = NetServer::bind(
+//!     "127.0.0.1:0",
+//!     NetBackend::Scheduler(scheduler),
+//!     NetServerConfig {
+//!         admin_bind: Some("127.0.0.1:0".into()),
+//!         trace: Some(Arc::clone(&ring)),
+//!         ..NetServerConfig::default()
+//!     },
+//! )?;
+//!
+//! let mut client = NetClient::connect(server.local_addr())?;
+//! let x = stream.domain(0).test.x.slice_rows(0, 4);
+//! for _ in 0..3 {
+//!     client.predict(&[0; 4], &x, None)?;
+//! }
+//!
+//! // Scrape the fleet over the admin listener.
+//! let mut admin = NetClient::connect(server.admin_addr().unwrap())?;
+//! assert!(admin.health()?.starts_with("ok:1:")); // versions : inflight
+//! let metrics = admin.scrape_metrics()?;
+//! assert!(metrics.contains("cerl_net_responses_ok_total 3"));
+//! assert!(metrics.contains("cerl_serve_requests_total"));
+//! assert!(metrics.contains("cerl_obs_trace_sampled_total 3"));
+//!
+//! // Every span retired with monotone stage stamps.
+//! let spans = ring.dump(16);
+//! assert_eq!(spans.len(), 3);
+//! assert!(spans.iter().all(|s| s.is_monotone()));
+//! assert!(spans[0].stamp(Stage::Written).is_some());
+//!
+//! server.shutdown()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! ## Invariants, machine-checked
 //!
 //! The concurrency discipline the serving stack depends on is enforced
@@ -338,6 +418,7 @@
 //! | `lock-blocking` | no lock guard held across `recv()`/`submit()`/`accept()`/`sleep`/`join()` (waive with `// lock-ok:`) |
 //! | `lock-order` | the hot-swap discipline: the writer lock is acquired before the published-pointer lock (document a caller obligation with `// lock-order:`) |
 //! | `taxonomy` | every `ServeError` variant is classified by `is_client_fault` (no wildcard arm) and every wire `Status` is mapped in encode/decode |
+//! | `obs-stage` | every trace `.stamp(` call site names a literal `Stage::<variant>`, and within one function the named stages follow the request lifecycle order (generic forwarders waive with `// obs-stage:`) |
 //!
 //! Annotations live where the code lives, so `git blame` answers "why
 //! is this ordering sufficient" the same way it answers "why is this
@@ -373,6 +454,7 @@ pub use cerl_data as data;
 pub use cerl_math as math;
 pub use cerl_net as net;
 pub use cerl_nn as nn;
+pub use cerl_obs as obs;
 pub use cerl_ot as ot;
 pub use cerl_rand as rand;
 pub use cerl_serve as serve;
@@ -392,8 +474,13 @@ pub mod prelude {
     };
     pub use cerl_math::Matrix;
     pub use cerl_net::{
-        NetBackend, NetClient, NetError, NetServer, NetServerConfig, NetStatsSnapshot,
-        Request as WireRequest, Response as WireResponse, Status as WireStatus, WireError,
+        AdminOp, AdminRequest, AdminResponse, ConnStatsSnapshot, NetBackend, NetClient, NetError,
+        NetServer, NetServerConfig, NetStatsSnapshot, Request as WireRequest,
+        Response as WireResponse, Status as WireStatus, WireError,
+    };
+    pub use cerl_obs::{
+        EventKind, EventSnapshot, MetricsRegistry, SpanSnapshot, Stage, TraceRing, TraceSpan,
+        TraceStats,
     };
     pub use cerl_serve::{
         BatchConfig, BatchScheduler, CanaryConfig, CanarySnapshot, CanaryWindow, LatencyHistogram,

@@ -14,7 +14,7 @@
 use cerl::net::wire::{self, FrameReader};
 use cerl::prelude::*;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -67,6 +67,15 @@ fn assert_bitwise(got: &[f64], want: &[f64], what: &str) {
     }
 }
 
+/// Value of an un-labelled counter/gauge line in a Prometheus-style
+/// exposition (`name value`).
+fn metric_value(exposition: &str, name: &str) -> Option<u64> {
+    exposition
+        .lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .and_then(|v| v.trim().parse().ok())
+}
+
 /// Hundreds of concurrently-open connections hammer one reactor:
 /// bursty pipeliners, a slow-reading thread, hostile frames (corrupt
 /// magic, oversized length prefix, truncated-then-close), and
@@ -89,13 +98,21 @@ fn hundreds_of_concurrent_clients_are_served_bitwise_identically() {
             ..BatchConfig::default()
         },
     ));
+    // Observability plane rides along under full load: 1-in-4 request
+    // tracing plus a live admin listener scraped mid-stress.
+    let ring = TraceRing::new(4096, 4);
     let server = NetServer::bind(
         "127.0.0.1:0",
         NetBackend::Scheduler(Arc::clone(&scheduler)),
-        NetServerConfig::default(),
+        NetServerConfig {
+            admin_bind: Some("127.0.0.1:0".into()),
+            trace: Some(Arc::clone(&ring)),
+            ..NetServerConfig::default()
+        },
     )
     .unwrap();
     let addr = server.local_addr();
+    let admin_addr = server.admin_addr().unwrap();
 
     // Eight distinct request shapes; client c uses shape c % 8.
     let base = &stream.domain(0).test.x;
@@ -193,10 +210,78 @@ fn hundreds_of_concurrent_clients_are_served_bitwise_identically() {
                 drop(ghost);
             });
         }
+
+        // Observer: while the herd is live, probe the UDP health
+        // socket and scrape the admin plane — watching must never
+        // perturb serving.
+        scope.spawn(move || {
+            let udp = UdpSocket::bind("127.0.0.1:0").unwrap();
+            udp.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut buf = [0u8; 64];
+            let mut admin = connect_retry(admin_addr);
+            for _ in 0..3 {
+                udp.send_to(b"ping", addr).unwrap();
+                let (n, _) = udp.recv_from(&mut buf).unwrap();
+                let reply = std::str::from_utf8(&buf[..n]).unwrap();
+                assert!(reply.starts_with("ok:1:"), "udp probe: {reply}");
+
+                assert!(admin.health().unwrap().starts_with("ok:1:"));
+                let metrics = admin.scrape_metrics().unwrap();
+                assert!(metrics.contains("# TYPE cerl_net_requests_total counter"));
+                assert!(
+                    metrics.contains("cerl_net_conn_requests_total{conn="),
+                    "mid-stress scrape should list live per-connection rows"
+                );
+                // The accounting header is always present; span lines
+                // only appear once a sampled span retires, which the
+                // final dump below asserts on.
+                assert!(admin.trace_dump().unwrap().starts_with("trace seen="));
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
     });
 
-    let snap = server.stats();
+    // Ghost responses land asynchronously even after every client
+    // thread has joined; scrape the admin plane until the exposition
+    // and the in-process snapshot agree on a quiescent count.
+    let mut admin = connect_retry(admin_addr);
+    let (metrics, snap) = {
+        let mut last = None;
+        for _ in 0..200 {
+            let metrics = admin.scrape_metrics().unwrap();
+            let snap = server.stats();
+            let ok = metric_value(&metrics, "cerl_net_responses_ok_total").unwrap();
+            let requests = metric_value(&metrics, "cerl_net_requests_total").unwrap();
+            if ok == snap.responses_ok && requests == snap.requests {
+                last = Some((metrics, snap));
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        last.expect("admin exposition never agreed with the stats snapshot")
+    };
     let expected_ok = THREADS * CLIENTS_PER_THREAD * ROUNDS * PIPELINE;
+    // The scraped totals cover every bitwise-verified response (ghost
+    // responses may add a few on top — they were served correctly to
+    // sockets nobody read).
+    assert!(
+        metric_value(&metrics, "cerl_net_responses_ok_total").unwrap() >= expected_ok as u64,
+        "scraped ok-responses below the bitwise-verified count"
+    );
+    assert!(metrics.contains("cerl_net_conn_requests_total{conn="));
+    assert!(metrics.contains("# TYPE cerl_serve_queue_wait_seconds histogram"));
+    assert!(snap.admin_requests >= 7, "both admin clients were counted");
+    // Each thread holds all of its clients open at once.
+    assert!(snap.peak_connections >= CLIENTS_PER_THREAD as u64);
+
+    // 1-in-4 sampled spans: no drops at this capacity, every stamp
+    // sequence monotone.
+    let trace = ring.stats();
+    assert!(trace.sampled >= (expected_ok / 4) as u64);
+    assert_eq!(trace.dropped, 0);
+    let spans = ring.dump(4096);
+    assert!(!spans.is_empty());
+    assert!(spans.iter().all(|s| s.is_monotone()), "non-monotone span");
     assert_eq!(verified_ok.load(Ordering::Relaxed), expected_ok);
     assert!(
         snap.responses_ok >= expected_ok as u64,
@@ -213,11 +298,12 @@ fn hundreds_of_concurrent_clients_are_served_bitwise_identically() {
         "hostile or disconnecting clients must never register as serve faults"
     );
     // Every peer that read a response was necessarily accepted: the
-    // clients plus the corrupt-magic and oversized peers. The ghost and
+    // clients plus the corrupt-magic and oversized peers, and the two
+    // admin connections (admin accepts count too). The ghost and
     // truncated peers drop their sockets without waiting, so their
     // accept events may still be queued when this snapshot is taken.
-    let guaranteed = (THREADS * (CLIENTS_PER_THREAD + 2)) as u64;
-    let ceiling = (THREADS * (CLIENTS_PER_THREAD + 4)) as u64;
+    let guaranteed = (THREADS * (CLIENTS_PER_THREAD + 2) + 2) as u64;
+    let ceiling = (THREADS * (CLIENTS_PER_THREAD + 4) + 2) as u64;
     assert!(
         snap.accepted >= guaranteed && snap.accepted <= ceiling,
         "accepted {} outside [{guaranteed}, {ceiling}]",
