@@ -1,0 +1,16 @@
+//! Dense-kernel idiom the panic-path rule must accept: iterator
+//! traversal needs no annotation, and the one const-bounded tile index
+//! states its obligation with `// panic-ok:`.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+pub fn tile_sum(acc: &[[f64; 4]; 2]) -> f64 {
+    let mut total = 0.0;
+    for r in 0..2 {
+        // panic-ok: r < 2 — const-bounded accumulator tile.
+        total += acc[r].iter().sum::<f64>();
+    }
+    total
+}

@@ -1,0 +1,11 @@
+//! Dense-kernel idiom with an unannotated in-bounds index: the
+//! `panic-path` rule must fire — "the index cannot overflow" is exactly
+//! the claim the `// panic-ok:` annotation exists to state.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..a.len().min(b.len()) {
+        acc += a[i] * b[i];
+    }
+    acc
+}

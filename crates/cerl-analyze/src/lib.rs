@@ -65,6 +65,11 @@ pub fn scan_file(path: &Path, rel: &str) -> io::Result<SourceFile> {
 /// - the panic/lock/obs-stage rules cover the serving path:
 ///   `cerl-serve`, `cerl-net`, `cerl-obs`, and
 ///   `cerl-core/src/serving.rs`;
+/// - the dense-kernel hot modules — `cerl-math/src/matmul.rs` (the
+///   blocked GEMM every predict routes through) and
+///   `cerl-core/src/precision.rs` (the f32 serving plan) — are also
+///   panic-path scoped: a panic there takes down a request thread just
+///   as surely as one in `serving.rs`;
 /// - hot-path modules (`serving.rs`, `histogram.rs`, `server.rs`,
 ///   `trace.rs`) additionally forbid `SeqCst` outright.
 pub fn scope_for(rel: &str) -> Option<Scope> {
@@ -84,6 +89,8 @@ pub fn scope_for(rel: &str) -> Option<Scope> {
         || rel.starts_with("crates/cerl-net/src/")
         || rel.starts_with("crates/cerl-obs/src/")
         || rel == "crates/cerl-core/src/serving.rs";
+    let dense_kernel =
+        rel == "crates/cerl-math/src/matmul.rs" || rel == "crates/cerl-core/src/precision.rs";
     let base = rel.rsplit('/').next().unwrap_or(rel);
     let hot = serving_path
         && matches!(
@@ -94,7 +101,7 @@ pub fn scope_for(rel: &str) -> Option<Scope> {
         unsafe_hygiene: true,
         atomics: !bench && !analyzer,
         hot_path: hot,
-        panic_free: serving_path,
+        panic_free: serving_path || dense_kernel,
         locks: serving_path,
         lock_order: rel == "crates/cerl-core/src/serving.rs",
         taxonomy: !bench && !analyzer,

@@ -30,6 +30,7 @@ fn bad_fixtures_are_flagged_with_the_right_rule() {
         ("bad_atomic.rs", "atomic-ordering"),
         ("bad_seqcst.rs", "seqcst-hot-path"),
         ("bad_panic.rs", "panic-path"),
+        ("kernel_panic_fire.rs", "panic-path"),
         ("bad_lock.rs", "lock-blocking"),
         ("bad_lock_order.rs", "lock-order"),
         ("bad_taxonomy.rs", "taxonomy"),
@@ -84,6 +85,7 @@ fn clean_fixtures_pass_every_rule() {
     for name in [
         "clean_annotated.rs",
         "clean_test_code.rs",
+        "kernel_panic_clean.rs",
         "obs_stage_clean.rs",
     ] {
         let findings = findings_for(name);
@@ -168,6 +170,28 @@ fn json_summary_is_well_formed() {
     assert!(json.contains("\"schema\": \"cerl-analyze/v1\""), "{json}");
     assert!(json.contains("\"atomic-ordering\""), "{json}");
     assert!(json.contains("\"files_scanned\": 1"), "{json}");
+}
+
+#[test]
+fn dense_kernel_modules_are_panic_path_scoped() {
+    // The blocked GEMM and the f32 serving plan sit under every predict
+    // call; a panic there takes down a request thread exactly like one
+    // in serving.rs, so scope_for must hold them to the same rule.
+    for rel in [
+        "crates/cerl-math/src/matmul.rs",
+        "crates/cerl-core/src/precision.rs",
+        "crates/cerl-core/src/serving.rs",
+    ] {
+        let scope =
+            cerl_analyze::scope_for(rel).unwrap_or_else(|| panic!("{rel} must be in scope"));
+        assert!(scope.panic_free, "{rel} must be panic-path scoped");
+        assert!(scope.unsafe_hygiene, "{rel} must be unsafe-comment scoped");
+    }
+    // Generic math modules stay off the panic path: training code may
+    // assert on caller bugs freely.
+    let scope = cerl_analyze::scope_for("crates/cerl-math/src/lib.rs").expect("in scope");
+    assert!(!scope.panic_free);
+    assert!(scope.unsafe_hygiene);
 }
 
 #[test]

@@ -23,8 +23,8 @@ use std::path::Path;
 /// the bench lane doubles as a correctness gate.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProbeRecord {
-    /// Probe name (`serving`, `batched`, `scatter`, `orchestrate`,
-    /// `net`).
+    /// Probe name (`matmul`, `serving`, `batched`, `scatter`,
+    /// `orchestrate`, `net`).
     pub probe: String,
     /// Sustained throughput of the probe's main measured path.
     pub rows_per_sec: f64,

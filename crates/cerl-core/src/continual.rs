@@ -90,6 +90,11 @@ impl Cerl {
         self.model.d_in()
     }
 
+    /// The current CFR model (for inference-plan compilers).
+    pub(crate) fn cfr(&self) -> &CfrModel {
+        &self.model
+    }
+
     /// Seed the learner was built with (stage RNG streams derive from it).
     pub fn seed(&self) -> u64 {
         self.seed

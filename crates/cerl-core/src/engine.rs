@@ -49,7 +49,8 @@ use crate::config::CerlConfig;
 use crate::continual::{Cerl, StageReport};
 use crate::error::CerlError;
 use crate::memory::Memory;
-use crate::snapshot::ModelSnapshot;
+use crate::precision::{F32Plan, PrecisionMode};
+use crate::snapshot::{ModelSnapshot, SnapshotPayload};
 use cerl_data::CausalDataset;
 use cerl_math::Matrix;
 
@@ -63,6 +64,7 @@ pub struct CerlEngineBuilder {
     cfg: CerlConfig,
     seed: u64,
     d_in: Option<usize>,
+    precision: PrecisionMode,
 }
 
 impl CerlEngineBuilder {
@@ -72,12 +74,21 @@ impl CerlEngineBuilder {
             cfg,
             seed: 0,
             d_in: None,
+            precision: PrecisionMode::default(),
         }
     }
 
     /// Base seed for all stage RNG streams (default 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Precision the engine answers predict requests in (default
+    /// [`PrecisionMode::F64`]). Training always runs in `f64`; see
+    /// [`crate::precision`] for the per-mode determinism contract.
+    pub fn precision(mut self, mode: PrecisionMode) -> Self {
+        self.precision = mode;
         self
     }
 
@@ -111,6 +122,8 @@ impl CerlEngineBuilder {
             cfg: self.cfg,
             seed: self.seed,
             model,
+            precision: self.precision,
+            f32_plan: None,
         })
     }
 }
@@ -127,6 +140,13 @@ pub struct CerlEngine {
     cfg: CerlConfig,
     seed: u64,
     model: Option<Cerl>,
+    /// Precision predict requests are answered in. Training and
+    /// [`embed`](CerlEngine::embed) always run in `f64`.
+    precision: PrecisionMode,
+    /// Compiled single-precision plan; `Some` exactly when
+    /// `precision == F32` and the engine is trained (recompiled after
+    /// every [`observe`](CerlEngine::observe), since weights change).
+    f32_plan: Option<F32Plan>,
 }
 
 impl CerlEngine {
@@ -146,8 +166,8 @@ impl CerlEngine {
         train: &CausalDataset,
         val: &CausalDataset,
     ) -> Result<StageReport, CerlError> {
-        match self.model.as_mut() {
-            Some(model) => model.try_observe(train, val),
+        let report = match self.model.as_mut() {
+            Some(model) => model.try_observe(train, val)?,
             None => {
                 if train.dim() == 0 {
                     return Err(CerlError::EmptyInput {
@@ -160,25 +180,74 @@ impl CerlEngine {
                 let mut model = Cerl::try_new(train.dim(), self.cfg.clone(), self.seed)?;
                 let report = model.try_observe(train, val)?;
                 self.model = Some(model);
-                Ok(report)
+                report
             }
+        };
+        // The stage rewrote the weights: a compiled f32 plan is stale.
+        self.refresh_plan()?;
+        Ok(report)
+    }
+
+    /// Switch the precision predict requests are answered in.
+    ///
+    /// Under [`PrecisionMode::F32`] a single-precision plan is compiled
+    /// from the current weights (immediately if trained, otherwise at the
+    /// first successful [`observe`](CerlEngine::observe)); under
+    /// [`PrecisionMode::F64`] any compiled plan is dropped. See
+    /// [`crate::precision`] for the per-mode determinism contract.
+    pub fn set_precision(&mut self, mode: PrecisionMode) -> Result<(), CerlError> {
+        self.precision = mode;
+        self.refresh_plan()
+    }
+
+    /// Precision predict requests are answered in.
+    pub fn precision(&self) -> PrecisionMode {
+        self.precision
+    }
+
+    /// Re-establish the invariant on [`CerlEngine::f32_plan`]: compiled
+    /// exactly when the mode is `F32` and a trained model exists.
+    fn refresh_plan(&mut self) -> Result<(), CerlError> {
+        self.f32_plan = match (self.precision, self.trained().ok()) {
+            (PrecisionMode::F32, Some(model)) => Some(F32Plan::compile(model.cfr())?),
+            _ => None,
+        };
+        Ok(())
+    }
+
+    /// Predict ITEs for one validated-or-validatable request matrix in
+    /// the engine's precision mode. All public predict paths funnel here,
+    /// so batched/chunked/single calls stay bitwise-consistent per mode.
+    fn predict_rows(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
+        let model = self.trained()?;
+        match self.f32_plan.as_ref() {
+            Some(plan) => plan.predict_ite(x),
+            None => model.try_predict_ite(x),
         }
     }
 
-    /// Predicted individual treatment effects for one request matrix.
+    /// Predicted individual treatment effects for one request matrix, in
+    /// the engine's [`PrecisionMode`].
     pub fn predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
-        self.trained()?.try_predict_ite(x)
+        self.predict_rows(x)
     }
 
-    /// Predicted potential outcomes `(ŷ₀, ŷ₁)` for one request matrix.
+    /// Predicted potential outcomes `(ŷ₀, ŷ₁)` for one request matrix, in
+    /// the engine's [`PrecisionMode`].
     pub fn predict_potential_outcomes(
         &self,
         x: &Matrix,
     ) -> Result<(Vec<f64>, Vec<f64>), CerlError> {
-        self.trained()?.try_predict_potential_outcomes(x)
+        let model = self.trained()?;
+        match self.f32_plan.as_ref() {
+            Some(plan) => plan.predict_potential_outcomes(x),
+            None => model.try_predict_potential_outcomes(x),
+        }
     }
 
     /// Representations of raw covariates under the current pipeline.
+    /// Always computed in `f64` — embeddings feed training-side tooling
+    /// (memory selection, diagnostics), not the serving hot path.
     pub fn embed(&self, x: &Matrix) -> Result<Matrix, CerlError> {
         self.trained()?.try_embed(x)
     }
@@ -202,7 +271,7 @@ impl CerlEngine {
         }
         chunks
             .iter()
-            .map(|chunk| model.try_predict_ite(chunk))
+            .map(|chunk| self.predict_rows(chunk))
             .collect()
     }
 
@@ -232,7 +301,7 @@ impl CerlEngine {
         let mut start = 0;
         while start < n {
             let end = (start + chunk_rows).min(n);
-            out.extend(model.try_predict_ite(&x.slice_rows(start, end))?);
+            out.extend(self.predict_rows(&x.slice_rows(start, end))?);
             start = end;
         }
         Ok(out)
@@ -280,9 +349,23 @@ impl CerlEngine {
         Ok(self.trained()?.to_snapshot())
     }
 
-    /// Serialize the engine to the versioned snapshot byte format.
+    /// Serialize the engine to the versioned JSON snapshot byte format.
     pub fn save_bytes(&self) -> Result<Vec<u8>, CerlError> {
         self.snapshot()?.to_bytes()
+    }
+
+    /// Serialize the engine to the compact binary snapshot container
+    /// (format v3), roughly 4-5x smaller than [`CerlEngine::save_bytes`]
+    /// with an f32 payload.
+    ///
+    /// [`SnapshotPayload::F64`] round-trips bitwise;
+    /// [`SnapshotPayload::F32`] narrows model floats exactly as
+    /// [`PrecisionMode::F32`] serving does, so a replica restored from it
+    /// and opted into f32 mode serves bitwise-identical predictions to
+    /// this engine's f32 mode. [`CerlEngine::load_bytes`] reads both
+    /// payloads (and the JSON format) transparently.
+    pub fn save_bytes_binary(&self, payload: SnapshotPayload) -> Result<Vec<u8>, CerlError> {
+        self.snapshot()?.to_binary_bytes(payload)
     }
 
     /// Rebuild an engine from snapshot bytes (from [`CerlEngine::save_bytes`],
@@ -294,12 +377,19 @@ impl CerlEngine {
     }
 
     /// Rebuild an engine from an already-parsed snapshot.
+    ///
+    /// The restored engine answers in [`PrecisionMode::F64`] — precision
+    /// is a serving property, not model state; a fleet that wants an
+    /// `f32` version calls [`CerlEngine::set_precision`] before
+    /// publishing.
     pub fn from_snapshot(snapshot: ModelSnapshot) -> Result<Self, CerlError> {
         let model = Cerl::from_snapshot(snapshot)?;
         Ok(Self {
             cfg: model.config().clone(),
             seed: model.seed(),
             model: Some(model),
+            precision: PrecisionMode::F64,
+            f32_plan: None,
         })
     }
 
@@ -424,6 +514,160 @@ mod tests {
             engine.predict_ite_batch(&[x.clone(), bad]),
             Err(CerlError::DimensionMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn f32_mode_is_close_to_f64_and_bitwise_stable_across_batching() {
+        let stream = quick_stream(1);
+        let mut engine = CerlEngineBuilder::new(quick_cfg()).seed(7).build().unwrap();
+        engine
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let x = &stream.domain(0).test.x;
+        let f64_ite = engine.predict_ite(x).unwrap();
+
+        engine.set_precision(PrecisionMode::F32).unwrap();
+        assert_eq!(engine.precision(), PrecisionMode::F32);
+        let f32_ite = engine.predict_ite(x).unwrap();
+
+        // Approximate agreement with the training-precision path: the
+        // narrowing error through standardize → repr → heads → rescale
+        // stays far below the effect scale.
+        let scale = f64_ite.iter().fold(1.0f64, |acc, &v| acc.max(v.abs()));
+        for (a, b) in f32_ite.iter().zip(&f64_ite) {
+            assert!(
+                (a - b).abs() <= 1e-3 * scale,
+                "f32 {a} vs f64 {b} (scale {scale})"
+            );
+        }
+
+        // Per-mode bitwise contract: batched == unbatched == chunked.
+        let n = x.rows();
+        let split: Vec<usize> = (0..n / 3).collect();
+        let rest: Vec<usize> = (n / 3..n).collect();
+        let batch: Vec<f64> = engine
+            .predict_ite_batch(&[x.select_rows(&split), x.select_rows(&rest)])
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(batch, f32_ite);
+        for chunk_rows in [1, 7, n, 0] {
+            assert_eq!(engine.predict_ite_chunked(x, chunk_rows).unwrap(), f32_ite);
+        }
+
+        // Potential outcomes are served from the same plan: the ITE is
+        // exactly their difference.
+        let (y0, y1) = engine.predict_potential_outcomes(x).unwrap();
+        let diff: Vec<f64> = y1.iter().zip(&y0).map(|(&a, &b)| a - b).collect();
+        assert_eq!(diff, f32_ite);
+
+        // Switching back restores the f64 path bitwise.
+        engine.set_precision(PrecisionMode::F64).unwrap();
+        assert_eq!(engine.predict_ite(x).unwrap(), f64_ite);
+    }
+
+    #[test]
+    fn f32_mode_survives_observe_and_validates_requests() {
+        let stream = quick_stream(2);
+        // Opt in before any training: the plan compiles at first observe.
+        let mut engine = CerlEngineBuilder::new(quick_cfg())
+            .seed(8)
+            .precision(PrecisionMode::F32)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.predict_ite(&stream.domain(0).test.x),
+            Err(CerlError::NotTrained)
+        ));
+        engine
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let x = &stream.domain(0).test.x;
+        let stage1 = engine.predict_ite(x).unwrap();
+        assert_eq!(stage1.len(), x.rows());
+
+        // Wrong-width requests keep failing with the typed error.
+        let bad = Matrix::zeros(2, x.cols() + 1);
+        assert!(matches!(
+            engine.predict_ite(&bad),
+            Err(CerlError::DimensionMismatch { .. })
+        ));
+        // Empty requests are answered (with nothing), not rejected.
+        assert!(engine
+            .predict_ite(&Matrix::zeros(0, x.cols()))
+            .unwrap()
+            .is_empty());
+
+        // The next stage rewrites weights; the plan must follow them.
+        engine
+            .observe(&stream.domain(1).train, &stream.domain(1).val)
+            .unwrap();
+        let stage2 = engine.predict_ite(x).unwrap();
+        assert_ne!(stage1, stage2, "stale f32 plan served pre-observe weights");
+
+        // A clone is an independent replica answering identically.
+        let replica = engine.clone();
+        assert_eq!(replica.precision(), PrecisionMode::F32);
+        assert_eq!(replica.predict_ite(x).unwrap(), stage2);
+    }
+
+    #[test]
+    fn restored_snapshot_defaults_to_f64_and_can_opt_into_f32() {
+        let stream = quick_stream(1);
+        let mut engine = CerlEngineBuilder::new(quick_cfg())
+            .seed(10)
+            .build()
+            .unwrap();
+        engine
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        engine.set_precision(PrecisionMode::F32).unwrap();
+        let x = &stream.domain(0).test.x;
+        let f32_ite = engine.predict_ite(x).unwrap();
+
+        // Precision is serving state, not model state: it does not ride
+        // in the snapshot.
+        let bytes = engine.save_bytes().unwrap();
+        let mut restored = CerlEngine::load_bytes(&bytes).unwrap();
+        assert_eq!(restored.precision(), PrecisionMode::F64);
+
+        // Opting the replica in reproduces the f32 predictions bitwise —
+        // same weights, same narrowing, same plan.
+        restored.set_precision(PrecisionMode::F32).unwrap();
+        assert_eq!(restored.predict_ite(x).unwrap(), f32_ite);
+    }
+
+    #[test]
+    fn f32_payload_snapshot_is_compact_and_f32_serving_exact() {
+        let stream = quick_stream(1);
+        let mut engine = CerlEngineBuilder::new(quick_cfg())
+            .seed(10)
+            .build()
+            .unwrap();
+        engine
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        engine.set_precision(PrecisionMode::F32).unwrap();
+        let x = &stream.domain(0).test.x;
+        let f32_ite = engine.predict_ite(x).unwrap();
+
+        let json = engine.save_bytes().unwrap();
+        let bin = engine.save_bytes_binary(SnapshotPayload::F32).unwrap();
+        assert!(
+            bin.len() * 4 <= json.len(),
+            "f32 binary snapshot {} must be at most 1/4 of JSON {}",
+            bin.len(),
+            json.len()
+        );
+
+        // The narrowed payload holds exactly the floats the f32 plan
+        // compiles from, so an f32-mode replica restored from it answers
+        // bitwise-identically to this engine's f32 mode.
+        let mut restored = CerlEngine::load_bytes(&bin).unwrap();
+        assert_eq!(restored.precision(), PrecisionMode::F64);
+        restored.set_precision(PrecisionMode::F32).unwrap();
+        assert_eq!(restored.predict_ite(x).unwrap(), f32_ite);
     }
 
     #[test]

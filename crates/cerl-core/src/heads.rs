@@ -90,6 +90,16 @@ impl OutcomeHeads {
         (g.value(y0).col(0), g.value(y1).col(0))
     }
 
+    /// Control-arm head MLP (for inference-plan compilers).
+    pub(crate) fn h0(&self) -> &Mlp {
+        &self.h0
+    }
+
+    /// Treated-arm head MLP (for inference-plan compilers).
+    pub(crate) fn h1(&self) -> &Mlp {
+        &self.h1
+    }
+
     /// All trainable parameters of both heads.
     pub fn params(&self) -> Vec<ParamId> {
         let mut p = self.h0.params();

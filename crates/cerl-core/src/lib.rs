@@ -108,6 +108,7 @@ pub mod heads;
 pub mod herding;
 pub mod memory;
 pub mod metrics;
+pub mod precision;
 pub mod repr;
 pub mod serving;
 pub mod snapshot;
@@ -125,11 +126,13 @@ pub use engine::{CerlEngine, CerlEngineBuilder};
 pub use error::{CerlError, SnapshotError};
 pub use memory::Memory;
 pub use metrics::EffectMetrics;
+pub use precision::PrecisionMode;
 pub use serving::{
     ServingEngine, ServingStats, ServingStatsSnapshot, VersionStats, VersionedEngine,
 };
 pub use snapshot::{
-    ModelSnapshot, ShardAssignment, ShardMap, ShardMapDiff, ShardMove, SNAPSHOT_FORMAT_VERSION,
+    ModelSnapshot, ShardAssignment, ShardMap, ShardMapDiff, ShardMove, SnapshotPayload,
+    SNAPSHOT_BINARY_FORMAT_VERSION, SNAPSHOT_FORMAT_VERSION,
 };
 pub use strategies::{paper_lineup, CfrA, CfrB, CfrC, ContinualEstimator};
 pub use trainer::TrainReport;

@@ -1,0 +1,487 @@
+//! Opt-in `f32` inference for serving.
+//!
+//! Training is always `f64` — optimizer dynamics, loss landscapes and the
+//! continual-regularization terms are far more rounding-sensitive than a
+//! single forward pass. Serving, by contrast, reads frozen weights, and a
+//! whole fleet of replicas answering the same request should agree
+//! *bitwise* — which only holds if they agree on the precision. This
+//! module makes precision an explicit, per-engine property instead of an
+//! implementation accident:
+//!
+//! * [`PrecisionMode`] selects how an engine answers predict requests.
+//!   [`PrecisionMode::F64`] (the default) runs the training-precision
+//!   forward pass. [`PrecisionMode::F32`] runs a precompiled
+//!   single-precision replica of the same network — roughly twice the
+//!   SIMD lanes per cycle and half the weight-matrix footprint.
+//! * `F32Plan` is that replica: weights narrowed once at compile time
+//!   (including the cosine output layer's column normalization, which is
+//!   input-independent), plus `f32` re-statements of the standardize →
+//!   hidden → cosine/plain output → heads → outcome-rescale pipeline.
+//!
+//! # Determinism contract (per precision mode)
+//!
+//! Within one precision mode, prediction is **bitwise deterministic and
+//! row-independent**: every output row is a pure function of its input
+//! row and the (mode-narrowed) weights, with a fixed accumulation order
+//! that does not depend on the batch it rides in. Consequently batched ==
+//! unbatched == chunked == scatter-gather, bitwise, *within a mode* — the
+//! same contract the `f64` path has always had, now stated per mode.
+//! Across modes, results differ by narrowing error (no contract beyond
+//! approximate agreement); a fleet must therefore pin one mode per
+//! published engine version, which is exactly how
+//! [`CerlEngine`](crate::engine::CerlEngine) threads it.
+
+use crate::cfr::CfrModel;
+use crate::error::CerlError;
+use cerl_data::Standardizer;
+use cerl_math::Matrix;
+use cerl_nn::layers::{Activation, Dense, Mlp};
+use cerl_nn::params::ParamStore;
+
+/// The precision an engine answers predict requests in.
+///
+/// See the [module docs](self) for the determinism contract. The mode is
+/// a *serving* property: it is not persisted in snapshots (a restored
+/// engine defaults to [`PrecisionMode::F64`]) and has no effect on
+/// training or on [`embed`](crate::engine::CerlEngine::embed), which
+/// always run in `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PrecisionMode {
+    /// Training-precision (`f64`) inference — the default.
+    #[default]
+    F64,
+    /// Single-precision inference from a precompiled `F32Plan`.
+    F32,
+}
+
+impl PrecisionMode {
+    /// Stable lowercase label (`"f64"` / `"f32"`) for metrics and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PrecisionMode::F64 => "f64",
+            PrecisionMode::F32 => "f32",
+        }
+    }
+}
+
+impl std::fmt::Display for PrecisionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// `f32` replica of the normalization threshold used by the `f64` graph
+/// ops (`cerl-nn`'s `NORM_EPS = 1e-12`): a row or column whose L2 norm is
+/// at or below this is zeroed instead of normalized. `1e-12` is exactly
+/// representable territory for `f32` (min normal ≈ `1.18e-38`), so the
+/// threshold semantics carry over unchanged.
+const NORM_EPS_F32: f32 = 1e-12;
+
+/// Fused multiply-add in `f32` under the same compile-time policy as the
+/// `f64` GEMM in `cerl-math`: with hardware FMA, `mul_add` is one
+/// instruction (one rounding); without it, it would be a libm call per
+/// element, so the separate multiply-and-add is kept. Bitwise determinism
+/// is per-build either way.
+#[inline(always)]
+fn fma32(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// Row-major `f32` GEMM accumulating into `out += a · b`, where `a` is
+/// `m×k` (`m = a.len()/k`), `b` is `k×n`, `out` is `m×n`.
+///
+/// `ikj` loop order: each output row is produced from its own `a` row
+/// with terms added in ascending `p` — row-independent and batch-
+/// independent by construction, which is what makes the per-mode bitwise
+/// contract (module docs) hold through chunking and scatter.
+fn gemm32(a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    if n == 0 || k == 0 {
+        return;
+    }
+    for (arow, orow) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+        for (&av, brow) in arow.iter().zip(b.chunks_exact(n)) {
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = fma32(av, bv, *o);
+            }
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid, the `f32` restatement of
+/// `cerl_math::special::sigmoid`.
+#[inline]
+fn sigmoid32(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `f32` restatement of [`Activation`].
+#[derive(Debug, Clone, Copy)]
+enum ActF32 {
+    Identity,
+    Relu,
+    Elu(f32),
+    Sigmoid,
+    Tanh,
+}
+
+impl ActF32 {
+    fn from_activation(act: Activation) -> Self {
+        match act {
+            Activation::Identity => ActF32::Identity,
+            Activation::Relu => ActF32::Relu,
+            Activation::Elu(alpha) => ActF32::Elu(alpha as f32),
+            Activation::Sigmoid => ActF32::Sigmoid,
+            Activation::Tanh => ActF32::Tanh,
+        }
+    }
+
+    #[inline]
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            ActF32::Identity => x,
+            ActF32::Relu => x.max(0.0),
+            ActF32::Elu(alpha) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    alpha * (x.exp() - 1.0)
+                }
+            }
+            ActF32::Sigmoid => sigmoid32(x),
+            ActF32::Tanh => x.tanh(),
+        }
+    }
+}
+
+/// One dense layer, weights narrowed: `act(x·W + b)`.
+#[derive(Debug, Clone)]
+struct DenseF32 {
+    /// `d_in×d_out`, row-major.
+    w: Vec<f32>,
+    /// `d_out` biases.
+    b: Vec<f32>,
+    d_in: usize,
+    d_out: usize,
+    act: ActF32,
+}
+
+impl DenseF32 {
+    fn compile(store: &ParamStore, layer: &Dense) -> Self {
+        let w = store.value(layer.weight());
+        let b = store.value(layer.bias());
+        Self {
+            d_in: w.rows(),
+            d_out: w.cols(),
+            w: narrow(w.as_slice()),
+            b: narrow(b.as_slice()),
+            act: ActF32::from_activation(layer.activation()),
+        }
+    }
+
+    /// Forward an `m×d_in` row-major batch.
+    fn forward(&self, x: &[f32], m: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * self.d_out];
+        if self.d_out == 0 {
+            return out;
+        }
+        gemm32(x, self.d_in, &self.w, self.d_out, &mut out);
+        for orow in out.chunks_exact_mut(self.d_out) {
+            for (o, &bias) in orow.iter_mut().zip(&self.b) {
+                *o = self.act.apply(*o + bias);
+            }
+        }
+        out
+    }
+}
+
+/// The representation output layer in `f32`.
+#[derive(Debug, Clone)]
+enum OutF32 {
+    /// Cosine-normalized output: `act(row_l2_normalize(x) · Ŵ)` where `Ŵ`
+    /// is the column-L2-normalized weight matrix, precomputed in `f32` at
+    /// compile time (it does not depend on the input).
+    Cosine {
+        /// `d_in×d_out` column-normalized weights, row-major.
+        w: Vec<f32>,
+        d_in: usize,
+        d_out: usize,
+        act: ActF32,
+    },
+    /// Plain dense output (the no-cosine ablation variant).
+    Plain(DenseF32),
+}
+
+impl OutF32 {
+    fn forward(&self, x: &[f32], m: usize) -> Vec<f32> {
+        match self {
+            OutF32::Plain(dense) => dense.forward(x, m),
+            OutF32::Cosine {
+                w,
+                d_in,
+                d_out,
+                act,
+            } => {
+                // Row-normalize a scratch copy of the input (invariant:
+                // `d_in >= 1` — the engine builder rejects a zero
+                // covariate dimension, and every layer has >= 1 unit).
+                let mut xn = x.to_vec();
+                for row in xn.chunks_exact_mut(*d_in) {
+                    let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt();
+                    if norm > NORM_EPS_F32 {
+                        for v in row.iter_mut() {
+                            *v /= norm;
+                        }
+                    } else {
+                        for v in row.iter_mut() {
+                            *v = 0.0;
+                        }
+                    }
+                }
+                let mut out = vec![0.0f32; m * d_out];
+                gemm32(&xn, *d_in, w, *d_out, &mut out);
+                for v in out.iter_mut() {
+                    *v = act.apply(*v);
+                }
+                out
+            }
+        }
+    }
+}
+
+fn narrow(values: &[f64]) -> Vec<f32> {
+    values.iter().map(|&v| v as f32).collect()
+}
+
+fn compile_mlp(store: &ParamStore, mlp: &Mlp) -> Vec<DenseF32> {
+    mlp.layers()
+        .iter()
+        .map(|layer| DenseF32::compile(store, layer))
+        .collect()
+}
+
+/// Precompiled single-precision inference plan for one trained model.
+///
+/// Compiled once per published engine version (weights are frozen at
+/// publish), then shared read-only by every request thread. See the
+/// [module docs](self) for what the plan promises — and does not — about
+/// agreement with the `f64` path.
+#[derive(Debug, Clone)]
+pub(crate) struct F32Plan {
+    d_in: usize,
+    /// Standardizer in `f32`: `(x−μ)/σ` then the symmetric z-clip.
+    means: Vec<f32>,
+    stds: Vec<f32>,
+    clip: Option<f32>,
+    hidden: Vec<DenseF32>,
+    out: OutF32,
+    h0: Vec<DenseF32>,
+    h1: Vec<DenseF32>,
+    /// Outcome rescale `y·sd + mean`, applied in `f32` before widening.
+    y_mean: f32,
+    y_sd: f32,
+}
+
+impl F32Plan {
+    /// Narrow a trained model into a single-precision plan.
+    ///
+    /// Fails with [`CerlError::NotTrained`] before the first observed
+    /// domain (no fitted standardizer / outcome scaler exists yet).
+    pub(crate) fn compile(model: &CfrModel) -> Result<Self, CerlError> {
+        let x_std: &Standardizer = model.x_std().ok_or(CerlError::NotTrained)?;
+        let y_scale = model.y_scale().ok_or(CerlError::NotTrained)?;
+        let store = model.store();
+        let repr = model.repr();
+
+        let out = match (repr.out_cosine(), repr.out_plain()) {
+            (Some(cosine), _) => {
+                let w = store.value(cosine.weight());
+                let (d_in, d_out) = w.shape();
+                let mut w32 = narrow(w.as_slice());
+                // Column L2 norms in f32, rows ascending — fixed order,
+                // computed once (input-independent).
+                for j in 0..d_out {
+                    let mut sum = 0.0f32;
+                    for row in w32.chunks_exact(d_out) {
+                        // panic-ok: j < d_out == row.len() by chunking.
+                        let v = row[j];
+                        sum += v * v;
+                    }
+                    let norm = sum.sqrt();
+                    for row in w32.chunks_exact_mut(d_out) {
+                        // panic-ok: j < d_out == row.len() by chunking.
+                        let v = &mut row[j];
+                        if norm > NORM_EPS_F32 {
+                            *v /= norm;
+                        } else {
+                            *v = 0.0;
+                        }
+                    }
+                }
+                OutF32::Cosine {
+                    w: w32,
+                    d_in,
+                    d_out,
+                    act: ActF32::from_activation(cosine.activation()),
+                }
+            }
+            (None, Some(plain)) => OutF32::Plain(DenseF32::compile(store, plain)),
+            // Construction always installs exactly one output layer and
+            // the snapshot validator enforces it on restore.
+            // panic-ok: unreachable by the invariant above.
+            (None, None) => unreachable!("ReprNet without an output layer"),
+        };
+
+        Ok(Self {
+            d_in: model.d_in(),
+            means: narrow(x_std.means()),
+            stds: narrow(x_std.stds()),
+            clip: x_std.clip().map(|c| c as f32),
+            hidden: repr
+                .hidden()
+                .iter()
+                .map(|l| DenseF32::compile(store, l))
+                .collect(),
+            out,
+            h0: compile_mlp(store, model.heads().h0()),
+            h1: compile_mlp(store, model.heads().h1()),
+            y_mean: y_scale.mean() as f32,
+            y_sd: y_scale.sd() as f32,
+        })
+    }
+
+    /// Predict both potential outcomes `(ŷ₀, ŷ₁)` in `f32`, widened to
+    /// `f64` at the boundary. Row-independent (module docs).
+    pub(crate) fn predict_potential_outcomes(
+        &self,
+        x: &Matrix,
+    ) -> Result<(Vec<f64>, Vec<f64>), CerlError> {
+        if x.cols() != self.d_in {
+            return Err(CerlError::DimensionMismatch {
+                expected: self.d_in,
+                found: x.cols(),
+            });
+        }
+        let m = x.rows();
+        if m == 0 {
+            return Ok((Vec::new(), Vec::new()));
+        }
+
+        // Narrow + standardize + clip, all in f32.
+        let mut h = Vec::with_capacity(m * self.d_in);
+        for i in 0..m {
+            for ((&v, &mu), &sd) in x.row(i).iter().zip(&self.means).zip(&self.stds) {
+                let mut z = (v as f32 - mu) / sd;
+                if let Some(c) = self.clip {
+                    z = z.clamp(-c, c);
+                }
+                h.push(z);
+            }
+        }
+
+        for layer in &self.hidden {
+            h = layer.forward(&h, m);
+        }
+        let r = self.out.forward(&h, m);
+
+        let y0 = Self::head_forward(&self.h0, &r, m);
+        let y1 = Self::head_forward(&self.h1, &r, m);
+        let widen = |y: Vec<f32>| -> Vec<f64> {
+            y.into_iter()
+                .map(|v| f64::from(fma32(v, self.y_sd, self.y_mean)))
+                .collect()
+        };
+        Ok((widen(y0), widen(y1)))
+    }
+
+    /// Predicted individual treatment effects `ŷ₁ − ŷ₀` (widened `f64`).
+    pub(crate) fn predict_ite(&self, x: &Matrix) -> Result<Vec<f64>, CerlError> {
+        let (y0, y1) = self.predict_potential_outcomes(x)?;
+        Ok(y1.iter().zip(&y0).map(|(&a, &b)| a - b).collect())
+    }
+
+    /// Run one head MLP over the `m×repr_dim` batch; the final layer has
+    /// one unit, so the result is the `m` scalar outcomes.
+    fn head_forward(layers: &[DenseF32], r: &[f32], m: usize) -> Vec<f32> {
+        let mut h = r.to_vec();
+        for layer in layers {
+            h = layer.forward(&h, m);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_labels_are_stable() {
+        assert_eq!(PrecisionMode::F64.as_str(), "f64");
+        assert_eq!(PrecisionMode::F32.as_str(), "f32");
+        assert_eq!(PrecisionMode::default(), PrecisionMode::F64);
+        assert_eq!(format!("{}", PrecisionMode::F32), "f32");
+    }
+
+    #[test]
+    fn gemm32_matches_reference_and_is_row_independent() {
+        // 3×4 times 4×2, reference computed per element.
+        let a: Vec<f32> = (0..12).map(|i| i as f32 * 0.5 - 2.0).collect();
+        let b: Vec<f32> = (0..8).map(|i| 1.0 - i as f32 * 0.25).collect();
+        let mut full = vec![0.0f32; 6];
+        gemm32(&a, 4, &b, 2, &mut full);
+        for i in 0..3 {
+            let mut row = vec![0.0f32; 2];
+            gemm32(&a[i * 4..(i + 1) * 4], 4, &b, 2, &mut row);
+            assert_eq!(
+                row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                full[i * 2..(i + 1) * 2]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "row {i} depends on its batch"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm32_zero_dims_are_noops() {
+        let mut out = vec![0.0f32; 0];
+        gemm32(&[], 0, &[], 3, &mut out); // k == 0
+        gemm32(&[], 4, &[], 0, &mut out); // n == 0
+    }
+
+    #[test]
+    fn sigmoid32_is_stable_at_extremes() {
+        assert_eq!(sigmoid32(0.0), 0.5);
+        assert!((sigmoid32(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid32(-100.0).abs() < 1e-6);
+        assert!(sigmoid32(-100.0) >= 0.0, "must not overflow to NaN");
+    }
+
+    #[test]
+    fn activations_match_f64_semantics() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.5, 2.0] {
+            assert_eq!(ActF32::Identity.apply(x), x);
+            assert_eq!(ActF32::Relu.apply(x), x.max(0.0));
+            let elu = ActF32::Elu(1.0).apply(x);
+            if x > 0.0 {
+                assert_eq!(elu, x);
+            } else {
+                assert!((elu - (x.exp() - 1.0)).abs() < 1e-6);
+            }
+            assert_eq!(ActF32::Tanh.apply(x), x.tanh());
+        }
+    }
+}

@@ -96,6 +96,21 @@ impl ReprNet {
         self.out_cosine.is_some() || self.out_plain.is_some()
     }
 
+    /// Hidden dense layers in forward order (for inference-plan compilers).
+    pub(crate) fn hidden(&self) -> &[Dense] {
+        &self.hidden
+    }
+
+    /// Cosine-normalized output layer, when this is the cosine variant.
+    pub(crate) fn out_cosine(&self) -> Option<&CosineDense> {
+        self.out_cosine.as_ref()
+    }
+
+    /// Plain dense output layer, when this is the ablation variant.
+    pub(crate) fn out_plain(&self) -> Option<&Dense> {
+        self.out_plain.as_ref()
+    }
+
     /// Forward pass on the tape.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: NodeId) -> NodeId {
         let mut h = x;

@@ -28,7 +28,10 @@
 //!   worker threads (same row-partitioning idea as the parallel GEMM in
 //!   `cerl-math`). Chunk boundaries are independent of the thread count
 //!   and per-row inference is batch-independent, so the output is bitwise
-//!   identical for any number of workers.
+//!   identical for any number of workers — within the pinned version's
+//!   [`PrecisionMode`]; each published version carries its own mode (see
+//!   [`crate::precision`] and
+//!   [`ServingEngine::swap_snapshot_bytes_with_precision`]).
 //! * **Observability.** Every request updates a [`ServingStats`] block of
 //!   atomic counters; [`ServingEngine::stats`] returns a coherent-enough
 //!   [`ServingStatsSnapshot`] for dashboards and load tests.
@@ -66,6 +69,7 @@
 use crate::continual::StageReport;
 use crate::engine::CerlEngine;
 use crate::error::CerlError;
+use crate::precision::PrecisionMode;
 use cerl_data::CausalDataset;
 use cerl_math::Matrix;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -109,6 +113,14 @@ impl VersionedEngine {
     /// [`ServingEngine`] is created with has version 1).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Precision this version answers predict requests in. Fixed at
+    /// publish: a version's precision never changes once readers can pin
+    /// it, so every row served from one version is attributable to one
+    /// mode (see [`crate::precision`]).
+    pub fn precision(&self) -> PrecisionMode {
+        self.engine.precision()
     }
 
     /// Parallel chunked inference against this pinned version (the batch
@@ -399,6 +411,16 @@ impl ServingEngine {
         self.current().version
     }
 
+    /// Precision of the currently published engine version. Per-version:
+    /// a swap may change it (see
+    /// [`ServingEngine::swap_snapshot_bytes_with_precision`]), so callers
+    /// that need the mode a *specific* request was served under should pin
+    /// via [`ServingEngine::current`] and read
+    /// [`VersionedEngine::precision`].
+    pub fn precision(&self) -> PrecisionMode {
+        self.current().precision()
+    }
+
     /// Counters accumulated since construction.
     ///
     /// Reaps the swap grace list first so `retired_versions` reflects
@@ -638,6 +660,22 @@ impl ServingEngine {
         Ok(self.swap_engine(engine))
     }
 
+    /// [`ServingEngine::swap_snapshot_bytes`], opting the restored engine
+    /// into a [`PrecisionMode`] before it becomes visible — the fleet
+    /// hook for publishing an `f32` serving version from a shipped
+    /// snapshot. The single-precision plan is compiled *before* either
+    /// lock is taken, so readers never stall on plan compilation, and on
+    /// any error the published engine is unchanged.
+    pub fn swap_snapshot_bytes_with_precision(
+        &self,
+        bytes: &[u8],
+        mode: PrecisionMode,
+    ) -> Result<u64, CerlError> {
+        let mut engine = CerlEngine::load_bytes(bytes)?;
+        engine.set_precision(mode)?;
+        Ok(self.swap_engine(engine))
+    }
+
     /// Like [`ServingEngine::swap_engine`], but run one probe batch
     /// against the successor *before* publishing (swap hygiene).
     ///
@@ -795,6 +833,44 @@ mod tests {
                 .unwrap();
         }
         ServingEngine::new(engine)
+    }
+
+    #[test]
+    fn precision_is_a_per_version_property() {
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        assert_eq!(serving.precision(), PrecisionMode::F64);
+        let x = &stream.domain(0).test.x;
+        let f64_ite = serving.predict_ite(x).unwrap();
+        let bytes = serving.current().engine().save_bytes().unwrap();
+
+        // A long request pins version 1 (f64) before the f32 publish.
+        let pinned_v1 = serving.current();
+
+        let v2 = serving
+            .swap_snapshot_bytes_with_precision(&bytes, PrecisionMode::F32)
+            .unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(serving.precision(), PrecisionMode::F32);
+        let f32_ite = serving.predict_ite(x).unwrap();
+        assert_ne!(f32_ite, f64_ite, "narrowed weights must round differently");
+
+        // Within the f32 version, parallel fan-out is bitwise identical
+        // to the serial path — the per-mode contract.
+        for threads in [1usize, 2, 5] {
+            assert_eq!(serving.predict_ite_parallel(x, threads).unwrap(), f32_ite);
+        }
+
+        // The pinned pre-swap version still answers in its own mode.
+        assert_eq!(pinned_v1.precision(), PrecisionMode::F64);
+        assert_eq!(pinned_v1.engine().predict_ite(x).unwrap(), f64_ite);
+
+        // A successor trained off the f32 version inherits its mode.
+        let (_, v3) = serving
+            .observe_and_swap(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        assert_eq!(v3, 3);
+        assert_eq!(serving.precision(), PrecisionMode::F32);
     }
 
     #[test]

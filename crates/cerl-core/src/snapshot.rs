@@ -10,14 +10,31 @@
 //! * the herded representation memory,
 //! * the stage counter, seed, and configuration.
 //!
-//! The serialized form is a JSON document with an explicit
-//! [`format_version`](ModelSnapshot::format_version) field; readers reject
-//! unknown versions with
+//! Two serialized forms exist, and [`ModelSnapshot::from_bytes`] reads
+//! both:
+//!
+//! * **JSON** (format versions 1 and 2) — a self-describing document with
+//!   an explicit [`format_version`](ModelSnapshot::format_version) field,
+//!   written by [`ModelSnapshot::to_bytes`]. Numbers round-trip exactly,
+//!   so a restored model's predictions are bitwise identical to the
+//!   captured model's.
+//! * **Binary v3** — a compact little-endian container written by
+//!   [`ModelSnapshot::to_binary_bytes`] that hoists the float bulk (which
+//!   dominates a trained snapshot) out of the JSON text into raw IEEE-754
+//!   payload sections; see [`SNAPSHOT_BINARY_FORMAT_VERSION`] for the wire
+//!   layout. With a [`SnapshotPayload::F64`] payload the round-trip is
+//!   bitwise lossless; [`SnapshotPayload::F32`] narrows model floats for
+//!   serving replicas that answer in
+//!   [`PrecisionMode`](crate::precision::PrecisionMode)`::F32` anyway,
+//!   cutting snapshot size roughly 4-5x versus JSON.
+//!
+//! Readers reject unknown versions with
 //! [`SnapshotError::UnsupportedVersion`](crate::error::SnapshotError) before
 //! attempting to interpret the rest of the document, so a fleet can roll
-//! snapshot formats forward without replicas panicking on foreign bytes.
-//! Numbers round-trip exactly, so a restored model's predictions are
-//! bitwise identical to the captured model's.
+//! snapshot formats forward without replicas panicking on foreign bytes,
+//! and every binary decode path is length-checked — truncated or doctored
+//! bytes produce [`SnapshotError::Malformed`], never a panic or an
+//! unbounded allocation.
 
 use crate::cfr::CfrModel;
 use crate::config::CerlConfig;
@@ -28,15 +45,77 @@ use crate::memory::Memory;
 use crate::repr::ReprNet;
 use cerl_data::{OutcomeScaler, Standardizer};
 use cerl_nn::{ParamId, ParamStore};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
-/// Snapshot format version written by this build (and the only one it
-/// reads). Bump on any incompatible change to the document layout.
+/// JSON document version written by [`ModelSnapshot::to_bytes`]. Readers
+/// also accept version 1 (which predates the `shard_map` / `shard_index`
+/// fields; they restore as `None`). Bump on any incompatible change to the
+/// document layout.
 ///
 /// Version history:
-/// * **1** — initial layout (PR 1).
+/// * **1** — initial JSON layout (PR 1). Still readable.
 /// * **2** — adds the `shard_map` routing-metadata field ([`ShardMap`]).
+/// * **3** — the binary container ([`SNAPSHOT_BINARY_FORMAT_VERSION`]);
+///   JSON documents stay at version 2.
 pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+
+/// Container version written by [`ModelSnapshot::to_binary_bytes`] (format
+/// v3, the binary snapshot format).
+///
+/// Wire layout (all integers little-endian):
+///
+/// ```text
+/// magic            8 bytes   b"CERLSNAP"
+/// version          u32       3
+/// payload kind     u8        0 = f64 floats, 1 = f32 floats
+/// reserved         3 bytes   zero
+/// section count    u32
+/// section table    per section: tag u32, byte length u64
+///                    tag 1 = meta, tag 2 = float payload
+///                    (unknown tags are skipped, for forward compat)
+/// section bodies   concatenated in table order
+/// ```
+///
+/// The **meta** section is the snapshot's JSON document with every float
+/// array under the `model` and `memory` fields replaced by a
+/// `{"$floats": <index>}` placeholder. The **payload** section holds those
+/// arrays as raw IEEE-754 values: an array count (`u32`), then per array
+/// an element count (`u64`) followed by the elements (8 bytes each for an
+/// f64 payload, 4 for f32). Decoding validates every length against the
+/// remaining input before allocating, requires each placeholder index to
+/// resolve exactly once, and rejects trailing bytes.
+pub const SNAPSHOT_BINARY_FORMAT_VERSION: u32 = 3;
+
+/// Leading magic of a binary (v3) snapshot. No JSON document can start
+/// with these bytes, so the two forms are distinguished by sniffing.
+const BINARY_MAGIC: [u8; 8] = *b"CERLSNAP";
+
+/// Placeholder key that marks a hoisted float array in the meta document.
+const PAYLOAD_KEY: &str = "$floats";
+
+/// Section tags of the binary container.
+const SECTION_META: u32 = 1;
+const SECTION_PAYLOAD: u32 = 2;
+
+/// Float encoding of a binary snapshot's payload section.
+///
+/// `F64` is lossless: the decoded snapshot is bitwise identical to the
+/// captured one. `F32` narrows every model/memory float to `f32` — about
+/// half the bytes — which is exactly the narrowing a
+/// [`PrecisionMode::F32`](crate::precision::PrecisionMode) serving replica
+/// applies at plan-compile time anyway, so a replica restored from an
+/// `F32`-payload snapshot and opted into f32 mode serves **bitwise
+/// identical** predictions to the source engine's f32 mode. Continued
+/// *training* from an `F32` payload diverges (the optimizer sees rounded
+/// weights); treat it as a serving artifact, not an archival one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotPayload {
+    /// Lossless 8-byte floats: bitwise round-trip.
+    #[default]
+    F64,
+    /// Narrowed 4-byte floats: half the payload, f32-serving-exact.
+    F32,
+}
 
 /// Routing metadata: which serving shard owns each domain id.
 ///
@@ -342,13 +421,76 @@ impl ModelSnapshot {
         self
     }
 
-    /// Serialize to the versioned byte format.
+    /// Serialize to the versioned JSON byte format (format v2).
     pub fn to_bytes(&self) -> Result<Vec<u8>, CerlError> {
-        serde_json::to_vec(self)
-            .map_err(|e| CerlError::Snapshot(SnapshotError::Malformed(e.to_string())))
+        serde_json::to_vec(self).map_err(|e| malformed(e.to_string()))
     }
 
-    /// Parse from the versioned byte format.
+    /// Serialize to the compact binary container (format v3; see
+    /// [`SNAPSHOT_BINARY_FORMAT_VERSION`] for the wire layout).
+    ///
+    /// Every float array under the snapshot's `model` and `memory` fields
+    /// moves into a raw little-endian payload section, encoded per
+    /// `payload` ([`SnapshotPayload::F64`] is bitwise lossless;
+    /// [`SnapshotPayload::F32`] halves the payload for f32-mode serving
+    /// replicas). The structural remainder — configuration, wiring,
+    /// shard topology — stays as a small embedded JSON document, so the
+    /// binary format inherits the JSON schema's evolution story.
+    /// [`ModelSnapshot::from_bytes`] reads the result back.
+    pub fn to_binary_bytes(&self, payload: SnapshotPayload) -> Result<Vec<u8>, CerlError> {
+        let mut doc = Serialize::serialize(self);
+        let mut arrays: Vec<Vec<f64>> = Vec::new();
+        if let Value::Object(fields) = &mut doc {
+            for (key, value) in fields.iter_mut() {
+                if key == "model" || key == "memory" {
+                    hoist_float_arrays(value, &mut arrays);
+                }
+            }
+        }
+        let meta = serde_json::to_vec(&doc).map_err(|e| malformed(e.to_string()))?;
+
+        let array_count = u32::try_from(arrays.len())
+            .map_err(|_| malformed("too many float arrays for the payload section"))?;
+        let mut payload_body = Vec::new();
+        payload_body.extend_from_slice(&array_count.to_le_bytes());
+        for arr in &arrays {
+            payload_body.extend_from_slice(&(arr.len() as u64).to_le_bytes());
+            match payload {
+                SnapshotPayload::F64 => {
+                    for &v in arr {
+                        payload_body.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                SnapshotPayload::F32 => {
+                    for &v in arr {
+                        payload_body.extend_from_slice(&(v as f32).to_le_bytes());
+                    }
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(16 + 2 * 12 + meta.len() + payload_body.len());
+        out.extend_from_slice(&BINARY_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_BINARY_FORMAT_VERSION.to_le_bytes());
+        out.push(match payload {
+            SnapshotPayload::F64 => 0,
+            SnapshotPayload::F32 => 1,
+        });
+        out.extend_from_slice(&[0u8; 3]);
+        out.extend_from_slice(&2u32.to_le_bytes());
+        for (tag, body) in [(SECTION_META, &meta), (SECTION_PAYLOAD, &payload_body)] {
+            out.extend_from_slice(&tag.to_le_bytes());
+            out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&meta);
+        out.extend_from_slice(&payload_body);
+        Ok(out)
+    }
+
+    /// Parse from either versioned byte format: the binary v3 container
+    /// (recognized by its leading magic) or a JSON document (format
+    /// versions 1 and 2 — a v1 document simply predates the shard routing
+    /// fields, which restore as `None`).
     ///
     /// The version field is checked *before* the rest of the document is
     /// interpreted, so a newer-format snapshot yields
@@ -359,26 +501,108 @@ impl ModelSnapshot {
     /// model is built from the snapshot (`into_cerl` via
     /// [`Cerl::from_snapshot`] or `CerlEngine::load_bytes`).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CerlError> {
-        let text = std::str::from_utf8(bytes).map_err(|e| {
-            CerlError::Snapshot(SnapshotError::Malformed(format!("not UTF-8: {e}")))
-        })?;
-        let value = serde_json::parse(text)
-            .map_err(|e| CerlError::Snapshot(SnapshotError::Malformed(e.to_string())))?;
-        let fields = value.as_object().ok_or_else(|| {
-            CerlError::Snapshot(SnapshotError::Malformed(
-                "top level is not an object".into(),
-            ))
-        })?;
-        let format_version: u32 = serde::field(fields, "format_version")
-            .map_err(|e| CerlError::Snapshot(SnapshotError::Malformed(e.to_string())))?;
-        if format_version != SNAPSHOT_FORMAT_VERSION {
-            return Err(CerlError::Snapshot(SnapshotError::UnsupportedVersion {
-                found: format_version,
+        if bytes.starts_with(&BINARY_MAGIC) {
+            return Self::from_binary(bytes);
+        }
+        let text = std::str::from_utf8(bytes).map_err(|e| malformed(format!("not UTF-8: {e}")))?;
+        let value = serde_json::parse(text).map_err(|e| malformed(e.to_string()))?;
+        Self::from_document(&value)
+    }
+
+    /// Decode a parsed JSON document, dispatching on its format version.
+    fn from_document(value: &Value) -> Result<Self, CerlError> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| malformed("top level is not an object"))?;
+        let format_version: u32 =
+            serde::field(fields, "format_version").map_err(|e| malformed(e.to_string()))?;
+        match format_version {
+            // v1 predates the shard routing fields; upgrade the document
+            // in place so the derived deserializer sees the v2 shape.
+            1 => {
+                let mut fields = fields.to_vec();
+                for key in ["shard_map", "shard_index"] {
+                    if !fields.iter().any(|(k, _)| k == key) {
+                        fields.push((key.to_string(), Value::Null));
+                    }
+                }
+                Self::deserialize(&Value::Object(fields)).map_err(|e| malformed(e.to_string()))
+            }
+            SNAPSHOT_FORMAT_VERSION => {
+                Self::deserialize(value).map_err(|e| malformed(e.to_string()))
+            }
+            other => Err(CerlError::Snapshot(SnapshotError::UnsupportedVersion {
+                found: other,
                 supported: SNAPSHOT_FORMAT_VERSION,
+            })),
+        }
+    }
+
+    /// Decode the binary v3 container. Every read is bounds-checked; any
+    /// deviation from the documented layout is [`SnapshotError::Malformed`].
+    fn from_binary(bytes: &[u8]) -> Result<Self, CerlError> {
+        let mut r = ByteReader::new(bytes);
+        r.take(BINARY_MAGIC.len())?; // magic, verified by the caller's sniff
+        let version = r.u32()?;
+        if version != SNAPSHOT_BINARY_FORMAT_VERSION {
+            return Err(CerlError::Snapshot(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_BINARY_FORMAT_VERSION,
             }));
         }
-        Self::deserialize(&value)
-            .map_err(|e| CerlError::Snapshot(SnapshotError::Malformed(e.to_string())))
+        let payload = match r.u8()? {
+            0 => SnapshotPayload::F64,
+            1 => SnapshotPayload::F32,
+            other => return Err(malformed(format!("unknown payload kind {other}"))),
+        };
+        r.take(3)?; // reserved
+        let section_count = r.u32()?;
+        // Each table entry costs 12 bytes; bound the count by what the
+        // input can physically hold before allocating the table.
+        if section_count as usize > r.remaining() / 12 {
+            return Err(malformed(format!(
+                "section table claims {section_count} entries"
+            )));
+        }
+        let mut table = Vec::with_capacity(section_count as usize);
+        for _ in 0..section_count {
+            let tag = r.u32()?;
+            let len = usize::try_from(r.u64()?)
+                .map_err(|_| malformed("section length overflows usize"))?;
+            table.push((tag, len));
+        }
+        let mut meta: Option<&[u8]> = None;
+        let mut payload_body: Option<&[u8]> = None;
+        for (tag, len) in table {
+            let body = r.take(len)?;
+            match tag {
+                SECTION_META => meta = Some(body),
+                SECTION_PAYLOAD => payload_body = Some(body),
+                // Unknown sections are skipped: a future writer may add
+                // sections without breaking this reader.
+                _ => {}
+            }
+        }
+        if r.remaining() != 0 {
+            return Err(malformed(format!(
+                "{} trailing bytes after the last section",
+                r.remaining()
+            )));
+        }
+        let meta = meta.ok_or_else(|| malformed("missing meta section"))?;
+        let payload_body = payload_body.ok_or_else(|| malformed("missing payload section"))?;
+
+        let mut arrays = decode_payload_arrays(payload_body, payload)?;
+        let text = std::str::from_utf8(meta)
+            .map_err(|e| malformed(format!("meta section is not UTF-8: {e}")))?;
+        let mut value = serde_json::parse(text).map_err(|e| malformed(e.to_string()))?;
+        restore_float_arrays(&mut value, &mut arrays)?;
+        if arrays.iter().any(Option::is_some) {
+            return Err(malformed(
+                "payload contains arrays the meta document never references",
+            ));
+        }
+        Self::from_document(&value)
     }
 
     /// Cross-check internal consistency: configuration sanity, network
@@ -492,6 +716,188 @@ impl ModelSnapshot {
 
 fn incompatible(reason: &str) -> CerlError {
     CerlError::Snapshot(SnapshotError::Incompatible(reason.to_string()))
+}
+
+fn malformed(reason: impl Into<String>) -> CerlError {
+    CerlError::Snapshot(SnapshotError::Malformed(reason.into()))
+}
+
+/// Bounds-checked cursor over untrusted snapshot bytes: every read
+/// validates against the remaining input, so a truncated or doctored
+/// container fails with a typed error instead of panicking.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CerlError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| {
+                malformed(format!(
+                    "truncated: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.remaining()
+                ))
+            })?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| malformed(format!("truncated at offset {}", self.pos)))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CerlError> {
+        Ok(self.take(1)?[0]) // panic-ok: take(1) returned exactly one byte
+    }
+
+    fn u32(&mut self) -> Result<u32, CerlError> {
+        let raw = self.take(4)?;
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(raw);
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, CerlError> {
+        let raw = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(buf))
+    }
+}
+
+/// Move every all-float array in `v` into `arrays`, leaving a
+/// `{"$floats": index}` placeholder behind. Recurses through objects and
+/// mixed arrays; empty arrays stay inline (nothing to hoist).
+fn hoist_float_arrays(v: &mut Value, arrays: &mut Vec<Vec<f64>>) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            let floats: Option<Vec<f64>> = items
+                .iter()
+                .map(|item| match item {
+                    Value::Float(f) => Some(*f),
+                    _ => None,
+                })
+                .collect();
+            match floats {
+                Some(data) => {
+                    let idx = arrays.len() as u64;
+                    arrays.push(data);
+                    *v = Value::Object(vec![(PAYLOAD_KEY.to_string(), Value::UInt(idx))]);
+                }
+                None => {
+                    for item in items {
+                        hoist_float_arrays(item, arrays);
+                    }
+                }
+            }
+        }
+        Value::Object(fields) => {
+            for (_, value) in fields {
+                hoist_float_arrays(value, arrays);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Decode the payload section into float arrays. Element counts are
+/// validated against the remaining section length *before* any allocation,
+/// so a doctored count cannot trigger an unbounded `Vec` reservation.
+fn decode_payload_arrays(
+    body: &[u8],
+    payload: SnapshotPayload,
+) -> Result<Vec<Option<Vec<f64>>>, CerlError> {
+    let width = match payload {
+        SnapshotPayload::F64 => 8,
+        SnapshotPayload::F32 => 4,
+    };
+    let mut r = ByteReader::new(body);
+    let count = r.u32()? as usize;
+    // Each array costs at least its 8-byte length prefix.
+    if count > r.remaining() / 8 {
+        return Err(malformed(format!("payload claims {count} arrays")));
+    }
+    let mut arrays = Vec::with_capacity(count);
+    for _ in 0..count {
+        let n = usize::try_from(r.u64()?).map_err(|_| malformed("array length overflows usize"))?;
+        let nbytes = n
+            .checked_mul(width)
+            .ok_or_else(|| malformed("array byte length overflows usize"))?;
+        let raw = r.take(nbytes)?;
+        let mut data = Vec::with_capacity(n);
+        match payload {
+            SnapshotPayload::F64 => {
+                for chunk in raw.chunks_exact(8) {
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(chunk);
+                    data.push(f64::from_le_bytes(buf));
+                }
+            }
+            SnapshotPayload::F32 => {
+                for chunk in raw.chunks_exact(4) {
+                    let mut buf = [0u8; 4];
+                    buf.copy_from_slice(chunk);
+                    data.push(f64::from(f32::from_le_bytes(buf)));
+                }
+            }
+        }
+        arrays.push(Some(data));
+    }
+    if r.remaining() != 0 {
+        return Err(malformed(format!(
+            "{} trailing bytes in the payload section",
+            r.remaining()
+        )));
+    }
+    Ok(arrays)
+}
+
+/// Replace every `{"$floats": index}` placeholder in `v` with its payload
+/// array, consuming each array slot so a doctored meta document cannot
+/// reference the same array twice (or dangle past the payload table).
+fn restore_float_arrays(v: &mut Value, arrays: &mut [Option<Vec<f64>>]) -> Result<(), CerlError> {
+    match v {
+        Value::Object(fields) => {
+            let placeholder = match fields.as_slice() {
+                [(key, Value::UInt(idx))] if key == PAYLOAD_KEY => Some(*idx),
+                _ => None,
+            };
+            if let Some(idx) = placeholder {
+                let idx = usize::try_from(idx)
+                    .map_err(|_| malformed("float placeholder index overflows usize"))?;
+                let data = arrays.get_mut(idx).and_then(Option::take).ok_or_else(|| {
+                    malformed(format!(
+                        "float placeholder {idx} is out of range or referenced twice"
+                    ))
+                })?;
+                *v = Value::Array(data.into_iter().map(Value::Float).collect());
+            } else {
+                for (_, value) in fields {
+                    restore_float_arrays(value, arrays)?;
+                }
+            }
+        }
+        Value::Array(items) => {
+            for item in items {
+                restore_float_arrays(item, arrays)?;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -718,6 +1124,177 @@ mod tests {
                 assert_eq!(supported, SNAPSHOT_FORMAT_VERSION);
             }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_snapshot_roundtrips_bitwise_and_reencodes_identically() {
+        let (cerl, stream) = trained_cerl(2);
+        let snapshot = cerl.to_snapshot();
+        let json = snapshot.to_bytes().unwrap();
+        let bin = snapshot.to_binary_bytes(SnapshotPayload::F64).unwrap();
+        assert!(
+            bin.len() < json.len(),
+            "binary {} must beat JSON {}",
+            bin.len(),
+            json.len()
+        );
+
+        let parsed = ModelSnapshot::from_bytes(&bin).unwrap();
+        // Lossless payload: decode → re-encode is byte-identical.
+        let reencoded = parsed.to_binary_bytes(SnapshotPayload::F64).unwrap();
+        assert!(
+            reencoded == bin,
+            "f64 binary re-encode must be byte-identical"
+        );
+
+        let restored = Cerl::from_snapshot(parsed).unwrap();
+        for d in 0..2 {
+            let x = &stream.domain(d).test.x;
+            assert_eq!(cerl.predict_ite(x), restored.predict_ite(x), "domain {d}");
+        }
+        assert_eq!(restored.stage(), cerl.stage());
+        assert_eq!(
+            restored.memory().map(Memory::len),
+            cerl.memory().map(Memory::len)
+        );
+    }
+
+    #[test]
+    fn f32_payload_is_at_most_a_quarter_of_json_and_loads() {
+        let (cerl, stream) = trained_cerl(2);
+        let snapshot = cerl.to_snapshot();
+        let json = snapshot.to_bytes().unwrap();
+        let bin = snapshot.to_binary_bytes(SnapshotPayload::F32).unwrap();
+        assert!(
+            bin.len() * 4 <= json.len(),
+            "f32 binary {} must be at most 1/4 of JSON {}",
+            bin.len(),
+            json.len()
+        );
+        // Widening a narrowed float then narrowing again is the identity,
+        // so an f32-payload snapshot re-encodes byte-identically too.
+        let parsed = ModelSnapshot::from_bytes(&bin).unwrap();
+        let reencoded = parsed.to_binary_bytes(SnapshotPayload::F32).unwrap();
+        assert!(
+            reencoded == bin,
+            "f32 binary re-encode must be byte-identical"
+        );
+        // The narrowed model still restores and predicts (close to, but
+        // not equal to, the f64 original).
+        let restored = Cerl::from_snapshot(parsed).unwrap();
+        let x = &stream.domain(0).test.x;
+        let a = cerl.predict_ite(x);
+        let b = restored.predict_ite(x);
+        let scale = a.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (va, vb) in a.iter().zip(&b) {
+            assert!((va - vb).abs() <= 1e-3 * scale, "{va} vs {vb}");
+        }
+    }
+
+    #[test]
+    fn binary_snapshot_carries_shard_topology() {
+        let (cerl, _) = trained_cerl(1);
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 1)]).unwrap();
+        let bin = cerl
+            .to_snapshot()
+            .with_shard_map(map.clone())
+            .with_shard_index(1)
+            .to_binary_bytes(SnapshotPayload::F64)
+            .unwrap();
+        let restored = ModelSnapshot::from_bytes(&bin).unwrap();
+        assert_eq!(restored.shard_map, Some(map));
+        assert_eq!(restored.shard_index, Some(1));
+    }
+
+    #[test]
+    fn v1_json_documents_without_shard_fields_still_load() {
+        let (cerl, stream) = trained_cerl(1);
+        let bytes = cerl.to_snapshot().to_bytes().unwrap();
+        // Rewrite the document to the v1 shape: no shard routing fields.
+        let mut value = serde_json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        if let serde::Value::Object(fields) = &mut value {
+            fields.retain(|(k, _)| k != "shard_map" && k != "shard_index");
+            for (k, v) in fields.iter_mut() {
+                if k == "format_version" {
+                    *v = serde::Value::UInt(1);
+                }
+            }
+        }
+        let v1 = serde_json::to_string(&value).unwrap();
+        let parsed = ModelSnapshot::from_bytes(v1.as_bytes()).unwrap();
+        assert_eq!(parsed.format_version, 1);
+        assert_eq!(parsed.shard_map, None);
+        assert_eq!(parsed.shard_index, None);
+        let restored = Cerl::from_snapshot(parsed).unwrap();
+        let x = &stream.domain(0).test.x;
+        assert_eq!(restored.predict_ite(x), cerl.predict_ite(x));
+    }
+
+    #[test]
+    fn truncated_or_doctored_binary_is_malformed_not_a_panic() {
+        let (cerl, _) = trained_cerl(1);
+        let bin = cerl
+            .to_snapshot()
+            .to_binary_bytes(SnapshotPayload::F64)
+            .unwrap();
+
+        // Cut at every header boundary and a spread of body offsets. All
+        // cuts keep the magic, so each exercises the binary decoder.
+        let cuts = [8, 12, 13, 16, 20, 28, 40, bin.len() / 3, bin.len() - 1];
+        for &cut in &cuts {
+            match ModelSnapshot::from_bytes(&bin[..cut]) {
+                Err(CerlError::Snapshot(SnapshotError::Malformed(_))) => {}
+                other => panic!("cut {cut}: expected Malformed, got {:?}", other.map(|_| ())),
+            }
+        }
+        let malformed = |bytes: &[u8]| {
+            matches!(
+                ModelSnapshot::from_bytes(bytes),
+                Err(CerlError::Snapshot(SnapshotError::Malformed(_)))
+            )
+        };
+
+        // Trailing bytes after the last section.
+        let mut extended = bin.clone();
+        extended.extend_from_slice(&[0u8; 5]);
+        assert!(malformed(&extended), "trailing bytes must be rejected");
+
+        // Unknown payload kind.
+        let mut kind = bin.clone();
+        kind[12] = 9;
+        assert!(malformed(&kind), "unknown payload kind must be rejected");
+
+        // A section length far past the end of the input must fail fast
+        // (bounds are checked before any allocation).
+        let mut huge = bin.clone();
+        huge[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(
+            malformed(&huge),
+            "oversized section length must be rejected"
+        );
+
+        // An inflated section *count* must be rejected before the table
+        // allocation, too.
+        let mut many = bin.clone();
+        many[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(malformed(&many), "oversized section count must be rejected");
+    }
+
+    #[test]
+    fn unknown_binary_version_is_a_typed_error() {
+        let (cerl, _) = trained_cerl(1);
+        let mut bin = cerl
+            .to_snapshot()
+            .to_binary_bytes(SnapshotPayload::F64)
+            .unwrap();
+        bin[8..12].copy_from_slice(&9u32.to_le_bytes());
+        match ModelSnapshot::from_bytes(&bin) {
+            Err(CerlError::Snapshot(SnapshotError::UnsupportedVersion { found, supported })) => {
+                assert_eq!(found, 9);
+                assert_eq!(supported, SNAPSHOT_BINARY_FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {:?}", other.map(|_| ())),
         }
     }
 

@@ -289,6 +289,21 @@ impl Standardizer {
     pub fn dim(&self) -> usize {
         self.means.len()
     }
+
+    /// Fitted per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted per-column standard deviations (floored away from zero).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Symmetric z-score clip applied after standardization, if any.
+    pub fn clip(&self) -> Option<f64> {
+        self.clip
+    }
 }
 
 /// Scalar standardizer for outcomes.

@@ -80,6 +80,16 @@ impl Dense {
     pub fn weight(&self) -> ParamId {
         self.w
     }
+
+    /// Bias parameter id (a `1×d_out` row added with broadcast).
+    pub fn bias(&self) -> ParamId {
+        self.b
+    }
+
+    /// Activation applied after the affine map.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
 }
 
 /// Cosine-normalized dense layer (paper Eq. 2): `act(cos(x_i, w_{·j}))`.
@@ -122,6 +132,11 @@ impl CosineDense {
     /// Weight parameter id.
     pub fn weight(&self) -> ParamId {
         self.w
+    }
+
+    /// Activation applied after the cosine-normalized linear map.
+    pub fn activation(&self) -> Activation {
+        self.activation
     }
 }
 
@@ -187,6 +202,12 @@ impl Mlp {
     /// Number of layers.
     pub fn depth(&self) -> usize {
         self.layers.len()
+    }
+
+    /// The layers in forward order (read-only; used by inference-plan
+    /// compilers that re-express the network in another precision).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
     }
 }
 

@@ -287,6 +287,38 @@ mod tests {
     }
 
     #[test]
+    fn every_bucket_edge_lands_in_its_documented_bucket() {
+        // `bucket_index` classifies with an ln-ratio while the documented
+        // bounds come from `BUCKET_GROWTH.powi` — two float paths that can
+        // disagree by one ulp exactly at a bucket edge. Walk every edge:
+        // the (truncated) upper bound itself must land in bucket `i`, and
+        // the next nanosecond must land in bucket `i + 1`.
+        for i in 0..BUCKET_COUNT - 1 {
+            let upper = LatencyHistogram::bucket_upper_nanos(i) as u64;
+            assert_eq!(
+                LatencyHistogram::bucket_for(upper),
+                i,
+                "upper edge {upper} ns of bucket {i}"
+            );
+            assert_eq!(
+                LatencyHistogram::bucket_for(upper + 1),
+                i + 1,
+                "one past the upper edge of bucket {i}"
+            );
+            // The bounds accessor must agree with the classifier: the edge
+            // sample sits inside `bucket_bounds(i)`.
+            let (lower, bound) = LatencyHistogram::bucket_bounds(i);
+            assert!(lower <= Duration::from_nanos(upper));
+            assert!(Duration::from_nanos(upper) <= bound, "bucket {i}");
+        }
+        // The overflow bucket has no finite edge; anything past the last
+        // finite bound stays in it.
+        let last = LatencyHistogram::bucket_upper_nanos(BUCKET_COUNT - 2) as u64;
+        assert_eq!(LatencyHistogram::bucket_for(last * 2), BUCKET_COUNT - 1);
+        assert_eq!(LatencyHistogram::bucket_for(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
     fn quantiles_approximate_known_distribution() {
         let h = LatencyHistogram::new();
         // 90 fast samples at 100µs, 10 slow at 10ms.

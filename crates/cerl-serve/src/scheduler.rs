@@ -22,13 +22,17 @@
 //! * **Per-request demux.** The batch runs against one pinned engine
 //!   version; result rows are sliced back out and delivered through each
 //!   request's private channel together with the version that served it.
-//! * **Bitwise-identical results.** Per-row inference is
-//!   batch-independent and the fanned execution uses the fixed-chunk
-//!   walk of `ServingEngine`, so a coalesced request's slice is bitwise
-//!   identical to the same rows served by an unbatched
+//! * **Bitwise-identical results (per precision mode).** Per-row
+//!   inference is batch-independent and the fanned execution uses the
+//!   fixed-chunk walk of `ServingEngine`, so a coalesced request's slice
+//!   is bitwise identical to the same rows served by an unbatched
 //!   [`predict_ite`](cerl_core::serving::ServingEngine::predict_ite)
 //!   call against the same engine version (test-enforced in
-//!   `tests/serving_batching.rs`).
+//!   `tests/serving_batching.rs`). Each published version carries its
+//!   own [`PrecisionMode`](cerl_core::precision::PrecisionMode) — `f64`
+//!   or compiled-`f32` — and the contract holds *within* a version's
+//!   mode: batched == unbatched == scatter, whichever precision the
+//!   version was published with (see `cerl_core::precision`).
 //! * **Observability.** Queue-wait and end-to-end latency land in
 //!   [`LatencyHistogram`]s; [`BatchScheduler::stats`] reports p50/p95/p99
 //!   plus batch shape and per-version request counts (see [`ServeStats`]).
@@ -659,6 +663,15 @@ impl BatchScheduler {
         &self.engine
     }
 
+    /// Precision of the engine version currently being batched onto.
+    /// Advisory: a swap can land between this call and a subsequent
+    /// submit; in-flight batches always report the version (and hence
+    /// mode) that actually served them via
+    /// [`BatchScheduler::predict_ite_versioned`].
+    pub fn precision(&self) -> cerl_core::precision::PrecisionMode {
+        self.engine.precision()
+    }
+
     /// The knobs this scheduler runs with (normalized).
     pub fn config(&self) -> &BatchConfig {
         &self.cfg
@@ -906,6 +919,35 @@ mod tests {
         assert_eq!(stats.queue_wait.count, 8);
         assert_eq!(stats.end_to_end.count, 8);
         assert!(stats.end_to_end.p99 >= stats.queue_wait.p50);
+    }
+
+    #[test]
+    fn f32_version_batches_bitwise_identically_to_unbatched() {
+        use cerl_core::precision::PrecisionMode;
+        let stream = quick_stream(1);
+        let serving = trained_serving(&stream, 1);
+        let bytes = serving.current().engine().save_bytes().unwrap();
+        serving
+            .swap_snapshot_bytes_with_precision(&bytes, PrecisionMode::F32)
+            .unwrap();
+        let scheduler = BatchScheduler::new(
+            Arc::clone(&serving),
+            BatchConfig {
+                max_wait: Duration::from_millis(2),
+                ..BatchConfig::default()
+            },
+        );
+        assert_eq!(scheduler.precision(), PrecisionMode::F32);
+        let x = stream.domain(0).test.x.slice_rows(0, 6);
+        let (version, batched) = scheduler.predict_ite_versioned(&x).unwrap();
+        assert_eq!(version, 2);
+        // Per-mode contract at the scheduler layer: the batch path must
+        // agree bitwise with the unbatched f32 call.
+        let unbatched = serving.predict_ite(&x).unwrap();
+        assert_eq!(batched.len(), unbatched.len());
+        for (a, b) in batched.iter().zip(&unbatched) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -94,6 +94,60 @@
 //! # Ok::<(), CerlError>(())
 //! ```
 //!
+//! ## Raw speed: f32 serving and binary snapshots
+//!
+//! Training always runs in `f64`. A serving replica can opt into
+//! [`PrecisionMode::F32`](prelude::PrecisionMode): the trained weights
+//! are narrowed once into a compiled plan and every predict runs
+//! through `f32` GEMMs — half the memory traffic on the hot path. The
+//! determinism contract is **per precision mode**: within one mode,
+//! predictions stay bitwise-identical across entry points, thread
+//! counts, and restarts; switching modes changes rounding, never the
+//! contract.
+//!
+//! Snapshots have a compact binary form alongside JSON
+//! (`save_bytes_binary`): a sectioned little-endian container that
+//! stores the float payload as raw IEEE-754 values —
+//! [`SnapshotPayload::F32`](prelude::SnapshotPayload) narrows the
+//! payload to 4 bytes per weight, cutting fleet-restore and rebalance
+//! staging bytes ~4–5x. `load_bytes` sniffs the format, so both forms
+//! restore through the same call:
+//!
+//! ```
+//! use cerl::prelude::*;
+//!
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 7);
+//! let stream = DomainStream::synthetic(&gen, 1, 0, 7);
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 2; // doc-test speed
+//! let mut engine = CerlEngineBuilder::new(cfg).seed(7).build()?;
+//! engine.observe(&stream.domain(0).train, &stream.domain(0).val)?;
+//! let x = &stream.domain(0).test.x;
+//!
+//! // Opt into f32 inference; training (observe) stays f64.
+//! engine.set_precision(PrecisionMode::F32)?;
+//! let fast = engine.predict_ite(x)?;
+//!
+//! // Binary snapshot with a narrowed payload: at most 1/4 of JSON.
+//! let json = engine.save_bytes()?;
+//! let bin = engine.save_bytes_binary(SnapshotPayload::F32)?;
+//! assert!(bin.len() * 4 <= json.len());
+//!
+//! // The format is sniffed on load; a restored replica defaults to
+//! // F64 (precision is serving state, not model state).
+//! let mut replica = CerlEngine::load_bytes(&bin)?;
+//! assert_eq!(replica.precision(), PrecisionMode::F64);
+//! replica.set_precision(PrecisionMode::F32)?;
+//! // The f32 payload holds exactly the floats the f32 plan compiles
+//! // from, so the replica's f32 serving is bitwise the source's.
+//! assert_eq!(replica.predict_ite(x)?, fast);
+//! # Ok::<(), CerlError>(())
+//! ```
+//!
+//! A full-fidelity `SnapshotPayload::F64` binary snapshot round-trips
+//! every weight bitwise (still ~2x smaller than JSON); JSON snapshots
+//! from earlier format versions keep loading unchanged.
+//!
 //! ## Serving at scale: batching and sharding
 //!
 //! The [`serve`] layer turns the engine into a service
@@ -464,9 +518,10 @@ pub mod prelude {
     pub use cerl_core::{
         paper_lineup, Ablation, Cerl, CerlConfig, CerlEngine, CerlEngineBuilder, CerlError, CfrA,
         CfrB, CfrC, CfrModel, ContinualEstimator, DistillKind, EffectMetrics, IpmKind, Memory,
-        ModelSnapshot, NetConfig, SLearner, ServingEngine, ServingStats, ServingStatsSnapshot,
-        ShardAssignment, ShardMap, ShardMapDiff, ShardMove, SnapshotError, StageReport, TLearner,
-        TrainConfig, TrainReport, VersionStats, VersionedEngine, SNAPSHOT_FORMAT_VERSION,
+        ModelSnapshot, NetConfig, PrecisionMode, SLearner, ServingEngine, ServingStats,
+        ServingStatsSnapshot, ShardAssignment, ShardMap, ShardMapDiff, ShardMove, SnapshotError,
+        SnapshotPayload, StageReport, TLearner, TrainConfig, TrainReport, VersionStats,
+        VersionedEngine, SNAPSHOT_BINARY_FORMAT_VERSION, SNAPSHOT_FORMAT_VERSION,
     };
     pub use cerl_data::{
         CausalDataset, DataError, DomainShift, DomainStream, SemiSyntheticConfig,
