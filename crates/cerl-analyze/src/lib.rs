@@ -64,7 +64,10 @@ pub fn scan_file(path: &Path, rel: &str) -> io::Result<SourceFile> {
 ///   hygiene only (its counters are not serving-path atomics);
 /// - the panic/lock/obs-stage rules cover the serving path:
 ///   `cerl-serve`, `cerl-net`, `cerl-obs`, and
-///   `cerl-core/src/serving.rs`;
+///   `cerl-core/src/serving.rs` — by crate prefix, so modules added to
+///   those crates later (the replica route policies in
+///   `cerl-serve/src/policy.rs`, the per-domain counters in
+///   `cerl-obs/src/domains.rs`) are scoped automatically;
 /// - the dense-kernel hot modules — `cerl-math/src/matmul.rs` (the
 ///   blocked GEMM every predict routes through) and
 ///   `cerl-core/src/precision.rs` (the f32 serving plan) — are also

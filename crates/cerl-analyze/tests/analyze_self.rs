@@ -195,6 +195,28 @@ fn dense_kernel_modules_are_panic_path_scoped() {
 }
 
 #[test]
+fn replica_era_modules_are_serving_path_scoped() {
+    // The route-policy module runs on every replicated sub-batch and the
+    // per-domain counters record on every request: both are serving-path
+    // code, so panic-path, lock, and obs-stage rules must all apply —
+    // scope_for's prefix matching must keep covering files added to
+    // cerl-serve and cerl-obs, not just the ones that existed when the
+    // scope was written.
+    for rel in [
+        "crates/cerl-serve/src/policy.rs",
+        "crates/cerl-serve/src/router.rs",
+        "crates/cerl-obs/src/domains.rs",
+    ] {
+        let scope =
+            cerl_analyze::scope_for(rel).unwrap_or_else(|| panic!("{rel} must be in scope"));
+        assert!(scope.panic_free, "{rel} must be panic-path scoped");
+        assert!(scope.atomics, "{rel} must be atomic-ordering scoped");
+        assert!(scope.locks, "{rel} must be lock-blocking scoped");
+        assert!(scope.taxonomy, "{rel} must be taxonomy scoped");
+    }
+}
+
+#[test]
 fn workspace_scans_clean() {
     // The gate itself: the repo carries zero findings. CARGO_MANIFEST_DIR
     // is crates/cerl-analyze; the workspace root is two levels up.

@@ -456,6 +456,170 @@ multi-core hardware runs the per-shard sub-batches concurrently."
     record
 }
 
+/// Replica-era probe: the hot domain of a skewed workload is
+/// read-scaled across all three shards, every route policy is
+/// bitwise-checked against the unsharded reference, per-replica
+/// rows/sec shows the policy spreading the hot rows, and a
+/// drain→remove→add replica lifecycle runs under live scatter load
+/// with an error counter as the gate.
+fn replicas_probe(stream: &DomainStream, cfg: &cerl_core::CerlConfig, seed: u64) -> ProbeRecord {
+    use cerl_core::engine::CerlEngineBuilder;
+    use cerl_core::ShardMap;
+    use cerl_serve::{
+        LatencyHistogram, LeastLoaded, RoundRobin, RoutePolicy, ShardRouter, VersionPinned,
+    };
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let mut engine = CerlEngineBuilder::new(cfg.clone())
+        .seed(seed)
+        .build()
+        .expect("diag: config validated by model_config");
+    for d in 0..stream.len() {
+        engine
+            .observe(&stream.domain(d).train, &stream.domain(d).val)
+            .expect("diag: synthetic domains are well-formed");
+    }
+
+    // Hot domain 0 on every shard, cold domain 1 at home on shard 1;
+    // every shard a clone of the same engine — exactly the replica
+    // contract (a replica restores another replica's snapshot), so
+    // whichever replica a policy picks, the unsharded reference is
+    // bitwise exact.
+    let shards = 3usize;
+    let map = ShardMap::from_replicas(shards, &[(0, vec![0, 1, 2]), (1, vec![1])])
+        .expect("replica sets are in range");
+    let router = ShardRouter::new((0..shards).map(|_| engine.clone()).collect(), map)
+        .expect("fleet sizes agree");
+
+    // Skewed request: 3k rows, three quarters tagged with the hot domain.
+    let base = &stream.domain(0).test.x;
+    let rows = 3_000usize;
+    let idx: Vec<usize> = (0..rows).map(|i| i % base.rows()).collect();
+    let request = base.select_rows(&idx);
+    let tags: Vec<u64> = (0..rows).map(|i| u64::from(i % 4 == 3)).collect();
+    let reference = engine.predict_ite(&request).expect("well-formed request");
+
+    // Placement is the only thing a policy may change: all three must
+    // reproduce the reference bit for bit on the replicated topology.
+    let policies: Vec<(&str, Arc<dyn RoutePolicy>)> = vec![
+        ("least-loaded", Arc::new(LeastLoaded)),
+        ("round-robin", Arc::new(RoundRobin::new())),
+        ("version-pinned", Arc::new(VersionPinned::new(1))),
+    ];
+    let mut all_identical = true;
+    for (name, policy) in &policies {
+        router.set_route_policy(Arc::clone(policy));
+        let scattered = router
+            .predict_ite_scatter(&tags, &request)
+            .expect("every tag is mapped");
+        let identical = reference
+            .iter()
+            .zip(&scattered)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        all_identical &= identical;
+        println!("replicas [{name:>14}]: bitwise-identical to unsharded engine: {identical}");
+    }
+
+    // Throughput and per-replica attribution: round-robin rotates the
+    // hot sub-batch across the replica-set, so the skewed load shows up
+    // as near-even per-shard rows/sec instead of one scorching shard.
+    router.set_route_policy(Arc::new(RoundRobin::new()));
+    let before = router.shard_loads();
+    let hist = LatencyHistogram::new();
+    let reps = 5;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let t_req = Instant::now();
+        router
+            .predict_ite_scatter(&tags, &request)
+            .expect("every tag is mapped");
+        hist.record(t_req.elapsed());
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let throughput = (reps * rows) as f64 / elapsed;
+    for (b, a) in before.iter().zip(router.shard_loads()) {
+        println!(
+            "replica shard {}: {:>9.0} rows/sec over the timed window",
+            a.shard,
+            (a.rows - b.rows) as f64 / elapsed,
+        );
+    }
+    println!(
+        "throughput: replicated scatter {throughput:>9.0} rows/sec | mean fan-out {:.1} shards/request",
+        router.stats().mean_shards_per_scatter(),
+    );
+    println!(
+        "NOTE: on this 1-CPU container replication measures demux/merge overhead only; \
+multi-core hardware runs the per-replica sub-batches concurrently."
+    );
+
+    // Replica lifecycle under live load: scale the hot domain in
+    // (drain + remove shard 2) and back out (staged add, one-flip
+    // commit) with clients hammering skewed requests throughout.
+    let mut commit_ok = false;
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let errors = std::sync::atomic::AtomicUsize::new(0);
+    let served = std::sync::atomic::AtomicUsize::new(0);
+    let small_tags: Vec<u64> = (0..64).map(|i| u64::from(i % 4 == 3)).collect();
+    let small = base.select_rows(&(0..64).map(|i| i % base.rows()).collect::<Vec<_>>());
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    match router.predict_ite_scatter(&small_tags, &small) {
+                        Ok(_) => {
+                            served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        // On one CPU the clients only run while this thread yields;
+        // settle real traffic around each verb so the lifecycle truly
+        // happens under load.
+        let settle = |floor: usize| {
+            while served.load(std::sync::atomic::Ordering::Relaxed) < floor {
+                std::thread::yield_now();
+            }
+        };
+        settle(2);
+        let drained = router.drain_replica(0, 2);
+        assert!(drained.is_ok(), "drain a redundant replica: {drained:?}");
+        let removed = router.remove_replica(0, 2);
+        assert!(removed.is_ok(), "finalize the drain: {removed:?}");
+        settle(4);
+        let staged = router.begin_add_replica(0, 2, engine.clone());
+        assert!(staged.is_ok(), "stage a trained replica: {staged:?}");
+        match router.commit_rebalance() {
+            Ok(v) => {
+                commit_ok = true;
+                println!("replica re-added under load: shard 2 republished at v{v}");
+            }
+            Err(e) => println!("replica add FAILED: {e}"),
+        }
+        settle(6);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    let error_count = errors.load(std::sync::atomic::Ordering::Relaxed);
+    println!(
+        "under replica lifecycle: {} scatter requests answered, {error_count} errors (want 0); \
+domain 0 replica-set: {}",
+        served.load(std::sync::atomic::Ordering::Relaxed),
+        router.replicas(0).expect("domain 0 is mapped"),
+    );
+    let mut record = ProbeRecord::new("replicas", throughput, hist.snapshot());
+    record.passed = all_identical && commit_ok && error_count == 0;
+    record.detail = format!(
+        "{rows} skewed rows (3:1 hot domain 0) over {shards} replicas; bitwise under every \
+         policy: {all_identical}; lifecycle-under-load errors: {error_count}"
+    );
+    record
+}
+
 /// Network front-end probe: a loopback [`cerl_net::NetServer`] reactor
 /// fronting a [`cerl_serve::BatchScheduler`], driven by 64 concurrent
 /// client connections (8 driver threads x 8 sockets) round-tripping
@@ -1167,6 +1331,7 @@ fn main() {
             serving_probe(&stream, &cfg, args.seed),
             batched_probe(&stream, &cfg, args.seed),
             scatter_probe(&stream, &cfg, args.seed),
+            replicas_probe(&stream, &cfg, args.seed),
             orchestrate_probe(&stream, &cfg, args.seed),
             net_probe(&stream, &cfg, args.seed),
         ];
@@ -1199,6 +1364,10 @@ fn main() {
     }
     if args.has_flag("--scatter") {
         exit_on_failure(&[scatter_probe(&stream, &cfg, args.seed)]);
+        return;
+    }
+    if args.has_flag("--replicas") {
+        exit_on_failure(&[replicas_probe(&stream, &cfg, args.seed)]);
         return;
     }
     if args.has_flag("--orchestrate") {

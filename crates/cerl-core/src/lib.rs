@@ -131,8 +131,8 @@ pub use serving::{
     ServingEngine, ServingStats, ServingStatsSnapshot, VersionStats, VersionedEngine,
 };
 pub use snapshot::{
-    ModelSnapshot, ShardAssignment, ShardMap, ShardMapDiff, ShardMove, SnapshotPayload,
-    SNAPSHOT_BINARY_FORMAT_VERSION, SNAPSHOT_FORMAT_VERSION,
+    ModelSnapshot, ReplicaChange, ReplicaSet, ShardAssignment, ShardMap, ShardMapDiff, ShardMove,
+    SnapshotPayload, SNAPSHOT_BINARY_FORMAT_VERSION, SNAPSHOT_FORMAT_VERSION,
 };
 pub use strategies::{paper_lineup, CfrA, CfrB, CfrC, ContinualEstimator};
 pub use trainer::TrainReport;

@@ -48,16 +48,20 @@ use cerl_nn::{ParamId, ParamStore};
 use serde::{Deserialize, Serialize, Value};
 
 /// JSON document version written by [`ModelSnapshot::to_bytes`]. Readers
-/// also accept version 1 (which predates the `shard_map` / `shard_index`
-/// fields; they restore as `None`). Bump on any incompatible change to the
-/// document layout.
+/// also accept versions 1 (which predates the `shard_map` / `shard_index`
+/// fields; they restore as `None`) and 2 (whose assignments carried a
+/// single `shard` per domain; they restore as one-replica sets). Bump on
+/// any incompatible change to the document layout.
 ///
 /// Version history:
 /// * **1** — initial JSON layout (PR 1). Still readable.
-/// * **2** — adds the `shard_map` routing-metadata field ([`ShardMap`]).
+/// * **2** — adds the `shard_map` routing-metadata field. Still readable;
+///   each `domain → shard` entry upgrades to a one-replica set.
 /// * **3** — the binary container ([`SNAPSHOT_BINARY_FORMAT_VERSION`]);
-///   JSON documents stay at version 2.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+///   the embedded JSON document stays at its own version.
+/// * **4** — [`ShardMap`] assignments become `domain → replica-set`
+///   ([`ReplicaSet`]): an ordered set of shard ids instead of one shard.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 4;
 
 /// Container version written by [`ModelSnapshot::to_binary_bytes`] (format
 /// v3, the binary snapshot format).
@@ -117,61 +121,248 @@ pub enum SnapshotPayload {
     F32,
 }
 
-/// Routing metadata: which serving shard owns each domain id.
+/// Routing metadata: which serving shards own each domain id.
 ///
 /// A fleet that splits traffic across N independently hot-swappable
 /// engines (one per domain cluster or geography — see the `cerl-serve`
 /// crate's `ShardRouter`) carries this map in the snapshot so a replica
 /// restoring from bytes knows the fleet topology, not just its own
-/// weights. Assignments are kept sorted by domain id; lookups are binary
-/// searches.
+/// weights. Each domain maps to a [`ReplicaSet`] — an ordered set of
+/// shard ids all serving identical model bytes — so a hot domain can be
+/// read-scaled across several shards while cold domains keep one.
+/// Assignments are kept sorted by domain id; lookups are binary searches.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardMap {
     /// Total number of shards in the fleet (shard indices are `0..shards`).
     shards: usize,
-    /// Sorted, deduplicated `domain → shard` assignments.
+    /// Sorted, deduplicated `domain → replica-set` assignments.
     assignments: Vec<ShardAssignment>,
 }
 
-/// One `domain → shard` routing entry of a [`ShardMap`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// One `domain → replica-set` routing entry of a [`ShardMap`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardAssignment {
     /// Domain identifier as seen on requests.
     pub domain: u64,
-    /// Index of the shard that serves this domain.
-    pub shard: usize,
+    /// Ordered set of shards that serve this domain.
+    pub replicas: ReplicaSet,
+}
+
+/// An ordered set of shard ids that all serve one domain.
+///
+/// The set is canonical — sorted ascending, deduplicated, never empty —
+/// so two maps with the same replicas compare equal regardless of the
+/// order they were built in, and the **primary** replica (the smallest
+/// id, [`ReplicaSet::primary`]) is a deterministic function of the set.
+/// Which replica actually answers a given sub-batch is a serving-side
+/// policy decision (`cerl-serve`'s `RoutePolicy`), never encoded here:
+/// the map says *where a domain's bytes live*, the policy says *which
+/// copy answers*.
+///
+/// Serialized as a plain JSON array of shard ids (`[0, 2, 3]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaSet {
+    /// Sorted ascending, deduplicated, non-empty (constructor-enforced;
+    /// deserialized sets are re-checked by [`ShardMap::validate`]).
+    shards: Vec<usize>,
+}
+
+impl ReplicaSet {
+    /// A canonical set from any list of shard ids: sorted, deduplicated.
+    ///
+    /// Fails with [`CerlError::InvalidConfig`] when `shards` is empty — a
+    /// mapped domain must have at least one serving replica.
+    pub fn new(shards: &[usize]) -> Result<Self, CerlError> {
+        if shards.is_empty() {
+            return Err(invalid_shard_map("replica-set is empty".into()));
+        }
+        let mut shards = shards.to_vec();
+        shards.sort_unstable();
+        shards.dedup();
+        Ok(Self { shards })
+    }
+
+    /// The one-replica set `{shard}` — every pre-replication topology.
+    pub fn single(shard: usize) -> Self {
+        Self {
+            shards: vec![shard],
+        }
+    }
+
+    /// The primary replica: the smallest shard id in the set. This is
+    /// the shard single-replica call paths route to, so a one-replica
+    /// set behaves exactly like the old `domain → shard` entry.
+    pub fn primary(&self) -> usize {
+        self.shards[0] // panic-ok: constructor rejects empty sets
+    }
+
+    /// All replicas, sorted ascending.
+    pub fn shards(&self) -> &[usize] {
+        &self.shards
+    }
+
+    /// Number of replicas in the set.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the set holds no replica (only reachable via a doctored
+    /// document; constructed sets are never empty).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Whether `shard` is one of this domain's replicas.
+    pub fn contains(&self, shard: usize) -> bool {
+        self.shards.binary_search(&shard).is_ok()
+    }
+
+    /// This set plus `shard`. Fails when `shard` is already a replica.
+    pub fn with_added(&self, shard: usize) -> Result<Self, CerlError> {
+        if self.contains(shard) {
+            return Err(invalid_shard_map(format!(
+                "shard {shard} is already in replica-set {self}"
+            )));
+        }
+        let mut shards = self.shards.clone();
+        shards.push(shard);
+        shards.sort_unstable();
+        Ok(Self { shards })
+    }
+
+    /// This set minus `shard`. Fails when `shard` is not a replica or is
+    /// the last one (a mapped domain must keep a serving replica).
+    pub fn with_removed(&self, shard: usize) -> Result<Self, CerlError> {
+        if !self.contains(shard) {
+            return Err(invalid_shard_map(format!(
+                "shard {shard} is not in replica-set {self}"
+            )));
+        }
+        if self.shards.len() == 1 {
+            return Err(invalid_shard_map(format!(
+                "shard {shard} is the last replica of the set"
+            )));
+        }
+        Ok(Self {
+            shards: self
+                .shards
+                .iter()
+                .copied()
+                .filter(|&s| s != shard)
+                .collect(),
+        })
+    }
+
+    /// This set with `from` replaced by `to` — a replica *move*. For a
+    /// one-replica set this is exactly the old single-shard domain move.
+    pub fn with_replaced(&self, from: usize, to: usize) -> Result<Self, CerlError> {
+        if from == to {
+            return Ok(self.clone());
+        }
+        self.with_added(to)?.with_removed(from)
+    }
+}
+
+impl std::fmt::Display for ReplicaSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Serialize for ReplicaSet {
+    fn serialize(&self) -> Value {
+        Value::Array(self.shards.iter().map(|&s| Value::UInt(s as u64)).collect())
+    }
+}
+
+impl Deserialize for ReplicaSet {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| serde::Error::custom("replica-set is not an array"))?;
+        let shards = items
+            .iter()
+            .map(usize::deserialize)
+            .collect::<Result<Vec<usize>, serde::Error>>()?;
+        // Deliberately *not* canonicalized: a doctored document must
+        // surface as a typed validation error, not be silently repaired.
+        Ok(Self { shards })
+    }
 }
 
 impl ShardMap {
-    /// Build a map over `shards` shards from `(domain, shard)` pairs.
+    /// Build a map over `shards` shards from `(domain, shard)` pairs —
+    /// the single-replica convenience form of [`ShardMap::from_replicas`].
     ///
     /// Fails with [`CerlError::InvalidConfig`] when `shards` is 0, a pair
     /// routes to a shard index `>= shards`, or the same domain is assigned
     /// twice (to *different* shards — exact duplicates are collapsed).
     pub fn from_pairs(shards: usize, pairs: &[(u64, usize)]) -> Result<Self, CerlError> {
+        let mut sorted: Vec<(u64, usize)> = pairs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for pair in sorted.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(invalid_shard_map(format!(
+                    "domain {} assigned to both shard {} and shard {}",
+                    pair[0].0, pair[0].1, pair[1].1
+                )));
+            }
+        }
+        let entries: Vec<(u64, Vec<usize>)> =
+            sorted.into_iter().map(|(d, s)| (d, vec![s])).collect();
+        Self::from_replicas(shards, &entries)
+    }
+
+    /// Build a map over `shards` shards from `(domain, replica ids)`
+    /// entries. Replica lists are canonicalized ([`ReplicaSet::new`]).
+    ///
+    /// Fails with [`CerlError::InvalidConfig`] when `shards` is 0, a
+    /// replica list is empty, a replica id is `>= shards`, or the same
+    /// domain appears twice with *different* replica-sets (entries that
+    /// agree exactly are collapsed).
+    pub fn from_replicas(shards: usize, entries: &[(u64, Vec<usize>)]) -> Result<Self, CerlError> {
         if shards == 0 {
             return Err(invalid_shard_map("shard count is 0".into()));
         }
-        let mut assignments: Vec<ShardAssignment> = pairs
+        let mut assignments: Vec<ShardAssignment> = entries
             .iter()
-            .map(|&(domain, shard)| ShardAssignment { domain, shard })
-            .collect();
-        assignments.sort_by_key(|a| (a.domain, a.shard));
+            .map(|(domain, replicas)| {
+                let replicas = ReplicaSet::new(replicas).map_err(|_| {
+                    invalid_shard_map(format!("domain {domain} has an empty replica-set"))
+                })?;
+                Ok(ShardAssignment {
+                    domain: *domain,
+                    replicas,
+                })
+            })
+            .collect::<Result<_, CerlError>>()?;
+        assignments
+            .sort_by(|a, b| (a.domain, a.replicas.shards()).cmp(&(b.domain, b.replicas.shards())));
         assignments.dedup();
         for pair in assignments.windows(2) {
             if pair[0].domain == pair[1].domain {
                 return Err(invalid_shard_map(format!(
-                    "domain {} assigned to both shard {} and shard {}",
-                    pair[0].domain, pair[0].shard, pair[1].shard
+                    "domain {} assigned to both replica-set {} and replica-set {}",
+                    pair[0].domain, pair[0].replicas, pair[1].replicas
                 )));
             }
         }
         for a in &assignments {
-            if a.shard >= shards {
-                return Err(invalid_shard_map(format!(
-                    "domain {} routed to shard {} but the map declares {shards} shard(s)",
-                    a.domain, a.shard
-                )));
+            for &shard in a.replicas.shards() {
+                if shard >= shards {
+                    return Err(invalid_shard_map(format!(
+                        "domain {} routed to shard {shard} but the map declares {shards} shard(s)",
+                        a.domain
+                    )));
+                }
             }
         }
         Ok(Self {
@@ -180,12 +371,29 @@ impl ShardMap {
         })
     }
 
-    /// The shard serving `domain`, or `None` when the domain is not mapped.
+    /// The *primary* shard serving `domain` (smallest replica id), or
+    /// `None` when the domain is not mapped. For single-replica maps this
+    /// is the one shard that serves the domain, exactly as before
+    /// replication; replica-aware callers use [`ShardMap::replicas_for`].
     pub fn shard_for(&self, domain: u64) -> Option<usize> {
+        self.replicas_for(domain).map(ReplicaSet::primary)
+    }
+
+    /// The full replica-set serving `domain`, or `None` when unmapped.
+    pub fn replicas_for(&self, domain: u64) -> Option<&ReplicaSet> {
         self.assignments
             .binary_search_by_key(&domain, |a| a.domain)
             .ok()
-            .map(|i| self.assignments[i].shard)
+            .map(|i| &self.assignments[i].replicas)
+    }
+
+    /// Whether any domain is served by more than one replica. Routers
+    /// use this to keep the single-replica demux on its historical fast
+    /// path: when `false`, no routing policy has a choice to make and
+    /// every row resolves through [`ShardMap::shard_for`] exactly as
+    /// before replication existed.
+    pub fn is_replicated(&self) -> bool {
+        self.assignments.iter().any(|a| a.replicas.len() > 1)
     }
 
     /// Number of shards the map routes across.
@@ -208,56 +416,128 @@ impl ShardMap {
         &self.assignments
     }
 
-    /// A copy of this map with `domain` re-routed to `to_shard` — the
-    /// topology flip a shard rebalance commits.
+    /// A copy of this map with `shard` added to `domain`'s replica-set —
+    /// the topology flip that commits a read-scaling `add_replica`.
     ///
-    /// The domain must already be mapped (rebalancing moves existing
-    /// traffic; use [`ShardMap::merge`] to introduce new domains) and
-    /// `to_shard` must be inside the declared shard range. The original
-    /// map is untouched, so a router can build the successor topology off
-    /// to the side and publish it with one atomic pointer swap.
-    pub fn with_domain_moved(&self, domain: u64, to_shard: usize) -> Result<Self, CerlError> {
-        if self.shard_for(domain).is_none() {
+    /// The domain must already be mapped, `shard` must be inside the
+    /// declared shard range, and must not already serve the domain. The
+    /// original map is untouched, so a router can build the successor
+    /// topology off to the side and publish it with one atomic pointer
+    /// swap.
+    pub fn with_replica_added(&self, domain: u64, shard: usize) -> Result<Self, CerlError> {
+        self.update_replicas(domain, |set| set.with_added(shard))
+    }
+
+    /// A copy of this map with `shard` removed from `domain`'s
+    /// replica-set — the topology flip that drains a replica. Fails when
+    /// `shard` does not serve the domain or is its last replica.
+    pub fn with_replica_removed(&self, domain: u64, shard: usize) -> Result<Self, CerlError> {
+        self.update_replicas(domain, |set| set.with_removed(shard))
+    }
+
+    /// A copy of this map with `domain`'s replica on shard `from`
+    /// replaced by one on shard `to` — the topology flip a shard
+    /// rebalance commits. For a single-replica domain this is exactly
+    /// the old whole-domain move.
+    pub fn with_replica_replaced(
+        &self,
+        domain: u64,
+        from: usize,
+        to: usize,
+    ) -> Result<Self, CerlError> {
+        self.update_replicas(domain, |set| set.with_replaced(from, to))
+    }
+
+    /// Rebuild the map with `domain`'s replica-set transformed by `f`,
+    /// re-validating the result against the declared shard range.
+    fn update_replicas(
+        &self,
+        domain: u64,
+        f: impl FnOnce(&ReplicaSet) -> Result<ReplicaSet, CerlError>,
+    ) -> Result<Self, CerlError> {
+        let Some(current) = self.replicas_for(domain) else {
             return Err(invalid_shard_map(format!(
-                "cannot move domain {domain}: the map does not route it"
+                "cannot change replicas of domain {domain}: the map does not route it"
             )));
-        }
-        let pairs: Vec<(u64, usize)> = self
+        };
+        let next = f(current).map_err(|e| match e {
+            CerlError::InvalidConfig { reason, .. } => {
+                invalid_shard_map(format!("domain {domain}: {reason}"))
+            }
+            other => other,
+        })?;
+        let entries: Vec<(u64, Vec<usize>)> = self
             .assignments
             .iter()
             .map(|a| {
                 if a.domain == domain {
-                    (a.domain, to_shard)
+                    (a.domain, next.shards().to_vec())
                 } else {
-                    (a.domain, a.shard)
+                    (a.domain, a.replicas.shards().to_vec())
                 }
             })
             .collect();
-        Self::from_pairs(self.shards, &pairs)
+        Self::from_replicas(self.shards, &entries)
     }
 
     /// Structural difference between this topology and `successor`:
-    /// which domains moved shards, which were added, which were removed.
+    /// which replicas moved shard-to-shard, which were added or removed
+    /// within a surviving domain, and which whole domains appeared or
+    /// disappeared.
     ///
     /// A fleet restore uses this to explain *how* two replica snapshots
     /// disagree (e.g. a registry captured mid-rebalance), and an
     /// orchestrator can turn the `moved` list into a rebalance plan.
+    /// Within one domain, departed and arrived replicas are paired off
+    /// in sorted order into [`ShardMove`] entries; an unpaired surplus
+    /// lands in [`ShardMapDiff::replicas_added`] /
+    /// [`ShardMapDiff::replicas_removed`].
     pub fn diff(&self, successor: &ShardMap) -> ShardMapDiff {
         let mut diff = ShardMapDiff::default();
         for a in &self.assignments {
-            match successor.shard_for(a.domain) {
-                Some(shard) if shard != a.shard => diff.moved.push(ShardMove {
-                    domain: a.domain,
-                    from: a.shard,
-                    to: shard,
-                }),
+            match successor.replicas_for(a.domain) {
+                Some(new) if new != &a.replicas => {
+                    let departed: Vec<usize> = a
+                        .replicas
+                        .shards()
+                        .iter()
+                        .copied()
+                        .filter(|&s| !new.contains(s))
+                        .collect();
+                    let arrived: Vec<usize> = new
+                        .shards()
+                        .iter()
+                        .copied()
+                        .filter(|&s| !a.replicas.contains(s))
+                        .collect();
+                    let paired = departed.len().min(arrived.len());
+                    for i in 0..paired {
+                        diff.moved.push(ShardMove {
+                            domain: a.domain,
+                            from: departed[i],
+                            to: arrived[i],
+                        });
+                    }
+                    for &shard in &departed[paired..] {
+                        diff.replicas_removed.push(ReplicaChange {
+                            domain: a.domain,
+                            shard,
+                        });
+                    }
+                    for &shard in &arrived[paired..] {
+                        diff.replicas_added.push(ReplicaChange {
+                            domain: a.domain,
+                            shard,
+                        });
+                    }
+                }
                 Some(_) => {}
-                None => diff.removed.push(*a),
+                None => diff.removed.push(a.clone()),
             }
         }
         for a in &successor.assignments {
-            if self.shard_for(a.domain).is_none() {
-                diff.added.push(*a);
+            if self.replicas_for(a.domain).is_none() {
+                diff.added.push(a.clone());
             }
         }
         diff
@@ -266,32 +546,52 @@ impl ShardMap {
     /// Union of two topologies: every domain either map routes, over
     /// `max(shard_count)` shards.
     ///
-    /// Fails when the maps route the same domain to different shards —
+    /// Fails when the maps give the same domain different replica-sets —
     /// merging is for composing disjoint fleets (or re-assembling a map
     /// from per-shard fragments), not for resolving conflicts; use
-    /// [`ShardMap::diff`] to see a conflict and
-    /// [`ShardMap::with_domain_moved`] to resolve it deliberately.
+    /// [`ShardMap::diff`] to see a conflict and the
+    /// [`ShardMap::with_replica_added`] /
+    /// [`ShardMap::with_replica_removed`] /
+    /// [`ShardMap::with_replica_replaced`] family to resolve it
+    /// deliberately. The conflict error names the domain and *both*
+    /// replica-sets.
     pub fn merge(&self, other: &ShardMap) -> Result<Self, CerlError> {
-        let mut pairs: Vec<(u64, usize)> = self
+        let entries: Vec<(u64, Vec<usize>)> = self
             .assignments
             .iter()
             .chain(&other.assignments)
-            .map(|a| (a.domain, a.shard))
+            .map(|a| (a.domain, a.replicas.shards().to_vec()))
             .collect();
-        pairs.sort_unstable();
-        pairs.dedup();
-        Self::from_pairs(self.shards.max(other.shards), &pairs)
+        Self::from_replicas(self.shards.max(other.shards), &entries)
     }
 
-    /// Re-check the invariants [`ShardMap::from_pairs`] enforces (a
-    /// deserialized map bypasses the constructor).
+    /// Re-check the invariants [`ShardMap::from_replicas`] enforces (a
+    /// deserialized map bypasses the constructor): no empty replica-set,
+    /// no duplicate replica ids, every replica inside the declared shard
+    /// range, assignments sorted and deduplicated by domain.
     pub(crate) fn validate(&self) -> Result<(), CerlError> {
-        let pairs: Vec<(u64, usize)> = self
+        for a in &self.assignments {
+            if a.replicas.is_empty() {
+                return Err(invalid_shard_map(format!(
+                    "domain {} has an empty replica-set",
+                    a.domain
+                )));
+            }
+            for pair in a.replicas.shards().windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(invalid_shard_map(format!(
+                        "domain {} replica-set {} is not sorted/deduplicated",
+                        a.domain, a.replicas
+                    )));
+                }
+            }
+        }
+        let entries: Vec<(u64, Vec<usize>)> = self
             .assignments
             .iter()
-            .map(|a| (a.domain, a.shard))
+            .map(|a| (a.domain, a.replicas.shards().to_vec()))
             .collect();
-        let rebuilt = Self::from_pairs(self.shards, &pairs)?;
+        let rebuilt = Self::from_replicas(self.shards, &entries)?;
         if rebuilt.assignments != self.assignments {
             return Err(invalid_shard_map(
                 "assignments are not sorted/deduplicated by domain".into(),
@@ -308,15 +608,33 @@ fn invalid_shard_map(reason: String) -> CerlError {
     }
 }
 
-/// One domain's relocation between shards (an entry of
-/// [`ShardMapDiff::moved`]).
+/// One replica appearing on (or departing) a shard without a paired
+/// counterpart — an entry of [`ShardMapDiff::replicas_added`] /
+/// [`ShardMapDiff::replicas_removed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaChange {
+    /// Domain whose replica-set changed size.
+    pub domain: u64,
+    /// The shard the replica appeared on (or departed from).
+    pub shard: usize,
+}
+
+impl std::fmt::Display for ReplicaChange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "domain {} replica on shard {}", self.domain, self.shard)
+    }
+}
+
+/// One replica's relocation between shards (an entry of
+/// [`ShardMapDiff::moved`]). For a single-replica domain this is the
+/// whole domain changing shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardMove {
-    /// Domain that changed shards.
+    /// Domain whose replica changed shards.
     pub domain: u64,
-    /// Shard it was routed to in the older topology.
+    /// Shard the replica lived on in the older topology.
     pub from: usize,
-    /// Shard it is routed to in the newer topology.
+    /// Shard it lives on in the newer topology.
     pub to: usize,
 }
 
@@ -334,19 +652,31 @@ impl std::fmt::Display for ShardMove {
 /// ([`ShardMap::diff`]). All lists are sorted by domain id.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ShardMapDiff {
-    /// Domains routed by both maps, to different shards.
+    /// Replicas present in both maps' domains but on different shards
+    /// (departures and arrivals within one domain, paired off in sorted
+    /// order).
     pub moved: Vec<ShardMove>,
     /// Domains only the newer map routes.
     pub added: Vec<ShardAssignment>,
     /// Domains only the older map routes.
     pub removed: Vec<ShardAssignment>,
+    /// Replicas the newer map adds to domains both maps route (a
+    /// read-scaling `add_replica`).
+    pub replicas_added: Vec<ReplicaChange>,
+    /// Replicas the newer map drops from domains both maps route (a
+    /// `drain_replica`/`remove_replica`).
+    pub replicas_removed: Vec<ReplicaChange>,
 }
 
 impl ShardMapDiff {
     /// Whether the two topologies route identically (shard *counts* may
     /// still differ; the diff is about domain placement).
     pub fn is_empty(&self) -> bool {
-        self.moved.is_empty() && self.added.is_empty() && self.removed.is_empty()
+        self.moved.is_empty()
+            && self.added.is_empty()
+            && self.removed.is_empty()
+            && self.replicas_added.is_empty()
+            && self.replicas_removed.is_empty()
     }
 }
 
@@ -518,12 +848,23 @@ impl ModelSnapshot {
             serde::field(fields, "format_version").map_err(|e| malformed(e.to_string()))?;
         match format_version {
             // v1 predates the shard routing fields; upgrade the document
-            // in place so the derived deserializer sees the v2 shape.
+            // in place so the derived deserializer sees the v4 shape.
             1 => {
                 let mut fields = fields.to_vec();
                 for key in ["shard_map", "shard_index"] {
                     if !fields.iter().any(|(k, _)| k == key) {
                         fields.push((key.to_string(), Value::Null));
+                    }
+                }
+                Self::deserialize(&Value::Object(fields)).map_err(|e| malformed(e.to_string()))
+            }
+            // v2 carried one `shard` per assignment; upgrade each entry
+            // to a one-replica set so the v4 deserializer reads it.
+            2 => {
+                let mut fields = fields.to_vec();
+                for (key, field_value) in fields.iter_mut() {
+                    if key == "shard_map" {
+                        upgrade_v2_shard_map(field_value)?;
                     }
                 }
                 Self::deserialize(&Value::Object(fields)).map_err(|e| malformed(e.to_string()))
@@ -720,6 +1061,38 @@ fn incompatible(reason: &str) -> CerlError {
 
 fn malformed(reason: impl Into<String>) -> CerlError {
     CerlError::Snapshot(SnapshotError::Malformed(reason.into()))
+}
+
+/// Upgrade a format-v2 `shard_map` document value in place: each
+/// assignment's `"shard": M` entry becomes `"replicas": [M]`. `Null`
+/// (no map attached) passes through; any other shape is malformed.
+fn upgrade_v2_shard_map(value: &mut Value) -> Result<(), CerlError> {
+    let Value::Object(fields) = value else {
+        if matches!(value, Value::Null) {
+            return Ok(());
+        }
+        return Err(malformed("v2 shard_map is neither an object nor null"));
+    };
+    for (key, field_value) in fields.iter_mut() {
+        if key != "assignments" {
+            continue;
+        }
+        let Value::Array(items) = field_value else {
+            return Err(malformed("v2 shard_map assignments is not an array"));
+        };
+        for item in items {
+            let Value::Object(entry) = item else {
+                return Err(malformed("v2 shard assignment is not an object"));
+            };
+            for (k, v) in entry.iter_mut() {
+                if k == "shard" {
+                    *k = "replicas".to_string();
+                    *v = Value::Array(vec![v.clone()]);
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Bounds-checked cursor over untrusted snapshot bytes: every read
@@ -978,15 +1351,209 @@ mod tests {
     }
 
     #[test]
+    fn replica_sets_route_and_mutate() {
+        let map = ShardMap::from_replicas(4, &[(0, vec![2, 0]), (1, vec![3])]).unwrap();
+        // Canonical order: sorted ascending, primary = smallest id.
+        assert_eq!(map.replicas_for(0).unwrap().shards(), &[0, 2]);
+        assert_eq!(map.shard_for(0), Some(0));
+        assert_eq!(map.replicas_for(1).unwrap().shards(), &[3]);
+        assert_eq!(map.replicas_for(9), None);
+        assert!(map.replicas_for(0).unwrap().contains(2));
+        assert!(!map.replicas_for(0).unwrap().contains(1));
+
+        let grown = map.with_replica_added(1, 1).unwrap();
+        assert_eq!(grown.replicas_for(1).unwrap().shards(), &[1, 3]);
+        assert_eq!(map.replicas_for(1).unwrap().len(), 1, "original untouched");
+        assert!(map.with_replica_added(1, 3).is_err(), "already a replica");
+        assert!(map.with_replica_added(1, 9).is_err(), "out of range");
+        assert!(map.with_replica_added(7, 0).is_err(), "unmapped domain");
+
+        let shrunk = grown.with_replica_removed(1, 3).unwrap();
+        assert_eq!(shrunk.replicas_for(1).unwrap().shards(), &[1]);
+        assert!(map.with_replica_removed(1, 3).is_err(), "last replica");
+        assert!(map.with_replica_removed(0, 1).is_err(), "not a replica");
+
+        // Exact-duplicate entries collapse; conflicting sets are refused
+        // with both sets named.
+        let dup = ShardMap::from_replicas(4, &[(0, vec![1, 2]), (0, vec![2, 1])]).unwrap();
+        assert_eq!(dup.len(), 1);
+        let err = ShardMap::from_replicas(4, &[(0, vec![1]), (0, vec![1, 2])]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("[1]") && msg.contains("[1, 2]"), "{msg}");
+        // An empty replica list never builds.
+        assert!(ShardMap::from_replicas(4, &[(0, vec![])]).is_err());
+    }
+
+    #[test]
+    fn replica_diff_pairs_moves_and_reports_surplus() {
+        let old = ShardMap::from_replicas(5, &[(0, vec![0, 1]), (1, vec![2])]).unwrap();
+        // Domain 0: replica 1 -> 3 (paired move) plus a brand-new replica
+        // on 4 (surplus arrival). Domain 1: untouched.
+        let new = ShardMap::from_replicas(5, &[(0, vec![0, 3, 4]), (1, vec![2])]).unwrap();
+        let diff = old.diff(&new);
+        assert_eq!(
+            diff.moved,
+            vec![ShardMove {
+                domain: 0,
+                from: 1,
+                to: 3
+            }]
+        );
+        assert_eq!(
+            diff.replicas_added,
+            vec![ReplicaChange {
+                domain: 0,
+                shard: 4
+            }]
+        );
+        assert!(diff.replicas_removed.is_empty());
+        assert!(diff.added.is_empty() && diff.removed.is_empty());
+        assert!(!diff.is_empty());
+        // The reverse direction sees the surplus as a removal.
+        let back = new.diff(&old);
+        assert_eq!(back.moved.len(), 1);
+        assert_eq!(
+            back.replicas_removed,
+            vec![ReplicaChange {
+                domain: 0,
+                shard: 4
+            }]
+        );
+        assert_eq!(
+            back.replicas_removed[0].to_string(),
+            "domain 0 replica on shard 4"
+        );
+        // A pure add_replica diff has no moves at all.
+        let scaled = old.with_replica_added(1, 4).unwrap();
+        let diff = old.diff(&scaled);
+        assert!(diff.moved.is_empty());
+        assert_eq!(diff.replicas_added.len(), 1);
+    }
+
+    #[test]
+    fn hostile_replica_metadata_is_rejected_not_a_panic() {
+        let (cerl, _) = trained_cerl(1);
+        let reject = |map: ShardMap, what: &str| {
+            let mut snapshot = cerl.to_snapshot();
+            snapshot.shard_map = Some(map);
+            let parsed = ModelSnapshot::from_bytes(&snapshot.to_bytes().unwrap()).unwrap();
+            match Cerl::from_snapshot(parsed) {
+                Err(CerlError::InvalidConfig { field, .. }) => {
+                    assert_eq!(field, "shard_map", "{what}")
+                }
+                other => panic!(
+                    "{what}: expected InvalidConfig, got {:?}",
+                    other.map(|_| ())
+                ),
+            }
+        };
+        // Duplicate replica ids inside one set.
+        reject(
+            ShardMap {
+                shards: 2,
+                assignments: vec![ShardAssignment {
+                    domain: 0,
+                    replicas: ReplicaSet { shards: vec![1, 1] },
+                }],
+            },
+            "duplicate replica ids",
+        );
+        // Empty replica-set.
+        reject(
+            ShardMap {
+                shards: 2,
+                assignments: vec![ShardAssignment {
+                    domain: 0,
+                    replicas: ReplicaSet { shards: vec![] },
+                }],
+            },
+            "empty replica-set",
+        );
+        // Replica id past the declared fleet size.
+        reject(
+            ShardMap {
+                shards: 2,
+                assignments: vec![ShardAssignment {
+                    domain: 0,
+                    replicas: ReplicaSet {
+                        shards: vec![0, 17],
+                    },
+                }],
+            },
+            "replica id >= fleet size",
+        );
+    }
+
+    #[test]
+    fn v2_json_documents_with_single_shard_assignments_still_load() {
+        let (cerl, stream) = trained_cerl(1);
+        let map = ShardMap::from_pairs(3, &[(0, 0), (1, 2)]).unwrap();
+        let bytes = cerl
+            .to_snapshot()
+            .with_shard_map(map.clone())
+            .with_shard_index(0)
+            .to_bytes()
+            .unwrap();
+        // Rewrite the document to the v2 shape: one `shard` per
+        // assignment instead of a `replicas` array.
+        let mut value = serde_json::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        fn downgrade(v: &mut serde::Value) {
+            if let serde::Value::Object(fields) = v {
+                for (k, val) in fields.iter_mut() {
+                    if k == "replicas" {
+                        let shard = match val {
+                            serde::Value::Array(items) => items[0].clone(),
+                            _ => panic!("replicas is an array"),
+                        };
+                        *k = "shard".to_string();
+                        *val = shard;
+                    } else {
+                        downgrade(val);
+                    }
+                }
+            } else if let serde::Value::Array(items) = v {
+                for item in items.iter_mut() {
+                    downgrade(item);
+                }
+            }
+        }
+        downgrade(&mut value);
+        if let serde::Value::Object(fields) = &mut value {
+            for (k, v) in fields.iter_mut() {
+                if k == "format_version" {
+                    *v = serde::Value::UInt(2);
+                }
+            }
+        }
+        let v2 = serde_json::to_string(&value).unwrap();
+        let parsed = ModelSnapshot::from_bytes(v2.as_bytes()).unwrap();
+        assert_eq!(parsed.shard_map, Some(map));
+        assert_eq!(parsed.shard_index, Some(0));
+        let restored = Cerl::from_snapshot(parsed).unwrap();
+        let x = &stream.domain(0).test.x;
+        assert_eq!(restored.predict_ite(x), cerl.predict_ite(x));
+    }
+
+    #[test]
     fn shard_map_move_diff_and_merge() {
         let map = ShardMap::from_pairs(3, &[(0, 0), (1, 0), (2, 1)]).unwrap();
 
-        let moved = map.with_domain_moved(1, 2).unwrap();
+        let moved = map.with_replica_replaced(1, 0, 2).unwrap();
         assert_eq!(moved.shard_for(1), Some(2));
         assert_eq!(moved.shard_for(0), Some(0));
         assert_eq!(map.shard_for(1), Some(0), "original map is untouched");
-        assert!(map.with_domain_moved(99, 1).is_err(), "unmapped domain");
-        assert!(map.with_domain_moved(1, 7).is_err(), "shard out of range");
+        assert!(
+            map.with_replica_replaced(99, 0, 1).is_err(),
+            "unmapped domain"
+        );
+        assert!(
+            map.with_replica_replaced(1, 0, 7).is_err(),
+            "shard out of range"
+        );
+        assert!(
+            map.with_replica_replaced(1, 2, 1).is_err(),
+            "source shard does not hold the domain"
+        );
 
         let diff = map.diff(&moved);
         assert_eq!(
@@ -1061,13 +1628,26 @@ mod tests {
     }
 
     #[test]
-    fn shard_map_merge_conflicts_name_the_domain_and_both_shards() {
+    fn shard_map_merge_conflicts_name_the_domain_and_both_replica_sets() {
         let a = ShardMap::from_pairs(3, &[(0, 0), (1, 0), (2, 1)]).unwrap();
         let b = ShardMap::from_pairs(3, &[(1, 2), (5, 2)]).unwrap();
-        let msg = a.merge(&b).unwrap_err().to_string();
+        let err = a.merge(&b).unwrap_err();
         assert!(
-            msg.contains("domain 1") && msg.contains("shard 0") && msg.contains("shard 2"),
-            "conflict must name the domain and both placements: {msg}"
+            matches!(err, CerlError::InvalidConfig { field, .. } if field == "shard_map"),
+            "conflict must stay a typed shard_map error"
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains("domain 1") && msg.contains("[0]") && msg.contains("[2]"),
+            "conflict must name the domain and both replica-sets: {msg}"
+        );
+        // Multi-replica conflicts render the full sets on both sides.
+        let wide_a = ShardMap::from_replicas(4, &[(1, vec![0, 2])]).unwrap();
+        let wide_b = ShardMap::from_replicas(4, &[(1, vec![0, 3])]).unwrap();
+        let msg = wide_a.merge(&wide_b).unwrap_err().to_string();
+        assert!(
+            msg.contains("domain 1") && msg.contains("[0, 2]") && msg.contains("[0, 3]"),
+            "conflict must name both full replica-sets: {msg}"
         );
         // Merge order does not change the verdict.
         assert!(b.merge(&a).is_err());
@@ -1102,7 +1682,7 @@ mod tests {
             shards: 1,
             assignments: vec![ShardAssignment {
                 domain: 0,
-                shard: 5,
+                replicas: ReplicaSet { shards: vec![5] },
             }],
         });
         let parsed = ModelSnapshot::from_bytes(&snapshot.to_bytes().unwrap()).unwrap();

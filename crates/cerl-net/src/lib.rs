@@ -35,7 +35,12 @@
 //! (unified metrics exposition, health, trace dumps), a UDP health
 //! socket answering any datagram with `ok:<versions>:<inflight>`, and
 //! optional 1-in-N request tracing through a shared
-//! [`cerl_obs::TraceRing`] — see the [`server`] module docs.
+//! [`cerl_obs::TraceRing`] — see the [`server`] module docs. The wire
+//! response is deliberately version-free, so per-replica attribution —
+//! which shard and engine version answered each prediction — is kept
+//! server-side ([`NetStatsSnapshot::replica_served`], scraped as
+//! `cerl_net_replica_responses_total{shard,version}`) rather than in
+//! the frame.
 //!
 //! The error taxonomy mirrors the serving layer's
 //! [`ServeError::is_client_fault`](cerl_serve::ServeError::is_client_fault)
@@ -57,5 +62,7 @@ mod sys;
 pub mod wire;
 
 pub use client::{NetClient, NetError};
-pub use server::{ConnStatsSnapshot, NetBackend, NetServer, NetServerConfig, NetStatsSnapshot};
+pub use server::{
+    ConnStatsSnapshot, NetBackend, NetServer, NetServerConfig, NetStatsSnapshot, ReplicaServed,
+};
 pub use wire::{AdminOp, AdminRequest, AdminResponse, Request, Response, Status, WireError};

@@ -68,6 +68,14 @@
 //!   allocation-free; abandoned requests (connection close, protocol
 //!   fault) still retire their span via a drop guard, so the ring
 //!   never leaks live slots.
+//! * The response frame carries no version bytes — the wire format is
+//!   frozen — so **per-replica attribution** lives server-side: every
+//!   completed prediction increments a wait-free `(shard, engine
+//!   version)` counter, visible as
+//!   [`NetStatsSnapshot::replica_served`] and scraped as
+//!   `cerl_net_replica_responses_total{shard,version}`. When a domain
+//!   is served by a replica set, this is how a canary replica's share
+//!   of the answered traffic is read without changing the protocol.
 //!
 //! # One-CPU caveat
 //!
@@ -164,16 +172,176 @@ enum InflightFuture {
     Scatter(ScatterHandle),
 }
 
+/// A completed prediction plus its replica attribution. The wire
+/// response carries only the rows, so which engine answered rides
+/// beside the payload into the reactor's counters instead of onto the
+/// socket.
+struct Served {
+    ite: Vec<f64>,
+    /// `(shard, engine version)` for every replica that served part of
+    /// this response: one entry per participating shard for a scatter,
+    /// a single shard-0 entry for the scheduler backend (one engine,
+    /// seat 0 by convention).
+    replicas: Vec<(usize, u64)>,
+}
+
 impl InflightFuture {
-    fn poll(&mut self, cx: &mut Context<'_>) -> Poll<Result<Vec<f64>, ServeError>> {
+    fn poll(&mut self, cx: &mut Context<'_>) -> Poll<Result<Served, ServeError>> {
         match self {
-            InflightFuture::Single(handle) => Pin::new(handle)
-                .poll(cx)
-                .map(|r| r.map(|(_version, ite)| ite)),
-            InflightFuture::Scatter(handle) => Pin::new(handle)
-                .poll(cx)
-                .map(|r| r.map(|response| response.ite)),
+            InflightFuture::Single(handle) => Pin::new(handle).poll(cx).map(|r| {
+                r.map(|(version, ite)| Served {
+                    ite,
+                    replicas: vec![(0, version)],
+                })
+            }),
+            InflightFuture::Scatter(handle) => Pin::new(handle).poll(cx).map(|r| {
+                r.map(|response| Served {
+                    ite: response.ite,
+                    replicas: response.shard_versions,
+                })
+            }),
         }
+    }
+}
+
+/// Distinct `(shard, engine version)` pairs tracked individually; later
+/// pairs share the overflow slot. A power of two so the probe step is a
+/// single mask.
+const REPLICA_SLOTS: usize = 64;
+
+/// Responses attributed to one serving replica's engine version
+/// ([`NetStatsSnapshot::replica_served`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaServed {
+    /// `(shard, engine version)`, or `None` for the shared overflow
+    /// slot (more lifetime pairs than the table tracks individually).
+    pub replica: Option<(usize, u64)>,
+    /// Completed predictions this replica served — a scatter response
+    /// counts once per replica that served one of its sub-batches.
+    pub responses: u64,
+}
+
+/// Wait-free `(shard, engine version)` → response counters, the
+/// server-side half of replica attribution (the wire stays
+/// version-free). Same design as the serving tier's per-domain
+/// counters: a pair claims a slot with one CAS the first time it is
+/// seen and increments a plain counter ever after; when the table is
+/// full, further new pairs accumulate in a shared overflow slot.
+struct ReplicaCounters {
+    /// Slot owner as the packed pair (see [`ReplicaCounters::pack`]);
+    /// `0` means the slot is free.
+    keys: [AtomicU64; REPLICA_SLOTS],
+    responses: [AtomicU64; REPLICA_SLOTS],
+    overflow: AtomicU64,
+}
+
+impl Default for ReplicaCounters {
+    fn default() -> Self {
+        Self {
+            keys: std::array::from_fn(|_| AtomicU64::new(0)),
+            responses: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplicaCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaCounters")
+            .field("slots", &REPLICA_SLOTS)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ReplicaCounters {
+    /// `shard + 1` in the top 24 bits, version in the low 40 — non-zero
+    /// by construction so `0` can mean "slot free". `None` when the
+    /// pair doesn't fit (absurd shard index or version), which falls
+    /// back to the overflow slot rather than mis-attributing.
+    fn pack(shard: usize, version: u64) -> Option<u64> {
+        let shard = shard as u64;
+        (shard < (1 << 24) - 1 && version < (1 << 40)).then_some(((shard + 1) << 40) | version)
+    }
+
+    /// Count one served response (or scatter sub-batch) against
+    /// `(shard, version)`. Wait-free: at most [`REPLICA_SLOTS`] probe
+    /// steps, no locks, no allocation.
+    fn record(&self, shard: usize, version: u64) {
+        let Some(key) = Self::pack(shard, version) else {
+            // ordering: Relaxed — lone monotone counter, no edges.
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        // Fibonacci-hash the packed pair so adjacent shard/version
+        // pairs spread across the table instead of clustering.
+        let mut i = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % REPLICA_SLOTS;
+        for _ in 0..REPLICA_SLOTS {
+            // ordering: Acquire pairs with the Release half of the
+            // claiming CAS below — a reader that observes this slot's
+            // key observes it fully claimed (the key is the only claim
+            // state; the counter is monotone and self-standing).
+            // panic-ok: i is reduced modulo REPLICA_SLOTS, always in range.
+            let owner = self.keys[i].load(Ordering::Acquire);
+            let claimed = owner == key || (owner == 0 && self.claim(i, key));
+            if claimed {
+                // ordering: Relaxed — monotone counter; the scrape-time
+                // reader tolerates being a step behind.
+                // panic-ok: i is reduced modulo REPLICA_SLOTS.
+                self.responses[i].fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            i = (i + 1) % REPLICA_SLOTS;
+        }
+        // Table full: totals stay honest in the shared overflow slot.
+        // ordering: Relaxed — same monotone-counter contract as above.
+        self.overflow.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Try to claim slot `i` for `key`; true if this call or a racing
+    /// recorder of the *same* key won it.
+    fn claim(&self, i: usize, key: u64) -> bool {
+        // ordering: AcqRel on success publishes the claim to other
+        // recorders and readers; Acquire on failure observes the
+        // competing claim we lost to. panic-ok: i is reduced modulo
+        // REPLICA_SLOTS, always in range.
+        match self.keys[i].compare_exchange(0, key, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => true,
+            Err(racer) => racer == key,
+        }
+    }
+
+    /// Every tracked replica's response count, ascending by shard then
+    /// version, with the overflow slot (if it ever counted) last as
+    /// `replica: None`. Scrape-time work — copies and sorts freely.
+    fn snapshot(&self) -> Vec<ReplicaServed> {
+        let mut out = Vec::new();
+        for i in 0..REPLICA_SLOTS {
+            // ordering: Acquire pairs with the claiming CAS's Release —
+            // a non-zero key here is a fully claimed slot.
+            // panic-ok: i is a loop index < REPLICA_SLOTS.
+            let owner = self.keys[i].load(Ordering::Acquire);
+            if owner == 0 {
+                continue;
+            }
+            let shard = ((owner >> 40) - 1) as usize;
+            let version = owner & ((1 << 40) - 1);
+            out.push(ReplicaServed {
+                replica: Some((shard, version)),
+                // ordering: Relaxed — monotone counter, staleness fine.
+                // panic-ok: i is a loop index < REPLICA_SLOTS.
+                responses: self.responses[i].load(Ordering::Relaxed),
+            });
+        }
+        out.sort_unstable_by_key(|s| s.replica);
+        // ordering: Relaxed — monotone counter, staleness fine.
+        let overflow = self.overflow.load(Ordering::Relaxed);
+        if overflow > 0 {
+            out.push(ReplicaServed {
+                replica: None,
+                responses: overflow,
+            });
+        }
+        out
     }
 }
 
@@ -297,6 +465,7 @@ struct NetStats {
     peak_connections: AtomicU64,
     next_conn_id: AtomicU64,
     conns: Mutex<Vec<Arc<ConnStats>>>,
+    replica_served: ReplicaCounters,
 }
 
 impl NetStats {
@@ -320,6 +489,7 @@ impl NetStats {
             open_connections: self.open_connections.load(Ordering::Relaxed),
             peak_connections: self.peak_connections.load(Ordering::Relaxed),
             per_conn: self.per_conn_snapshots(),
+            replica_served: self.replica_served.snapshot(),
         }
     }
 
@@ -490,6 +660,20 @@ impl NetStats {
                 conn.inflight as f64,
             );
         }
+        for stat in snap.replica_served() {
+            let (shard, version) = match stat.replica {
+                Some((shard, version)) => (shard.to_string(), version.to_string()),
+                None => ("other".to_string(), "other".to_string()),
+            };
+            let labels: [(&str, &str); 2] = [("shard", &shard), ("version", &version)];
+            reg.counter(
+                "cerl_net_replica_responses_total",
+                "Completed predictions attributed to each serving replica's \
+                 engine version (a scatter counts once per participating replica).",
+                &labels,
+                stat.responses,
+            );
+        }
     }
 
     fn record_response(&self, response: &Response) {
@@ -559,6 +743,7 @@ pub struct NetStatsSnapshot {
     /// server's lifetime peak.
     pub peak_connections: u64,
     per_conn: Vec<ConnStatsSnapshot>,
+    replica_served: Vec<ReplicaServed>,
 }
 
 impl NetStatsSnapshot {
@@ -567,6 +752,16 @@ impl NetStatsSnapshot {
     /// lives on in the fleet totals.
     pub fn per_connection(&self) -> &[ConnStatsSnapshot] {
         &self.per_conn
+    }
+
+    /// Completed predictions attributed to each `(shard, engine
+    /// version)` that served them, ascending by shard then version —
+    /// the response-side replica attribution (the wire format carries
+    /// no version bytes). A scatter response counts once per replica
+    /// that served one of its sub-batches; the scheduler backend
+    /// attributes everything to shard 0.
+    pub fn replica_served(&self) -> &[ReplicaServed] {
+        &self.replica_served
     }
 }
 
@@ -1184,12 +1379,15 @@ impl Reactor {
                     // ordering: advisory inflight gauge, no edges.
                     conn.stats.inflight.fetch_sub(1, Ordering::Relaxed);
                     let response = match outcome {
-                        Ok(ite) => {
+                        Ok(served) => {
                             // ordering: lone stat counter, no edges.
                             conn.stats.responses_ok.fetch_add(1, Ordering::Relaxed);
+                            for (shard, version) in &served.replicas {
+                                self.stats.replica_served.record(*shard, *version);
+                            }
                             Response::Ite {
                                 request_id: inflight.request_id,
-                                ite,
+                                ite: served.ite,
                             }
                         }
                         Err(e) => Response::Error {
@@ -1680,6 +1878,75 @@ mod tests {
         assert_eq!(stats.responses_ok, 3);
         assert_eq!(stats.rejected_serve, 0);
         assert_eq!(stats.accepted, 1);
+        // Single-engine backend: every response attributes to seat 0 at
+        // the engine's published version.
+        assert_eq!(
+            stats.replica_served(),
+            [ReplicaServed {
+                replica: Some((0, 1)),
+                responses: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn replicated_router_attributes_responses_per_replica_version() {
+        let stream = quick_stream();
+        let mut engine = CerlEngineBuilder::new(quick_cfg()).seed(3).build().unwrap();
+        engine
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let x = stream.domain(0).test.x.slice_rows(0, 4);
+        let reference = engine.predict_ite(&x).unwrap();
+
+        let map = cerl_core::snapshot::ShardMap::from_replicas(2, &[(0, vec![0, 1])]).unwrap();
+        let router = Arc::new(ShardRouter::new(vec![engine.clone(), engine], map).unwrap());
+        router.set_route_policy(Arc::new(cerl_serve::RoundRobin::new()));
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            NetBackend::Router(Arc::clone(&router)),
+            NetServerConfig {
+                admin_bind: Some("127.0.0.1:0".into()),
+                ..NetServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let tags = vec![0u64; x.rows()];
+        for _ in 0..6 {
+            let ite = client.predict(&tags, &x, None).unwrap();
+            for (a, b) in ite.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "replicas must answer bitwise");
+            }
+        }
+
+        let mut admin = NetClient::connect(server.admin_addr().unwrap()).unwrap();
+        let metrics = admin.scrape_metrics().unwrap();
+        let stats = server.shutdown().unwrap();
+        // Round-robin alternates the domain between its two replicas:
+        // six serial single-domain requests split 3/3, both at the
+        // engines' published version 1 — the wire never carried any of
+        // this, yet every response is attributed.
+        assert_eq!(
+            stats.replica_served(),
+            [
+                ReplicaServed {
+                    replica: Some((0, 1)),
+                    responses: 3
+                },
+                ReplicaServed {
+                    replica: Some((1, 1)),
+                    responses: 3
+                },
+            ]
+        );
+        for row in [
+            r#"cerl_net_replica_responses_total{shard="0",version="1"} 3"#,
+            r#"cerl_net_replica_responses_total{shard="1",version="1"} 3"#,
+        ] {
+            assert!(metrics.contains(row), "missing `{row}` in:\n{metrics}");
+        }
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Per-domain request/row counters for hot-domain attribution.
+//!
+//! The serving fleet's per-shard counters say *where* load lands but not
+//! *which domain* put it there — useless for deciding which domain to
+//! read-scale with a replica. [`DomainCounters`] closes that gap with the
+//! same two-halves cost model as the rest of this crate:
+//!
+//! * the *record* half ([`DomainCounters::record`]) runs on the serving
+//!   path: a fixed open-addressed table of atomic slots, wait-free and
+//!   allocation-free — a domain claims a slot with one CAS the first
+//!   time it is seen and increments plain counters ever after. When the
+//!   table is full, further new domains accumulate in a single shared
+//!   overflow slot rather than blocking or evicting;
+//! * the *read* half ([`DomainCounters::snapshot`]) copies and sorts at
+//!   scrape time, where allocation is fine.
+//!
+//! Capacity is [`DOMAIN_SLOTS`] distinct domains — far beyond what one
+//! fleet serves in practice (the hot-domain question is about the top
+//! handful), and the overflow slot keeps totals honest beyond it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinct domains tracked individually; the rest share the overflow
+/// slot. A power of two so the probe mask is a single AND.
+pub const DOMAIN_SLOTS: usize = 128;
+
+/// One domain's cumulative counters ([`DomainCounters::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainLoad {
+    /// Domain id, or `None` for the shared overflow slot.
+    pub domain: Option<u64>,
+    /// Requests that named this domain (a mixed-domain scatter counts
+    /// once per domain it touches).
+    pub requests: u64,
+    /// Rows served for this domain across those requests.
+    pub rows: u64,
+}
+
+/// Wait-free per-domain load counters (see the [module docs](self)).
+pub struct DomainCounters {
+    /// Slot owner as `domain + 1`; `0` means the slot is free.
+    keys: [AtomicU64; DOMAIN_SLOTS],
+    requests: [AtomicU64; DOMAIN_SLOTS],
+    rows: [AtomicU64; DOMAIN_SLOTS],
+    overflow_requests: AtomicU64,
+    overflow_rows: AtomicU64,
+}
+
+impl Default for DomainCounters {
+    fn default() -> Self {
+        Self {
+            keys: std::array::from_fn(|_| AtomicU64::new(0)),
+            requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            rows: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow_requests: AtomicU64::new(0),
+            overflow_rows: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for DomainCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainCounters")
+            .field("slots", &DOMAIN_SLOTS)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DomainCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one request of `rows` rows against `domain`. Wait-free: at
+    /// most [`DOMAIN_SLOTS`] probe steps, no locks, no allocation.
+    pub fn record(&self, domain: u64, rows: u64) {
+        let key = domain.wrapping_add(1);
+        // Fibonacci-hash the domain id so sequential ids spread across
+        // the table instead of clustering into one probe run.
+        let mut i = (domain.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % DOMAIN_SLOTS;
+        for _ in 0..DOMAIN_SLOTS {
+            // ordering: Acquire pairs with the Release half of the
+            // claiming CAS below — a reader that observes this slot's
+            // key observes it fully claimed (the key is the only
+            // claim-state; the counters are monotone and self-standing).
+            // panic-ok: i is reduced modulo DOMAIN_SLOTS, always in range.
+            let owner = self.keys[i].load(Ordering::Acquire);
+            let claimed = owner == key || (owner == 0 && self.claim(i, key));
+            if claimed {
+                // ordering: Relaxed — independent monotone counters; the
+                // scrape-time reader tolerates being a step behind.
+                // panic-ok: i is reduced modulo DOMAIN_SLOTS.
+                self.requests[i].fetch_add(1, Ordering::Relaxed);
+                // ordering: Relaxed — same monotone-counter contract.
+                // panic-ok: i is reduced modulo DOMAIN_SLOTS.
+                self.rows[i].fetch_add(rows, Ordering::Relaxed);
+                return;
+            }
+            i = (i + 1) % DOMAIN_SLOTS;
+        }
+        // Table full: totals stay honest in the shared overflow slot.
+        // ordering: Relaxed — same monotone-counter contract as above.
+        self.overflow_requests.fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — same monotone-counter contract as above.
+        self.overflow_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Try to claim slot `i` for `key`; true if this call or a racing
+    /// recorder of the *same* key won it.
+    fn claim(&self, i: usize, key: u64) -> bool {
+        // ordering: AcqRel on success publishes the claim to other
+        // recorders and readers; Acquire on failure observes the
+        // competing claim we lost to. panic-ok: i is reduced modulo
+        // DOMAIN_SLOTS, always in range.
+        match self.keys[i].compare_exchange(0, key, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => true,
+            Err(racer) => racer == key,
+        }
+    }
+
+    /// Every tracked domain's cumulative load, ascending by domain id,
+    /// with the overflow slot (if it ever counted) last as
+    /// `domain: None`. Scrape-time work — copies and sorts freely.
+    pub fn snapshot(&self) -> Vec<DomainLoad> {
+        let mut out = Vec::new();
+        for i in 0..DOMAIN_SLOTS {
+            // ordering: Acquire pairs with the claiming CAS's Release —
+            // a non-zero key here is a fully claimed slot.
+            // panic-ok: i is a loop index < DOMAIN_SLOTS.
+            let owner = self.keys[i].load(Ordering::Acquire);
+            if owner == 0 {
+                continue;
+            }
+            out.push(DomainLoad {
+                domain: Some(owner - 1),
+                // ordering: Relaxed — monotone counters, staleness fine.
+                // panic-ok: i is a loop index < DOMAIN_SLOTS.
+                requests: self.requests[i].load(Ordering::Relaxed),
+                // ordering: Relaxed — monotone counters, staleness fine.
+                // panic-ok: i is a loop index < DOMAIN_SLOTS.
+                rows: self.rows[i].load(Ordering::Relaxed),
+            });
+        }
+        out.sort_unstable_by_key(|l| l.domain);
+        // ordering: Relaxed — monotone counters, staleness fine.
+        let requests = self.overflow_requests.load(Ordering::Relaxed);
+        // ordering: Relaxed — monotone counters, staleness fine.
+        let rows = self.overflow_rows.load(Ordering::Relaxed);
+        if requests > 0 || rows > 0 {
+            out.push(DomainLoad {
+                domain: None,
+                requests,
+                rows,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_attribute_per_domain_and_snapshot_sorts() {
+        let counters = DomainCounters::new();
+        counters.record(7, 100);
+        counters.record(3, 10);
+        counters.record(7, 50);
+        let snap = counters.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                DomainLoad {
+                    domain: Some(3),
+                    requests: 1,
+                    rows: 10
+                },
+                DomainLoad {
+                    domain: Some(7),
+                    requests: 2,
+                    rows: 150
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn table_overflow_accumulates_instead_of_dropping() {
+        let counters = DomainCounters::new();
+        // DOMAIN_SLOTS distinct domains fill the table; the next two
+        // land in the overflow slot, keeping fleet totals exact.
+        for d in 0..(DOMAIN_SLOTS as u64 + 2) {
+            counters.record(d, 5);
+        }
+        let snap = counters.snapshot();
+        assert_eq!(snap.len(), DOMAIN_SLOTS + 1);
+        // panic-ok: test-only indexing after the length assertion.
+        let overflow = snap[DOMAIN_SLOTS];
+        assert_eq!(overflow.domain, None);
+        assert_eq!(overflow.requests, 2);
+        assert_eq!(overflow.rows, 10);
+        let total: u64 = snap.iter().map(|l| l.rows).sum();
+        assert_eq!(total, (DOMAIN_SLOTS as u64 + 2) * 5);
+    }
+
+    #[test]
+    fn concurrent_recorders_never_lose_a_count() {
+        let counters = Arc::new(DomainCounters::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let counters = Arc::clone(&counters);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        counters.record(42, 3);
+                        counters.record(43, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("recorder thread panicked");
+        }
+        let snap = counters.snapshot();
+        let d42 = snap.iter().find(|l| l.domain == Some(42)).unwrap();
+        assert_eq!((d42.requests, d42.rows), (4000, 12_000));
+        let d43 = snap.iter().find(|l| l.domain == Some(43)).unwrap();
+        assert_eq!((d43.requests, d43.rows), (4000, 4000));
+    }
+}

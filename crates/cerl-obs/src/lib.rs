@@ -4,9 +4,11 @@
 //! rest of the workspace: per-request **tracing** with monotonic stage
 //! timestamps in a wait-free ring ([`TraceRing`]), a unified **metrics
 //! registry** with Prometheus-style text exposition
-//! ([`MetricsRegistry`]), and the structured **event** channel the
+//! ([`MetricsRegistry`]), the structured **event** channel the
 //! rebalance orchestrator reports canary outcomes through
-//! ([`EventKind`]).
+//! ([`EventKind`]), and wait-free **per-domain load counters** for
+//! hot-domain attribution ([`DomainCounters`]) — the signal that tells
+//! an operator *which* domain to read-scale with a replica.
 //!
 //! The layer is deliberately split in two halves with different cost
 //! models:
@@ -36,9 +38,11 @@
 
 #![warn(missing_docs)]
 
+pub mod domains;
 pub mod metrics;
 pub mod trace;
 
+pub use domains::{DomainCounters, DomainLoad, DOMAIN_SLOTS};
 pub use metrics::MetricsRegistry;
 pub use trace::{
     EventKind, EventSnapshot, SpanSnapshot, Stage, TraceRing, TraceSpan, TraceStats, STAGE_COUNT,

@@ -107,6 +107,14 @@ pub enum EventKind {
     MoveAborted = 2,
     /// The whole plan halted (a = moves committed, b = moves remaining).
     PlanHalted = 3,
+    /// A read-scaling replica was added to a domain's replica-set after
+    /// clearing its canary window (a = domain, b = shard).
+    ReplicaAdded = 4,
+    /// A replica was drained — removed from routing but still restorable
+    /// (a = domain, b = shard).
+    ReplicaDrained = 5,
+    /// A drained replica was removed for good (a = domain, b = shard).
+    ReplicaRemoved = 6,
 }
 
 impl EventKind {
@@ -117,6 +125,9 @@ impl EventKind {
             1 => Some(EventKind::MoveCommitted),
             2 => Some(EventKind::MoveAborted),
             3 => Some(EventKind::PlanHalted),
+            4 => Some(EventKind::ReplicaAdded),
+            5 => Some(EventKind::ReplicaDrained),
+            6 => Some(EventKind::ReplicaRemoved),
             _ => None,
         }
     }
@@ -128,6 +139,9 @@ impl EventKind {
             EventKind::MoveCommitted => "move_committed",
             EventKind::MoveAborted => "move_aborted",
             EventKind::PlanHalted => "plan_halted",
+            EventKind::ReplicaAdded => "replica_added",
+            EventKind::ReplicaDrained => "replica_drained",
+            EventKind::ReplicaRemoved => "replica_removed",
         }
     }
 }

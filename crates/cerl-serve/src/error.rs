@@ -77,6 +77,45 @@ pub enum ServeError {
         /// Human-readable description of the canary regression.
         reason: String,
     },
+    /// `begin_add_replica` named a shard that already serves the domain —
+    /// a replica-set member cannot be added twice.
+    ReplicaAlreadyServing {
+        /// Domain whose replica-set already holds the shard.
+        domain: u64,
+        /// The shard that already serves the domain.
+        shard: usize,
+    },
+    /// `drain_replica` would empty the domain's replica-set; a mapped
+    /// domain must always keep at least one serving replica.
+    LastReplica {
+        /// Domain that would lose its last replica.
+        domain: u64,
+        /// The sole remaining replica.
+        shard: usize,
+    },
+    /// `restore_replica`/`remove_replica` named a replica that is not in
+    /// the draining state (drain it first, or it was already removed).
+    ReplicaNotDraining {
+        /// Domain the call named.
+        domain: u64,
+        /// Shard the call named.
+        shard: usize,
+    },
+    /// An orchestrated replica change (`add_replica`/`drain_replica`/
+    /// `remove_replica`) was auto-aborted: its canary window regressed
+    /// and the change was rolled back (an add was dropped unpublished; a
+    /// drain was restored; a remove left the replica draining). The
+    /// fleet serves exactly the topology it served before the call.
+    ReplicaChangeAborted {
+        /// Domain whose replica change was rolled back.
+        domain: u64,
+        /// The replica shard involved.
+        shard: usize,
+        /// Which verb was aborted: `"add"`, `"drain"`, or `"remove"`.
+        verb: &'static str,
+        /// Human-readable description of the canary regression.
+        reason: String,
+    },
     /// The engine rejected the request (wrong dimension, untrained model,
     /// bad snapshot, ...).
     Engine(CerlError),
@@ -115,6 +154,10 @@ impl ServeError {
             | ServeError::NoRebalancePending
             | ServeError::PlanInProgress
             | ServeError::PlanHalted { .. }
+            | ServeError::ReplicaAlreadyServing { .. }
+            | ServeError::LastReplica { .. }
+            | ServeError::ReplicaNotDraining { .. }
+            | ServeError::ReplicaChangeAborted { .. }
             | ServeError::Engine(_) => false,
         }
     }
@@ -178,6 +221,37 @@ impl fmt::Display for ServeError {
                     f,
                     "rebalance plan halted at domain {domain}'s move ({committed} move(s) \
                      committed, {remaining} not applied): {reason}"
+                )
+            }
+            ServeError::ReplicaAlreadyServing { domain, shard } => {
+                write!(
+                    f,
+                    "shard {shard} already serves domain {domain}; a replica cannot be added twice"
+                )
+            }
+            ServeError::LastReplica { domain, shard } => {
+                write!(
+                    f,
+                    "shard {shard} is domain {domain}'s last replica; draining it would leave the \
+                     domain unserved"
+                )
+            }
+            ServeError::ReplicaNotDraining { domain, shard } => {
+                write!(
+                    f,
+                    "domain {domain} has no draining replica on shard {shard}; drain it first"
+                )
+            }
+            ServeError::ReplicaChangeAborted {
+                domain,
+                shard,
+                verb,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "replica {verb} of domain {domain} on shard {shard} auto-aborted and rolled \
+                     back: {reason}"
                 )
             }
             ServeError::Engine(e) => write!(f, "{e}"),
@@ -255,6 +329,40 @@ mod tests {
                 && halted.contains("error rate"),
             "{halted}"
         );
+        let already = ServeError::ReplicaAlreadyServing {
+            domain: 6,
+            shard: 2,
+        }
+        .to_string();
+        assert!(
+            already.contains("domain 6") && already.contains("shard 2"),
+            "{already}"
+        );
+        let last = ServeError::LastReplica {
+            domain: 6,
+            shard: 2,
+        }
+        .to_string();
+        assert!(last.contains("last replica"), "{last}");
+        let draining = ServeError::ReplicaNotDraining {
+            domain: 6,
+            shard: 2,
+        }
+        .to_string();
+        assert!(draining.contains("no draining replica"), "{draining}");
+        let aborted = ServeError::ReplicaChangeAborted {
+            domain: 6,
+            shard: 2,
+            verb: "drain",
+            reason: "fleet error rate 0.40 above 0.10".into(),
+        }
+        .to_string();
+        assert!(
+            aborted.contains("replica drain")
+                && aborted.contains("domain 6")
+                && aborted.contains("error rate"),
+            "{aborted}"
+        );
         let e: ServeError = CerlError::NotTrained.into();
         assert!(e.to_string().contains("not observed"));
         assert_eq!(e, ServeError::Engine(CerlError::NotTrained));
@@ -284,5 +392,29 @@ mod tests {
         }
         .is_client_fault());
         assert!(!ServeError::NoRebalancePending.is_client_fault());
+        // Replica-lifecycle bookkeeping is operator-facing, never the
+        // serving client's fault.
+        assert!(!ServeError::ReplicaAlreadyServing {
+            domain: 6,
+            shard: 2
+        }
+        .is_client_fault());
+        assert!(!ServeError::LastReplica {
+            domain: 6,
+            shard: 2
+        }
+        .is_client_fault());
+        assert!(!ServeError::ReplicaNotDraining {
+            domain: 6,
+            shard: 2
+        }
+        .is_client_fault());
+        assert!(!ServeError::ReplicaChangeAborted {
+            domain: 6,
+            shard: 2,
+            verb: "add",
+            reason: "regressed".into()
+        }
+        .is_client_fault());
     }
 }

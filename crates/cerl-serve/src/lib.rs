@@ -15,7 +15,7 @@
 //!   identical** to unbatched calls against the same engine version.
 //! * [`router`] — [`ShardRouter`]: N independently hot-swappable
 //!   [`ServingEngine`](cerl_core::serving::ServingEngine) shards keyed by a
-//!   [`ShardMap`] (`domain → shard`)
+//!   [`ShardMap`] (`domain → replica-set`)
 //!   that also rides in snapshot metadata; per-shard warm swaps, typed
 //!   [`ServeError::UnknownDomain`] routing errors, optional per-shard
 //!   batching. Mixed-domain requests are served by
@@ -26,6 +26,11 @@
 //!   [`abort_rebalance`](ShardRouter::abort_rebalance) move a domain
 //!   between shards with zero downtime (see the dual-route contract in
 //!   the [`router`] module docs).
+//! * [`policy`] — [`RoutePolicy`]: which replica of a replicated (hot)
+//!   domain serves a given sub-batch — [`LeastLoaded`] (default),
+//!   [`RoundRobin`], [`VersionPinned`] for canary reads. Policies
+//!   choose placement only; results are bitwise identical to an
+//!   unreplicated reference under every policy.
 //! * [`orchestrator`] — [`RebalancePlanner`] / [`RebalanceOrchestrator`]:
 //!   turn a target [`ShardMap`] into a
 //!   load-aware-ordered sequence of single-domain moves and execute them
@@ -94,10 +99,13 @@
 //! ## Shard-map format
 //!
 //! A [`ShardMap`] is built from
-//! `(domain_id, shard_index)` pairs over a declared shard count; it
-//! rejects out-of-range shards and conflicting duplicate domains, and it
+//! `(domain_id, shard_index)` pairs ([`ShardMap::from_pairs`]) or
+//! `(domain_id, replica ids)` entries ([`ShardMap::from_replicas`])
+//! over a declared shard count; it rejects out-of-range shards,
+//! conflicting duplicate domains, and empty replica-sets, and it
 //! serializes inside [`ModelSnapshot`](cerl_core::snapshot::ModelSnapshot)
-//! (format version 2) so fleet topology ships with model bytes.
+//! (metadata format version 4; v2 single-shard and v3-era documents
+//! still load) so fleet topology ships with model bytes.
 //!
 //! ## Histogram semantics
 //!
@@ -113,6 +121,7 @@
 pub mod error;
 pub mod histogram;
 pub mod orchestrator;
+pub mod policy;
 pub mod router;
 pub mod scheduler;
 
@@ -120,11 +129,14 @@ pub use error::ServeError;
 pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use orchestrator::{
     CanaryConfig, CanarySnapshot, CanaryWindow, MoveReport, OrchestratorConfig, PlanReport,
-    RebalanceOrchestrator, RebalancePlan, RebalancePlanner, ShardLoad,
+    RebalanceOrchestrator, RebalancePlan, RebalancePlanner, ReplicaReport, ShardLoad,
 };
+pub use policy::{LeastLoaded, RoundRobin, RouteContext, RoutePolicy, VersionPinned};
 pub use router::{ScatterHandle, ScatterResponse, ShardRouter};
 pub use scheduler::{BatchConfig, BatchScheduler, ResponseHandle, ServeStats};
 
 // Routing metadata lives in cerl-core (it is snapshot state); re-export
 // it here so `cerl_serve::ShardMap` works without a cerl-core import.
-pub use cerl_core::snapshot::{ShardAssignment, ShardMap, ShardMapDiff, ShardMove};
+pub use cerl_core::snapshot::{
+    ReplicaChange, ReplicaSet, ShardAssignment, ShardMap, ShardMapDiff, ShardMove,
+};

@@ -23,6 +23,19 @@
 //!   come from a caller-supplied provider and are pre-built at most
 //!   [`OrchestratorConfig::max_staged`] ahead of the executing move, so a
 //!   long plan never holds the whole fleet's successors in memory.
+//! * **Replica lifecycle.** Read scaling rides the same canary
+//!   machinery as moves, one verb per topology step:
+//!   [`RebalanceOrchestrator::add_replica`] (stage + probe → window →
+//!   publish-then-flip, auto-abort drops the staged engine unpublished),
+//!   [`drain_replica`](RebalanceOrchestrator::drain_replica) (flip
+//!   traffic off the replica → window, auto-abort restores it), and
+//!   [`remove_replica`](RebalanceOrchestrator::remove_replica) (one last
+//!   window of the post-drain fleet before the point of no return,
+//!   auto-abort keeps the replica restorable). Every auto-abort returns
+//!   [`ServeError::ReplicaChangeAborted`] naming the verb and reason.
+//!   A target map that *changes replica counts* is rejected by the
+//!   planner and directed here — plans relocate replicas, verbs scale
+//!   them.
 //!
 //! # The canary window and auto-abort
 //!
@@ -318,6 +331,27 @@ impl RebalancePlanner {
                 parts.join("; ")
             )));
         }
+        if !diff.replicas_added.is_empty() || !diff.replicas_removed.is_empty() {
+            let name = |verb: &str, list: &[cerl_core::snapshot::ReplicaChange]| {
+                list.iter()
+                    .map(|c| format!("{verb} domain {}'s replica on shard {}", c.domain, c.shard))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let mut parts = Vec::new();
+            if !diff.replicas_added.is_empty() {
+                parts.push(name("adds", &diff.replicas_added));
+            }
+            if !diff.replicas_removed.is_empty() {
+                parts.push(name("removes", &diff.replicas_removed));
+            }
+            return Err(invalid_plan(format!(
+                "target topology changes replica counts: {}; a rebalance plan relocates \
+                 existing replicas (use RebalanceOrchestrator::add_replica / drain_replica / \
+                 remove_replica for read scaling)",
+                parts.join("; ")
+            )));
+        }
         let mut rows_by_shard = vec![0u64; current.shard_count()];
         for load in loads {
             if let Some(slot) = rows_by_shard.get_mut(load.shard) {
@@ -365,6 +399,26 @@ pub struct MoveReport {
     /// Engine version published on the destination shard by the commit.
     pub destination_version: u64,
     /// The canary window that cleared the move.
+    pub window: CanaryWindow,
+}
+
+/// Outcome of one canary-watched replica-lifecycle verb
+/// ([`RebalanceOrchestrator::add_replica`] /
+/// [`drain_replica`](RebalanceOrchestrator::drain_replica) /
+/// [`remove_replica`](RebalanceOrchestrator::remove_replica)).
+#[derive(Debug, Clone)]
+pub struct ReplicaReport {
+    /// Domain whose replica-set changed.
+    pub domain: u64,
+    /// The replica shard involved.
+    pub shard: usize,
+    /// Engine version published on the new replica (adds only; drains
+    /// and removes publish nothing).
+    pub published_version: Option<u64>,
+    /// p95 of the baseline window measured before the change (`None`
+    /// when the fleet was idle).
+    pub baseline_p95: Option<Duration>,
+    /// The canary window that cleared the change.
     pub window: CanaryWindow,
 }
 
@@ -500,7 +554,7 @@ impl RebalanceOrchestrator {
             while next_staged < plan.moves.len() && staged.len() < self.cfg.max_staged.max(1) {
                 // panic-ok: the loop condition bounds next_staged.
                 let pending = &plan.moves[next_staged];
-                if self.router.route(pending.domain)? != pending.to {
+                if !self.move_applied(pending)? {
                     staged.push_back((next_staged, successor_for(pending)?));
                 }
                 next_staged += 1;
@@ -509,7 +563,7 @@ impl RebalanceOrchestrator {
                 Some(&(idx, _)) if idx == i => staged.pop_front().map(|(_, engine)| engine),
                 _ => None, // move was already applied at staging time
             };
-            if self.router.route(mv.domain)? == mv.to {
+            if self.move_applied(mv)? {
                 continue; // already applied (e.g. re-run of a halted plan)
             }
             let successor = match successor {
@@ -522,7 +576,8 @@ impl RebalanceOrchestrator {
 
             let before = self.router.canary_snapshot();
             let shards_before = self.involved_counters(mv)?;
-            self.router.begin_rebalance(mv.domain, mv.to, successor)?;
+            self.router
+                .begin_move_replica(mv.domain, mv.from, mv.to, successor)?;
             self.wait_window(&before);
             let after = self.router.canary_snapshot();
             let shards_after = self.involved_counters(mv)?;
@@ -567,6 +622,152 @@ impl RebalanceOrchestrator {
         self.execute(&plan, successor_for)
     }
 
+    /// Add a read-scaling replica of `domain` on `shard` through the
+    /// canary machinery: baseline window → stage + probe
+    /// ([`ShardRouter::begin_add_replica`]) → canary window → commit
+    /// (publish the successor, then grow the replica-set in one map
+    /// flip) — or auto-abort on a regression, leaving the topology
+    /// untouched and returning [`ServeError::ReplicaChangeAborted`].
+    ///
+    /// `successor` must hold `domain` plus everything `shard` already
+    /// serves, exactly like a rebalance successor. Serializes against
+    /// plans and other verbs via the same executing flag
+    /// ([`ServeError::PlanInProgress`]).
+    pub fn add_replica(
+        &self,
+        domain: u64,
+        shard: usize,
+        successor: CerlEngine,
+    ) -> Result<ReplicaReport, ServeError> {
+        let _guard = self.begin_execution()?;
+        let mut involved = self.router.replicas(domain)?.shards().to_vec();
+        involved.push(shard);
+        let (baseline_p95, window, verdict) = self.canary_watched(&involved, || {
+            self.router.begin_add_replica(domain, shard, successor)
+        })?;
+        if let Some(reason) = verdict {
+            self.router.abort_rebalance()?;
+            self.record_event(EventKind::MoveAborted, domain, shard as u64);
+            return Err(ServeError::ReplicaChangeAborted {
+                domain,
+                shard,
+                verb: "add",
+                reason,
+            });
+        }
+        let version = self.router.commit_rebalance()?;
+        self.record_event(EventKind::ReplicaAdded, domain, shard as u64);
+        Ok(ReplicaReport {
+            domain,
+            shard,
+            published_version: Some(version),
+            baseline_p95,
+            window,
+        })
+    }
+
+    /// Drain `domain`'s replica on `shard` through the canary machinery:
+    /// baseline window → map flip ([`ShardRouter::drain_replica`] —
+    /// traffic moves to the remaining replicas immediately) → canary
+    /// window judging the shrunken set under live load — or auto-abort:
+    /// a regression restores the replica
+    /// ([`ShardRouter::restore_replica`]) and returns
+    /// [`ServeError::ReplicaChangeAborted`]. On success the replica
+    /// stays draining (restorable) until
+    /// [`remove_replica`](RebalanceOrchestrator::remove_replica).
+    pub fn drain_replica(&self, domain: u64, shard: usize) -> Result<ReplicaReport, ServeError> {
+        let _guard = self.begin_execution()?;
+        let involved = self.router.replicas(domain)?.shards().to_vec();
+        let (baseline_p95, window, verdict) =
+            self.canary_watched(&involved, || self.router.drain_replica(domain, shard))?;
+        if let Some(reason) = verdict {
+            self.router.restore_replica(domain, shard)?;
+            self.record_event(EventKind::MoveAborted, domain, shard as u64);
+            return Err(ServeError::ReplicaChangeAborted {
+                domain,
+                shard,
+                verb: "drain",
+                reason,
+            });
+        }
+        self.record_event(EventKind::ReplicaDrained, domain, shard as u64);
+        Ok(ReplicaReport {
+            domain,
+            shard,
+            published_version: None,
+            baseline_p95,
+            window,
+        })
+    }
+
+    /// Finalize a drained replica's removal through one last canary
+    /// window: the post-drain fleet is watched once more before the
+    /// point of no return — a regression keeps the replica draining
+    /// (still restorable) and returns
+    /// [`ServeError::ReplicaChangeAborted`]; health finalizes via
+    /// [`ShardRouter::remove_replica`].
+    pub fn remove_replica(&self, domain: u64, shard: usize) -> Result<ReplicaReport, ServeError> {
+        let _guard = self.begin_execution()?;
+        if !self.router.draining_replicas().contains(&(domain, shard)) {
+            return Err(ServeError::ReplicaNotDraining { domain, shard });
+        }
+        let involved = self.router.replicas(domain)?.shards().to_vec();
+        let (baseline_p95, window, verdict) = self.canary_watched(&involved, || Ok(()))?;
+        if let Some(reason) = verdict {
+            self.record_event(EventKind::MoveAborted, domain, shard as u64);
+            return Err(ServeError::ReplicaChangeAborted {
+                domain,
+                shard,
+                verb: "remove",
+                reason,
+            });
+        }
+        self.router.remove_replica(domain, shard)?;
+        self.record_event(EventKind::ReplicaRemoved, domain, shard as u64);
+        Ok(ReplicaReport {
+            domain,
+            shard,
+            published_version: None,
+            baseline_p95,
+            window,
+        })
+    }
+
+    /// Shared canary harness of the replica verbs: observe a baseline
+    /// window, apply `change`, observe the change's own window over the
+    /// `involved` shards, and judge it — returning the verdict rather
+    /// than acting on it (each verb rolls back its own way).
+    fn canary_watched(
+        &self,
+        involved: &[usize],
+        change: impl FnOnce() -> Result<(), ServeError>,
+    ) -> Result<(Option<Duration>, CanaryWindow, Option<String>), ServeError> {
+        let base = self.router.canary_snapshot();
+        self.wait_window(&base);
+        let baseline_p95 = base.windowed_p95(&self.router.canary_snapshot());
+        self.record_event(
+            EventKind::BaselineCaptured,
+            1,
+            baseline_p95.map_or(0, |p95| p95.as_nanos().min(u128::from(u64::MAX)) as u64),
+        );
+        let before = self.router.canary_snapshot();
+        let shards_before = self.counters_for(involved)?;
+        change()?;
+        self.wait_window(&before);
+        let after = self.router.canary_snapshot();
+        let shards_after = self.counters_for(involved)?;
+        let window = CanaryWindow {
+            requests: after.requests.saturating_sub(before.requests),
+            rejected: after.rejected.saturating_sub(before.rejected),
+            rejected_client: after.rejected_client.saturating_sub(before.rejected_client),
+            p95: before.windowed_p95(&after),
+            shard_served: shards_after.0.saturating_sub(shards_before.0),
+            shard_rejected: shards_after.1.saturating_sub(shards_before.1),
+        };
+        let verdict = self.cfg.canary.verdict(baseline_p95, &window);
+        Ok((baseline_p95, window, verdict))
+    }
+
     /// Block until `window_requests` more fleet requests have been
     /// observed since `from`, or `max_wait` has elapsed.
     fn wait_window(&self, from: &CanarySnapshot) {
@@ -578,15 +779,32 @@ impl RebalanceOrchestrator {
         }
     }
 
+    /// Whether the live topology already reflects `mv`: the destination
+    /// replica exists and the source replica is gone. For single-replica
+    /// domains this is exactly the old `route(domain) == to` check.
+    fn move_applied(&self, mv: &ShardMove) -> Result<bool, ServeError> {
+        let replicas = self.router.replicas(mv.domain)?;
+        Ok(replicas.contains(mv.to) && !replicas.contains(mv.from))
+    }
+
     /// Summed `(served, rejected)` counters of the move's source and
     /// destination shards, scoped to each shard's currently published
     /// version (per-version counters from the engine layer; during a
     /// dual-route window neither shard publishes, so the scoped version
     /// is stable across the window).
     fn involved_counters(&self, mv: &ShardMove) -> Result<(u64, u64), ServeError> {
+        self.counters_for(&[mv.from, mv.to])
+    }
+
+    /// Summed `(served, rejected)` counters of `shards` (duplicates
+    /// counted once), scoped to each shard's published version.
+    fn counters_for(&self, shards: &[usize]) -> Result<(u64, u64), ServeError> {
+        let mut involved: Vec<usize> = shards.to_vec();
+        involved.sort_unstable();
+        involved.dedup();
         let mut served = 0u64;
         let mut rejected = 0u64;
-        for shard in [mv.from, mv.to] {
+        for shard in involved {
             let engine = self.router.shard(shard)?;
             let version = engine.version();
             if let Some(v) = engine.version_stats().iter().find(|v| v.version == version) {
@@ -923,5 +1141,181 @@ mod tests {
         assert_eq!(router.rebalance_in_progress(), None);
         assert_eq!(router.route(1).unwrap(), 0);
         assert!(!orchestrator.is_executing());
+    }
+
+    #[test]
+    fn plans_reject_replica_count_changes_toward_the_verbs() {
+        // Read scaling is not a move: a target that grows or shrinks a
+        // replica-set is refused by the planner and pointed at the
+        // replica verbs instead.
+        let current = ShardMap::from_replicas(2, &[(0, vec![0]), (1, vec![1])]).unwrap();
+        let grown = ShardMap::from_replicas(2, &[(0, vec![0, 1]), (1, vec![1])]).unwrap();
+        let e = RebalancePlanner::plan_with_loads(&current, &grown, &[]).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("changes replica counts"), "{msg}");
+        assert!(msg.contains("adds domain 0's replica on shard 1"), "{msg}");
+        assert!(msg.contains("add_replica"), "{msg}");
+        let e = RebalancePlanner::plan_with_loads(&grown, &current, &[]).unwrap_err();
+        assert!(e.to_string().contains("removes domain 0's replica"), "{e}");
+        // A pure move between replicated topologies still plans fine.
+        let moved = ShardMap::from_replicas(2, &[(0, vec![0, 1]), (1, vec![0])]).unwrap();
+        let plan = RebalancePlanner::plan_with_loads(&grown, &moved, &[]).unwrap();
+        assert_eq!(
+            plan.moves,
+            vec![ShardMove {
+                domain: 1,
+                from: 1,
+                to: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn replica_verbs_walk_the_lifecycle_and_record_events() {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig {
+                n_units: 400,
+                ..SyntheticConfig::small()
+            },
+            103,
+        );
+        let stream = DomainStream::synthetic(&gen, 1, 0, 103);
+        let mut engine = CerlEngineBuilder::new(quick_cfg())
+            .seed(43)
+            .build()
+            .unwrap();
+        engine
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let map = ShardMap::from_replicas(2, &[(0, vec![0])]).unwrap();
+        let router = Arc::new(ShardRouter::new(vec![engine.clone(), engine.clone()], map).unwrap());
+        let ring = TraceRing::new(4, 1);
+        let orchestrator = RebalanceOrchestrator::new(
+            Arc::clone(&router),
+            OrchestratorConfig {
+                canary: CanaryConfig {
+                    window_requests: 0, // no live traffic in this unit test
+                    ..CanaryConfig::default()
+                },
+                max_staged: 1,
+            },
+        )
+        .with_obs(Arc::clone(&ring));
+        let x = stream.domain(0).test.x.slice_rows(0, 8);
+        let reference = engine.predict_ite(&x).unwrap();
+
+        // add: the set grows through stage → canary → commit, and the
+        // report carries the replica's published version.
+        let report = orchestrator.add_replica(0, 1, engine.clone()).unwrap();
+        assert_eq!((report.domain, report.shard), (0, 1));
+        assert_eq!(report.published_version, Some(2));
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0, 1]);
+        assert_eq!(router.predict_ite(0, &x).unwrap(), reference);
+
+        // remove before drain is refused — typed, nothing watched.
+        assert!(matches!(
+            orchestrator.remove_replica(0, 1),
+            Err(ServeError::ReplicaNotDraining {
+                domain: 0,
+                shard: 1
+            })
+        ));
+
+        // drain: out of rotation but restorable; remove: final.
+        let report = orchestrator.drain_replica(0, 1).unwrap();
+        assert_eq!(report.published_version, None);
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0]);
+        assert_eq!(router.draining_replicas(), vec![(0, 1)]);
+        orchestrator.remove_replica(0, 1).unwrap();
+        assert!(router.draining_replicas().is_empty());
+        assert_eq!(router.predict_ite(0, &x).unwrap(), reference);
+        assert!(!orchestrator.is_executing());
+
+        // The event trail tells the verbs' story, most recent first
+        // (each verb also records its baseline capture).
+        let kinds: Vec<EventKind> = ring.events(16).into_iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::ReplicaRemoved,
+                EventKind::BaselineCaptured,
+                EventKind::ReplicaDrained,
+                EventKind::BaselineCaptured,
+                EventKind::ReplicaAdded,
+                EventKind::BaselineCaptured,
+            ]
+        );
+    }
+
+    #[test]
+    fn replica_drain_auto_aborts_and_restores_on_an_injected_regression() {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig {
+                n_units: 400,
+                ..SyntheticConfig::small()
+            },
+            107,
+        );
+        let stream = DomainStream::synthetic(&gen, 1, 0, 107);
+        let mut engine = CerlEngineBuilder::new(quick_cfg())
+            .seed(47)
+            .build()
+            .unwrap();
+        engine
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let map = ShardMap::from_replicas(2, &[(0, vec![0, 1])]).unwrap();
+        let router = Arc::new(ShardRouter::new(vec![engine.clone(), engine.clone()], map).unwrap());
+        let orchestrator = RebalanceOrchestrator::new(
+            Arc::clone(&router),
+            OrchestratorConfig {
+                canary: CanaryConfig {
+                    // Windows idle out on the clock; the injected shard
+                    // rejections land while they do.
+                    window_requests: u64::MAX,
+                    max_wait: Duration::from_millis(200),
+                    max_error_rate: 0.05,
+                    max_p95_ratio: 1e9,
+                },
+                max_staged: 1,
+            },
+        );
+
+        // A wrong-width matrix hammered straight at an involved shard's
+        // engine: serve faults on its published version — the signal the
+        // involved-shard canary branch must catch.
+        let stop = AtomicBool::new(false);
+        let outcome = std::thread::scope(|scope| {
+            let hammer_router = Arc::clone(&router);
+            let stop = &stop;
+            scope.spawn(move || {
+                let bad = cerl_math::Matrix::from_vec(1, 1, vec![0.5]);
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = hammer_router.shard(0).unwrap().predict_ite(&bad);
+                }
+            });
+            let outcome = orchestrator.drain_replica(0, 1);
+            stop.store(true, Ordering::Relaxed);
+            outcome
+        });
+        match outcome.unwrap_err() {
+            ServeError::ReplicaChangeAborted {
+                domain: 0,
+                shard: 1,
+                verb: "drain",
+                reason,
+            } => assert!(reason.contains("error rate"), "{reason}"),
+            other => panic!("expected ReplicaChangeAborted, got {other:?}"),
+        }
+        // Auto-abort restored the replica: back in rotation, not
+        // draining, and the fleet still answers.
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0, 1]);
+        assert!(router.draining_replicas().is_empty());
+        assert!(!orchestrator.is_executing());
+        let x = stream.domain(0).test.x.slice_rows(0, 4);
+        assert_eq!(
+            router.predict_ite(0, &x).unwrap(),
+            engine.predict_ite(&x).unwrap()
+        );
     }
 }

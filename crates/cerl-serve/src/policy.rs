@@ -1,0 +1,271 @@
+//! Pluggable replica routing: which of a domain's replicas serves this
+//! sub-batch.
+//!
+//! With replica-sets in the [`ShardMap`](cerl_core::snapshot::ShardMap)
+//! (PR 10's topology generalization), a hot domain can be served by
+//! several identical shards at once. Something has to pick one per
+//! sub-batch — that is a [`RoutePolicy`].
+//!
+//! # The policy contract
+//!
+//! **A policy may never change results, only placement.** Every replica
+//! in a domain's set serves the same model (replicas are published from
+//! the same snapshot bytes / engine clones), and per-row inference is
+//! batch- and shard-independent, so *any* choice returns bitwise the
+//! rows an unreplicated reference engine would. The policy only decides
+//! *where* the work lands — load spreading is a pure placement concern.
+//! Two hard rules follow:
+//!
+//! * the returned shard must be a member of the replica-set the router
+//!   passed in (the router defensively falls back to the set's primary
+//!   on a stray answer, so a buggy policy degrades to primary routing
+//!   rather than misrouting);
+//! * `choose` runs on the serving path for every replicated sub-batch:
+//!   it must be wait-free — no locks, no blocking, no allocation.
+//!
+//! Single-replica domains never consult a policy at all; the router
+//! routes them to their one shard exactly as before replication existed
+//! (bitwise **and** cost identical).
+//!
+//! # Shipped policies
+//!
+//! | policy | choice | use |
+//! |--------|--------|-----|
+//! | [`LeastLoaded`] | replica with the fewest cumulative rows served (ties: smallest shard id) | default; steers new work away from the busiest replica |
+//! | [`RoundRobin`] | replicas in rotation (one shared atomic cursor) | uniform spreading regardless of request size skew |
+//! | [`VersionPinned`] | first replica publishing the pinned engine version (fallback: primary) | canary reads — keep traffic on a known-good version while one replica trials a successor |
+
+use crate::orchestrator::ShardLoad;
+use cerl_core::snapshot::ReplicaSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fleet state a [`RoutePolicy`] may consult, assembled by the router
+/// once per request (not per row).
+#[derive(Debug, Clone, Copy)]
+pub struct RouteContext<'a> {
+    /// Cumulative per-shard load counters, indexed by shard id
+    /// ([`ShardRouter::shard_loads`](crate::router::ShardRouter::shard_loads)).
+    pub loads: &'a [ShardLoad],
+    /// Currently published engine version of every shard, indexed by
+    /// shard id.
+    pub versions: &'a [u64],
+}
+
+impl RouteContext<'_> {
+    /// Cumulative rows served by `shard` (0 when unknown — a policy must
+    /// tolerate a context narrower than the fleet).
+    pub fn rows(&self, shard: usize) -> u64 {
+        self.loads
+            .iter()
+            .find(|l| l.shard == shard)
+            .map_or(0, |l| l.rows)
+    }
+
+    /// Published engine version of `shard` (0 when unknown).
+    pub fn version(&self, shard: usize) -> u64 {
+        self.versions.get(shard).copied().unwrap_or(0)
+    }
+}
+
+/// Chooses the serving replica for one sub-batch of a replicated domain
+/// (see the [module docs](self) for the contract: placement only, never
+/// results; member of the set; wait-free).
+pub trait RoutePolicy: Send + Sync + std::fmt::Debug {
+    /// Pick the shard (a member of `replicas`) that serves this
+    /// sub-batch: `rows` rows of `domain`, under fleet state `ctx`.
+    fn choose(
+        &self,
+        domain: u64,
+        rows: usize,
+        replicas: &ReplicaSet,
+        ctx: &RouteContext<'_>,
+    ) -> usize;
+
+    /// Stable policy name for diagnostics and metrics labels.
+    fn name(&self) -> &'static str;
+}
+
+/// Route each sub-batch to the replica that has served the fewest rows
+/// so far (ties break toward the smaller shard id, so the choice is a
+/// deterministic function of the load snapshot). The router's default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl RoutePolicy for LeastLoaded {
+    fn choose(
+        &self,
+        _domain: u64,
+        _rows: usize,
+        replicas: &ReplicaSet,
+        ctx: &RouteContext<'_>,
+    ) -> usize {
+        let mut best = replicas.primary();
+        let mut best_rows = ctx.rows(best);
+        for &shard in replicas.shards() {
+            let rows = ctx.rows(shard);
+            if rows < best_rows {
+                best = shard;
+                best_rows = rows;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "least_loaded"
+    }
+}
+
+/// Rotate through the replica-set with one shared cursor: the `n`-th
+/// replicated sub-batch (fleet-wide) lands on `replicas[n % len]`.
+/// Insensitive to request-size skew by construction.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: AtomicU64,
+}
+
+impl RoundRobin {
+    /// A fresh rotation starting at each set's first replica.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RoutePolicy for RoundRobin {
+    fn choose(
+        &self,
+        _domain: u64,
+        _rows: usize,
+        replicas: &ReplicaSet,
+        _ctx: &RouteContext<'_>,
+    ) -> usize {
+        // ordering: Relaxed — the cursor is a pure tie-breaker with no
+        // data behind it; recorders only need distinct values, not a
+        // happens-before edge.
+        let n = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let i = (n % replicas.len() as u64) as usize;
+        // panic-ok: i < replicas.len() by the modulo above, and a
+        // ReplicaSet is never empty (constructor invariant).
+        replicas.shards()[i]
+    }
+
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+}
+
+/// Pin traffic to replicas publishing a specific engine version — the
+/// read-side canary tool: while one replica of the set trials a new
+/// version, pinned clients keep reading the incumbent. Falls back to
+/// the set's primary when no replica publishes the pinned version (a
+/// wrong pin must degrade to primary routing, not fail requests).
+#[derive(Debug, Clone, Copy)]
+pub struct VersionPinned {
+    /// The engine version to keep reading from.
+    pub version: u64,
+}
+
+impl VersionPinned {
+    /// Pin to `version`.
+    pub fn new(version: u64) -> Self {
+        Self { version }
+    }
+}
+
+impl RoutePolicy for VersionPinned {
+    fn choose(
+        &self,
+        _domain: u64,
+        _rows: usize,
+        replicas: &ReplicaSet,
+        ctx: &RouteContext<'_>,
+    ) -> usize {
+        replicas
+            .shards()
+            .iter()
+            .copied()
+            .find(|&shard| ctx.version(shard) == self.version)
+            .unwrap_or_else(|| replicas.primary())
+    }
+
+    fn name(&self) -> &'static str {
+        "version_pinned"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with(loads: &[(usize, u64)], versions: &[u64]) -> (Vec<ShardLoad>, Vec<u64>) {
+        (
+            loads
+                .iter()
+                .map(|&(shard, rows)| ShardLoad {
+                    shard,
+                    requests: rows / 4,
+                    rows,
+                })
+                .collect(),
+            versions.to_vec(),
+        )
+    }
+
+    #[test]
+    fn least_loaded_prefers_coolest_then_smallest_id() {
+        let replicas = ReplicaSet::new(&[0, 1, 2]).unwrap();
+        let (loads, versions) = ctx_with(&[(0, 500), (1, 100), (2, 100)], &[1, 1, 1]);
+        let ctx = RouteContext {
+            loads: &loads,
+            versions: &versions,
+        };
+        // Shards 1 and 2 tie at 100 rows; the smaller id wins, and the
+        // same snapshot always yields the same choice.
+        assert_eq!(LeastLoaded.choose(7, 8, &replicas, &ctx), 1);
+        assert_eq!(LeastLoaded.choose(7, 8, &replicas, &ctx), 1);
+        // Missing loads read as zero (coolest possible).
+        let ctx = RouteContext {
+            loads: &loads[..1],
+            versions: &versions,
+        };
+        assert_eq!(LeastLoaded.choose(7, 8, &replicas, &ctx), 1);
+    }
+
+    #[test]
+    fn round_robin_rotates_through_the_set() {
+        let replicas = ReplicaSet::new(&[2, 5]).unwrap();
+        let (loads, versions) = ctx_with(&[], &[1, 1, 1, 1, 1, 1]);
+        let ctx = RouteContext {
+            loads: &loads,
+            versions: &versions,
+        };
+        let policy = RoundRobin::new();
+        let picks: Vec<usize> = (0..4)
+            .map(|_| policy.choose(7, 1, &replicas, &ctx))
+            .collect();
+        assert_eq!(picks, vec![2, 5, 2, 5]);
+    }
+
+    #[test]
+    fn version_pinned_finds_the_version_or_falls_back_to_primary() {
+        let replicas = ReplicaSet::new(&[0, 2]).unwrap();
+        let (loads, versions) = ctx_with(&[], &[1, 9, 3]);
+        let ctx = RouteContext {
+            loads: &loads,
+            versions: &versions,
+        };
+        assert_eq!(VersionPinned::new(3).choose(7, 1, &replicas, &ctx), 2);
+        assert_eq!(VersionPinned::new(1).choose(7, 1, &replicas, &ctx), 0);
+        // No replica publishes version 8: degrade to the primary.
+        assert_eq!(VersionPinned::new(8).choose(7, 1, &replicas, &ctx), 0);
+        // Shard 1 publishes 9 but is not in the set — never chosen.
+        assert_eq!(VersionPinned::new(9).choose(7, 1, &replicas, &ctx), 0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(LeastLoaded.name(), "least_loaded");
+        assert_eq!(RoundRobin::new().name(), "round_robin");
+        assert_eq!(VersionPinned::new(1).name(), "version_pinned");
+    }
+}

@@ -12,10 +12,33 @@
 //! its weights:
 //!
 //! * **Routing.** [`ShardRouter::predict_ite`] resolves the request's
-//!   domain id through the map and serves it from that shard — through
-//!   the shard's [`BatchScheduler`] when the router was built
-//!   [`with_batching`](ShardRouter::with_batching), directly otherwise.
-//!   Unknown domains fail fast with [`ServeError::UnknownDomain`].
+//!   domain id through the map and serves it from a shard of that
+//!   domain's replica-set — through the shard's [`BatchScheduler`] when
+//!   the router was built [`with_batching`](ShardRouter::with_batching),
+//!   directly otherwise. Unknown domains fail fast with
+//!   [`ServeError::UnknownDomain`].
+//! * **Replicated domains and the policy contract.** A
+//!   [`ShardMap`] may serve one domain from *several* identical shards
+//!   (a [`ReplicaSet`] — the read-scaling answer to one celebrity
+//!   domain saturating one engine). Which replica serves a given
+//!   sub-batch is decided by the router's pluggable
+//!   [`RoutePolicy`] ([`set_route_policy`](ShardRouter::set_route_policy);
+//!   default [`LeastLoaded`]). The contract, machine-checked by the
+//!   property suite: **policy choice may never change results, only
+//!   placement** — replicas serve identical models and per-row
+//!   inference is shard-independent, so every policy returns rows
+//!   bitwise identical to an unreplicated reference; a policy answer
+//!   outside the replica-set is ignored in favor of the set's primary.
+//!   Single-replica domains skip the policy entirely and route exactly
+//!   as they did before replication existed. Replica membership changes
+//!   ride the same machinery as rebalancing:
+//!   [`begin_add_replica`](ShardRouter::begin_add_replica) stages +
+//!   probes, [`commit_rebalance`](ShardRouter::commit_rebalance)
+//!   publishes then flips the map, while
+//!   [`drain_replica`](ShardRouter::drain_replica) /
+//!   [`restore_replica`](ShardRouter::restore_replica) /
+//!   [`remove_replica`](ShardRouter::remove_replica) take a replica out
+//!   of rotation reversibly, then for good.
 //! * **Independent hot swaps.** [`ShardRouter::swap_shard_engine`] /
 //!   [`ShardRouter::swap_shard_snapshot_bytes`] publish a new version on
 //!   one shard (with the warm-up probe of
@@ -54,13 +77,14 @@
 
 use crate::error::ServeError;
 use crate::orchestrator::{CanarySnapshot, ShardLoad};
+use crate::policy::{LeastLoaded, RouteContext, RoutePolicy};
 use crate::scheduler::{BatchConfig, BatchScheduler, ResponseHandle, ServeMetrics, ServeStats};
 use cerl_core::engine::CerlEngine;
 use cerl_core::error::CerlError;
 use cerl_core::serving::ServingEngine;
-use cerl_core::snapshot::{ModelSnapshot, ShardMap};
+use cerl_core::snapshot::{ModelSnapshot, ReplicaSet, ShardMap};
 use cerl_math::Matrix;
-use cerl_obs::{MetricsRegistry, Stage, TraceSpan};
+use cerl_obs::{DomainCounters, MetricsRegistry, Stage, TraceSpan};
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
@@ -74,15 +98,35 @@ struct ShardSlot {
     scheduler: Option<BatchScheduler>,
 }
 
-/// An in-flight domain move: staged at `begin_rebalance`, consumed by
-/// `commit_rebalance`/`abort_rebalance`. While one of these is pending
-/// the routing map is unchanged — the staged engine is invisible to
-/// readers until the commit publishes it.
-struct PendingRebalance {
-    domain: u64,
-    from: usize,
-    to: usize,
-    staged: CerlEngine,
+/// An in-flight topology change: staged at `begin_rebalance` /
+/// `begin_add_replica`, consumed by `commit_rebalance` /
+/// `abort_rebalance`. While one of these is pending the routing map is
+/// unchanged — the staged engine is invisible to readers until the
+/// commit publishes it.
+enum PendingChange {
+    /// Move `domain`'s replica from shard `from` to shard `to`.
+    Move {
+        domain: u64,
+        from: usize,
+        to: usize,
+        staged: CerlEngine,
+    },
+    /// Add a replica of `domain` on `shard` (read scaling).
+    AddReplica {
+        domain: u64,
+        shard: usize,
+        staged: CerlEngine,
+    },
+}
+
+impl PendingChange {
+    fn domain(&self) -> u64 {
+        match self {
+            PendingChange::Move { domain, .. } | PendingChange::AddReplica { domain, .. } => {
+                *domain
+            }
+        }
+    }
 }
 
 /// Outcome of one cross-shard scatter-gather request
@@ -94,8 +138,19 @@ pub struct ScatterResponse {
     /// `(shard, engine version)` for every shard that served part of the
     /// request, ascending by shard index. Each sub-batch ran against one
     /// pinned version, so every output row is attributable to exactly
-    /// one entry here (via its row's domain tag and the pinned map).
+    /// one entry here — via its row's domain tag and the pinned map for
+    /// single-replica domains, or via
+    /// [`ScatterResponse::placements`] when a routing policy chose among
+    /// replicas.
     pub shard_versions: Vec<(usize, u64)>,
+    /// `(domain, shard)` placements the routing policy made for this
+    /// request, ascending by domain — the per-replica attribution trail:
+    /// a row's domain tag resolves here to the shard (and through
+    /// [`ScatterResponse::shard_versions`] to the exact engine version)
+    /// that served it. Empty when the pinned topology had no replicated
+    /// domain: attribution then follows the map itself, exactly as
+    /// before replication existed.
+    pub placements: Vec<(u64, usize)>,
 }
 
 /// In-flight response of a [`ShardRouter::submit_scatter`] call.
@@ -112,6 +167,7 @@ pub struct ScatterResponse {
 pub struct ScatterHandle {
     rows: usize,
     rows_by_shard: Vec<Vec<usize>>,
+    placements: Vec<(u64, usize)>,
     pending: Vec<(usize, ResponseHandle)>,
     resolved: Vec<(usize, u64, Vec<f64>)>,
     submitted: Instant,
@@ -164,6 +220,7 @@ impl ScatterHandle {
         ScatterResponse {
             ite,
             shard_versions,
+            placements: std::mem::take(&mut self.placements),
         }
     }
 }
@@ -206,9 +263,20 @@ pub struct ShardRouter {
     /// Requests clone the `Arc` once and route every row of the request
     /// through that pinned topology.
     map: RwLock<Arc<ShardMap>>,
-    /// At most one domain moves at a time; the mutex also serializes
-    /// begin/commit/abort against each other.
-    rebalance: Mutex<Option<PendingRebalance>>,
+    /// At most one topology change stages at a time; the mutex also
+    /// serializes begin/commit/abort and the drain/restore map flips
+    /// against each other (the map `RwLock` alone orders readers, but
+    /// read-modify-write sequences need this).
+    rebalance: Mutex<Option<PendingChange>>,
+    /// Which replica serves a replicated domain's sub-batch. Swappable
+    /// at runtime; never consulted for single-replica domains.
+    policy: RwLock<Arc<dyn RoutePolicy>>,
+    /// Replicas taken out of rotation by `drain_replica` and still
+    /// restorable (their engines keep holding the domain).
+    draining: Mutex<Vec<(u64, usize)>>,
+    /// Per-domain request/row counters — the hot-domain attribution
+    /// signal behind `cerl_serve_domain_*` registry rows.
+    domains: DomainCounters,
     metrics: Arc<ServeMetrics>,
 }
 
@@ -275,7 +343,10 @@ impl ShardRouter {
                             .iter()
                             .map(ToString::to_string)
                             .chain(diff.added.iter().map(|a| {
-                                format!("domain {} only in one map (shard {})", a.domain, a.shard)
+                                format!(
+                                    "domain {} only in one map (replica-set {})",
+                                    a.domain, a.replicas
+                                )
                             }))
                             .chain(
                                 diff.removed
@@ -360,14 +431,69 @@ impl ShardRouter {
             shards,
             map: RwLock::new(Arc::new(map)),
             rebalance: Mutex::new(None),
+            policy: RwLock::new(Arc::new(LeastLoaded)),
+            draining: Mutex::new(Vec::new()),
+            domains: DomainCounters::new(),
             metrics: Arc::new(ServeMetrics::default()),
         })
     }
 
-    /// Resolve the shard serving `domain` under the current topology.
+    /// Swap the replica routing policy (default [`LeastLoaded`]). Takes
+    /// effect for requests submitted after the call; in-flight requests
+    /// finish under the policy they started with. Policies never change
+    /// results, only placement (see the [module docs](self)), so
+    /// swapping mid-traffic is always safe.
+    pub fn set_route_policy(&self, policy: Arc<dyn RoutePolicy>) {
+        *self.policy.write().unwrap_or_else(PoisonError::into_inner) = policy;
+    }
+
+    /// The replica routing policy currently in effect.
+    pub fn route_policy(&self) -> Arc<dyn RoutePolicy> {
+        self.policy
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Ask the current policy which replica serves `rows` rows of
+    /// `domain` under `replicas`. Single-replica sets short-circuit to
+    /// the one member without touching the policy or assembling fleet
+    /// state; a policy answer outside the set degrades to the primary.
+    fn choose_replica(&self, domain: u64, rows: usize, replicas: &ReplicaSet) -> usize {
+        if replicas.len() == 1 {
+            return replicas.primary();
+        }
+        let policy = self.route_policy();
+        let loads = self.shard_loads();
+        let versions = self.shard_versions();
+        let ctx = RouteContext {
+            loads: &loads,
+            versions: &versions,
+        };
+        let choice = policy.choose(domain, rows, replicas, &ctx);
+        if replicas.contains(choice) {
+            choice
+        } else {
+            replicas.primary()
+        }
+    }
+
+    /// Resolve the *primary* shard serving `domain` under the current
+    /// topology (the smallest replica id — the whole replica-set for a
+    /// replicated domain comes from [`ShardRouter::replicas`]; which
+    /// replica a given request actually lands on is the
+    /// [`RoutePolicy`]'s call).
     pub fn route(&self, domain: u64) -> Result<usize, ServeError> {
         self.map()
             .shard_for(domain)
+            .ok_or(ServeError::UnknownDomain { domain })
+    }
+
+    /// The full replica-set serving `domain` under the current topology.
+    pub fn replicas(&self, domain: u64) -> Result<ReplicaSet, ServeError> {
+        self.map()
+            .replicas_for(domain)
+            .cloned()
             .ok_or(ServeError::UnknownDomain { domain })
     }
 
@@ -384,20 +510,26 @@ impl ShardRouter {
         x: &Matrix,
     ) -> Result<(u64, Vec<f64>), ServeError> {
         let start = Instant::now();
-        let outcome = self.route(domain).and_then(|shard| {
-            // panic-ok: route() only returns indices < shards.len()
-            // (the pinned map was validated against the fleet size).
-            let slot = &self.shards[shard];
-            match &slot.scheduler {
-                Some(scheduler) => scheduler.predict_ite_versioned(x),
-                None => slot
-                    .engine
-                    .predict_ite_versioned(x)
-                    .map_err(ServeError::from),
-            }
-        });
+        let outcome = self
+            .map()
+            .replicas_for(domain)
+            .ok_or(ServeError::UnknownDomain { domain })
+            .map(|replicas| self.choose_replica(domain, x.rows(), replicas))
+            .and_then(|shard| {
+                // panic-ok: the pinned map's replica ids were validated
+                // against the fleet size at construction.
+                let slot = &self.shards[shard];
+                match &slot.scheduler {
+                    Some(scheduler) => scheduler.predict_ite_versioned(x),
+                    None => slot
+                        .engine
+                        .predict_ite_versioned(x)
+                        .map_err(ServeError::from),
+                }
+            });
         match outcome {
             Ok((version, ite)) => {
+                self.domains.record(domain, x.rows() as u64);
                 self.metrics.record_response(version, start.elapsed());
                 Ok((version, ite))
             }
@@ -495,13 +627,46 @@ impl ShardRouter {
         // execution.
         let map = self.map();
         let mut rows_by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
-        for (row, &domain) in domains.iter().enumerate() {
-            let shard = map
-                .shard_for(domain)
+        // Group rows per domain: hot-domain counters attribute whole
+        // sub-batches, and a routing policy places a domain's sub-batch
+        // knowing its size. Ascending by domain.
+        let mut groups: Vec<(u64, usize)> = Vec::new();
+        for &domain in domains {
+            match groups.binary_search_by_key(&domain, |g| g.0) {
+                // panic-ok: binary_search returned an occupied index.
+                Ok(i) => groups[i].1 += 1,
+                Err(i) => groups.insert(i, (domain, 1)),
+            }
+        }
+        // Place every domain's sub-batch: the one mapped shard for
+        // single-replica domains (bitwise identical to the
+        // pre-replication router), the policy's pick otherwise.
+        let mut placements: Vec<(u64, usize)> = Vec::with_capacity(groups.len());
+        let mut replicated = false;
+        for &(domain, rows) in &groups {
+            let replicas = map
+                .replicas_for(domain)
                 .ok_or(ServeError::UnknownDomain { domain })?;
-            // panic-ok: shard_for is validated against the fleet size,
-            // which sized rows_by_shard.
+            replicated |= replicas.len() > 1;
+            let shard = self.choose_replica(domain, rows, replicas);
+            placements.push((domain, shard));
+            self.domains.record(domain, rows as u64);
+        }
+        for (row, &domain) in domains.iter().enumerate() {
+            let shard = match placements.binary_search_by_key(&domain, |g| g.0) {
+                // panic-ok: every request domain was placed above.
+                Ok(i) => placements[i].1,
+                Err(_) => unreachable!("domain placed above"), // panic-ok: see Ok arm
+            };
+            // panic-ok: placements hold members of validated
+            // replica-sets, all < shards.len().
             rows_by_shard[shard].push(row);
+        }
+        // The attribution trail is only carried when a policy actually
+        // had a choice; with no replicated domain in the request,
+        // attribution follows the pinned map exactly as before.
+        if !replicated {
+            placements.clear();
         }
 
         // Fan out: with batching, submit every sub-batch before waiting
@@ -536,6 +701,7 @@ impl ShardRouter {
         Ok(ScatterHandle {
             rows: x.rows(),
             rows_by_shard,
+            placements,
             pending,
             resolved,
             submitted,
@@ -561,33 +727,184 @@ impl ShardRouter {
         to_shard: usize,
         successor: CerlEngine,
     ) -> Result<(), ServeError> {
+        let from = self.route(domain)?;
+        self.begin_move_replica(domain, from, to_shard, successor)
+    }
+
+    /// [`ShardRouter::begin_rebalance`] for an explicit source replica:
+    /// move `domain`'s replica on `from_shard` to `to_shard`. For a
+    /// single-replica domain `from_shard` is its one shard and this is
+    /// exactly `begin_rebalance`; for a replicated domain it names which
+    /// member of the replica-set moves.
+    pub fn begin_move_replica(
+        &self,
+        domain: u64,
+        from_shard: usize,
+        to_shard: usize,
+        successor: CerlEngine,
+    ) -> Result<(), ServeError> {
         let mut pending = self
             .rebalance
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         if let Some(p) = pending.as_ref() {
-            return Err(ServeError::RebalanceInProgress { domain: p.domain });
+            return Err(ServeError::RebalanceInProgress { domain: p.domain() });
         }
-        let from = self.route(domain)?;
+        let replicas = self.replicas(domain)?;
         if to_shard >= self.shards.len() {
             return Err(ServeError::UnknownShard {
                 shard: to_shard,
                 shards: self.shards.len(),
             });
         }
-        if to_shard == from {
+        if !replicas.contains(from_shard) {
             return Err(invalid_fleet(format!(
-                "domain {domain} already lives on shard {to_shard}"
+                "domain {domain} has no replica on shard {from_shard} (replica-set {replicas})"
             )));
         }
+        if replicas.contains(to_shard) {
+            return Err(ServeError::ReplicaAlreadyServing {
+                domain,
+                shard: to_shard,
+            });
+        }
         ServingEngine::probe_successor(&successor).map_err(ServeError::Engine)?;
-        *pending = Some(PendingRebalance {
+        *pending = Some(PendingChange::Move {
             domain,
-            from,
+            from: from_shard,
             to: to_shard,
             staged: successor,
         });
         Ok(())
+    }
+
+    /// Stage a read-scaling replica: `domain`'s replica-set grows by
+    /// `shard`, whose next engine will be `successor` (which must hold
+    /// the domain — typically restored from another replica's snapshot
+    /// bytes).
+    ///
+    /// Mirrors [`ShardRouter::begin_rebalance`]'s contract exactly: the
+    /// successor is probed now but **not** published, the map is
+    /// untouched until [`commit_rebalance`](ShardRouter::commit_rebalance)
+    /// (which publishes the engine *first*, then grows the set in one
+    /// `Arc` flip), and [`abort_rebalance`](ShardRouter::abort_rebalance)
+    /// drops the staged engine without readers ever seeing it.
+    pub fn begin_add_replica(
+        &self,
+        domain: u64,
+        shard: usize,
+        successor: CerlEngine,
+    ) -> Result<(), ServeError> {
+        let mut pending = self
+            .rebalance
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(p) = pending.as_ref() {
+            return Err(ServeError::RebalanceInProgress { domain: p.domain() });
+        }
+        let replicas = self.replicas(domain)?;
+        if shard >= self.shards.len() {
+            return Err(ServeError::UnknownShard {
+                shard,
+                shards: self.shards.len(),
+            });
+        }
+        if replicas.contains(shard) {
+            return Err(ServeError::ReplicaAlreadyServing { domain, shard });
+        }
+        ServingEngine::probe_successor(&successor).map_err(ServeError::Engine)?;
+        *pending = Some(PendingChange::AddReplica {
+            domain,
+            shard,
+            staged: successor,
+        });
+        Ok(())
+    }
+
+    /// Take `domain`'s replica on `shard` out of rotation, reversibly.
+    ///
+    /// The map flips immediately (one `Arc` replacement — requests that
+    /// pinned the old map finish against `shard`, which still holds the
+    /// domain), and the replica enters the **draining** state: no new
+    /// traffic, engine untouched, restorable in one call
+    /// ([`restore_replica`](ShardRouter::restore_replica)) until
+    /// [`remove_replica`](ShardRouter::remove_replica) finalizes.
+    /// Refuses to unserve a domain ([`ServeError::LastReplica`]) and
+    /// refuses while a staged change is pending (the staged change's
+    /// commit was validated against the pre-drain topology).
+    pub fn drain_replica(&self, domain: u64, shard: usize) -> Result<(), ServeError> {
+        let pending = self
+            .rebalance
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(p) = pending.as_ref() {
+            return Err(ServeError::RebalanceInProgress { domain: p.domain() });
+        }
+        let map = self.map();
+        let replicas = map
+            .replicas_for(domain)
+            .ok_or(ServeError::UnknownDomain { domain })?;
+        if replicas.len() == 1 && replicas.contains(shard) {
+            return Err(ServeError::LastReplica { domain, shard });
+        }
+        let flipped = map
+            .with_replica_removed(domain, shard)
+            .map_err(ServeError::Engine)?;
+        *self.map.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(flipped);
+        self.draining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((domain, shard));
+        Ok(())
+    }
+
+    /// Put a draining replica back into rotation: the reverse of
+    /// [`drain_replica`](ShardRouter::drain_replica), one `Arc` flip.
+    /// The engine never stopped holding the domain, so restored traffic
+    /// serves immediately at the replica's published version.
+    pub fn restore_replica(&self, domain: u64, shard: usize) -> Result<(), ServeError> {
+        let pending = self
+            .rebalance
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(p) = pending.as_ref() {
+            return Err(ServeError::RebalanceInProgress { domain: p.domain() });
+        }
+        let mut draining = self.draining.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(at) = draining.iter().position(|&d| d == (domain, shard)) else {
+            return Err(ServeError::ReplicaNotDraining { domain, shard });
+        };
+        let flipped = self
+            .map()
+            .with_replica_added(domain, shard)
+            .map_err(ServeError::Engine)?;
+        *self.map.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(flipped);
+        draining.remove(at);
+        Ok(())
+    }
+
+    /// Finalize a drained replica's removal: the `(domain, shard)` pair
+    /// leaves the draining list and can no longer be restored. Pure
+    /// bookkeeping — traffic already stopped at
+    /// [`drain_replica`](ShardRouter::drain_replica), and the shard's
+    /// engine is untouched (it may still serve *other* domains; the
+    /// drained domain's rows simply never route there again).
+    pub fn remove_replica(&self, domain: u64, shard: usize) -> Result<(), ServeError> {
+        let mut draining = self.draining.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(at) = draining.iter().position(|&d| d == (domain, shard)) else {
+            return Err(ServeError::ReplicaNotDraining { domain, shard });
+        };
+        draining.remove(at);
+        Ok(())
+    }
+
+    /// Replicas currently draining (out of rotation, restorable), as
+    /// `(domain, shard)` in drain order.
+    pub fn draining_replicas(&self) -> Vec<(u64, usize)> {
+        self.draining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// [`ShardRouter::begin_rebalance`] with the successor shipped as
@@ -620,19 +937,46 @@ impl ShardRouter {
             .rebalance
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        let rebalance = pending.take().ok_or(ServeError::NoRebalancePending)?;
-        // panic-ok: begin_rebalance validated `to` against the fleet
-        // size before staging this rebalance.
-        let version = self.shards[rebalance.to]
-            .engine
-            .swap_engine_warm(rebalance.staged)
-            .map_err(ServeError::Engine)?;
-        let flipped = self
-            .map()
-            .with_domain_moved(rebalance.domain, rebalance.to)
-            .map_err(ServeError::Engine)?;
-        *self.map.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(flipped);
-        Ok(version)
+        let change = pending.take().ok_or(ServeError::NoRebalancePending)?;
+        match change {
+            PendingChange::Move {
+                domain,
+                from,
+                to,
+                staged,
+            } => {
+                // panic-ok: begin_move_replica validated `to` against the
+                // fleet size before staging this change.
+                let version = self.shards[to]
+                    .engine
+                    .swap_engine_warm(staged)
+                    .map_err(ServeError::Engine)?;
+                let flipped = self
+                    .map()
+                    .with_replica_replaced(domain, from, to)
+                    .map_err(ServeError::Engine)?;
+                *self.map.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(flipped);
+                Ok(version)
+            }
+            PendingChange::AddReplica {
+                domain,
+                shard,
+                staged,
+            } => {
+                // panic-ok: begin_add_replica validated `shard` against
+                // the fleet size before staging this change.
+                let version = self.shards[shard]
+                    .engine
+                    .swap_engine_warm(staged)
+                    .map_err(ServeError::Engine)?;
+                let flipped = self
+                    .map()
+                    .with_replica_added(domain, shard)
+                    .map_err(ServeError::Engine)?;
+                *self.map.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(flipped);
+                Ok(version)
+            }
+        }
     }
 
     /// Drop the staged rebalance. Nothing was published during the
@@ -647,14 +991,34 @@ impl ShardRouter {
             .ok_or(ServeError::NoRebalancePending)
     }
 
-    /// The in-flight rebalance as `(domain, from_shard, to_shard)`, if
-    /// one is staged.
+    /// The in-flight replica move as `(domain, from_shard, to_shard)`,
+    /// if one is staged (`None` while a replica *add* is staged — see
+    /// [`ShardRouter::replica_add_in_progress`]).
     pub fn rebalance_in_progress(&self) -> Option<(u64, usize, usize)> {
-        self.rebalance
+        match self
+            .rebalance
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .as_ref()
-            .map(|p| (p.domain, p.from, p.to))
+        {
+            Some(PendingChange::Move {
+                domain, from, to, ..
+            }) => Some((*domain, *from, *to)),
+            Some(PendingChange::AddReplica { .. }) | None => None,
+        }
+    }
+
+    /// The in-flight replica add as `(domain, shard)`, if one is staged.
+    pub fn replica_add_in_progress(&self) -> Option<(u64, usize)> {
+        match self
+            .rebalance
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            Some(PendingChange::AddReplica { domain, shard, .. }) => Some((*domain, *shard)),
+            Some(PendingChange::Move { .. }) | None => None,
+        }
     }
 
     /// The (warm) hot-swap of one shard: probe `engine` with one batch,
@@ -743,6 +1107,15 @@ impl ShardRouter {
             .collect()
     }
 
+    /// Per-domain request/row counters (ascending by domain id, plus an
+    /// aggregate `domain: None` row beyond the tracking table) — the
+    /// hot-domain attribution signal: the domain whose rows dwarf the
+    /// rest is the one to read-scale with
+    /// [`begin_add_replica`](ShardRouter::begin_add_replica).
+    pub fn domain_loads(&self) -> Vec<cerl_obs::DomainLoad> {
+        self.domains.snapshot()
+    }
+
     /// Number of engine versions still live across the fleet: every
     /// shard's published version plus superseded versions pinned by
     /// still-running requests (see
@@ -783,6 +1156,24 @@ impl ShardRouter {
                 "Currently published engine version of each shard.",
                 &[("shard", &shard)],
                 version as f64,
+            );
+        }
+        for load in self.domains.snapshot() {
+            let domain = load
+                .domain
+                .map_or_else(|| "other".to_string(), |d| d.to_string());
+            reg.counter(
+                "cerl_serve_domain_requests_total",
+                "Requests attributed to each domain (hot-domain signal; a scatter counts once \
+                 per domain it touches; 'other' aggregates beyond the tracking table).",
+                &[("domain", &domain)],
+                load.requests,
+            );
+            reg.counter(
+                "cerl_serve_domain_rows_total",
+                "Rows served for each domain across all front-ends.",
+                &[("domain", &domain)],
+                load.rows,
             );
         }
         reg.gauge(
@@ -1290,5 +1681,201 @@ mod tests {
             assert_eq!(stats.queue_wait.count, 1);
         }
         assert_eq!(router.stats().requests, 2);
+    }
+
+    /// One engine cloned across `shards` replicas — the replicated-fleet
+    /// fixture: every replica publishes the identical model, so any
+    /// placement must return bitwise the unreplicated engine's rows.
+    fn replicated_fleet(shards: usize) -> (DomainStream, CerlEngine, ShardRouter) {
+        let stream = quick_stream(1);
+        let mut reference = CerlEngineBuilder::new(quick_cfg())
+            .seed(13)
+            .build()
+            .unwrap();
+        reference
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        let map = ShardMap::from_replicas(shards, &[(0, (0..shards).collect())]).unwrap();
+        assert!(map.is_replicated());
+        let router = ShardRouter::new(vec![reference.clone(); shards], map).unwrap();
+        (stream, reference, router)
+    }
+
+    #[test]
+    fn replicated_domain_is_bitwise_identical_under_every_policy() {
+        let (stream, reference, router) = replicated_fleet(3);
+        let x = stream.domain(0).test.x.slice_rows(0, 24);
+        let expected = reference.predict_ite(&x).unwrap();
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0, 1, 2]);
+        assert_eq!(router.route(0).unwrap(), 0, "primary is the smallest id");
+
+        let policies: Vec<Arc<dyn RoutePolicy>> = vec![
+            Arc::new(LeastLoaded),
+            Arc::new(crate::policy::RoundRobin::new()),
+            Arc::new(crate::policy::VersionPinned::new(1)),
+        ];
+        for policy in policies {
+            router.set_route_policy(Arc::clone(&policy));
+            assert_eq!(router.route_policy().name(), policy.name());
+            for _ in 0..3 {
+                let direct = router.predict_ite(0, &x).unwrap();
+                let response = router
+                    .predict_ite_scatter_versioned(&vec![0; x.rows()], &x)
+                    .unwrap();
+                for (i, (a, b)) in direct.iter().zip(&expected).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{} row {i}", policy.name());
+                }
+                for (i, (a, b)) in response.ite.iter().zip(&expected).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{} row {i}", policy.name());
+                }
+                // Replicated request: the attribution trail names the
+                // replica the policy placed the sub-batch on.
+                assert_eq!(response.placements.len(), 1);
+                let (domain, shard) = response.placements[0];
+                assert_eq!(domain, 0);
+                assert!(router.replicas(0).unwrap().contains(shard));
+                assert_eq!(response.shard_versions, vec![(shard, 1)]);
+            }
+        }
+        // Spreading happened: every replica served some of the traffic
+        // (RoundRobin rotates; LeastLoaded steers to the coolest).
+        let loads = router.shard_loads();
+        assert!(
+            loads.iter().all(|l| l.rows > 0),
+            "all replicas should have served rows: {loads:?}"
+        );
+        // ...and the hot-domain counters attributed all of it to domain 0.
+        let domains = router.domain_loads();
+        assert_eq!(domains.len(), 1);
+        assert_eq!(domains[0].domain, Some(0));
+        assert_eq!(domains[0].requests, 18, "9 direct + 9 scatter groups");
+        assert_eq!(domains[0].rows, 18 * 24);
+    }
+
+    #[test]
+    fn unreplicated_requests_carry_no_placement_trail() {
+        let stream = quick_stream(2);
+        let engines = shard_engines(&stream, 2);
+        let map = ShardMap::from_pairs(2, &[(0, 0), (1, 1)]).unwrap();
+        let router = ShardRouter::new(engines, map).unwrap();
+        let x = stream.domain(0).test.x.slice_rows(0, 8);
+        let response = router
+            .predict_ite_scatter_versioned(&[0, 1, 0, 1, 0, 1, 0, 1], &x)
+            .unwrap();
+        assert!(
+            response.placements.is_empty(),
+            "attribution follows the map when no policy had a choice"
+        );
+        // Per-domain counters still attribute the traffic.
+        let domains = router.domain_loads();
+        assert_eq!(domains.len(), 2);
+        assert_eq!((domains[0].domain, domains[0].rows), (Some(0), 4));
+        assert_eq!((domains[1].domain, domains[1].rows), (Some(1), 4));
+    }
+
+    #[test]
+    fn stray_policy_answers_degrade_to_the_primary() {
+        /// Always answers a shard outside every replica-set.
+        #[derive(Debug)]
+        struct Hostile;
+        impl RoutePolicy for Hostile {
+            fn choose(
+                &self,
+                _domain: u64,
+                _rows: usize,
+                _replicas: &ReplicaSet,
+                _ctx: &RouteContext<'_>,
+            ) -> usize {
+                usize::MAX
+            }
+            fn name(&self) -> &'static str {
+                "hostile"
+            }
+        }
+        let (stream, reference, router) = replicated_fleet(2);
+        router.set_route_policy(Arc::new(Hostile));
+        let x = stream.domain(0).test.x.slice_rows(0, 6);
+        let response = router.predict_ite_scatter_versioned(&[0; 6], &x).unwrap();
+        assert_eq!(response.ite, reference.predict_ite(&x).unwrap());
+        assert_eq!(response.placements, vec![(0, 0)], "clamped to the primary");
+    }
+
+    #[test]
+    fn replica_lifecycle_add_drain_restore_remove() {
+        let stream = quick_stream(1);
+        let mut reference = CerlEngineBuilder::new(quick_cfg())
+            .seed(13)
+            .build()
+            .unwrap();
+        reference
+            .observe(&stream.domain(0).train, &stream.domain(0).val)
+            .unwrap();
+        // A 2-replica set {0, 1}; shard 2 is idle capacity to add into.
+        let map = ShardMap::from_replicas(3, &[(0, vec![0, 1])]).unwrap();
+        let router = ShardRouter::new(vec![reference.clone(); 3], map).unwrap();
+        let x = stream.domain(0).test.x.slice_rows(0, 10);
+        let expected = reference.predict_ite(&x).unwrap();
+
+        // -- add: stage → probe → commit publishes then flips the map.
+        assert!(matches!(
+            router.begin_add_replica(0, 1, reference.clone()),
+            Err(ServeError::ReplicaAlreadyServing {
+                domain: 0,
+                shard: 1
+            })
+        ));
+        router.begin_add_replica(0, 2, reference.clone()).unwrap();
+        assert_eq!(router.replica_add_in_progress(), Some((0, 2)));
+        assert_eq!(router.rebalance_in_progress(), None);
+        // Staged, not published: the map still reads {0, 1}.
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0, 1]);
+        assert!(matches!(
+            router.drain_replica(0, 1),
+            Err(ServeError::RebalanceInProgress { domain: 0 })
+        ));
+        router.commit_rebalance().unwrap();
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0, 1, 2]);
+        assert_eq!(router.predict_ite(0, &x).unwrap(), expected);
+
+        // -- drain: reversible removal from rotation; engine untouched.
+        router.drain_replica(0, 2).unwrap();
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0, 1]);
+        assert_eq!(router.draining_replicas(), vec![(0, 2)]);
+        assert_eq!(router.predict_ite(0, &x).unwrap(), expected);
+        // -- restore: back into rotation.
+        router.restore_replica(0, 2).unwrap();
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0, 1, 2]);
+        assert!(router.draining_replicas().is_empty());
+        assert!(matches!(
+            router.restore_replica(0, 2),
+            Err(ServeError::ReplicaNotDraining {
+                domain: 0,
+                shard: 2
+            })
+        ));
+
+        // -- remove requires a prior drain; then it is final bookkeeping.
+        assert!(matches!(
+            router.remove_replica(0, 2),
+            Err(ServeError::ReplicaNotDraining {
+                domain: 0,
+                shard: 2
+            })
+        ));
+        router.drain_replica(0, 2).unwrap();
+        router.remove_replica(0, 2).unwrap();
+        assert!(router.draining_replicas().is_empty());
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0, 1]);
+
+        // -- the last replica can never be drained.
+        router.drain_replica(0, 1).unwrap();
+        assert!(matches!(
+            router.drain_replica(0, 0),
+            Err(ServeError::LastReplica {
+                domain: 0,
+                shard: 0
+            })
+        ));
+        assert_eq!(router.predict_ite(0, &x).unwrap(), expected);
     }
 }

@@ -21,7 +21,7 @@
 //! | [`ot`] | Sinkhorn-Wasserstein and MMD representation-balance penalties |
 //! | [`data`] | synthetic §IV.C generator, News/BlogCatalog simulators, domain streams |
 //! | [`core`] | the CERL learner, serving engine, CFR baselines, strategies, metrics |
-//! | [`serve`] | micro-batching scheduler, shard-per-domain router, latency histograms |
+//! | [`serve`] | micro-batching scheduler, domain→replica-set router with pluggable route policies, latency histograms |
 //! | [`net`] | epoll socket front-end: binary wire protocol, admission deadlines, connection backpressure |
 //! | [`obs`] | wait-free request tracing, unified metrics registry, structured fleet events |
 //!
@@ -246,6 +246,78 @@
 //! # Ok::<(), cerl::serve::ServeError>(())
 //! ```
 //!
+//! ## Replicated domains
+//!
+//! One celebrity domain can saturate one engine. The
+//! [`ShardMap`](prelude::ShardMap) therefore maps each domain to an
+//! ordered **replica-set** ([`ReplicaSet`](prelude::ReplicaSet)) of
+//! shards all serving the same model, and a pluggable
+//! [`RoutePolicy`](prelude::RoutePolicy) picks the serving replica per
+//! sub-batch — [`LeastLoaded`](prelude::LeastLoaded) (default),
+//! [`RoundRobin`](prelude::RoundRobin), or
+//! [`VersionPinned`](prelude::VersionPinned) for canary reads. Policies
+//! choose *placement only*: results stay bitwise identical to an
+//! unreplicated reference under every policy, and single-replica
+//! domains never consult a policy at all. Replica membership changes
+//! ride the rebalance machinery —
+//! [`add_replica`](prelude::RebalanceOrchestrator::add_replica) /
+//! [`drain_replica`](prelude::RebalanceOrchestrator::drain_replica) /
+//! [`remove_replica`](prelude::RebalanceOrchestrator::remove_replica)
+//! each watch a canary window and auto-abort on regression
+//! ([`ServeError::ReplicaChangeAborted`](prelude::ServeError)):
+//!
+//! ```
+//! use cerl::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let gen = SyntheticGenerator::new(SyntheticConfig::small(), 29);
+//! let stream = DomainStream::synthetic(&gen, 1, 0, 29);
+//! let mut cfg = CerlConfig::quick_test();
+//! cfg.train.epochs = 2; // doc-test speed
+//! let mut engine = CerlEngineBuilder::new(cfg).seed(29).build()?;
+//! engine.observe(&stream.domain(0).train, &stream.domain(0).val)?;
+//!
+//! // Hot domain 0 on two replicas of a 2-shard fleet (clones of one
+//! // engine — a replica-set always serves one model).
+//! let map = ShardMap::from_replicas(2, &[(0, vec![0, 1])])?;
+//! let router = Arc::new(ShardRouter::new(vec![engine.clone(), engine.clone()], map)?);
+//! assert_eq!(router.replicas(0)?.shards(), &[0, 1]);
+//!
+//! // Any policy, same rows: spreading is invisible in the results.
+//! let x = stream.domain(0).test.x.slice_rows(0, 8);
+//! let reference = engine.predict_ite(&x)?;
+//! for policy in [
+//!     Arc::new(RoundRobin::new()) as Arc<dyn RoutePolicy>,
+//!     Arc::new(LeastLoaded),
+//!     Arc::new(VersionPinned::new(1)),
+//! ] {
+//!     router.set_route_policy(policy);
+//!     assert_eq!(router.predict_ite(0, &x)?, reference); // bitwise
+//! }
+//!
+//! // Scale back in: drain is reversible, remove is final — and under
+//! // an orchestrator both watch a canary window first.
+//! let orchestrator = RebalanceOrchestrator::new(
+//!     Arc::clone(&router),
+//!     OrchestratorConfig {
+//!         canary: CanaryConfig { window_requests: 0, ..CanaryConfig::default() },
+//!         ..OrchestratorConfig::default()
+//!     },
+//! );
+//! orchestrator.drain_replica(0, 1)?;
+//! assert_eq!(router.draining_replicas(), vec![(0, 1)]);
+//! orchestrator.remove_replica(0, 1)?;
+//! assert_eq!(router.replicas(0)?.shards(), &[0]);
+//! assert_eq!(router.predict_ite(0, &x)?, reference); // still bitwise
+//! # Ok::<(), cerl::serve::ServeError>(())
+//! ```
+//!
+//! The per-domain request counters behind
+//! [`ShardRouter::domain_loads`](prelude::ShardRouter::domain_loads)
+//! (exported as `cerl_serve_domain_requests_total` /
+//! `cerl_serve_domain_rows_total`) are the attribution signal that says
+//! *which* domain earned a replica.
+//!
 //! ## Planned topology changes
 //!
 //! Moving domains one `begin`/`commit` at a time does not scale to a
@@ -468,7 +540,7 @@
 //! | `unsafe-comment` | every `unsafe` carries a `// SAFETY:` justification |
 //! | `atomic-ordering` | every `Ordering::*` in non-test code carries an `// ordering:` comment naming the happens-before edge it relies on (or stating there is none) |
 //! | `seqcst-hot-path` | `SeqCst` is flagged unconditionally in hot-path modules — not waivable by annotation; today the workspace contains **zero** `SeqCst` sites |
-//! | `panic-path` | no `unwrap`/`expect`/`panic!`/`assert!`/slice-indexing in non-test serving-path code (`cerl-serve`, `cerl-net`, `cerl-core`'s serving module) without a `// panic-ok:` reason stating the bound or contract |
+//! | `panic-path` | no `unwrap`/`expect`/`panic!`/`assert!`/slice-indexing in non-test serving-path code without a `// panic-ok:` reason stating the bound or contract — scoped by crate prefix over all of `cerl-serve` (including the replica route policies of `policy.rs`), `cerl-net`, `cerl-obs` (including the per-domain counters of `domains.rs`), `cerl-core`'s serving module, and the dense kernels |
 //! | `lock-blocking` | no lock guard held across `recv()`/`submit()`/`accept()`/`sleep`/`join()` (waive with `// lock-ok:`) |
 //! | `lock-order` | the hot-swap discipline: the writer lock is acquired before the published-pointer lock (document a caller obligation with `// lock-order:`) |
 //! | `taxonomy` | every `ServeError` variant is classified by `is_client_fault` (no wildcard arm) and every wire `Status` is mapped in encode/decode |
@@ -518,10 +590,10 @@ pub mod prelude {
     pub use cerl_core::{
         paper_lineup, Ablation, Cerl, CerlConfig, CerlEngine, CerlEngineBuilder, CerlError, CfrA,
         CfrB, CfrC, CfrModel, ContinualEstimator, DistillKind, EffectMetrics, IpmKind, Memory,
-        ModelSnapshot, NetConfig, PrecisionMode, SLearner, ServingEngine, ServingStats,
-        ServingStatsSnapshot, ShardAssignment, ShardMap, ShardMapDiff, ShardMove, SnapshotError,
-        SnapshotPayload, StageReport, TLearner, TrainConfig, TrainReport, VersionStats,
-        VersionedEngine, SNAPSHOT_BINARY_FORMAT_VERSION, SNAPSHOT_FORMAT_VERSION,
+        ModelSnapshot, NetConfig, PrecisionMode, ReplicaChange, ReplicaSet, SLearner,
+        ServingEngine, ServingStats, ServingStatsSnapshot, ShardAssignment, ShardMap, ShardMapDiff,
+        ShardMove, SnapshotError, SnapshotPayload, StageReport, TLearner, TrainConfig, TrainReport,
+        VersionStats, VersionedEngine, SNAPSHOT_BINARY_FORMAT_VERSION, SNAPSHOT_FORMAT_VERSION,
     };
     pub use cerl_data::{
         CausalDataset, DataError, DomainShift, DomainStream, SemiSyntheticConfig,
@@ -534,13 +606,14 @@ pub mod prelude {
         Response as WireResponse, Status as WireStatus, WireError,
     };
     pub use cerl_obs::{
-        EventKind, EventSnapshot, MetricsRegistry, SpanSnapshot, Stage, TraceRing, TraceSpan,
-        TraceStats,
+        DomainCounters, DomainLoad, EventKind, EventSnapshot, MetricsRegistry, SpanSnapshot, Stage,
+        TraceRing, TraceSpan, TraceStats,
     };
     pub use cerl_serve::{
         BatchConfig, BatchScheduler, CanaryConfig, CanarySnapshot, CanaryWindow, LatencyHistogram,
-        LatencySnapshot, MoveReport, OrchestratorConfig, PlanReport, RebalanceOrchestrator,
-        RebalancePlan, RebalancePlanner, ResponseHandle, ScatterHandle, ScatterResponse,
-        ServeError, ServeStats, ShardLoad, ShardRouter,
+        LatencySnapshot, LeastLoaded, MoveReport, OrchestratorConfig, PlanReport,
+        RebalanceOrchestrator, RebalancePlan, RebalancePlanner, ReplicaReport, ResponseHandle,
+        RoundRobin, RouteContext, RoutePolicy, ScatterHandle, ScatterResponse, ServeError,
+        ServeStats, ShardLoad, ShardRouter, VersionPinned,
     };
 }

@@ -220,7 +220,7 @@ fn snapshot_survives_restart_and_keeps_learning() {
     }
 }
 
-// ---- hostile shard-map metadata (snapshot format v2) -----------------------
+// ---- hostile shard-map metadata (snapshot format v4) -----------------------
 
 /// A trained snapshot carrying a valid 2-shard map, as a JSON string the
 /// hostile tests below can doctor at the document level (the typed
@@ -262,10 +262,13 @@ fn assert_rejected_everywhere(hostile: &str, expected_field: &str) {
 fn shard_map_with_out_of_range_shard_id_fails_closed() {
     let text = snapshot_text_with_map(206);
     assert!(
-        text.contains(r#""domain":9,"shard":1"#),
+        text.contains(r#""domain":9,"replicas":[1]"#),
         "layout assumption"
     );
-    let hostile = text.replace(r#""domain":9,"shard":1"#, r#""domain":9,"shard":7"#);
+    let hostile = text.replace(
+        r#""domain":9,"replicas":[1]"#,
+        r#""domain":9,"replicas":[7]"#,
+    );
     assert_rejected_everywhere(&hostile, "shard_map");
 }
 
@@ -273,13 +276,68 @@ fn shard_map_with_out_of_range_shard_id_fails_closed() {
 fn shard_map_with_duplicate_domain_entries_fails_closed() {
     let text = snapshot_text_with_map(207);
     // Domain 5 now claims both shard 0 and shard 1.
-    let hostile = text.replace(r#""domain":9,"shard":1"#, r#""domain":5,"shard":1"#);
+    let hostile = text.replace(
+        r#""domain":9,"replicas":[1]"#,
+        r#""domain":5,"replicas":[1]"#,
+    );
     assert_rejected_everywhere(&hostile, "shard_map");
     // Exact duplicate entries (same shard twice) are rejected too: the
     // wire document bypassed the constructor's dedup, so it is not the
     // canonical form the fleet agreed on.
-    let hostile = text.replace(r#""domain":9,"shard":1"#, r#""domain":5,"shard":0"#);
+    let hostile = text.replace(
+        r#""domain":9,"replicas":[1]"#,
+        r#""domain":5,"replicas":[0]"#,
+    );
     assert_rejected_everywhere(&hostile, "shard_map");
+}
+
+#[test]
+fn shard_map_with_hostile_replica_sets_fails_closed() {
+    // Replica-set pathologies the typed constructors cannot express but
+    // a wire document can: every load path rejects them, none panics.
+    let text = snapshot_text_with_map(212);
+    // Duplicate replica ids inside one set.
+    let hostile = text.replace(
+        r#""domain":9,"replicas":[1]"#,
+        r#""domain":9,"replicas":[1,1]"#,
+    );
+    assert_rejected_everywhere(&hostile, "shard_map");
+    // Unsorted set: not the canonical form the fleet agreed on.
+    let hostile = text.replace(
+        r#""domain":9,"replicas":[1]"#,
+        r#""domain":9,"replicas":[1,0]"#,
+    );
+    assert_rejected_everywhere(&hostile, "shard_map");
+    // Empty replica-set: the domain would be unserveable.
+    let hostile = text.replace(
+        r#""domain":9,"replicas":[1]"#,
+        r#""domain":9,"replicas":[]"#,
+    );
+    assert_rejected_everywhere(&hostile, "shard_map");
+    // Replica id at (and past) the declared fleet size.
+    let hostile = text.replace(
+        r#""domain":9,"replicas":[1]"#,
+        r#""domain":9,"replicas":[0,2]"#,
+    );
+    assert_rejected_everywhere(&hostile, "shard_map");
+}
+
+#[test]
+fn v2_single_shard_snapshots_still_load_as_replica_sets() {
+    // A v2-era document spells the map `"shard": M` and stamps format
+    // version 2; the upgrade path must read it as `replicas == [M]`.
+    let text = snapshot_text_with_map(213);
+    assert!(text.contains(r#""format_version":4"#), "layout assumption");
+    let vintage = text
+        .replace(r#""format_version":4"#, r#""format_version":2"#)
+        .replace(r#""domain":5,"replicas":[0]"#, r#""domain":5,"shard":0"#)
+        .replace(r#""domain":9,"replicas":[1]"#, r#""domain":9,"shard":1"#);
+    assert!(CerlEngine::load_bytes(vintage.as_bytes()).is_ok());
+    let snapshot = ModelSnapshot::from_bytes(vintage.as_bytes()).unwrap();
+    let map = snapshot.shard_map.expect("map survives the upgrade");
+    assert_eq!(map.replicas_for(5).unwrap().shards(), &[0]);
+    assert_eq!(map.replicas_for(9).unwrap().shards(), &[1]);
+    assert!(!map.is_replicated());
 }
 
 #[test]

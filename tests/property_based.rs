@@ -6,7 +6,7 @@ use cerl::math::Matrix;
 use cerl::nn::{Graph, ParamStore};
 use cerl::prelude::*;
 use proptest::prelude::*;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// One trained engine shared by the snapshot properties (training inside
@@ -379,5 +379,110 @@ proptest! {
         hit.dedup();
         let expected_versions: Vec<(usize, u64)> = hit.into_iter().map(|s| (s, 1)).collect();
         prop_assert_eq!(response.shard_versions, expected_versions);
+    }
+
+    // ---- replicated domains: the policy contract --------------------------
+
+    /// For an arbitrary domain→replica-set map (arbitrary non-empty
+    /// replica subsets, including single-replica domains mixed in) and
+    /// **any** route policy — the shipped three plus a deliberately
+    /// wrong version pin — a fleet of identical shards answers both
+    /// direct and mixed-domain requests row-for-row bitwise identically
+    /// to one unsharded reference engine. This is the [`RoutePolicy`]
+    /// contract: a policy chooses placement, never results.
+    #[test]
+    fn any_replica_map_under_any_policy_is_bitwise_identical_to_the_reference(
+        shards in 2usize..4,
+        rows in 1usize..32,
+        map_seed in any::<u64>(),
+        tag_seed in any::<u64>(),
+        policy_idx in 0usize..4,
+        scale in 0.1f64..10.0,
+    ) {
+        let (engine, _, d_in) = snapshot_fixture();
+        let mut state = map_seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+
+        // Arbitrary topology: each domain gets an arbitrary non-empty
+        // subset of the fleet as its replica-set (bitmask draw).
+        let domain_count = 1 + (next() % 5) as usize;
+        let mut domain_id = next() % 3;
+        let entries: Vec<(u64, Vec<usize>)> = (0..domain_count)
+            .map(|_| {
+                let mask = 1 + next() as usize % ((1 << shards) - 1);
+                let replicas: Vec<usize> =
+                    (0..shards).filter(|s| mask >> s & 1 == 1).collect();
+                let entry = (domain_id, replicas);
+                domain_id += 1 + next() % 4;
+                entry
+            })
+            .collect();
+        let map = ShardMap::from_replicas(shards, &entries)
+            .expect("generated replica ids are in range");
+        let router = ShardRouter::new(
+            (0..shards).map(|_| engine.clone()).collect(),
+            map.clone(),
+        )
+        .expect("map and fleet sizes agree");
+        let policy: Arc<dyn RoutePolicy> = match policy_idx {
+            0 => Arc::new(LeastLoaded),
+            1 => Arc::new(RoundRobin::new()),
+            2 => Arc::new(VersionPinned::new(1)),
+            // A pin no replica publishes must degrade to the primary,
+            // not change results or fail requests.
+            _ => Arc::new(VersionPinned::new(999)),
+        };
+        router.set_route_policy(Arc::clone(&policy));
+
+        // Arbitrary rows tagged with arbitrary mapped domains.
+        let mut tag_state = tag_seed;
+        let mut next_tag = move || {
+            tag_state = tag_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            tag_state >> 33
+        };
+        let tags: Vec<u64> = (0..rows)
+            .map(|_| map.assignments()[next_tag() as usize % map.len()].domain)
+            .collect();
+        let mut x_state = tag_seed ^ map_seed;
+        let x = Matrix::from_fn(rows, *d_in, |_, _| {
+            x_state = x_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((x_state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * scale
+        });
+        let expected = engine.predict_ite(&x).expect("reference serves the rows");
+
+        // Mixed-domain scatter: bitwise the reference, policy or not.
+        let response = router
+            .predict_ite_scatter_versioned(&tags, &x)
+            .expect("every tag is mapped");
+        for (i, (a, b)) in response.ite.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "row {} (domain {}, policy {}) diverged from the reference",
+                i, tags[i], policy.name()
+            );
+        }
+        // Every placement the policy made stayed inside its domain's
+        // replica-set; the trail exists iff a replicated domain took part.
+        for &(domain, shard) in &response.placements {
+            prop_assert!(
+                map.replicas_for(domain).expect("placed domain is mapped").contains(shard),
+                "policy {} placed domain {} outside its replica-set (shard {})",
+                policy.name(), domain, shard
+            );
+        }
+        let touched_replicated = tags
+            .iter()
+            .any(|d| map.replicas_for(*d).expect("tag was drawn from the map").len() > 1);
+        prop_assert_eq!(!response.placements.is_empty(), touched_replicated);
+
+        // Direct single-domain serving under the same policy: also bitwise.
+        let domain = tags[0];
+        let direct = router.predict_ite(domain, &x).expect("domain is mapped");
+        for (a, b) in direct.iter().zip(&expected) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -1,0 +1,299 @@
+//! The replica lifecycle under fire: a hot domain is read-scaled from
+//! one replica to three and back down to one — `add_replica` →
+//! `add_replica` → `drain_replica` → `remove_replica` (twice) — while
+//! concurrent mixed-domain scatter clients hammer the fleet and the
+//! route policy is swapped mid-traffic.
+//!
+//! Every response is checked row-for-row, which pins the replica-era
+//! serving invariants:
+//!
+//! * **zero serve faults** — no request fails at any point of the
+//!   lifecycle: every verb is a canary-watched window plus one atomic
+//!   map flip, and requests that pinned the pre-flip map finish against
+//!   a shard that still holds their rows' domains;
+//! * **bitwise-identical rows throughout** — the replicas hold the same
+//!   model (a replica is restored from another replica's snapshot, here
+//!   literal clones), so whichever replica a policy picks, and whatever
+//!   the topology mid-verb, every row must match the single-engine
+//!   reference bit for bit. Policy swaps mid-traffic are covered by the
+//!   same assertion: placement may change, results may not;
+//! * **monotone per-replica versions** — a shard's reported engine
+//!   version never goes backwards across the whole lifecycle (adds
+//!   publish a successor and bump it; drains and removals leave it
+//!   alone);
+//! * **honest attribution** — placements only ever name shards that
+//!   legitimately hold the row's domain, and the per-domain counters
+//!   single out the hot domain by row share.
+
+use cerl::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 4;
+const DOMAINS: usize = 3;
+
+fn quick_cfg() -> CerlConfig {
+    let mut cfg = CerlConfig::quick_test();
+    cfg.train.epochs = 6;
+    cfg.memory_size = 80;
+    cfg
+}
+
+/// Shared fixture: one engine observed on all three domains. The fleet
+/// runs clones of it, which is exactly the replica contract — a replica
+/// added for read scaling restores the same snapshot the existing
+/// replicas serve, so its answers are bitwise theirs.
+struct Fixture {
+    stream: DomainStream,
+    base: CerlEngine,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let gen = SyntheticGenerator::new(
+            SyntheticConfig {
+                n_units: 400,
+                ..SyntheticConfig::small()
+            },
+            97,
+        );
+        let stream = DomainStream::synthetic(&gen, DOMAINS, 0, 97);
+        let mut base = CerlEngineBuilder::new(quick_cfg())
+            .seed(61)
+            .build()
+            .unwrap();
+        for d in 0..DOMAINS {
+            base.observe(&stream.domain(d).train, &stream.domain(d).val)
+                .unwrap();
+        }
+        Fixture { stream, base }
+    })
+}
+
+fn initial_map() -> ShardMap {
+    ShardMap::from_pairs(3, &[(0, 0), (1, 1), (2, 2)]).unwrap()
+}
+
+/// One client's fixed mixed-domain request: domain 0 is the hot one
+/// (two thirds of the rows), domains 1 and 2 ride along so every
+/// request scatters across shards.
+struct MixedRequest {
+    tags: Vec<u64>,
+    x: Matrix,
+    reference: Vec<f64>,
+}
+
+fn mixed_request(fx: &Fixture, salt: usize) -> MixedRequest {
+    const PATTERN: [u64; 6] = [0, 0, 1, 0, 0, 2];
+    let mut tags = Vec::new();
+    let mut data = Vec::new();
+    let mut cols = 0;
+    for i in 0..12usize {
+        let domain = PATTERN[(salt + i) % PATTERN.len()];
+        let x = &fx.stream.domain(domain as usize).test.x;
+        let row = (salt * 7 + i * 3) % x.rows();
+        let slice = x.slice_rows(row, row + 1);
+        cols = slice.cols();
+        data.extend_from_slice(slice.as_slice());
+        tags.push(domain);
+    }
+    let x = Matrix::from_vec(tags.len(), cols, data);
+    let reference = fx.base.predict_ite(&x).unwrap();
+    MixedRequest { tags, x, reference }
+}
+
+/// Check one scatter response: rows bitwise against the single-engine
+/// reference, versions monotone per shard, placements only on shards
+/// that legitimately hold the placed domain.
+fn check_response(
+    request: &MixedRequest,
+    response: &ScatterResponse,
+    last_versions: &mut HashMap<usize, u64>,
+) {
+    for &(shard, version) in &response.shard_versions {
+        let last = last_versions.entry(shard).or_insert(0);
+        assert!(
+            version >= *last,
+            "shard {shard} version went backwards: {version} after {last}"
+        );
+        *last = version;
+    }
+    for (i, value) in response.ite.iter().enumerate() {
+        assert_eq!(
+            value.to_bits(),
+            request.reference[i].to_bits(),
+            "row {i} (domain {}): a replica diverged from the reference",
+            request.tags[i]
+        );
+    }
+    for &(domain, shard) in &response.placements {
+        // Domain 0's replica-set only ever spans shards {0, 1, 2};
+        // domains 1 and 2 never replicate off their home shard.
+        let legitimate = match domain {
+            0 => shard < 3,
+            1 | 2 => shard == domain as usize,
+            other => panic!("placement names unknown domain {other}"),
+        };
+        assert!(
+            legitimate,
+            "domain {domain} placed on shard {shard}, which never held it"
+        );
+    }
+}
+
+fn run_stress(batch: Option<BatchConfig>) {
+    let fx = fixture();
+    let engines = vec![fx.base.clone(), fx.base.clone(), fx.base.clone()];
+    let router = Arc::new(match batch {
+        Some(cfg) => ShardRouter::with_batching(engines, initial_map(), cfg).unwrap(),
+        None => ShardRouter::new(engines, initial_map()).unwrap(),
+    });
+    let ring = TraceRing::new(8, 1024);
+    let orchestrator = RebalanceOrchestrator::new(
+        Arc::clone(&router),
+        OrchestratorConfig {
+            canary: CanaryConfig {
+                window_requests: 8,
+                max_wait: Duration::from_secs(60),
+                max_error_rate: 0.05,
+                // Latency on a loaded CI box is too noisy to gate a
+                // correctness stress on; the verdict logic has its own
+                // deterministic unit tests.
+                max_p95_ratio: 1e9,
+            },
+            max_staged: 1,
+        },
+    )
+    .with_obs(Arc::clone(&ring));
+
+    let stop = AtomicBool::new(false);
+    let deadline = Instant::now() + Duration::from_secs(300);
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let router = Arc::clone(&router);
+            let stop = &stop;
+            scope.spawn(move || {
+                let request = mixed_request(fx, client);
+                let mut last_versions = HashMap::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let response = router
+                        .predict_ite_scatter_versioned(&request.tags, &request.x)
+                        .expect("no request may fail during the replica lifecycle");
+                    check_response(&request, &response, &mut last_versions);
+                }
+            });
+        }
+
+        // Let a little settled traffic through between lifecycle steps
+        // so every intermediate topology really serves requests.
+        let settle = |label: &str| {
+            let until = router.stats().requests + 2 * CLIENTS as u64;
+            while router.stats().requests < until {
+                assert!(
+                    Instant::now() < deadline,
+                    "timed out settling after {label}"
+                );
+                std::thread::yield_now();
+            }
+        };
+        settle("warm-up");
+
+        // Scale the hot domain out to three replicas. Each add publishes
+        // its staged clone on the new shard (version 1 → 2) and then
+        // grows the replica-set in one flip.
+        let report = orchestrator
+            .add_replica(0, 1, fx.base.clone())
+            .expect("healthy fleet commits the first add");
+        assert_eq!((report.domain, report.shard), (0, 1));
+        assert_eq!(report.published_version, Some(2));
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0, 1]);
+        settle("first add");
+
+        // Policy swaps mid-traffic never change results, only placement.
+        router.set_route_policy(Arc::new(RoundRobin::new()));
+        let report = orchestrator
+            .add_replica(0, 2, fx.base.clone())
+            .expect("healthy fleet commits the second add");
+        assert_eq!(report.published_version, Some(2));
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0, 1, 2]);
+        settle("second add");
+
+        // Scale back in: drain is reversible (the engine keeps holding
+        // the domain) until remove finalizes it.
+        router.set_route_policy(Arc::new(VersionPinned::new(2)));
+        let report = orchestrator
+            .drain_replica(0, 1)
+            .expect("healthy fleet drains shard 1");
+        assert_eq!(report.published_version, None);
+        assert_eq!(router.draining_replicas(), vec![(0, 1)]);
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0, 2]);
+        settle("drain of shard 1");
+        orchestrator
+            .remove_replica(0, 1)
+            .expect("healthy fleet removes shard 1");
+        assert!(router.draining_replicas().is_empty());
+
+        router.set_route_policy(Arc::new(LeastLoaded));
+        orchestrator
+            .drain_replica(0, 2)
+            .expect("healthy fleet drains shard 2");
+        settle("drain of shard 2");
+        orchestrator
+            .remove_replica(0, 2)
+            .expect("healthy fleet removes shard 2");
+        assert_eq!(router.replicas(0).unwrap().shards(), &[0]);
+        settle("scale-in");
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // The fleet is back to the initial topology; the adds' published
+    // engines stay on their shards (versions bumped, never rolled back).
+    assert_eq!(*router.map(), initial_map());
+    assert_eq!(router.shard_versions(), vec![1, 2, 2]);
+    let stats = router.stats();
+    assert_eq!(stats.rejected, 0, "zero faults across the whole lifecycle");
+    assert!(
+        stats.mean_shards_per_scatter() > 1.0,
+        "requests really crossed shards: {stats:?}"
+    );
+
+    // The per-domain counters single out the hot domain: every request
+    // touches all three domains (equal request counts), but domain 0
+    // carries two thirds of the rows.
+    let loads = router.domain_loads();
+    let rows_of = |domain: u64| {
+        loads
+            .iter()
+            .find(|l| l.domain == Some(domain))
+            .unwrap_or_else(|| panic!("domain {domain} missing from {loads:?}"))
+            .rows
+    };
+    assert!(
+        rows_of(0) > 3 * rows_of(1) && rows_of(0) > 3 * rows_of(2),
+        "hot-domain attribution lost the skew: {loads:?}"
+    );
+
+    // The lifecycle left a full, abort-free event trail.
+    let events = ring.events(64);
+    let count = |kind: EventKind| events.iter().filter(|e| e.kind == kind).count();
+    assert_eq!(count(EventKind::ReplicaAdded), 2);
+    assert_eq!(count(EventKind::ReplicaDrained), 2);
+    assert_eq!(count(EventKind::ReplicaRemoved), 2);
+    assert_eq!(count(EventKind::MoveAborted), 0);
+}
+
+#[test]
+fn replica_lifecycle_under_unbatched_scatter_load() {
+    run_stress(None);
+}
+
+#[test]
+fn replica_lifecycle_under_batched_scatter_load() {
+    run_stress(Some(BatchConfig {
+        max_wait: Duration::from_millis(2),
+        ..BatchConfig::default()
+    }));
+}
